@@ -1,0 +1,28 @@
+//! Fig. 10 — Influence spread when varying ε.
+//!
+//! The spreads of all methods agree closely at small ε and drift apart as ε
+//! grows (fewer samples ⇒ coarser estimates).
+
+use pitex_bench::{banner, param_sweep, print_sweep_table, BenchEnv, Method};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Fig. 10: average influence spread vs ε",
+        "mid user group; δ = 1000, k = 3",
+    );
+    let rows = param_sweep(
+        &env,
+        &Method::OFFLINE_PLUS_LAZY,
+        env.profiles(),
+        &[0.3, 0.5, 0.7, 0.9],
+        |config, _k, eps| config.epsilon = eps,
+    );
+    print_sweep_table(
+        &rows,
+        &Method::OFFLINE_PLUS_LAZY,
+        "epsilon",
+        |o| o.spread.mean(),
+        "influence spread",
+    );
+}

@@ -1,0 +1,24 @@
+//! Fig. 11 — Efficiency when varying the tag count k ∈ 1..5.
+//!
+//! Despite C(|Ω|, k) growing exponentially, query time must not explode:
+//! low tag–topic densities make most tag sets infeasible and best-effort
+//! pruning discards them wholesale (§7.3). INDEXEST+'s advantage grows
+//! with k (more sets ⇒ more filtering opportunities).
+
+use pitex_bench::{banner, param_sweep, print_sweep_table, BenchEnv, Method};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Fig. 11: average query time (s) vs k",
+        "mid user group; ε = 0.7, δ = 1000",
+    );
+    let rows = param_sweep(
+        &env,
+        &Method::OFFLINE_PLUS_LAZY,
+        env.profiles(),
+        &[1.0, 2.0, 3.0, 4.0, 5.0],
+        |_config, k, value| *k = value as usize,
+    );
+    print_sweep_table(&rows, &Method::OFFLINE_PLUS_LAZY, "k", |o| o.time.mean(), "time (s)");
+}

@@ -1,0 +1,78 @@
+//! Fig. 12 — Scalability on the twitter-like dataset.
+//!
+//! (a) varying the tag vocabulary |Ω| ∈ {50..250}: more candidate tag sets
+//!     ⇒ slower queries, with INDEXEST scaling best;
+//! (b) varying the topic count |Z| ∈ {10..50}: each tag concentrates on a
+//!     few topics, so density = const/|Z| *falls* as |Z| grows, feasible
+//!     combinations thin out, and queries get *faster* — the paper's
+//!     counter-intuitive finding.
+
+use pitex_bench::{
+    banner, build_indexes, default_config, default_queries, prepare, run_batch, BenchEnv, Method,
+};
+use pitex_datasets::{DatasetProfile, UserGroup};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Fig. 12: scalability on twitter-like (mid group, k = 3)",
+        "(a) vary |Ω| at |Z| = 50   (b) vary |Z| at |Ω| = 120",
+    );
+    let base = DatasetProfile::twitter_like().scaled((0.002 * env.scale).clamp(1e-6, 1.0));
+    let methods = Method::OFFLINE_PLUS_LAZY;
+
+    println!();
+    println!("--- (a) time (s) vs |Ω| ---");
+    print!("{:<8}", "|Omega|");
+    for m in methods {
+        print!(" {:>12}", m.label());
+    }
+    println!();
+    for num_tags in [50usize, 100, 150, 200, 250] {
+        let data = prepare(base.clone().with_tags(num_tags));
+        let indexes = build_indexes(&data.model, env.index_budget(), env.seed);
+        let users = default_queries(&data, &env, UserGroup::Mid);
+        print!("{:<8}", num_tags);
+        for method in methods {
+            let out = run_batch(
+                method,
+                &data.model,
+                Some(&indexes),
+                &users,
+                3,
+                default_config(env.seed),
+            );
+            print!(" {:>12.6}", out.time.mean());
+        }
+        println!();
+    }
+
+    println!();
+    println!("--- (b) time (s) vs |Z| (per-tag topic count held at ~4) ---");
+    print!("{:<8}", "|Z|");
+    for m in methods {
+        print!(" {:>12}", m.label());
+    }
+    println!();
+    for num_topics in [10usize, 20, 30, 40, 50] {
+        // Hold the per-tag topic count fixed: density = 4/|Z| falls with |Z|.
+        let mut profile = base.clone().with_tags(120).with_topics(num_topics);
+        profile.density = (4.0 / num_topics as f64).min(1.0);
+        let data = prepare(profile);
+        let indexes = build_indexes(&data.model, env.index_budget(), env.seed);
+        let users = default_queries(&data, &env, UserGroup::Mid);
+        print!("{:<8}", num_topics);
+        for method in methods {
+            let out = run_batch(
+                method,
+                &data.model,
+                Some(&indexes),
+                &users,
+                3,
+                default_config(env.seed),
+            );
+            print!(" {:>12.6}", out.time.mean());
+        }
+        println!();
+    }
+}

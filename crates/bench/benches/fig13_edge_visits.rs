@@ -1,0 +1,17 @@
+//! Fig. 13 (Appx. D) — Number of edges visited by the online samplers.
+//!
+//! The complexity measure of §4: RR and MC trade places depending on graph
+//! shape (Lemmas 4–5), while LAZY visits more than an order of magnitude
+//! fewer edges (it only probes edges that actually fire).
+
+use pitex_bench::{banner, group_figure, print_group_table, BenchEnv, Method};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Fig. 13: average edges visited per query, by user group",
+        &format!("{} queries per cell; ε = 0.7, δ = 1000, k = 3", env.queries),
+    );
+    let rows = group_figure(&env, &Method::ONLINE, env.small_profiles(), 3);
+    print_group_table(&rows, &Method::ONLINE, |o| o.edges_visited.mean(), "edges visited");
+}

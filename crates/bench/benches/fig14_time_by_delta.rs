@@ -1,0 +1,22 @@
+//! Fig. 14 (Appx. D) — Efficiency when varying δ ∈ {10, 10², 10³, 10⁴}.
+//!
+//! Sample counts grow with ln δ (Eq. 2), so runtime grows slowly — not
+//! exponentially — in δ.
+
+use pitex_bench::{banner, param_sweep, print_sweep_table, BenchEnv, Method};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Fig. 14: average query time (s) vs δ",
+        "mid user group; ε = 0.7, k = 3",
+    );
+    let rows = param_sweep(
+        &env,
+        &Method::OFFLINE_PLUS_LAZY,
+        env.profiles(),
+        &[10.0, 100.0, 1_000.0, 10_000.0],
+        |config, _k, delta| config.delta = delta,
+    );
+    print_sweep_table(&rows, &Method::OFFLINE_PLUS_LAZY, "delta", |o| o.time.mean(), "time (s)");
+}

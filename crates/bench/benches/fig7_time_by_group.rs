@@ -1,0 +1,19 @@
+//! Fig. 7 — Efficiency comparison when varying the query user group.
+//!
+//! All seven methods × {high, mid, low} out-degree groups × four datasets,
+//! default parameters (ε = 0.7, δ = 1000, k = 3). Expected shape: LAZY beats
+//! MC/RR; index methods beat online sampling by orders of magnitude;
+//! INDEXEST+ beats INDEXEST; DELAYMAT sits between them; TIM is fast but
+//! (Fig. 8) returns inferior spread.
+
+use pitex_bench::{banner, group_figure, print_group_table, BenchEnv, Method};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Fig. 7: average query time (s) by user group",
+        &format!("{} queries per cell (PITEX_QUERIES); k = 3", env.queries),
+    );
+    let rows = group_figure(&env, &Method::ALL, env.small_profiles(), 3);
+    print_group_table(&rows, &Method::ALL, |o| o.time.mean(), "time (s)");
+}

@@ -1,0 +1,17 @@
+//! Fig. 8 — Influence spread comparison when varying the query user group.
+//!
+//! Same grid as Fig. 7, reporting the spread of the returned tag set.
+//! Expected shape: every guaranteed method lands in the same (1−ε)/(1+ε)
+//! band; TIM under-performs (its tree model has no guarantee).
+
+use pitex_bench::{banner, group_figure, print_group_table, BenchEnv, Method};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Fig. 8: average influence spread of the returned tag set, by user group",
+        &format!("{} queries per cell (PITEX_QUERIES); k = 3", env.queries),
+    );
+    let rows = group_figure(&env, &Method::ALL, env.small_profiles(), 3);
+    print_group_table(&rows, &Method::ALL, |o| o.spread.mean(), "influence spread");
+}

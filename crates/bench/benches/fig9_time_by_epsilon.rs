@@ -1,0 +1,22 @@
+//! Fig. 9 — Efficiency when varying ε ∈ {0.3, 0.5, 0.7, 0.9}.
+//!
+//! LAZY vs the index methods, mid user group. Smaller ε ⇒ more samples ⇒
+//! slower everywhere; the index methods' ordering is unchanged.
+
+use pitex_bench::{banner, param_sweep, print_sweep_table, BenchEnv, Method};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Fig. 9: average query time (s) vs ε",
+        "mid user group; δ = 1000, k = 3",
+    );
+    let rows = param_sweep(
+        &env,
+        &Method::OFFLINE_PLUS_LAZY,
+        env.profiles(),
+        &[0.3, 0.5, 0.7, 0.9],
+        |config, _k, eps| config.epsilon = eps,
+    );
+    print_sweep_table(&rows, &Method::OFFLINE_PLUS_LAZY, "epsilon", |o| o.time.mean(), "time (s)");
+}

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the index kernels: tag-aware reachability
+//! (Def. 3), cut-filter construction and filtering (§6.2), and RR-Graph
+//! recovery (Algo. 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pitex_datasets::{DatasetProfile, UserGroup, UserGroups};
+use pitex_index::prune::CutFilter;
+use pitex_index::rrgraph::ReachScratch;
+use pitex_index::{delay, IndexBudget, RrIndex};
+use pitex_model::{PosteriorEdgeProbs, TagSet};
+use pitex_support::EpochVisited;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_index(c: &mut Criterion) {
+    let model = DatasetProfile::lastfm_like().generate();
+    let groups = UserGroups::from_graph(model.graph());
+    let user = groups.members(UserGroup::Mid)[0];
+    let index = RrIndex::build(&model, IndexBudget::PerVertex(4.0), 7);
+    let tags = TagSet::from([3, 17, 29]);
+    let posterior = model.posterior(&tags);
+    let mut cache = model.new_prob_cache();
+
+    let member_graphs: Vec<_> = index
+        .graphs_containing(user)
+        .iter()
+        .map(|&gid| &index.graphs()[gid as usize])
+        .collect();
+
+    c.bench_function("tag_aware_reachability_all_members", |b| {
+        let mut scratch = ReachScratch::new();
+        b.iter(|| {
+            let mut probs =
+                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut visits = 0u64;
+            let mut hits = 0u32;
+            for rr in &member_graphs {
+                if rr.reaches_target(user, &mut probs, &mut scratch, &mut visits) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    c.bench_function("cut_filter_build", |b| {
+        b.iter(|| {
+            black_box(CutFilter::build(
+                user,
+                member_graphs.iter().copied(),
+                model.edge_topics(),
+            ))
+        })
+    });
+
+    let filter = CutFilter::build(user, member_graphs.iter().copied(), model.edge_topics());
+    c.bench_function("cut_filter_candidates", |b| {
+        let mut marks = EpochVisited::new(0);
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut probs =
+                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            filter.candidates(&mut probs, &mut marks, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    c.bench_function("recover_rr_graph", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut visited = EpochVisited::new(0);
+        b.iter(|| {
+            black_box(delay::recover_rr_graph(
+                model.graph(),
+                model.edge_topics(),
+                user,
+                &mut rng,
+                &mut visited,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

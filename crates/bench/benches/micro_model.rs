@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the model kernels: posterior computation
+//! (Eq. 1), lazy edge-probability evaluation, and the Lemma-8 bound oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pitex_datasets::DatasetProfile;
+use pitex_model::{BoundOracle, PosteriorEdgeProbs, TagSet, TopicPosterior};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let model = DatasetProfile::lastfm_like().generate();
+    let tags = TagSet::from([3, 17, 29]);
+
+    c.bench_function("posterior_k3", |b| {
+        b.iter(|| TopicPosterior::compute(black_box(model.tag_topic()), black_box(&tags)))
+    });
+
+    let posterior = model.posterior(&tags);
+    let mut cache = model.new_prob_cache();
+    let edge_ids: Vec<u32> = (0..model.graph().num_edges() as u32).step_by(7).collect();
+    c.bench_function("edge_prob_cached_sweep", |b| {
+        b.iter(|| {
+            let mut probs =
+                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut acc = 0.0f64;
+            for &e in &edge_ids {
+                acc += pitex_model::EdgeProbs::prob(&mut probs, e);
+            }
+            black_box(acc)
+        })
+    });
+
+    let oracle = BoundOracle::new(model.tag_topic());
+    let partial = TagSet::from([3]);
+    c.bench_function("lemma8_bounded_posterior", |b| {
+        b.iter(|| oracle.bounded_posterior(black_box(&partial), 3))
+    });
+
+    c.bench_function("bound_oracle_build", |b| {
+        b.iter(|| BoundOracle::new(black_box(model.tag_topic())))
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

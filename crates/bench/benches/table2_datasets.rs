@@ -1,0 +1,40 @@
+//! Table 2 — Statistics of Datasets.
+//!
+//! Prints the paper's columns for (a) the paper's original dataset sizes and
+//! (b) the synthetic stand-ins actually generated at bench scale.
+
+use pitex_bench::{banner, BenchEnv};
+use pitex_datasets::{DatasetProfile, DatasetStats};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Table 2: Statistics of Datasets",
+        "paper-reported sizes, then the generated synthetic stand-ins",
+    );
+
+    println!();
+    println!("paper originals:");
+    println!("{}", DatasetStats::header());
+    for p in DatasetProfile::all() {
+        println!(
+            "{:<10} {:>10} {:>12} {:>8.1} {:>5} {:>5} {:>9.2}",
+            p.name,
+            p.num_nodes,
+            p.num_edges,
+            p.num_edges as f64 / p.num_nodes as f64,
+            p.num_topics,
+            p.num_tags,
+            p.density
+        );
+    }
+
+    println!();
+    println!("generated stand-ins (bench scale):");
+    println!("{}", DatasetStats::header());
+    for profile in env.profiles() {
+        let name = profile.name;
+        let model = profile.generate();
+        println!("{}", DatasetStats::compute(name, &model));
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 3 — Index Sizes (MB) & Construction Time (s).
+//!
+//! Builds the full RR-Graphs index and the DelayMat counter index for every
+//! dataset and reports in-memory size, serialized size and build time. The
+//! paper's headline — RR-Graphs dwarf the raw data while DelayMat is a few
+//! bytes per user — must reproduce at any scale.
+
+use pitex_bench::{banner, build_indexes, BenchEnv};
+use pitex_index::serial;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Table 3: Index Sizes (MB) & Construction Time (s)",
+        &format!("budget: {} RR-Graphs per vertex (PITEX_INDEX_C)", env.index_per_vertex),
+    );
+
+    println!();
+    println!(
+        "{:<10} {:>10} | {:>12} {:>12} {:>8} | {:>12} {:>8}",
+        "dataset", "data(MB)", "rr-mem(MB)", "rr-disk(MB)", "rr(s)", "delay(MB)", "delay(s)"
+    );
+    for profile in env.profiles() {
+        let name = profile.name;
+        let model = profile.generate();
+        let data_mb = model.heap_bytes() as f64 / 1e6;
+        let idx = build_indexes(&model, env.index_budget(), env.seed);
+        let rr_mem_mb = idx.rr.heap_bytes() as f64 / 1e6;
+        let rr_disk_mb = serial::rr_index_to_bytes(&idx.rr).len() as f64 / 1e6;
+        let delay_mb = serial::delay_index_to_bytes(&idx.delay).len() as f64 / 1e6;
+        println!(
+            "{:<10} {:>10.2} | {:>12.2} {:>12.2} {:>8.2} | {:>12.4} {:>8.2}",
+            name, data_mb, rr_mem_mb, rr_disk_mb, idx.rr_build_secs, delay_mb, idx.delay_build_secs
+        );
+    }
+    println!();
+    println!("expected shape (paper): rr-size >> data size; delay-size << data size;");
+    println!("delay build time is the same sampling pass without materialization.");
+}

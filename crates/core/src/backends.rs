@@ -1,0 +1,113 @@
+//! Backend selection helpers for the experiment harness.
+
+use crate::tim::TimEstimator;
+use pitex_index::{DelayMatEstimator, DelayMatIndex, IndexEstimator, IndexPlusEstimator, RrIndex};
+use pitex_model::TicModel;
+use pitex_sampling::{ExactEstimator, LazySampler, McSampler, RrSampler, SpreadEstimator};
+
+/// Every spread-estimation method the paper's evaluation compares (§7.1),
+/// plus the exact evaluator for tiny graphs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Monte-Carlo forward sampling.
+    Mc,
+    /// Reverse-reachable set sampling.
+    Rr,
+    /// Lazy propagation sampling (§5.1).
+    Lazy,
+    /// Tree-based baseline (no guarantee).
+    Tim,
+    /// Possible-world enumeration (tiny graphs only).
+    Exact,
+}
+
+impl BackendKind {
+    /// The online (index-free) methods of Fig. 7/13.
+    pub const ONLINE: [BackendKind; 3] = [BackendKind::Rr, BackendKind::Mc, BackendKind::Lazy];
+
+    /// Builds the estimator. Index-based backends need an index and are
+    /// constructed through [`index_backend`]/[`delay_backend`] instead.
+    pub fn make<'a>(self, model: &'a TicModel) -> Box<dyn SpreadEstimator + 'a> {
+        self.make_for_nodes(model.graph().num_nodes())
+    }
+
+    /// Builds the estimator for a graph of `n` vertices (the samplers are
+    /// model-agnostic: edge probabilities arrive through [`pitex_model::EdgeProbs`]).
+    pub fn make_for_nodes(self, n: usize) -> Box<dyn SpreadEstimator + 'static> {
+        match self {
+            BackendKind::Mc => Box::new(McSampler::new(n)),
+            BackendKind::Rr => Box::new(RrSampler::new(n)),
+            BackendKind::Lazy => Box::new(LazySampler::new(n)),
+            BackendKind::Tim => Box::new(TimEstimator::new(n)),
+            BackendKind::Exact => Box::new(ExactEstimator::new()),
+        }
+    }
+
+    /// Display label matching the paper's plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Mc => "MC",
+            BackendKind::Rr => "RR",
+            BackendKind::Lazy => "LAZY",
+            BackendKind::Tim => "TIM",
+            BackendKind::Exact => "EXACT",
+        }
+    }
+}
+
+/// INDEXEST backend over a prebuilt index.
+pub fn index_backend<'a>(index: &'a RrIndex) -> Box<dyn SpreadEstimator + 'a> {
+    Box::new(IndexEstimator::new(index))
+}
+
+/// INDEXEST+ backend over a prebuilt index.
+pub fn index_plus_backend<'a>(
+    model: &'a TicModel,
+    index: &'a RrIndex,
+) -> Box<dyn SpreadEstimator + 'a> {
+    Box::new(IndexPlusEstimator::new(index, model.edge_topics()))
+}
+
+/// DELAYMAT backend over a prebuilt counter index.
+pub fn delay_backend<'a>(
+    model: &'a TicModel,
+    index: &'a DelayMatIndex,
+    seed: u64,
+) -> Box<dyn SpreadEstimator + 'a> {
+    Box::new(DelayMatEstimator::new(index, model.edge_topics(), seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_model::{FixedEdgeProbs, TicModel};
+    use pitex_sampling::SamplingParams;
+
+    #[test]
+    fn labels_match_estimator_names() {
+        let model = TicModel::paper_example();
+        for kind in [
+            BackendKind::Mc,
+            BackendKind::Rr,
+            BackendKind::Lazy,
+            BackendKind::Tim,
+            BackendKind::Exact,
+        ] {
+            let est = kind.make(&model);
+            assert_eq!(est.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn all_online_backends_estimate_a_certain_path() {
+        let model = TicModel::paper_example();
+        let params = SamplingParams::enumeration(0.5, 100.0, 4, 2).with_fixed_budget(500);
+        for kind in BackendKind::ONLINE {
+            let mut est = kind.make(&model);
+            let mut probs = FixedEdgeProbs::uniform(model.graph().num_edges(), 1.0);
+            let e = est.estimate(model.graph(), 2, &mut probs, &params);
+            // From u3 everything downstream (u4, u6, u7) is reachable.
+            assert_eq!(e.spread, 4.0, "{}", kind.label());
+        }
+    }
+}

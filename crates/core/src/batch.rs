@@ -1,0 +1,101 @@
+//! Parallel batch query execution.
+//!
+//! A PITEX deployment answers many independent queries (the paper's own
+//! evaluation runs 100 per configuration); they parallelize trivially
+//! because the model and indexes are read-only. Each worker thread builds
+//! its own engine from a caller-supplied factory, so any backend —
+//! including index-backed ones — can be used.
+
+use crate::engine::PitexEngine;
+use crate::query::PitexResult;
+use pitex_graph::NodeId;
+
+/// Runs `(user, k)` queries across `threads` workers.
+///
+/// `make_engine` is called once per worker; engines borrow shared read-only
+/// state (model, indexes), which is what makes this safe and cheap.
+/// Results are returned in input order.
+pub fn query_batch<'a, F>(
+    make_engine: F,
+    queries: &[(NodeId, usize)],
+    threads: usize,
+) -> Vec<PitexResult>
+where
+    F: Fn() -> PitexEngine<'a> + Sync,
+{
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 {
+        let mut engine = make_engine();
+        return queries.iter().map(|&(u, k)| engine.query(u, k)).collect();
+    }
+    let mut results: Vec<Option<PitexResult>> = vec![None; queries.len()];
+    let chunk = queries.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slot, work) in results.chunks_mut(chunk).zip(queries.chunks(chunk)) {
+            let make_engine = &make_engine;
+            scope.spawn(move || {
+                let mut engine = make_engine();
+                for (out, &(u, k)) in slot.iter_mut().zip(work) {
+                    *out = Some(engine.query(u, k));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PitexConfig;
+    use pitex_model::TicModel;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let model = TicModel::paper_example();
+        let config = PitexConfig::default();
+        let queries: Vec<(NodeId, usize)> =
+            (0..7u32).map(|u| (u, 2)).chain((0..7u32).map(|u| (u, 1))).collect();
+
+        let sequential = query_batch(|| PitexEngine::with_lazy(&model, config), &queries, 1);
+        let parallel = query_batch(|| PitexEngine::with_lazy(&model, config), &queries, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.tags, b.tags, "user {} k {}", a.user, a.k);
+            assert_eq!(a.spread, b.spread);
+        }
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let model = TicModel::paper_example();
+        let config = PitexConfig::default();
+        let queries: Vec<(NodeId, usize)> = vec![(3, 1), (0, 2), (5, 1), (2, 2)];
+        let results = query_batch(|| PitexEngine::with_exact(&model, config), &queries, 3);
+        let echoed: Vec<(NodeId, usize)> = results.iter().map(|r| (r.user, r.k)).collect();
+        assert_eq!(echoed, queries);
+    }
+
+    #[test]
+    fn more_threads_than_queries_is_fine() {
+        let model = TicModel::paper_example();
+        let config = PitexConfig::default();
+        let results = query_batch(|| PitexEngine::with_exact(&model, config), &[(0, 2)], 16);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn index_backends_parallelize() {
+        let model = TicModel::paper_example();
+        let index = pitex_index::RrIndex::build(
+            &model,
+            pitex_index::IndexBudget::Fixed(3_000),
+            3,
+        );
+        let config = PitexConfig::default();
+        let queries: Vec<(NodeId, usize)> = (0..7u32).map(|u| (u, 2)).collect();
+        let results =
+            query_batch(|| PitexEngine::with_index_plus(&model, &index, config), &queries, 4);
+        assert_eq!(results.len(), 7);
+    }
+}

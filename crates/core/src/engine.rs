@@ -1,0 +1,592 @@
+//! The PITEX query engine: enumeration (§4) and best-effort exploration
+//! (§5.2, Algo. 5).
+
+use crate::query::{PitexResult, QueryStats};
+use crate::OrdF64;
+use pitex_graph::NodeId;
+use pitex_index::{DelayMatEstimator, DelayMatIndex, IndexEstimator, IndexPlusEstimator, RrIndex};
+use pitex_model::bound::UpperBoundEdgeProbs;
+use pitex_model::combi::KSubsets;
+use pitex_model::{
+    BoundOracle, EdgeProbCache, PosteriorEdgeProbs, TagId, TagSet, TicModel,
+};
+use pitex_sampling::{
+    ExactEstimator, LazySampler, McSampler, RrSampler, SamplingParams, SpreadEstimator,
+};
+use pitex_support::Timer;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How the space of tag sets is searched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExplorationStrategy {
+    /// Algo. 5: heap-ordered partial sets with Lemma-8 upper-bound pruning.
+    /// The paper's default for every reported method (§7.3).
+    #[default]
+    BestEffort,
+    /// The §4 baseline: estimate every feasible size-`k` set.
+    Enumerate,
+}
+
+/// Engine configuration (paper defaults: ε = 0.7, δ = 1000).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PitexConfig {
+    /// Relative error target ε of the sampling guarantee.
+    pub epsilon: f64,
+    /// Confidence parameter δ (results hold with probability 1 − δ⁻¹).
+    pub delta: f64,
+    /// RNG seed for all sampling backends.
+    pub seed: u64,
+    /// Search strategy.
+    pub strategy: ExplorationStrategy,
+}
+
+impl Default for PitexConfig {
+    fn default() -> Self {
+        Self { epsilon: 0.7, delta: 1000.0, seed: 0x517c_c1b7, strategy: ExplorationStrategy::BestEffort }
+    }
+}
+
+/// The PITEX query engine, generic over its spread-estimation backend.
+pub struct PitexEngine<'a> {
+    model: &'a TicModel,
+    estimator: Box<dyn SpreadEstimator + 'a>,
+    oracle: BoundOracle,
+    cache: EdgeProbCache,
+    config: PitexConfig,
+}
+
+impl<'a> PitexEngine<'a> {
+    /// Builds an engine around an arbitrary backend.
+    pub fn new(
+        model: &'a TicModel,
+        estimator: Box<dyn SpreadEstimator + 'a>,
+        config: PitexConfig,
+    ) -> Self {
+        let oracle = BoundOracle::new(model.tag_topic());
+        let cache = model.new_prob_cache();
+        Self { model, estimator, oracle, cache, config }
+    }
+
+    /// Engine with the exact possible-world evaluator (tiny graphs only).
+    pub fn with_exact(model: &'a TicModel, config: PitexConfig) -> Self {
+        Self::new(model, Box::new(ExactEstimator::new()), config)
+    }
+
+    /// Engine with Monte-Carlo sampling (the paper's MC).
+    pub fn with_mc(model: &'a TicModel, config: PitexConfig) -> Self {
+        Self::new(model, Box::new(McSampler::new(model.graph().num_nodes())), config)
+    }
+
+    /// Engine with reverse-reachable sampling (the paper's RR).
+    pub fn with_rr(model: &'a TicModel, config: PitexConfig) -> Self {
+        Self::new(model, Box::new(RrSampler::new(model.graph().num_nodes())), config)
+    }
+
+    /// Engine with lazy propagation sampling (the paper's LAZY).
+    pub fn with_lazy(model: &'a TicModel, config: PitexConfig) -> Self {
+        Self::new(model, Box::new(LazySampler::new(model.graph().num_nodes())), config)
+    }
+
+    /// Engine with the tree-based TIM baseline.
+    pub fn with_tim(model: &'a TicModel, config: PitexConfig) -> Self {
+        Self::new(
+            model,
+            Box::new(crate::tim::TimEstimator::new(model.graph().num_nodes())),
+            config,
+        )
+    }
+
+    /// Engine with Linear Threshold propagation (footnote 1 of the paper):
+    /// tag-aware edge weights drive the LT live-edge process instead of IC.
+    pub fn with_lt(model: &'a TicModel, config: PitexConfig) -> Self {
+        Self::new(
+            model,
+            Box::new(pitex_sampling::LtSampler::new(model.graph().num_nodes())),
+            config,
+        )
+    }
+
+    /// Engine with the plain RR-Graph index (INDEXEST).
+    pub fn with_index(model: &'a TicModel, index: &'a RrIndex, config: PitexConfig) -> Self {
+        Self::new(model, Box::new(IndexEstimator::new(index)), config)
+    }
+
+    /// Engine with the edge-cut-filtered index (INDEXEST+).
+    pub fn with_index_plus(model: &'a TicModel, index: &'a RrIndex, config: PitexConfig) -> Self {
+        Self::new(
+            model,
+            Box::new(IndexPlusEstimator::new(index, model.edge_topics())),
+            config,
+        )
+    }
+
+    /// Engine with the delay-materialized index (DELAYMAT).
+    pub fn with_delay(
+        model: &'a TicModel,
+        index: &'a DelayMatIndex,
+        config: PitexConfig,
+    ) -> Self {
+        let seed = config.seed;
+        Self::new(
+            model,
+            Box::new(DelayMatEstimator::new(index, model.edge_topics(), seed)),
+            config,
+        )
+    }
+
+    /// The backend's display name (matches the paper's method labels).
+    pub fn backend_name(&self) -> &'static str {
+        self.estimator.name()
+    }
+
+    pub fn config(&self) -> &PitexConfig {
+        &self.config
+    }
+
+    pub fn model(&self) -> &'a TicModel {
+        self.model
+    }
+
+    /// Sampling parameters for a query of size `k` under the configured
+    /// strategy (the union bound covers the candidate space actually
+    /// searched — `C(|Ω|,k)` for enumeration, `φ_k` for best-effort).
+    pub fn sampling_params(&self, k: usize) -> SamplingParams {
+        let base = match self.config.strategy {
+            ExplorationStrategy::Enumerate => SamplingParams::enumeration(
+                self.config.epsilon,
+                self.config.delta,
+                self.model.num_tags(),
+                k,
+            ),
+            ExplorationStrategy::BestEffort => SamplingParams::best_effort(
+                self.config.epsilon,
+                self.config.delta,
+                self.model.num_tags(),
+                k,
+            ),
+        };
+        base.with_seed(self.config.seed)
+    }
+
+    /// Answers the PITEX query `(user, k)` (Def. 1).
+    ///
+    /// # Panics
+    /// If `k` is 0 or `user` is out of range.
+    pub fn query(&mut self, user: NodeId, k: usize) -> PitexResult {
+        assert!(k >= 1, "PITEX queries select at least one tag");
+        assert!(
+            (user as usize) < self.model.graph().num_nodes(),
+            "user {user} out of range"
+        );
+        let k = k.min(self.model.num_tags());
+        let params = self.sampling_params(k);
+        let timer = Timer::start();
+        let (tags, spread, mut stats) = match self.config.strategy {
+            ExplorationStrategy::Enumerate => self.enumerate(user, k, &params),
+            ExplorationStrategy::BestEffort => self.best_effort(user, k, &params),
+        };
+        stats.elapsed = timer.elapsed();
+        PitexResult { user, k, tags, spread, stats }
+    }
+
+    /// Estimates the spread of one concrete tag set under the engine's
+    /// backend and accuracy parameters (public building block; the query
+    /// loop uses the same path).
+    pub fn estimate_tag_set(&mut self, user: NodeId, tags: &TagSet) -> f64 {
+        let params = self.sampling_params(tags.len().max(1));
+        let mut stats = QueryStats::default();
+        self.estimate_full(user, tags, &params, &mut stats)
+    }
+
+    /// Exploration variant of the PITEX query: the `n` best size-`k` tag
+    /// sets ranked by estimated spread, descending. Supports the paper's
+    /// "explore how she influences the network" use case beyond a single
+    /// argmax — a user inspecting their selling points wants a ranking.
+    ///
+    /// Best-effort pruning remains sound: a partial set is pruned only when
+    /// its upper bound cannot beat the *n-th best* incumbent.
+    pub fn query_top_n(&mut self, user: NodeId, k: usize, n: usize) -> Vec<(TagSet, f64)> {
+        assert!(k >= 1 && n >= 1);
+        assert!((user as usize) < self.model.graph().num_nodes());
+        let k = k.min(self.model.num_tags());
+        let params = self.sampling_params(k);
+        let mut stats = QueryStats::default();
+
+        // Min-heap of the current top n (by spread, ties to larger sets
+        // pruned deterministically via the set ordering).
+        let mut top: BinaryHeap<Reverse<(OrdF64, Reverse<TagSet>)>> = BinaryHeap::new();
+        let offer = |top: &mut BinaryHeap<Reverse<(OrdF64, Reverse<TagSet>)>>,
+                         tags: TagSet,
+                         spread: f64| {
+            top.push(Reverse((OrdF64(spread), Reverse(tags))));
+            if top.len() > n {
+                top.pop();
+            }
+        };
+        let nth_best = |top: &BinaryHeap<Reverse<(OrdF64, Reverse<TagSet>)>>| -> f64 {
+            if top.len() < n {
+                f64::NEG_INFINITY
+            } else {
+                top.peek().map(|Reverse((OrdF64(s), _))| *s).unwrap_or(f64::NEG_INFINITY)
+            }
+        };
+
+        match self.config.strategy {
+            ExplorationStrategy::Enumerate => {
+                for subset in KSubsets::new(self.model.num_tags() as u32, k) {
+                    let tags = TagSet::new(subset);
+                    let spread = self.estimate_full(user, &tags, &params, &mut stats);
+                    offer(&mut top, tags, spread);
+                }
+            }
+            ExplorationStrategy::BestEffort => {
+                let num_tags = self.model.num_tags() as TagId;
+                let mut heap: BinaryHeap<(OrdF64, Reverse<TagSet>)> = BinaryHeap::new();
+                heap.push((OrdF64(f64::INFINITY), Reverse(TagSet::empty())));
+                while let Some((OrdF64(inherited), Reverse(tags))) = heap.pop() {
+                    if inherited <= nth_best(&top) {
+                        break;
+                    }
+                    if tags.len() == k {
+                        let spread = self.estimate_full(user, &tags, &params, &mut stats);
+                        offer(&mut top, tags, spread);
+                        continue;
+                    }
+                    let bound = self.estimate_bound(user, &tags, k, &params, &mut stats);
+                    if bound <= nth_best(&top) {
+                        continue;
+                    }
+                    let limit = tags.min_tag().unwrap_or(num_tags);
+                    for w in 0..limit {
+                        heap.push((OrdF64(bound.min(inherited)), Reverse(tags.with(w))));
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(TagSet, f64)> = top
+            .into_iter()
+            .map(|Reverse((OrdF64(s), Reverse(tags)))| (tags, s))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Estimates a full-size candidate; infeasible sets cost nothing and
+    /// spread exactly 1 (only the user herself is active).
+    fn estimate_full(
+        &mut self,
+        user: NodeId,
+        tags: &TagSet,
+        params: &SamplingParams,
+        stats: &mut QueryStats,
+    ) -> f64 {
+        let posterior = self.model.posterior(tags);
+        if posterior.is_empty() {
+            stats.tag_sets_infeasible += 1;
+            return 1.0;
+        }
+        stats.tag_sets_evaluated += 1;
+        let mut probs =
+            PosteriorEdgeProbs::new(self.model.edge_topics(), &posterior, &mut self.cache);
+        let est = self.estimator.estimate(self.model.graph(), user, &mut probs, params);
+        stats.absorb(&est);
+        est.spread
+    }
+
+    /// Lemma-8 upper bound on the spread of any size-`k` completion of the
+    /// partial set `tags`, evaluated through the same backend.
+    fn estimate_bound(
+        &mut self,
+        user: NodeId,
+        tags: &TagSet,
+        k: usize,
+        params: &SamplingParams,
+        stats: &mut QueryStats,
+    ) -> f64 {
+        let bounded = self.oracle.bounded_posterior(tags, k);
+        if bounded.is_empty() || bounded.entries().iter().all(|&(_, w)| w == 0.0) {
+            // No topic can carry any completion: every edge bound is 0.
+            return 1.0;
+        }
+        stats.bounds_computed += 1;
+        let mut probs =
+            UpperBoundEdgeProbs::new(self.model.edge_topics(), &bounded, &mut self.cache);
+        let est = self.estimator.estimate(self.model.graph(), user, &mut probs, params);
+        stats.absorb(&est);
+        est.spread
+    }
+
+    /// §4's enumeration framework over all size-`k` subsets.
+    fn enumerate(
+        &mut self,
+        user: NodeId,
+        k: usize,
+        params: &SamplingParams,
+    ) -> (TagSet, f64, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut best: Option<(TagSet, f64)> = None;
+        for subset in KSubsets::new(self.model.num_tags() as u32, k) {
+            let tags = TagSet::new(subset);
+            let spread = self.estimate_full(user, &tags, params, &mut stats);
+            if best.as_ref().map_or(true, |&(_, s)| spread > s) {
+                best = Some((tags, spread));
+            }
+        }
+        let (tags, spread) = best.unwrap_or((TagSet::empty(), 1.0));
+        (tags, spread, stats)
+    }
+
+    /// Algo. 5: best-effort exploration with Lemma-8 pruning.
+    fn best_effort(
+        &mut self,
+        user: NodeId,
+        k: usize,
+        params: &SamplingParams,
+    ) -> (TagSet, f64, QueryStats) {
+        let mut stats = QueryStats::default();
+        let num_tags = self.model.num_tags() as TagId;
+        // Max-heap keyed by the inherited upper bound; ties resolved toward
+        // lexicographically smaller sets for determinism.
+        let mut heap: BinaryHeap<(OrdF64, Reverse<TagSet>)> = BinaryHeap::new();
+        heap.push((OrdF64(f64::INFINITY), Reverse(TagSet::empty())));
+        let mut best: Option<(TagSet, f64)> = None;
+        let mut i_star = f64::NEG_INFINITY;
+
+        while let Some((OrdF64(inherited), Reverse(tags))) = heap.pop() {
+            // The heap is bound-ordered: once the incumbent beats the top,
+            // every remaining entry is prunable at once.
+            if best.is_some() && inherited <= i_star {
+                stats.partials_pruned += 1 + heap.len() as u64;
+                break;
+            }
+            if tags.len() == k {
+                let spread = self.estimate_full(user, &tags, params, &mut stats);
+                if best.is_none() || spread > i_star {
+                    i_star = spread;
+                    best = Some((tags, spread));
+                }
+                continue;
+            }
+            // Partial set: refresh its own (tighter) bound before expanding.
+            let bound = self.estimate_bound(user, &tags, k, params, &mut stats);
+            if best.is_some() && bound <= i_star {
+                stats.partials_pruned += 1;
+                continue;
+            }
+            // Canonical expansion (Appx. C): extend only with tags smaller
+            // than every current member, so each subset is generated once.
+            let limit = tags.min_tag().unwrap_or(num_tags);
+            for w in 0..limit {
+                heap.push((OrdF64(bound.min(inherited)), Reverse(tags.with(w))));
+            }
+        }
+        let (tags, spread) = best.unwrap_or((TagSet::empty(), 1.0));
+        (tags, spread, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_engine(strategy: ExplorationStrategy) -> (TicModel, PitexConfig) {
+        let model = TicModel::paper_example();
+        let config = PitexConfig { strategy, ..PitexConfig::default() };
+        (model, config)
+    }
+
+    #[test]
+    fn paper_example_optimum_exact_backend() {
+        // The paper's Example 1: W* = {w3, w4} for (u1, k = 2).
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut engine = PitexEngine::with_exact(&model, config);
+        let result = engine.query(0, 2);
+        assert_eq!(result.tags, TagSet::from([2, 3]));
+        // E[I(u1|{w3,w4})]: u3 w.p. .5, u6 via u3->u6, u7 via u6->u7.
+        let p13 = model.edge_prob(model.graph().find_edge(0, 2).unwrap(), &result.tags);
+        assert!(result.spread > 1.5 && result.spread < 2.5, "spread {}", result.spread);
+        assert!(p13 > 0.49);
+    }
+
+    #[test]
+    fn best_effort_equals_enumeration_with_exact_backend() {
+        let model = TicModel::paper_example();
+        for user in 0..model.graph().num_nodes() as u32 {
+            for k in 1..=3usize {
+                let mut enumerate = PitexEngine::with_exact(
+                    &model,
+                    PitexConfig { strategy: ExplorationStrategy::Enumerate, ..Default::default() },
+                );
+                let mut besteff = PitexEngine::with_exact(
+                    &model,
+                    PitexConfig { strategy: ExplorationStrategy::BestEffort, ..Default::default() },
+                );
+                let a = enumerate.query(user, k);
+                let b = besteff.query(user, k);
+                assert!(
+                    (a.spread - b.spread).abs() < 1e-9,
+                    "user {user} k {k}: enum {} vs best-effort {}",
+                    a.spread,
+                    b.spread
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_effort_prunes_on_the_paper_example() {
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut engine = PitexEngine::with_exact(&model, config);
+        let result = engine.query(0, 2);
+        let enumerated = {
+            let (model2, config2) = exact_engine(ExplorationStrategy::Enumerate);
+            let mut e = PitexEngine::with_exact(&model2, config2);
+            let r = e.query(0, 2);
+            r.stats.tag_sets_evaluated + r.stats.tag_sets_infeasible
+        };
+        let touched = result.stats.tag_sets_evaluated + result.stats.tag_sets_infeasible;
+        assert!(
+            touched <= enumerated,
+            "best-effort touched {touched} ≥ enumeration's {enumerated}"
+        );
+    }
+
+    #[test]
+    fn lazy_backend_finds_the_paper_optimum() {
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut engine = PitexEngine::with_lazy(&model, config);
+        let result = engine.query(0, 2);
+        assert_eq!(result.tags, TagSet::from([2, 3]), "spread {}", result.spread);
+        assert!(result.stats.samples_used > 0);
+    }
+
+    #[test]
+    fn mc_and_rr_backends_find_the_paper_optimum() {
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut mc = PitexEngine::with_mc(&model, config);
+        assert_eq!(mc.query(0, 2).tags, TagSet::from([2, 3]));
+        let mut rr = PitexEngine::with_rr(&model, config);
+        assert_eq!(rr.query(0, 2).tags, TagSet::from([2, 3]));
+    }
+
+    #[test]
+    fn tim_backend_runs_and_reports_name() {
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut engine = PitexEngine::with_tim(&model, config);
+        assert_eq!(engine.backend_name(), "TIM");
+        let result = engine.query(0, 2);
+        assert_eq!(result.k, 2);
+        assert!(result.spread >= 1.0);
+    }
+
+    #[test]
+    fn k_one_selects_the_single_best_tag() {
+        let (model, config) = exact_engine(ExplorationStrategy::Enumerate);
+        let mut engine = PitexEngine::with_exact(&model, config);
+        let result = engine.query(0, 1);
+        assert_eq!(result.tags.len(), 1);
+        // w3 or w4 (symmetric) dominate: they activate the z3-heavy subtree.
+        assert!(result.tags.contains(2) || result.tags.contains(3));
+    }
+
+    #[test]
+    fn k_clamps_to_tag_count() {
+        let (model, config) = exact_engine(ExplorationStrategy::Enumerate);
+        let mut engine = PitexEngine::with_exact(&model, config);
+        let result = engine.query(0, 99);
+        assert_eq!(result.k, 4);
+        assert_eq!(result.tags.len(), 4, "the only size-|Ω| set");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut a = PitexEngine::with_lazy(&model, config);
+        let mut b = PitexEngine::with_lazy(&model, config);
+        let ra = a.query(0, 2);
+        let rb = b.query(0, 2);
+        assert_eq!(ra.tags, rb.tags);
+        assert_eq!(ra.spread, rb.spread);
+    }
+
+    #[test]
+    fn isolated_user_gets_unit_spread() {
+        // u5 (id 4) has no out-edges: any tag set gives spread 1.
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut engine = PitexEngine::with_exact(&model, config);
+        let result = engine.query(4, 2);
+        assert_eq!(result.spread, 1.0);
+        assert_eq!(result.tags.len(), 2);
+    }
+
+    #[test]
+    fn estimate_tag_set_matches_query_winner() {
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut engine = PitexEngine::with_exact(&model, config);
+        let result = engine.query(0, 2);
+        let direct = engine.estimate_tag_set(0, &result.tags);
+        assert!((direct - result.spread).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_n_ranks_all_pairs_exactly() {
+        let (model, config) = exact_engine(ExplorationStrategy::Enumerate);
+        let mut engine = PitexEngine::with_exact(&model, config);
+        let all = engine.query_top_n(0, 2, 6);
+        assert_eq!(all.len(), 6, "C(4,2) candidates");
+        assert_eq!(all[0].0, TagSet::from([2, 3]), "W* ranks first");
+        for pair in all.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "descending order");
+        }
+        // Top-1 agrees with the plain query.
+        let top1 = engine.query_top_n(0, 2, 1);
+        assert_eq!(top1[0].0, engine.query(0, 2).tags);
+    }
+
+    #[test]
+    fn top_n_best_effort_matches_enumeration() {
+        let (model, _) = exact_engine(ExplorationStrategy::BestEffort);
+        for n in [1usize, 2, 3, 6] {
+            let mut enumerate = PitexEngine::with_exact(
+                &model,
+                PitexConfig { strategy: ExplorationStrategy::Enumerate, ..Default::default() },
+            );
+            let mut besteff = PitexEngine::with_exact(
+                &model,
+                PitexConfig { strategy: ExplorationStrategy::BestEffort, ..Default::default() },
+            );
+            let a = enumerate.query_top_n(0, 2, n);
+            let b = besteff.query_top_n(0, 2, n);
+            assert_eq!(a.len(), b.len(), "n = {n}");
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.1 - y.1).abs() < 1e-9, "n = {n}: {} vs {}", x.1, y.1);
+            }
+        }
+    }
+
+    #[test]
+    fn lt_backend_answers_the_paper_query() {
+        // Under LT the live subgraph for {w3, w4} is tree-like, so the
+        // ranking matches IC on this example.
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        let mut engine = PitexEngine::with_lt(&model, config);
+        assert_eq!(engine.backend_name(), "LT");
+        let result = engine.query(0, 2);
+        assert_eq!(result.tags, TagSet::from([2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tag")]
+    fn rejects_k_zero() {
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        PitexEngine::with_exact(&model, config).query(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_user() {
+        let (model, config) = exact_engine(ExplorationStrategy::BestEffort);
+        PitexEngine::with_exact(&model, config).query(99, 1);
+    }
+}

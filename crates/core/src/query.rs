@@ -1,0 +1,70 @@
+//! Query result and statistics types.
+
+use pitex_graph::NodeId;
+use pitex_model::TagSet;
+use std::time::Duration;
+
+/// Diagnostics of one PITEX query — the quantities the paper's evaluation
+/// plots (running time, edge visits) plus pruning effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Size-`k` tag sets whose influence was actually estimated.
+    pub tag_sets_evaluated: u64,
+    /// Size-`k` tag sets skipped because their posterior is empty
+    /// (infeasible combinations — spread is exactly 1).
+    pub tag_sets_infeasible: u64,
+    /// Partial tag sets pruned by the Lemma-8 upper bound, counting the
+    /// *subtrees* cut (each prune removes every completion at once).
+    pub partials_pruned: u64,
+    /// Upper-bound estimations performed.
+    pub bounds_computed: u64,
+    /// Total sample instances drawn across all estimations.
+    pub samples_used: u64,
+    /// Total edge probes across all estimations (Fig. 13's metric).
+    pub edges_visited: u64,
+    /// Wall-clock time of the query.
+    pub elapsed: Duration,
+}
+
+impl QueryStats {
+    pub(crate) fn absorb(&mut self, est: &pitex_sampling::Estimate) {
+        self.samples_used += est.samples_used;
+        self.edges_visited += est.edges_visited;
+    }
+}
+
+/// The answer to a PITEX query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PitexResult {
+    /// The query user.
+    pub user: NodeId,
+    /// Requested tag-set size `k`.
+    pub k: usize,
+    /// The selected tag set `W*` (may have fewer than `k` tags only when
+    /// `|Ω| < k`).
+    pub tags: TagSet,
+    /// Estimated spread `Ê[I(u|W*)]`.
+    pub spread: f64,
+    /// Query diagnostics.
+    pub stats: QueryStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut stats = QueryStats::default();
+        let est = pitex_sampling::Estimate {
+            spread: 2.0,
+            samples_used: 10,
+            edges_visited: 100,
+            reachable: 5,
+        };
+        stats.absorb(&est);
+        stats.absorb(&est);
+        assert_eq!(stats.samples_used, 20);
+        assert_eq!(stats.edges_visited, 200);
+    }
+}

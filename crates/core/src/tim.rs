@@ -1,0 +1,216 @@
+//! The TIM baseline: tree-based influence estimation (§7.1's comparator,
+//! after Chen et al.\[6\]).
+//!
+//! TIM approximates the activation probability of each vertex by its
+//! **maximum-influence path** from the query user — a shortest path under
+//! the weight `−ln p(e|W)` — and sums those probabilities over all vertices
+//! whose path probability exceeds a threshold `η` ("shortest path search to
+//! a limited number of vertices", §7.3). No sampling, hence fast; but paths
+//! ignore the union over multiple routes, so the estimate has **no
+//! approximation guarantee** and systematically under-counts well-connected
+//! regions — the behaviour Fig. 8 shows as inferior influence spreads.
+
+use crate::OrdF64;
+use pitex_graph::{DiGraph, NodeId};
+use pitex_model::EdgeProbs;
+use pitex_sampling::{Estimate, SamplingParams, SpreadEstimator};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tree-based (maximum influence path) spread estimator.
+#[derive(Debug)]
+pub struct TimEstimator {
+    /// Paths with probability below this threshold are not expanded
+    /// (the paper's TIM truncates its tree the same way; default 0.01).
+    pub path_threshold: f64,
+    dist_epoch: Vec<u32>,
+    dist: Vec<f64>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+}
+
+impl TimEstimator {
+    pub fn new(num_nodes: usize) -> Self {
+        Self::with_threshold(num_nodes, 0.01)
+    }
+
+    pub fn with_threshold(num_nodes: usize, path_threshold: f64) -> Self {
+        assert!((0.0..1.0).contains(&path_threshold));
+        Self {
+            path_threshold,
+            dist_epoch: vec![0; num_nodes],
+            dist: vec![f64::INFINITY; num_nodes],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn grow(&mut self, n: usize) {
+        if n > self.dist.len() {
+            self.dist_epoch.resize(n, 0);
+            self.dist.resize(n, f64::INFINITY);
+        }
+    }
+}
+
+impl SpreadEstimator for TimEstimator {
+    fn estimate(
+        &mut self,
+        graph: &DiGraph,
+        user: NodeId,
+        probs: &mut dyn EdgeProbs,
+        _params: &SamplingParams,
+    ) -> Estimate {
+        self.grow(graph.num_nodes());
+        if self.epoch == u32::MAX {
+            self.dist_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.heap.clear();
+
+        // Dijkstra on w(e) = −ln p(e|W); dist(v) = −ln of the max-influence
+        // path probability. Truncate below −ln η.
+        let max_dist = -self.path_threshold.ln();
+        let mut edges_visited = 0u64;
+        let mut spread = 0.0f64;
+        let mut reached = 0usize;
+
+        let set_dist = |this: &mut Self, v: NodeId, d: f64| {
+            this.dist_epoch[v as usize] = this.epoch;
+            this.dist[v as usize] = d;
+        };
+        let get_dist = |this: &Self, v: NodeId| -> f64 {
+            if this.dist_epoch[v as usize] == this.epoch {
+                this.dist[v as usize]
+            } else {
+                f64::INFINITY
+            }
+        };
+
+        set_dist(self, user, 0.0);
+        self.heap.push(Reverse((OrdF64(0.0), user)));
+        while let Some(Reverse((OrdF64(d), v))) = self.heap.pop() {
+            if d > get_dist(self, v) {
+                continue; // stale entry
+            }
+            spread += (-d).exp();
+            reached += 1;
+            for (e, t) in graph.out_edges(v) {
+                edges_visited += 1;
+                let p = probs.prob(e);
+                if p <= 0.0 {
+                    continue;
+                }
+                let nd = d - p.min(1.0).ln();
+                if nd <= max_dist && nd < get_dist(self, t) {
+                    set_dist(self, t, nd);
+                    self.heap.push(Reverse((OrdF64(nd), t)));
+                }
+            }
+        }
+
+        Estimate { spread, samples_used: 0, edges_visited, reachable: reached }
+    }
+
+    fn name(&self) -> &'static str {
+        "TIM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_graph::gen;
+    use pitex_model::FixedEdgeProbs;
+    use pitex_sampling::exact_spread;
+
+    fn params() -> SamplingParams {
+        SamplingParams::enumeration(0.7, 1000.0, 10, 2)
+    }
+
+    #[test]
+    fn exact_on_paths() {
+        // On a path the max-influence path is the only path: TIM is exact.
+        let g = gen::path(4);
+        let p = 0.5f64;
+        let mut probs = FixedEdgeProbs::uniform(3, p);
+        let mut tim = TimEstimator::new(g.num_nodes());
+        let est = tim.estimate(&g, 0, &mut probs, &params());
+        let expected = 1.0 + p + p * p + p * p * p;
+        assert!((est.spread - expected).abs() < 1e-9, "got {}", est.spread);
+    }
+
+    #[test]
+    fn underestimates_diamonds() {
+        // Two parallel routes: the true activation probability of the sink
+        // exceeds any single path's probability — TIM must undercount.
+        let mut b = pitex_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let mut probs = FixedEdgeProbs::uniform(4, 0.6);
+        let mut tim = TimEstimator::with_threshold(g.num_nodes(), 1e-6);
+        let tim_spread = tim.estimate(&g, 0, &mut probs, &params()).spread;
+        let exact = exact_spread(&g, 0, &mut probs);
+        assert!(
+            tim_spread < exact - 0.05,
+            "tim {tim_spread} should undercount exact {exact}"
+        );
+    }
+
+    #[test]
+    fn threshold_truncates_far_vertices() {
+        // p = 0.5 per hop and η = 0.3: only one hop survives.
+        let g = gen::path(5);
+        let mut probs = FixedEdgeProbs::uniform(4, 0.5);
+        let mut tim = TimEstimator::with_threshold(g.num_nodes(), 0.3);
+        let est = tim.estimate(&g, 0, &mut probs, &params());
+        assert_eq!(est.reachable, 2, "vertices beyond path prob 0.25 are cut");
+        assert!((est.spread - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_the_best_path_not_the_first() {
+        // 0->1->3 with probs 0.9·0.9 = 0.81 beats direct 0->3 with 0.5.
+        let mut b = pitex_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 3);
+        b.add_edge(0, 3);
+        let g = b.build();
+        let e01 = g.find_edge(0, 1).unwrap() as usize;
+        let e13 = g.find_edge(1, 3).unwrap() as usize;
+        let e03 = g.find_edge(0, 3).unwrap() as usize;
+        let mut raw = vec![0.0; 3];
+        raw[e01] = 0.9;
+        raw[e13] = 0.9;
+        raw[e03] = 0.5;
+        let mut probs = FixedEdgeProbs::new(raw);
+        let mut tim = TimEstimator::with_threshold(g.num_nodes(), 1e-9);
+        let est = tim.estimate(&g, 0, &mut probs, &params());
+        // spread = 1 + 0.9 + max(0.81, 0.5)
+        assert!((est.spread - 2.71).abs() < 1e-9, "got {}", est.spread);
+    }
+
+    #[test]
+    fn no_sampling_cost() {
+        let g = gen::star_low_impact(100);
+        let mut probs = FixedEdgeProbs::uniform(100, 0.5);
+        let mut tim = TimEstimator::new(g.num_nodes());
+        let est = tim.estimate(&g, 0, &mut probs, &params());
+        assert_eq!(est.samples_used, 0);
+        assert!(est.edges_visited <= 100);
+    }
+
+    #[test]
+    fn state_resets_between_calls() {
+        let g = gen::path(3);
+        let mut tim = TimEstimator::with_threshold(g.num_nodes(), 1e-9);
+        let mut hot = FixedEdgeProbs::uniform(2, 1.0);
+        assert_eq!(tim.estimate(&g, 0, &mut hot, &params()).spread, 3.0);
+        let mut cold = FixedEdgeProbs::uniform(2, 0.0);
+        assert_eq!(tim.estimate(&g, 0, &mut cold, &params()).spread, 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic evaluation datasets for PITEX.
+//!
+//! The paper evaluates on four real networks (Table 2): lastfm, diggs, dblp
+//! and twitter. Those datasets pair a social graph with TIC parameters
+//! learned from action logs; neither the graphs nor the logs ship with the
+//! paper, so this crate generates synthetic stand-ins that match the
+//! properties PITEX's behaviour actually depends on: vertex/edge counts (and
+//! the `|E|/|V|` ratio), topic and tag vocabulary sizes, tag–topic density,
+//! heavy-tailed degree distributions, and weighted-cascade edge
+//! probabilities.
+//!
+//! * [`profiles`] — the four named dataset profiles with paper-faithful
+//!   parameters and a scale knob for laptop-duration benchmarks;
+//! * [`workload`] — the §7.1 query workload: users bucketed into high
+//!   (top 1%), mid (top 1–10%) and low out-degree groups;
+//! * [`case_study`] — a planted-communities generator reproducing the
+//!   Table 4 case study with an objective accuracy metric;
+//! * [`stats`] — Table 2-style dataset statistics.
+
+pub mod case_study;
+pub mod profiles;
+pub mod stats;
+pub mod workload;
+
+pub use case_study::{CaseStudy, CaseStudyConfig};
+pub use profiles::DatasetProfile;
+pub use stats::DatasetStats;
+pub use workload::{UserGroup, UserGroups};

@@ -1,0 +1,88 @@
+//! Dataset statistics (Table 2 of the paper).
+
+use pitex_model::TicModel;
+
+/// One row of Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    pub name: String,
+    pub num_nodes: usize,
+    pub num_edges: usize,
+    pub edge_node_ratio: f64,
+    pub num_topics: usize,
+    pub num_tags: usize,
+    pub tag_topic_density: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a generated model.
+    pub fn compute(name: &str, model: &TicModel) -> Self {
+        let v = model.graph().num_nodes();
+        let e = model.graph().num_edges();
+        Self {
+            name: name.to_string(),
+            num_nodes: v,
+            num_edges: e,
+            edge_node_ratio: if v > 0 { e as f64 / v as f64 } else { 0.0 },
+            num_topics: model.num_topics(),
+            num_tags: model.num_tags(),
+            tag_topic_density: model.tag_topic().density(),
+        }
+    }
+
+    /// Table header matching the paper's columns (plus the density the
+    /// paper reports in the §7.3 footnote).
+    pub fn header() -> String {
+        format!(
+            "{:<10} {:>10} {:>12} {:>8} {:>5} {:>5} {:>9}",
+            "dataset", "|V|", "|E|", "|E|/|V|", "|Z|", "|Ω|", "density"
+        )
+    }
+
+    /// One formatted row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<10} {:>10} {:>12} {:>8.1} {:>5} {:>5} {:>9.2}",
+            self.name,
+            self.num_nodes,
+            self.num_edges,
+            self.edge_node_ratio,
+            self.num_topics,
+            self.num_tags,
+            self.tag_topic_density
+        )
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_model::TicModel;
+
+    #[test]
+    fn computes_paper_example_stats() {
+        let model = TicModel::paper_example();
+        let stats = DatasetStats::compute("fig2", &model);
+        assert_eq!(stats.num_nodes, 7);
+        assert_eq!(stats.num_edges, 7);
+        assert_eq!(stats.num_topics, 3);
+        assert_eq!(stats.num_tags, 4);
+        assert!((stats.edge_node_ratio - 1.0).abs() < 1e-12);
+        assert!((stats.tag_topic_density - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_render_consistently() {
+        let model = TicModel::paper_example();
+        let stats = DatasetStats::compute("fig2", &model);
+        assert!(stats.row().contains("fig2"));
+        assert_eq!(DatasetStats::header().is_empty(), false);
+        assert_eq!(format!("{stats}"), stats.row());
+    }
+}

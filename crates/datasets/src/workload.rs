@@ -1,0 +1,174 @@
+//! Query workload generation (§7.1).
+//!
+//! "We filter users with no outgoing edge and divide the rest of the users
+//! into three groups based on their out-degrees: high (top 1%), mid (top
+//! 1–10%) and low (the rest) ... For each user group, we generate 100 PITEX
+//! queries with randomly selected users within the group."
+
+use pitex_graph::{DiGraph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The out-degree bucket a query user is drawn from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UserGroup {
+    /// Top 1% by out-degree.
+    High,
+    /// Top 1–10%.
+    Mid,
+    /// The remaining ~90%.
+    Low,
+}
+
+impl UserGroup {
+    /// All groups in the paper's plotting order.
+    pub const ALL: [UserGroup; 3] = [UserGroup::High, UserGroup::Mid, UserGroup::Low];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            UserGroup::High => "high",
+            UserGroup::Mid => "mid",
+            UserGroup::Low => "low",
+        }
+    }
+}
+
+/// Users partitioned by out-degree percentile (zero-out-degree users are
+/// excluded entirely, as in the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UserGroups {
+    high: Vec<NodeId>,
+    mid: Vec<NodeId>,
+    low: Vec<NodeId>,
+}
+
+impl UserGroups {
+    /// Buckets all users of `graph` with out-degree ≥ 1.
+    pub fn from_graph(graph: &DiGraph) -> Self {
+        let mut eligible: Vec<NodeId> =
+            graph.nodes().filter(|&v| graph.out_degree(v) > 0).collect();
+        eligible.sort_by_key(|&v| (std::cmp::Reverse(graph.out_degree(v)), v));
+        let n = eligible.len();
+        let high_end = (n as f64 * 0.01).ceil() as usize;
+        let mid_end = (n as f64 * 0.10).ceil() as usize;
+        let high_end = high_end.clamp(usize::from(n > 0), n);
+        let mid_end = mid_end.clamp(high_end, n);
+        Self {
+            high: eligible[..high_end].to_vec(),
+            mid: eligible[high_end..mid_end].to_vec(),
+            low: eligible[mid_end..].to_vec(),
+        }
+    }
+
+    /// Members of a group (sorted by descending out-degree).
+    pub fn members(&self, group: UserGroup) -> &[NodeId] {
+        match group {
+            UserGroup::High => &self.high,
+            UserGroup::Mid => &self.mid,
+            UserGroup::Low => &self.low,
+        }
+    }
+
+    /// Draws `count` query users from a group (with replacement only if the
+    /// group is smaller than `count`).
+    pub fn sample<R: Rng>(&self, group: UserGroup, count: usize, rng: &mut R) -> Vec<NodeId> {
+        let members = self.members(group);
+        assert!(!members.is_empty(), "group {group:?} is empty");
+        if members.len() >= count {
+            let mut picked: Vec<NodeId> = members
+                .choose_multiple(rng, count)
+                .copied()
+                .collect();
+            picked.sort_unstable();
+            picked
+        } else {
+            (0..count).map(|_| *members.choose(rng).unwrap()).collect()
+        }
+    }
+
+    /// Total eligible users.
+    pub fn eligible(&self) -> usize {
+        self.high.len() + self.mid.len() + self.low.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> DiGraph {
+        let mut rng = StdRng::seed_from_u64(3);
+        gen::preferential_attachment(2_000, 3, 0.3, &mut rng)
+    }
+
+    #[test]
+    fn groups_partition_eligible_users() {
+        let g = graph();
+        let groups = UserGroups::from_graph(&g);
+        let eligible = g.nodes().filter(|&v| g.out_degree(v) > 0).count();
+        assert_eq!(groups.eligible(), eligible);
+        // Rough percentile sizes.
+        assert!(groups.members(UserGroup::High).len() >= eligible / 200);
+        assert!(groups.members(UserGroup::High).len() <= eligible / 50);
+        assert!(groups.members(UserGroup::Low).len() > eligible / 2);
+    }
+
+    #[test]
+    fn high_group_has_highest_degrees() {
+        let g = graph();
+        let groups = UserGroups::from_graph(&g);
+        let min_high = groups
+            .members(UserGroup::High)
+            .iter()
+            .map(|&v| g.out_degree(v))
+            .min()
+            .unwrap();
+        let max_mid = groups
+            .members(UserGroup::Mid)
+            .iter()
+            .map(|&v| g.out_degree(v))
+            .max()
+            .unwrap();
+        let max_low = groups
+            .members(UserGroup::Low)
+            .iter()
+            .map(|&v| g.out_degree(v))
+            .max()
+            .unwrap();
+        assert!(min_high >= max_mid);
+        assert!(max_mid >= max_low);
+    }
+
+    #[test]
+    fn zero_out_degree_users_are_excluded() {
+        let g = gen::star_low_impact(50); // 50 leaves with no out-edges
+        let groups = UserGroups::from_graph(&g);
+        assert_eq!(groups.eligible(), 1, "only the root has out-edges");
+    }
+
+    #[test]
+    fn sampling_is_within_group_and_deterministic() {
+        let g = graph();
+        let groups = UserGroups::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = groups.sample(UserGroup::Mid, 20, &mut rng);
+        assert_eq!(q.len(), 20);
+        for u in &q {
+            assert!(groups.members(UserGroup::Mid).contains(u));
+        }
+        let mut rng2 = StdRng::seed_from_u64(5);
+        assert_eq!(q, groups.sample(UserGroup::Mid, 20, &mut rng2));
+    }
+
+    #[test]
+    fn small_groups_sample_with_replacement() {
+        let g = gen::path(30); // every vertex except the last has degree 1
+        let groups = UserGroups::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = groups.sample(UserGroup::High, 10, &mut rng);
+        assert_eq!(q.len(), 10);
+    }
+}

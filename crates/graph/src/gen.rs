@@ -1,0 +1,236 @@
+//! Synthetic graph generators for the PITEX evaluation.
+//!
+//! The paper evaluates on four real social networks (Table 2). We reproduce
+//! their *shape* with standard generators: preferential attachment for
+//! power-law degree distributions (lastfm/diggs/dblp-like) and a sparse
+//! Erdős–Rényi layer for the low-density twitter retweet graph. The two
+//! adversarial graphs of Fig. 3 — where MC respectively RR degrade to
+//! quadratic cost — are reproduced verbatim for the complexity experiments.
+
+use crate::csr::{DiGraph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Directed Erdős–Rényi `G(n, m)`: `m` distinct edges drawn uniformly.
+///
+/// Uses rejection sampling; keeps `m` well below `n·(n−1)` or generation
+/// degenerates (asserted).
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> DiGraph {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1);
+    assert!(m <= max_edges / 2, "requested density too high for rejection sampling");
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve_edges(m);
+    let mut seen = pitex_support::FxHashSet::default();
+    seen.reserve(m * 2);
+    while seen.len() < m {
+        let s = rng.gen_range(0..n as u32);
+        let t = rng.gen_range(0..n as u32);
+        if s != t && seen.insert((s, t)) {
+            builder.add_edge(s, t);
+        }
+    }
+    builder.build()
+}
+
+/// Directed preferential attachment (Bollobás-style): vertices arrive one at
+/// a time and attach `m_per_node` out-edges; targets are chosen proportional
+/// to in-degree + 1. Produces the heavy-tailed in-degree distribution of
+/// follower networks; each new vertex also receives an edge from a random
+/// earlier vertex with probability `back_prob`, creating the hubs with large
+/// *out*-degree that the paper's "high" query group needs.
+pub fn preferential_attachment<R: Rng>(
+    n: usize,
+    m_per_node: usize,
+    back_prob: f64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(n >= 2 && m_per_node >= 1);
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve_edges(n * m_per_node);
+    // Repeated-target list: each time v gains an in-edge we push v, so a
+    // uniform draw from the list is proportional to (in-degree + 1).
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m_per_node);
+    targets.push(0);
+    for v in 1..n as u32 {
+        let picks = m_per_node.min(v as usize);
+        for _ in 0..picks {
+            let t = *targets.choose(rng).expect("target list non-empty");
+            if t != v {
+                builder.add_edge(v, t);
+                targets.push(t);
+            }
+        }
+        if rng.gen_bool(back_prob) {
+            let s = rng.gen_range(0..v);
+            builder.add_edge(s, v);
+            targets.push(v);
+        }
+        targets.push(v);
+    }
+    builder.build()
+}
+
+/// Fig. 3(a): a root with an edge to each of `n` leaves.
+///
+/// "a user who has a lot of followers but has a low impact": the root is
+/// vertex 0; leaves are `1..=n`. With edge probability `1/n`, MC sampling
+/// probes all `n` edges per instance while the expected spread is 2, giving
+/// the quadratic blow-up of Example 2.
+pub fn star_low_impact(n: usize) -> DiGraph {
+    let mut builder = GraphBuilder::new(n + 1);
+    for leaf in 1..=n as u32 {
+        builder.add_edge(0, leaf);
+    }
+    builder.build()
+}
+
+/// Fig. 3(b): a celebrity `v` with edges to `n` followers, and `n` extra
+/// fans each pointing at `v`.
+///
+/// Layout: vertex 0 is the celebrity, `1..=n` are the followers
+/// (celebrity → follower), `n+1..=2n` are the fans (fan → celebrity).
+/// With `p(fan→v) = 1/n` and `p(v→follower) = 1`, RR sampling probes all of
+/// `v`'s in-edges per reverse instance (Example 3).
+pub fn celebrity(n: usize) -> DiGraph {
+    let mut builder = GraphBuilder::new(2 * n + 1);
+    for follower in 1..=n as u32 {
+        builder.add_edge(0, follower);
+    }
+    for fan in (n as u32 + 1)..=(2 * n as u32) {
+        builder.add_edge(fan, 0);
+    }
+    builder.build()
+}
+
+/// A directed path `0 → 1 → … → n−1`.
+pub fn path(n: usize) -> DiGraph {
+    let mut builder = GraphBuilder::new(n);
+    for v in 0..n.saturating_sub(1) as u32 {
+        builder.add_edge(v, v + 1);
+    }
+    builder.build()
+}
+
+/// A directed cycle over `n ≥ 2` vertices.
+pub fn cycle(n: usize) -> DiGraph {
+    assert!(n >= 2);
+    let mut builder = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        builder.add_edge(v, (v + 1) % n as u32);
+    }
+    builder.build()
+}
+
+/// Complete directed graph on `n` vertices (both directions, no loops).
+pub fn complete(n: usize) -> DiGraph {
+    let mut builder = GraphBuilder::new(n);
+    for s in 0..n as u32 {
+        for t in 0..n as u32 {
+            if s != t {
+                builder.add_edge(s, t);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A random DAG: each ordered pair `(i, j)` with `i < j` becomes an edge
+/// with probability `p`. Useful for exact-evaluation tests (no cycles).
+pub fn random_dag<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    let mut builder = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                builder.add_edge(i, j);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_has_requested_edges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = erdos_renyi(100, 500, &mut rng);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = preferential_attachment(2000, 3, 0.3, &mut rng);
+        assert_eq!(g.num_nodes(), 2000);
+        let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
+        let mean_in = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            max_in as f64 > 8.0 * mean_in,
+            "expected a hub: max in-degree {max_in} vs mean {mean_in:.2}"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_creates_out_hubs() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = preferential_attachment(2000, 3, 0.3, &mut rng);
+        let max_out = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_out >= 4, "back edges should give some vertex out-degree above m");
+    }
+
+    #[test]
+    fn star_shape_matches_fig3a() {
+        let g = star_low_impact(50);
+        assert_eq!(g.num_nodes(), 51);
+        assert_eq!(g.num_edges(), 50);
+        assert_eq!(g.out_degree(0), 50);
+        assert!(g.nodes().skip(1).all(|v| g.out_degree(v) == 0 && g.in_degree(v) == 1));
+    }
+
+    #[test]
+    fn celebrity_shape_matches_fig3b() {
+        let n = 40;
+        let g = celebrity(n);
+        assert_eq!(g.num_nodes(), 2 * n + 1);
+        assert_eq!(g.num_edges(), 2 * n);
+        assert_eq!(g.out_degree(0), n);
+        assert_eq!(g.in_degree(0), n);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        let c = cycle(5);
+        assert_eq!(c.num_edges(), 5);
+        assert!(c.nodes().all(|v| c.out_degree(v) == 1 && c.in_degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_by_construction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_dag(30, 0.2, &mut rng);
+        for (_, s, t) in g.edges() {
+            assert!(s < t, "edges must go forward in topological order");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = preferential_attachment(200, 2, 0.2, &mut StdRng::seed_from_u64(9));
+        let g2 = preferential_attachment(200, 2, 0.2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,24 @@
+//! Directed social-graph substrate for PITEX.
+//!
+//! The paper (§3.1) models a social network as a directed graph `G(V, E)`
+//! where an edge `(u, v)` means content propagates from `u` to `v`. Every
+//! algorithm in the PITEX stack — forward Monte-Carlo sampling, reverse
+//! reachable sampling, lazy propagation, RR-Graph indexing — needs:
+//!
+//! * forward **and** reverse adjacency (RR sampling walks in-edges),
+//! * **stable edge ids** shared by both directions (the index stores a random
+//!   mark `c(e)` per edge and must find it from either direction),
+//! * cache-friendly iteration (sampling visits millions of edges).
+//!
+//! [`DiGraph`] is a compressed-sparse-row structure over `u32` ids satisfying
+//! all three. [`gen`] provides the synthetic generators used by the
+//! evaluation, including the two adversarial graphs of Fig. 3. [`io`]
+//! round-trips graphs through a text edge list and a compact binary format.
+
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod traverse;
+
+pub use csr::{DiGraph, EdgeId, GraphBuilder, NodeId};
+pub use traverse::{bfs_reachable, ReachableSet};

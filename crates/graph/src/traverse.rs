@@ -1,0 +1,178 @@
+//! Deterministic traversal helpers.
+//!
+//! These compute *certain* reachability (every edge present), used for
+//! `R_W(u)` — the set of vertices `u` can possibly reach once zero-probability
+//! edges are removed (Table 1 of the paper) — and for reverse reachability
+//! inside RR-Graphs.
+
+use crate::csr::{DiGraph, NodeId};
+use pitex_support::EpochVisited;
+
+/// Result of a BFS: visited vertices in discovery order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReachableSet {
+    /// Vertices reachable from the root (root included), discovery order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl ReachableSet {
+    /// Number of reachable vertices, root included (`|R_W(u)| ≥ 1`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Forward BFS over edges accepted by `keep_edge(edge_id)`.
+///
+/// `keep_edge` receives the edge id so callers can consult per-edge model
+/// data (`p(e|W) > 0`, `p(e|W) ≥ c(e)`, ...).
+pub fn bfs_reachable<F>(graph: &DiGraph, root: NodeId, mut keep_edge: F) -> ReachableSet
+where
+    F: FnMut(u32) -> bool,
+{
+    let mut visited = EpochVisited::new(graph.num_nodes());
+    visited.reset();
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited.insert(root);
+    order.push(root);
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        for (e, t) in graph.out_edges(v) {
+            if keep_edge(e) && visited.insert(t) {
+                order.push(t);
+                queue.push_back(t);
+            }
+        }
+    }
+    ReachableSet { nodes: order }
+}
+
+/// A reusable BFS engine that owns its scratch buffers.
+///
+/// PITEX evaluates hundreds of candidate tag sets per query; this avoids
+/// reallocating the visited set and queue for every one of them.
+#[derive(Debug)]
+pub struct BfsScratch {
+    visited: EpochVisited,
+    queue: std::collections::VecDeque<NodeId>,
+}
+
+impl BfsScratch {
+    pub fn new(num_nodes: usize) -> Self {
+        Self { visited: EpochVisited::new(num_nodes), queue: std::collections::VecDeque::new() }
+    }
+
+    /// Forward BFS; appends discovered vertices (root included) to `out`.
+    pub fn run<F>(&mut self, graph: &DiGraph, root: NodeId, out: &mut Vec<NodeId>, mut keep_edge: F)
+    where
+        F: FnMut(u32) -> bool,
+    {
+        self.visited.grow(graph.num_nodes());
+        self.visited.reset();
+        self.queue.clear();
+        self.visited.insert(root);
+        out.push(root);
+        self.queue.push_back(root);
+        while let Some(v) = self.queue.pop_front() {
+            for (e, t) in graph.out_edges(v) {
+                if keep_edge(e) && self.visited.insert(t) {
+                    out.push(t);
+                    self.queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    /// Reverse BFS (walks in-edges); appends discovered vertices to `out`.
+    pub fn run_reverse<F>(
+        &mut self,
+        graph: &DiGraph,
+        root: NodeId,
+        out: &mut Vec<NodeId>,
+        mut keep_edge: F,
+    ) where
+        F: FnMut(u32) -> bool,
+    {
+        self.visited.grow(graph.num_nodes());
+        self.visited.reset();
+        self.queue.clear();
+        self.visited.insert(root);
+        out.push(root);
+        self.queue.push_back(root);
+        while let Some(v) = self.queue.pop_front() {
+            for (e, s) in graph.in_edges(v) {
+                if keep_edge(e) && self.visited.insert(s) {
+                    out.push(s);
+                    self.queue.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    fn chain_with_branch() -> DiGraph {
+        // 0 -> 1 -> 2 -> 3, plus 1 -> 4; 5 isolated
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(1, 4);
+        b.build()
+    }
+
+    #[test]
+    fn full_reachability() {
+        let g = chain_with_branch();
+        let r = bfs_reachable(&g, 0, |_| true);
+        assert_eq!(r.len(), 5);
+        assert!(!r.nodes.contains(&5));
+    }
+
+    #[test]
+    fn edge_filter_cuts_subtrees() {
+        let g = chain_with_branch();
+        let cut = g.find_edge(1, 2).unwrap();
+        let r = bfs_reachable(&g, 0, |e| e != cut);
+        assert_eq!(r.nodes, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn root_is_always_reachable() {
+        let g = chain_with_branch();
+        let r = bfs_reachable(&g, 5, |_| true);
+        assert_eq!(r.nodes, vec![5]);
+    }
+
+    #[test]
+    fn reverse_bfs_finds_ancestors() {
+        let g = chain_with_branch();
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let mut out = Vec::new();
+        scratch.run_reverse(&g, 3, &mut out, |_| true);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_roots() {
+        let g = chain_with_branch();
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let mut out = Vec::new();
+        scratch.run(&g, 0, &mut out, |_| true);
+        assert_eq!(out.len(), 5);
+        out.clear();
+        scratch.run(&g, 2, &mut out, |_| true);
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline RR-Graph index construction (Algo. 3, offline phase).
+
+use crate::rrgraph::{generate_rr_graph, RrGraph};
+use pitex_model::{combi, MaxEdgeProbs, TicModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many RR-Graphs to sample offline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IndexBudget {
+    /// Eq. 7 of the paper: `θ = (2+ε)/ε²·|V|·(ln 2 + ln δ + ln φ_K)`.
+    /// Guarantees the `(1−ε)/(1+ε)` ratio for every user and every `k ≤ K`
+    /// simultaneously, but is far beyond practical index sizes (the paper's
+    /// own Table 3 implies a much smaller effective θ); exposed for
+    /// completeness and for tiny graphs.
+    Theoretical { epsilon: f64, delta: f64, k_max: usize },
+    /// `θ = c·|V|`: the practical default (c = 8). Accuracy degrades
+    /// gracefully — estimates stay unbiased, only the confidence radius
+    /// widens (documented in EXPERIMENTS.md).
+    PerVertex(f64),
+    /// An explicit sample count.
+    Fixed(u64),
+}
+
+impl Default for IndexBudget {
+    fn default() -> Self {
+        IndexBudget::PerVertex(8.0)
+    }
+}
+
+impl IndexBudget {
+    /// Resolves the budget to a concrete sample count.
+    pub fn sample_count(&self, num_nodes: usize, num_tags: usize) -> u64 {
+        match *self {
+            IndexBudget::Theoretical { epsilon, delta, k_max } => {
+                let ln_total = (2.0f64).ln()
+                    + delta.ln()
+                    + combi::ln_phi(num_tags as u64, k_max as u64).max(0.0);
+                let lambda = (2.0 + epsilon) / (epsilon * epsilon) * ln_total;
+                (lambda * num_nodes as f64).ceil() as u64
+            }
+            IndexBudget::PerVertex(c) => (c * num_nodes as f64).ceil() as u64,
+            IndexBudget::Fixed(n) => n,
+        }
+    }
+}
+
+/// The materialized RR-Graph index: θ sample graphs plus a per-user
+/// membership table (`u → graphs containing u`), which is what lets the
+/// online phase touch only the graphs `u` could possibly influence.
+#[derive(Clone, Debug)]
+pub struct RrIndex {
+    num_nodes: usize,
+    theta: u64,
+    graphs: Vec<RrGraph>,
+    member_offsets: Vec<u64>,
+    member_graph_ids: Vec<u32>,
+}
+
+impl RrIndex {
+    /// Builds the index with as many threads as available cores.
+    pub fn build(model: &TicModel, budget: IndexBudget, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::build_with_threads(model, budget, seed, threads)
+    }
+
+    /// Builds the index with an explicit thread count. Deterministic for a
+    /// fixed `(budget, seed, threads)` triple: thread `t` samples targets
+    /// from its own seeded stream and output order is by thread then draw.
+    pub fn build_with_threads(
+        model: &TicModel,
+        budget: IndexBudget,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        let theta = budget.sample_count(model.graph().num_nodes(), model.num_tags());
+        let graphs = sample_many(model, theta, seed, threads.max(1));
+        Self::assemble(model.graph().num_nodes(), theta, graphs)
+    }
+
+    fn assemble(num_nodes: usize, theta: u64, graphs: Vec<RrGraph>) -> Self {
+        // Membership CSR via counting sort over users.
+        let mut counts = vec![0u64; num_nodes + 1];
+        for g in &graphs {
+            for &v in g.nodes() {
+                counts[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let member_offsets = counts;
+        let total = *member_offsets.last().unwrap_or(&0) as usize;
+        let mut cursor = member_offsets[..num_nodes].to_vec();
+        let mut member_graph_ids = vec![0u32; total];
+        for (gid, g) in graphs.iter().enumerate() {
+            for &v in g.nodes() {
+                let pos = cursor[v as usize] as usize;
+                cursor[v as usize] += 1;
+                member_graph_ids[pos] = gid as u32;
+            }
+        }
+        Self { num_nodes, theta, graphs, member_offsets, member_graph_ids }
+    }
+
+    /// Rebuilds the membership table from raw parts (used by the decoder).
+    pub(crate) fn from_graphs(num_nodes: usize, theta: u64, graphs: Vec<RrGraph>) -> Self {
+        Self::assemble(num_nodes, theta, graphs)
+    }
+
+    /// Number of vertices of the indexed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total offline samples θ (equals `graphs().len()`).
+    pub fn theta(&self) -> u64 {
+        self.theta
+    }
+
+    /// All sampled RR-Graphs.
+    pub fn graphs(&self) -> &[RrGraph] {
+        &self.graphs
+    }
+
+    /// Ids of the RR-Graphs containing `user` — the paper's `θ(u)`.
+    pub fn graphs_containing(&self, user: u32) -> &[u32] {
+        let lo = self.member_offsets[user as usize] as usize;
+        let hi = self.member_offsets[user as usize + 1] as usize;
+        &self.member_graph_ids[lo..hi]
+    }
+
+    /// `θ(u)`: how many RR-Graphs contain `user` (Example 9).
+    pub fn membership_count(&self, user: u32) -> usize {
+        self.graphs_containing(user).len()
+    }
+
+    /// Approximate heap footprint in bytes (Table 3's "size").
+    pub fn heap_bytes(&self) -> u64 {
+        let graphs: u64 = self.graphs.iter().map(|g| g.heap_bytes()).sum();
+        graphs + (self.member_offsets.len() * 8 + self.member_graph_ids.len() * 4) as u64
+    }
+}
+
+/// Samples `theta` RR-Graphs for uniform random targets, in parallel.
+pub(crate) fn sample_many(
+    model: &TicModel,
+    theta: u64,
+    seed: u64,
+    threads: usize,
+) -> Vec<RrGraph> {
+    let n = model.graph().num_nodes();
+    if n == 0 || theta == 0 {
+        return Vec::new();
+    }
+    let per_thread = theta / threads as u64;
+    let remainder = theta % threads as u64;
+    let mut buckets: Vec<Vec<RrGraph>> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let quota = per_thread + u64::from((t as u64) < remainder);
+                scope.spawn(move |_| {
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+                    let mut p_max = MaxEdgeProbs::new(model.edge_topics());
+                    let mut out = Vec::with_capacity(quota as usize);
+                    for _ in 0..quota {
+                        let target = rng.gen_range(0..n as u32);
+                        out.push(generate_rr_graph(model.graph(), &mut p_max, target, &mut rng));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("sampling thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    buckets.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_model::TicModel;
+
+    #[test]
+    fn budget_resolution() {
+        assert_eq!(IndexBudget::Fixed(123).sample_count(1000, 50), 123);
+        assert_eq!(IndexBudget::PerVertex(4.0).sample_count(1000, 50), 4000);
+        let th = IndexBudget::Theoretical { epsilon: 0.7, delta: 1000.0, k_max: 10 }
+            .sample_count(100, 50);
+        // Λ = (2.7/0.49)·(ln 2 + ln 1000 + ln φ_10(50)) ≈ 5.51·(0.69+6.9+23.2)
+        assert!(th > 100 * 100, "theoretical budget is intentionally huge: {th}");
+    }
+
+    #[test]
+    fn membership_is_consistent_with_graph_contents() {
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(200), 7, 2);
+        assert_eq!(index.theta(), 200);
+        assert_eq!(index.graphs().len(), 200);
+        for u in 0..model.graph().num_nodes() as u32 {
+            for &gid in index.graphs_containing(u) {
+                assert!(index.graphs()[gid as usize].contains(u));
+            }
+            let direct = index
+                .graphs()
+                .iter()
+                .filter(|g| g.contains(u))
+                .count();
+            assert_eq!(index.membership_count(u), direct);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_threads() {
+        let model = TicModel::paper_example();
+        let a = RrIndex::build_with_threads(&model, IndexBudget::Fixed(50), 11, 3);
+        let b = RrIndex::build_with_threads(&model, IndexBudget::Fixed(50), 11, 3);
+        assert_eq!(a.graphs(), b.graphs());
+    }
+
+    #[test]
+    fn isolated_vertices_appear_only_as_their_own_targets() {
+        // u5 (id 4) of the running example has no edges: θ(u5) counts only
+        // draws where u5 itself was the target (Example 9 reports 0 for a
+        // 5-draw index; with 700 draws it is ≈ 100).
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(700), 3, 2);
+        for &gid in index.graphs_containing(4) {
+            assert_eq!(index.graphs()[gid as usize].target(), 4);
+        }
+        let count = index.membership_count(4) as f64;
+        assert!((count - 100.0).abs() < 40.0, "θ(u5) = {count} far from 700/7");
+    }
+
+    #[test]
+    fn thread_split_covers_full_quota() {
+        let model = TicModel::paper_example();
+        for threads in 1..=5 {
+            let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(17), 1, threads);
+            assert_eq!(index.graphs().len(), 17, "threads = {threads}");
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Edge-cut filtering with inverted lists (§6.2) — the paper's INDEXEST+.
+//!
+//! Verifying tag-aware reachability in every RR-Graph containing `u` means
+//! one BFS per graph per tag set. The filter step picks, per RR-Graph, a
+//! small **edge cut** such that `u` can reach the target only if at least
+//! one cut edge is live (`p(e|W) ≥ c(e)`); if every cut edge is dead the
+//! graph is pruned without traversal. Following Example 7, two candidate
+//! cuts are compared — `u`'s out-edges inside the graph versus the target's
+//! in-edges from `u`-reachable vertices — keeping the one with the higher
+//! prune probability `Π_e c(e)/p(e)` (the chance that an independent
+//! `p(e|W) ~ U[0, p(e)]` misses every mark).
+//!
+//! The cut entries feed **inverted lists** `edge → [(graph, c(e))]` sorted
+//! by `c(e)` ascending, so a query scans each list only while
+//! `c(e) ≤ p(e|W)` and every unvisited graph is pruned wholesale.
+
+use crate::build::RrIndex;
+use crate::rrgraph::{ReachScratch, RrGraph};
+use pitex_graph::{DiGraph, EdgeId, NodeId};
+use pitex_model::{EdgeProbs, EdgeTopics};
+use pitex_sampling::{Estimate, SamplingParams, SpreadEstimator};
+use pitex_support::{EpochVisited, FxHashMap};
+
+/// Which edge cut each RR-Graph uses (the ablation knob behind Example 7's
+/// selection heuristic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CutPolicy {
+    /// Always the query user's out-edges inside the graph.
+    UserOut,
+    /// Always the target's in-edges from user-reachable vertices.
+    TargetIn,
+    /// Example 7: whichever cut has the higher prune probability
+    /// `Π_e c(e)/p(e)` (the default).
+    #[default]
+    Best,
+}
+
+/// Per-user filter over a set of RR-Graphs: one cut per graph, indexed by
+/// inverted lists. Built once per query user and reused for every candidate
+/// tag set of the query.
+#[derive(Clone, Debug)]
+pub struct CutFilter {
+    /// Graph positions that are always candidates (the user is the target —
+    /// trivially reachable — or no usable cut exists).
+    always: Vec<u32>,
+    /// `edge → [(graph position, c(e))]`, each list sorted by `c` ascending.
+    lists: Vec<(EdgeId, Vec<(u32, f32)>)>,
+    num_graphs: usize,
+}
+
+impl CutFilter {
+    /// Builds the filter for `user` over `graphs` (positions into the
+    /// slice are the filter's graph ids). `p_max` supplies `p(e)`. Uses the
+    /// paper's best-of-two cut selection.
+    pub fn build<'g>(
+        user: NodeId,
+        graphs: impl Iterator<Item = &'g RrGraph>,
+        p_max: &EdgeTopics,
+    ) -> Self {
+        Self::build_with_policy(user, graphs, p_max, CutPolicy::Best)
+    }
+
+    /// [`CutFilter::build`] with an explicit cut-selection policy (used by
+    /// the ablation bench to quantify Example 7's heuristic).
+    pub fn build_with_policy<'g>(
+        user: NodeId,
+        graphs: impl Iterator<Item = &'g RrGraph>,
+        p_max: &EdgeTopics,
+        policy: CutPolicy,
+    ) -> Self {
+        let mut always = Vec::new();
+        let mut lists: FxHashMap<EdgeId, Vec<(u32, f32)>> = FxHashMap::default();
+        let mut reach = Vec::new();
+        let mut visited = EpochVisited::new(0);
+        let mut num_graphs = 0usize;
+
+        for (pos, rr) in graphs.enumerate() {
+            num_graphs += 1;
+            let pos = pos as u32;
+            if rr.target() == user {
+                always.push(pos);
+                continue;
+            }
+            let Some(user_local) = rr.local_id(user) else {
+                // Not a member: can never reach; simply absent from lists.
+                continue;
+            };
+            let target_local = rr.local_id(rr.target()).expect("target is a member");
+
+            // Cut 1: the user's out-edges inside the RR-Graph.
+            let cut1: Vec<(EdgeId, f32)> = rr
+                .out_edges_local(user_local)
+                .iter()
+                .map(|e| (e.edge_id, e.c))
+                .collect();
+
+            // Cut 2: the target's in-edges from vertices reachable from the
+            // user within the stored graph (marks ignored: stored edges are
+            // the p_max-live superset).
+            visited.grow(rr.num_nodes());
+            visited.reset();
+            reach.clear();
+            visited.insert(user_local);
+            reach.push(user_local);
+            let mut head = 0usize;
+            while head < reach.len() {
+                let v = reach[head];
+                head += 1;
+                for e in rr.out_edges_local(v) {
+                    if visited.insert(e.dst_local) {
+                        reach.push(e.dst_local);
+                    }
+                }
+            }
+            let mut cut2: Vec<(EdgeId, f32)> = Vec::new();
+            for &v in &reach {
+                for e in rr.out_edges_local(v) {
+                    if e.dst_local == target_local {
+                        cut2.push((e.edge_id, e.c));
+                    }
+                }
+            }
+
+            // Example 7's selection rule: higher Π c(e)/p(e) prunes more.
+            let prune_prob = |cut: &[(EdgeId, f32)]| -> f64 {
+                cut.iter()
+                    .map(|&(e, c)| {
+                        let p = p_max.p_max(e) as f64;
+                        if p > 0.0 {
+                            (c as f64 / p).min(1.0)
+                        } else {
+                            1.0
+                        }
+                    })
+                    .product()
+            };
+            let chosen = if cut1.is_empty() && cut2.is_empty() {
+                always.push(pos);
+                continue;
+            } else {
+                match policy {
+                    CutPolicy::UserOut if !cut1.is_empty() => cut1,
+                    CutPolicy::TargetIn if !cut2.is_empty() => cut2,
+                    _ => {
+                        if cut2.is_empty()
+                            || (!cut1.is_empty() && prune_prob(&cut1) >= prune_prob(&cut2))
+                        {
+                            cut1
+                        } else {
+                            cut2
+                        }
+                    }
+                }
+            };
+            for (e, c) in chosen {
+                lists.entry(e).or_default().push((pos, c));
+            }
+        }
+
+        let mut lists: Vec<(EdgeId, Vec<(u32, f32)>)> = lists.into_iter().collect();
+        for (_, list) in &mut lists {
+            list.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        }
+        lists.sort_unstable_by_key(|&(e, _)| e);
+        Self { always, lists, num_graphs }
+    }
+
+    /// Number of graphs the filter was built over.
+    pub fn num_graphs(&self) -> usize {
+        self.num_graphs
+    }
+
+    /// Collects candidate graph positions for the current tag set into
+    /// `out` (deduplicated): the always-set plus every graph with at least
+    /// one live cut edge. All other graphs are certifiably unreachable.
+    pub fn candidates(
+        &self,
+        probs: &mut dyn EdgeProbs,
+        marks: &mut EpochVisited,
+        out: &mut Vec<u32>,
+    ) {
+        marks.grow(self.num_graphs);
+        marks.reset();
+        out.clear();
+        for &pos in &self.always {
+            if marks.insert(pos) {
+                out.push(pos);
+            }
+        }
+        for (e, list) in &self.lists {
+            let p = probs.prob(*e);
+            if p <= 0.0 {
+                continue;
+            }
+            for &(pos, c) in list {
+                if (c as f64) > p {
+                    break; // sorted ascending: the rest are dead too
+                }
+                if marks.insert(pos) {
+                    out.push(pos);
+                }
+            }
+        }
+    }
+}
+
+/// INDEXEST+ — the RR-Graph index estimator with edge-cut filtering.
+///
+/// Caches the [`CutFilter`] of the most recent query user: a PITEX query
+/// evaluates hundreds of tag sets for one user, so the filter is built once
+/// and amortized (the paper constructs it per query user, §6.2).
+#[derive(Debug)]
+pub struct IndexPlusEstimator<'a> {
+    index: &'a RrIndex,
+    edge_topics: &'a EdgeTopics,
+    cached: Option<(NodeId, CutFilter)>,
+    scratch: ReachScratch,
+    marks: EpochVisited,
+    candidate_buf: Vec<u32>,
+    /// Diagnostics across the estimator's lifetime.
+    pub graphs_verified: u64,
+    pub graphs_pruned: u64,
+}
+
+impl<'a> IndexPlusEstimator<'a> {
+    pub fn new(index: &'a RrIndex, edge_topics: &'a EdgeTopics) -> Self {
+        Self {
+            index,
+            edge_topics,
+            cached: None,
+            scratch: ReachScratch::new(),
+            marks: EpochVisited::new(0),
+            candidate_buf: Vec::new(),
+            graphs_verified: 0,
+            graphs_pruned: 0,
+        }
+    }
+
+    fn filter_for(&mut self, user: NodeId) -> &CutFilter {
+        let stale = !matches!(self.cached, Some((u, _)) if u == user);
+        if stale {
+            let member_graphs = self
+                .index
+                .graphs_containing(user)
+                .iter()
+                .map(|&gid| &self.index.graphs()[gid as usize]);
+            let filter = CutFilter::build(user, member_graphs, self.edge_topics);
+            self.cached = Some((user, filter));
+        }
+        &self.cached.as_ref().unwrap().1
+    }
+}
+
+impl SpreadEstimator for IndexPlusEstimator<'_> {
+    fn estimate(
+        &mut self,
+        graph: &DiGraph,
+        user: NodeId,
+        probs: &mut dyn EdgeProbs,
+        _params: &SamplingParams,
+    ) -> Estimate {
+        debug_assert_eq!(graph.num_nodes(), self.index.num_nodes());
+        self.filter_for(user);
+        let (_, filter) = self.cached.as_ref().unwrap();
+        let member_ids = self.index.graphs_containing(user);
+
+        let mut candidates = std::mem::take(&mut self.candidate_buf);
+        filter.candidates(probs, &mut self.marks, &mut candidates);
+
+        let mut hits = 0u64;
+        let mut edges_visited = 0u64;
+        for &pos in &candidates {
+            let rr = &self.index.graphs()[member_ids[pos as usize] as usize];
+            if rr.reaches_target(user, probs, &mut self.scratch, &mut edges_visited) {
+                hits += 1;
+            }
+        }
+        self.graphs_verified += candidates.len() as u64;
+        self.graphs_pruned += (member_ids.len() - candidates.len()) as u64;
+        self.candidate_buf = candidates;
+
+        Estimate {
+            spread: hits as f64 / self.index.theta() as f64 * self.index.num_nodes() as f64,
+            samples_used: member_ids.len() as u64,
+            edges_visited,
+            reachable: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "INDEXEST+"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBudget;
+    use crate::estimate::IndexEstimator;
+    use pitex_model::{PosteriorEdgeProbs, TagSet, TicModel};
+
+    /// The central soundness property: filtering must never change the
+    /// estimate — pruned graphs are exactly the unreachable ones.
+    #[test]
+    fn filtered_estimate_equals_unfiltered() {
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(5_000), 23, 4);
+        let params = SamplingParams::enumeration(0.7, 1000.0, 4, 2);
+        let mut cache = model.new_prob_cache();
+
+        for user in 0..model.graph().num_nodes() as u32 {
+            for tags in [vec![0u32, 1], vec![2, 3], vec![0, 2], vec![1, 3], vec![0], vec![3]] {
+                let w = TagSet::new(tags.clone());
+                let posterior = model.posterior(&w);
+
+                let mut plain = IndexEstimator::new(&index);
+                let mut probs =
+                    PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+                let a = plain.estimate(model.graph(), user, &mut probs, &params).spread;
+
+                let mut plus = IndexPlusEstimator::new(&index, model.edge_topics());
+                let mut probs =
+                    PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+                let b = plus.estimate(model.graph(), user, &mut probs, &params).spread;
+
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "user {user}, W {tags:?}: plain {a} vs filtered {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_prunes() {
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(5_000), 29, 4);
+        let params = SamplingParams::enumeration(0.7, 1000.0, 4, 2);
+        let mut cache = model.new_prob_cache();
+        let mut plus = IndexPlusEstimator::new(&index, model.edge_topics());
+        // {w1, w2} kills most of the graph (only z1/z2 edges survive):
+        // plenty of RR-Graphs should be pruned without verification.
+        let w = TagSet::from([0, 1]);
+        let posterior = model.posterior(&w);
+        let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+        plus.estimate(model.graph(), 0, &mut probs, &params);
+        assert!(
+            plus.graphs_pruned > 0,
+            "expected some pruning, verified {} pruned {}",
+            plus.graphs_verified,
+            plus.graphs_pruned
+        );
+    }
+
+    #[test]
+    fn example8_inverted_list_behaviour() {
+        // Example 8: for user u3 with W = {w1, w2}, the list of edge
+        // (u3,u4) is skipped entirely (p = 0) and only the cheap prefix of
+        // (u3,u6)'s list is visited. We verify the filter yields exactly
+        // the graphs with a live cut edge.
+        use crate::rrgraph::RrGraph;
+        let model = TicModel::paper_example();
+        let e34 = model.graph().find_edge(2, 3).unwrap(); // p(e|{w1,w2}) = 0.25·? ...
+        let e36 = model.graph().find_edge(2, 5).unwrap();
+        // Under {w1,w2}: p(z|W) = (.5,.5,0); p(u3->u4) = 0.5·0.5 = 0.25;
+        // p(u3->u6) = 0 (z3 only).
+        let graphs = vec![
+            RrGraph::from_parts(3, vec![2, 3], &[(2, 3, e34, 0.2)]), // live (0.25 ≥ 0.2)
+            RrGraph::from_parts(3, vec![2, 3], &[(2, 3, e34, 0.3)]), // dead (0.25 < 0.3)
+            RrGraph::from_parts(5, vec![2, 5], &[(2, 5, e36, 0.1)]), // dead (0 < 0.1)
+        ];
+        let filter = CutFilter::build(2, graphs.iter(), model.edge_topics());
+        let w = TagSet::from([0, 1]);
+        let posterior = model.posterior(&w);
+        let mut cache = model.new_prob_cache();
+        let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+        let mut marks = EpochVisited::new(0);
+        let mut out = Vec::new();
+        filter.candidates(&mut probs, &mut marks, &mut out);
+        assert_eq!(out, vec![0], "only the first graph's cut edge is live");
+    }
+
+    #[test]
+    fn every_cut_policy_is_sound() {
+        // Whatever cut is chosen, candidates must cover every reachable
+        // graph (the ablation only trades filtering power, never safety).
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(2_000), 37, 4);
+        let mut cache = model.new_prob_cache();
+        for policy in [CutPolicy::UserOut, CutPolicy::TargetIn, CutPolicy::Best] {
+            for user in [0u32, 2, 3] {
+                let member: Vec<_> = index
+                    .graphs_containing(user)
+                    .iter()
+                    .map(|&g| &index.graphs()[g as usize])
+                    .collect();
+                let filter = CutFilter::build_with_policy(
+                    user,
+                    member.iter().copied(),
+                    model.edge_topics(),
+                    policy,
+                );
+                let w = TagSet::from([2, 3]);
+                let posterior = model.posterior(&w);
+                let mut probs =
+                    PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+                let mut marks = EpochVisited::new(0);
+                let mut candidates = Vec::new();
+                filter.candidates(&mut probs, &mut marks, &mut candidates);
+                // Ground truth.
+                let mut scratch = crate::rrgraph::ReachScratch::new();
+                for (pos, rr) in member.iter().enumerate() {
+                    let mut probs =
+                        PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+                    let mut visits = 0u64;
+                    if rr.reaches_target(user, &mut probs, &mut scratch, &mut visits) {
+                        assert!(
+                            candidates.contains(&(pos as u32)),
+                            "{policy:?} filtered out reachable graph {pos} for user {user}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn user_as_target_is_always_candidate() {
+        use crate::rrgraph::RrGraph;
+        let model = TicModel::paper_example();
+        let graphs = vec![RrGraph::from_parts(2, vec![2], &[])];
+        let filter = CutFilter::build(2, graphs.iter(), model.edge_topics());
+        let mut zero = pitex_model::FixedEdgeProbs::uniform(model.graph().num_edges(), 0.0);
+        let mut marks = EpochVisited::new(0);
+        let mut out = Vec::new();
+        filter.candidates(&mut zero, &mut marks, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn filter_rebuilds_on_user_switch() {
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(2_000), 31, 4);
+        let params = SamplingParams::enumeration(0.7, 1000.0, 4, 2);
+        let mut cache = model.new_prob_cache();
+        let mut plus = IndexPlusEstimator::new(&index, model.edge_topics());
+        let w = TagSet::from([2, 3]);
+        let posterior = model.posterior(&w);
+        for user in [0u32, 2, 0, 5] {
+            let mut probs =
+                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let est = plus.estimate(model.graph(), user, &mut probs, &params);
+            assert!(est.spread >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Index persistence (Table 3 compares on-disk sizes of the two schemes).
+
+use crate::build::RrIndex;
+use crate::delay::DelayMatIndex;
+use crate::rrgraph::RrGraph;
+use pitex_support::codec::{DecodeError, Decoder, Encoder};
+
+const RR_MAGIC: [u8; 4] = *b"PRRI";
+const DELAY_MAGIC: [u8; 4] = *b"PDLY";
+const VERSION: u32 = 1;
+
+/// Errors from index persistence.
+#[derive(Debug)]
+pub enum IndexIoError {
+    Io(std::io::Error),
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for IndexIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexIoError::Io(e) => write!(f, "i/o error: {e}"),
+            IndexIoError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexIoError {}
+
+impl From<std::io::Error> for IndexIoError {
+    fn from(e: std::io::Error) -> Self {
+        IndexIoError::Io(e)
+    }
+}
+
+impl From<DecodeError> for IndexIoError {
+    fn from(e: DecodeError) -> Self {
+        IndexIoError::Decode(e)
+    }
+}
+
+/// Serializes a full RR-Graph index.
+pub fn rr_index_to_bytes(index: &RrIndex) -> Vec<u8> {
+    let mut enc = Encoder::new(Vec::new());
+    enc.header(RR_MAGIC, VERSION);
+    enc.u32(index.num_nodes() as u32);
+    enc.u64(index.theta());
+    enc.u64(index.graphs().len() as u64);
+    for g in index.graphs() {
+        enc.u32(g.target());
+        enc.u32_slice(g.nodes());
+        enc.u64(g.num_edges() as u64);
+        for (src_local, e) in g.edges() {
+            enc.u32(g.nodes()[src_local as usize]);
+            enc.u32(g.nodes()[e.dst_local as usize]);
+            enc.u32(e.edge_id);
+            enc.f32(e.c);
+        }
+    }
+    enc.into_inner()
+}
+
+/// Deserializes a full RR-Graph index (membership tables are rebuilt).
+pub fn rr_index_from_bytes(bytes: &[u8]) -> Result<RrIndex, IndexIoError> {
+    let mut dec = Decoder::new(bytes);
+    dec.header(RR_MAGIC, VERSION)?;
+    let num_nodes = dec.u32()? as usize;
+    let theta = dec.u64()?;
+    let count = dec.u64()? as usize;
+    let mut graphs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let target = dec.u32()?;
+        let nodes = dec.u32_slice()?;
+        let edge_count = dec.u64()? as usize;
+        let mut edges = Vec::with_capacity(edge_count);
+        for _ in 0..edge_count {
+            let s = dec.u32()?;
+            let t = dec.u32()?;
+            let e = dec.u32()?;
+            let c = dec.f32()?;
+            edges.push((s, t, e, c));
+        }
+        graphs.push(RrGraph::from_parts(target, nodes, &edges));
+    }
+    Ok(RrIndex::from_graphs(num_nodes, theta, graphs))
+}
+
+/// Serializes a delay-materialized index.
+pub fn delay_index_to_bytes(index: &DelayMatIndex) -> Vec<u8> {
+    let mut enc = Encoder::new(Vec::new());
+    enc.header(DELAY_MAGIC, VERSION);
+    enc.u32(index.num_nodes() as u32);
+    enc.u64(index.theta());
+    enc.u32_slice(index.counts());
+    enc.into_inner()
+}
+
+/// Deserializes a delay-materialized index.
+pub fn delay_index_from_bytes(bytes: &[u8]) -> Result<DelayMatIndex, IndexIoError> {
+    let mut dec = Decoder::new(bytes);
+    dec.header(DELAY_MAGIC, VERSION)?;
+    let num_nodes = dec.u32()? as usize;
+    let theta = dec.u64()?;
+    let counts = dec.u32_slice()?;
+    Ok(DelayMatIndex::from_counts(num_nodes, theta, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBudget;
+    use pitex_model::TicModel;
+
+    #[test]
+    fn rr_index_round_trip() {
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(500), 61, 2);
+        let back = rr_index_from_bytes(&rr_index_to_bytes(&index)).unwrap();
+        assert_eq!(back.theta(), index.theta());
+        assert_eq!(back.graphs(), index.graphs());
+        for u in 0..model.graph().num_nodes() as u32 {
+            assert_eq!(back.graphs_containing(u), index.graphs_containing(u));
+        }
+    }
+
+    #[test]
+    fn delay_index_round_trip() {
+        let model = TicModel::paper_example();
+        let index = DelayMatIndex::build_with_threads(&model, IndexBudget::Fixed(500), 67, 2);
+        let back = delay_index_from_bytes(&delay_index_to_bytes(&index)).unwrap();
+        assert_eq!(back, index);
+    }
+
+    #[test]
+    fn formats_are_not_interchangeable() {
+        let model = TicModel::paper_example();
+        let delay = DelayMatIndex::build_with_threads(&model, IndexBudget::Fixed(10), 1, 1);
+        let bytes = delay_index_to_bytes(&delay);
+        assert!(rr_index_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_inputs_fail_cleanly() {
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(50), 3, 1);
+        let mut bytes = rr_index_to_bytes(&index);
+        bytes.truncate(bytes.len() / 3);
+        assert!(rr_index_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn delay_size_reflects_scheme_economy() {
+        // Table 3's point: the delay index is orders of magnitude smaller.
+        let model = TicModel::paper_example();
+        let full = RrIndex::build_with_threads(&model, IndexBudget::Fixed(5_000), 5, 2);
+        let delay = DelayMatIndex::build_with_threads(&model, IndexBudget::Fixed(5_000), 5, 2);
+        let full_bytes = rr_index_to_bytes(&full).len();
+        let delay_bytes = delay_index_to_bytes(&delay).len();
+        assert!(
+            delay_bytes * 100 < full_bytes,
+            "delay {delay_bytes}B vs full {full_bytes}B"
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! The Lemma 8 upper bound `p⁺(e|W)` for partial tag sets.
+//!
+//! Best-effort exploration (§5.2, Appx. C) prunes a partial tag set `W`
+//! (`|W| < k`) when an *upper bound* on the spread of every size-`k`
+//! superset is already below the best known solution. Lemma 8 bounds the
+//! edge probability of any completion `W′ ⊇ W, |W′| = k` by
+//!
+//! ```text
+//! p⁺(e|W) = min(  max_{z: p(z|W)>0} p(e|z),                       (Eq. 5)
+//!                 Σ_{z: p(z|W)>0} p(e|z) · max_{W*} p(z)·Π_{w∈W∪W*} q(w,z) )  (Eq. 6)
+//! with  q(w,z) = p(w|z) / Π_{z′} p(w|z′)^{p(z′)}
+//! ```
+//!
+//! The Appx. B.8 Jensen step (`ln Σ_{z′} p(z′)X_{z′} ≥ Σ_{z′} p(z′) ln X_{z′}`
+//! applied to the posterior's denominator) yields
+//! `p(z|W′) ≤ p(z)·Π_{w∈W′} q(w,z)`.
+//!
+//! > Faithfulness note: the paper prints `q(w,z) = p(w|z)·p(z)/…`, i.e. a
+//! > prior factor **per tag**. That shrinks the bound by `p(z)^{|W′|−1}` and
+//! > makes it invalid — property testing found a two-topic, three-tag
+//! > counterexample with a true posterior of 0.76 against a "bound" of 0.22
+//! > (`tests/proptest_invariants.rs::lemma8_bound_dominates`). The single
+//! > `p(z)` factor above is what the Jensen derivation actually gives; it is
+//! > the version implemented here.
+//!
+//! The per-topic maximum over completions `W*` is attained by the
+//! `k − |W|` largest `q(·,z)` values among tags outside `W`, so the oracle
+//! precomputes, per topic, tags sorted by descending `q`.
+
+use crate::ids::{TagId, TagSet, TopicId};
+use crate::posterior::{EdgeProbCache, EdgeProbs};
+use crate::{EdgeTopics, TagTopicMatrix};
+use pitex_graph::EdgeId;
+
+/// Precomputed `q(w,z)` tables for fast partial-set bounds.
+#[derive(Clone, Debug)]
+pub struct BoundOracle {
+    /// Per topic: `(q(w,z), w)` sorted by descending `q`. Only topics with
+    /// positive prior appear populated.
+    per_topic: Vec<Vec<(f64, TagId)>>,
+    /// Per tag: `(z, q(w,z))` sorted by topic, mirroring the matrix rows.
+    per_tag: Vec<Vec<(TopicId, f64)>>,
+    prior: Vec<f64>,
+}
+
+impl BoundOracle {
+    /// Builds the oracle from a tag–topic matrix; `O(nnz·|Z| + nnz log nnz)`.
+    pub fn new(matrix: &TagTopicMatrix) -> Self {
+        let num_topics = matrix.num_topics();
+        let prior = matrix.prior().to_vec();
+        let mut per_topic: Vec<Vec<(f64, TagId)>> = vec![Vec::new(); num_topics];
+        let mut per_tag: Vec<Vec<(TopicId, f64)>> = Vec::with_capacity(matrix.num_tags());
+
+        for w in 0..matrix.num_tags() as TagId {
+            // ln D(w) = Σ_{z′} p(z′)·ln p(w|z′). If any prior-positive topic
+            // is missing from the row, D(w) = 0 and q(w,·) = +∞ — the bound
+            // then caps at 1 (Appx. B.8's inequality is vacuous there).
+            let mut ln_d = 0.0f64;
+            let mut covered_mass = 0.0f64;
+            for (z, p) in matrix.row(w) {
+                let pz = prior[z as usize];
+                if pz > 0.0 {
+                    ln_d += pz * (p as f64).ln();
+                    covered_mass += pz;
+                }
+            }
+            let full_support = (covered_mass - 1.0).abs() < 1e-12;
+            let d = if full_support { ln_d.exp() } else { 0.0 };
+
+            let mut row_q = Vec::with_capacity(matrix.row_len(w));
+            for (z, p) in matrix.row(w) {
+                let pz = prior[z as usize];
+                if pz <= 0.0 {
+                    continue;
+                }
+                let q = if d > 0.0 { p as f64 / d } else { f64::INFINITY };
+                row_q.push((z, q));
+                per_topic[z as usize].push((q, w));
+            }
+            per_tag.push(row_q);
+        }
+        for list in &mut per_topic {
+            list.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        }
+        Self { per_topic, per_tag, prior }
+    }
+
+    /// `q(w,z)`, or 0 if `p(w|z) = 0` or `p(z) = 0`.
+    pub fn q(&self, w: TagId, z: TopicId) -> f64 {
+        let row = &self.per_tag[w as usize];
+        row.binary_search_by_key(&z, |&(t, _)| t).map(|i| row[i].1).unwrap_or(0.0)
+    }
+
+    /// Per-topic upper-bound weights for all size-`k` completions of the
+    /// partial set `W` (`|W| ≤ k`).
+    ///
+    /// Entry `z` carries `min(1, Π_{w∈W} q(w,z) · top_{k−|W|} q(·,z) over
+    /// Ω∖W)`; topics where some `w ∈ W` has `p(w|z) = 0` are absent (they can
+    /// never carry posterior mass for a superset of `W`). Topics where no
+    /// valid completion exists carry weight 0 but remain listed, because
+    /// Eq. 5's term still ranges over the *posterior support of `W`*.
+    pub fn bounded_posterior(&self, tag_set: &TagSet, k: usize) -> BoundedPosterior {
+        debug_assert!(tag_set.len() <= k);
+        let needed = k - tag_set.len();
+        let mut entries = Vec::new();
+        'topic: for z in 0..self.per_topic.len() {
+            if self.prior[z] <= 0.0 {
+                continue;
+            }
+            // Base product: one prior factor, then q over the chosen tags.
+            let mut base = self.prior[z];
+            for w in tag_set.iter() {
+                let q = self.q(w, z as TopicId);
+                if q <= 0.0 {
+                    continue 'topic; // p(w|z) = 0 kills this topic for all supersets
+                }
+                base *= q;
+            }
+            // Best completion: largest `needed` q values among tags ∉ W.
+            let mut completion = 1.0f64;
+            let mut taken = 0usize;
+            if needed > 0 {
+                for &(q, w) in &self.per_topic[z] {
+                    if tag_set.contains(w) {
+                        continue;
+                    }
+                    completion *= q;
+                    taken += 1;
+                    if taken == needed {
+                        break;
+                    }
+                }
+            }
+            let weight = if taken < needed {
+                0.0 // every completion includes a zero-probability tag
+            } else {
+                (base * completion).min(1.0)
+            };
+            entries.push((z as TopicId, weight));
+        }
+        BoundedPosterior { entries }
+    }
+}
+
+/// Per-topic upper-bound weights for a partial tag set, consumed by
+/// [`UpperBoundEdgeProbs`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundedPosterior {
+    /// `(topic, weight)` over the posterior support of the partial set,
+    /// sorted by topic; weights are capped at 1 and may be 0.
+    entries: Vec<(TopicId, f64)>,
+}
+
+impl BoundedPosterior {
+    pub fn entries(&self) -> &[(TopicId, f64)] {
+        &self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evaluates `p⁺(e|W)` = min(Eq. 5, Eq. 6) for one edge.
+    pub fn edge_bound(&self, edge_topics: &EdgeTopics, e: EdgeId) -> f64 {
+        let (topics, probs) = edge_topics.row_slices(e);
+        let mut max_term = 0.0f64; // Eq. 5
+        let mut sum_term = 0.0f64; // Eq. 6
+        let mut i = 0usize;
+        let mut j = 0usize;
+        while i < topics.len() && j < self.entries.len() {
+            let (z, weight) = self.entries[j];
+            match topics[i].cmp(&z) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let pez = probs[i] as f64;
+                    max_term = max_term.max(pez);
+                    sum_term += pez * weight;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        max_term.min(sum_term)
+    }
+}
+
+/// [`EdgeProbs`] view of the Lemma 8 bound: plugs into any spread estimator
+/// to produce an upper bound on the spread of every completion of `W`
+/// (IC spread is monotone in edge probabilities).
+pub struct UpperBoundEdgeProbs<'a> {
+    edge_topics: &'a EdgeTopics,
+    bounded: &'a BoundedPosterior,
+    cache: &'a mut EdgeProbCache,
+}
+
+impl<'a> UpperBoundEdgeProbs<'a> {
+    pub fn new(
+        edge_topics: &'a EdgeTopics,
+        bounded: &'a BoundedPosterior,
+        cache: &'a mut EdgeProbCache,
+    ) -> Self {
+        cache.begin();
+        Self { edge_topics, bounded, cache }
+    }
+}
+
+impl EdgeProbs for UpperBoundEdgeProbs<'_> {
+    #[inline]
+    fn prob(&mut self, e: EdgeId) -> f64 {
+        let bounded = self.bounded;
+        let edge_topics = self.edge_topics;
+        self.cache.get_or_insert_with(e, || bounded.edge_bound(edge_topics, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combi::KSubsets;
+    use crate::posterior::TopicPosterior;
+    use crate::TicModel;
+
+    fn fig2() -> TicModel {
+        TicModel::paper_example()
+    }
+
+    #[test]
+    fn q_is_zero_outside_support() {
+        let m = fig2();
+        let oracle = BoundOracle::new(m.tag_topic());
+        assert_eq!(oracle.q(0, 2), 0.0, "w1 has no mass on z3");
+        assert!(oracle.q(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn empty_set_bound_is_capped_by_p_max_and_dominates_all_sets() {
+        // Lemma 8 (W.L.O.G. clause): p⁺(e|∅) ≤ max_z p(e|z), and it must
+        // dominate p(e|W′) for every size-k set W′.
+        let m = fig2();
+        let oracle = BoundOracle::new(m.tag_topic());
+        let bounded = oracle.bounded_posterior(&TagSet::empty(), 2);
+        for (e, _, _) in m.graph().edges() {
+            let b = bounded.edge_bound(m.edge_topics(), e);
+            let p_max = m.edge_topics().p_max(e) as f64;
+            assert!(b <= p_max + 1e-7, "edge {e}: bound {b} above p_max {p_max}");
+            for full in KSubsets::new(m.num_tags() as u32, 2) {
+                let wp = TagSet::new(full);
+                let post = TopicPosterior::compute(m.tag_topic(), &wp);
+                let exact = post.edge_prob(m.edge_topics(), e);
+                assert!(b >= exact - 1e-9, "edge {e}, W'={wp}: {b} < {exact}");
+            }
+        }
+    }
+
+    /// The central soundness property: for every partial `W` and every
+    /// size-k completion `W′ ⊇ W`, `p⁺(e|W) ≥ p(e|W′)` on every edge.
+    #[test]
+    fn bound_dominates_all_completions_fig2() {
+        let m = fig2();
+        let oracle = BoundOracle::new(m.tag_topic());
+        let k = 2usize;
+        let num_tags = m.num_tags() as u32;
+        for partial_size in 0..=k {
+            for partial in KSubsets::new(num_tags, partial_size) {
+                let w = TagSet::new(partial);
+                let bounded = oracle.bounded_posterior(&w, k);
+                for full in KSubsets::new(num_tags, k) {
+                    let wp = TagSet::new(full);
+                    if !w.is_subset_of(&wp) {
+                        continue;
+                    }
+                    let post = TopicPosterior::compute(m.tag_topic(), &wp);
+                    for (e, _, _) in m.graph().edges() {
+                        let bound = bounded.edge_bound(m.edge_topics(), e);
+                        let exact = post.edge_prob(m.edge_topics(), e);
+                        assert!(
+                            bound >= exact - 1e-9,
+                            "W={w} W'={wp} edge {e}: bound {bound} < exact {exact}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_topics_are_dropped_from_support() {
+        let m = fig2();
+        let oracle = BoundOracle::new(m.tag_topic());
+        // w1 (id 0) has support {z1, z2}; any superset keeps z3 dead.
+        let bounded = oracle.bounded_posterior(&TagSet::from([0]), 2);
+        assert!(bounded.entries().iter().all(|&(z, _)| z != 2));
+    }
+
+    #[test]
+    fn weights_are_capped_at_one() {
+        let m = fig2();
+        let oracle = BoundOracle::new(m.tag_topic());
+        for size in 0..=2usize {
+            for set in KSubsets::new(m.num_tags() as u32, size) {
+                let bounded = oracle.bounded_posterior(&TagSet::new(set), 2);
+                for &(_, weight) in bounded.entries() {
+                    assert!((0.0..=1.0).contains(&weight));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_prior_support_gives_infinite_q_capped_to_one() {
+        // A tag that covers only one of two topics ⇒ D(w) = 0 ⇒ q = ∞,
+        // and the bound must cap at 1, not produce NaN.
+        let matrix = TagTopicMatrix::with_uniform_prior(
+            vec![vec![(0, 0.5)], vec![(0, 0.3), (1, 0.7)]],
+            2,
+        );
+        let oracle = BoundOracle::new(&matrix);
+        assert!(oracle.q(0, 0).is_infinite());
+        let bounded = oracle.bounded_posterior(&TagSet::from([0]), 2);
+        for &(_, weight) in bounded.entries() {
+            assert!(weight.is_finite());
+            assert!((0.0..=1.0).contains(&weight));
+        }
+    }
+
+    #[test]
+    fn impossible_completion_weights_zero() {
+        // Topic 1 is supported by a single tag; a 3-set through topic 1
+        // cannot exist, so its weight must be 0 for any |W| ≤ 2 not
+        // containing enough topic-1 tags.
+        let matrix = TagTopicMatrix::with_uniform_prior(
+            vec![
+                vec![(0, 0.5), (1, 0.5)],
+                vec![(0, 1.0)],
+                vec![(0, 1.0)],
+            ],
+            2,
+        );
+        let oracle = BoundOracle::new(&matrix);
+        let bounded = oracle.bounded_posterior(&TagSet::empty(), 3);
+        let z1 = bounded.entries().iter().find(|&&(z, _)| z == 1).unwrap();
+        assert_eq!(z1.1, 0.0, "only one tag supports topic 1, k = 3 needs three");
+    }
+}

@@ -1,0 +1,169 @@
+//! Combinatorics for sample-size formulas and tag-set enumeration.
+//!
+//! The sampling bounds of the paper need `ln C(|Ω|, k)` (Eq. 2) and
+//! `φ_K = Σ_{i=1..K} C(|Ω|, i)` (Eq. 7, best-effort analysis in Appx. C);
+//! both are computed in log space because `C(250, 10) ≈ 2·10¹⁶` already
+//! overflows nothing but quickly leaves the regime where `u64` is safe.
+
+/// Natural log of the binomial coefficient `C(n, k)`; `-∞` if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    // Σ ln((n-k+i)/i): exact enough (error ~1e-12 relative) and O(k).
+    let mut acc = 0.0f64;
+    for i in 1..=k {
+        acc += ((n - k + i) as f64).ln() - (i as f64).ln();
+    }
+    acc
+}
+
+/// `C(n, k)` as `f64` (may be `inf` for huge inputs; callers use it inside
+/// logarithms or for small `n`).
+pub fn choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    ln_choose(n, k).exp()
+}
+
+/// `φ_K = Σ_{i=1..K} C(n, i)` as `f64` — the number of non-empty tag sets of
+/// size at most `K` (Eq. 7).
+pub fn phi(n: u64, k_max: u64) -> f64 {
+    (1..=k_max.min(n)).map(|i| choose(n, i)).sum()
+}
+
+/// `ln φ_K` computed stably via log-sum-exp.
+pub fn ln_phi(n: u64, k_max: u64) -> f64 {
+    let k_max = k_max.min(n);
+    if k_max == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let logs: Vec<f64> = (1..=k_max).map(|i| ln_choose(n, i)).collect();
+    let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    max + logs.iter().map(|&l| (l - max).exp()).sum::<f64>().ln()
+}
+
+/// Lexicographic enumeration of all `k`-subsets of `0..n` (as sorted id
+/// vectors). This is the baseline enumeration of the sampling framework
+/// (§4); best-effort exploration replaces it with a pruned search.
+#[derive(Clone, Debug)]
+pub struct KSubsets {
+    n: u32,
+    k: usize,
+    current: Vec<u32>,
+    done: bool,
+}
+
+impl KSubsets {
+    pub fn new(n: u32, k: usize) -> Self {
+        let done = k as u64 > n as u64 || k == 0;
+        let current = (0..k as u32).collect();
+        Self { n, k, current, done }
+    }
+}
+
+impl Iterator for KSubsets {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        if self.done {
+            return None;
+        }
+        let item = self.current.clone();
+        // Advance: find rightmost index that can still move right.
+        let k = self.k;
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.current[i] < self.n - (k - i) as u32 {
+                self.current[i] += 1;
+                for j in i + 1..k {
+                    self.current[j] = self.current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_choose_small_values_are_exact() {
+        assert!((ln_choose(5, 2) - (10f64).ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 0)).abs() < 1e-12);
+        assert!((ln_choose(10, 10)).abs() < 1e-12);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_choose_matches_pascal_recurrence() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                let lhs = choose(n, k);
+                let rhs = choose(n - 1, k - 1) + choose(n - 1, k);
+                assert!(
+                    (lhs - rhs).abs() / rhs < 1e-9,
+                    "C({n},{k}): {lhs} vs {rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phi_sums_binomials() {
+        // φ_2(5) = C(5,1) + C(5,2) = 5 + 10.
+        assert!((phi(5, 2) - 15.0).abs() < 1e-9);
+        // K larger than n truncates.
+        assert!((phi(3, 10) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_phi_agrees_with_direct_sum() {
+        for (n, k) in [(50u64, 3u64), (250, 10), (276, 5)] {
+            let direct = phi(n, k).ln();
+            let stable = ln_phi(n, k);
+            assert!((direct - stable).abs() < 1e-9, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn ksubsets_enumerates_all_exactly_once() {
+        let sets: Vec<Vec<u32>> = KSubsets::new(5, 3).collect();
+        assert_eq!(sets.len(), 10);
+        let mut dedup = sets.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert_eq!(sets.first().unwrap(), &vec![0, 1, 2]);
+        assert_eq!(sets.last().unwrap(), &vec![2, 3, 4]);
+        for s in &sets {
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "each subset is sorted");
+        }
+    }
+
+    #[test]
+    fn ksubsets_edge_cases() {
+        assert_eq!(KSubsets::new(4, 0).count(), 0, "k = 0 yields nothing");
+        assert_eq!(KSubsets::new(3, 5).count(), 0, "k > n yields nothing");
+        assert_eq!(KSubsets::new(3, 3).collect::<Vec<_>>(), vec![vec![0, 1, 2]]);
+        assert_eq!(KSubsets::new(1, 1).collect::<Vec<_>>(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn ksubsets_count_matches_choose() {
+        for (n, k) in [(6u32, 2usize), (7, 4), (8, 1), (9, 8)] {
+            let count = KSubsets::new(n, k).count() as f64;
+            assert!((count - choose(n as u64, k as u64)).abs() < 1e-6);
+        }
+    }
+}

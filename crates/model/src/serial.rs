@@ -1,0 +1,212 @@
+//! Binary persistence for complete TIC models.
+//!
+//! `pitex-datasets` caches generated profiles between benchmark runs; this
+//! module round-trips a [`TicModel`] (graph + tag–topic matrix + edge
+//! topics) through the workspace codec.
+
+use crate::edge_topics::EdgeTopics;
+use crate::tag_topic::TagTopicMatrix;
+use crate::tic::TicModel;
+use pitex_support::codec::{DecodeError, Decoder, Encoder};
+
+const MAGIC: [u8; 4] = *b"PTIC";
+const VERSION: u32 = 1;
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum ModelIoError {
+    Io(std::io::Error),
+    Decode(DecodeError),
+    Graph(pitex_graph::io::GraphIoError),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelIoError::Decode(e) => write!(f, "decode error: {e}"),
+            ModelIoError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ModelIoError {
+    fn from(e: DecodeError) -> Self {
+        ModelIoError::Decode(e)
+    }
+}
+
+impl From<pitex_graph::io::GraphIoError> for ModelIoError {
+    fn from(e: pitex_graph::io::GraphIoError) -> Self {
+        ModelIoError::Graph(e)
+    }
+}
+
+fn encode_sparse_rows(
+    enc: &mut Encoder<Vec<u8>>,
+    rows: impl Iterator<Item = Vec<(u16, f32)>>,
+    count: usize,
+) {
+    enc.u64(count as u64);
+    for row in rows {
+        enc.u32(row.len() as u32);
+        for (z, p) in row {
+            enc.u32(z as u32);
+            enc.f32(p);
+        }
+    }
+}
+
+fn decode_sparse_rows(dec: &mut Decoder<&[u8]>) -> Result<Vec<Vec<(u16, f32)>>, DecodeError> {
+    let count = dec.u64()? as usize;
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = dec.u32()? as usize;
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            let z = dec.u32()? as u16;
+            let p = dec.f32()?;
+            row.push((z, p));
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Serializes a model to bytes.
+pub fn to_bytes(model: &TicModel) -> Vec<u8> {
+    let mut enc = Encoder::new(Vec::new());
+    enc.header(MAGIC, VERSION);
+
+    let graph_bytes = pitex_graph::io::to_bytes(model.graph());
+    enc.u64(graph_bytes.len() as u64);
+    let mut enc = {
+        let mut buf = enc.into_inner();
+        buf.extend_from_slice(&graph_bytes);
+        Encoder::new(buf)
+    };
+
+    let tt = model.tag_topic();
+    enc.u32(tt.num_topics() as u32);
+    let prior: Vec<f32> = tt.prior().iter().map(|&p| p as f32).collect();
+    enc.f32_slice(&prior);
+    encode_sparse_rows(
+        &mut enc,
+        (0..tt.num_tags() as u32).map(|w| tt.row(w).collect()),
+        tt.num_tags(),
+    );
+
+    let et = model.edge_topics();
+    encode_sparse_rows(
+        &mut enc,
+        (0..et.num_edges() as u32).map(|e| et.row(e).collect()),
+        et.num_edges(),
+    );
+    enc.into_inner()
+}
+
+/// Deserializes a model written by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<TicModel, ModelIoError> {
+    let mut dec = Decoder::new(bytes);
+    dec.header(MAGIC, VERSION)?;
+    let graph_len = dec.u64()? as usize;
+    // The graph blob is embedded verbatim; split it off manually.
+    let header_len = 8 + 8; // magic+version, graph length
+    if bytes.len() < header_len + graph_len {
+        return Err(ModelIoError::Decode(DecodeError::UnexpectedEof {
+            needed: header_len + graph_len,
+            remaining: bytes.len(),
+        }));
+    }
+    let graph = pitex_graph::io::from_bytes(&bytes[header_len..header_len + graph_len])?;
+    let mut dec = Decoder::new(&bytes[header_len + graph_len..]);
+
+    let num_topics = dec.u32()? as usize;
+    let prior_f32 = dec.f32_slice()?;
+    let prior: Vec<f64> = prior_f32.iter().map(|&p| p as f64).collect();
+    // Renormalize to absorb f32 rounding so the TagTopicMatrix validator
+    // (sum within 1e-6) accepts a round-tripped prior.
+    let total: f64 = prior.iter().sum();
+    let prior: Vec<f64> = prior.into_iter().map(|p| p / total).collect();
+    let tag_rows = decode_sparse_rows(&mut dec)?;
+    let edge_rows = decode_sparse_rows(&mut dec)?;
+
+    let tag_topic = TagTopicMatrix::new(tag_rows, prior);
+    let edge_topics = EdgeTopics::new(edge_rows, num_topics);
+    Ok(TicModel::new(graph, tag_topic, edge_topics))
+}
+
+/// Writes a model to a file.
+pub fn save<P: AsRef<std::path::Path>>(model: &TicModel, path: P) -> Result<(), ModelIoError> {
+    std::fs::write(path, to_bytes(model))?;
+    Ok(())
+}
+
+/// Reads a model from a file.
+pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<TicModel, ModelIoError> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genmodel::{random_model, ModelGenConfig};
+    use crate::ids::TagSet;
+    use pitex_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_example_round_trips() {
+        let model = TicModel::paper_example();
+        let bytes = to_bytes(&model);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.graph(), model.graph());
+        assert_eq!(back.edge_topics(), model.edge_topics());
+        assert_eq!(back.tag_topic().num_tags(), model.tag_topic().num_tags());
+        // Posterior semantics survive the round trip.
+        let w = TagSet::from([0, 1]);
+        let e = model.graph().find_edge(0, 1).unwrap();
+        assert!((back.edge_prob(e, &w) - model.edge_prob(e, &w)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_model_round_trips() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let graph = gen::preferential_attachment(150, 2, 0.3, &mut rng);
+        let model = random_model(graph, &ModelGenConfig::default(), &mut rng);
+        let back = from_bytes(&to_bytes(&model)).unwrap();
+        assert_eq!(back.graph(), model.graph());
+        assert_eq!(back.edge_topics(), model.edge_topics());
+    }
+
+    #[test]
+    fn corrupted_input_fails_cleanly() {
+        let model = TicModel::paper_example();
+        let mut bytes = to_bytes(&model);
+        bytes.truncate(bytes.len() / 2);
+        assert!(from_bytes(&bytes).is_err());
+        assert!(from_bytes(b"junk").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pitex-model-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let model = TicModel::paper_example();
+        save(&model, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.graph(), model.graph());
+        let _ = std::fs::remove_file(&path);
+    }
+}

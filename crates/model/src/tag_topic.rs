@@ -1,0 +1,201 @@
+//! The sparse tag–topic probability matrix `p(w|z)` and the topic prior.
+
+use crate::ids::{TagId, TopicId};
+
+/// Sparse `|Ω| × |Z|` matrix of tag–topic probabilities `p(w|z)`, stored
+/// CSR-style by tag, together with the topic prior `p(z)`.
+///
+/// The paper's datasets have tag–topic *densities* (fraction of non-zero
+/// entries) between 0.08 and 0.32, and the best-effort strategy's pruning
+/// power comes exactly from those zeros (§7.3, "varying k"), so sparsity is
+/// structural, not an optimization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TagTopicMatrix {
+    num_topics: usize,
+    /// CSR offsets by tag id; `len = num_tags + 1`.
+    offsets: Vec<u32>,
+    /// Topic ids of non-zero entries, sorted within each tag row.
+    topics: Vec<TopicId>,
+    /// `p(w|z)` values parallel to `topics`.
+    probs: Vec<f32>,
+    /// Topic prior `p(z)`; `len = num_topics`, sums to 1.
+    prior: Vec<f64>,
+}
+
+impl TagTopicMatrix {
+    /// Builds from per-tag sparse rows. Each row lists `(topic, p(w|z))`
+    /// pairs; rows may be unsorted but must not repeat a topic.
+    ///
+    /// # Panics
+    /// If a probability is not in `(0, 1]`, a topic id is out of range, a
+    /// row repeats a topic, or the prior does not sum to 1 (±1e-6).
+    pub fn new(rows: Vec<Vec<(TopicId, f32)>>, prior: Vec<f64>) -> Self {
+        let num_topics = prior.len();
+        let prior_sum: f64 = prior.iter().sum();
+        assert!(
+            (prior_sum - 1.0).abs() < 1e-6,
+            "topic prior must sum to 1, got {prior_sum}"
+        );
+        assert!(prior.iter().all(|&p| p >= 0.0), "prior probabilities must be non-negative");
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0u32);
+        let mut topics = Vec::new();
+        let mut probs = Vec::new();
+        for (w, mut row) in rows.into_iter().enumerate() {
+            row.sort_unstable_by_key(|&(z, _)| z);
+            for pair in row.windows(2) {
+                assert!(pair[0].0 != pair[1].0, "tag {w} repeats topic {}", pair[0].0);
+            }
+            for (z, p) in row {
+                assert!(
+                    (z as usize) < num_topics,
+                    "tag {w}: topic {z} out of range (|Z| = {num_topics})"
+                );
+                assert!(p > 0.0 && p <= 1.0, "tag {w}: p(w|z) = {p} outside (0, 1]");
+                topics.push(z);
+                probs.push(p);
+            }
+            offsets.push(topics.len() as u32);
+        }
+        Self { num_topics, offsets, topics, probs, prior }
+    }
+
+    /// Uniform prior helper: `p(z) = 1/|Z|`.
+    pub fn with_uniform_prior(rows: Vec<Vec<(TopicId, f32)>>, num_topics: usize) -> Self {
+        Self::new(rows, vec![1.0 / num_topics as f64; num_topics])
+    }
+
+    /// Number of tags `|Ω|`.
+    pub fn num_tags(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of topics `|Z|`.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// Topic prior `p(z)`.
+    pub fn prior(&self) -> &[f64] {
+        &self.prior
+    }
+
+    /// Non-zero `(topic, p(w|z))` entries of tag `w`, sorted by topic.
+    #[inline]
+    pub fn row(&self, w: TagId) -> impl Iterator<Item = (TopicId, f32)> + '_ {
+        let lo = self.offsets[w as usize] as usize;
+        let hi = self.offsets[w as usize + 1] as usize;
+        (lo..hi).map(move |i| (self.topics[i], self.probs[i]))
+    }
+
+    /// Number of non-zero entries in tag `w`'s row.
+    pub fn row_len(&self, w: TagId) -> usize {
+        (self.offsets[w as usize + 1] - self.offsets[w as usize]) as usize
+    }
+
+    /// `p(w|z)`, zero if the entry is absent.
+    pub fn prob(&self, w: TagId, z: TopicId) -> f32 {
+        let lo = self.offsets[w as usize] as usize;
+        let hi = self.offsets[w as usize + 1] as usize;
+        match self.topics[lo..hi].binary_search(&z) {
+            Ok(i) => self.probs[lo + i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Fraction of non-zero entries, the paper's "tag-topic probability
+    /// density" (footnote 7): `nnz / (|Ω|·|Z|)`.
+    pub fn density(&self) -> f64 {
+        if self.num_tags() == 0 || self.num_topics == 0 {
+            return 0.0;
+        }
+        self.topics.len() as f64 / (self.num_tags() * self.num_topics) as f64
+    }
+
+    /// Total number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.offsets.len() * 4
+            + self.topics.len() * 2
+            + self.probs.len() * 4
+            + self.prior.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tag–topic table of the paper's running example (Fig. 2b).
+    pub(crate) fn fig2_matrix() -> TagTopicMatrix {
+        TagTopicMatrix::with_uniform_prior(
+            vec![
+                vec![(0, 0.6), (1, 0.4)],          // w1
+                vec![(0, 0.4), (1, 0.6)],          // w2
+                vec![(1, 0.4), (2, 0.6)],          // w3
+                vec![(1, 0.4), (2, 0.6)],          // w4
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn shape_and_lookup() {
+        let m = fig2_matrix();
+        assert_eq!(m.num_tags(), 4);
+        assert_eq!(m.num_topics(), 3);
+        assert_eq!(m.prob(0, 0), 0.6);
+        assert_eq!(m.prob(0, 2), 0.0, "absent entry reads as zero");
+        assert_eq!(m.prob(3, 2), 0.6);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_complete() {
+        let m = fig2_matrix();
+        let row: Vec<_> = m.row(2).collect();
+        assert_eq!(row, vec![(1, 0.4), (2, 0.6)]);
+        assert_eq!(m.row_len(2), 2);
+    }
+
+    #[test]
+    fn density_matches_nnz() {
+        let m = fig2_matrix();
+        assert_eq!(m.nnz(), 8);
+        assert!((m.density() - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_rows_are_accepted() {
+        let m = TagTopicMatrix::with_uniform_prior(vec![vec![(2, 0.5), (0, 0.5)]], 3);
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row, vec![(0, 0.5), (2, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn rejects_bad_prior() {
+        TagTopicMatrix::new(vec![], vec![0.3, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_zero_probability_entries() {
+        TagTopicMatrix::with_uniform_prior(vec![vec![(0, 0.0)]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats topic")]
+    fn rejects_duplicate_topics_in_row() {
+        TagTopicMatrix::with_uniform_prior(vec![vec![(0, 0.2), (0, 0.3)]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_topic() {
+        TagTopicMatrix::with_uniform_prior(vec![vec![(5, 0.2)]], 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Sample-size and stopping-rule machinery (Lemmas 2–3, Appx. B.2–B.3).
+//!
+//! Lemma 2 (quoted from Tang et al.) gives, for error `ε` and confidence
+//! parameter `δ`, the sufficient per-tag-set sample count
+//!
+//! ```text
+//! θ_W = (2+ε)/ε² · |R_W(u)| · ln(2·δ·C(|Ω|,k)) / E[I(u|W)]        (Eq. 2)
+//! ```
+//!
+//! and Lemma 3 shows the same bound serves Monte-Carlo sampling. Since
+//! `E[I(u|W)]` is the unknown being estimated, all samplers use the
+//! equivalent **martingale stopping rule** (after Tang et al.\[35\], which
+//! Algo. 2 line 17 invokes): keep drawing until the *accumulated spread*
+//! `s = Σ_i I_{g_i}(u|W)` reaches `Λ·|R_W(u)|`, where
+//! `Λ = (2+ε)/ε² · ln(2·δ·C(|Ω|,k))`. Because every iteration contributes at
+//! least 1 (the seed user is always active), termination within
+//! `⌈Λ·|R_W(u)|⌉` iterations is unconditional.
+//!
+//! > Faithfulness note: the stopping expression printed in Algo. 2 line 17
+//! > is garbled (its `log(2/(δ·C))` goes negative for `δ·C > 2`); the rule
+//! > above is the standard one consistent with Lemma 2, and it reproduces
+//! > the paper's measured behaviour (sample counts shrink as ε or δ grow —
+//! > Figs. 9 and 14).
+
+use pitex_model::combi;
+
+/// How many sample instances an estimator may draw.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleBudget {
+    /// Adaptive: stop at the Lemma 2/3 accumulated-spread threshold.
+    Adaptive,
+    /// Exactly this many instances (used by the Fig. 6 convergence study).
+    Fixed(u64),
+}
+
+/// Accuracy parameters of a PITEX query, shared by all estimators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplingParams {
+    /// Relative error target `ε` (paper default 0.7).
+    pub epsilon: f64,
+    /// Confidence parameter `δ`: guarantees hold with probability
+    /// `1 − δ⁻¹` (paper default 1000).
+    pub delta: f64,
+    /// `ln` of the number of candidate tag sets sharing the union bound:
+    /// `ln C(|Ω|, k)` for plain enumeration (Eq. 2), `ln φ_k` for
+    /// best-effort (Eq. 12), `ln φ_K` for the index (Eq. 7).
+    pub ln_candidates: f64,
+    /// Sampling budget policy.
+    pub budget: SampleBudget,
+    /// Base RNG seed; estimators derive per-user streams from it.
+    pub seed: u64,
+}
+
+impl SamplingParams {
+    /// Parameters for enumerating all `C(num_tags, k)` tag sets, with the
+    /// paper's defaults for unspecified knobs.
+    pub fn enumeration(epsilon: f64, delta: f64, num_tags: usize, k: usize) -> Self {
+        Self {
+            epsilon,
+            delta,
+            ln_candidates: combi::ln_choose(num_tags as u64, k as u64),
+            budget: SampleBudget::Adaptive,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Parameters for best-effort exploration over all sets of size ≤ k.
+    pub fn best_effort(epsilon: f64, delta: f64, num_tags: usize, k: usize) -> Self {
+        Self {
+            epsilon,
+            delta,
+            ln_candidates: combi::ln_phi(num_tags as u64, k as u64),
+            budget: SampleBudget::Adaptive,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// The paper's default setting: ε = 0.7, δ = 1000.
+    pub fn paper_defaults(num_tags: usize, k: usize) -> Self {
+        Self::best_effort(0.7, 1000.0, num_tags, k)
+    }
+
+    /// `Λ = (2+ε)/ε² · (ln 2 + ln δ + ln_candidates)` — the per-unit
+    /// accumulated-spread threshold of the stopping rule.
+    pub fn lambda(&self) -> f64 {
+        assert!(self.epsilon > 0.0 && self.epsilon < 1.0, "ε must be in (0,1)");
+        assert!(self.delta > 1.0, "δ must exceed 1");
+        let ln_total = (2.0f64).ln() + self.delta.ln() + self.ln_candidates.max(0.0);
+        (2.0 + self.epsilon) / (self.epsilon * self.epsilon) * ln_total
+    }
+
+    /// Accumulated-spread stopping threshold for a user whose certain
+    /// reachable set has `reachable` vertices: `Λ·|R_W(u)|`.
+    pub fn stop_threshold(&self, reachable: usize) -> f64 {
+        self.lambda() * reachable.max(1) as f64
+    }
+
+    /// Hard iteration cap guaranteeing termination (`E[I] ≥ 1` ⇒ the
+    /// adaptive rule fires by then).
+    pub fn max_iterations(&self, reachable: usize) -> u64 {
+        match self.budget {
+            SampleBudget::Fixed(n) => n,
+            SampleBudget::Adaptive => self.stop_threshold(reachable).ceil() as u64 + 1,
+        }
+    }
+
+    /// Returns a copy with a fixed sample budget.
+    pub fn with_fixed_budget(mut self, samples: u64) -> Self {
+        self.budget = SampleBudget::Fixed(samples);
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Theoretical Eq. 2 sample size given a known spread (used in tests and
+    /// analysis; online estimation uses the stopping rule instead).
+    pub fn theta_w(&self, reachable: usize, expected_spread: f64) -> f64 {
+        self.stop_threshold(reachable) / expected_spread.max(1.0)
+    }
+}
+
+/// Default RNG seed for reproducible query results.
+const DEFAULT_SEED: u64 = 0x9173_7e58;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(eps: f64, delta: f64) -> SamplingParams {
+        SamplingParams::enumeration(eps, delta, 50, 3)
+    }
+
+    #[test]
+    fn lambda_decreases_with_epsilon() {
+        let a = params(0.3, 1000.0).lambda();
+        let b = params(0.7, 1000.0).lambda();
+        let c = params(0.9, 1000.0).lambda();
+        assert!(a > b && b > c, "{a} > {b} > {c}");
+    }
+
+    #[test]
+    fn lambda_grows_logarithmically_with_delta() {
+        let base = params(0.7, 10.0).lambda();
+        let big = params(0.7, 10_000.0).lambda();
+        assert!(big > base);
+        // log growth: 1000x delta adds a bounded factor, not 1000x.
+        assert!(big < base * 4.0, "{big} vs {base}");
+    }
+
+    #[test]
+    fn lambda_matches_closed_form() {
+        let p = params(0.5, 100.0);
+        let expected = (2.5 / 0.25)
+            * ((2.0f64).ln() + (100.0f64).ln() + pitex_model::combi::ln_choose(50, 3));
+        assert!((p.lambda() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stop_threshold_scales_with_reachable_set() {
+        let p = params(0.7, 1000.0);
+        assert!((p.stop_threshold(10) - 10.0 * p.lambda()).abs() < 1e-9);
+        assert_eq!(p.stop_threshold(0), p.stop_threshold(1), "clamped at 1");
+    }
+
+    #[test]
+    fn fixed_budget_overrides_cap() {
+        let p = params(0.7, 1000.0).with_fixed_budget(123);
+        assert_eq!(p.max_iterations(1_000_000), 123);
+    }
+
+    #[test]
+    fn best_effort_uses_phi_candidates() {
+        let enumeration = SamplingParams::enumeration(0.7, 1000.0, 50, 3);
+        let best_effort = SamplingParams::best_effort(0.7, 1000.0, 50, 3);
+        assert!(best_effort.ln_candidates > enumeration.ln_candidates);
+    }
+
+    #[test]
+    fn theta_w_matches_eq2_shape() {
+        let p = params(0.7, 1000.0);
+        // θ_W is inversely proportional to the expected spread.
+        let t1 = p.theta_w(100, 1.0);
+        let t10 = p.theta_w(100, 10.0);
+        assert!((t1 / t10 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be in (0,1)")]
+    fn rejects_bad_epsilon() {
+        params(1.5, 1000.0).lambda();
+    }
+}

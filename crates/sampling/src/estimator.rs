@@ -1,0 +1,86 @@
+//! The common estimator interface and its result type.
+
+use crate::bounds::SamplingParams;
+use pitex_graph::{DiGraph, NodeId};
+use pitex_model::EdgeProbs;
+
+/// The outcome of one influence estimation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Estimated `E[I(u|W)]` (the seed user counts, so ≥ 1 whenever the
+    /// graph contains `u`).
+    pub spread: f64,
+    /// Sample instances drawn (0 for exact/tree methods).
+    pub samples_used: u64,
+    /// Edge probes performed — the complexity measure of §4 and Fig. 13.
+    pub edges_visited: u64,
+    /// `|R_W(u)|`: vertices reachable from `u` over positive-probability
+    /// edges (Table 1).
+    pub reachable: usize,
+}
+
+impl Estimate {
+    /// An estimate for a user with no live out-edges: spread exactly 1.
+    pub fn isolated() -> Self {
+        Self { spread: 1.0, samples_used: 0, edges_visited: 0, reachable: 1 }
+    }
+}
+
+/// An influence-spread estimator.
+///
+/// Implementations receive edge probabilities through `&mut dyn EdgeProbs`
+/// so one estimator instance serves real tag sets, Lemma-8 upper-bound
+/// graphs and `p_max` graphs alike. The trait is object-safe: the engine
+/// selects backends at runtime.
+pub trait SpreadEstimator {
+    /// Estimates `E[I(u|W)]` on `graph` under the given edge probabilities.
+    fn estimate(
+        &mut self,
+        graph: &DiGraph,
+        user: NodeId,
+        probs: &mut dyn EdgeProbs,
+        params: &SamplingParams,
+    ) -> Estimate;
+
+    /// A short human-readable name (`"MC"`, `"RR"`, `"LAZY"`, ...), used by
+    /// the experiment harness to label output rows like the paper's plots.
+    fn name(&self) -> &'static str;
+}
+
+/// Computes `R_W(u)` — vertices reachable from `u` across edges with
+/// positive probability — into `out`, reusing `scratch`.
+pub(crate) fn reachable_positive(
+    graph: &DiGraph,
+    user: NodeId,
+    probs: &mut dyn EdgeProbs,
+    scratch: &mut pitex_graph::traverse::BfsScratch,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    scratch.run(graph, user, out, |e| probs.positive(e));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_graph::gen;
+    use pitex_graph::traverse::BfsScratch;
+    use pitex_model::FixedEdgeProbs;
+
+    #[test]
+    fn reachable_positive_respects_zero_edges() {
+        let g = gen::path(4); // 0 -> 1 -> 2 -> 3
+        let mut probs = FixedEdgeProbs::new(vec![0.5, 0.0, 0.9]);
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let mut out = Vec::new();
+        reachable_positive(&g, 0, &mut probs, &mut scratch, &mut out);
+        assert_eq!(out, vec![0, 1], "the zero edge cuts off 2 and 3");
+    }
+
+    #[test]
+    fn isolated_estimate_is_unit_spread() {
+        let e = Estimate::isolated();
+        assert_eq!(e.spread, 1.0);
+        assert_eq!(e.reachable, 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Exact influence-spread evaluation by possible-world enumeration.
+//!
+//! Influence spread is #P-hard in general (§4 cites Chen et al.), but on
+//! graphs with few *uncertain* edges (0 < p < 1) it can be computed exactly
+//! by summing over all live-edge worlds. This is the ground truth used by
+//! the test suite (e.g. to pin the paper's `E[I(u1|{w1,w2})] = 1.5125`) and
+//! by the best-effort engine tests, and it doubles as a usable backend for
+//! toy graphs.
+
+use crate::bounds::SamplingParams;
+use crate::estimator::{Estimate, SpreadEstimator};
+use pitex_graph::traverse::bfs_reachable;
+use pitex_graph::{DiGraph, EdgeId, NodeId};
+use pitex_model::EdgeProbs;
+
+/// Hard cap on uncertain edges: `2^20` worlds ≈ one million BFS runs.
+pub const MAX_UNCERTAIN_EDGES: usize = 20;
+
+/// Computes `E[I(u|W)]` exactly.
+///
+/// # Panics
+/// If more than [`MAX_UNCERTAIN_EDGES`] reachable-relevant edges have
+/// probability strictly between 0 and 1.
+pub fn exact_spread(graph: &DiGraph, user: NodeId, probs: &mut dyn EdgeProbs) -> f64 {
+    // Only edges whose source is reachable from `user` over positive edges
+    // can matter; everything else can be ignored.
+    let reach = bfs_reachable(graph, user, |e| probs.positive(e));
+    let mut in_reach = vec![false; graph.num_nodes()];
+    for &v in &reach.nodes {
+        in_reach[v as usize] = true;
+    }
+    let mut certain: Vec<EdgeId> = Vec::new();
+    let mut uncertain: Vec<(EdgeId, f64)> = Vec::new();
+    for (e, s, _) in graph.edges() {
+        if !in_reach[s as usize] {
+            continue;
+        }
+        let p = probs.prob(e);
+        if p >= 1.0 {
+            certain.push(e);
+        } else if p > 0.0 {
+            uncertain.push((e, p));
+        }
+    }
+    assert!(
+        uncertain.len() <= MAX_UNCERTAIN_EDGES,
+        "exact evaluation limited to {MAX_UNCERTAIN_EDGES} uncertain edges, got {}",
+        uncertain.len()
+    );
+
+    let mut live = vec![false; graph.num_edges()];
+    for &e in &certain {
+        live[e as usize] = true;
+    }
+    let worlds = 1u64 << uncertain.len();
+    let mut total = 0.0f64;
+    for mask in 0..worlds {
+        let mut weight = 1.0f64;
+        for (bit, &(e, p)) in uncertain.iter().enumerate() {
+            let alive = mask >> bit & 1 == 1;
+            live[e as usize] = alive;
+            weight *= if alive { p } else { 1.0 - p };
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        let world_reach = bfs_reachable(graph, user, |e| live[e as usize]);
+        total += weight * world_reach.len() as f64;
+    }
+    total
+}
+
+/// [`SpreadEstimator`] wrapper around [`exact_spread`] (ignores sampling
+/// parameters; reports zero samples).
+#[derive(Debug, Default)]
+pub struct ExactEstimator;
+
+impl ExactEstimator {
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SpreadEstimator for ExactEstimator {
+    fn estimate(
+        &mut self,
+        graph: &DiGraph,
+        user: NodeId,
+        probs: &mut dyn EdgeProbs,
+        _params: &SamplingParams,
+    ) -> Estimate {
+        let reach = bfs_reachable(graph, user, |e| probs.positive(e));
+        let spread = exact_spread(graph, user, probs);
+        Estimate { spread, samples_used: 0, edges_visited: 0, reachable: reach.len() }
+    }
+
+    fn name(&self) -> &'static str {
+        "EXACT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_graph::gen;
+    use pitex_model::FixedEdgeProbs;
+
+    #[test]
+    fn deterministic_path() {
+        let g = gen::path(4);
+        let mut probs = FixedEdgeProbs::uniform(3, 1.0);
+        assert_eq!(exact_spread(&g, 0, &mut probs), 4.0);
+        assert_eq!(exact_spread(&g, 2, &mut probs), 2.0);
+    }
+
+    #[test]
+    fn two_node_closed_form() {
+        let g = gen::path(2);
+        let mut probs = FixedEdgeProbs::uniform(1, 0.37);
+        assert!((exact_spread(&g, 0, &mut probs) - 1.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_closed_form() {
+        // E[I] = 1 + p + p² + p³ on a 4-path.
+        let g = gen::path(4);
+        let p = 0.5f64;
+        let mut probs = FixedEdgeProbs::uniform(3, p);
+        let expected = 1.0 + p + p * p + p * p * p;
+        assert!((exact_spread(&g, 0, &mut probs) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_closed_form() {
+        // E[I] = 1 + n·p on a star.
+        let n = 10usize;
+        let g = gen::star_low_impact(n);
+        let p = 0.1f64;
+        let mut probs = FixedEdgeProbs::uniform(n, p);
+        assert!((exact_spread(&g, 0, &mut probs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_handles_correlated_paths() {
+        // 0->1, 0->2, 1->3, 2->3 with p everywhere:
+        // P(3 active) = 1 - (1 - p²)².
+        let mut b = pitex_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let p = 0.6f64;
+        let mut probs = FixedEdgeProbs::uniform(4, p);
+        let expected = 1.0 + 2.0 * p + (1.0 - (1.0 - p * p) * (1.0 - p * p));
+        assert!((exact_spread(&g, 0, &mut probs) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_termination_and_value() {
+        // 0 -> 1 -> 0 with p = 0.5: from 0, E[I] = 1.5 (the back edge
+        // cannot add vertices).
+        let g = gen::cycle(2);
+        let mut probs = FixedEdgeProbs::uniform(2, 0.5);
+        assert!((exact_spread(&g, 0, &mut probs) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_uncertain_edges_do_not_count_against_cap() {
+        // A big uncertain component unreachable from the query user must
+        // not trip the enumeration cap.
+        let mut b = pitex_graph::GraphBuilder::new(40);
+        b.add_edge(0, 1);
+        for v in 2..39u32 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build();
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 0.5);
+        assert!((exact_spread(&g, 0, &mut probs) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_wrapper_reports_reachable() {
+        let g = gen::path(3);
+        let mut probs = FixedEdgeProbs::uniform(2, 0.5);
+        let mut exact = ExactEstimator::new();
+        let params = SamplingParams::enumeration(0.7, 1000.0, 4, 2);
+        let est = exact.estimate(&g, 0, &mut probs, &params);
+        assert_eq!(est.reachable, 3);
+        assert!((est.spread - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact evaluation limited")]
+    fn rejects_too_many_uncertain_edges() {
+        let g = gen::star_low_impact(MAX_UNCERTAIN_EDGES + 1);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 0.5);
+        exact_spread(&g, 0, &mut probs);
+    }
+}

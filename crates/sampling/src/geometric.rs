@@ -1,0 +1,132 @@
+//! Geometric random variables for lazy propagation sampling.
+//!
+//! Lemma 6 of the paper establishes that Bernoulli probing an edge with
+//! probability `p` across θ iterations is statistically identical to
+//! skipping ahead by i.i.d. geometric gaps: the edge fires at trial numbers
+//! `X₁, X₁+X₂, …` with `Xᵢ ~ Geometric(p)` (support `1, 2, …`). Sampling a
+//! gap is one `ln` instead of up to `1/p` coin flips — the entire point of
+//! §5.1.
+
+use rand::Rng;
+
+/// A geometric gap sentinel meaning "never fires" (`p = 0`).
+pub const NEVER: u64 = u64::MAX;
+
+/// Draws `X ~ Geometric(p)` with support `{1, 2, …}` via inversion:
+/// `X = ⌈ln(1−U)/ln(1−p)⌉`, `U ~ U[0,1)`.
+///
+/// Returns [`NEVER`] for `p ≤ 0` and 1 for `p ≥ 1`.
+#[inline]
+pub fn geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
+    if p <= 0.0 {
+        return NEVER;
+    }
+    if p >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.gen(); // [0, 1)
+    // ln(1-u) ≤ 0 and ln(1-p) < 0; the ratio is ≥ 0. Floor+1 implements the
+    // ceiling on the open interval while mapping u = 0 to X = 1.
+    let x = ((1.0 - u).ln() / (1.0 - p).ln()).floor() as u64 + 1;
+    x.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(geometric(0.0, &mut rng), NEVER);
+        assert_eq!(geometric(-0.5, &mut rng), NEVER);
+        assert_eq!(geometric(1.0, &mut rng), 1);
+        assert_eq!(geometric(1.5, &mut rng), 1);
+    }
+
+    #[test]
+    fn support_starts_at_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(geometric(0.9, &mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn mean_matches_one_over_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &p in &[0.1f64, 0.25, 0.5, 0.8] {
+            let n = 200_000u64;
+            let sum: u64 = (0..n).map(|_| geometric(p, &mut rng)).sum();
+            let mean = sum as f64 / n as f64;
+            let expected = 1.0 / p;
+            assert!(
+                (mean - expected).abs() < 0.03 * expected,
+                "p={p}: mean {mean} vs {expected}"
+            );
+        }
+    }
+
+    /// Lemma 6: the number of "heads" in θ Bernoulli(p) trials equals (in
+    /// distribution) the largest Y with X₁+…+X_Y ≤ θ for geometric gaps Xᵢ.
+    /// We compare empirical means and variances of the two processes.
+    #[test]
+    fn lemma6_equivalence_moments() {
+        let theta = 200u64;
+        let p = 0.3f64;
+        let reps = 20_000;
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut bern_mean = 0.0f64;
+        let mut bern_sq = 0.0f64;
+        for _ in 0..reps {
+            let mut heads = 0u64;
+            for _ in 0..theta {
+                if rng.gen_bool(p) {
+                    heads += 1;
+                }
+            }
+            bern_mean += heads as f64;
+            bern_sq += (heads * heads) as f64;
+        }
+        bern_mean /= reps as f64;
+        bern_sq /= reps as f64;
+
+        let mut geo_mean = 0.0f64;
+        let mut geo_sq = 0.0f64;
+        for _ in 0..reps {
+            let mut pos = 0u64;
+            let mut fires = 0u64;
+            loop {
+                pos += geometric(p, &mut rng);
+                if pos > theta {
+                    break;
+                }
+                fires += 1;
+            }
+            geo_mean += fires as f64;
+            geo_sq += (fires * fires) as f64;
+        }
+        geo_mean /= reps as f64;
+        geo_sq /= reps as f64;
+
+        let expected_mean = theta as f64 * p;
+        let expected_var = theta as f64 * p * (1.0 - p);
+        for (mean, sq, label) in
+            [(bern_mean, bern_sq, "bernoulli"), (geo_mean, geo_sq, "geometric")]
+        {
+            let var = sq - mean * mean;
+            assert!(
+                (mean - expected_mean).abs() < 0.02 * expected_mean,
+                "{label} mean {mean} vs {expected_mean}"
+            );
+            assert!(
+                (var - expected_var).abs() < 0.08 * expected_var,
+                "{label} var {var} vs {expected_var}"
+            );
+        }
+        assert!((bern_mean - geo_mean).abs() < 0.02 * expected_mean);
+    }
+}

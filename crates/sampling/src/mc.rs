@@ -1,0 +1,195 @@
+//! Monte-Carlo forward sampling (§4).
+//!
+//! One sample instance starts from `u` and walks the graph, keeping each
+//! out-edge of an activated vertex alive with probability `p(e|W)`. The
+//! estimate is the mean number of activated vertices. Every out-edge of an
+//! activated vertex is probed once per instance — including the many edges
+//! that fail — which is exactly the inefficiency Example 2 pinpoints
+//! (`ENE_MC = O(|E_W(u)|·E[I(u ⇝ v^{ot}|W)])`, Lemma 5) and lazy
+//! propagation removes.
+
+use crate::bounds::{SampleBudget, SamplingParams};
+use crate::estimator::{reachable_positive, Estimate, SpreadEstimator};
+use pitex_graph::traverse::BfsScratch;
+use pitex_graph::{DiGraph, NodeId};
+use pitex_model::EdgeProbs;
+use pitex_support::EpochVisited;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Forward Monte-Carlo spread estimator.
+#[derive(Debug)]
+pub struct McSampler {
+    visited: EpochVisited,
+    frontier: Vec<NodeId>,
+    reach_scratch: BfsScratch,
+    reach_buf: Vec<NodeId>,
+}
+
+impl McSampler {
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            visited: EpochVisited::new(num_nodes),
+            frontier: Vec::new(),
+            reach_scratch: BfsScratch::new(num_nodes),
+            reach_buf: Vec::new(),
+        }
+    }
+
+    /// One IC instance from `user`; returns vertices activated (≥ 1).
+    /// `edges_visited` is incremented for every probed edge.
+    fn run_instance(
+        &mut self,
+        graph: &DiGraph,
+        user: NodeId,
+        probs: &mut dyn EdgeProbs,
+        rng: &mut StdRng,
+        edges_visited: &mut u64,
+    ) -> u64 {
+        self.visited.grow(graph.num_nodes());
+        self.visited.reset();
+        self.frontier.clear();
+        self.visited.insert(user);
+        self.frontier.push(user);
+        let mut activated = 1u64;
+        while let Some(v) = self.frontier.pop() {
+            for (e, t) in graph.out_edges(v) {
+                if self.visited.contains(t) {
+                    continue;
+                }
+                *edges_visited += 1;
+                let p = probs.prob(e);
+                if p > 0.0 && rng.gen_bool(p.min(1.0)) {
+                    self.visited.insert(t);
+                    self.frontier.push(t);
+                    activated += 1;
+                }
+            }
+        }
+        activated
+    }
+}
+
+impl SpreadEstimator for McSampler {
+    fn estimate(
+        &mut self,
+        graph: &DiGraph,
+        user: NodeId,
+        probs: &mut dyn EdgeProbs,
+        params: &SamplingParams,
+    ) -> Estimate {
+        reachable_positive(graph, user, probs, &mut self.reach_scratch, &mut self.reach_buf);
+        let reachable = self.reach_buf.len();
+        if reachable <= 1 {
+            return Estimate::isolated();
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let threshold = params.stop_threshold(reachable);
+        let max_iters = params.max_iterations(reachable);
+
+        let mut accumulated = 0u64;
+        let mut edges_visited = 0u64;
+        let mut iterations = 0u64;
+        while iterations < max_iters {
+            accumulated += self.run_instance(graph, user, probs, &mut rng, &mut edges_visited);
+            iterations += 1;
+            if matches!(params.budget, SampleBudget::Adaptive) && accumulated as f64 >= threshold
+            {
+                break;
+            }
+        }
+        Estimate {
+            spread: accumulated as f64 / iterations as f64,
+            samples_used: iterations,
+            edges_visited,
+            reachable,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_graph::gen;
+    use pitex_model::FixedEdgeProbs;
+
+    fn params_fixed(n: u64) -> SamplingParams {
+        SamplingParams::enumeration(0.5, 100.0, 10, 2).with_fixed_budget(n)
+    }
+
+    #[test]
+    fn certain_path_gives_exact_spread() {
+        let g = gen::path(5);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 1.0);
+        let mut mc = McSampler::new(g.num_nodes());
+        let est = mc.estimate(&g, 0, &mut probs, &params_fixed(50));
+        assert_eq!(est.spread, 5.0);
+        assert_eq!(est.reachable, 5);
+    }
+
+    #[test]
+    fn isolated_user_short_circuits() {
+        let g = gen::path(3);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 0.0);
+        let mut mc = McSampler::new(g.num_nodes());
+        let est = mc.estimate(&g, 0, &mut probs, &params_fixed(50));
+        assert_eq!(est.spread, 1.0);
+        assert_eq!(est.samples_used, 0);
+    }
+
+    #[test]
+    fn star_estimate_converges_to_closed_form() {
+        // Fig. 3(a): root + n leaves with p = 1/n each: E[I] = 2.
+        let n = 50usize;
+        let g = gen::star_low_impact(n);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 1.0 / n as f64);
+        let mut mc = McSampler::new(g.num_nodes());
+        let est = mc.estimate(&g, 0, &mut probs, &params_fixed(20_000));
+        assert!((est.spread - 2.0).abs() < 0.1, "got {}", est.spread);
+    }
+
+    #[test]
+    fn mc_probes_every_edge_per_instance_on_star() {
+        // The Example 2 pathology: each instance probes all n edges.
+        let n = 100usize;
+        let g = gen::star_low_impact(n);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 1.0 / n as f64);
+        let mut mc = McSampler::new(g.num_nodes());
+        let iters = 500u64;
+        let est = mc.estimate(&g, 0, &mut probs, &params_fixed(iters));
+        assert!(
+            est.edges_visited >= iters * n as u64,
+            "expected ≥ {} probes, got {}",
+            iters * n as u64,
+            est.edges_visited
+        );
+    }
+
+    #[test]
+    fn adaptive_budget_stops_early() {
+        let g = gen::path(4);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 1.0);
+        let mut mc = McSampler::new(g.num_nodes());
+        let params = SamplingParams::enumeration(0.7, 10.0, 10, 2);
+        let est = mc.estimate(&g, 0, &mut probs, &params);
+        // Spread 4 per instance: the threshold Λ·4 is met in ≈ Λ iterations.
+        let cap = params.max_iterations(est.reachable);
+        assert!(est.samples_used < cap, "{} < {cap}", est.samples_used);
+        assert_eq!(est.spread, 4.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = gen::star_low_impact(30);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 0.2);
+        let mut mc = McSampler::new(g.num_nodes());
+        let p = params_fixed(200);
+        let a = mc.estimate(&g, 0, &mut probs, &p);
+        let b = mc.estimate(&g, 0, &mut probs, &p);
+        assert_eq!(a, b);
+    }
+}

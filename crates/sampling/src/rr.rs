@@ -1,0 +1,221 @@
+//! Reverse-reachable set sampling (§4).
+//!
+//! One sample instance picks a target `v` uniformly from `R_W(u)` and grows
+//! the *reverse* reachable set of `v`: each in-edge of a reached vertex is
+//! kept alive with probability `p(e|W)`. The indicator `1[u ⇝ v]` is 1 iff
+//! `u` joins the set, and `Ê_RR = (hits/θ)·|R_W(u)|`.
+//!
+//! The instance probes every in-edge of every vertex it reaches, including
+//! the mass of low-probability fan-in edges around celebrities — the
+//! Example 3 pathology (`ENE_RR = O(|E_W(u)|·E[I(v^{in} ⇝ v*|W)])`,
+//! Lemma 4). The walk stops as soon as `u` is found (the indicator is
+//! already determined).
+
+use crate::bounds::{SampleBudget, SamplingParams};
+use crate::estimator::{reachable_positive, Estimate, SpreadEstimator};
+use pitex_graph::traverse::BfsScratch;
+use pitex_graph::{DiGraph, NodeId};
+use pitex_model::EdgeProbs;
+use pitex_support::EpochVisited;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reverse-reachable set spread estimator.
+#[derive(Debug)]
+pub struct RrSampler {
+    visited: EpochVisited,
+    frontier: Vec<NodeId>,
+    reach_scratch: BfsScratch,
+    reach_buf: Vec<NodeId>,
+}
+
+impl RrSampler {
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            visited: EpochVisited::new(num_nodes),
+            frontier: Vec::new(),
+            reach_scratch: BfsScratch::new(num_nodes),
+            reach_buf: Vec::new(),
+        }
+    }
+
+    /// One reverse instance rooted at `target`; returns whether `user` was
+    /// reached.
+    fn run_instance(
+        &mut self,
+        graph: &DiGraph,
+        user: NodeId,
+        target: NodeId,
+        probs: &mut dyn EdgeProbs,
+        rng: &mut StdRng,
+        edges_visited: &mut u64,
+    ) -> bool {
+        if target == user {
+            return true;
+        }
+        self.visited.grow(graph.num_nodes());
+        self.visited.reset();
+        self.frontier.clear();
+        self.visited.insert(target);
+        self.frontier.push(target);
+        while let Some(v) = self.frontier.pop() {
+            for (e, s) in graph.in_edges(v) {
+                if self.visited.contains(s) {
+                    continue;
+                }
+                *edges_visited += 1;
+                let p = probs.prob(e);
+                if p > 0.0 && rng.gen_bool(p.min(1.0)) {
+                    if s == user {
+                        return true;
+                    }
+                    self.visited.insert(s);
+                    self.frontier.push(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+impl SpreadEstimator for RrSampler {
+    fn estimate(
+        &mut self,
+        graph: &DiGraph,
+        user: NodeId,
+        probs: &mut dyn EdgeProbs,
+        params: &SamplingParams,
+    ) -> Estimate {
+        reachable_positive(graph, user, probs, &mut self.reach_scratch, &mut self.reach_buf);
+        let reachable = self.reach_buf.len();
+        if reachable <= 1 {
+            return Estimate::isolated();
+        }
+        // Targets are drawn from a snapshot of R_W(u); the borrow of
+        // reach_buf must not alias the instance runner's scratch.
+        let targets = std::mem::take(&mut self.reach_buf);
+        let mut rng = StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let lambda = params.lambda();
+        let max_iters = params.max_iterations(reachable);
+
+        let mut hits = 0u64;
+        let mut edges_visited = 0u64;
+        let mut iterations = 0u64;
+        while iterations < max_iters {
+            let target = targets[rng.gen_range(0..targets.len())];
+            if self.run_instance(graph, user, target, probs, &mut rng, &mut edges_visited) {
+                hits += 1;
+            }
+            iterations += 1;
+            // Accumulated spread is hits·|R|; the threshold Λ·|R| reduces to
+            // hits ≥ Λ.
+            if matches!(params.budget, SampleBudget::Adaptive) && hits as f64 >= lambda {
+                break;
+            }
+        }
+        self.reach_buf = targets;
+        Estimate {
+            spread: hits as f64 / iterations as f64 * reachable as f64,
+            samples_used: iterations,
+            edges_visited,
+            reachable,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_graph::gen;
+    use pitex_model::FixedEdgeProbs;
+
+    fn params_fixed(n: u64) -> SamplingParams {
+        SamplingParams::enumeration(0.5, 100.0, 10, 2).with_fixed_budget(n)
+    }
+
+    #[test]
+    fn certain_path_gives_exact_spread() {
+        let g = gen::path(4);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 1.0);
+        let mut rr = RrSampler::new(g.num_nodes());
+        let est = rr.estimate(&g, 0, &mut probs, &params_fixed(400));
+        // Every target is reached with certainty: estimate is exactly |R|.
+        assert_eq!(est.spread, 4.0);
+        assert_eq!(est.reachable, 4);
+    }
+
+    #[test]
+    fn isolated_user_short_circuits() {
+        let g = gen::path(3);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 0.0);
+        let mut rr = RrSampler::new(g.num_nodes());
+        let est = rr.estimate(&g, 2, &mut probs, &params_fixed(50));
+        assert_eq!(est.spread, 1.0);
+    }
+
+    #[test]
+    fn star_estimate_converges_to_closed_form() {
+        let n = 50usize;
+        let g = gen::star_low_impact(n);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 1.0 / n as f64);
+        let mut rr = RrSampler::new(g.num_nodes());
+        let est = rr.estimate(&g, 0, &mut probs, &params_fixed(60_000));
+        assert!((est.spread - 2.0).abs() < 0.15, "got {}", est.spread);
+    }
+
+    #[test]
+    fn celebrity_reverse_probing_is_expensive() {
+        // Example 3: estimating any fan's influence probes the celebrity's
+        // full fan-in every time the celebrity joins the reverse set.
+        let n = 60usize;
+        let g = gen::celebrity(n);
+        let fan = (n + 1) as u32;
+        let mut probs = pitex_model::FixedEdgeProbs::new(
+            (0..g.num_edges() as u32)
+                .map(|e| {
+                    let (s, _) = g.edge_endpoints(e);
+                    if s == 0 {
+                        1.0 // celebrity -> follower
+                    } else {
+                        1.0 / n as f64 // fan -> celebrity
+                    }
+                })
+                .collect(),
+        );
+        let mut rr = RrSampler::new(g.num_nodes());
+        let iters = 400u64;
+        let est = rr.estimate(&g, fan, &mut probs, &params_fixed(iters));
+        // Reverse sets rooted at followers always include the celebrity and
+        // thus probe all n fan edges.
+        assert!(
+            est.edges_visited as f64 > 0.5 * iters as f64 * n as f64,
+            "expected heavy reverse probing, got {}",
+            est.edges_visited
+        );
+    }
+
+    #[test]
+    fn hits_scale_to_reachable_size() {
+        // Two-node graph with p = 0.5: E[I] = 1.5, |R| = 2.
+        let g = gen::path(2);
+        let mut probs = FixedEdgeProbs::uniform(1, 0.5);
+        let mut rr = RrSampler::new(g.num_nodes());
+        let est = rr.estimate(&g, 0, &mut probs, &params_fixed(40_000));
+        assert!((est.spread - 1.5).abs() < 0.05, "got {}", est.spread);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = gen::celebrity(20);
+        let mut probs = FixedEdgeProbs::uniform(g.num_edges(), 0.3);
+        let mut rr = RrSampler::new(g.num_nodes());
+        let p = params_fixed(300);
+        let a = rr.estimate(&g, 21, &mut probs, &p);
+        let b = rr.estimate(&g, 21, &mut probs, &p);
+        assert_eq!(a, b);
+    }
+}

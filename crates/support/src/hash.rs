@@ -1,0 +1,128 @@
+//! FxHash-style hashing.
+//!
+//! PITEX keys hash tables almost exclusively by dense integer ids (`u32`
+//! vertex ids, `u32` edge ids, small tuples of those). The standard library's
+//! SipHash is DoS-resistant but slow for such keys; the Firefox/rustc "Fx"
+//! multiply-rotate hash is the usual replacement. We implement it locally
+//! (≈30 lines) instead of adding a dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (from rustc's `FxHasher`): `2^64 / φ` rounded to odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic hasher for integer-like keys.
+///
+/// Identical in structure to rustc's `FxHasher`: for every machine word the
+/// state is rotated, xored with the input and multiplied by a large odd
+/// constant. Not HashDoS-resistant — only use for internal ids.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume full little-endian words, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn distinct_integers_hash_differently() {
+        let hashes: FxHashSet<u64> = (0u32..10_000).map(hash_one).collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions on a small dense range");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one((7u32, 9u32)), hash_one((7u32, 9u32)));
+    }
+
+    #[test]
+    fn byte_slices_with_tails_differ_by_length() {
+        // A short slice must not collide with its zero-padded extension.
+        assert_ne!(hash_one([1u8, 2].as_slice()), hash_one([1u8, 2, 0].as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+        let set: FxHashSet<u32> = [1, 1, 2, 3].into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared low-level utilities for the PITEX workspace.
+//!
+//! This crate deliberately has no knowledge of graphs, influence models or
+//! sampling; it only provides the performance-oriented primitives the rest of
+//! the workspace builds on:
+//!
+//! * [`hash`] — an FxHash-style hasher and `HashMap`/`HashSet` aliases for
+//!   hot integer-keyed tables (the default SipHash is measurably slower for
+//!   `u32` keys; see the Rust Performance Book, "Hashing").
+//! * [`visited`] — epoch-stamped visited sets so breadth-first traversals can
+//!   be reset in O(1) between the millions of sampling iterations PITEX runs.
+//! * [`codec`] — a small, explicit binary codec over [`bytes`] used to
+//!   persist datasets and indexes without pulling in a serialization
+//!   framework for fixed layouts.
+//! * [`stats`] — online summary statistics and wall-clock timers used by the
+//!   experiment harness.
+
+pub mod codec;
+pub mod hash;
+pub mod stats;
+pub mod visited;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use stats::{OnlineStats, Timer};
+pub use visited::EpochVisited;

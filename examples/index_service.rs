@@ -1,0 +1,88 @@
+//! Index service scenario: the offline/online split of §6.
+//!
+//! ```sh
+//! cargo run --release --example index_service
+//! ```
+//!
+//! A production deployment builds the RR-Graph index once, persists it, and
+//! answers interactive queries in microseconds. This example walks the full
+//! lifecycle: build → persist → reload → serve, comparing the plain index,
+//! the edge-cut-filtered index, and delay materialization against online
+//! lazy sampling — the size/speed trade-off Table 3 reports.
+
+use pitex::index::serial;
+use pitex::prelude::*;
+use pitex::support::stats::{human_bytes, human_duration};
+use std::time::Instant;
+
+fn main() {
+    let model = DatasetProfile::lastfm_like().generate();
+    let groups = UserGroups::from_graph(model.graph());
+    let users: Vec<NodeId> = groups.members(UserGroup::Mid)[..8].to_vec();
+    println!(
+        "network: {} users / {} edges; querying {} mid-tier users, k = 3",
+        model.graph().num_nodes(),
+        model.graph().num_edges(),
+        users.len()
+    );
+
+    // ---- Offline phase: build and persist both index flavours. ----
+    let budget = IndexBudget::PerVertex(8.0);
+    let t = Instant::now();
+    let rr_index = RrIndex::build(&model, budget, 42);
+    let rr_time = t.elapsed();
+    let t = Instant::now();
+    let delay_index = DelayMatIndex::build(&model, budget, 42);
+    let delay_time = t.elapsed();
+
+    let rr_bytes = serial::rr_index_to_bytes(&rr_index);
+    let delay_bytes = serial::delay_index_to_bytes(&delay_index);
+    println!(
+        "\noffline: RR-Graphs index {} ({} graphs) in {}",
+        human_bytes(rr_bytes.len() as u64),
+        rr_index.theta(),
+        human_duration(rr_time)
+    );
+    println!(
+        "         DelayMat index  {} (θ(u) counters) in {}",
+        human_bytes(delay_bytes.len() as u64),
+        human_duration(delay_time)
+    );
+
+    // Persist + reload, as a service restart would.
+    let reloaded = serial::rr_index_from_bytes(&rr_bytes).expect("round trip");
+    assert_eq!(reloaded.theta(), rr_index.theta());
+
+    // ---- Online phase: serve queries through each backend. ----
+    let config = PitexConfig::default();
+    let mut backends: Vec<(&str, PitexEngine)> = vec![
+        ("LAZY (online)", PitexEngine::with_lazy(&model, config)),
+        ("INDEXEST", PitexEngine::with_index(&model, &reloaded, config)),
+        ("INDEXEST+", PitexEngine::with_index_plus(&model, &reloaded, config)),
+        ("DELAYMAT", PitexEngine::with_delay(&model, &delay_index, config)),
+    ];
+
+    println!("\n{:<16} {:>12} {:>14} {:>22}", "backend", "avg time", "avg spread", "example answer");
+    for (label, engine) in backends.iter_mut() {
+        let t = Instant::now();
+        let mut spread_sum = 0.0;
+        let mut last = None;
+        for &u in &users {
+            let r = engine.query(u, 3);
+            spread_sum += r.spread;
+            last = Some(r);
+        }
+        let avg = t.elapsed() / users.len() as u32;
+        let last = last.unwrap();
+        println!(
+            "{:<16} {:>12} {:>14.3} {:>22}",
+            label,
+            human_duration(avg),
+            spread_sum / users.len() as f64,
+            last.tags.to_string()
+        );
+    }
+
+    println!("\nexpected shape: INDEXEST+ ≈ DELAYMAT < INDEXEST << LAZY in latency,");
+    println!("with DELAYMAT's index orders of magnitude smaller on disk.");
+}

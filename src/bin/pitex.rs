@@ -1,0 +1,240 @@
+//! `pitex` — command-line interface for the PITEX library.
+//!
+//! ```text
+//! pitex gen     --profile lastfm [--scale 0.5] --out model.bin
+//! pitex stats   --model model.bin
+//! pitex index   --model model.bin --out index.bin [--per-vertex 8] [--delay]
+//! pitex query   --model model.bin --user 42 --k 3 [--method lazy|mc|rr|tim|exact|lt]
+//!               [--index index.bin] [--top 5] [--epsilon 0.7] [--delta 1000]
+//! ```
+//!
+//! The CLI covers the offline/online lifecycle end-to-end: generate (or
+//! later: load) a model, build and persist an index, and answer queries.
+
+use pitex::index::serial;
+use pitex::prelude::*;
+use pitex::support::stats::{human_bytes, human_duration};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&opts),
+        "stats" => cmd_stats(&opts),
+        "index" => cmd_index(&opts),
+        "query" => cmd_query(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "pitex — personalized social influential tags exploration (SIGMOD'17)
+
+USAGE:
+  pitex gen    --profile <lastfm|diggs|dblp|twitter> [--scale F] [--tags N] --out FILE
+  pitex stats  --model FILE
+  pitex index  --model FILE --out FILE [--per-vertex F] [--delay]
+  pitex query  --model FILE --user N --k N [--method NAME] [--index FILE]
+               [--top N] [--epsilon F] [--delta F] [--seed N]
+
+METHODS: lazy (default), mc, rr, tim, exact, lt,
+         indexest / indexest+ / delaymat (require --index)";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, found {flag:?}"));
+        };
+        if key == "delay" {
+            opts.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn want<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {what} from {s:?}"))
+}
+
+fn load_model(opts: &Opts) -> Result<TicModel, String> {
+    let path = want(opts, "model")?;
+    pitex::model::serial::load(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let profile_name = want(opts, "profile")?;
+    let mut profile = match profile_name {
+        "lastfm" => DatasetProfile::lastfm_like(),
+        "diggs" => DatasetProfile::diggs_like(),
+        "dblp" => DatasetProfile::dblp_like(),
+        "twitter" => DatasetProfile::twitter_like(),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    if let Some(scale) = opts.get("scale") {
+        profile = profile.scaled(parse(scale, "--scale")?);
+    }
+    if let Some(tags) = opts.get("tags") {
+        profile = profile.with_tags(parse(tags, "--tags")?);
+    }
+    let out = want(opts, "out")?;
+    let t = Instant::now();
+    let model = profile.generate();
+    pitex::model::serial::save(&model, out).map_err(|e| e.to_string())?;
+    println!(
+        "generated {}: {} users, {} edges, {} tags, {} topics -> {out} in {}",
+        profile.name,
+        model.graph().num_nodes(),
+        model.graph().num_edges(),
+        model.num_tags(),
+        model.num_topics(),
+        human_duration(t.elapsed())
+    );
+    Ok(())
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let model = load_model(opts)?;
+    let stats = pitex::datasets::DatasetStats::compute(want(opts, "model")?, &model);
+    println!("{}", pitex::datasets::DatasetStats::header());
+    println!("{stats}");
+    println!("model heap footprint: {}", human_bytes(model.heap_bytes()));
+    Ok(())
+}
+
+fn cmd_index(opts: &Opts) -> Result<(), String> {
+    let model = load_model(opts)?;
+    let out = want(opts, "out")?;
+    let per_vertex: f64 =
+        opts.get("per-vertex").map(|s| parse(s, "--per-vertex")).transpose()?.unwrap_or(8.0);
+    let budget = IndexBudget::PerVertex(per_vertex);
+    let t = Instant::now();
+    let bytes = if opts.contains_key("delay") {
+        let index = DelayMatIndex::build(&model, budget, 42);
+        serial::delay_index_to_bytes(&index)
+    } else {
+        let index = RrIndex::build(&model, budget, 42);
+        serial::rr_index_to_bytes(&index)
+    };
+    std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "built {} index: {} -> {out} in {}",
+        if opts.contains_key("delay") { "delay-materialized" } else { "RR-Graph" },
+        human_bytes(bytes.len() as u64),
+        human_duration(t.elapsed())
+    );
+    Ok(())
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let model = load_model(opts)?;
+    let user: u32 = parse(want(opts, "user")?, "--user")?;
+    let k: usize = parse(want(opts, "k")?, "--k")?;
+    let top: usize = opts.get("top").map(|s| parse(s, "--top")).transpose()?.unwrap_or(1);
+    let method = opts.get("method").map(|s| s.as_str()).unwrap_or("lazy");
+    let config = PitexConfig {
+        epsilon: opts.get("epsilon").map(|s| parse(s, "--epsilon")).transpose()?.unwrap_or(0.7),
+        delta: opts.get("delta").map(|s| parse(s, "--delta")).transpose()?.unwrap_or(1000.0),
+        seed: opts.get("seed").map(|s| parse(s, "--seed")).transpose()?.unwrap_or(42),
+        strategy: ExplorationStrategy::BestEffort,
+    };
+    if (user as usize) >= model.graph().num_nodes() {
+        return Err(format!("user {user} out of range (|V| = {})", model.graph().num_nodes()));
+    }
+
+    // Index artifacts outlive the engine borrowing them.
+    let mut rr_index = None;
+    let mut delay_index = None;
+    if let Some(path) = opts.get("index") {
+        let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+        if method == "delaymat" {
+            delay_index = Some(serial::delay_index_from_bytes(&bytes).map_err(|e| e.to_string())?);
+        } else {
+            rr_index = Some(serial::rr_index_from_bytes(&bytes).map_err(|e| e.to_string())?);
+        }
+    }
+    let mut engine = match method {
+        "lazy" => PitexEngine::with_lazy(&model, config),
+        "mc" => PitexEngine::with_mc(&model, config),
+        "rr" => PitexEngine::with_rr(&model, config),
+        "tim" => PitexEngine::with_tim(&model, config),
+        "exact" => PitexEngine::with_exact(&model, config),
+        "lt" => PitexEngine::with_lt(&model, config),
+        "indexest" => PitexEngine::with_index(
+            &model,
+            rr_index.as_ref().ok_or("indexest needs --index FILE")?,
+            config,
+        ),
+        "indexest+" => PitexEngine::with_index_plus(
+            &model,
+            rr_index.as_ref().ok_or("indexest+ needs --index FILE")?,
+            config,
+        ),
+        "delaymat" => PitexEngine::with_delay(
+            &model,
+            delay_index.as_ref().ok_or("delaymat needs --index FILE")?,
+            config,
+        ),
+        other => return Err(format!("unknown method {other:?}")),
+    };
+
+    let t = Instant::now();
+    if top <= 1 {
+        let result = engine.query(user, k);
+        println!(
+            "W* = {} with spread {:.4} [{} backend, {}]",
+            result.tags,
+            result.spread,
+            engine.backend_name(),
+            human_duration(t.elapsed())
+        );
+        println!(
+            "evaluated {} sets, {} infeasible, {} subtrees pruned, {} samples, {} edge probes",
+            result.stats.tag_sets_evaluated,
+            result.stats.tag_sets_infeasible,
+            result.stats.partials_pruned,
+            result.stats.samples_used,
+            result.stats.edges_visited
+        );
+    } else {
+        let ranking = engine.query_top_n(user, k, top);
+        println!("top-{top} tag sets [{} backend, {}]:", engine.backend_name(), human_duration(t.elapsed()));
+        for (rank, (tags, spread)) in ranking.iter().enumerate() {
+            println!("  {:>2}. {tags}  spread {spread:.4}", rank + 1);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Pipeline integration tests: dataset generation → indexing → persistence
+//! → querying, and the propagation-log learning loop.
+
+use pitex::index::serial;
+use pitex::model::learn::{learn, synthesize_log, LearnConfig};
+use pitex::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dataset_to_query_pipeline() {
+    let profile = DatasetProfile::lastfm_like().scaled(0.15);
+    let model = profile.generate();
+    let groups = UserGroups::from_graph(model.graph());
+    let user = groups.members(UserGroup::Mid)[0];
+
+    let index = RrIndex::build(&model, IndexBudget::PerVertex(6.0), 13);
+    let mut lazy = PitexEngine::with_lazy(&model, PitexConfig::default());
+    let mut indexed = PitexEngine::with_index_plus(&model, &index, PitexConfig::default());
+
+    let online = lazy.query(user, 3);
+    let offline = indexed.query(user, 3);
+    assert_eq!(online.k, 3);
+    assert_eq!(offline.k, 3);
+    // Both must return feasible sets of the right size with sane spreads.
+    assert_eq!(online.tags.len(), 3);
+    assert_eq!(offline.tags.len(), 3);
+    assert!(online.spread >= 1.0 && offline.spread >= 0.0);
+    // The index evaluated vastly fewer edges per query than online sampling.
+    assert!(
+        offline.stats.edges_visited < online.stats.edges_visited,
+        "index {} vs online {}",
+        offline.stats.edges_visited,
+        online.stats.edges_visited
+    );
+}
+
+#[test]
+fn index_survives_persistence() {
+    let model = DatasetProfile::lastfm_like().scaled(0.1).generate();
+    let groups = UserGroups::from_graph(model.graph());
+    let user = groups.members(UserGroup::Mid)[0];
+    let index = RrIndex::build(&model, IndexBudget::PerVertex(6.0), 17);
+
+    let bytes = serial::rr_index_to_bytes(&index);
+    let reloaded = serial::rr_index_from_bytes(&bytes).expect("round trip");
+
+    let config = PitexConfig::default();
+    let a = PitexEngine::with_index_plus(&model, &index, config).query(user, 3);
+    let b = PitexEngine::with_index_plus(&model, &reloaded, config).query(user, 3);
+    assert_eq!(a.tags, b.tags);
+    assert_eq!(a.spread, b.spread);
+}
+
+#[test]
+fn delay_index_equivalent_counters_after_persistence() {
+    let model = DatasetProfile::lastfm_like().scaled(0.1).generate();
+    let delay = DelayMatIndex::build(&model, IndexBudget::PerVertex(6.0), 19);
+    let bytes = serial::delay_index_to_bytes(&delay);
+    let reloaded = serial::delay_index_from_bytes(&bytes).expect("round trip");
+    assert_eq!(delay, reloaded);
+    assert!(
+        bytes.len() < serial::rr_index_to_bytes(&RrIndex::build(
+            &model,
+            IndexBudget::PerVertex(6.0),
+            19
+        ))
+        .len()
+            / 50,
+        "delay index must be a tiny fraction of the full index"
+    );
+}
+
+#[test]
+fn case_study_recovers_planted_truth_with_index_backend() {
+    let cs = CaseStudy::generate(&CaseStudyConfig {
+        num_areas: 4,
+        community_size: 60,
+        intra_edges: 3,
+        inter_edges: 1,
+        seed: 5,
+    });
+    let index = RrIndex::build(&cs.model, IndexBudget::PerVertex(8.0), 23);
+    let mut engine = PitexEngine::with_index_plus(&cs.model, &index, PitexConfig::default());
+    let mut total = 0.0;
+    for r in &cs.researchers {
+        let result = engine.query(r.user, 5);
+        total += cs.accuracy(r, &result.tags);
+    }
+    let avg = total / cs.researchers.len() as f64;
+    assert!(avg >= 0.8, "planted accuracy {avg} below 0.8");
+}
+
+#[test]
+fn learned_model_supports_queries() {
+    // Ground truth → log → EM → PITEX query on the learned model.
+    let cs = CaseStudy::generate(&CaseStudyConfig {
+        num_areas: 3,
+        community_size: 40,
+        intra_edges: 3,
+        inter_edges: 1,
+        seed: 9,
+    });
+    let mut rng = StdRng::seed_from_u64(31);
+    let log = synthesize_log(&cs.model, 250, 3, &mut rng);
+    let outcome = learn(
+        cs.model.graph(),
+        &log,
+        cs.model.num_tags(),
+        &LearnConfig { num_topics: cs.model.num_topics(), iterations: 8, ..Default::default() },
+    );
+    let learned = TicModel::new(cs.model.graph().clone(), outcome.tag_topic, outcome.edge_topics);
+    let mut engine = PitexEngine::with_lazy(&learned, PitexConfig::default());
+    let result = engine.query(cs.researchers[0].user, 3);
+    assert_eq!(result.tags.len(), 3);
+    assert!(result.spread >= 1.0);
+}
+
+#[test]
+fn facade_prelude_is_complete_enough_for_the_readme_snippet() {
+    // The README quickstart must compile and hold as written.
+    let model = TicModel::paper_example();
+    let mut engine = PitexEngine::with_lazy(&model, PitexConfig::default());
+    let result = engine.query(0, 2);
+    assert_eq!(result.tags.tags(), &[2, 3]);
+}
