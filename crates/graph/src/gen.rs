@@ -54,9 +54,20 @@ pub fn preferential_attachment<R: Rng>(
     targets.push(0);
     for v in 1..n as u32 {
         let picks = m_per_node.min(v as usize);
-        for _ in 0..picks {
+        // Draw distinct targets: duplicates would be collapsed by the CSR
+        // builder and silently shrink |E| ~20% below the profile's target on
+        // hub-heavy shapes. `targets[start..]` is exactly this vertex's
+        // accepted picks, so it doubles as the dedup set; bounded retries
+        // keep a dominant hub at tiny v from spinning on duplicates.
+        let start = targets.len();
+        let mut attempts = 0;
+        while targets.len() - start < picks && attempts < picks * 20 {
+            attempts += 1;
             let t = *targets.choose(rng).expect("target list non-empty");
-            if t != v {
+            // `t != v` is defensive: today `targets` holds only vertices < v
+            // here (v is pushed after this loop), so retries come solely
+            // from the duplicate check.
+            if t != v && !targets[start..].contains(&t) {
                 builder.add_edge(v, t);
                 targets.push(t);
             }

@@ -156,11 +156,11 @@ pub(crate) fn sample_many(
     let per_thread = theta / threads as u64;
     let remainder = theta % threads as u64;
     let mut buckets: Vec<Vec<RrGraph>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let quota = per_thread + u64::from((t as u64) < remainder);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rng =
                         StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
                     let mut p_max = MaxEdgeProbs::new(model.edge_topics());
@@ -176,8 +176,7 @@ pub(crate) fn sample_many(
         for h in handles {
             buckets.push(h.join().expect("sampling thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     buckets.into_iter().flatten().collect()
 }
 

@@ -69,11 +69,11 @@ impl DelayMatIndex {
         let per_thread = theta / threads as u64;
         let remainder = theta % threads as u64;
         let mut counts = vec![0u32; n];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let quota = per_thread + u64::from((t as u64) < remainder);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(
                             seed ^ (t as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
                         );
@@ -101,8 +101,7 @@ impl DelayMatIndex {
                     *c += l;
                 }
             }
-        })
-        .expect("crossbeam scope");
+        });
         Self { num_nodes: n, theta, counts }
     }
 

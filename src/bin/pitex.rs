@@ -160,9 +160,12 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_query(opts: &Opts) -> Result<(), String> {
-    let model = load_model(opts)?;
     let user: u32 = parse(want(opts, "user")?, "--user")?;
     let k: usize = parse(want(opts, "k")?, "--k")?;
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let model = load_model(opts)?;
     let top: usize = opts.get("top").map(|s| parse(s, "--top")).transpose()?.unwrap_or(1);
     let method = opts.get("method").map(|s| s.as_str()).unwrap_or("lazy");
     let config = PitexConfig {

@@ -2,7 +2,7 @@
 //!
 //! A complete Rust implementation of the SIGMOD 2017 paper *"Discovering
 //! Your Selling Points: Personalized Social Influential Tags Exploration"*
-//! (Li, Tan, Fan, Zhang). Given a topic-aware influence model over a social
+//! (Li, Fan, Zhang, Tan). Given a topic-aware influence model over a social
 //! network, a PITEX query `(u, k)` returns the `k` tags that maximize user
 //! `u`'s expected influence spread.
 //!

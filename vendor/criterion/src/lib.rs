@@ -1,0 +1,161 @@
+//! Vendored stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! Supports exactly what the `pitex_bench` targets use: a [`Criterion`]
+//! handle whose [`bench_function`](Criterion::bench_function) hands the
+//! closure a [`Bencher`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] wiring macros. Measurement is a short warm-up
+//! followed by a time-boxed sampling loop; each benchmark prints one line
+//! with the mean iteration time. There is no statistical analysis, HTML
+//! report, or saved baseline (see `vendor/README.md`).
+//!
+//! Because the bench targets set `harness = false`, `cargo bench` invokes
+//! their `main` with harness flags such as `--bench`; [`criterion_main!`]
+//! accepts and ignores them, and honors a single positional argument as a
+//! substring filter on benchmark names, like the real harness.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered benchmark function.
+pub struct Criterion {
+    filter: Option<String>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            warm_up: Duration::from_millis(100),
+            measure: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Restricts runs to benchmarks whose name contains `filter`.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Runs one named benchmark: warm-up, then timed samples, then a
+    /// one-line report on stdout.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher =
+            Bencher { warm_up: self.warm_up, measure: self.measure, iters: 0, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iters as u32
+        };
+        println!("bench: {name:<50} {mean:>12.3?}/iter ({} iters)", bencher.iters);
+        self
+    }
+}
+
+/// Times the routine under benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: untimed warm-up until the warm-up budget
+    /// elapses, then timed iterations until the measurement budget elapses
+    /// (always at least one of each).
+    ///
+    /// Iterations run in geometrically growing batches with one clock read
+    /// per batch, so timer overhead stays amortized to nothing even for
+    /// nanosecond-scale routines.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut batch = 1u64;
+        let run_start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.iters += batch;
+            let elapsed = run_start.elapsed();
+            if elapsed >= self.measure {
+                self.elapsed = elapsed;
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner, honoring CLI name
+/// filters and ignoring libtest/criterion harness flags.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            if let Some(filter) =
+                std::env::args().skip(1).find(|a| !a.starts_with('-'))
+            {
+                criterion = criterion.with_filter(filter);
+            }
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iters() {
+        let mut c = Criterion { filter: None, warm_up: Duration::ZERO, measure: Duration::from_millis(5) };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran >= 2, "warm-up plus at least one timed iteration");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion::default().with_filter("needle");
+        let mut ran = false;
+        c.bench_function("haystack_only", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,145 @@
+//! Vendored stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! Implements the subset `tests/proptest_invariants.rs` uses: the
+//! [`proptest!`] item macro, [`prop_assert!`] / [`prop_assert_eq!`],
+//! [`strategy::Strategy`] with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], and [`test_runner::ProptestConfig`].
+//!
+//! Semantics versus the real crate, by design (see `vendor/README.md`):
+//!
+//! * cases are generated from a deterministic per-test seed (the FNV-1a hash
+//!   of the test name) so failures reproduce across runs;
+//! * a failing case panics immediately with the case number — there is no
+//!   shrinking;
+//! * `PROPTEST_CASES` overrides the configured case count, which is handy
+//!   for soak-testing locally (`PROPTEST_CASES=1000 cargo test`).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every proptest suite starts with.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items. Each becomes a
+/// zero-argument `#[test]` that samples the strategies `config.cases` times
+/// and runs the body on every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each captured fn into a
+/// runnable test. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(stringify!($name), config);
+            while let Some((case, rng)) = runner.next_case() {
+                let outcome = std::panic::catch_unwind(
+                    core::panic::AssertUnwindSafe(|| {
+                        $(let $arg =
+                            $crate::strategy::Strategy::sample_value(&$strat, rng);)+
+                        $body
+                    }),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: property '{}' failed on case {case} \
+                         (deterministic: rerunning reproduces it)",
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a boolean property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tuple_and_map_strategies_compose(
+            pair in (1u32..10, 0.0f64..1.0).prop_map(|(n, f)| (n * 2, f / 2.0)),
+            xs in crate::collection::vec(0u32..5, 2..6),
+        ) {
+            prop_assert!(pair.0 >= 2 && pair.0 < 20);
+            prop_assert!(pair.1 < 0.5);
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn case_count_honors_config() {
+        let mut runner = crate::test_runner::TestRunner::new(
+            "case_count_honors_config",
+            ProptestConfig::with_cases(17),
+        );
+        let mut n = 0;
+        while runner.next_case().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 17);
+    }
+}

@@ -1,0 +1,60 @@
+//! Case generation and configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-suite configuration; only the case count is meaningful here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Drives one property through its cases; see [`TestRunner::next_case`].
+pub struct TestRunner {
+    rng: StdRng,
+    case: u32,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// Builds a runner whose stream is determined by `test_name`, so a
+    /// failure reproduces on every run without recording a seed file.
+    /// `PROPTEST_CASES` overrides the configured count.
+    pub fn new(test_name: &str, config: ProptestConfig) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        // FNV-1a over the test name: stable across compilers and runs.
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { rng: StdRng::seed_from_u64(seed), case: 0, cases }
+    }
+
+    /// Returns `(case index, RNG)` for the next case, or `None` when done.
+    pub fn next_case(&mut self) -> Option<(u32, &mut StdRng)> {
+        if self.case == self.cases {
+            return None;
+        }
+        let case = self.case;
+        self.case += 1;
+        Some((case, &mut self.rng))
+    }
+}

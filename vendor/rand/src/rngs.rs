@@ -1,0 +1,47 @@
+//! Concrete generators. Only [`StdRng`] exists; it is the generator every
+//! PITEX component seeds explicitly.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic generator with the xoshiro256++ stream, seeded through
+/// SplitMix64 as its authors recommend.
+///
+/// Unlike the real `rand::rngs::StdRng` (ChaCha12) this is not a
+/// cryptographic generator — PITEX uses randomness purely for Monte-Carlo
+/// estimation and synthetic data, where xoshiro's statistical quality and
+/// speed are exactly right.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion guarantees a non-zero, well-mixed state even
+        // for adjacent small seeds (0, 1, 2, ... as the tests use).
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

@@ -1,0 +1,115 @@
+//! Sequence sampling adapters (`rand::seq` subset).
+
+use crate::{Rng, RngCore};
+
+/// Random selection and permutation over slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns an iterator over `amount` distinct elements chosen without
+    /// replacement (fewer if the slice is shorter), in selection order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        // Partial Fisher–Yates over an index vector: O(len) setup,
+        // O(amount) swaps, distinct by construction.
+        let amount = amount.min(self.len());
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        SliceChooseIter { slice: self, indices, next: 0 }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+/// Iterator returned by [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: Vec<usize>,
+    next: usize,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let idx = *self.indices.get(self.next)?;
+        self.next += 1;
+        Some(&self.slice[idx])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.indices.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items: Vec<u32> = (0..20).collect();
+        let picked: Vec<u32> = items.choose_multiple(&mut rng, 7).copied().collect();
+        assert_eq!(picked.len(), 7);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 7, "duplicates in {picked:?}");
+
+        let over: Vec<u32> = items.choose_multiple(&mut rng, 50).copied().collect();
+        assert_eq!(over.len(), 20);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut items: Vec<u32> = (0..50).collect();
+        items.shuffle(&mut rng);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(items, sorted, "50-element shuffle left slice sorted");
+    }
+}
