@@ -1,0 +1,77 @@
+//! Serving throughput — closed-loop queries/sec against a live
+//! `pitex_serve` server on an ephemeral loopback port.
+//!
+//! Three data points frame the serving layer's cost model:
+//!
+//! * `serve_roundtrip_ping` — the floor: protocol + TCP + thread handoff,
+//!   no query work at all;
+//! * `serve_qps_cached` — repeated identical queries, everything a result-
+//!   cache hit (the steady state for hot users);
+//! * `serve_qps_uncached` — cache disabled, every request runs the engine
+//!   (the cold / adversarial state).
+//!
+//! A closed loop (each client issues its next request when the previous
+//! reply lands) is the standard saturation measurement; the printed
+//! queries/sec divides the requests of one loop by its wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pitex_bench::banner;
+use pitex_core::{EngineBackend, EngineHandle, PitexConfig};
+use pitex_model::TicModel;
+use pitex_serve::{LoadGen, ServeClient, ServeOptions, Server, ServerHandle};
+use std::sync::Arc;
+
+fn boot(cache_capacity: usize) -> ServerHandle {
+    let model = Arc::new(TicModel::paper_example());
+    let handle =
+        EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+    let options =
+        ServeOptions { workers: 4, cache_capacity, ..ServeOptions::default() };
+    Server::spawn(handle, ("127.0.0.1", 0), options).unwrap()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    banner(
+        "bench_serve: closed-loop serving throughput (queries/sec)",
+        "4 clients x 16 requests per loop; Fig. 2 model, EXACT backend",
+    );
+    let gen = LoadGen { clients: 4, requests_per_client: 16, user: 0, k: 2, timeout_us: None };
+    let per_loop = (gen.clients * gen.requests_per_client) as f64;
+
+    let cached = boot(1024);
+    {
+        // Warm the cache so the measured loops are pure hits.
+        let mut warm = ServeClient::connect(cached.addr()).unwrap();
+        warm.query(0, 2).unwrap();
+    }
+    let mut qps_cached = 0.0;
+    c.bench_function("serve_qps_cached_4x16", |b| {
+        b.iter(|| {
+            let report = gen.run(cached.addr()).unwrap();
+            assert_eq!(report.ok, per_loop as u64);
+            qps_cached = report.qps();
+            report.requests
+        })
+    });
+    let mut ping_client = ServeClient::connect(cached.addr()).unwrap();
+    c.bench_function("serve_roundtrip_ping", |b| b.iter(|| ping_client.ping().unwrap()));
+    drop(ping_client);
+    cached.stop().unwrap();
+
+    let uncached = boot(0);
+    let mut qps_uncached = 0.0;
+    c.bench_function("serve_qps_uncached_4x16", |b| {
+        b.iter(|| {
+            let report = gen.run(uncached.addr()).unwrap();
+            assert_eq!(report.ok + report.busy, per_loop as u64);
+            qps_uncached = report.qps();
+            report.requests
+        })
+    });
+    uncached.stop().unwrap();
+
+    println!("serve: last-loop throughput — cached {qps_cached:.0} q/s, uncached {qps_uncached:.0} q/s");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

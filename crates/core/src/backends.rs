@@ -55,6 +55,110 @@ impl BackendKind {
     }
 }
 
+/// Every engine construction the CLI and the serving layer can name —
+/// the online samplers of [`BackendKind`], the LT variant, and the three
+/// index-based estimators (which additionally need an index artifact; see
+/// [`crate::EngineHandle`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineBackend {
+    /// Lazy propagation sampling (§5.1) — the paper's default.
+    Lazy,
+    /// Monte-Carlo forward sampling.
+    Mc,
+    /// Reverse-reachable set sampling.
+    Rr,
+    /// Tree-based baseline.
+    Tim,
+    /// Possible-world enumeration (tiny graphs only).
+    Exact,
+    /// Linear Threshold propagation (footnote 1).
+    Lt,
+    /// INDEXEST over a prebuilt RR-Graph index.
+    IndexEst,
+    /// INDEXEST+ (edge-cut filtered) over a prebuilt RR-Graph index.
+    IndexEstPlus,
+    /// DELAYMAT over a prebuilt delay-materialized index.
+    DelayMat,
+}
+
+impl EngineBackend {
+    /// All nine constructions, in CLI listing order.
+    pub const ALL: [EngineBackend; 9] = [
+        EngineBackend::Lazy,
+        EngineBackend::Mc,
+        EngineBackend::Rr,
+        EngineBackend::Tim,
+        EngineBackend::Exact,
+        EngineBackend::Lt,
+        EngineBackend::IndexEst,
+        EngineBackend::IndexEstPlus,
+        EngineBackend::DelayMat,
+    ];
+
+    /// Parses the CLI / wire-protocol method name (`lazy`, `mc`, `rr`,
+    /// `tim`, `exact`, `lt`, `indexest`, `indexest+`, `delaymat`).
+    pub fn parse(name: &str) -> Option<EngineBackend> {
+        Some(match name {
+            "lazy" => EngineBackend::Lazy,
+            "mc" => EngineBackend::Mc,
+            "rr" => EngineBackend::Rr,
+            "tim" => EngineBackend::Tim,
+            "exact" => EngineBackend::Exact,
+            "lt" => EngineBackend::Lt,
+            "indexest" => EngineBackend::IndexEst,
+            "indexest+" => EngineBackend::IndexEstPlus,
+            "delaymat" => EngineBackend::DelayMat,
+            _ => return None,
+        })
+    }
+
+    /// The CLI / wire-protocol method name ([`parse`](Self::parse)'s inverse).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            EngineBackend::Lazy => "lazy",
+            EngineBackend::Mc => "mc",
+            EngineBackend::Rr => "rr",
+            EngineBackend::Tim => "tim",
+            EngineBackend::Exact => "exact",
+            EngineBackend::Lt => "lt",
+            EngineBackend::IndexEst => "indexest",
+            EngineBackend::IndexEstPlus => "indexest+",
+            EngineBackend::DelayMat => "delaymat",
+        }
+    }
+
+    /// Display label matching the paper's method names.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineBackend::Lazy => "LAZY",
+            EngineBackend::Mc => "MC",
+            EngineBackend::Rr => "RR",
+            EngineBackend::Tim => "TIM",
+            EngineBackend::Exact => "EXACT",
+            EngineBackend::Lt => "LT",
+            EngineBackend::IndexEst => "INDEXEST",
+            EngineBackend::IndexEstPlus => "INDEXEST+",
+            EngineBackend::DelayMat => "DELAYMAT",
+        }
+    }
+
+    /// Whether this construction needs a prebuilt [`RrIndex`].
+    pub fn needs_rr_index(self) -> bool {
+        matches!(self, EngineBackend::IndexEst | EngineBackend::IndexEstPlus)
+    }
+
+    /// Whether this construction needs a prebuilt [`DelayMatIndex`].
+    pub fn needs_delay_index(self) -> bool {
+        matches!(self, EngineBackend::DelayMat)
+    }
+}
+
+impl std::fmt::Display for EngineBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// INDEXEST backend over a prebuilt index.
 pub fn index_backend<'a>(index: &'a RrIndex) -> Box<dyn SpreadEstimator + 'a> {
     Box::new(IndexEstimator::new(index))
@@ -96,6 +200,19 @@ mod tests {
             let est = kind.make(&model);
             assert_eq!(est.name(), kind.label());
         }
+    }
+
+    #[test]
+    fn engine_backend_names_round_trip() {
+        for backend in EngineBackend::ALL {
+            assert_eq!(EngineBackend::parse(backend.cli_name()), Some(backend));
+            assert_eq!(backend.to_string(), backend.label());
+        }
+        assert_eq!(EngineBackend::parse("frob"), None);
+        assert!(EngineBackend::IndexEstPlus.needs_rr_index());
+        assert!(!EngineBackend::IndexEstPlus.needs_delay_index());
+        assert!(EngineBackend::DelayMat.needs_delay_index());
+        assert!(!EngineBackend::Lazy.needs_rr_index());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! its own engine from a caller-supplied factory, so any backend —
 //! including index-backed ones — can be used.
 
-use crate::engine::PitexEngine;
+use crate::engine::{EngineHandle, PitexEngine};
 use crate::query::PitexResult;
 use pitex_graph::NodeId;
 
@@ -44,11 +44,24 @@ where
     results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
 }
 
+/// [`query_batch`] over an owned [`EngineHandle`]: each worker builds its
+/// engine from the handle's shared snapshots. This is the batch-shaped twin
+/// of the `pitex_serve` worker pool.
+pub fn query_batch_shared(
+    handle: &EngineHandle,
+    queries: &[(NodeId, usize)],
+    threads: usize,
+) -> Vec<PitexResult> {
+    query_batch(|| handle.engine(), queries, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backends::EngineBackend;
     use crate::engine::PitexConfig;
     use pitex_model::TicModel;
+    use std::sync::Arc;
 
     #[test]
     fn parallel_matches_sequential() {
@@ -82,6 +95,21 @@ mod tests {
         let config = PitexConfig::default();
         let results = query_batch(|| PitexEngine::with_exact(&model, config), &[(0, 2)], 16);
         assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn shared_handle_matches_borrowed_factory() {
+        let model = Arc::new(TicModel::paper_example());
+        let config = PitexConfig::default();
+        let handle = EngineHandle::new(model.clone(), EngineBackend::Lazy, config).unwrap();
+        let queries: Vec<(NodeId, usize)> = (0..7u32).map(|u| (u, 2)).collect();
+        let shared = query_batch_shared(&handle, &queries, 4);
+        let borrowed = query_batch(|| PitexEngine::with_lazy(&model, config), &queries, 4);
+        assert_eq!(shared.len(), borrowed.len());
+        for (a, b) in shared.iter().zip(&borrowed) {
+            assert_eq!(a.tags, b.tags, "user {}", a.user);
+            assert_eq!(a.spread, b.spread);
+        }
     }
 
     #[test]

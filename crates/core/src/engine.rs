@@ -1,6 +1,7 @@
 //! The PITEX query engine: enumeration (§4) and best-effort exploration
 //! (§5.2, Algo. 5).
 
+use crate::backends::EngineBackend;
 use crate::query::{PitexResult, QueryStats};
 use crate::OrdF64;
 use pitex_graph::NodeId;
@@ -16,6 +17,7 @@ use pitex_sampling::{
 use pitex_support::Timer;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// How the space of tag sets is searched.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -386,6 +388,149 @@ impl<'a> PitexEngine<'a> {
     }
 }
 
+/// Error returned when an [`EngineHandle`] is asked for an index-based
+/// backend without the matching index artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MissingIndexError {
+    backend: EngineBackend,
+}
+
+impl MissingIndexError {
+    /// The backend that could not be constructed.
+    pub fn backend(&self) -> EngineBackend {
+        self.backend
+    }
+}
+
+impl std::fmt::Display for MissingIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "backend {} needs a prebuilt {} index",
+            self.backend.label(),
+            if self.backend.needs_delay_index() { "delay-materialized" } else { "RR-Graph" }
+        )
+    }
+}
+
+impl std::error::Error for MissingIndexError {}
+
+/// Owned, shareable engine state: the immutable model / index snapshots
+/// behind `Arc`s plus a backend choice and configuration.
+///
+/// [`PitexEngine`] deliberately borrows its model and memoises edge
+/// probabilities behind `&mut self`, which makes a single engine useless for
+/// concurrent serving. An `EngineHandle` is the owned complement: clone it
+/// into as many worker threads as you like (clones share the underlying
+/// snapshots) and let each worker build its private engine with
+/// [`engine`](Self::engine). This is what `pitex_serve`'s worker pool and
+/// [`crate::batch::query_batch_shared`] are built on.
+///
+/// ```
+/// use pitex_core::{EngineBackend, EngineHandle, PitexConfig};
+/// use pitex_model::TicModel;
+/// use std::sync::Arc;
+///
+/// let model = Arc::new(TicModel::paper_example());
+/// let handle = EngineHandle::new(model, EngineBackend::Lazy, PitexConfig::default()).unwrap();
+/// let worker = handle.clone(); // e.g. moved into a thread
+/// assert_eq!(worker.engine().query(0, 2).tags.tags(), &[2, 3]);
+/// ```
+#[derive(Clone)]
+pub struct EngineHandle {
+    model: Arc<TicModel>,
+    rr_index: Option<Arc<RrIndex>>,
+    delay_index: Option<Arc<DelayMatIndex>>,
+    backend: EngineBackend,
+    config: PitexConfig,
+}
+
+impl std::fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The snapshots themselves are multi-megabyte; print their shape.
+        f.debug_struct("EngineHandle")
+            .field("backend", &self.backend)
+            .field("config", &self.config)
+            .field("nodes", &self.model.graph().num_nodes())
+            .field("rr_index", &self.rr_index.is_some())
+            .field("delay_index", &self.delay_index.is_some())
+            .finish()
+    }
+}
+
+impl EngineHandle {
+    /// A handle for an index-free backend. Fails if `backend` needs an
+    /// index artifact — pass it through [`with_indexes`](Self::with_indexes).
+    pub fn new(
+        model: Arc<TicModel>,
+        backend: EngineBackend,
+        config: PitexConfig,
+    ) -> Result<Self, MissingIndexError> {
+        Self::with_indexes(model, backend, None, None, config)
+    }
+
+    /// A handle over the full snapshot set. The indexes may be omitted when
+    /// `backend` does not need them.
+    pub fn with_indexes(
+        model: Arc<TicModel>,
+        backend: EngineBackend,
+        rr_index: Option<Arc<RrIndex>>,
+        delay_index: Option<Arc<DelayMatIndex>>,
+        config: PitexConfig,
+    ) -> Result<Self, MissingIndexError> {
+        if (backend.needs_rr_index() && rr_index.is_none())
+            || (backend.needs_delay_index() && delay_index.is_none())
+        {
+            return Err(MissingIndexError { backend });
+        }
+        Ok(Self { model, rr_index, delay_index, backend, config })
+    }
+
+    /// Builds a fresh engine borrowing this handle's shared snapshots.
+    /// Cheap enough to call once per worker thread (or even per batch);
+    /// each engine gets its own memoisation cache and sampler state.
+    pub fn engine(&self) -> PitexEngine<'_> {
+        let model = &*self.model;
+        match self.backend {
+            EngineBackend::Lazy => PitexEngine::with_lazy(model, self.config),
+            EngineBackend::Mc => PitexEngine::with_mc(model, self.config),
+            EngineBackend::Rr => PitexEngine::with_rr(model, self.config),
+            EngineBackend::Tim => PitexEngine::with_tim(model, self.config),
+            EngineBackend::Exact => PitexEngine::with_exact(model, self.config),
+            EngineBackend::Lt => PitexEngine::with_lt(model, self.config),
+            EngineBackend::IndexEst => PitexEngine::with_index(
+                model,
+                self.rr_index.as_deref().expect("checked at construction"),
+                self.config,
+            ),
+            EngineBackend::IndexEstPlus => PitexEngine::with_index_plus(
+                model,
+                self.rr_index.as_deref().expect("checked at construction"),
+                self.config,
+            ),
+            EngineBackend::DelayMat => PitexEngine::with_delay(
+                model,
+                self.delay_index.as_deref().expect("checked at construction"),
+                self.config,
+            ),
+        }
+    }
+
+    /// The shared model snapshot.
+    pub fn model(&self) -> &Arc<TicModel> {
+        &self.model
+    }
+
+    /// The backend every engine built from this handle uses.
+    pub fn backend(&self) -> EngineBackend {
+        self.backend
+    }
+
+    pub fn config(&self) -> &PitexConfig {
+        &self.config
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +719,77 @@ mod tests {
         assert_eq!(engine.backend_name(), "LT");
         let result = engine.query(0, 2);
         assert_eq!(result.tags, TagSet::from([2, 3]));
+    }
+
+    #[test]
+    fn handle_builds_every_index_free_backend() {
+        let model = Arc::new(TicModel::paper_example());
+        for backend in [
+            EngineBackend::Lazy,
+            EngineBackend::Mc,
+            EngineBackend::Rr,
+            EngineBackend::Tim,
+            EngineBackend::Exact,
+            EngineBackend::Lt,
+        ] {
+            let handle =
+                EngineHandle::new(model.clone(), backend, PitexConfig::default()).unwrap();
+            let mut engine = handle.engine();
+            assert_eq!(engine.backend_name(), backend.label());
+            assert_eq!(engine.query(0, 2).tags, TagSet::from([2, 3]), "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn handle_rejects_index_backends_without_artifacts() {
+        let model = Arc::new(TicModel::paper_example());
+        for backend in
+            [EngineBackend::IndexEst, EngineBackend::IndexEstPlus, EngineBackend::DelayMat]
+        {
+            let err = EngineHandle::new(model.clone(), backend, PitexConfig::default())
+                .expect_err("must demand an index");
+            assert_eq!(err.backend(), backend);
+            assert!(err.to_string().contains(backend.label()));
+        }
+    }
+
+    #[test]
+    fn handle_serves_index_backends_from_shared_snapshots() {
+        let model = Arc::new(TicModel::paper_example());
+        let rr = Arc::new(RrIndex::build(&model, pitex_index::IndexBudget::Fixed(3_000), 3));
+        let delay =
+            Arc::new(DelayMatIndex::build(&model, pitex_index::IndexBudget::Fixed(3_000), 3));
+        for backend in
+            [EngineBackend::IndexEst, EngineBackend::IndexEstPlus, EngineBackend::DelayMat]
+        {
+            let handle = EngineHandle::with_indexes(
+                model.clone(),
+                backend,
+                Some(rr.clone()),
+                Some(delay.clone()),
+                PitexConfig::default(),
+            )
+            .unwrap();
+            let result = handle.engine().query(0, 2);
+            assert_eq!(result.k, 2, "{}", backend.label());
+            assert!(result.spread >= 1.0);
+        }
+    }
+
+    #[test]
+    fn handle_clones_share_the_model() {
+        let model = Arc::new(TicModel::paper_example());
+        let handle =
+            EngineHandle::new(model.clone(), EngineBackend::Exact, PitexConfig::default())
+                .unwrap();
+        let clone = handle.clone();
+        assert!(Arc::ptr_eq(handle.model(), clone.model()));
+        assert_eq!(clone.backend(), EngineBackend::Exact);
+        // Two engines from the same handle answer independently and equally.
+        let a = handle.engine().query(0, 2);
+        let b = clone.engine().query(0, 2);
+        assert_eq!(a.tags, b.tags);
+        assert_eq!(a.spread, b.spread);
     }
 
     #[test]

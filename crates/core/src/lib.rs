@@ -30,9 +30,9 @@ pub mod hardness;
 pub mod query;
 pub mod tim;
 
-pub use backends::BackendKind;
-pub use batch::query_batch;
-pub use engine::{ExplorationStrategy, PitexConfig, PitexEngine};
+pub use backends::{BackendKind, EngineBackend};
+pub use batch::{query_batch, query_batch_shared};
+pub use engine::{EngineHandle, ExplorationStrategy, MissingIndexError, PitexConfig, PitexEngine};
 pub use query::{PitexResult, QueryStats};
 pub use tim::TimEstimator;
 

@@ -1,0 +1,288 @@
+//! Client-side protocol driver and a closed-loop load generator.
+//!
+//! [`ServeClient`] is a thin synchronous wrapper over one TCP connection:
+//! one request line out, one response line in. [`LoadGen`] spins up `N`
+//! such clients, each issuing its next request the moment the previous
+//! response lands (closed loop), and reports aggregate throughput — the
+//! measurement the `bench_serve` target and `pitex client --bench` print.
+
+use crate::protocol::{QueryRequest, Request, Response, StatsReply};
+use pitex_support::stats::OnlineStats;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A blocking client for the `pitex serve` line protocol.
+pub struct ServeClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok(); // request/response; don't batch
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Sends one raw line and reads one reply line (the protocol is strictly
+    /// one response per request).
+    pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
+        // One write per request (see the server-side note on Nagle).
+        let mut out = String::with_capacity(line.len() + 1);
+        out.push_str(line);
+        out.push('\n');
+        self.writer.write_all(out.as_bytes())?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// Sends a typed request and parses the reply.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        let reply = self.roundtrip_line(&request.to_line())?;
+        Response::parse(&reply)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// `QUERY user k` with the server's default deadline.
+    pub fn query(&mut self, user: u32, k: usize) -> std::io::Result<Response> {
+        self.request(&Request::Query(QueryRequest { user, k, timeout_us: None }))
+    }
+
+    /// `QUERY user k timeout_us`.
+    pub fn query_with_timeout(
+        &mut self,
+        user: u32,
+        k: usize,
+        timeout_us: u64,
+    ) -> std::io::Result<Response> {
+        self.request(&Request::Query(QueryRequest { user, k, timeout_us: Some(timeout_us) }))
+    }
+
+    /// `STATS`, decoded (errors if the server answers anything else).
+    pub fn stats(&mut self) -> std::io::Result<StatsReply> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected STATS reply, got {other:?}"),
+            )),
+        }
+    }
+
+    /// `PING` (errors unless the server answers `PONG`).
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected PONG, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// A closed-loop load generator: `clients` connections, each issuing
+/// `requests_per_client` queries back-to-back.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadGen {
+    /// Concurrent connections.
+    pub clients: usize,
+    /// Queries per connection.
+    pub requests_per_client: usize,
+    /// Query user for every request.
+    pub user: u32,
+    /// Query `k` for every request.
+    pub k: usize,
+    /// Optional per-request deadline forwarded to the server.
+    pub timeout_us: Option<u64>,
+}
+
+impl Default for LoadGen {
+    fn default() -> Self {
+        Self { clients: 4, requests_per_client: 16, user: 0, k: 2, timeout_us: None }
+    }
+}
+
+/// Aggregate outcome of one [`LoadGen::run`].
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests issued (clients × requests_per_client).
+    pub requests: u64,
+    /// `OK` replies.
+    pub ok: u64,
+    /// `OK` replies served from the result cache.
+    pub cached: u64,
+    /// `BUSY` (load-shed) replies.
+    pub busy: u64,
+    /// `ERR` replies of any code.
+    pub errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Client-observed per-request latency in microseconds.
+    pub latency_us: OnlineStats,
+}
+
+impl LoadReport {
+    /// Successful queries per second over the run.
+    pub fn qps(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+impl LoadGen {
+    /// Runs the closed loop to completion and aggregates the outcome.
+    ///
+    /// Every client issues exactly `requests_per_client` requests even when
+    /// some are answered `BUSY` — shed requests are part of the workload.
+    pub fn run(&self, addr: impl ToSocketAddrs) -> std::io::Result<LoadReport> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let clients = self.clients.max(1);
+        let started = Instant::now();
+        let mut outcomes: Vec<std::io::Result<LoadReport>> = Vec::with_capacity(clients);
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(clients);
+            for _ in 0..clients {
+                joins.push(scope.spawn(move || self.run_one_client(addr)));
+            }
+            for join in joins {
+                outcomes.push(join.join().expect("load-gen client panicked"));
+            }
+        });
+        let mut report = LoadReport {
+            requests: 0,
+            ok: 0,
+            cached: 0,
+            busy: 0,
+            errors: 0,
+            elapsed: started.elapsed(),
+            latency_us: OnlineStats::new(),
+        };
+        for outcome in outcomes {
+            let one = outcome?;
+            report.requests += one.requests;
+            report.ok += one.ok;
+            report.cached += one.cached;
+            report.busy += one.busy;
+            report.errors += one.errors;
+            report.latency_us.merge(&one.latency_us);
+        }
+        Ok(report)
+    }
+
+    fn run_one_client(&self, addr: std::net::SocketAddr) -> std::io::Result<LoadReport> {
+        let mut client = ServeClient::connect(addr)?;
+        let mut report = LoadReport {
+            requests: 0,
+            ok: 0,
+            cached: 0,
+            busy: 0,
+            errors: 0,
+            elapsed: Duration::ZERO,
+            latency_us: OnlineStats::new(),
+        };
+        let request = Request::Query(QueryRequest {
+            user: self.user,
+            k: self.k,
+            timeout_us: self.timeout_us,
+        });
+        for _ in 0..self.requests_per_client {
+            let t = Instant::now();
+            let response = client.request(&request)?;
+            report.latency_us.push(t.elapsed().as_micros() as f64);
+            report.requests += 1;
+            match response {
+                Response::Ok(reply) => {
+                    report.ok += 1;
+                    if reply.cached {
+                        report.cached += 1;
+                    }
+                }
+                Response::Busy => report.busy += 1,
+                Response::Err { .. } => report.errors += 1,
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected reply to QUERY: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeOptions, Server};
+    use pitex_core::{EngineBackend, EngineHandle, PitexConfig};
+    use pitex_model::TicModel;
+    use std::sync::Arc;
+
+    fn boot() -> crate::server::ServerHandle {
+        let handle = EngineHandle::new(
+            Arc::new(TicModel::paper_example()),
+            EngineBackend::Exact,
+            PitexConfig::default(),
+        )
+        .unwrap();
+        Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn typed_client_round_trips() {
+        let server = boot();
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        client.ping().unwrap();
+        let Response::Ok(reply) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+        assert_eq!(reply.tags, vec![2, 3]);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get_u64("ok"), Some(1));
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn load_gen_reports_add_up() {
+        let server = boot();
+        let report = LoadGen {
+            clients: 3,
+            requests_per_client: 10,
+            ..LoadGen::default()
+        }
+        .run(server.addr())
+        .unwrap();
+        assert_eq!(report.requests, 30);
+        assert_eq!(report.ok + report.busy + report.errors, 30);
+        assert!(report.ok >= 1);
+        assert!(report.cached >= report.ok.saturating_sub(3), "all but first-per-key hits cache");
+        assert!(report.qps() > 0.0);
+        assert_eq!(report.latency_us.count(), 30);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn shutdown_via_client() {
+        let server = boot();
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        client.shutdown_server().unwrap();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! # `pitex_serve` — the concurrent query-serving subsystem
+//!
+//! The paper frames PITEX as an *online service*: the RR-Graph index is
+//! built offline (§6) precisely so that interactive per-user queries are
+//! cheap. This crate is that service. It turns the batch-shaped engine into
+//! a network server:
+//!
+//! * **Shared-engine runtime** — the server owns `Arc` snapshots of the
+//!   model and indexes through [`pitex_core::EngineHandle`]; each worker
+//!   thread builds a private [`pitex_core::PitexEngine`] from them, so the
+//!   engine's `&mut self` memoisation needs no locks.
+//! * **Line protocol** ([`protocol`]) — `QUERY <user> <k>` in, one reply
+//!   line out; scriptable with `nc` and spoken by `pitex client`.
+//! * **Bounded queue + load shedding** ([`server`]) — a full request queue
+//!   answers `BUSY` instead of growing; per-request deadlines answer
+//!   `ERR DEADLINE` instead of running work nobody awaits.
+//! * **Result cache** — a sharded LRU over `(user, k, backend)`
+//!   ([`pitex_support::lru`]) consulted before any sampling; `STATS`
+//!   exposes hit rates, throughput and latency percentiles.
+//! * **Client + load generator** ([`client`]) — the typed client, and the
+//!   closed-loop [`LoadGen`] behind `bench_serve` and `pitex client --bench`.
+//!
+//! ```
+//! use pitex_core::{EngineBackend, EngineHandle, PitexConfig};
+//! use pitex_model::TicModel;
+//! use pitex_serve::{Response, ServeClient, ServeOptions, Server};
+//! use std::sync::Arc;
+//!
+//! // Boot a server on an ephemeral port around the paper's Fig. 2 model.
+//! let model = Arc::new(TicModel::paper_example());
+//! let handle = EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+//! let server = Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+//!
+//! let mut client = ServeClient::connect(server.addr()).unwrap();
+//! let Response::Ok(reply) = client.query(0, 2).unwrap() else { panic!() };
+//! assert_eq!(reply.tags, vec![2, 3]); // W* = {w3, w4}
+//!
+//! server.stop().unwrap();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{LoadGen, LoadReport, ServeClient};
+pub use protocol::{ErrorCode, QueryReply, QueryRequest, Request, Response, StatsReply};
+pub use server::{ServeOptions, Server, ServerHandle};

@@ -1,0 +1,409 @@
+//! The line-delimited text protocol `pitex serve` speaks.
+//!
+//! Every request and response is a single `\n`-terminated ASCII line of
+//! whitespace-separated tokens — trivially scriptable (`nc`, `telnet`) and
+//! dependency-free to parse. Requests:
+//!
+//! ```text
+//! PING                              liveness probe
+//! QUERY <user> <k> [timeout_us]     a PITEX query (Def. 1)
+//! STATS                             server counters and latency percentiles
+//! QUIT                              close this connection
+//! SHUTDOWN                          gracefully stop the whole server
+//! ```
+//!
+//! Responses (one line per request, in order):
+//!
+//! ```text
+//! PONG
+//! OK user=<u> k=<k> tags=<t1,t2,..> spread=<f> cached=<0|1> us=<micros>
+//! STATS <key>=<value> ...
+//! BYE
+//! BUSY                              load shed: the request queue was full
+//! ERR <CODE> <message>              CODE ∈ BAD_REQUEST | UNKNOWN_USER |
+//!                                          BAD_K | DEADLINE | INTERNAL
+//! ```
+//!
+//! `tags` are 0-based tag ids (the paper's `w3` is `2`); `-` marks the empty
+//! set. Both sides of the protocol live here so the server, the client and
+//! the tests share one parser.
+
+use pitex_model::TagId;
+use std::collections::BTreeMap;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    Ping,
+    Query(QueryRequest),
+    Stats,
+    Quit,
+    Shutdown,
+}
+
+/// The `QUERY` verb's operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Query user (0-based vertex id).
+    pub user: u32,
+    /// Requested tag-set size.
+    pub k: usize,
+    /// Optional per-request deadline; the server default applies when absent.
+    pub timeout_us: Option<u64>,
+}
+
+impl Request {
+    /// Serializes to a protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Ping => "PING".to_string(),
+            Request::Stats => "STATS".to_string(),
+            Request::Quit => "QUIT".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+            Request::Query(q) => match q.timeout_us {
+                Some(t) => format!("QUERY {} {} {}", q.user, q.k, t),
+                None => format!("QUERY {} {}", q.user, q.k),
+            },
+        }
+    }
+
+    /// Parses a request line. The error string is a human-readable reason
+    /// suitable for an `ERR BAD_REQUEST` reply.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut tokens = line.split_ascii_whitespace();
+        let verb = tokens.next().ok_or("empty request")?;
+        let request = match verb {
+            "PING" => Request::Ping,
+            "STATS" => Request::Stats,
+            "QUIT" => Request::Quit,
+            "SHUTDOWN" => Request::Shutdown,
+            "QUERY" => {
+                let user = tokens.next().ok_or("QUERY needs <user> <k>")?;
+                let user: u32 =
+                    user.parse().map_err(|_| format!("bad user {user:?} (want u32)"))?;
+                let k = tokens.next().ok_or("QUERY needs <user> <k>")?;
+                let k: usize = k.parse().map_err(|_| format!("bad k {k:?} (want usize)"))?;
+                let timeout_us = match tokens.next() {
+                    Some(t) => Some(
+                        t.parse::<u64>()
+                            .map_err(|_| format!("bad timeout_us {t:?} (want u64)"))?,
+                    ),
+                    None => None,
+                };
+                Request::Query(QueryRequest { user, k, timeout_us })
+            }
+            other => return Err(format!("unknown verb {other:?}")),
+        };
+        if tokens.next().is_some() {
+            return Err(format!("trailing tokens after {verb}"));
+        }
+        Ok(request)
+    }
+}
+
+/// Machine-readable error classes, mirrored by the CLI exit paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line did not parse.
+    BadRequest,
+    /// The query user is outside the model's vertex range.
+    UnknownUser,
+    /// `k = 0` (a PITEX query selects at least one tag).
+    BadK,
+    /// The per-request deadline elapsed before the query ran.
+    Deadline,
+    /// The server failed internally (e.g. a worker panicked).
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "BAD_REQUEST",
+            ErrorCode::UnknownUser => "UNKNOWN_USER",
+            ErrorCode::BadK => "BAD_K",
+            ErrorCode::Deadline => "DEADLINE",
+            ErrorCode::Internal => "INTERNAL",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "BAD_REQUEST" => ErrorCode::BadRequest,
+            "UNKNOWN_USER" => ErrorCode::UnknownUser,
+            "BAD_K" => ErrorCode::BadK,
+            "DEADLINE" => ErrorCode::Deadline,
+            "INTERNAL" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A successful query reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryReply {
+    /// Echo of the query user.
+    pub user: u32,
+    /// The effective `k` (clamped to the tag vocabulary, as the engine does).
+    pub k: usize,
+    /// The selected tag set `W*` (0-based ids, ascending).
+    pub tags: Vec<TagId>,
+    /// Estimated spread `Ê[I(u|W*)]`.
+    pub spread: f64,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// Server-side handling time in microseconds.
+    pub us: u64,
+}
+
+/// The `STATS` reply: ordered `key=value` pairs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsReply {
+    fields: BTreeMap<String, String>,
+}
+
+impl StatsReply {
+    pub fn new(fields: impl IntoIterator<Item = (String, String)>) -> Self {
+        Self { fields: fields.into_iter().collect() }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(|s| s.as_str())
+    }
+
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key)?.parse().ok()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// A parsed response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Pong,
+    Ok(QueryReply),
+    Stats(StatsReply),
+    Bye,
+    Busy,
+    Err { code: ErrorCode, message: String },
+}
+
+fn format_tags(tags: &[TagId]) -> String {
+    if tags.is_empty() {
+        return "-".to_string();
+    }
+    tags.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn parse_tags(s: &str) -> Result<Vec<TagId>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| t.parse().map_err(|_| format!("bad tag id {t:?}")))
+        .collect()
+}
+
+fn kv<'a>(token: &'a str, key: &str) -> Result<&'a str, String> {
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=<value>, found {token:?}"))
+}
+
+impl Response {
+    /// Serializes to a protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Pong => "PONG".to_string(),
+            Response::Bye => "BYE".to_string(),
+            Response::Busy => "BUSY".to_string(),
+            Response::Err { code, message } => {
+                format!("ERR {} {}", code.as_str(), message)
+            }
+            Response::Ok(r) => format!(
+                "OK user={} k={} tags={} spread={} cached={} us={}",
+                r.user,
+                r.k,
+                format_tags(&r.tags),
+                r.spread,
+                u8::from(r.cached),
+                r.us
+            ),
+            Response::Stats(s) => {
+                let mut line = String::from("STATS");
+                for (k, v) in s.iter() {
+                    line.push(' ');
+                    line.push_str(k);
+                    line.push('=');
+                    line.push_str(v);
+                }
+                line
+            }
+        }
+    }
+
+    /// Parses a response line (the client half of the protocol).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let line = line.trim_end();
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r),
+            None => (line, ""),
+        };
+        match verb {
+            "PONG" => Ok(Response::Pong),
+            "BYE" => Ok(Response::Bye),
+            "BUSY" => Ok(Response::Busy),
+            "ERR" => {
+                let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+                let code = ErrorCode::parse(code)
+                    .ok_or_else(|| format!("unknown error code {code:?}"))?;
+                Ok(Response::Err { code, message: message.to_string() })
+            }
+            "OK" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<String, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    Ok(kv(token, key)?.to_string())
+                };
+                let user =
+                    next("user")?.parse().map_err(|_| "bad user in OK reply".to_string())?;
+                let k = next("k")?.parse().map_err(|_| "bad k in OK reply".to_string())?;
+                let tags = parse_tags(&next("tags")?)?;
+                let spread =
+                    next("spread")?.parse().map_err(|_| "bad spread in OK reply".to_string())?;
+                let cached = match next("cached")?.as_str() {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bad cached flag {other:?}")),
+                };
+                let us = next("us")?.parse().map_err(|_| "bad us in OK reply".to_string())?;
+                Ok(Response::Ok(QueryReply { user, k, tags, spread, cached, us }))
+            }
+            "STATS" => {
+                let mut fields = BTreeMap::new();
+                for token in rest.split_ascii_whitespace() {
+                    let (k, v) = token
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad stats token {token:?}"))?;
+                    fields.insert(k.to_string(), v.to_string());
+                }
+                Ok(Response::Stats(StatsReply { fields }))
+            }
+            other => Err(format!("unknown response verb {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Ping,
+            Request::Stats,
+            Request::Quit,
+            Request::Shutdown,
+            Request::Query(QueryRequest { user: 0, k: 2, timeout_us: None }),
+            Request::Query(QueryRequest { user: 41, k: 3, timeout_us: Some(2_000_000) }),
+        ];
+        for request in cases {
+            assert_eq!(Request::parse(&request.to_line()), Ok(request));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("", "empty"),
+            ("FROB 1 2", "unknown verb"),
+            ("QUERY", "needs"),
+            ("QUERY 1", "needs"),
+            ("QUERY x 2", "bad user"),
+            ("QUERY 1 -3", "bad k"),
+            ("QUERY 1 2 fast", "bad timeout_us"),
+            ("QUERY 1 2 3 4", "trailing"),
+            ("PING PONG", "trailing"),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(needle), "{line:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Pong,
+            Response::Bye,
+            Response::Busy,
+            Response::Err { code: ErrorCode::Deadline, message: "deadline exceeded".into() },
+            Response::Ok(QueryReply {
+                user: 0,
+                k: 2,
+                tags: vec![2, 3],
+                spread: 2.0575,
+                cached: true,
+                us: 1234,
+            }),
+            Response::Ok(QueryReply {
+                user: 5,
+                k: 1,
+                tags: vec![],
+                spread: 1.0,
+                cached: false,
+                us: 7,
+            }),
+            Response::Stats(StatsReply::new([
+                ("requests".to_string(), "64".to_string()),
+                ("cache_hits".to_string(), "12".to_string()),
+            ])),
+        ];
+        for response in cases {
+            let line = response.to_line();
+            assert_eq!(Response::parse(&line), Ok(response), "{line}");
+        }
+    }
+
+    #[test]
+    fn error_codes_cover_the_wire_names() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownUser,
+            ErrorCode::BadK,
+            ErrorCode::Deadline,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("NOPE"), None);
+    }
+
+    #[test]
+    fn stats_reply_typed_getters() {
+        let line = "STATS qps=123.5 requests=64 cache_hit_rate=0.75";
+        let Response::Stats(stats) = Response::parse(line).unwrap() else {
+            panic!("not a stats reply")
+        };
+        assert_eq!(stats.get_u64("requests"), Some(64));
+        assert_eq!(stats.get_f64("qps"), Some(123.5));
+        assert_eq!(stats.get_f64("cache_hit_rate"), Some(0.75));
+        assert_eq!(stats.get("missing"), None);
+    }
+
+    #[test]
+    fn err_with_empty_message_parses() {
+        assert_eq!(
+            Response::parse("ERR INTERNAL"),
+            Ok(Response::Err { code: ErrorCode::Internal, message: String::new() })
+        );
+    }
+}

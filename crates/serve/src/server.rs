@@ -1,0 +1,740 @@
+//! The multi-threaded query server.
+//!
+//! Topology: one acceptor thread, one lightweight thread per client
+//! connection, and a fixed pool of worker threads that each own a private
+//! [`PitexEngine`](pitex_core::PitexEngine) built from the shared
+//! [`EngineHandle`] (the engine's `&mut self` memoisation stays
+//! single-threaded by construction). Connections and workers meet at a
+//! *bounded* job queue: when it is full the connection answers `BUSY`
+//! immediately instead of queueing unboundedly — under overload the server
+//! sheds load and stays responsive rather than building latency.
+//!
+//! Each request carries a deadline (client-supplied `timeout_us` or the
+//! server default). A request that is still queued when its deadline passes
+//! is answered `ERR DEADLINE` without running — protecting the pool from
+//! doing work nobody is waiting for anymore.
+//!
+//! The `(user, k, backend)` result cache is consulted on the connection
+//! thread, *before* the queue: repeated queries never cost a queue slot or a
+//! sampling pass. Shutdown is graceful: `ServerHandle::shutdown` (or the
+//! `SHUTDOWN` verb) stops the acceptor, lets workers drain in-flight jobs,
+//! unblocks idle connections, and `join` reaps every thread.
+
+use crate::protocol::{ErrorCode, QueryReply, Request, Response, StatsReply};
+use pitex_core::{EngineBackend, EngineHandle};
+use pitex_model::TagSet;
+use pitex_support::lru::ShardedLru;
+use pitex_support::stats::{LatencyHistogram, OnlineStats};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Worker threads, each with a private engine. At least 1.
+    pub workers: usize,
+    /// Bounded request-queue depth; a full queue answers `BUSY`.
+    pub queue_depth: usize,
+    /// Deadline applied when a `QUERY` carries no `timeout_us`.
+    pub default_deadline: Duration,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(5),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// What the cache stores per `(user, k, backend)` key.
+#[derive(Clone)]
+struct CachedAnswer {
+    tags: TagSet,
+    spread: f64,
+}
+
+/// One queued query, ready for a worker.
+struct Job {
+    user: u32,
+    k: usize,
+    deadline: Instant,
+    reply: mpsc::SyncSender<WorkerReply>,
+}
+
+enum WorkerReply {
+    Done { tags: TagSet, spread: f64 },
+    Deadline,
+    Panicked,
+}
+
+/// Always-on serving counters (all monotone).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    busy: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    errors: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+/// Everything the acceptor, connections and workers share.
+struct Shared {
+    stop: AtomicBool,
+    /// Set when a reaped connection thread had panicked, so `join` can
+    /// still report it after the handle itself is gone.
+    reaped_panic: AtomicBool,
+    handle: EngineHandle,
+    options: ServeOptions,
+    cache: ShardedLru<(u32, usize, EngineBackend), CachedAnswer>,
+    counters: Counters,
+    /// Service-time distribution of `OK` replies, in microseconds.
+    latency: Mutex<(LatencyHistogram, OnlineStats)>,
+    started: Instant,
+    /// Connection threads spawned by the acceptor, reaped on `join`.
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Poll interval for stop-flag checks while blocked on I/O or the queue.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Longest accepted request line. Far beyond any legal request; a client
+/// that exceeds it (e.g. never sends a newline) is answered once and
+/// disconnected instead of growing server memory without bound.
+const MAX_LINE_BYTES: usize = 4 * 1024;
+
+/// Namespace for [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port), spawns the acceptor
+    /// and `options.workers` workers, and returns immediately.
+    pub fn spawn(
+        handle: EngineHandle,
+        addr: impl ToSocketAddrs,
+        options: ServeOptions,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let workers = options.workers.max(1);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            reaped_panic: AtomicBool::new(false),
+            cache: ShardedLru::with_shards(options.cache_capacity, workers.max(4)),
+            handle,
+            options,
+            counters: Counters::default(),
+            latency: Mutex::new((LatencyHistogram::new(), OnlineStats::new())),
+            started: Instant::now(),
+            connections: Mutex::new(Vec::new()),
+        });
+
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(options.queue_depth.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        for id in 0..workers {
+            let shared = shared.clone();
+            let job_rx = job_rx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pitex-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, &job_rx))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pitex-acceptor".to_string())
+                    .spawn(move || acceptor_loop(&shared, &listener, &job_tx))?,
+            );
+        }
+        Ok(ServerHandle { addr, shared, threads: Mutex::new(threads) })
+    }
+}
+
+/// A running server: its address, a shutdown switch, and the thread reaper.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop (idempotent; also triggered by the
+    /// `SHUTDOWN` verb). In-flight queries finish and get their replies.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server has fully stopped (after
+    /// [`shutdown`](Self::shutdown) or a client's `SHUTDOWN`) and reaps
+    /// every thread.
+    /// Returns `Err` with the panic payload if any server thread panicked.
+    pub fn join(self) -> std::thread::Result<()> {
+        let mut result = Ok(());
+        for thread in self.threads.lock().unwrap().drain(..) {
+            if let Err(panic) = thread.join() {
+                result = Err(panic);
+            }
+        }
+        for conn in self.shared.connections.lock().unwrap().drain(..) {
+            if let Err(panic) = conn.join() {
+                result = Err(panic);
+            }
+        }
+        if result.is_ok() && self.shared.reaped_panic.load(Ordering::SeqCst) {
+            result = Err(Box::new("a connection thread panicked (reaped mid-run)"));
+        }
+        result
+    }
+
+    /// Convenience for tests and the CLI: shut down, then join.
+    pub fn stop(self) -> std::thread::Result<()> {
+        self.shutdown();
+        self.join()
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, job_tx: &mpsc::SyncSender<Job>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Request/response in single lines: never wait on Nagle.
+                stream.set_nodelay(true).ok();
+                let conn_shared = shared.clone();
+                let job_tx = job_tx.clone();
+                let conn = std::thread::Builder::new()
+                    .name("pitex-conn".to_string())
+                    .spawn(move || connection_loop(&conn_shared, stream, &job_tx));
+                match conn {
+                    Ok(handle) => {
+                        // Reap finished connection threads as we go so a
+                        // long-lived server over many short connections
+                        // does not accumulate JoinHandles forever.
+                        let mut conns = shared.connections.lock().unwrap();
+                        let mut live = Vec::with_capacity(conns.len() + 1);
+                        for conn in conns.drain(..) {
+                            if conn.is_finished() {
+                                if conn.join().is_err() {
+                                    shared.reaped_panic.store(true, Ordering::SeqCst);
+                                }
+                            } else {
+                                live.push(conn);
+                            }
+                        }
+                        live.push(handle);
+                        *conns = live;
+                    }
+                    Err(_) => { /* thread spawn failed: drop the connection */ }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Dropping our job_tx clone lets workers observe disconnect once every
+    // connection thread has dropped theirs too.
+}
+
+fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
+    // One engine per worker: the shared snapshots are immutable, all mutable
+    // state (memoisation cache, sampler scratch) is private to this thread.
+    let mut engine = shared.handle.engine();
+    loop {
+        let job = {
+            let rx = job_rx.lock().unwrap();
+            rx.recv_timeout(POLL)
+        };
+        let job = match job {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        if Instant::now() >= job.deadline {
+            // The connection side counts the DEADLINE outcome when it
+            // relays the reply — counting here too would double-book it.
+            let _ = job.reply.try_send(WorkerReply::Deadline);
+            continue;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.query(job.user, job.k)
+        }));
+        let reply = match outcome {
+            Ok(result) => WorkerReply::Done { tags: result.tags, spread: result.spread },
+            Err(_) => {
+                shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                // The engine may hold poisoned internal state; rebuild it.
+                engine = shared.handle.engine();
+                WorkerReply::Panicked
+            }
+        };
+        let _ = job.reply.try_send(reply);
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncSender<Job>) {
+    // Short read timeouts keep the thread responsive to shutdown while the
+    // client is idle.
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `line` may already hold a partial request from a timed-out read:
+        // `read_line` appends, so fragmented writes reassemble correctly.
+        // The per-line `take` budget makes even a continuously streaming
+        // newline-free client surface here once it exceeds the cap —
+        // without it, `read_line` would keep consuming (and buffering)
+        // as long as bytes arrive.
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
+        match std::io::Read::take(&mut reader, budget).read_line(&mut line) {
+            Ok(0) => return, // client closed the connection
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if line.len() > MAX_LINE_BYTES {
+                    oversized_line_reply(shared, &mut writer);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.len() > MAX_LINE_BYTES {
+            oversized_line_reply(shared, &mut writer);
+            return;
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        let (response, close) = handle_line(shared, line.trim(), job_tx);
+        line.clear();
+        let mut out = response.to_line();
+        out.push('\n');
+        // One write per reply: a split line + '\n' would stall ~40ms on the
+        // peer's delayed ACK under Nagle.
+        if writer.write_all(out.as_bytes()).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Tells an over-long-line client off once; the connection then closes.
+fn oversized_line_reply(shared: &Arc<Shared>, writer: &mut TcpStream) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    let response = Response::Err {
+        code: ErrorCode::BadRequest,
+        message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+    };
+    let mut out = response.to_line();
+    out.push('\n');
+    let _ = writer.write_all(out.as_bytes());
+}
+
+/// Dispatches one request line; returns the reply and whether to close.
+fn handle_line(
+    shared: &Arc<Shared>,
+    line: &str,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> (Response, bool) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    match Request::parse(line) {
+        Ok(Request::Ping) => (Response::Pong, false),
+        Ok(Request::Quit) => (Response::Bye, true),
+        Ok(Request::Shutdown) => {
+            shared.stop.store(true, Ordering::SeqCst);
+            (Response::Bye, true)
+        }
+        Ok(Request::Stats) => (Response::Stats(stats_reply(shared)), false),
+        Ok(Request::Query(q)) => (handle_query(shared, q, job_tx), false),
+        Err(reason) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            (Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
+        }
+    }
+}
+
+fn handle_query(
+    shared: &Arc<Shared>,
+    q: crate::protocol::QueryRequest,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Response {
+    let error = |code: ErrorCode, message: String| {
+        let counter = if code == ErrorCode::Deadline {
+            &shared.counters.deadline_exceeded
+        } else {
+            &shared.counters.errors
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Response::Err { code, message }
+    };
+
+    let model = shared.handle.model();
+    if q.k == 0 {
+        return error(ErrorCode::BadK, "k must be at least 1".to_string());
+    }
+    let nodes = model.graph().num_nodes();
+    if (q.user as usize) >= nodes {
+        return error(ErrorCode::UnknownUser, format!("user {} out of range (|V| = {nodes})", q.user));
+    }
+    let accepted = Instant::now();
+    let timeout = q.timeout_us.map(Duration::from_micros).unwrap_or(shared.options.default_deadline);
+    let deadline = accepted.checked_add(timeout).unwrap_or_else(|| accepted + Duration::from_secs(86_400));
+    // `timeout_us=0` (and any deadline that has already passed) fails fast
+    // here, before spending a cache probe or a queue slot.
+    if Instant::now() >= deadline {
+        return error(ErrorCode::Deadline, format!("deadline of {timeout:?} elapsed before execution"));
+    }
+
+    // The engine clamps k to the vocabulary; cache under the clamped key so
+    // `k=99` and `k=|Ω|` share an entry.
+    let k = q.k.min(model.num_tags());
+    let backend = shared.handle.backend();
+    let key = (q.user, k, backend);
+    if let Some(hit) = shared.cache.get(&key) {
+        shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+        let us = accepted.elapsed().as_micros() as u64;
+        record_latency(shared, us);
+        return Response::Ok(QueryReply {
+            user: q.user,
+            k,
+            tags: hit.tags.tags().to_vec(),
+            spread: hit.spread,
+            cached: true,
+            us,
+        });
+    }
+
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<WorkerReply>(1);
+    let job = Job { user: q.user, k, deadline, reply: reply_tx };
+    match job_tx.try_send(job) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+            // Full queue or a draining pool: shed the request.
+            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            return Response::Busy;
+        }
+    }
+    match reply_rx.recv() {
+        Ok(WorkerReply::Done { tags, spread }) => {
+            shared.cache.insert(key, CachedAnswer { tags: tags.clone(), spread });
+            shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+            let us = accepted.elapsed().as_micros() as u64;
+            record_latency(shared, us);
+            Response::Ok(QueryReply {
+                user: q.user,
+                k,
+                tags: tags.tags().to_vec(),
+                spread,
+                cached: false,
+                us,
+            })
+        }
+        Ok(WorkerReply::Deadline) => error(
+            ErrorCode::Deadline,
+            format!("deadline of {timeout:?} elapsed while queued"),
+        ),
+        Ok(WorkerReply::Panicked) => {
+            error(ErrorCode::Internal, "query execution panicked".to_string())
+        }
+        // All workers exited mid-request (shutdown race): the job was
+        // dropped with the queue.
+        Err(mpsc::RecvError) => {
+            error(ErrorCode::Internal, "server is shutting down".to_string())
+        }
+    }
+}
+
+fn record_latency(shared: &Shared, us: u64) {
+    let mut latency = shared.latency.lock().unwrap();
+    latency.0.record(us);
+    latency.1.push(us as f64);
+}
+
+fn stats_reply(shared: &Shared) -> StatsReply {
+    let c = &shared.counters;
+    let cache = shared.cache.counters();
+    let uptime = shared.started.elapsed();
+    let ok = c.ok.load(Ordering::Relaxed);
+    let (p50, p90, p99, mean) = {
+        let latency = shared.latency.lock().unwrap();
+        (
+            latency.0.quantile(0.50),
+            latency.0.quantile(0.90),
+            latency.0.quantile(0.99),
+            if latency.1.count() == 0 { 0.0 } else { latency.1.mean() },
+        )
+    };
+    let hit_rate = if cache.hits + cache.misses == 0 { 0.0 } else { cache.hit_rate() };
+    let field = |k: &str, v: String| (k.to_string(), v);
+    StatsReply::new([
+        field("backend", shared.handle.backend().cli_name().to_string()),
+        field("workers", shared.options.workers.max(1).to_string()),
+        field("uptime_us", (uptime.as_micros() as u64).to_string()),
+        field("requests", c.requests.load(Ordering::Relaxed).to_string()),
+        field("ok", ok.to_string()),
+        field("busy", c.busy.load(Ordering::Relaxed).to_string()),
+        field("deadline", c.deadline_exceeded.load(Ordering::Relaxed).to_string()),
+        field("errors", c.errors.load(Ordering::Relaxed).to_string()),
+        field("worker_panics", c.worker_panics.load(Ordering::Relaxed).to_string()),
+        field("cache_hits", cache.hits.to_string()),
+        field("cache_misses", cache.misses.to_string()),
+        field("cache_evictions", cache.evictions.to_string()),
+        field("cache_len", shared.cache.len().to_string()),
+        field("cache_hit_rate", format!("{hit_rate:.4}")),
+        field("qps", format!("{:.2}", ok as f64 / uptime.as_secs_f64().max(1e-9))),
+        field("lat_p50_us", p50.to_string()),
+        field("lat_p90_us", p90.to_string()),
+        field("lat_p99_us", p99.to_string()),
+        field("lat_mean_us", format!("{mean:.1}")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_core::PitexConfig;
+    use pitex_model::TicModel;
+
+    fn paper_handle() -> EngineHandle {
+        EngineHandle::new(
+            Arc::new(TicModel::paper_example()),
+            EngineBackend::Exact,
+            PitexConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> Response {
+        use std::io::{BufRead, BufReader, Write};
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        Response::parse(&reply).unwrap()
+    }
+
+    #[test]
+    fn serves_the_paper_query_over_tcp() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(roundtrip(&mut stream, "PING"), Response::Pong);
+        let Response::Ok(reply) = roundtrip(&mut stream, "QUERY 0 2") else {
+            panic!("expected OK")
+        };
+        assert_eq!(reply.tags, vec![2, 3], "Fig. 2 ground truth");
+        assert!(!reply.cached);
+        // The same query again is a cache hit.
+        let Response::Ok(reply) = roundtrip(&mut stream, "QUERY 0 2") else {
+            panic!("expected OK")
+        };
+        assert!(reply.cached);
+        assert_eq!(reply.tags, vec![2, 3]);
+        assert_eq!(roundtrip(&mut stream, "QUIT"), Response::Bye);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn fragmented_request_lines_reassemble() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Split one request across two writes with a pause longer than the
+        // server's read-poll interval: the partial line must survive the
+        // timed-out read (interactive `telnet` sessions type this slowly).
+        stream.write_all(b"QUE").unwrap();
+        std::thread::sleep(POLL * 3);
+        stream.write_all(b"RY 0 2\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let Response::Ok(reply) = Response::parse(&reply).unwrap() else {
+            panic!("fragmented request must still answer OK, got {reply:?}")
+        };
+        assert_eq!(reply.tags, vec![2, 3]);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_and_disconnected() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // A newline-free flood must not grow server memory: one ERR, then
+        // the connection closes.
+        stream.write_all(&vec![b'Q'; MAX_LINE_BYTES + 1000]).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        match Response::parse(&reply).unwrap() {
+            Response::Err { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("exceeds"));
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        reply.clear();
+        assert_eq!(reader.read_line(&mut reply).unwrap(), 0, "server closed the connection");
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn continuously_streaming_client_is_cut_off() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        // Stream newline-free bytes without pausing; the per-line read
+        // budget must cut this off at the cap rather than buffering it.
+        let feeder = std::thread::spawn(move || {
+            let chunk = [b'X'; 1024];
+            for _ in 0..1024 {
+                if writer.write_all(&chunk).is_err() {
+                    break; // server hung up on us, as it should
+                }
+            }
+        });
+        let mut reader = std::io::BufReader::new(stream);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        match Response::parse(&reply).unwrap() {
+            Response::Err { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        feeder.join().unwrap();
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn error_paths_reply_with_codes() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for (line, code) in [
+            ("GARBAGE", ErrorCode::BadRequest),
+            ("QUERY 0", ErrorCode::BadRequest),
+            ("QUERY 999 2", ErrorCode::UnknownUser),
+            ("QUERY 0 0", ErrorCode::BadK),
+            ("QUERY 6 1 0", ErrorCode::Deadline), // timeout_us = 0: expired on arrival
+        ] {
+            match roundtrip(&mut stream, line) {
+                Response::Err { code: got, .. } => assert_eq!(got, code, "{line}"),
+                other => panic!("{line}: expected ERR, got {other:?}"),
+            }
+        }
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn stats_expose_cache_and_latency() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        roundtrip(&mut stream, "QUERY 0 2");
+        roundtrip(&mut stream, "QUERY 0 2");
+        let Response::Stats(stats) = roundtrip(&mut stream, "STATS") else {
+            panic!("expected STATS")
+        };
+        assert_eq!(stats.get_u64("ok"), Some(2));
+        assert_eq!(stats.get_u64("cache_hits"), Some(1));
+        assert_eq!(stats.get_u64("cache_misses"), Some(1));
+        assert_eq!(stats.get_u64("worker_panics"), Some(0));
+        assert!(stats.get_f64("qps").unwrap() > 0.0);
+        assert!(stats.get_u64("lat_p99_us").unwrap() >= stats.get_u64("lat_p50_us").unwrap());
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn shutdown_verb_stops_the_server() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN"), Response::Bye);
+        server.join().unwrap();
+        // The listener is gone: a fresh connect must fail (possibly after
+        // the OS drains the accept backlog, so poll briefly).
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match TcpStream::connect(addr) {
+                Err(_) => break,
+                Ok(_) if Instant::now() > deadline => panic!("listener still accepting"),
+                Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cache_capacity_never_reports_cached() {
+        let options = ServeOptions { cache_capacity: 0, ..ServeOptions::default() };
+        let server = Server::spawn(paper_handle(), ("127.0.0.1", 0), options).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            let Response::Ok(reply) = roundtrip(&mut stream, "QUERY 0 2") else {
+                panic!("expected OK")
+            };
+            assert!(!reply.cached);
+            assert_eq!(reply.tags, vec![2, 3]);
+        }
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn oversized_k_is_clamped_and_cached_once() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let Response::Ok(first) = roundtrip(&mut stream, "QUERY 0 99") else {
+            panic!("expected OK")
+        };
+        assert_eq!(first.k, 4, "clamped to |Ω|");
+        let Response::Ok(second) = roundtrip(&mut stream, "QUERY 0 4") else {
+            panic!("expected OK")
+        };
+        assert!(second.cached, "k=99 and k=4 share a cache entry");
+        server.stop().unwrap();
+    }
+}

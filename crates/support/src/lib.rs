@@ -12,14 +12,18 @@
 //! * [`codec`] — a small, explicit binary codec over [`bytes`] used to
 //!   persist datasets and indexes without pulling in a serialization
 //!   framework for fixed layouts.
-//! * [`stats`] — online summary statistics and wall-clock timers used by the
-//!   experiment harness.
+//! * [`stats`] — online summary statistics, latency histograms and
+//!   wall-clock timers used by the experiment harness and the query server.
+//! * [`lru`] — a sharded, thread-safe LRU result cache with hit/miss
+//!   counters, used by the serving layer.
 
 pub mod codec;
 pub mod hash;
+pub mod lru;
 pub mod stats;
 pub mod visited;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use stats::{OnlineStats, Timer};
+pub use lru::{CacheCounters, ShardedLru};
+pub use stats::{LatencyHistogram, OnlineStats, Timer};
 pub use visited::EpochVisited;

@@ -1,0 +1,320 @@
+//! A sharded, thread-safe LRU cache for query results.
+//!
+//! The serving layer answers many identical `(user, k, backend)` queries —
+//! influence spreads only change when the model or index snapshot changes —
+//! so a small result cache in front of the samplers converts repeated work
+//! into a hash lookup. The cache is sharded to keep lock contention off the
+//! hot path: each key hashes to one shard guarded by its own mutex, so
+//! concurrent lookups for different keys rarely serialize.
+//!
+//! Recency inside a shard is tracked with a monotone clock stamp per entry
+//! plus a `BTreeMap<stamp, key>` recency index: `get`/`insert` are
+//! `O(log n)` inside the shard and eviction pops the smallest stamp. Hit and
+//! miss counts are global atomics, cheap enough to keep always-on for the
+//! `/stats` endpoint.
+
+use crate::hash::{FxBuildHasher, FxHashMap};
+use std::collections::BTreeMap;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotone counters the cache maintains; snapshot via [`ShardedLru::counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (including overwrites of an existing key).
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hits over total lookups (`NaN` before the first lookup).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+}
+
+struct Shard<K, V> {
+    /// key → (value, recency stamp). The stamp doubles as the handle into
+    /// `order`, so both maps stay in lockstep.
+    map: FxHashMap<K, (V, u64)>,
+    /// recency stamp → key; the first entry is the least recently used.
+    order: BTreeMap<u64, K>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self { map: FxHashMap::default(), order: BTreeMap::new(), clock: 0, capacity }
+    }
+
+    fn touch(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (value, stamp) = self.map.get_mut(key)?;
+        self.order.remove(stamp);
+        *stamp = clock;
+        self.order.insert(clock, key.clone());
+        Some(value)
+    }
+
+    /// Inserts, returning whether an older entry was evicted.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.clock += 1;
+        if let Some((old, stamp)) = self.map.get_mut(&key) {
+            *old = value;
+            self.order.remove(stamp);
+            *stamp = self.clock;
+            self.order.insert(self.clock, key);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            if let Some((_, lru)) = self.order.pop_first() {
+                self.map.remove(&lru);
+                evicted = true;
+            }
+        }
+        self.map.insert(key.clone(), (value, self.clock));
+        self.order.insert(self.clock, key);
+        evicted
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        match self.map.remove(key) {
+            Some((_, stamp)) => {
+                self.order.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A thread-safe LRU cache split into independently locked shards.
+///
+/// `get` clones the stored value out under the shard lock, so values should
+/// be cheap to clone (the serving layer stores a tag set and a float).
+/// Capacity is exact: the per-shard capacities sum to the requested total,
+/// and a full shard evicts its least-recently-used entry before admitting a
+/// new key. A capacity of 0 disables storage entirely (every lookup misses).
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    hasher: FxBuildHasher,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache of at most `capacity` entries across `shards` locks.
+    ///
+    /// The shard count is clamped to `capacity` so every shard can hold at
+    /// least one entry (and to ≥ 1 so the structure is always usable).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shards: Vec<_> = (0..shards)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
+            .collect();
+        Self {
+            shards,
+            hasher: FxBuildHasher::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache of at most `capacity` entries with a default shard count
+    /// sized for a handful of server worker threads.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 8)
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self.shard(key).lock().unwrap().touch(key).cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) `key`, evicting the shard's least recently
+    /// used entry if it is full.
+    pub fn insert(&self, key: K, value: V) {
+        let evicted = self.shard(&key).lock().unwrap().insert(key, value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops `key` if present; subsequent `get`s miss until it is
+    /// re-inserted. Returns whether an entry was removed.
+    pub fn invalidate(&self, key: &K) -> bool {
+        self.shard(key).lock().unwrap().remove(key)
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            shard.map.clear();
+            shard.order.clear();
+        }
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity across shards, as requested at construction.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().capacity).sum()
+    }
+
+    /// Snapshot of the hit/miss/insert/evict counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache: ShardedLru<u32, f64> = ShardedLru::new(16);
+        assert_eq!(cache.get(&7), None);
+        cache.insert(7, 2.5);
+        assert_eq!(cache.get(&7), Some(2.5));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.insertions), (1, 1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::with_shards(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.get(&1); // 2 is now the LRU entry
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None, "LRU entry evicted");
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::with_shards(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.counters().evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_until_reinserted() {
+        let cache: ShardedLru<(u32, usize), f64> = ShardedLru::new(8);
+        cache.insert((3, 2), 1.25);
+        assert!(cache.invalidate(&(3, 2)));
+        assert!(!cache.invalidate(&(3, 2)), "second invalidate is a no-op");
+        assert_eq!(cache.get(&(3, 2)), None);
+        cache.insert((3, 2), 2.0);
+        assert_eq!(cache.get(&(3, 2)), Some(2.0));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(0);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_total() {
+        for (capacity, shards) in [(16, 8), (17, 8), (3, 8), (1, 4), (100, 7)] {
+            let cache: ShardedLru<u32, u32> = ShardedLru::with_shards(capacity, shards);
+            assert_eq!(cache.capacity(), capacity, "capacity {capacity} shards {shards}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_respects_capacity() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::with_shards(64, 8);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = (t * 7 + i) % 190;
+                        cache.insert(key, key * 2);
+                        if let Some(v) = cache.get(&key) {
+                            assert_eq!(v, key * 2);
+                        }
+                        if i % 13 == 0 {
+                            cache.invalidate(&key);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64, "len {} over capacity", cache.len());
+        let c = cache.counters();
+        assert!(c.hits > 0 && c.evictions > 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(8);
+        cache.insert(1, 1);
+        cache.get(&1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters().hits, 1);
+        assert_eq!(cache.get(&1), None);
+    }
+}

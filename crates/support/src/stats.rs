@@ -92,6 +92,79 @@ impl OnlineStats {
     }
 }
 
+/// A fixed-footprint log₂-bucketed histogram for latency percentiles.
+///
+/// The serving layer's `/stats` endpoint reports p50/p90/p99 service times.
+/// Exact percentiles would require storing every sample; instead samples
+/// (microseconds, say) land in power-of-two buckets, so any quantile is
+/// answered in O(64) with at most a 2× overestimate — plenty for spotting a
+/// latency regression, and recording is two instructions on the hot path.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[b]` counts samples with exactly `b` significant bits
+    /// (bucket 0 holds the value 0, bucket 1 holds 1, bucket 2 holds 2–3, …).
+    buckets: [u64; 65],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self { buckets: [0; 65], count: 0 }
+    }
+
+    /// Records one sample (any non-negative integer unit; pick one and stay
+    /// with it — the serving layer uses microseconds).
+    pub fn record(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the inclusive upper
+    /// bound of the bucket the quantile falls in (0 when empty). `q = 0.5`
+    /// is the median, `q = 1.0` an upper bound on the maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return match bucket {
+                    0 => 0,
+                    64 => u64::MAX,
+                    b => (1u64 << b) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one (parallel reduction).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
 /// A simple wall-clock timer.
 #[derive(Clone, Copy, Debug)]
 pub struct Timer {
@@ -186,6 +259,48 @@ mod tests {
         assert!(s.mean().is_nan());
         assert!(s.min().is_nan());
         assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 1, 3, 7, 7, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        // The quantile answer is the bucket's upper bound, so it must be
+        // >= the true quantile and < 2x above it (for powers of two, exact).
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(0.5) >= 3 && h.quantile(0.5) <= 7);
+        assert!(h.quantile(1.0) >= 1000 && h.quantile(1.0) < 2000);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential() {
+        let mut whole = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            whole.record(v * 17 % 4096);
+            if v % 2 == 0 {
+                left.record(v * 17 % 4096);
+            } else {
+                right.record(v * 17 % 4096);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(left.quantile(q), whole.quantile(q));
+        }
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Property tests for the sharded LRU cache: capacity is respected, hits
+//! are never stale, and a single shard matches a reference LRU exactly
+//! under arbitrary interleavings of insert / get / invalidate.
+
+use pitex_support::lru::ShardedLru;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One cache operation, decoded from a generated `(op, key, value)` triple.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(u16, u16),
+    Get(u16),
+    Invalidate(u16),
+}
+
+fn decode(ops: Vec<(u8, u16, u16)>) -> Vec<Op> {
+    ops.into_iter()
+        .map(|(op, key, value)| match op % 3 {
+            0 => Op::Insert(key, value),
+            1 => Op::Get(key),
+            _ => Op::Invalidate(key),
+        })
+        .collect()
+}
+
+/// Reference single-shard LRU: a vec ordered least → most recently used.
+struct ModelLru {
+    capacity: usize,
+    entries: Vec<(u16, u16)>,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, entries: Vec::new() }
+    }
+
+    fn get(&mut self, key: u16) -> Option<u16> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+        Some(entry.1)
+    }
+
+    fn insert(&mut self, key: u16, value: u16) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0); // evict the least recently used
+        }
+        self.entries.push((key, value));
+    }
+
+    fn invalidate(&mut self, key: u16) -> bool {
+        match self.entries.iter().position(|&(k, _)| k == key) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One shard behaves exactly like the reference LRU — same hit/miss
+    /// pattern, same values, same evictions — under any interleaving.
+    #[test]
+    fn single_shard_matches_reference_lru(
+        capacity in 1usize..9,
+        raw_ops in proptest::collection::vec((0u8..3, 0u16..24, 0u16..1000), 1..250),
+    ) {
+        let cache: ShardedLru<u16, u16> = ShardedLru::with_shards(capacity, 1);
+        let mut model = ModelLru::new(capacity);
+        for (step, op) in decode(raw_ops).into_iter().enumerate() {
+            match op {
+                Op::Insert(k, v) => {
+                    cache.insert(k, v);
+                    model.insert(k, v);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(cache.get(&k), model.get(k), "step {}", step);
+                }
+                Op::Invalidate(k) => {
+                    prop_assert_eq!(cache.invalidate(&k), model.invalidate(k), "step {}", step);
+                }
+            }
+            prop_assert!(cache.len() <= capacity, "step {}: over capacity", step);
+        }
+        prop_assert_eq!(cache.len(), model.entries.len());
+    }
+
+    /// Across any shard count: a hit never returns a stale value — it is
+    /// always the most recently inserted value for that key, and a key is
+    /// gone for good after `invalidate` until re-inserted.
+    #[test]
+    fn hits_are_never_stale(
+        capacity in 0usize..33,
+        shards in 1usize..9,
+        raw_ops in proptest::collection::vec((0u8..3, 0u16..40, 0u16..1000), 1..300),
+    ) {
+        let cache: ShardedLru<u16, u16> = ShardedLru::with_shards(capacity, shards);
+        let mut latest: HashMap<u16, u16> = HashMap::new();
+        for (step, op) in decode(raw_ops).into_iter().enumerate() {
+            match op {
+                Op::Insert(k, v) => {
+                    cache.insert(k, v);
+                    latest.insert(k, v);
+                }
+                Op::Get(k) => {
+                    if let Some(v) = cache.get(&k) {
+                        prop_assert_eq!(
+                            Some(v), latest.get(&k).copied(),
+                            "step {}: stale value for key {}", step, k
+                        );
+                    }
+                }
+                Op::Invalidate(k) => {
+                    cache.invalidate(&k);
+                    latest.remove(&k);
+                    prop_assert_eq!(cache.get(&k), None, "step {}: read after invalidate", step);
+                }
+            }
+            prop_assert!(cache.len() <= capacity.max(0), "step {}: over capacity", step);
+        }
+    }
+
+    /// Capacity is a hard bound even when inserts vastly outnumber slots,
+    /// and the counters account for every lookup.
+    #[test]
+    fn capacity_and_counters_are_consistent(
+        capacity in 1usize..17,
+        shards in 1usize..5,
+        keys in proptest::collection::vec(0u16..64, 1..200),
+    ) {
+        let cache: ShardedLru<u16, u16> = ShardedLru::with_shards(capacity, shards);
+        let mut lookups = 0u64;
+        for &k in &keys {
+            cache.insert(k, k.wrapping_mul(3));
+            cache.get(&k);
+            lookups += 1;
+            prop_assert!(cache.len() <= capacity);
+        }
+        let c = cache.counters();
+        prop_assert_eq!(c.hits + c.misses, lookups);
+        prop_assert_eq!(c.insertions, keys.len() as u64);
+        // An insert into a full shard evicts exactly one entry, so live
+        // entries = insertions - evictions - invalidations (none here),
+        // minus overwrites which insert without growing.
+        prop_assert!(cache.len() as u64 <= c.insertions - c.evictions);
+    }
+}

@@ -6,17 +6,60 @@
 //! pitex index   --model model.bin --out index.bin [--per-vertex 8] [--delay]
 //! pitex query   --model model.bin --user 42 --k 3 [--method lazy|mc|rr|tim|exact|lt]
 //!               [--index index.bin] [--top 5] [--epsilon 0.7] [--delta 1000]
+//! pitex serve   --model model.bin [--port 7411] [--threads 4] [--method lazy]
+//! pitex client  --addr 127.0.0.1:7411 --user 42 --k 3 | --stats | --shutdown | --bench
 //! ```
 //!
 //! The CLI covers the offline/online lifecycle end-to-end: generate (or
-//! later: load) a model, build and persist an index, and answer queries.
+//! later: load) a model, build and persist an index, answer queries, and
+//! run / exercise the query server.
 
 use pitex::index::serial;
 use pitex::prelude::*;
+use pitex::serve::{LoadGen, Response, ServeClient, ServeOptions, Server};
 use pitex::support::stats::{human_bytes, human_duration};
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A command failure: either a message for stderr, or a broken stdout pipe
+/// (`pitex query | head -1`), which is a *success* — the consumer simply
+/// stopped reading.
+enum CliError {
+    Msg(String),
+    Pipe,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Msg(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Msg(msg.to_string())
+    }
+}
+
+/// `println!` that degrades a broken pipe into [`CliError::Pipe`] instead of
+/// panicking (Rust's default `println!` aborts on SIGPIPE-turned-EPIPE).
+fn write_stdout(args: std::fmt::Arguments) -> Result<(), CliError> {
+    let mut out = std::io::stdout().lock();
+    match out.write_fmt(args).and_then(|()| out.write_all(b"\n")) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Err(CliError::Pipe),
+        Err(e) => Err(CliError::Msg(format!("writing to stdout: {e}"))),
+    }
+}
+
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        write_stdout(format_args!($($arg)*))?
+    };
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,15 +79,15 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&opts),
         "index" => cmd_index(&opts),
         "query" => cmd_query(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}")),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
+        "help" | "--help" | "-h" => write_stdout(format_args!("{USAGE}")),
+        other => Err(CliError::Msg(format!("unknown command {other:?}"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        // A closed pipe downstream is not an error; exit quietly.
+        Ok(()) | Err(CliError::Pipe) => ExitCode::SUCCESS,
+        Err(CliError::Msg(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
@@ -59,11 +102,19 @@ USAGE:
   pitex index  --model FILE --out FILE [--per-vertex F] [--delay]
   pitex query  --model FILE --user N --k N [--method NAME] [--index FILE]
                [--top N] [--epsilon F] [--delta F] [--seed N]
+  pitex serve  --model FILE [--method NAME] [--index FILE] [--port N] [--threads N]
+               [--cache N] [--queue N] [--deadline-ms N] [--epsilon F] [--delta F] [--seed N]
+  pitex client --addr HOST:PORT (--user N --k N [--timeout-us N] [--repeat N]
+               | --stats | --ping | --shutdown
+               | --bench [--clients N] [--requests N] [--user N] [--k N])
 
 METHODS: lazy (default), mc, rr, tim, exact, lt,
          indexest / indexest+ / delaymat (require --index)";
 
 type Opts = HashMap<String, String>;
+
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 5] = ["delay", "stats", "ping", "shutdown", "bench"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::new();
@@ -72,7 +123,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, found {flag:?}"));
         };
-        if key == "delay" {
+        if BOOL_FLAGS.contains(&key) {
             opts.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -95,14 +146,14 @@ fn load_model(opts: &Opts) -> Result<TicModel, String> {
     pitex::model::serial::load(path).map_err(|e| format!("loading {path}: {e}"))
 }
 
-fn cmd_gen(opts: &Opts) -> Result<(), String> {
+fn cmd_gen(opts: &Opts) -> Result<(), CliError> {
     let profile_name = want(opts, "profile")?;
     let mut profile = match profile_name {
         "lastfm" => DatasetProfile::lastfm_like(),
         "diggs" => DatasetProfile::diggs_like(),
         "dblp" => DatasetProfile::dblp_like(),
         "twitter" => DatasetProfile::twitter_like(),
-        other => return Err(format!("unknown profile {other:?}")),
+        other => return Err(format!("unknown profile {other:?}").into()),
     };
     if let Some(scale) = opts.get("scale") {
         profile = profile.scaled(parse(scale, "--scale")?);
@@ -114,7 +165,7 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
     let t = Instant::now();
     let model = profile.generate();
     pitex::model::serial::save(&model, out).map_err(|e| e.to_string())?;
-    println!(
+    outln!(
         "generated {}: {} users, {} edges, {} tags, {} topics -> {out} in {}",
         profile.name,
         model.graph().num_nodes(),
@@ -126,16 +177,16 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(opts: &Opts) -> Result<(), String> {
+fn cmd_stats(opts: &Opts) -> Result<(), CliError> {
     let model = load_model(opts)?;
     let stats = pitex::datasets::DatasetStats::compute(want(opts, "model")?, &model);
-    println!("{}", pitex::datasets::DatasetStats::header());
-    println!("{stats}");
-    println!("model heap footprint: {}", human_bytes(model.heap_bytes()));
+    outln!("{}", pitex::datasets::DatasetStats::header());
+    outln!("{stats}");
+    outln!("model heap footprint: {}", human_bytes(model.heap_bytes()));
     Ok(())
 }
 
-fn cmd_index(opts: &Opts) -> Result<(), String> {
+fn cmd_index(opts: &Opts) -> Result<(), CliError> {
     let model = load_model(opts)?;
     let out = want(opts, "out")?;
     let per_vertex: f64 =
@@ -150,7 +201,7 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
         serial::rr_index_to_bytes(&index)
     };
     std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
-    println!(
+    outln!(
         "built {} index: {} -> {out} in {}",
         if opts.contains_key("delay") { "delay-materialized" } else { "RR-Graph" },
         human_bytes(bytes.len() as u64),
@@ -159,72 +210,31 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(opts: &Opts) -> Result<(), String> {
+fn cmd_query(opts: &Opts) -> Result<(), CliError> {
     let user: u32 = parse(want(opts, "user")?, "--user")?;
     let k: usize = parse(want(opts, "k")?, "--k")?;
     if k == 0 {
-        return Err("--k must be at least 1".to_string());
+        return Err("--k must be at least 1".into());
     }
-    let model = load_model(opts)?;
     let top: usize = opts.get("top").map(|s| parse(s, "--top")).transpose()?.unwrap_or(1);
-    let method = opts.get("method").map(|s| s.as_str()).unwrap_or("lazy");
-    let config = PitexConfig {
-        epsilon: opts.get("epsilon").map(|s| parse(s, "--epsilon")).transpose()?.unwrap_or(0.7),
-        delta: opts.get("delta").map(|s| parse(s, "--delta")).transpose()?.unwrap_or(1000.0),
-        seed: opts.get("seed").map(|s| parse(s, "--seed")).transpose()?.unwrap_or(42),
-        strategy: ExplorationStrategy::BestEffort,
-    };
-    if (user as usize) >= model.graph().num_nodes() {
-        return Err(format!("user {user} out of range (|V| = {})", model.graph().num_nodes()));
+    let handle = build_handle(opts)?;
+    let nodes = handle.model().graph().num_nodes();
+    if (user as usize) >= nodes {
+        return Err(format!("user {user} out of range (|V| = {nodes})").into());
     }
-
-    // Index artifacts outlive the engine borrowing them.
-    let mut rr_index = None;
-    let mut delay_index = None;
-    if let Some(path) = opts.get("index") {
-        let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-        if method == "delaymat" {
-            delay_index = Some(serial::delay_index_from_bytes(&bytes).map_err(|e| e.to_string())?);
-        } else {
-            rr_index = Some(serial::rr_index_from_bytes(&bytes).map_err(|e| e.to_string())?);
-        }
-    }
-    let mut engine = match method {
-        "lazy" => PitexEngine::with_lazy(&model, config),
-        "mc" => PitexEngine::with_mc(&model, config),
-        "rr" => PitexEngine::with_rr(&model, config),
-        "tim" => PitexEngine::with_tim(&model, config),
-        "exact" => PitexEngine::with_exact(&model, config),
-        "lt" => PitexEngine::with_lt(&model, config),
-        "indexest" => PitexEngine::with_index(
-            &model,
-            rr_index.as_ref().ok_or("indexest needs --index FILE")?,
-            config,
-        ),
-        "indexest+" => PitexEngine::with_index_plus(
-            &model,
-            rr_index.as_ref().ok_or("indexest+ needs --index FILE")?,
-            config,
-        ),
-        "delaymat" => PitexEngine::with_delay(
-            &model,
-            delay_index.as_ref().ok_or("delaymat needs --index FILE")?,
-            config,
-        ),
-        other => return Err(format!("unknown method {other:?}")),
-    };
+    let mut engine = handle.engine();
 
     let t = Instant::now();
     if top <= 1 {
         let result = engine.query(user, k);
-        println!(
+        outln!(
             "W* = {} with spread {:.4} [{} backend, {}]",
             result.tags,
             result.spread,
             engine.backend_name(),
             human_duration(t.elapsed())
         );
-        println!(
+        outln!(
             "evaluated {} sets, {} infeasible, {} subtrees pruned, {} samples, {} edge probes",
             result.stats.tag_sets_evaluated,
             result.stats.tag_sets_infeasible,
@@ -234,9 +244,171 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         );
     } else {
         let ranking = engine.query_top_n(user, k, top);
-        println!("top-{top} tag sets [{} backend, {}]:", engine.backend_name(), human_duration(t.elapsed()));
+        outln!("top-{top} tag sets [{} backend, {}]:", engine.backend_name(), human_duration(t.elapsed()));
         for (rank, (tags, spread)) in ranking.iter().enumerate() {
-            println!("  {:>2}. {tags}  spread {spread:.4}", rank + 1);
+            outln!("  {:>2}. {tags}  spread {spread:.4}", rank + 1);
+        }
+    }
+    Ok(())
+}
+
+/// Shared by `query` and `serve`: accuracy/seed flags → engine config.
+fn config_from_opts(opts: &Opts) -> Result<PitexConfig, String> {
+    Ok(PitexConfig {
+        epsilon: opts.get("epsilon").map(|s| parse(s, "--epsilon")).transpose()?.unwrap_or(0.7),
+        delta: opts.get("delta").map(|s| parse(s, "--delta")).transpose()?.unwrap_or(1000.0),
+        seed: opts.get("seed").map(|s| parse(s, "--seed")).transpose()?.unwrap_or(42),
+        strategy: ExplorationStrategy::BestEffort,
+    })
+}
+
+/// Shared by `query` and `serve`: resolves `--method`, loads `--model` and
+/// (only when the backend needs it) `--index` into an owned engine handle.
+fn build_handle(opts: &Opts) -> Result<EngineHandle, CliError> {
+    let method = opts.get("method").map(|s| s.as_str()).unwrap_or("lazy");
+    let backend =
+        EngineBackend::parse(method).ok_or_else(|| format!("unknown method {method:?}"))?;
+    let config = config_from_opts(opts)?;
+    let model = Arc::new(load_model(opts)?);
+
+    let mut rr_index = None;
+    let mut delay_index = None;
+    if backend.needs_rr_index() || backend.needs_delay_index() {
+        let path = opts
+            .get("index")
+            .ok_or_else(|| format!("{} needs --index FILE", backend.cli_name()))?;
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        if backend.needs_delay_index() {
+            delay_index = Some(Arc::new(
+                serial::delay_index_from_bytes(&bytes).map_err(|e| e.to_string())?,
+            ));
+        } else {
+            rr_index =
+                Some(Arc::new(serial::rr_index_from_bytes(&bytes).map_err(|e| e.to_string())?));
+        }
+    }
+    EngineHandle::with_indexes(model, backend, rr_index, delay_index, config)
+        .map_err(|e| CliError::Msg(e.to_string()))
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    let handle = build_handle(opts)?;
+    let backend = handle.backend();
+    let port: u16 = opts.get("port").map(|s| parse(s, "--port")).transpose()?.unwrap_or(0);
+    let options = ServeOptions {
+        workers: opts.get("threads").map(|s| parse(s, "--threads")).transpose()?.unwrap_or(4),
+        queue_depth: opts.get("queue").map(|s| parse(s, "--queue")).transpose()?.unwrap_or(64),
+        default_deadline: Duration::from_millis(
+            opts.get("deadline-ms").map(|s| parse(s, "--deadline-ms")).transpose()?.unwrap_or(5_000),
+        ),
+        cache_capacity: opts.get("cache").map(|s| parse(s, "--cache")).transpose()?.unwrap_or(1024),
+    };
+    let server = Server::spawn(handle, ("127.0.0.1", port), options)
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    // One parseable line for scripts (stdout is line-buffered: flushed now),
+    // then block until a client sends SHUTDOWN.
+    outln!(
+        "pitex_serve listening on {} [{} backend, {} workers, queue {}, cache {}, deadline {}]",
+        server.addr(),
+        backend.label(),
+        options.workers.max(1),
+        options.queue_depth,
+        options.cache_capacity,
+        human_duration(options.default_deadline)
+    );
+    server.join().map_err(|_| "a server thread panicked".to_string())?;
+    outln!("pitex_serve stopped");
+    Ok(())
+}
+
+fn cmd_client(opts: &Opts) -> Result<(), CliError> {
+    let addr = want(opts, "addr")?;
+    let connect =
+        || ServeClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"));
+
+    if opts.contains_key("ping") {
+        connect()?.ping().map_err(|e| e.to_string())?;
+        outln!("PONG");
+        return Ok(());
+    }
+    if opts.contains_key("stats") {
+        let stats = connect()?.stats().map_err(|e| e.to_string())?;
+        for (key, value) in stats.iter() {
+            outln!("{key}={value}");
+        }
+        return Ok(());
+    }
+    if opts.contains_key("shutdown") {
+        connect()?.shutdown_server().map_err(|e| e.to_string())?;
+        outln!("server shutting down");
+        return Ok(());
+    }
+    if opts.contains_key("bench") {
+        let gen = LoadGen {
+            clients: opts.get("clients").map(|s| parse(s, "--clients")).transpose()?.unwrap_or(4),
+            requests_per_client: opts
+                .get("requests")
+                .map(|s| parse(s, "--requests"))
+                .transpose()?
+                .unwrap_or(64),
+            user: opts.get("user").map(|s| parse(s, "--user")).transpose()?.unwrap_or(0),
+            k: opts.get("k").map(|s| parse(s, "--k")).transpose()?.unwrap_or(2),
+            timeout_us: opts.get("timeout-us").map(|s| parse(s, "--timeout-us")).transpose()?,
+        };
+        let report = gen.run(addr).map_err(|e| format!("load generation: {e}"))?;
+        outln!(
+            "closed loop: {} clients x {} requests in {}",
+            gen.clients.max(1),
+            gen.requests_per_client,
+            human_duration(report.elapsed)
+        );
+        outln!(
+            "  ok {} (cached {}), busy {}, errors {} -> {:.1} queries/s",
+            report.ok,
+            report.cached,
+            report.busy,
+            report.errors,
+            report.qps()
+        );
+        outln!(
+            "  client-side latency: mean {:.1}us, min {:.1}us, max {:.1}us",
+            report.latency_us.mean(),
+            report.latency_us.min(),
+            report.latency_us.max()
+        );
+        return Ok(());
+    }
+
+    // Plain query mode.
+    let user: u32 = parse(want(opts, "user")?, "--user")?;
+    let k: usize = parse(want(opts, "k")?, "--k")?;
+    let repeat: usize = opts.get("repeat").map(|s| parse(s, "--repeat")).transpose()?.unwrap_or(1);
+    let timeout_us: Option<u64> =
+        opts.get("timeout-us").map(|s| parse(s, "--timeout-us")).transpose()?;
+    let mut client = connect()?;
+    for _ in 0..repeat.max(1) {
+        let response = match timeout_us {
+            Some(t) => client.query_with_timeout(user, k, t),
+            None => client.query(user, k),
+        }
+        .map_err(|e| e.to_string())?;
+        match response {
+            Response::Ok(reply) => {
+                let tags = TagSet::new(reply.tags.clone());
+                outln!(
+                    "W* = {tags} with spread {:.4} [user {}, k {}, {} in {}us]",
+                    reply.spread,
+                    reply.user,
+                    reply.k,
+                    if reply.cached { "cache hit" } else { "computed" },
+                    reply.us
+                );
+            }
+            Response::Busy => return Err("server is busy (queue full)".into()),
+            Response::Err { code, message } => {
+                return Err(format!("server error {}: {message}", code.as_str()).into())
+            }
+            other => return Err(format!("unexpected reply: {other:?}").into()),
         }
     }
     Ok(())

@@ -25,6 +25,7 @@
 //! | [`sampling`] | MC / RR / lazy-propagation samplers, exact evaluator, stopping rules |
 //! | [`index`] | RR-Graph index, edge-cut pruning, delay materialization |
 //! | [`core`] | the query engine: enumeration, best-effort exploration, TIM baseline |
+//! | [`serve`] | the concurrent query server: TCP line protocol, worker pool, result cache |
 //! | [`datasets`] | synthetic evaluation datasets, workloads, case study |
 
 pub use pitex_core as core;
@@ -33,13 +34,14 @@ pub use pitex_graph as graph;
 pub use pitex_index as index;
 pub use pitex_model as model;
 pub use pitex_sampling as sampling;
+pub use pitex_serve as serve;
 pub use pitex_support as support;
 
 /// The types most applications need.
 pub mod prelude {
     pub use pitex_core::{
-        BackendKind, ExplorationStrategy, PitexConfig, PitexEngine, PitexResult, QueryStats,
-        TimEstimator,
+        BackendKind, EngineBackend, EngineHandle, ExplorationStrategy, PitexConfig, PitexEngine,
+        PitexResult, QueryStats, TimEstimator,
     };
     pub use pitex_datasets::{CaseStudy, CaseStudyConfig, DatasetProfile, UserGroup, UserGroups};
     pub use pitex_graph::{DiGraph, EdgeId, GraphBuilder, NodeId};

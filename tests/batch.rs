@@ -1,0 +1,113 @@
+//! Integration coverage for `core::batch::query_batch`: determinism under a
+//! fixed seed, agreement with one-at-a-time `query` across backends, and
+//! the owned-handle variant `query_batch_shared`.
+
+use pitex::core::{query_batch, query_batch_shared};
+use pitex::prelude::*;
+use std::sync::Arc;
+
+fn workload(model: &TicModel) -> Vec<(NodeId, usize)> {
+    let n = model.graph().num_nodes() as u32;
+    (0..n).map(|u| (u, 2)).chain((0..n).map(|u| (u, 1))).collect()
+}
+
+/// Same seed, same queries, any thread count → bit-identical results.
+#[test]
+fn batch_is_deterministic_under_a_fixed_seed() {
+    let model = TicModel::paper_example();
+    let queries = workload(&model);
+    for backend in [EngineBackend::Lazy, EngineBackend::Mc, EngineBackend::Rr] {
+        let handle = EngineHandle::new(
+            Arc::new(model.clone()),
+            backend,
+            PitexConfig { seed: 0xDEAD_BEEF, ..PitexConfig::default() },
+        )
+        .unwrap();
+        let runs: Vec<Vec<PitexResult>> = (0..3)
+            .map(|run| query_batch_shared(&handle, &queries, 1 + run * 3))
+            .collect();
+        for (run, results) in runs.iter().enumerate().skip(1) {
+            for (a, b) in runs[0].iter().zip(results) {
+                assert_eq!(a.tags, b.tags, "{}: run {run}, user {} k {}", backend.label(), a.user, a.k);
+                assert_eq!(a.spread, b.spread, "{}: run {run}", backend.label());
+            }
+        }
+    }
+}
+
+/// A parallel batch answers exactly what a fresh engine answers per query.
+#[test]
+fn batch_agrees_with_one_at_a_time_queries_across_backends() {
+    let model = TicModel::paper_example();
+    let config = PitexConfig::default();
+    let queries = workload(&model);
+    for backend in
+        [EngineBackend::Exact, EngineBackend::Lazy, EngineBackend::Mc, EngineBackend::Rr]
+    {
+        let handle = EngineHandle::new(Arc::new(model.clone()), backend, config).unwrap();
+        let batched = query_batch_shared(&handle, &queries, 4);
+        assert_eq!(batched.len(), queries.len());
+        for (&(user, k), result) in queries.iter().zip(&batched) {
+            let single = handle.engine().query(user, k);
+            assert_eq!(result.user, user, "{}", backend.label());
+            assert_eq!(
+                result.tags, single.tags,
+                "{}: user {user} k {k} diverged from a fresh engine",
+                backend.label()
+            );
+            assert_eq!(result.spread, single.spread, "{}", backend.label());
+        }
+    }
+}
+
+/// The borrowed-closure API and the owned-handle API are interchangeable.
+#[test]
+fn shared_handle_matches_borrowed_closure_api() {
+    let model = TicModel::paper_example();
+    let config = PitexConfig::default();
+    let queries = workload(&model);
+    let borrowed = query_batch(|| PitexEngine::with_lazy(&model, config), &queries, 3);
+    let handle = EngineHandle::new(Arc::new(model.clone()), EngineBackend::Lazy, config).unwrap();
+    let shared = query_batch_shared(&handle, &queries, 3);
+    for (a, b) in borrowed.iter().zip(&shared) {
+        assert_eq!(a.tags, b.tags, "user {} k {}", a.user, a.k);
+        assert_eq!(a.spread, b.spread);
+    }
+}
+
+/// Index-backed batches work through the handle and stay deterministic.
+#[test]
+fn index_backed_batch_through_a_shared_handle() {
+    let model = Arc::new(TicModel::paper_example());
+    let index = Arc::new(RrIndex::build(&model, IndexBudget::Fixed(3_000), 3));
+    let handle = EngineHandle::with_indexes(
+        model.clone(),
+        EngineBackend::IndexEstPlus,
+        Some(index),
+        None,
+        PitexConfig::default(),
+    )
+    .unwrap();
+    let queries: Vec<(NodeId, usize)> = (0..model.graph().num_nodes() as u32).map(|u| (u, 2)).collect();
+    let a = query_batch_shared(&handle, &queries, 4);
+    let b = query_batch_shared(&handle, &queries, 2);
+    assert_eq!(a.len(), queries.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.tags, y.tags, "user {}", x.user);
+        assert_eq!(x.spread, y.spread);
+    }
+    // The Fig. 2 query keeps its ground truth through the index path.
+    assert_eq!(a[0].tags, TagSet::from([2, 3]));
+}
+
+/// Input order is preserved even with more threads than queries.
+#[test]
+fn order_preserved_with_excess_threads() {
+    let model = TicModel::paper_example();
+    let handle =
+        EngineHandle::new(Arc::new(model), EngineBackend::Exact, PitexConfig::default()).unwrap();
+    let queries: Vec<(NodeId, usize)> = vec![(5, 1), (0, 2), (3, 1)];
+    let results = query_batch_shared(&handle, &queries, 64);
+    let echoed: Vec<(NodeId, usize)> = results.iter().map(|r| (r.user, r.k)).collect();
+    assert_eq!(echoed, queries);
+}
