@@ -47,11 +47,8 @@ fn main() {
         let mut edges = OnlineStats::new();
         for (user, tags) in &targets {
             let posterior = data.model.posterior(tags);
-            let mut probs = PosteriorEdgeProbs::new(
-                data.model.edge_topics(),
-                &posterior,
-                &mut cache,
-            );
+            let mut probs =
+                PosteriorEdgeProbs::new(data.model.edge_topics(), &posterior, &mut cache);
             // Worst-case budget: reachable-set size is what Eq. 2 needs; a
             // cheap pre-pass supplies it for the fixed mode.
             let params = if adaptive {
@@ -62,11 +59,8 @@ fn main() {
                 });
                 base_params.with_fixed_budget(base_params.max_iterations(reach.len()))
             };
-            let mut probs = PosteriorEdgeProbs::new(
-                data.model.edge_topics(),
-                &posterior,
-                &mut cache,
-            );
+            let mut probs =
+                PosteriorEdgeProbs::new(data.model.edge_topics(), &posterior, &mut cache);
             let timer = Timer::start();
             let est = sampler.estimate(data.model.graph(), *user, &mut probs, &params);
             time.push(timer.seconds() * 1e3);

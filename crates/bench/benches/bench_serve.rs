@@ -23,10 +23,8 @@ use std::sync::Arc;
 
 fn boot(cache_capacity: usize) -> ServerHandle {
     let model = Arc::new(TicModel::paper_example());
-    let handle =
-        EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
-    let options =
-        ServeOptions { workers: 4, cache_capacity, ..ServeOptions::default() };
+    let handle = EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+    let options = ServeOptions { workers: 4, cache_capacity, ..ServeOptions::default() };
     Server::spawn(handle, ("127.0.0.1", 0), options).unwrap()
 }
 
@@ -70,7 +68,9 @@ fn bench_serve(c: &mut Criterion) {
     });
     uncached.stop().unwrap();
 
-    println!("serve: last-loop throughput — cached {qps_cached:.0} q/s, uncached {qps_uncached:.0} q/s");
+    println!(
+        "serve: last-loop throughput — cached {qps_cached:.0} q/s, uncached {qps_uncached:.0} q/s"
+    );
 }
 
 criterion_group!(benches, bench_serve);

@@ -7,10 +7,7 @@ use pitex_bench::{banner, param_sweep, print_sweep_table, BenchEnv, Method};
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner(
-        "Fig. 10: average influence spread vs ε",
-        "mid user group; δ = 1000, k = 3",
-    );
+    banner("Fig. 10: average influence spread vs ε", "mid user group; δ = 1000, k = 3");
     let rows = param_sweep(
         &env,
         &Method::OFFLINE_PLUS_LAZY,

@@ -9,10 +9,7 @@ use pitex_bench::{banner, param_sweep, print_sweep_table, BenchEnv, Method};
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner(
-        "Fig. 11: average query time (s) vs k",
-        "mid user group; ε = 0.7, δ = 1000",
-    );
+    banner("Fig. 11: average query time (s) vs k", "mid user group; ε = 0.7, δ = 1000");
     let rows = param_sweep(
         &env,
         &Method::OFFLINE_PLUS_LAZY,

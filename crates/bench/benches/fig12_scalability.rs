@@ -34,14 +34,8 @@ fn main() {
         let users = default_queries(&data, &env, UserGroup::Mid);
         print!("{:<8}", num_tags);
         for method in methods {
-            let out = run_batch(
-                method,
-                &data.model,
-                Some(&indexes),
-                &users,
-                3,
-                default_config(env.seed),
-            );
+            let out =
+                run_batch(method, &data.model, Some(&indexes), &users, 3, default_config(env.seed));
             print!(" {:>12.6}", out.time.mean());
         }
         println!();
@@ -63,14 +57,8 @@ fn main() {
         let users = default_queries(&data, &env, UserGroup::Mid);
         print!("{:<8}", num_topics);
         for method in methods {
-            let out = run_batch(
-                method,
-                &data.model,
-                Some(&indexes),
-                &users,
-                3,
-                default_config(env.seed),
-            );
+            let out =
+                run_batch(method, &data.model, Some(&indexes), &users, 3, default_config(env.seed));
             print!(" {:>12.6}", out.time.mean());
         }
         println!();

@@ -7,10 +7,7 @@ use pitex_bench::{banner, param_sweep, print_sweep_table, BenchEnv, Method};
 
 fn main() {
     let env = BenchEnv::from_env();
-    banner(
-        "Fig. 14: average query time (s) vs δ",
-        "mid user group; ε = 0.7, k = 3",
-    );
+    banner("Fig. 14: average query time (s) vs δ", "mid user group; ε = 0.7, k = 3");
     let rows = param_sweep(
         &env,
         &Method::OFFLINE_PLUS_LAZY,

@@ -26,8 +26,8 @@ fn main() {
         let user = model.graph().nodes_by_out_degree_desc()[0];
 
         // Most influential single tag, judged by a quick LAZY pass.
-        let probe_params = SamplingParams::enumeration(0.7, 1000.0, model.num_tags(), 1)
-            .with_seed(env.seed);
+        let probe_params =
+            SamplingParams::enumeration(0.7, 1000.0, model.num_tags(), 1).with_seed(env.seed);
         let mut prober = BackendKind::Lazy.make(model);
         let mut cache = model.new_prob_cache();
         let mut best_tag = 0u32;
@@ -46,8 +46,10 @@ fn main() {
         }
 
         println!();
-        println!("--- {name}: user {user} (out-degree {}), tag w{best_tag} ---",
-                 model.graph().out_degree(user));
+        println!(
+            "--- {name}: user {user} (out-degree {}), tag w{best_tag} ---",
+            model.graph().out_degree(user)
+        );
         println!("{:<10} {:>12} {:>12} {:>12}", "theta", "MC", "RR", "LAZY");
         let posterior = model.posterior(&TagSet::from([best_tag]));
         for theta in thetas {

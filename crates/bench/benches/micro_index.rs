@@ -22,17 +22,13 @@ fn bench_index(c: &mut Criterion) {
     let posterior = model.posterior(&tags);
     let mut cache = model.new_prob_cache();
 
-    let member_graphs: Vec<_> = index
-        .graphs_containing(user)
-        .iter()
-        .map(|&gid| &index.graphs()[gid as usize])
-        .collect();
+    let member_graphs: Vec<_> =
+        index.graphs_containing(user).iter().map(|&gid| &index.graphs()[gid as usize]).collect();
 
     c.bench_function("tag_aware_reachability_all_members", |b| {
         let mut scratch = ReachScratch::new();
         b.iter(|| {
-            let mut probs =
-                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
             let mut visits = 0u64;
             let mut hits = 0u32;
             for rr in &member_graphs {
@@ -46,11 +42,7 @@ fn bench_index(c: &mut Criterion) {
 
     c.bench_function("cut_filter_build", |b| {
         b.iter(|| {
-            black_box(CutFilter::build(
-                user,
-                member_graphs.iter().copied(),
-                model.edge_topics(),
-            ))
+            black_box(CutFilter::build(user, member_graphs.iter().copied(), model.edge_topics()))
         })
     });
 
@@ -59,8 +51,7 @@ fn bench_index(c: &mut Criterion) {
         let mut marks = EpochVisited::new(0);
         let mut out = Vec::new();
         b.iter(|| {
-            let mut probs =
-                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
             filter.candidates(&mut probs, &mut marks, &mut out);
             black_box(out.len())
         })

@@ -19,8 +19,7 @@ fn bench_model(c: &mut Criterion) {
     let edge_ids: Vec<u32> = (0..model.graph().num_edges() as u32).step_by(7).collect();
     c.bench_function("edge_prob_cached_sweep", |b| {
         b.iter(|| {
-            let mut probs =
-                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
             let mut acc = 0.0f64;
             for &e in &edge_ids {
                 acc += pitex_model::EdgeProbs::prob(&mut probs, e);

@@ -33,9 +33,7 @@ fn bench_sampling(c: &mut Criterion) {
     }
 
     let mut rng = StdRng::seed_from_u64(1);
-    c.bench_function("geometric_draw_p01", |b| {
-        b.iter(|| black_box(geometric(0.01, &mut rng)))
-    });
+    c.bench_function("geometric_draw_p01", |b| b.iter(|| black_box(geometric(0.01, &mut rng))));
 }
 
 criterion_group!(benches, bench_sampling);

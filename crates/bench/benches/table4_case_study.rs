@@ -16,10 +16,7 @@ fn main() {
         "8 community hubs on a dblp-like topical graph; LAZY backend",
     );
 
-    let cs = CaseStudy::generate(&CaseStudyConfig {
-        seed: env.seed,
-        ..CaseStudyConfig::default()
-    });
+    let cs = CaseStudy::generate(&CaseStudyConfig { seed: env.seed, ..CaseStudyConfig::default() });
     let mut engine = PitexEngine::with_lazy(&cs.model, default_config(env.seed));
 
     println!();

@@ -225,12 +225,7 @@ pub fn default_queries(data: &PreparedDataset, env: &BenchEnv, group: UserGroup)
 /// The paper's default engine configuration (ε = 0.7, δ = 1000,
 /// best-effort exploration — §7.3 notes all reported approaches use it).
 pub fn default_config(seed: u64) -> PitexConfig {
-    PitexConfig {
-        epsilon: 0.7,
-        delta: 1000.0,
-        seed,
-        strategy: ExplorationStrategy::BestEffort,
-    }
+    PitexConfig { epsilon: 0.7, delta: 1000.0, seed, strategy: ExplorationStrategy::BestEffort }
 }
 
 /// Prints a figure banner.
@@ -264,8 +259,7 @@ pub fn group_figure(
         let name = profile.name;
         eprintln!("[prepare] {name} ({} nodes)", profile.num_nodes);
         let data = prepare(profile);
-        let indexes =
-            needs_index.then(|| build_indexes(&data.model, env.index_budget(), env.seed));
+        let indexes = needs_index.then(|| build_indexes(&data.model, env.index_budget(), env.seed));
         for group in UserGroup::ALL {
             let users = default_queries(&data, env, group);
             for &method in methods {
@@ -313,16 +307,14 @@ pub fn param_sweep(
         let name = profile.name;
         eprintln!("[prepare] {name} ({} nodes)", profile.num_nodes);
         let data = prepare(profile);
-        let indexes =
-            needs_index.then(|| build_indexes(&data.model, env.index_budget(), env.seed));
+        let indexes = needs_index.then(|| build_indexes(&data.model, env.index_budget(), env.seed));
         let users = default_queries(&data, env, UserGroup::Mid);
         for &value in values {
             for &method in methods {
                 let mut config = default_config(env.seed);
                 let mut k = 3usize;
                 apply(&mut config, &mut k, value);
-                let outcome =
-                    run_batch(method, &data.model, indexes.as_ref(), &users, k, config);
+                let outcome = run_batch(method, &data.model, indexes.as_ref(), &users, k, config);
                 eprintln!(
                     "[done] {name}/{value}/{}: {:.4}s avg",
                     method.label(),
@@ -423,14 +415,8 @@ mod tests {
         let indexes = build_indexes(&data.model, env.index_budget(), env.seed);
         let users = default_queries(&data, &env, UserGroup::Mid);
         for method in Method::ALL {
-            let out = run_batch(
-                method,
-                &data.model,
-                Some(&indexes),
-                &users,
-                2,
-                default_config(env.seed),
-            );
+            let out =
+                run_batch(method, &data.model, Some(&indexes), &users, 2, default_config(env.seed));
             assert_eq!(out.time.count(), 2, "{}", method.label());
             assert!(out.spread.mean() >= 0.0);
         }

@@ -115,11 +115,7 @@ mod tests {
     #[test]
     fn index_backends_parallelize() {
         let model = TicModel::paper_example();
-        let index = pitex_index::RrIndex::build(
-            &model,
-            pitex_index::IndexBudget::Fixed(3_000),
-            3,
-        );
+        let index = pitex_index::RrIndex::build(&model, pitex_index::IndexBudget::Fixed(3_000), 3);
         let config = PitexConfig::default();
         let queries: Vec<(NodeId, usize)> = (0..7u32).map(|u| (u, 2)).collect();
         let results =

@@ -8,9 +8,7 @@ use pitex_graph::NodeId;
 use pitex_index::{DelayMatEstimator, DelayMatIndex, IndexEstimator, IndexPlusEstimator, RrIndex};
 use pitex_model::bound::UpperBoundEdgeProbs;
 use pitex_model::combi::KSubsets;
-use pitex_model::{
-    BoundOracle, EdgeProbCache, PosteriorEdgeProbs, TagId, TagSet, TicModel,
-};
+use pitex_model::{BoundOracle, EdgeProbCache, PosteriorEdgeProbs, TagId, TagSet, TicModel};
 use pitex_sampling::{
     ExactEstimator, LazySampler, McSampler, RrSampler, SamplingParams, SpreadEstimator,
 };
@@ -45,7 +43,12 @@ pub struct PitexConfig {
 
 impl Default for PitexConfig {
     fn default() -> Self {
-        Self { epsilon: 0.7, delta: 1000.0, seed: 0x517c_c1b7, strategy: ExplorationStrategy::BestEffort }
+        Self {
+            epsilon: 0.7,
+            delta: 1000.0,
+            seed: 0x517c_c1b7,
+            strategy: ExplorationStrategy::BestEffort,
+        }
     }
 }
 
@@ -92,11 +95,7 @@ impl<'a> PitexEngine<'a> {
 
     /// Engine with the tree-based TIM baseline.
     pub fn with_tim(model: &'a TicModel, config: PitexConfig) -> Self {
-        Self::new(
-            model,
-            Box::new(crate::tim::TimEstimator::new(model.graph().num_nodes())),
-            config,
-        )
+        Self::new(model, Box::new(crate::tim::TimEstimator::new(model.graph().num_nodes())), config)
     }
 
     /// Engine with Linear Threshold propagation (footnote 1 of the paper):
@@ -116,25 +115,13 @@ impl<'a> PitexEngine<'a> {
 
     /// Engine with the edge-cut-filtered index (INDEXEST+).
     pub fn with_index_plus(model: &'a TicModel, index: &'a RrIndex, config: PitexConfig) -> Self {
-        Self::new(
-            model,
-            Box::new(IndexPlusEstimator::new(index, model.edge_topics())),
-            config,
-        )
+        Self::new(model, Box::new(IndexPlusEstimator::new(index, model.edge_topics())), config)
     }
 
     /// Engine with the delay-materialized index (DELAYMAT).
-    pub fn with_delay(
-        model: &'a TicModel,
-        index: &'a DelayMatIndex,
-        config: PitexConfig,
-    ) -> Self {
+    pub fn with_delay(model: &'a TicModel, index: &'a DelayMatIndex, config: PitexConfig) -> Self {
         let seed = config.seed;
-        Self::new(
-            model,
-            Box::new(DelayMatEstimator::new(index, model.edge_topics(), seed)),
-            config,
-        )
+        Self::new(model, Box::new(DelayMatEstimator::new(index, model.edge_topics(), seed)), config)
     }
 
     /// The backend's display name (matches the paper's method labels).
@@ -177,10 +164,7 @@ impl<'a> PitexEngine<'a> {
     /// If `k` is 0 or `user` is out of range.
     pub fn query(&mut self, user: NodeId, k: usize) -> PitexResult {
         assert!(k >= 1, "PITEX queries select at least one tag");
-        assert!(
-            (user as usize) < self.model.graph().num_nodes(),
-            "user {user} out of range"
-        );
+        assert!((user as usize) < self.model.graph().num_nodes(), "user {user} out of range");
         let k = k.min(self.model.num_tags());
         let params = self.sampling_params(k);
         let timer = Timer::start();
@@ -219,8 +203,8 @@ impl<'a> PitexEngine<'a> {
         // pruned deterministically via the set ordering).
         let mut top: BinaryHeap<Reverse<(OrdF64, Reverse<TagSet>)>> = BinaryHeap::new();
         let offer = |top: &mut BinaryHeap<Reverse<(OrdF64, Reverse<TagSet>)>>,
-                         tags: TagSet,
-                         spread: f64| {
+                     tags: TagSet,
+                     spread: f64| {
             top.push(Reverse((OrdF64(spread), Reverse(tags))));
             if top.len() > n {
                 top.pop();
@@ -266,10 +250,8 @@ impl<'a> PitexEngine<'a> {
                 }
             }
         }
-        let mut out: Vec<(TagSet, f64)> = top
-            .into_iter()
-            .map(|Reverse((OrdF64(s), Reverse(tags)))| (tags, s))
-            .collect();
+        let mut out: Vec<(TagSet, f64)> =
+            top.into_iter().map(|Reverse((OrdF64(s), Reverse(tags)))| (tags, s)).collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
@@ -521,6 +503,18 @@ impl EngineHandle {
         &self.model
     }
 
+    /// The shared RR-Graph index snapshot, when the handle carries one.
+    /// The live-update layer reads this to repair the index incrementally
+    /// before swapping in a successor handle.
+    pub fn rr_index(&self) -> Option<&Arc<RrIndex>> {
+        self.rr_index.as_ref()
+    }
+
+    /// The shared delay-materialized index snapshot, when present.
+    pub fn delay_index(&self) -> Option<&Arc<DelayMatIndex>> {
+        self.delay_index.as_ref()
+    }
+
     /// The backend every engine built from this handle uses.
     pub fn backend(&self) -> EngineBackend {
         self.backend
@@ -732,8 +726,7 @@ mod tests {
             EngineBackend::Exact,
             EngineBackend::Lt,
         ] {
-            let handle =
-                EngineHandle::new(model.clone(), backend, PitexConfig::default()).unwrap();
+            let handle = EngineHandle::new(model.clone(), backend, PitexConfig::default()).unwrap();
             let mut engine = handle.engine();
             assert_eq!(engine.backend_name(), backend.label());
             assert_eq!(engine.query(0, 2).tags, TagSet::from([2, 3]), "{}", backend.label());
@@ -780,8 +773,7 @@ mod tests {
     fn handle_clones_share_the_model() {
         let model = Arc::new(TicModel::paper_example());
         let handle =
-            EngineHandle::new(model.clone(), EngineBackend::Exact, PitexConfig::default())
-                .unwrap();
+            EngineHandle::new(model.clone(), EngineBackend::Exact, PitexConfig::default()).unwrap();
         let clone = handle.clone();
         assert!(Arc::ptr_eq(handle.model(), clone.model()));
         assert_eq!(clone.backend(), EngineBackend::Exact);

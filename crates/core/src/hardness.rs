@@ -56,13 +56,7 @@ impl KLabelInstance {
                 edges.push((element as u32, element as u32 + 1, j as u16));
             }
         }
-        Self {
-            num_vertices: universe + 1,
-            edges,
-            num_labels: sets.len(),
-            s: 0,
-            t: universe as u32,
-        }
+        Self { num_vertices: universe + 1, edges, num_labels: sets.len(), s: 0, t: universe as u32 }
     }
 
     /// Does the label subset `labels` connect `s` to `t`?
@@ -74,9 +68,7 @@ impl KLabelInstance {
             }
         }
         let graph = builder.build();
-        pitex_graph::bfs_reachable(&graph, self.s, |_| true)
-            .nodes
-            .contains(&self.t)
+        pitex_graph::bfs_reachable(&graph, self.s, |_| true).nodes.contains(&self.t)
     }
 
     /// Brute-force reference solver: does *any* k-subset of labels work?
@@ -253,10 +245,8 @@ mod tests {
         // orthogonal construction, every 2-tag posterior is empty.
         let rows: Vec<Vec<(u16, f32)>> = vec![vec![(0, 1.0)], vec![(1, 1.0)]];
         let matrix = TagTopicMatrix::with_uniform_prior(rows, 2);
-        let posterior = pitex_model::TopicPosterior::compute(
-            &matrix,
-            &pitex_model::TagSet::from([0, 1]),
-        );
+        let posterior =
+            pitex_model::TopicPosterior::compute(&matrix, &pitex_model::TagSet::from([0, 1]));
         assert!(posterior.is_empty());
     }
 

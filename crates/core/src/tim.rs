@@ -155,10 +155,7 @@ mod tests {
         let mut tim = TimEstimator::with_threshold(g.num_nodes(), 1e-6);
         let tim_spread = tim.estimate(&g, 0, &mut probs, &params()).spread;
         let exact = exact_spread(&g, 0, &mut probs);
-        assert!(
-            tim_spread < exact - 0.05,
-            "tim {tim_spread} should undercount exact {exact}"
-        );
+        assert!(tim_spread < exact - 0.05, "tim {tim_spread} should undercount exact {exact}");
     }
 
     #[test]

@@ -18,7 +18,10 @@ use rand::{Rng, SeedableRng};
 
 /// Research areas used for naming (up to eight, like the paper's table).
 const AREAS: [(&str, [&str; 6]); 8] = [
-    ("machine-learning", ["learning", "neural", "inference", "representation", "optimization", "vision"]),
+    (
+        "machine-learning",
+        ["learning", "neural", "inference", "representation", "optimization", "vision"],
+    ),
     ("data-mining", ["mining", "patterns", "clustering", "graphs", "streams", "anomaly"]),
     ("databases", ["databases", "transactions", "indexing", "querying", "storage", "distributed"]),
     ("theory", ["complexity", "algorithms", "combinatorial", "automata", "randomness", "proofs"]),
@@ -29,8 +32,18 @@ const AREAS: [(&str, [&str; 6]); 8] = [
 ];
 
 const GENERIC_TAGS: [&str; 12] = [
-    "analysis", "applications", "performance", "evaluation", "models", "data",
-    "foundations", "scalability", "principles", "framework", "survey", "benchmarks",
+    "analysis",
+    "applications",
+    "performance",
+    "evaluation",
+    "models",
+    "data",
+    "foundations",
+    "scalability",
+    "principles",
+    "framework",
+    "survey",
+    "benchmarks",
 ];
 
 /// Case-study generator configuration.
@@ -135,8 +148,10 @@ impl CaseStudy {
                     } else {
                         rng.gen_range(0.03f32..0.1)
                     };
-                    row.push((area as u16, (p / graph.in_degree(t).max(1) as f32 * 4.0)
-                        .clamp(1e-4, 0.9)));
+                    row.push((
+                        area as u16,
+                        (p / graph.in_degree(t).max(1) as f32 * 4.0).clamp(1e-4, 0.9),
+                    ));
                 }
             }
         }
@@ -206,10 +221,7 @@ impl CaseStudy {
         if returned.is_empty() {
             return 0.0;
         }
-        let hits = returned
-            .iter()
-            .filter(|&t| researcher.planted_tags.contains(&t))
-            .count();
+        let hits = returned.iter().filter(|&t| researcher.planted_tags.contains(&t)).count();
         hits as f64 / returned.len() as f64
     }
 }

@@ -94,12 +94,7 @@ impl DatasetProfile {
 
     /// All four profiles in the paper's order.
     pub fn all() -> Vec<DatasetProfile> {
-        vec![
-            Self::lastfm_like(),
-            Self::diggs_like(),
-            Self::dblp_like(),
-            Self::twitter_like(),
-        ]
+        vec![Self::lastfm_like(), Self::diggs_like(), Self::dblp_like(), Self::twitter_like()]
     }
 
     /// Proportionally shrinks vertices and edges (vocabularies unchanged);

@@ -75,10 +75,7 @@ impl UserGroups {
         let members = self.members(group);
         assert!(!members.is_empty(), "group {group:?} is empty");
         if members.len() >= count {
-            let mut picked: Vec<NodeId> = members
-                .choose_multiple(rng, count)
-                .copied()
-                .collect();
+            let mut picked: Vec<NodeId> = members.choose_multiple(rng, count).copied().collect();
             picked.sort_unstable();
             picked
         } else {
@@ -120,24 +117,12 @@ mod tests {
     fn high_group_has_highest_degrees() {
         let g = graph();
         let groups = UserGroups::from_graph(&g);
-        let min_high = groups
-            .members(UserGroup::High)
-            .iter()
-            .map(|&v| g.out_degree(v))
-            .min()
-            .unwrap();
-        let max_mid = groups
-            .members(UserGroup::Mid)
-            .iter()
-            .map(|&v| g.out_degree(v))
-            .max()
-            .unwrap();
-        let max_low = groups
-            .members(UserGroup::Low)
-            .iter()
-            .map(|&v| g.out_degree(v))
-            .max()
-            .unwrap();
+        let min_high =
+            groups.members(UserGroup::High).iter().map(|&v| g.out_degree(v)).min().unwrap();
+        let max_mid =
+            groups.members(UserGroup::Mid).iter().map(|&v| g.out_degree(v)).max().unwrap();
+        let max_low =
+            groups.members(UserGroup::Low).iter().map(|&v| g.out_degree(v)).max().unwrap();
         assert!(min_high >= max_mid);
         assert!(max_mid >= max_low);
     }

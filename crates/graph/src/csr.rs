@@ -176,7 +176,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `num_nodes` vertices.
     pub fn new(num_nodes: usize) -> Self {
-        assert!(num_nodes <= u32::MAX as usize - 1, "node ids must fit in u32");
+        assert!(num_nodes < u32::MAX as usize, "node ids must fit in u32");
         Self { num_nodes, edges: Vec::new() }
     }
 
@@ -219,7 +219,7 @@ impl GraphBuilder {
         self.edges.sort_unstable();
         self.edges.dedup();
         let m = self.edges.len();
-        assert!(m <= u32::MAX as usize - 1, "edge ids must fit in u32");
+        assert!(m < u32::MAX as usize, "edge ids must fit in u32");
 
         let mut out_offsets = vec![0u32; n + 1];
         for &(s, _) in &self.edges {

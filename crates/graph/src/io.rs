@@ -6,7 +6,7 @@
 //! `pitex-datasets` caches between benchmark runs.
 
 use crate::csr::{DiGraph, GraphBuilder};
-use pitex_support::codec::{Decoder, DecodeError, Encoder};
+use pitex_support::codec::{DecodeError, Decoder, Encoder};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 

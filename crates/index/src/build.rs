@@ -52,6 +52,11 @@ impl IndexBudget {
 pub struct RrIndex {
     num_nodes: usize,
     theta: u64,
+    /// The budget and seed this index was sampled under. Carried (and
+    /// persisted) with the index so incremental repair can reproduce the
+    /// exact per-draw streams without the operator re-threading flags.
+    budget: IndexBudget,
+    seed: u64,
     graphs: Vec<RrGraph>,
     member_offsets: Vec<u64>,
     member_graph_ids: Vec<u32>,
@@ -65,8 +70,11 @@ impl RrIndex {
     }
 
     /// Builds the index with an explicit thread count. Deterministic for a
-    /// fixed `(budget, seed, threads)` triple: thread `t` samples targets
-    /// from its own seeded stream and output order is by thread then draw.
+    /// fixed `(model, budget, seed)` pair — every draw runs on its own
+    /// seed-derived RNG stream (see [`sample_rr_graph_at`]), so `threads`
+    /// only controls parallelism, never the result. `pitex_live`'s
+    /// incremental repair relies on this: it can resample a single dirty
+    /// draw and still match a from-scratch rebuild bit for bit.
     pub fn build_with_threads(
         model: &TicModel,
         budget: IndexBudget,
@@ -75,10 +83,16 @@ impl RrIndex {
     ) -> Self {
         let theta = budget.sample_count(model.graph().num_nodes(), model.num_tags());
         let graphs = sample_many(model, theta, seed, threads.max(1));
-        Self::assemble(model.graph().num_nodes(), theta, graphs)
+        Self::assemble(model.graph().num_nodes(), theta, budget, seed, graphs)
     }
 
-    fn assemble(num_nodes: usize, theta: u64, graphs: Vec<RrGraph>) -> Self {
+    fn assemble(
+        num_nodes: usize,
+        theta: u64,
+        budget: IndexBudget,
+        seed: u64,
+        graphs: Vec<RrGraph>,
+    ) -> Self {
         // Membership CSR via counting sort over users.
         let mut counts = vec![0u64; num_nodes + 1];
         for g in &graphs {
@@ -100,12 +114,20 @@ impl RrIndex {
                 member_graph_ids[pos] = gid as u32;
             }
         }
-        Self { num_nodes, theta, graphs, member_offsets, member_graph_ids }
+        Self { num_nodes, theta, budget, seed, graphs, member_offsets, member_graph_ids }
     }
 
-    /// Rebuilds the membership table from raw parts (used by the decoder).
-    pub(crate) fn from_graphs(num_nodes: usize, theta: u64, graphs: Vec<RrGraph>) -> Self {
-        Self::assemble(num_nodes, theta, graphs)
+    /// Rebuilds the membership table from raw parts. Used by the binary
+    /// decoder and by `pitex_live`'s incremental repair, which splices
+    /// resampled graphs into an existing index.
+    pub fn from_graphs(
+        num_nodes: usize,
+        theta: u64,
+        budget: IndexBudget,
+        seed: u64,
+        graphs: Vec<RrGraph>,
+    ) -> Self {
+        Self::assemble(num_nodes, theta, budget, seed, graphs)
     }
 
     /// Number of vertices of the indexed graph.
@@ -116,6 +138,16 @@ impl RrIndex {
     /// Total offline samples θ (equals `graphs().len()`).
     pub fn theta(&self) -> u64 {
         self.theta
+    }
+
+    /// The sample budget this index was built under.
+    pub fn budget(&self) -> IndexBudget {
+        self.budget
+    }
+
+    /// The seed of this index's per-draw sample streams.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// All sampled RR-Graphs.
@@ -142,34 +174,56 @@ impl RrIndex {
     }
 }
 
+/// Derives the independent RNG stream of draw number `draw` under the index
+/// seed (a splitmix64 finalizer over the pair). Because every draw owns a
+/// whole stream, RR-Graph `i` is a pure function of `(model, seed, i)` —
+/// no draw depends on any other draw or on how draws were split across
+/// threads. That independence is the contract `pitex_live::repair` builds
+/// on: resampling exactly the dirty draws reproduces a full rebuild.
+fn draw_rng(seed: u64, draw: u64) -> StdRng {
+    let mut x = seed ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(x ^ (x >> 31))
+}
+
+/// Samples the `draw`-th RR-Graph of the `(model, seed)` index stream: the
+/// target is drawn uniformly, then Def. 2's reverse BFS runs on the same
+/// per-draw RNG. [`RrIndex::build_with_threads`] calls this for every draw
+/// in `0..θ`; incremental repair calls it for dirty draws only.
+pub fn sample_rr_graph_at(model: &TicModel, seed: u64, draw: u64) -> RrGraph {
+    let mut rng = draw_rng(seed, draw);
+    let n = model.graph().num_nodes();
+    let target = rng.gen_range(0..n as u32);
+    let mut p_max = MaxEdgeProbs::new(model.edge_topics());
+    generate_rr_graph(model.graph(), &mut p_max, target, &mut rng)
+}
+
+/// Contiguous draw range `[lo, hi)` assigned to thread `t` of `threads`
+/// when splitting `theta` draws. Shared by the full-index and DELAYMAT
+/// builders so both walk the exact same per-draw sample stream (the
+/// "counters agree with the full index" invariant depends on it).
+pub(crate) fn draw_range(t: u64, threads: u64, theta: u64) -> std::ops::Range<u64> {
+    let per_thread = theta / threads;
+    let remainder = theta % threads;
+    let lo = t * per_thread + t.min(remainder);
+    lo..lo + per_thread + u64::from(t < remainder)
+}
+
 /// Samples `theta` RR-Graphs for uniform random targets, in parallel.
-pub(crate) fn sample_many(
-    model: &TicModel,
-    theta: u64,
-    seed: u64,
-    threads: usize,
-) -> Vec<RrGraph> {
+/// Output order is draw order (0..θ) regardless of `threads`.
+pub(crate) fn sample_many(model: &TicModel, theta: u64, seed: u64, threads: usize) -> Vec<RrGraph> {
     let n = model.graph().num_nodes();
     if n == 0 || theta == 0 {
         return Vec::new();
     }
-    let per_thread = theta / threads as u64;
-    let remainder = theta % threads as u64;
     let mut buckets: Vec<Vec<RrGraph>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (0..threads as u64)
             .map(|t| {
-                let quota = per_thread + u64::from((t as u64) < remainder);
+                let draws = draw_range(t, threads as u64, theta);
                 scope.spawn(move || {
-                    let mut rng =
-                        StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
-                    let mut p_max = MaxEdgeProbs::new(model.edge_topics());
-                    let mut out = Vec::with_capacity(quota as usize);
-                    for _ in 0..quota {
-                        let target = rng.gen_range(0..n as u32);
-                        out.push(generate_rr_graph(model.graph(), &mut p_max, target, &mut rng));
-                    }
-                    out
+                    draws.map(|draw| sample_rr_graph_at(model, seed, draw)).collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -205,11 +259,7 @@ mod tests {
             for &gid in index.graphs_containing(u) {
                 assert!(index.graphs()[gid as usize].contains(u));
             }
-            let direct = index
-                .graphs()
-                .iter()
-                .filter(|g| g.contains(u))
-                .count();
+            let direct = index.graphs().iter().filter(|g| g.contains(u)).count();
             assert_eq!(index.membership_count(u), direct);
         }
     }
@@ -242,6 +292,28 @@ mod tests {
         for threads in 1..=5 {
             let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(17), 1, threads);
             assert_eq!(index.graphs().len(), 17, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_index() {
+        // Per-draw RNG streams: the built index is a pure function of
+        // (model, budget, seed); threads only split the work.
+        let model = TicModel::paper_example();
+        let reference = RrIndex::build_with_threads(&model, IndexBudget::Fixed(64), 13, 1);
+        for threads in [2, 3, 4, 7] {
+            let other = RrIndex::build_with_threads(&model, IndexBudget::Fixed(64), 13, threads);
+            assert_eq!(reference.graphs(), other.graphs(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sample_at_matches_the_built_index_position() {
+        let model = TicModel::paper_example();
+        let index = RrIndex::build_with_threads(&model, IndexBudget::Fixed(32), 19, 3);
+        for draw in [0u64, 1, 15, 31] {
+            let lone = sample_rr_graph_at(&model, 19, draw);
+            assert_eq!(&lone, &index.graphs()[draw as usize], "draw {draw}");
         }
     }
 }

@@ -7,11 +7,11 @@
 //! estimator's distribution; the two ingredients (Algo. 4) are:
 //!
 //! 1. a forward sample from `u` on the `p(e) = max_z p(e|z)` graph — its
-//!   activated set `V′` and live edges `E′` — with a uniform target
-//!   `v′ ∈ V′`, reverse-restricted to the vertices of `V′` that reach `v′`
-//!   (conditioning the RR-Graph on containing `u`);
+//!    activated set `V′` and live edges `E′` — with a uniform target
+//!    `v′ ∈ V′`, reverse-restricted to the vertices of `V′` that reach `v′`
+//!    (conditioning the RR-Graph on containing `u`);
 //! 2. fresh marks `c(e) ~ U[0, p(e))` on the recovered edges, matching the
-//!   conditional mark distribution of a live edge.
+//!    conditional mark distribution of a live edge.
 //!
 //! The recovered graphs are cached for the duration of a query (one user,
 //! many tag sets) and run through the same edge-cut filter as INDEXEST+.
@@ -33,17 +33,21 @@ use crate::build::IndexBudget;
 use crate::prune::CutFilter;
 use crate::rrgraph::{ReachScratch, RrGraph};
 use pitex_graph::{DiGraph, EdgeId, NodeId};
-use pitex_model::{EdgeProbs, EdgeTopics, MaxEdgeProbs, TicModel};
+use pitex_model::{EdgeProbs, EdgeTopics, TicModel};
 use pitex_sampling::{Estimate, SamplingParams, SpreadEstimator};
 use pitex_support::{EpochVisited, FxHashMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The delay-materialized index: one counter per user.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DelayMatIndex {
     num_nodes: usize,
     theta: u64,
+    /// The budget and seed the counters were sampled under (carried and
+    /// persisted so a live reload can re-count under the same stream).
+    budget: IndexBudget,
+    seed: u64,
     /// `θ(u)`: number of offline RR-Graphs containing each user.
     counts: Vec<u32>,
 }
@@ -56,7 +60,10 @@ impl DelayMatIndex {
         Self::build_with_threads(model, budget, seed, threads)
     }
 
-    /// Thread-count-explicit variant (deterministic per `(seed, threads)`).
+    /// Thread-count-explicit variant. Counts the members of exactly the
+    /// same per-draw sample stream as [`crate::build::sample_rr_graph_at`],
+    /// so the counters are a pure function of `(model, budget, seed)` and
+    /// agree with the full index built under the same parameters.
     pub fn build_with_threads(
         model: &TicModel,
         budget: IndexBudget,
@@ -66,27 +73,15 @@ impl DelayMatIndex {
         let n = model.graph().num_nodes();
         let theta = budget.sample_count(n, model.num_tags());
         let threads = threads.max(1);
-        let per_thread = theta / threads as u64;
-        let remainder = theta % threads as u64;
         let mut counts = vec![0u32; n];
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
+            let handles: Vec<_> = (0..threads as u64)
                 .map(|t| {
-                    let quota = per_thread + u64::from((t as u64) < remainder);
+                    let draws = crate::build::draw_range(t, threads as u64, theta);
                     scope.spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ (t as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
-                        );
-                        let mut p_max = MaxEdgeProbs::new(model.edge_topics());
                         let mut local = vec![0u32; n];
-                        for _ in 0..quota {
-                            let target = rng.gen_range(0..n as u32);
-                            let rr = crate::rrgraph::generate_rr_graph(
-                                model.graph(),
-                                &mut p_max,
-                                target,
-                                &mut rng,
-                            );
+                        for draw in draws {
+                            let rr = crate::build::sample_rr_graph_at(model, seed, draw);
                             for &v in rr.nodes() {
                                 local[v as usize] += 1;
                             }
@@ -102,13 +97,19 @@ impl DelayMatIndex {
                 }
             }
         });
-        Self { num_nodes: n, theta, counts }
+        Self { num_nodes: n, theta, budget, seed, counts }
     }
 
     /// Constructs from raw counters (decoder / tests).
-    pub fn from_counts(num_nodes: usize, theta: u64, counts: Vec<u32>) -> Self {
+    pub fn from_counts(
+        num_nodes: usize,
+        theta: u64,
+        budget: IndexBudget,
+        seed: u64,
+        counts: Vec<u32>,
+    ) -> Self {
         assert_eq!(counts.len(), num_nodes);
-        Self { num_nodes, theta, counts }
+        Self { num_nodes, theta, budget, seed, counts }
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -117,6 +118,16 @@ impl DelayMatIndex {
 
     pub fn theta(&self) -> u64 {
         self.theta
+    }
+
+    /// The sample budget the counters were built under.
+    pub fn budget(&self) -> IndexBudget {
+        self.budget
+    }
+
+    /// The seed of the counters' per-draw sample streams.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// `θ(u)` (Example 9).
@@ -301,7 +312,8 @@ impl SpreadEstimator for DelayMatEstimator<'_> {
         self.candidate_buf = candidates;
         let theta_u = recovered.graphs.len() as f64;
         let spread = if recovered.total_weight > 0.0 {
-            self.index.num_nodes() as f64 * (theta_u / self.index.theta() as f64)
+            self.index.num_nodes() as f64
+                * (theta_u / self.index.theta() as f64)
                 * (hit_weight / recovered.total_weight)
         } else {
             0.0
@@ -322,7 +334,7 @@ impl SpreadEstimator for DelayMatEstimator<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pitex_model::{PosteriorEdgeProbs, TagSet, TicModel};
+    use pitex_model::{MaxEdgeProbs, PosteriorEdgeProbs, TagSet, TicModel};
     use pitex_sampling::exact_spread;
 
     #[test]
@@ -332,8 +344,7 @@ mod tests {
         let model = TicModel::paper_example();
         let full =
             crate::build::RrIndex::build_with_threads(&model, IndexBudget::Fixed(3_000), 41, 2);
-        let delay =
-            DelayMatIndex::build_with_threads(&model, IndexBudget::Fixed(3_000), 41, 2);
+        let delay = DelayMatIndex::build_with_threads(&model, IndexBudget::Fixed(3_000), 41, 2);
         for u in 0..model.graph().num_nodes() as u32 {
             assert_eq!(delay.count(u), full.membership_count(u) as u32, "user {u}");
         }
@@ -380,11 +391,9 @@ mod tests {
         for tags in [vec![0u32, 1], vec![2, 3]] {
             let w = TagSet::new(tags.clone());
             let posterior = model.posterior(&w);
-            let mut probs =
-                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
             let spread = est.estimate(model.graph(), 0, &mut probs, &params).spread;
-            let mut probs =
-                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
             let exact = exact_spread(model.graph(), 0, &mut probs);
             assert!(
                 (spread - exact).abs() < 0.15 * exact.max(1.0),

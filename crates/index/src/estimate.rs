@@ -77,11 +77,9 @@ mod tests {
         for tags in [vec![0u32, 1], vec![2, 3], vec![0, 2]] {
             let w = TagSet::new(tags.clone());
             let posterior = model.posterior(&w);
-            let mut probs =
-                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
             let sampled = est.estimate(model.graph(), 0, &mut probs, &params()).spread;
-            let mut probs =
-                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
             let exact = exact_spread(model.graph(), 0, &mut probs);
             assert!(
                 (sampled - exact).abs() < 0.12 * exact.max(1.0),
@@ -148,7 +146,7 @@ mod tests {
             RrGraph::from_parts(6, vec![2, 5, 6], &[(2, 5, e36, 0.5), (5, 6, e67, 0.3)]),
             RrGraph::from_parts(1, vec![1], &[]),
         ];
-        let index = RrIndex::from_graphs(7, 4, graphs);
+        let index = RrIndex::from_graphs(7, 4, IndexBudget::Fixed(4), 0, graphs);
         let mut est = IndexEstimator::new(&index);
         // Under {w3,w4}: p(u3->u6) ≈ 0.554, p(u3->u4) = 0, p(u6->u7) ≈ 0.346.
         let w = TagSet::from([2, 3]);

@@ -27,7 +27,7 @@ pub mod prune;
 pub mod rrgraph;
 pub mod serial;
 
-pub use build::{IndexBudget, RrIndex};
+pub use build::{sample_rr_graph_at, IndexBudget, RrIndex};
 pub use delay::{DelayMatEstimator, DelayMatIndex};
 pub use estimate::IndexEstimator;
 pub use prune::{CutPolicy, IndexPlusEstimator};

@@ -88,11 +88,8 @@ impl CutFilter {
             let target_local = rr.local_id(rr.target()).expect("target is a member");
 
             // Cut 1: the user's out-edges inside the RR-Graph.
-            let cut1: Vec<(EdgeId, f32)> = rr
-                .out_edges_local(user_local)
-                .iter()
-                .map(|e| (e.edge_id, e.c))
-                .collect();
+            let cut1: Vec<(EdgeId, f32)> =
+                rr.out_edges_local(user_local).iter().map(|e| (e.edge_id, e.c)).collect();
 
             // Cut 2: the target's in-edges from vertices reachable from the
             // user within the stored graph (marks ignored: stored edges are
@@ -447,8 +444,7 @@ mod tests {
         let w = TagSet::from([2, 3]);
         let posterior = model.posterior(&w);
         for user in [0u32, 2, 0, 5] {
-            let mut probs =
-                PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
+            let mut probs = PosteriorEdgeProbs::new(model.edge_topics(), &posterior, &mut cache);
             let est = plus.estimate(model.graph(), user, &mut probs, &params);
             assert!(est.spread >= 0.0);
         }

@@ -159,6 +159,22 @@ impl RrGraph {
     pub fn heap_bytes(&self) -> u64 {
         (self.nodes.len() * 4 + self.out_offsets.len() * 4 + self.out_edges.len() * 12) as u64
     }
+
+    /// Rebuilds this graph with every stored global edge id passed through
+    /// `map` (topology, node set and marks unchanged). Incremental repair
+    /// uses this to keep *clean* RR-Graphs valid when an edge insert or
+    /// removal shifts the CSR edge ids of the mutated model.
+    ///
+    /// # Panics
+    /// If `map` returns `None` for a stored edge — the repair layer only
+    /// reuses graphs whose stored edges all survive the mutation.
+    pub fn with_remapped_edge_ids(&self, map: impl Fn(EdgeId) -> Option<EdgeId>) -> RrGraph {
+        let mut out = self.clone();
+        for e in &mut out.out_edges {
+            e.edge_id = map(e.edge_id).expect("reused RR-Graph references a removed edge");
+        }
+        out
+    }
 }
 
 /// Reusable traversal scratch for [`RrGraph::reaches_target`].
@@ -332,12 +348,7 @@ mod tests {
         let g_u6 = RrGraph::from_parts(
             5,
             vec![0, 2, 3, 5],
-            &[
-                (0, 2, e13, 0.4),
-                (2, 3, e34, 0.4),
-                (2, 5, e36, 0.5),
-                (3, 5, e46, 0.2),
-            ],
+            &[(0, 2, e13, 0.4), (2, 3, e34, 0.4), (2, 5, e36, 0.5), (3, 5, e46, 0.2)],
         );
         assert!(g_u6.reaches_target(0, &mut probs, &mut scratch, &mut visits));
     }

@@ -1,13 +1,49 @@
 //! Index persistence (Table 3 compares on-disk sizes of the two schemes).
 
-use crate::build::RrIndex;
+use crate::build::{IndexBudget, RrIndex};
 use crate::delay::DelayMatIndex;
 use crate::rrgraph::RrGraph;
 use pitex_support::codec::{DecodeError, Decoder, Encoder};
 
 const RR_MAGIC: [u8; 4] = *b"PRRI";
 const DELAY_MAGIC: [u8; 4] = *b"PDLY";
-const VERSION: u32 = 1;
+// v2: per-draw RNG streams (the sample stream changed) + the build budget
+// and seed are persisted so repair reads them off the artifact. v1 files
+// fail loudly with BadVersion instead of silently voiding the
+// repair==rebuild contract.
+const VERSION: u32 = 2;
+
+fn encode_budget(enc: &mut Encoder<Vec<u8>>, budget: IndexBudget) {
+    match budget {
+        IndexBudget::PerVertex(c) => {
+            enc.u8(0);
+            enc.f64(c);
+        }
+        IndexBudget::Fixed(n) => {
+            enc.u8(1);
+            enc.u64(n);
+        }
+        IndexBudget::Theoretical { epsilon, delta, k_max } => {
+            enc.u8(2);
+            enc.f64(epsilon);
+            enc.f64(delta);
+            enc.u64(k_max as u64);
+        }
+    }
+}
+
+fn decode_budget(dec: &mut Decoder<&[u8]>) -> Result<IndexBudget, DecodeError> {
+    Ok(match dec.u8()? {
+        0 => IndexBudget::PerVertex(dec.f64()?),
+        1 => IndexBudget::Fixed(dec.u64()?),
+        2 => IndexBudget::Theoretical {
+            epsilon: dec.f64()?,
+            delta: dec.f64()?,
+            k_max: dec.u64()? as usize,
+        },
+        other => return Err(DecodeError::BadVersion { expected: 2, found: other as u32 }),
+    })
+}
 
 /// Errors from index persistence.
 #[derive(Debug)]
@@ -45,6 +81,8 @@ pub fn rr_index_to_bytes(index: &RrIndex) -> Vec<u8> {
     enc.header(RR_MAGIC, VERSION);
     enc.u32(index.num_nodes() as u32);
     enc.u64(index.theta());
+    encode_budget(&mut enc, index.budget());
+    enc.u64(index.seed());
     enc.u64(index.graphs().len() as u64);
     for g in index.graphs() {
         enc.u32(g.target());
@@ -66,6 +104,8 @@ pub fn rr_index_from_bytes(bytes: &[u8]) -> Result<RrIndex, IndexIoError> {
     dec.header(RR_MAGIC, VERSION)?;
     let num_nodes = dec.u32()? as usize;
     let theta = dec.u64()?;
+    let budget = decode_budget(&mut dec)?;
+    let seed = dec.u64()?;
     let count = dec.u64()? as usize;
     let mut graphs = Vec::with_capacity(count);
     for _ in 0..count {
@@ -82,7 +122,7 @@ pub fn rr_index_from_bytes(bytes: &[u8]) -> Result<RrIndex, IndexIoError> {
         }
         graphs.push(RrGraph::from_parts(target, nodes, &edges));
     }
-    Ok(RrIndex::from_graphs(num_nodes, theta, graphs))
+    Ok(RrIndex::from_graphs(num_nodes, theta, budget, seed, graphs))
 }
 
 /// Serializes a delay-materialized index.
@@ -91,6 +131,8 @@ pub fn delay_index_to_bytes(index: &DelayMatIndex) -> Vec<u8> {
     enc.header(DELAY_MAGIC, VERSION);
     enc.u32(index.num_nodes() as u32);
     enc.u64(index.theta());
+    encode_budget(&mut enc, index.budget());
+    enc.u64(index.seed());
     enc.u32_slice(index.counts());
     enc.into_inner()
 }
@@ -101,8 +143,10 @@ pub fn delay_index_from_bytes(bytes: &[u8]) -> Result<DelayMatIndex, IndexIoErro
     dec.header(DELAY_MAGIC, VERSION)?;
     let num_nodes = dec.u32()? as usize;
     let theta = dec.u64()?;
+    let budget = decode_budget(&mut dec)?;
+    let seed = dec.u64()?;
     let counts = dec.u32_slice()?;
-    Ok(DelayMatIndex::from_counts(num_nodes, theta, counts))
+    Ok(DelayMatIndex::from_counts(num_nodes, theta, budget, seed, counts))
 }
 
 #[cfg(test)]
@@ -156,9 +200,6 @@ mod tests {
         let delay = DelayMatIndex::build_with_threads(&model, IndexBudget::Fixed(5_000), 5, 2);
         let full_bytes = rr_index_to_bytes(&full).len();
         let delay_bytes = delay_index_to_bytes(&delay).len();
-        assert!(
-            delay_bytes * 100 < full_bytes,
-            "delay {delay_bytes}B vs full {full_bytes}B"
-        );
+        assert!(delay_bytes * 100 < full_bytes, "delay {delay_bytes}B vs full {full_bytes}B");
     }
 }

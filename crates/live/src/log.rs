@@ -1,0 +1,336 @@
+//! The typed update log: every mutation the live layer accepts, with a
+//! text form (the wire protocol's `UPDATE <op…>` operand and the ops-file
+//! format) and a binary codec over [`pitex_support::codec`].
+//!
+//! Text grammar (one op per line; `#` starts a comment in ops files):
+//!
+//! ```text
+//! ADD_EDGE    <src> <dst> <z:p,z:p,…|->   insert edge with its p(e|z) row
+//! REMOVE_EDGE <src> <dst>                 delete an edge
+//! SET_EDGE    <src> <dst> <z:p,z:p,…|->   replace an edge's p(e|z) row
+//! ATTACH_TAG  <tag> <z:p,z:p,…|->         set (or, at id = |Ω|, append) a tag row
+//! DETACH_TAG  <tag>                       clear a tag's topic row (tag stays)
+//! ADD_USER                                append one isolated vertex
+//! ```
+//!
+//! `-` denotes an empty topic row. Tag ids are never renumbered: a detached
+//! tag keeps its id with an empty `p(w|z)` row, which makes every tag set
+//! containing it infeasible (spread 1), exactly like a tag that was never
+//! used. This keeps cached tag ids, protocol replies and index artifacts
+//! stable across updates.
+
+use pitex_graph::NodeId;
+use pitex_model::{TagId, TopicId};
+use pitex_support::codec::{DecodeError, Decoder, Encoder};
+
+/// A sparse topic row `(z, p)` as the model crates consume it.
+pub type TopicRow = Vec<(TopicId, f32)>;
+
+/// One mutation of the live model. Ops are validated and staged by
+/// [`crate::ModelOverlay`] and folded into a fresh snapshot on compaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateOp {
+    /// Insert the edge `(src, dst)` carrying the given `p(e|z)` row.
+    AddEdge { src: NodeId, dst: NodeId, topics: TopicRow },
+    /// Delete the edge `(src, dst)`.
+    RemoveEdge { src: NodeId, dst: NodeId },
+    /// Replace the `p(e|z)` row of the existing edge `(src, dst)`.
+    SetEdgeTopics { src: NodeId, dst: NodeId, topics: TopicRow },
+    /// Set the `p(w|z)` row of tag `tag`; `tag == |Ω|` grows the vocabulary.
+    AttachTag { tag: TagId, topics: TopicRow },
+    /// Clear tag `tag`'s topic row (the tag id survives, infeasible).
+    DetachTag { tag: TagId },
+    /// Append one isolated vertex (id = current `|V|`).
+    AddUser,
+}
+
+const MAGIC: [u8; 4] = *b"PLOG";
+const VERSION: u32 = 1;
+
+fn format_row(topics: &[(TopicId, f32)]) -> String {
+    if topics.is_empty() {
+        return "-".to_string();
+    }
+    topics.iter().map(|&(z, p)| format!("{z}:{p}")).collect::<Vec<_>>().join(",")
+}
+
+fn parse_row(s: &str) -> Result<TopicRow, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|pair| {
+            let (z, p) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad topic entry {pair:?} (want z:p)"))?;
+            let z: TopicId = z.parse().map_err(|_| format!("bad topic id {z:?}"))?;
+            let p: f32 = p.parse().map_err(|_| format!("bad probability {p:?}"))?;
+            Ok((z, p))
+        })
+        .collect()
+}
+
+impl UpdateOp {
+    /// Serializes to the text form (no trailing newline).
+    pub fn to_text(&self) -> String {
+        match self {
+            UpdateOp::AddEdge { src, dst, topics } => {
+                format!("ADD_EDGE {src} {dst} {}", format_row(topics))
+            }
+            UpdateOp::RemoveEdge { src, dst } => format!("REMOVE_EDGE {src} {dst}"),
+            UpdateOp::SetEdgeTopics { src, dst, topics } => {
+                format!("SET_EDGE {src} {dst} {}", format_row(topics))
+            }
+            UpdateOp::AttachTag { tag, topics } => {
+                format!("ATTACH_TAG {tag} {}", format_row(topics))
+            }
+            UpdateOp::DetachTag { tag } => format!("DETACH_TAG {tag}"),
+            UpdateOp::AddUser => "ADD_USER".to_string(),
+        }
+    }
+
+    /// Parses the text form. The error string is human-readable, suitable
+    /// for an `ERR BAD_REQUEST` protocol reply.
+    pub fn parse_text(line: &str) -> Result<UpdateOp, String> {
+        let mut tokens = line.split_ascii_whitespace();
+        let verb = tokens.next().ok_or("empty update op")?;
+        let mut want = |what: &str| -> Result<&str, String> {
+            tokens.next().ok_or_else(|| format!("{verb} needs {what}"))
+        };
+        let op = match verb {
+            "ADD_EDGE" | "SET_EDGE" => {
+                let src = want("<src> <dst> <topics>")?;
+                let src: NodeId = src.parse().map_err(|_| format!("bad src {src:?}"))?;
+                let dst = want("<src> <dst> <topics>")?;
+                let dst: NodeId = dst.parse().map_err(|_| format!("bad dst {dst:?}"))?;
+                let topics = parse_row(want("<src> <dst> <topics>")?)?;
+                if verb == "ADD_EDGE" {
+                    UpdateOp::AddEdge { src, dst, topics }
+                } else {
+                    UpdateOp::SetEdgeTopics { src, dst, topics }
+                }
+            }
+            "REMOVE_EDGE" => {
+                let src = want("<src> <dst>")?;
+                let src: NodeId = src.parse().map_err(|_| format!("bad src {src:?}"))?;
+                let dst = want("<src> <dst>")?;
+                let dst: NodeId = dst.parse().map_err(|_| format!("bad dst {dst:?}"))?;
+                UpdateOp::RemoveEdge { src, dst }
+            }
+            "ATTACH_TAG" => {
+                let tag = want("<tag> <topics>")?;
+                let tag: TagId = tag.parse().map_err(|_| format!("bad tag {tag:?}"))?;
+                let topics = parse_row(want("<tag> <topics>")?)?;
+                UpdateOp::AttachTag { tag, topics }
+            }
+            "DETACH_TAG" => {
+                let tag = want("<tag>")?;
+                let tag: TagId = tag.parse().map_err(|_| format!("bad tag {tag:?}"))?;
+                UpdateOp::DetachTag { tag }
+            }
+            "ADD_USER" => UpdateOp::AddUser,
+            other => return Err(format!("unknown update op {other:?}")),
+        };
+        if tokens.next().is_some() {
+            return Err(format!("trailing tokens after {verb}"));
+        }
+        Ok(op)
+    }
+
+    fn encode(&self, enc: &mut Encoder<Vec<u8>>) {
+        let row = |enc: &mut Encoder<Vec<u8>>, topics: &TopicRow| {
+            enc.u32(topics.len() as u32);
+            for &(z, p) in topics {
+                enc.u32(z as u32);
+                enc.f32(p);
+            }
+        };
+        match self {
+            UpdateOp::AddEdge { src, dst, topics } => {
+                enc.u8(0);
+                enc.u32(*src);
+                enc.u32(*dst);
+                row(enc, topics);
+            }
+            UpdateOp::RemoveEdge { src, dst } => {
+                enc.u8(1);
+                enc.u32(*src);
+                enc.u32(*dst);
+            }
+            UpdateOp::SetEdgeTopics { src, dst, topics } => {
+                enc.u8(2);
+                enc.u32(*src);
+                enc.u32(*dst);
+                row(enc, topics);
+            }
+            UpdateOp::AttachTag { tag, topics } => {
+                enc.u8(3);
+                enc.u32(*tag);
+                row(enc, topics);
+            }
+            UpdateOp::DetachTag { tag } => {
+                enc.u8(4);
+                enc.u32(*tag);
+            }
+            UpdateOp::AddUser => enc.u8(5),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<&[u8]>) -> Result<UpdateOp, DecodeError> {
+        let row = |dec: &mut Decoder<&[u8]>| -> Result<TopicRow, DecodeError> {
+            let len = dec.u32()? as usize;
+            let mut topics = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let z = dec.u32()? as TopicId;
+                let p = dec.f32()?;
+                topics.push((z, p));
+            }
+            Ok(topics)
+        };
+        Ok(match dec.u8()? {
+            0 => UpdateOp::AddEdge { src: dec.u32()?, dst: dec.u32()?, topics: row(dec)? },
+            1 => UpdateOp::RemoveEdge { src: dec.u32()?, dst: dec.u32()? },
+            2 => UpdateOp::SetEdgeTopics { src: dec.u32()?, dst: dec.u32()?, topics: row(dec)? },
+            3 => UpdateOp::AttachTag { tag: dec.u32()?, topics: row(dec)? },
+            4 => UpdateOp::DetachTag { tag: dec.u32()? },
+            5 => UpdateOp::AddUser,
+            other => {
+                // Reuse the version error to keep DecodeError closed: an
+                // unknown op kind means the artifact is newer than us.
+                return Err(DecodeError::BadVersion { expected: 5, found: other as u32 });
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for UpdateOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Serializes an ops log to the binary `PLOG` artifact.
+pub fn ops_to_bytes(ops: &[UpdateOp]) -> Vec<u8> {
+    let mut enc = Encoder::new(Vec::new());
+    enc.header(MAGIC, VERSION);
+    enc.u64(ops.len() as u64);
+    for op in ops {
+        op.encode(&mut enc);
+    }
+    enc.into_inner()
+}
+
+/// Deserializes a binary `PLOG` artifact.
+pub fn ops_from_bytes(bytes: &[u8]) -> Result<Vec<UpdateOp>, DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    dec.header(MAGIC, VERSION)?;
+    let count = dec.u64()? as usize;
+    let mut ops = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        ops.push(UpdateOp::decode(&mut dec)?);
+    }
+    Ok(ops)
+}
+
+/// Parses a text ops file: one op per line, blank lines and `#` comments
+/// ignored. The error carries the 1-based line number.
+pub fn ops_from_text(text: &str) -> Result<Vec<UpdateOp>, String> {
+    let mut ops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let op = UpdateOp::parse_text(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Loads an ops file that is either the binary `PLOG` artifact or the text
+/// format (auto-detected via the magic tag).
+pub fn ops_from_file_bytes(bytes: &[u8]) -> Result<Vec<UpdateOp>, String> {
+    if bytes.starts_with(&MAGIC) {
+        return ops_from_bytes(bytes).map_err(|e| e.to_string());
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| "ops file is neither PLOG nor UTF-8 text".to_string())?;
+    ops_from_text(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<UpdateOp> {
+        vec![
+            UpdateOp::AddEdge { src: 1, dst: 4, topics: vec![(0, 0.4), (2, 0.1)] },
+            UpdateOp::RemoveEdge { src: 0, dst: 1 },
+            UpdateOp::SetEdgeTopics { src: 2, dst: 3, topics: vec![(1, 0.9)] },
+            UpdateOp::AttachTag { tag: 4, topics: vec![(2, 0.6)] },
+            UpdateOp::AttachTag { tag: 5, topics: vec![] },
+            UpdateOp::DetachTag { tag: 0 },
+            UpdateOp::AddUser,
+        ]
+    }
+
+    #[test]
+    fn text_round_trips() {
+        for op in sample_ops() {
+            let line = op.to_text();
+            assert_eq!(UpdateOp::parse_text(&line), Ok(op.clone()), "{line}");
+        }
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        let ops = sample_ops();
+        let back = ops_from_bytes(&ops_to_bytes(&ops)).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn malformed_text_is_rejected_with_reasons() {
+        for (line, needle) in [
+            ("", "empty"),
+            ("FROB 1 2", "unknown update op"),
+            ("ADD_EDGE 1", "needs"),
+            ("ADD_EDGE 1 2", "needs"),
+            ("ADD_EDGE x 2 -", "bad src"),
+            ("ADD_EDGE 1 2 0:0.5:9", "bad"),
+            ("ADD_EDGE 1 2 0-0.5", "bad topic entry"),
+            ("SET_EDGE 1 2 z:0.5", "bad topic id"),
+            ("ATTACH_TAG 1 0:fast", "bad probability"),
+            ("DETACH_TAG x", "bad tag"),
+            ("ADD_USER 7", "trailing"),
+            ("REMOVE_EDGE 1 2 3", "trailing"),
+        ] {
+            let err = UpdateOp::parse_text(line).expect_err(line);
+            assert!(err.contains(needle), "{line:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn ops_file_text_with_comments() {
+        let text = "# warm-up\n\nADD_USER\nREMOVE_EDGE 0 1   # trailing comment is NOT allowed\n";
+        let err = ops_from_text(text).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+        let ok = ops_from_text("# only comments\nADD_USER\n\nDETACH_TAG 3\n").unwrap();
+        assert_eq!(ok, vec![UpdateOp::AddUser, UpdateOp::DetachTag { tag: 3 }]);
+    }
+
+    #[test]
+    fn file_bytes_autodetect() {
+        let ops = sample_ops();
+        assert_eq!(ops_from_file_bytes(&ops_to_bytes(&ops)).unwrap(), ops);
+        let text = ops.iter().map(|o| o.to_text()).collect::<Vec<_>>().join("\n");
+        assert_eq!(ops_from_file_bytes(text.as_bytes()).unwrap(), ops);
+        assert!(ops_from_file_bytes(&[0xFF, 0xFE, 0x00]).is_err());
+    }
+
+    #[test]
+    fn truncated_binary_fails_cleanly() {
+        let bytes = ops_to_bytes(&sample_ops());
+        assert!(ops_from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

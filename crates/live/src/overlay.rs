@@ -1,0 +1,505 @@
+//! The mutable overlay over an immutable [`TicModel`] snapshot.
+//!
+//! Queries always run against immutable CSR/TIC snapshots (that is what
+//! keeps the serving hot path lock-free), so updates cannot be applied in
+//! place. Instead they are validated and *staged* here: the overlay records
+//! the final state of every touched edge and tag on top of the base
+//! snapshot, and [`ModelOverlay::compact`] folds base + overlay into a
+//! fresh [`TicModel`] — a **pure function of `(snapshot, ops)`**, so two
+//! replicas that apply the same log reach bit-identical models (and, with
+//! the per-draw index sampling of `pitex_index`, bit-identical indexes).
+
+use crate::log::{TopicRow, UpdateOp};
+use pitex_graph::{GraphBuilder, NodeId};
+use pitex_model::{EdgeTopics, TagId, TagTopicMatrix, TicModel, TopicId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Why an [`UpdateOp`] was rejected. Rejected ops leave the overlay
+/// untouched — the staged state is always valid.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateError {
+    /// An endpoint is outside the (overlaid) vertex range.
+    UnknownVertex { vertex: NodeId, num_nodes: usize },
+    /// Self-loops carry no influence and are rejected outright.
+    SelfLoop { vertex: NodeId },
+    /// `AddEdge` for a pair that already exists (base or staged).
+    EdgeExists { src: NodeId, dst: NodeId },
+    /// `RemoveEdge`/`SetEdgeTopics` for a pair that does not exist.
+    NoSuchEdge { src: NodeId, dst: NodeId },
+    /// A tag id beyond the overlaid vocabulary (`AttachTag` may extend it
+    /// by exactly one: `tag == |Ω|`).
+    UnknownTag { tag: TagId, num_tags: usize },
+    /// A topic id outside `0..|Z|` (the topic space is fixed per model).
+    BadTopic { topic: TopicId, num_topics: usize },
+    /// A probability outside `(0, 1]`.
+    BadProb { prob: f32 },
+    /// A topic row repeats a topic id.
+    DuplicateTopic { topic: TopicId },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            UpdateError::UnknownVertex { vertex, num_nodes } => {
+                write!(f, "vertex {vertex} out of range (|V| = {num_nodes})")
+            }
+            UpdateError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
+            UpdateError::EdgeExists { src, dst } => write!(f, "edge ({src}, {dst}) already exists"),
+            UpdateError::NoSuchEdge { src, dst } => write!(f, "no edge ({src}, {dst})"),
+            UpdateError::UnknownTag { tag, num_tags } => {
+                write!(f, "tag {tag} out of range (|Omega| = {num_tags}; attach at id {num_tags} to grow)")
+            }
+            UpdateError::BadTopic { topic, num_topics } => {
+                write!(f, "topic {topic} out of range (|Z| = {num_topics})")
+            }
+            UpdateError::BadProb { prob } => write!(f, "probability {prob} outside (0, 1]"),
+            UpdateError::DuplicateTopic { topic } => write!(f, "topic {topic} repeated in row"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Staged mutations over a base snapshot. See the module docs.
+#[derive(Clone, Debug)]
+pub struct ModelOverlay {
+    base: Arc<TicModel>,
+    /// Every successfully applied op, in order (the log).
+    ops: Vec<UpdateOp>,
+    /// Final staged state per touched edge pair: `Some(row)` = present
+    /// with that `p(e|z)` row, `None` = removed.
+    edges: BTreeMap<(NodeId, NodeId), Option<TopicRow>>,
+    /// Final staged `p(w|z)` row per touched tag.
+    tags: BTreeMap<TagId, TopicRow>,
+    /// Vertices appended beyond the base graph.
+    added_users: u32,
+    /// Tags appended beyond the base vocabulary.
+    added_tags: u32,
+}
+
+impl ModelOverlay {
+    /// An empty overlay over `base`.
+    pub fn new(base: Arc<TicModel>) -> Self {
+        Self {
+            base,
+            ops: Vec::new(),
+            edges: BTreeMap::new(),
+            tags: BTreeMap::new(),
+            added_users: 0,
+            added_tags: 0,
+        }
+    }
+
+    /// The immutable snapshot underneath.
+    pub fn base(&self) -> &Arc<TicModel> {
+        &self.base
+    }
+
+    /// Number of staged ops.
+    pub fn pending(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The staged ops, in application order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// `|V|` including staged additions.
+    pub fn num_nodes(&self) -> usize {
+        self.base.graph().num_nodes() + self.added_users as usize
+    }
+
+    /// `|Ω|` including staged additions.
+    pub fn num_tags(&self) -> usize {
+        self.base.num_tags() + self.added_tags as usize
+    }
+
+    /// Whether the staged ops change the vertex count (which forces a full
+    /// index rebuild: the target distribution of every draw changes).
+    pub fn grows_vertices(&self) -> bool {
+        self.added_users > 0
+    }
+
+    /// Whether any staged op touches the tag–topic matrix (which changes
+    /// the posterior of *every* tag set, i.e. every user's answer).
+    pub fn touches_tags(&self) -> bool {
+        self.added_tags > 0 || !self.tags.is_empty()
+    }
+
+    /// Does the pair currently (base + staged) exist?
+    fn edge_present(&self, src: NodeId, dst: NodeId) -> bool {
+        match self.edges.get(&(src, dst)) {
+            Some(state) => state.is_some(),
+            // Staged vertices have no base edges (and are out of range for
+            // the base CSR).
+            None => {
+                (src as usize) < self.base.graph().num_nodes()
+                    && self.base.graph().find_edge(src, dst).is_some()
+            }
+        }
+    }
+
+    fn check_vertex(&self, v: NodeId) -> Result<(), UpdateError> {
+        if (v as usize) < self.num_nodes() {
+            Ok(())
+        } else {
+            Err(UpdateError::UnknownVertex { vertex: v, num_nodes: self.num_nodes() })
+        }
+    }
+
+    fn check_row(&self, topics: &TopicRow) -> Result<(), UpdateError> {
+        let num_topics = self.base.num_topics();
+        let mut seen: Vec<TopicId> = Vec::with_capacity(topics.len());
+        for &(z, p) in topics {
+            if (z as usize) >= num_topics {
+                return Err(UpdateError::BadTopic { topic: z, num_topics });
+            }
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(UpdateError::BadProb { prob: p });
+            }
+            if seen.contains(&z) {
+                return Err(UpdateError::DuplicateTopic { topic: z });
+            }
+            seen.push(z);
+        }
+        Ok(())
+    }
+
+    /// Validates and stages one op. On `Err` the overlay is unchanged.
+    pub fn apply(&mut self, op: UpdateOp) -> Result<(), UpdateError> {
+        match &op {
+            UpdateOp::AddEdge { src, dst, topics } => {
+                self.check_vertex(*src)?;
+                self.check_vertex(*dst)?;
+                if src == dst {
+                    return Err(UpdateError::SelfLoop { vertex: *src });
+                }
+                self.check_row(topics)?;
+                if self.edge_present(*src, *dst) {
+                    return Err(UpdateError::EdgeExists { src: *src, dst: *dst });
+                }
+                self.edges.insert((*src, *dst), Some(topics.clone()));
+            }
+            UpdateOp::RemoveEdge { src, dst } => {
+                self.check_vertex(*src)?;
+                self.check_vertex(*dst)?;
+                if !self.edge_present(*src, *dst) {
+                    return Err(UpdateError::NoSuchEdge { src: *src, dst: *dst });
+                }
+                self.edges.insert((*src, *dst), None);
+            }
+            UpdateOp::SetEdgeTopics { src, dst, topics } => {
+                self.check_vertex(*src)?;
+                self.check_vertex(*dst)?;
+                self.check_row(topics)?;
+                if !self.edge_present(*src, *dst) {
+                    return Err(UpdateError::NoSuchEdge { src: *src, dst: *dst });
+                }
+                self.edges.insert((*src, *dst), Some(topics.clone()));
+            }
+            UpdateOp::AttachTag { tag, topics } => {
+                self.check_row(topics)?;
+                let num_tags = self.num_tags();
+                if (*tag as usize) > num_tags {
+                    return Err(UpdateError::UnknownTag { tag: *tag, num_tags });
+                }
+                if (*tag as usize) == num_tags {
+                    self.added_tags += 1;
+                }
+                self.tags.insert(*tag, topics.clone());
+            }
+            UpdateOp::DetachTag { tag } => {
+                let num_tags = self.num_tags();
+                if (*tag as usize) >= num_tags {
+                    return Err(UpdateError::UnknownTag { tag: *tag, num_tags });
+                }
+                self.tags.insert(*tag, Vec::new());
+            }
+            UpdateOp::AddUser => {
+                self.added_users += 1;
+            }
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// Stages a batch; stops at the first invalid op, reporting its
+    /// position. Ops before the failure stay staged.
+    pub fn apply_all(
+        &mut self,
+        ops: impl IntoIterator<Item = UpdateOp>,
+    ) -> Result<usize, (usize, UpdateError)> {
+        let mut applied = 0;
+        for (i, op) in ops.into_iter().enumerate() {
+            self.apply(op).map_err(|e| (i, e))?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Folds base + staged state into a fresh model. Deterministic: the
+    /// result depends only on the base snapshot and the applied ops (edge
+    /// ids are re-assigned in the CSR's canonical `(src, dst)` order, the
+    /// same order a from-scratch build would use).
+    pub fn compact(&self) -> TicModel {
+        let base_graph = self.base.graph();
+        let base_et = self.base.edge_topics();
+
+        // Final edge set with its rows, keyed by pair.
+        let mut rows: BTreeMap<(NodeId, NodeId), TopicRow> = BTreeMap::new();
+        for (e, s, t) in base_graph.edges() {
+            match self.edges.get(&(s, t)) {
+                Some(None) => {}
+                Some(Some(row)) => {
+                    rows.insert((s, t), row.clone());
+                }
+                None => {
+                    rows.insert((s, t), base_et.row(e).collect());
+                }
+            }
+        }
+        for (&(s, t), state) in &self.edges {
+            if let Some(row) = state {
+                rows.insert((s, t), row.clone());
+            }
+        }
+
+        let mut builder = GraphBuilder::new(self.num_nodes());
+        for &(s, t) in rows.keys() {
+            builder.add_edge(s, t);
+        }
+        let graph = builder.build();
+        let edge_rows: Vec<TopicRow> =
+            (0..graph.num_edges() as u32).map(|e| rows[&graph.edge_endpoints(e)].clone()).collect();
+        let edge_topics = EdgeTopics::new(edge_rows, self.base.num_topics());
+
+        let tt = self.base.tag_topic();
+        let tag_rows: Vec<TopicRow> = (0..self.num_tags() as TagId)
+            .map(|w| match self.tags.get(&w) {
+                Some(row) => row.clone(),
+                None => tt.row(w).collect(),
+            })
+            .collect();
+        let tag_topic = TagTopicMatrix::new(tag_rows, tt.prior().to_vec());
+
+        TicModel::new(graph, tag_topic, edge_topics)
+    }
+
+    /// The set of users whose *true* answer can change under the staged
+    /// ops, or `None` when that is every user (any tag mutation shifts the
+    /// posterior of every tag set).
+    ///
+    /// A user `u`'s spread depends only on edges reachable from `u`, so an
+    /// edge mutation `(x, y)` affects exactly the users that can reach `x`
+    /// — computed by reverse BFS from `x` over the in-edges of the base
+    /// *and* the compacted graph (an added edge creates reachability that
+    /// only exists in the new graph; a removed one only in the old).
+    /// `AddUser` affects nobody: the new vertex is isolated.
+    pub fn affected_users(&self, new_model: &TicModel) -> Option<Vec<NodeId>> {
+        if self.touches_tags() {
+            return None;
+        }
+        // One multi-source reverse BFS per graph, seeded with every
+        // mutation source at once (reachability to *any* source is what
+        // matters, so the sources need no individual traversals).
+        let mut affected: Vec<bool> = vec![false; self.num_nodes()];
+        let mut queue: Vec<NodeId> = Vec::new();
+        let mut seen: Vec<bool> = Vec::new();
+        for graph in [self.base.graph(), new_model.graph()] {
+            seen.clear();
+            seen.resize(graph.num_nodes(), false);
+            queue.clear();
+            for &(src, _) in self.edges.keys() {
+                // A staged vertex does not exist in the base graph.
+                if (src as usize) < graph.num_nodes() && !seen[src as usize] {
+                    seen[src as usize] = true;
+                    queue.push(src);
+                }
+            }
+            while let Some(v) = queue.pop() {
+                affected[v as usize] = true;
+                for (_, u) in graph.in_edges(v) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        queue.push(u);
+                    }
+                }
+            }
+        }
+        Some((0..self.num_nodes() as NodeId).filter(|&v| affected[v as usize]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlay() -> ModelOverlay {
+        ModelOverlay::new(Arc::new(TicModel::paper_example()))
+    }
+
+    #[test]
+    fn empty_overlay_compacts_to_the_base() {
+        let o = overlay();
+        let compacted = o.compact();
+        assert_eq!(compacted.graph(), o.base().graph());
+        assert_eq!(compacted.edge_topics(), o.base().edge_topics());
+        assert_eq!(compacted.tag_topic(), o.base().tag_topic());
+    }
+
+    #[test]
+    fn add_remove_set_edge_round_trip() {
+        let mut o = overlay();
+        // u2 (id 1) has no out-edges in Fig. 2; give it one, retune it,
+        // and drop an original edge.
+        o.apply(UpdateOp::AddEdge { src: 1, dst: 4, topics: vec![(0, 0.3)] }).unwrap();
+        o.apply(UpdateOp::SetEdgeTopics { src: 1, dst: 4, topics: vec![(2, 0.7)] }).unwrap();
+        o.apply(UpdateOp::RemoveEdge { src: 5, dst: 6 }).unwrap();
+        let m = o.compact();
+        assert_eq!(m.graph().num_edges(), 7); // 7 - 1 + 1
+        let e = m.graph().find_edge(1, 4).unwrap();
+        assert_eq!(m.edge_topics().row(e).collect::<Vec<_>>(), vec![(2, 0.7)]);
+        assert_eq!(m.graph().find_edge(5, 6), None);
+        assert_eq!(o.pending(), 3);
+    }
+
+    #[test]
+    fn edge_validation_catches_everything() {
+        let mut o = overlay();
+        let add = |s, d| UpdateOp::AddEdge { src: s, dst: d, topics: vec![(0, 0.5)] };
+        assert_eq!(
+            o.apply(add(0, 99)),
+            Err(UpdateError::UnknownVertex { vertex: 99, num_nodes: 7 })
+        );
+        assert_eq!(o.apply(add(3, 3)), Err(UpdateError::SelfLoop { vertex: 3 }));
+        assert_eq!(o.apply(add(0, 1)), Err(UpdateError::EdgeExists { src: 0, dst: 1 }));
+        assert_eq!(
+            o.apply(UpdateOp::RemoveEdge { src: 1, dst: 0 }),
+            Err(UpdateError::NoSuchEdge { src: 1, dst: 0 })
+        );
+        assert_eq!(
+            o.apply(UpdateOp::AddEdge { src: 1, dst: 0, topics: vec![(9, 0.5)] }),
+            Err(UpdateError::BadTopic { topic: 9, num_topics: 3 })
+        );
+        assert_eq!(
+            o.apply(UpdateOp::AddEdge { src: 1, dst: 0, topics: vec![(0, 1.5)] }),
+            Err(UpdateError::BadProb { prob: 1.5 })
+        );
+        assert_eq!(
+            o.apply(UpdateOp::AddEdge { src: 1, dst: 0, topics: vec![(0, 0.2), (0, 0.3)] }),
+            Err(UpdateError::DuplicateTopic { topic: 0 })
+        );
+        assert_eq!(o.pending(), 0, "rejected ops are not staged");
+        // Removing a staged edge and re-adding it works.
+        o.apply(UpdateOp::RemoveEdge { src: 0, dst: 1 }).unwrap();
+        assert_eq!(
+            o.apply(UpdateOp::SetEdgeTopics { src: 0, dst: 1, topics: vec![(0, 0.9)] }),
+            Err(UpdateError::NoSuchEdge { src: 0, dst: 1 })
+        );
+        o.apply(add(0, 1)).unwrap();
+        let m = o.compact();
+        let e = m.graph().find_edge(0, 1).unwrap();
+        assert_eq!(m.edge_topics().row(e).collect::<Vec<_>>(), vec![(0, 0.5)]);
+    }
+
+    #[test]
+    fn tag_attach_detach_and_growth() {
+        let mut o = overlay();
+        assert_eq!(
+            o.apply(UpdateOp::AttachTag { tag: 6, topics: vec![] }),
+            Err(UpdateError::UnknownTag { tag: 6, num_tags: 4 })
+        );
+        o.apply(UpdateOp::AttachTag { tag: 4, topics: vec![(0, 0.5), (2, 0.5)] }).unwrap();
+        assert_eq!(o.num_tags(), 5);
+        o.apply(UpdateOp::DetachTag { tag: 2 }).unwrap();
+        let m = o.compact();
+        assert_eq!(m.num_tags(), 5);
+        assert_eq!(m.tag_topic().row_len(2), 0, "detached row is empty");
+        assert_eq!(m.tag_topic().row(4).collect::<Vec<_>>(), vec![(0, 0.5), (2, 0.5)]);
+        assert!(o.touches_tags());
+        // A detached tag makes sets containing it infeasible.
+        assert!(m.posterior(&pitex_model::TagSet::from([2])).is_empty());
+    }
+
+    #[test]
+    fn add_user_appends_isolated_vertices() {
+        let mut o = overlay();
+        o.apply(UpdateOp::AddUser).unwrap();
+        o.apply(UpdateOp::AddUser).unwrap();
+        assert!(o.grows_vertices());
+        o.apply(UpdateOp::AddEdge { src: 7, dst: 8, topics: vec![(1, 0.4)] }).unwrap();
+        let m = o.compact();
+        assert_eq!(m.graph().num_nodes(), 9);
+        assert!(m.graph().find_edge(7, 8).is_some());
+    }
+
+    #[test]
+    fn affected_users_is_reachability_to_the_edge_source() {
+        let mut o = overlay();
+        // Mutate (5, 6): u6 (id 5) is reached by u1, u3, u4 (0, 2, 3).
+        o.apply(UpdateOp::SetEdgeTopics { src: 5, dst: 6, topics: vec![(2, 0.9)] }).unwrap();
+        let m = o.compact();
+        assert_eq!(o.affected_users(&m), Some(vec![0, 2, 3, 5]));
+    }
+
+    #[test]
+    fn affected_users_sees_added_reachability() {
+        let mut o = overlay();
+        // New edge (1, 3): u2 gains reachability to u4's subtree, and u1
+        // reaches u2. The mutation site is src = 1.
+        o.apply(UpdateOp::AddEdge { src: 1, dst: 3, topics: vec![(0, 0.8)] }).unwrap();
+        let m = o.compact();
+        assert_eq!(o.affected_users(&m), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn tag_ops_affect_everyone() {
+        let mut o = overlay();
+        o.apply(UpdateOp::DetachTag { tag: 0 }).unwrap();
+        let m = o.compact();
+        assert_eq!(o.affected_users(&m), None);
+    }
+
+    #[test]
+    fn add_user_affects_nobody() {
+        let mut o = overlay();
+        o.apply(UpdateOp::AddUser).unwrap();
+        let m = o.compact();
+        assert_eq!(o.affected_users(&m), Some(vec![]));
+    }
+
+    #[test]
+    fn apply_all_reports_the_failing_position() {
+        let mut o = overlay();
+        let err = o
+            .apply_all([
+                UpdateOp::AddUser,
+                UpdateOp::RemoveEdge { src: 1, dst: 0 },
+                UpdateOp::AddUser,
+            ])
+            .unwrap_err();
+        assert_eq!(err.0, 1);
+        assert_eq!(o.pending(), 1, "ops before the failure stay staged");
+    }
+
+    #[test]
+    fn compaction_is_a_pure_function_of_snapshot_and_ops() {
+        let ops = [
+            UpdateOp::AddEdge { src: 1, dst: 4, topics: vec![(0, 0.3), (1, 0.2)] },
+            UpdateOp::RemoveEdge { src: 0, dst: 1 },
+            UpdateOp::DetachTag { tag: 1 },
+            UpdateOp::AddUser,
+        ];
+        let build = || {
+            let mut o = overlay();
+            o.apply_all(ops.iter().cloned()).unwrap();
+            o.compact()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.edge_topics(), b.edge_topics());
+        assert_eq!(a.tag_topic(), b.tag_topic());
+    }
+}

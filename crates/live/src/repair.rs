@@ -1,0 +1,381 @@
+//! Incremental RR-index repair.
+//!
+//! Rebuilding the RR-Graph index is the paper's own bottleneck (§6 reports
+//! ~10⁴ seconds on twitter at ε = 0.1), so rebuilding it on every edge
+//! update is a non-starter. This module resamples **only the dirty draws**
+//! and splices them into the existing index.
+//!
+//! Soundness of the dirty test. Draw `i` is a pure function of
+//! `(model, seed, i)` ([`pitex_index::sample_rr_graph_at`]): a reverse BFS
+//! from the drawn target that probes the in-edges of every visited vertex,
+//! consuming one RNG draw per probed edge with `p(e) > 0`. Replaying the
+//! same stream on the mutated model diverges only when a *probed* edge
+//! changed — and every probed edge's head is a visited vertex, i.e. a
+//! member of the stored node set. So a graph can change **only if it
+//! contains the head vertex of a mutated edge**, which is exactly what the
+//! index's per-user membership lists (`RrIndex::graphs_containing`, the
+//! same inverted-list machinery `index::prune::CutFilter` queries at
+//! answer time) return in O(dirty) — no scan over θ graphs.
+//!
+//! Clean graphs are reused verbatim; when an edge insert/removal shifted
+//! the CSR edge ids, their stored ids are remapped through the endpoint
+//! pair (`RrGraph::with_remapped_edge_ids`). The result is **bit-identical
+//! to a from-scratch `RrIndex::build` on the mutated model** — verified by
+//! property test — so determinism of `(model, budget, seed)` survives any
+//! chain of repairs. Past a configurable dirty fraction (or when the
+//! vertex count or sample budget changed, which re-targets every draw) the
+//! repair falls back to a full rebuild.
+
+use pitex_index::{sample_rr_graph_at, RrGraph, RrIndex};
+use pitex_model::TicModel;
+use std::collections::BTreeSet;
+
+/// Tuning for [`repair_rr_index`]. The sample budget and seed are *not*
+/// options: they travel inside the index itself ([`RrIndex::budget`] /
+/// [`RrIndex::seed`], persisted in the artifact), so a repair can never be
+/// run under mismatched sampling parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairOptions {
+    /// Worker threads for resampling / rebuilding (result-invariant).
+    pub threads: usize,
+    /// Fall back to a full rebuild when more than this fraction of graphs
+    /// is dirty (`PITEX_LIVE_DIRTY_THRESHOLD`, default 0.25).
+    pub dirty_threshold: f64,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            dirty_threshold: 0.25,
+        }
+    }
+}
+
+impl RepairOptions {
+    /// Applies the `PITEX_LIVE_DIRTY_THRESHOLD` and `PITEX_LIVE_THREADS`
+    /// environment overrides, when set and parseable.
+    pub fn with_env(mut self) -> Self {
+        if let Some(t) =
+            std::env::var("PITEX_LIVE_DIRTY_THRESHOLD").ok().and_then(|s| s.parse().ok())
+        {
+            self.dirty_threshold = t;
+        }
+        if let Some(t) = std::env::var("PITEX_LIVE_THREADS").ok().and_then(|s| s.parse().ok()) {
+            self.threads = t;
+        }
+        self
+    }
+}
+
+/// What a repair did — the counters `RELOADED` replies and `bench_live`
+/// report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepairReport {
+    /// Graphs in the repaired index (= θ of the new budget).
+    pub theta: u64,
+    /// Graphs regenerated.
+    pub resampled: u64,
+    /// Graphs reused from the old index.
+    pub reused: u64,
+    /// Whether the repair degenerated to a full rebuild.
+    pub full_rebuild: bool,
+    /// Why it did, when it did.
+    pub reason: Option<String>,
+    /// Union of the member vertices of every resampled graph (old and new
+    /// version), for membership-scoped cache invalidation. Empty after a
+    /// full rebuild — the caller must treat everything as dirty then.
+    pub dirty_members: Vec<u32>,
+}
+
+/// Heads (target-side endpoints) of every edge whose generation-relevant
+/// state differs between the two models: removed, added, or `p(e)` changed.
+/// Rows that change `p(e|z)` without moving `p(e) = max_z p(e|z)` do not
+/// dirty generation (marks are drawn against `p(e)` alone) — query-time
+/// tag-aware reachability re-reads `p(e|W)` from the live model anyway.
+fn changed_heads(old: &TicModel, new: &TicModel) -> BTreeSet<u32> {
+    let mut heads = BTreeSet::new();
+    for (e, s, t) in old.graph().edges() {
+        match new.graph().find_edge(s, t) {
+            None => {
+                heads.insert(t);
+            }
+            Some(ne) => {
+                if old.edge_topics().p_max(e) != new.edge_topics().p_max(ne) {
+                    heads.insert(t);
+                }
+            }
+        }
+    }
+    for (_, s, t) in new.graph().edges() {
+        if old.graph().find_edge(s, t).is_none() {
+            heads.insert(t);
+        }
+    }
+    heads
+}
+
+fn full_rebuild(
+    old: &RrIndex,
+    new_model: &TicModel,
+    opts: &RepairOptions,
+    reason: String,
+) -> (RrIndex, RepairReport) {
+    let index =
+        RrIndex::build_with_threads(new_model, old.budget(), old.seed(), opts.threads.max(1));
+    let theta = index.theta();
+    let report = RepairReport {
+        theta,
+        resampled: theta,
+        reused: 0,
+        full_rebuild: true,
+        reason: Some(reason),
+        dirty_members: Vec::new(),
+    };
+    (index, report)
+}
+
+/// Repairs `old` (built from `old_model`) into the index of `new_model`
+/// under the budget and seed the old index itself carries. The returned
+/// index is bit-identical to
+/// `RrIndex::build(new_model, old.budget(), old.seed())`.
+pub fn repair_rr_index(
+    old: &RrIndex,
+    old_model: &TicModel,
+    new_model: &TicModel,
+    opts: &RepairOptions,
+) -> (RrIndex, RepairReport) {
+    let theta = old.budget().sample_count(new_model.graph().num_nodes(), new_model.num_tags());
+    if new_model.graph().num_nodes() != old.num_nodes() {
+        // gen_range(0..|V|) re-targets every draw.
+        return full_rebuild(old, new_model, opts, "vertex count changed".to_string());
+    }
+    if theta != old.theta() {
+        return full_rebuild(old, new_model, opts, "sample budget changed".to_string());
+    }
+
+    // Membership lookup: every graph containing the head of a changed edge.
+    let mut dirty: BTreeSet<u32> = BTreeSet::new();
+    for head in changed_heads(old_model, new_model) {
+        dirty.extend(old.graphs_containing(head).iter().copied());
+    }
+    let fraction = dirty.len() as f64 / theta.max(1) as f64;
+    if fraction > opts.dirty_threshold {
+        return full_rebuild(
+            old,
+            new_model,
+            opts,
+            format!("dirty fraction {fraction:.3} above threshold {}", opts.dirty_threshold),
+        );
+    }
+
+    // Old edge id -> new edge id, for reused graphs (identity when the
+    // edge set is unchanged, in which case the remap pass is skipped).
+    let mut id_map: Vec<Option<u32>> = Vec::with_capacity(old_model.graph().num_edges());
+    let mut identity = old_model.graph().num_edges() == new_model.graph().num_edges();
+    for (e, s, t) in old_model.graph().edges() {
+        let ne = new_model.graph().find_edge(s, t);
+        identity &= ne == Some(e);
+        id_map.push(ne);
+    }
+
+    let dirty_list: Vec<u32> = dirty.iter().copied().collect();
+    let threads = opts.threads.max(1).min(dirty_list.len().max(1));
+    let mut resampled: Vec<(u32, RrGraph)> = Vec::with_capacity(dirty_list.len());
+    std::thread::scope(|scope| {
+        let chunk = dirty_list.len().div_ceil(threads);
+        let handles: Vec<_> = dirty_list
+            .chunks(chunk.max(1))
+            .map(|draws| {
+                scope.spawn(move || {
+                    draws
+                        .iter()
+                        .map(|&i| (i, sample_rr_graph_at(new_model, old.seed(), i as u64)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            resampled.extend(h.join().expect("repair thread panicked"));
+        }
+    });
+
+    let mut dirty_members: BTreeSet<u32> = BTreeSet::new();
+    for &(i, ref fresh) in &resampled {
+        dirty_members.extend(old.graphs()[i as usize].nodes().iter().copied());
+        dirty_members.extend(fresh.nodes().iter().copied());
+    }
+
+    let mut graphs: Vec<RrGraph> = Vec::with_capacity(old.graphs().len());
+    let mut next_fresh = resampled.into_iter().peekable();
+    for (i, g) in old.graphs().iter().enumerate() {
+        if next_fresh.peek().is_some_and(|&(j, _)| j as usize == i) {
+            graphs.push(next_fresh.next().unwrap().1);
+        } else if identity {
+            graphs.push(g.clone());
+        } else {
+            graphs.push(g.with_remapped_edge_ids(|e| id_map[e as usize]));
+        }
+    }
+
+    let resampled_count = dirty_list.len() as u64;
+    let report = RepairReport {
+        theta,
+        resampled: resampled_count,
+        reused: theta - resampled_count,
+        full_rebuild: false,
+        reason: None,
+        dirty_members: dirty_members.into_iter().collect(),
+    };
+    let repaired = RrIndex::from_graphs(
+        new_model.graph().num_nodes(),
+        theta,
+        old.budget(),
+        old.seed(),
+        graphs,
+    );
+    (repaired, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::UpdateOp;
+    use crate::overlay::ModelOverlay;
+    use pitex_index::serial::rr_index_to_bytes;
+    use pitex_index::IndexBudget;
+    use std::sync::Arc;
+
+    const SEED: u64 = 11;
+
+    fn build(model: &TicModel, budget: u64, threads: usize) -> RrIndex {
+        RrIndex::build_with_threads(model, IndexBudget::Fixed(budget), SEED, threads)
+    }
+
+    fn opts() -> RepairOptions {
+        RepairOptions { threads: 3, dirty_threshold: 0.5 }
+    }
+
+    fn mutate(ops: &[UpdateOp]) -> (TicModel, TicModel) {
+        let base = Arc::new(TicModel::paper_example());
+        let mut overlay = ModelOverlay::new(base.clone());
+        overlay.apply_all(ops.iter().cloned()).unwrap();
+        let new_model = overlay.compact();
+        ((*base).clone(), new_model)
+    }
+
+    #[test]
+    fn repair_matches_full_rebuild_bit_for_bit() {
+        let cases: Vec<Vec<UpdateOp>> = vec![
+            vec![UpdateOp::SetEdgeTopics { src: 0, dst: 1, topics: vec![(0, 0.9)] }],
+            vec![UpdateOp::RemoveEdge { src: 5, dst: 6 }],
+            vec![UpdateOp::AddEdge { src: 1, dst: 4, topics: vec![(1, 0.6)] }],
+            vec![
+                UpdateOp::SetEdgeTopics { src: 3, dst: 6, topics: vec![(2, 0.05)] },
+                UpdateOp::AddEdge { src: 6, dst: 0, topics: vec![(0, 0.2)] },
+                UpdateOp::RemoveEdge { src: 2, dst: 3 },
+            ],
+        ];
+        for ops in cases {
+            let (old_model, new_model) = mutate(&ops);
+            // On the 7-node example even one mutated head dirties a large
+            // fraction of graphs; disable the rebuild fallback so the test
+            // exercises the incremental path.
+            let opts = RepairOptions { dirty_threshold: 1.0, ..opts() };
+            let old = build(&old_model, 400, 2);
+            let (repaired, report) = repair_rr_index(&old, &old_model, &new_model, &opts);
+            let rebuilt = build(&new_model, 400, 2);
+            assert_eq!(
+                rr_index_to_bytes(&repaired),
+                rr_index_to_bytes(&rebuilt),
+                "{ops:?}: repaired index must equal a from-scratch rebuild"
+            );
+            assert!(!report.full_rebuild, "{ops:?}");
+            assert!(report.resampled < report.theta, "{ops:?}: {report:?}");
+            assert_eq!(report.resampled + report.reused, report.theta);
+        }
+    }
+
+    #[test]
+    fn unchanged_p_max_resamples_nothing() {
+        // Edge (0, 2) has rows z2:0.5, z3:0.5 — dropping z3 to 0.5 keeps
+        // p_max at 0.5, so generation is untouched.
+        let (old_model, new_model) =
+            mutate(&[UpdateOp::SetEdgeTopics { src: 0, dst: 2, topics: vec![(1, 0.5), (2, 0.4)] }]);
+        let old = build(&old_model, 300, 2);
+        let (repaired, report) = repair_rr_index(&old, &old_model, &new_model, &opts());
+        assert_eq!(report.resampled, 0);
+        assert!(report.dirty_members.is_empty());
+        assert_eq!(repaired.graphs(), old.graphs());
+    }
+
+    #[test]
+    fn tag_only_mutations_resample_nothing() {
+        let (old_model, new_model) = mutate(&[UpdateOp::DetachTag { tag: 2 }]);
+        let old = build(&old_model, 300, 2);
+        let (repaired, report) = repair_rr_index(&old, &old_model, &new_model, &opts());
+        assert_eq!(report.resampled, 0);
+        assert_eq!(rr_index_to_bytes(&repaired), rr_index_to_bytes(&build(&new_model, 300, 1)));
+    }
+
+    #[test]
+    fn vertex_growth_forces_full_rebuild() {
+        let (old_model, new_model) = mutate(&[UpdateOp::AddUser]);
+        let old = build(&old_model, 300, 2);
+        let (repaired, report) = repair_rr_index(&old, &old_model, &new_model, &opts());
+        assert!(report.full_rebuild);
+        assert!(report.reason.as_deref().unwrap().contains("vertex count"));
+        assert_eq!(rr_index_to_bytes(&repaired), rr_index_to_bytes(&build(&new_model, 300, 4)));
+    }
+
+    #[test]
+    fn dirty_threshold_triggers_full_rebuild() {
+        // Mutating the head of (0, 2) dirties every graph containing u3 —
+        // far above a 1% threshold on this tiny graph.
+        let (old_model, new_model) =
+            mutate(&[UpdateOp::SetEdgeTopics { src: 0, dst: 2, topics: vec![(1, 0.95)] }]);
+        let opts = RepairOptions { dirty_threshold: 0.01, ..opts() };
+        let old = build(&old_model, 300, 2);
+        let (repaired, report) = repair_rr_index(&old, &old_model, &new_model, &opts);
+        assert!(report.full_rebuild);
+        assert!(report.reason.as_deref().unwrap().contains("dirty fraction"));
+        assert_eq!(rr_index_to_bytes(&repaired), rr_index_to_bytes(&build(&new_model, 300, 2)));
+    }
+
+    #[test]
+    fn dirty_members_cover_every_changed_graph() {
+        let (old_model, new_model) =
+            mutate(&[UpdateOp::SetEdgeTopics { src: 5, dst: 6, topics: vec![(2, 0.99)] }]);
+        let old = build(&old_model, 500, 2);
+        let (repaired, report) = repair_rr_index(&old, &old_model, &new_model, &opts());
+        for (i, (a, b)) in old.graphs().iter().zip(repaired.graphs()).enumerate() {
+            if a != b {
+                for &v in b.nodes() {
+                    assert!(
+                        report.dirty_members.contains(&v),
+                        "graph {i}: member {v} of a changed graph missing from dirty_members"
+                    );
+                }
+            }
+        }
+        assert!(report.resampled > 0);
+    }
+
+    #[test]
+    fn repair_chains_compose() {
+        // repair(repair(m0 -> m1) -> m2) == build(m2).
+        let base = Arc::new(TicModel::paper_example());
+        let mut o1 = ModelOverlay::new(base.clone());
+        o1.apply(UpdateOp::SetEdgeTopics { src: 0, dst: 1, topics: vec![(0, 0.7)] }).unwrap();
+        let m1 = Arc::new(o1.compact());
+        let mut o2 = ModelOverlay::new(m1.clone());
+        o2.apply(UpdateOp::RemoveEdge { src: 3, dst: 6 }).unwrap();
+        let m2 = o2.compact();
+
+        let opts = opts();
+        let i0 = build(&base, 350, 2);
+        let (i1, _) = repair_rr_index(&i0, &base, &m1, &opts);
+        let (i2, _) = repair_rr_index(&i1, &m1, &m2, &opts);
+        assert_eq!(rr_index_to_bytes(&i2), rr_index_to_bytes(&build(&m2, 350, 3)));
+    }
+}

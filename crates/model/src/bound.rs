@@ -311,10 +311,8 @@ mod tests {
     fn missing_prior_support_gives_infinite_q_capped_to_one() {
         // A tag that covers only one of two topics ⇒ D(w) = 0 ⇒ q = ∞,
         // and the bound must cap at 1, not produce NaN.
-        let matrix = TagTopicMatrix::with_uniform_prior(
-            vec![vec![(0, 0.5)], vec![(0, 0.3), (1, 0.7)]],
-            2,
-        );
+        let matrix =
+            TagTopicMatrix::with_uniform_prior(vec![vec![(0, 0.5)], vec![(0, 0.3), (1, 0.7)]], 2);
         let oracle = BoundOracle::new(&matrix);
         assert!(oracle.q(0, 0).is_infinite());
         let bounded = oracle.bounded_posterior(&TagSet::from([0]), 2);
@@ -330,11 +328,7 @@ mod tests {
         // cannot exist, so its weight must be 0 for any |W| ≤ 2 not
         // containing enough topic-1 tags.
         let matrix = TagTopicMatrix::with_uniform_prior(
-            vec![
-                vec![(0, 0.5), (1, 0.5)],
-                vec![(0, 1.0)],
-                vec![(0, 1.0)],
-            ],
+            vec![vec![(0, 0.5), (1, 0.5)], vec![(0, 1.0)], vec![(0, 1.0)]],
             2,
         );
         let oracle = BoundOracle::new(&matrix);

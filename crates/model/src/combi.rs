@@ -111,10 +111,7 @@ mod tests {
             for k in 1..n {
                 let lhs = choose(n, k);
                 let rhs = choose(n - 1, k - 1) + choose(n - 1, k);
-                assert!(
-                    (lhs - rhs).abs() / rhs < 1e-9,
-                    "C({n},{k}): {lhs} vs {rhs}"
-                );
+                assert!((lhs - rhs).abs() / rhs < 1e-9, "C({n},{k}): {lhs} vs {rhs}");
             }
         }
     }

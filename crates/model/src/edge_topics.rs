@@ -123,15 +123,7 @@ mod tests {
     use super::*;
 
     fn sample() -> EdgeTopics {
-        EdgeTopics::new(
-            vec![
-                vec![(0, 0.4)],
-                vec![(1, 0.5), (2, 0.5)],
-                vec![],
-                vec![(2, 0.8)],
-            ],
-            3,
-        )
+        EdgeTopics::new(vec![vec![(0, 0.4)], vec![(1, 0.5), (2, 0.5)], vec![], vec![(2, 0.8)]], 3)
     }
 
     #[test]

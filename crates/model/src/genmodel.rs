@@ -7,9 +7,9 @@
 //! These generators expose exactly those knobs.
 
 use crate::edge_topics::EdgeTopics;
+use crate::ids::TopicId;
 use crate::tag_topic::TagTopicMatrix;
 use crate::tic::TicModel;
-use crate::ids::TopicId;
 use pitex_graph::DiGraph;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -63,8 +63,7 @@ impl Default for ModelGenConfig {
 pub fn random_tag_topic<R: Rng>(cfg: &ModelGenConfig, rng: &mut R) -> TagTopicMatrix {
     assert!(cfg.num_topics > 0 && cfg.num_tags > 0);
     assert!((0.0..=1.0).contains(&cfg.density));
-    let per_row = ((cfg.density * cfg.num_topics as f64).round() as usize)
-        .clamp(1, cfg.num_topics);
+    let per_row = ((cfg.density * cfg.num_topics as f64).round() as usize).clamp(1, cfg.num_topics);
     let mut topic_ids: Vec<TopicId> = (0..cfg.num_topics as TopicId).collect();
     let mut rows = Vec::with_capacity(cfg.num_tags);
     for _ in 0..cfg.num_tags {
@@ -133,7 +132,8 @@ mod tests {
 
     #[test]
     fn tag_topic_density_is_close_to_target() {
-        let cfg = ModelGenConfig { num_topics: 20, num_tags: 100, density: 0.2, ..Default::default() };
+        let cfg =
+            ModelGenConfig { num_topics: 20, num_tags: 100, density: 0.2, ..Default::default() };
         let m = random_tag_topic(&cfg, &mut StdRng::seed_from_u64(1));
         assert_eq!(m.num_tags(), 100);
         assert_eq!(m.num_topics(), 20);
@@ -190,17 +190,11 @@ mod tests {
     #[test]
     fn trivalency_uses_exactly_three_levels() {
         let g = small_graph();
-        let cfg = ModelGenConfig {
-            edge_prob: EdgeProbKind::Trivalency,
-            ..Default::default()
-        };
+        let cfg = ModelGenConfig { edge_prob: EdgeProbKind::Trivalency, ..Default::default() };
         let et = random_edge_topics(&g, &cfg, &mut StdRng::seed_from_u64(7));
         for e in 0..g.num_edges() as u32 {
             for (_, p) in et.row(e) {
-                assert!(
-                    [0.1f32, 0.01, 0.001].contains(&p),
-                    "unexpected trivalency level {p}"
-                );
+                assert!([0.1f32, 0.01, 0.001].contains(&p), "unexpected trivalency level {p}");
             }
         }
     }

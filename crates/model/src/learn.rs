@@ -69,8 +69,7 @@ pub fn synthesize_log<R: Rng>(
     rng: &mut R,
 ) -> ActionLog {
     let graph = model.graph();
-    let candidates: Vec<NodeId> =
-        graph.nodes().filter(|&v| graph.out_degree(v) > 0).collect();
+    let candidates: Vec<NodeId> = graph.nodes().filter(|&v| graph.out_degree(v) > 0).collect();
     assert!(!candidates.is_empty(), "graph has no vertex with out-edges");
     assert!(max_tags >= 1);
 
@@ -198,9 +197,9 @@ pub fn learn(
     }
     for e in 0..m {
         let base = (succ[e] as f64 + cfg.smoothing) / (tries[e] as f64 + 2.0 * cfg.smoothing);
-        for z in 0..z_count {
+        for p_z in p_ez[e].iter_mut() {
             let jitter: f64 = rng.gen_range(0.5..1.5);
-            p_ez[e][z] = (base * jitter).clamp(1e-4, 1.0 - 1e-4);
+            *p_z = (base * jitter).clamp(1e-4, 1.0 - 1e-4);
         }
     }
     // p(w|z) is a distribution over tags *per topic*: normalize columns.
@@ -282,7 +281,8 @@ pub fn learn(
 
         // M-step.
         for z in 0..z_count {
-            prior[z] = (prior_mass[z] + cfg.smoothing) / (c_count as f64 + cfg.smoothing * z_count as f64);
+            prior[z] =
+                (prior_mass[z] + cfg.smoothing) / (c_count as f64 + cfg.smoothing * z_count as f64);
         }
         let norm: f64 = prior.iter().sum();
         for p in &mut prior {
@@ -290,8 +290,8 @@ pub fn learn(
         }
         for z in 0..z_count {
             let mut col_total = 0.0f64;
-            for w in 0..num_tags {
-                col_total += tag_mass[w][z] + cfg.smoothing;
+            for mass in tag_mass.iter() {
+                col_total += mass[z] + cfg.smoothing;
             }
             for w in 0..num_tags {
                 p_wz[w][z] = (tag_mass[w][z] + cfg.smoothing) / col_total;
@@ -375,10 +375,7 @@ mod tests {
             for &e in &c.activated {
                 let (s, _) = model.graph().edge_endpoints(e);
                 assert!(
-                    s == c.seed
-                        || c.activated
-                            .iter()
-                            .any(|&e2| model.graph().edge_target(e2) == s),
+                    s == c.seed || c.activated.iter().any(|&e2| model.graph().edge_target(e2) == s),
                     "activation source must itself be active"
                 );
             }
@@ -452,27 +449,16 @@ mod tests {
                 tries[e as usize] += 1;
             }
         }
-        let hot: Vec<usize> = (0..m)
-            .filter(|&e| tries[e] >= 8 && succ[e] as f64 / tries[e] as f64 > 0.6)
-            .collect();
-        let cold: Vec<usize> = (0..m)
-            .filter(|&e| tries[e] >= 8 && succ[e] == 0)
-            .collect();
+        let hot: Vec<usize> =
+            (0..m).filter(|&e| tries[e] >= 8 && succ[e] as f64 / tries[e] as f64 > 0.6).collect();
+        let cold: Vec<usize> = (0..m).filter(|&e| tries[e] >= 8 && succ[e] == 0).collect();
         if hot.is_empty() || cold.is_empty() {
             return; // seed produced no contrast; other seeds cover this
         }
         let avg = |edges: &[usize]| -> f64 {
-            edges
-                .iter()
-                .map(|&e| outcome.edge_topics.p_max(e as u32) as f64)
-                .sum::<f64>()
+            edges.iter().map(|&e| outcome.edge_topics.p_max(e as u32) as f64).sum::<f64>()
                 / edges.len() as f64
         };
-        assert!(
-            avg(&hot) > avg(&cold) + 0.1,
-            "hot {} vs cold {}",
-            avg(&hot),
-            avg(&cold)
-        );
+        assert!(avg(&hot) > avg(&cold) + 0.1, "hot {} vs cold {}", avg(&hot), avg(&cold));
     }
 }

@@ -88,10 +88,7 @@ impl TopicPosterior {
 
     /// Posterior mass of a topic (zero if absent).
     pub fn mass(&self, z: TopicId) -> f64 {
-        self.entries
-            .binary_search_by_key(&z, |&(t, _)| t)
-            .map(|i| self.entries[i].1)
-            .unwrap_or(0.0)
+        self.entries.binary_search_by_key(&z, |&(t, _)| t).map(|i| self.entries[i].1).unwrap_or(0.0)
     }
 
     /// `p(e|W) = Σ_z p(e|z)·p(z|W)` via sorted merge-join (Eq. 1).
@@ -323,10 +320,7 @@ mod tests {
     #[test]
     fn infeasible_tag_set_has_empty_posterior() {
         // Two tags with disjoint topic support.
-        let m = TagTopicMatrix::with_uniform_prior(
-            vec![vec![(0, 1.0)], vec![(1, 1.0)]],
-            2,
-        );
+        let m = TagTopicMatrix::with_uniform_prior(vec![vec![(0, 1.0)], vec![(1, 1.0)]], 2);
         let p = TopicPosterior::compute(&m, &TagSet::from([0, 1]));
         assert!(p.is_empty());
     }
@@ -337,10 +331,7 @@ mod tests {
         for set in [vec![0], vec![1, 2], vec![0, 1, 2], vec![2, 3]] {
             let p = TopicPosterior::compute(&m, &TagSet::new(set.clone()));
             let sum: f64 = p.entries().iter().map(|&(_, w)| w).sum();
-            assert!(
-                p.is_empty() || (sum - 1.0).abs() < 1e-9,
-                "posterior of {set:?} sums to {sum}"
-            );
+            assert!(p.is_empty() || (sum - 1.0).abs() < 1e-9, "posterior of {set:?} sums to {sum}");
         }
     }
 

@@ -32,10 +32,7 @@ impl TagTopicMatrix {
     pub fn new(rows: Vec<Vec<(TopicId, f32)>>, prior: Vec<f64>) -> Self {
         let num_topics = prior.len();
         let prior_sum: f64 = prior.iter().sum();
-        assert!(
-            (prior_sum - 1.0).abs() < 1e-6,
-            "topic prior must sum to 1, got {prior_sum}"
-        );
+        assert!((prior_sum - 1.0).abs() < 1e-6, "topic prior must sum to 1, got {prior_sum}");
         assert!(prior.iter().all(|&p| p >= 0.0), "prior probabilities must be non-negative");
         let mut offsets = Vec::with_capacity(rows.len() + 1);
         offsets.push(0u32);
@@ -134,10 +131,10 @@ mod tests {
     pub(crate) fn fig2_matrix() -> TagTopicMatrix {
         TagTopicMatrix::with_uniform_prior(
             vec![
-                vec![(0, 0.6), (1, 0.4)],          // w1
-                vec![(0, 0.4), (1, 0.6)],          // w2
-                vec![(1, 0.4), (2, 0.6)],          // w3
-                vec![(1, 0.4), (2, 0.6)],          // w4
+                vec![(0, 0.6), (1, 0.4)], // w1
+                vec![(0, 0.4), (1, 0.6)], // w2
+                vec![(1, 0.4), (2, 0.6)], // w3
+                vec![(1, 0.4), (2, 0.6)], // w4
             ],
             3,
         )

@@ -94,7 +94,8 @@ impl TicModel {
         let mut b = GraphBuilder::new(7);
         // Edge list in (src, dst) order; ids are assigned in sorted order,
         // so we list them pre-sorted and attach topic rows in the same order.
-        let edges: &[((u32, u32), Vec<(u16, f32)>)] = &[
+        type ExampleEdge = ((u32, u32), Vec<(u16, f32)>);
+        let edges: &[ExampleEdge] = &[
             ((0, 1), vec![(0, 0.4)]),           // u1 -> u2
             ((0, 2), vec![(1, 0.5), (2, 0.5)]), // u1 -> u3
             ((2, 3), vec![(0, 0.5)]),           // u3 -> u4

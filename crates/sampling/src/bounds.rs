@@ -154,8 +154,8 @@ mod tests {
     #[test]
     fn lambda_matches_closed_form() {
         let p = params(0.5, 100.0);
-        let expected = (2.5 / 0.25)
-            * ((2.0f64).ln() + (100.0f64).ln() + pitex_model::combi::ln_choose(50, 3));
+        let expected =
+            (2.5 / 0.25) * ((2.0f64).ln() + (100.0f64).ln() + pitex_model::combi::ln_choose(50, 3));
         assert!((p.lambda() - expected).abs() < 1e-9);
     }
 

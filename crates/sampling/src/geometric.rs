@@ -25,8 +25,8 @@ pub fn geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
         return 1;
     }
     let u: f64 = rng.gen(); // [0, 1)
-    // ln(1-u) ≤ 0 and ln(1-p) < 0; the ratio is ≥ 0. Floor+1 implements the
-    // ceiling on the open interval while mapping u = 0 to X = 1.
+                            // ln(1-u) ≤ 0 and ln(1-p) < 0; the ratio is ≥ 0. Floor+1 implements the
+                            // ceiling on the open interval while mapping u = 0 to X = 1.
     let x = ((1.0 - u).ln() / (1.0 - p).ln()).floor() as u64 + 1;
     x.max(1)
 }
@@ -62,10 +62,7 @@ mod tests {
             let sum: u64 = (0..n).map(|_| geometric(p, &mut rng)).sum();
             let mean = sum as f64 / n as f64;
             let expected = 1.0 / p;
-            assert!(
-                (mean - expected).abs() < 0.03 * expected,
-                "p={p}: mean {mean} vs {expected}"
-            );
+            assert!((mean - expected).abs() < 0.03 * expected, "p={p}: mean {mean} vs {expected}");
         }
     }
 

@@ -97,7 +97,8 @@ impl SpreadEstimator for LazySampler {
         }
         self.call_epoch += 1;
 
-        let mut rng = StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        let mut rng =
+            StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
         let threshold = params.stop_threshold(reachable);
         let max_iters = params.max_iterations(reachable);
 
@@ -155,8 +156,7 @@ impl SpreadEstimator for LazySampler {
 
             accumulated += activated;
             iterations += 1;
-            if matches!(params.budget, SampleBudget::Adaptive) && accumulated as f64 >= threshold
-            {
+            if matches!(params.budget, SampleBudget::Adaptive) && accumulated as f64 >= threshold {
                 break;
             }
         }

@@ -75,12 +75,7 @@ impl LtSampler {
     }
 
     /// LT weight normalizer of `v` for the current tag set.
-    fn normalizer(
-        &mut self,
-        graph: &DiGraph,
-        v: NodeId,
-        probs: &mut dyn EdgeProbs,
-    ) -> f64 {
+    fn normalizer(&mut self, graph: &DiGraph, v: NodeId, probs: &mut dyn EdgeProbs) -> f64 {
         let vi = v as usize;
         if self.norm_stamp[vi] != self.call_epoch {
             let total: f64 = graph.in_edges(v).map(|(e, _)| probs.prob(e)).sum();
@@ -141,7 +136,8 @@ impl SpreadEstimator for LtSampler {
         }
         self.call_epoch += 1;
 
-        let mut rng = StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0x2B99_2DDF_A232_49D6));
+        let mut rng =
+            StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0x2B99_2DDF_A232_49D6));
         let threshold = params.stop_threshold(reachable);
         let max_iters = params.max_iterations(reachable);
 
@@ -178,8 +174,7 @@ impl SpreadEstimator for LtSampler {
             }
             accumulated += activated;
             iterations += 1;
-            if matches!(params.budget, SampleBudget::Adaptive) && accumulated as f64 >= threshold
-            {
+            if matches!(params.budget, SampleBudget::Adaptive) && accumulated as f64 >= threshold {
                 break;
             }
         }

@@ -83,7 +83,8 @@ impl SpreadEstimator for McSampler {
         if reachable <= 1 {
             return Estimate::isolated();
         }
-        let mut rng = StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let threshold = params.stop_threshold(reachable);
         let max_iters = params.max_iterations(reachable);
 
@@ -93,8 +94,7 @@ impl SpreadEstimator for McSampler {
         while iterations < max_iters {
             accumulated += self.run_instance(graph, user, probs, &mut rng, &mut edges_visited);
             iterations += 1;
-            if matches!(params.budget, SampleBudget::Adaptive) && accumulated as f64 >= threshold
-            {
+            if matches!(params.budget, SampleBudget::Adaptive) && accumulated as f64 >= threshold {
                 break;
             }
         }

@@ -94,7 +94,8 @@ impl SpreadEstimator for RrSampler {
         // Targets are drawn from a snapshot of R_W(u); the borrow of
         // reach_buf must not alias the instance runner's scratch.
         let targets = std::mem::take(&mut self.reach_buf);
-        let mut rng = StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng =
+            StdRng::seed_from_u64(params.seed ^ (user as u64).wrapping_mul(0xA24B_AED4_963E_E407));
         let lambda = params.lambda();
         let max_iters = params.max_iterations(reachable);
 

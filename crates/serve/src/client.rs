@@ -6,7 +6,8 @@
 //! response lands (closed loop), and reports aggregate throughput — the
 //! measurement the `bench_serve` target and `pitex client --bench` print.
 
-use crate::protocol::{QueryRequest, Request, Response, StatsReply};
+use crate::protocol::{QueryRequest, ReloadReply, Request, Response, StatsReply};
+use pitex_live::UpdateOp;
 use pitex_support::stats::OnlineStats;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -49,8 +50,7 @@ impl ServeClient {
     /// Sends a typed request and parses the reply.
     pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
         let reply = self.roundtrip_line(&request.to_line())?;
-        Response::parse(&reply)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Response::parse(&reply).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// `QUERY user k` with the server's default deadline.
@@ -94,6 +94,40 @@ impl ServeClient {
     pub fn shutdown_server(&mut self) -> std::io::Result<()> {
         self.request(&Request::Shutdown).map(|_| ())
     }
+
+    /// `UPDATE <op>` (admin): stages one mutation; returns the serving
+    /// epoch and the number of ops now pending. A server-side rejection
+    /// (`ERR BAD_UPDATE` / `ERR ADMIN_DENIED`) surfaces as an error.
+    pub fn update(&mut self, op: UpdateOp) -> std::io::Result<(u64, u64)> {
+        match self.request(&Request::Update(op))? {
+            Response::Updated { epoch, pending } => Ok((epoch, pending)),
+            other => Err(reply_error("UPDATED", other)),
+        }
+    }
+
+    /// `RELOAD` (admin): folds pending updates into a fresh snapshot.
+    pub fn reload(&mut self) -> std::io::Result<ReloadReply> {
+        match self.request(&Request::Reload)? {
+            Response::Reloaded(reply) => Ok(reply),
+            other => Err(reply_error("RELOADED", other)),
+        }
+    }
+
+    /// `EPOCH` (admin): the epoch of the snapshot currently being served.
+    pub fn epoch(&mut self) -> std::io::Result<u64> {
+        match self.request(&Request::Epoch)? {
+            Response::Epoch(epoch) => Ok(epoch),
+            other => Err(reply_error("EPOCH", other)),
+        }
+    }
+}
+
+fn reply_error(expected: &str, got: Response) -> std::io::Error {
+    let kind = match got {
+        Response::Err { .. } => std::io::ErrorKind::PermissionDenied,
+        _ => std::io::ErrorKind::InvalidData,
+    };
+    std::io::Error::new(kind, format!("expected {expected} reply, got {got:?}"))
 }
 
 /// A closed-loop load generator: `clients` connections, each issuing
@@ -262,13 +296,9 @@ mod tests {
     #[test]
     fn load_gen_reports_add_up() {
         let server = boot();
-        let report = LoadGen {
-            clients: 3,
-            requests_per_client: 10,
-            ..LoadGen::default()
-        }
-        .run(server.addr())
-        .unwrap();
+        let report = LoadGen { clients: 3, requests_per_client: 10, ..LoadGen::default() }
+            .run(server.addr())
+            .unwrap();
         assert_eq!(report.requests, 30);
         assert_eq!(report.ok + report.busy + report.errors, 30);
         assert!(report.ok >= 1);

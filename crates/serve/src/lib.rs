@@ -19,6 +19,13 @@
 //!   exposes hit rates, throughput and latency percentiles.
 //! * **Client + load generator** ([`client`]) — the typed client, and the
 //!   closed-loop [`LoadGen`] behind `bench_serve` and `pitex client --bench`.
+//! * **Live updates** — `UPDATE` stages typed [`pitex_live::UpdateOp`]
+//!   mutations, `RELOAD` folds them into a fresh snapshot with incremental
+//!   RR-index repair and swaps it in under a new epoch (zero-downtime:
+//!   queries keep flowing against the old snapshot), `EPOCH` reads the
+//!   serving epoch; all three are admin-gated. `STATS` reports `epoch=`,
+//!   `updates_applied=` and `reloads=`, and the result cache is swept
+//!   per-user so no stale answer survives a mutation that touches it.
 //!
 //! ```
 //! use pitex_core::{EngineBackend, EngineHandle, PitexConfig};
@@ -43,5 +50,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{LoadGen, LoadReport, ServeClient};
-pub use protocol::{ErrorCode, QueryReply, QueryRequest, Request, Response, StatsReply};
+pub use protocol::{
+    ErrorCode, QueryReply, QueryRequest, ReloadReply, Request, Response, StatsReply,
+};
 pub use server::{ServeOptions, Server, ServerHandle};

@@ -8,9 +8,16 @@
 //! PING                              liveness probe
 //! QUERY <user> <k> [timeout_us]     a PITEX query (Def. 1)
 //! STATS                             server counters and latency percentiles
+//! UPDATE <op…>                      stage one model mutation (admin)
+//! RELOAD                            fold staged ops, repair the index,
+//!                                   swap the snapshot (admin)
+//! EPOCH                             current snapshot epoch (admin)
 //! QUIT                              close this connection
 //! SHUTDOWN                          gracefully stop the whole server
 //! ```
+//!
+//! The `UPDATE` operand is the [`pitex_live::UpdateOp`] text grammar, e.g.
+//! `UPDATE SET_EDGE 0 1 0:0.9` or `UPDATE DETACH_TAG 2`.
 //!
 //! Responses (one line per request, in order):
 //!
@@ -18,25 +25,36 @@
 //! PONG
 //! OK user=<u> k=<k> tags=<t1,t2,..> spread=<f> cached=<0|1> us=<micros>
 //! STATS <key>=<value> ...
+//! UPDATED epoch=<e> pending=<n>     op staged; visible after RELOAD
+//! RELOADED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
+//! EPOCH <e>
 //! BYE
 //! BUSY                              load shed: the request queue was full
 //! ERR <CODE> <message>              CODE ∈ BAD_REQUEST | UNKNOWN_USER |
-//!                                          BAD_K | DEADLINE | INTERNAL
+//!                                          BAD_K | DEADLINE | INTERNAL |
+//!                                          BAD_UPDATE | ADMIN_DENIED
 //! ```
 //!
 //! `tags` are 0-based tag ids (the paper's `w3` is `2`); `-` marks the empty
 //! set. Both sides of the protocol live here so the server, the client and
 //! the tests share one parser.
 
+use pitex_live::UpdateOp;
 use pitex_model::TagId;
 use std::collections::BTreeMap;
 
 /// A parsed request line.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     Ping,
     Query(QueryRequest),
     Stats,
+    /// Stage one mutation (admin-gated).
+    Update(UpdateOp),
+    /// Fold staged mutations into a fresh snapshot (admin-gated).
+    Reload,
+    /// Read the current snapshot epoch (admin-gated).
+    Epoch,
     Quit,
     Shutdown,
 }
@@ -58,6 +76,9 @@ impl Request {
         match self {
             Request::Ping => "PING".to_string(),
             Request::Stats => "STATS".to_string(),
+            Request::Update(op) => format!("UPDATE {}", op.to_text()),
+            Request::Reload => "RELOAD".to_string(),
+            Request::Epoch => "EPOCH".to_string(),
             Request::Quit => "QUIT".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
             Request::Query(q) => match q.timeout_us {
@@ -70,11 +91,19 @@ impl Request {
     /// Parses a request line. The error string is a human-readable reason
     /// suitable for an `ERR BAD_REQUEST` reply.
     pub fn parse(line: &str) -> Result<Request, String> {
+        // UPDATE hands its whole operand to the op grammar (which performs
+        // its own trailing-token check).
+        if let Some(rest) = line.trim_start().strip_prefix("UPDATE ") {
+            return Ok(Request::Update(UpdateOp::parse_text(rest)?));
+        }
         let mut tokens = line.split_ascii_whitespace();
         let verb = tokens.next().ok_or("empty request")?;
         let request = match verb {
             "PING" => Request::Ping,
             "STATS" => Request::Stats,
+            "UPDATE" => return Err("UPDATE needs an operation".to_string()),
+            "RELOAD" => Request::Reload,
+            "EPOCH" => Request::Epoch,
             "QUIT" => Request::Quit,
             "SHUTDOWN" => Request::Shutdown,
             "QUERY" => {
@@ -85,8 +114,7 @@ impl Request {
                 let k: usize = k.parse().map_err(|_| format!("bad k {k:?} (want usize)"))?;
                 let timeout_us = match tokens.next() {
                     Some(t) => Some(
-                        t.parse::<u64>()
-                            .map_err(|_| format!("bad timeout_us {t:?} (want u64)"))?,
+                        t.parse::<u64>().map_err(|_| format!("bad timeout_us {t:?} (want u64)"))?,
                     ),
                     None => None,
                 };
@@ -114,6 +142,12 @@ pub enum ErrorCode {
     Deadline,
     /// The server failed internally (e.g. a worker panicked).
     Internal,
+    /// An `UPDATE` op parsed but was semantically invalid (unknown vertex,
+    /// duplicate edge, bad probability, …).
+    BadUpdate,
+    /// An admin verb (`UPDATE`/`RELOAD`/`EPOCH`) on a server started with
+    /// admin verbs disabled.
+    AdminDenied,
 }
 
 impl ErrorCode {
@@ -124,6 +158,8 @@ impl ErrorCode {
             ErrorCode::BadK => "BAD_K",
             ErrorCode::Deadline => "DEADLINE",
             ErrorCode::Internal => "INTERNAL",
+            ErrorCode::BadUpdate => "BAD_UPDATE",
+            ErrorCode::AdminDenied => "ADMIN_DENIED",
         }
     }
 
@@ -134,6 +170,8 @@ impl ErrorCode {
             "BAD_K" => ErrorCode::BadK,
             "DEADLINE" => ErrorCode::Deadline,
             "INTERNAL" => ErrorCode::Internal,
+            "BAD_UPDATE" => ErrorCode::BadUpdate,
+            "ADMIN_DENIED" => ErrorCode::AdminDenied,
             _ => return None,
         })
     }
@@ -184,15 +222,42 @@ impl StatsReply {
     }
 }
 
+/// The `RELOADED` reply: what the snapshot swap did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReloadReply {
+    /// Epoch now being served.
+    pub epoch: u64,
+    /// Staged ops folded into the new snapshot (0 = nothing to do, no swap).
+    pub folded: u64,
+    /// RR-Graphs resampled by incremental repair (θ on a full rebuild).
+    pub resampled: u64,
+    /// RR-Graphs reused from the previous index.
+    pub reused: u64,
+    /// Whether repair fell back to a full rebuild.
+    pub full: bool,
+}
+
 /// A parsed response line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     Pong,
     Ok(QueryReply),
     Stats(StatsReply),
+    /// `UPDATED epoch=<serving epoch> pending=<staged ops>`.
+    Updated {
+        epoch: u64,
+        pending: u64,
+    },
+    /// `RELOADED …` — see [`ReloadReply`].
+    Reloaded(ReloadReply),
+    /// `EPOCH <e>`.
+    Epoch(u64),
     Bye,
     Busy,
-    Err { code: ErrorCode, message: String },
+    Err {
+        code: ErrorCode,
+        message: String,
+    },
 }
 
 fn format_tags(tags: &[TagId]) -> String {
@@ -206,9 +271,7 @@ fn parse_tags(s: &str) -> Result<Vec<TagId>, String> {
     if s == "-" {
         return Ok(Vec::new());
     }
-    s.split(',')
-        .map(|t| t.parse().map_err(|_| format!("bad tag id {t:?}")))
-        .collect()
+    s.split(',').map(|t| t.parse().map_err(|_| format!("bad tag id {t:?}"))).collect()
 }
 
 fn kv<'a>(token: &'a str, key: &str) -> Result<&'a str, String> {
@@ -237,6 +300,18 @@ impl Response {
                 u8::from(r.cached),
                 r.us
             ),
+            Response::Updated { epoch, pending } => {
+                format!("UPDATED epoch={epoch} pending={pending}")
+            }
+            Response::Reloaded(r) => format!(
+                "RELOADED epoch={} folded={} resampled={} reused={} full={}",
+                r.epoch,
+                r.folded,
+                r.resampled,
+                r.reused,
+                u8::from(r.full)
+            ),
+            Response::Epoch(e) => format!("EPOCH {e}"),
             Response::Stats(s) => {
                 let mut line = String::from("STATS");
                 for (k, v) in s.iter() {
@@ -263,8 +338,8 @@ impl Response {
             "BUSY" => Ok(Response::Busy),
             "ERR" => {
                 let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
-                let code = ErrorCode::parse(code)
-                    .ok_or_else(|| format!("unknown error code {code:?}"))?;
+                let code =
+                    ErrorCode::parse(code).ok_or_else(|| format!("unknown error code {code:?}"))?;
                 Ok(Response::Err { code, message: message.to_string() })
             }
             "OK" => {
@@ -273,8 +348,7 @@ impl Response {
                     let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
                     Ok(kv(token, key)?.to_string())
                 };
-                let user =
-                    next("user")?.parse().map_err(|_| "bad user in OK reply".to_string())?;
+                let user = next("user")?.parse().map_err(|_| "bad user in OK reply".to_string())?;
                 let k = next("k")?.parse().map_err(|_| "bad k in OK reply".to_string())?;
                 let tags = parse_tags(&next("tags")?)?;
                 let spread =
@@ -286,6 +360,32 @@ impl Response {
                 };
                 let us = next("us")?.parse().map_err(|_| "bad us in OK reply".to_string())?;
                 Ok(Response::Ok(QueryReply { user, k, tags, spread, cached, us }))
+            }
+            "UPDATED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<u64, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    kv(token, key)?.parse().map_err(|_| format!("bad {key} in UPDATED"))
+                };
+                Ok(Response::Updated { epoch: next("epoch")?, pending: next("pending")? })
+            }
+            "RELOADED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<u64, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    kv(token, key)?.parse().map_err(|_| format!("bad {key} in RELOADED"))
+                };
+                Ok(Response::Reloaded(ReloadReply {
+                    epoch: next("epoch")?,
+                    folded: next("folded")?,
+                    resampled: next("resampled")?,
+                    reused: next("reused")?,
+                    full: next("full")? != 0,
+                }))
+            }
+            "EPOCH" => {
+                let epoch = rest.trim().parse().map_err(|_| format!("bad epoch {rest:?}"))?;
+                Ok(Response::Epoch(epoch))
             }
             "STATS" => {
                 let mut fields = BTreeMap::new();
@@ -311,10 +411,15 @@ mod tests {
         let cases = [
             Request::Ping,
             Request::Stats,
+            Request::Reload,
+            Request::Epoch,
             Request::Quit,
             Request::Shutdown,
             Request::Query(QueryRequest { user: 0, k: 2, timeout_us: None }),
             Request::Query(QueryRequest { user: 41, k: 3, timeout_us: Some(2_000_000) }),
+            Request::Update(UpdateOp::AddEdge { src: 1, dst: 4, topics: vec![(0, 0.25)] }),
+            Request::Update(UpdateOp::DetachTag { tag: 2 }),
+            Request::Update(UpdateOp::AddUser),
         ];
         for request in cases {
             assert_eq!(Request::parse(&request.to_line()), Ok(request));
@@ -333,6 +438,11 @@ mod tests {
             ("QUERY 1 2 fast", "bad timeout_us"),
             ("QUERY 1 2 3 4", "trailing"),
             ("PING PONG", "trailing"),
+            ("UPDATE", "needs an operation"),
+            ("UPDATE FROB 1", "unknown update op"),
+            ("UPDATE ADD_EDGE 1", "needs"),
+            ("RELOAD NOW", "trailing"),
+            ("EPOCH 3", "trailing"),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert!(err.contains(needle), "{line:?} -> {err:?}");
@@ -366,6 +476,22 @@ mod tests {
                 ("requests".to_string(), "64".to_string()),
                 ("cache_hits".to_string(), "12".to_string()),
             ])),
+            Response::Updated { epoch: 3, pending: 2 },
+            Response::Reloaded(ReloadReply {
+                epoch: 4,
+                folded: 2,
+                resampled: 120,
+                reused: 440,
+                full: false,
+            }),
+            Response::Reloaded(ReloadReply {
+                epoch: 9,
+                folded: 1,
+                resampled: 560,
+                reused: 0,
+                full: true,
+            }),
+            Response::Epoch(7),
         ];
         for response in cases {
             let line = response.to_line();
@@ -381,6 +507,8 @@ mod tests {
             ErrorCode::BadK,
             ErrorCode::Deadline,
             ErrorCode::Internal,
+            ErrorCode::BadUpdate,
+            ErrorCode::AdminDenied,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }

@@ -19,12 +19,33 @@
 //! sampling pass. Shutdown is graceful: `ServerHandle::shutdown` (or the
 //! `SHUTDOWN` verb) stops the acceptor, lets workers drain in-flight jobs,
 //! unblocks idle connections, and `join` reaps every thread.
+//!
+//! ## Live updates
+//!
+//! The server no longer freezes its snapshots at startup. A
+//! [`pitex_live::SnapshotStore`] holds the current [`EngineHandle`] under a
+//! monotone epoch; `UPDATE` stages typed mutations in a
+//! [`pitex_live::ModelOverlay`], and `RELOAD` folds them into a fresh
+//! model, repairs the RR-index incrementally
+//! ([`pitex_live::repair_rr_index`]) and swaps the snapshot — all while
+//! queries keep flowing against the old epoch (workers poll the epoch with
+//! one atomic load between requests and rebuild their private engines
+//! lazily). Swap-time cache coherence has two halves: (1) after the swap
+//! the cache is swept with [`ShardedLru::invalidate_if`], scoped to the
+//! users whose answers can actually change (everyone on a tag mutation or
+//! full rebuild); (2) a result computed against an older epoch is never
+//! inserted — the connection re-checks the epoch at insert time, and the
+//! sweep runs after the swap, so the stale-insert race is closed from both
+//! sides.
 
-use crate::protocol::{ErrorCode, QueryReply, Request, Response, StatsReply};
+use crate::protocol::{ErrorCode, QueryReply, ReloadReply, Request, Response, StatsReply};
 use pitex_core::{EngineBackend, EngineHandle};
+use pitex_index::DelayMatIndex;
+use pitex_live::{repair_rr_index, ModelOverlay, RepairOptions, Snapshot, SnapshotStore, UpdateOp};
 use pitex_model::TagSet;
 use pitex_support::lru::ShardedLru;
 use pitex_support::stats::{LatencyHistogram, OnlineStats};
+use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,6 +64,14 @@ pub struct ServeOptions {
     pub default_deadline: Duration,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Whether the admin verbs (`UPDATE`, `RELOAD`, `EPOCH`) are served;
+    /// when false they answer `ERR ADMIN_DENIED`.
+    pub admin: bool,
+    /// Tuning for incremental index repair on `RELOAD` (threads and the
+    /// dirty-fraction rebuild threshold). The sample budget and seed are
+    /// not configurable here: they travel inside the index artifact, so a
+    /// repair always runs under the parameters the index was built with.
+    pub repair: RepairOptions,
 }
 
 impl Default for ServeOptions {
@@ -52,6 +81,8 @@ impl Default for ServeOptions {
             queue_depth: 64,
             default_deadline: Duration::from_secs(5),
             cache_capacity: 1024,
+            admin: true,
+            repair: RepairOptions::default(),
         }
     }
 }
@@ -72,7 +103,13 @@ struct Job {
 }
 
 enum WorkerReply {
-    Done { tags: TagSet, spread: f64 },
+    /// A computed answer, stamped with the epoch it was computed under so
+    /// the connection can refuse to cache results from a superseded world.
+    Done {
+        tags: TagSet,
+        spread: f64,
+        epoch: u64,
+    },
     Deadline,
     Panicked,
 }
@@ -86,6 +123,13 @@ struct Counters {
     deadline_exceeded: AtomicU64,
     errors: AtomicU64,
     worker_panics: AtomicU64,
+    /// `UPDATE` ops accepted into the overlay since boot.
+    updates_applied: AtomicU64,
+    /// Ops currently staged (mirrors `overlay.pending()` so `STATS` never
+    /// has to take the overlay lock, which `RELOAD` holds across repair).
+    updates_pending: AtomicU64,
+    /// Snapshot swaps performed (`RELOAD`s that folded at least one op).
+    reloads: AtomicU64,
 }
 
 /// Everything the acceptor, connections and workers share.
@@ -94,7 +138,11 @@ struct Shared {
     /// Set when a reaped connection thread had panicked, so `join` can
     /// still report it after the handle itself is gone.
     reaped_panic: AtomicBool,
-    handle: EngineHandle,
+    /// The epoch-versioned snapshot currently being served.
+    store: SnapshotStore,
+    /// Staged-but-not-yet-folded mutations. The lock serializes admin
+    /// verbs against each other only — the query path never touches it.
+    overlay: Mutex<ModelOverlay>,
     options: ServeOptions,
     cache: ShardedLru<(u32, usize, EngineBackend), CachedAnswer>,
     counters: Counters,
@@ -129,11 +177,13 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let workers = options.workers.max(1);
+        let overlay = ModelOverlay::new(handle.model().clone());
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             reaped_panic: AtomicBool::new(false),
             cache: ShardedLru::with_shards(options.cache_capacity, workers.max(4)),
-            handle,
+            store: SnapshotStore::new(handle),
+            overlay: Mutex::new(overlay),
             options,
             counters: Counters::default(),
             latency: Mutex::new((LatencyHistogram::new(), OnlineStats::new())),
@@ -260,25 +310,72 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, job_tx: &mpsc::Sy
     // connection thread has dropped theirs too.
 }
 
+/// Why [`run_worker_epoch`] returned.
+enum WorkerExit {
+    /// Shutdown / pool drained: exit the thread.
+    Stop,
+    /// The epoch advanced: rebuild the engine from the fresh snapshot, and
+    /// first run the job that was dequeued after the swap (running it on
+    /// the old engine would break read-your-writes for the admin who just
+    /// reloaded).
+    Rebuild(Option<Job>),
+}
+
 fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
     // One engine per worker: the shared snapshots are immutable, all mutable
     // state (memoisation cache, sampler scratch) is private to this thread.
-    let mut engine = shared.handle.engine();
+    // The engine borrows a pinned snapshot; after a swap the worker drops
+    // both and rebuilds from the new one — between requests, never during.
+    let mut carried: Option<Job> = None;
     loop {
-        let job = {
-            let rx = job_rx.lock().unwrap();
-            rx.recv_timeout(POLL)
-        };
-        let job = match job {
-            Ok(job) => job,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return;
+        let snapshot = shared.store.current();
+        match run_worker_epoch(shared, &snapshot, job_rx, carried.take()) {
+            WorkerExit::Stop => return,
+            WorkerExit::Rebuild(job) => carried = job,
+        }
+    }
+}
+
+/// Serves jobs against one pinned snapshot until the epoch advances or the
+/// pool shuts down.
+fn run_worker_epoch(
+    shared: &Arc<Shared>,
+    snapshot: &Snapshot,
+    job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
+    carried: Option<Job>,
+) -> WorkerExit {
+    let mut engine = snapshot.handle.engine();
+    let mut next_job = carried;
+    loop {
+        let job = match next_job.take() {
+            Some(job) => job,
+            None => {
+                let received = {
+                    let rx = job_rx.lock().unwrap();
+                    rx.recv_timeout(POLL)
+                };
+                match received {
+                    Ok(job) => job,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if shared.stop.load(Ordering::SeqCst) {
+                            return WorkerExit::Stop;
+                        }
+                        if shared.store.epoch() != snapshot.epoch {
+                            return WorkerExit::Rebuild(None);
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return WorkerExit::Stop,
                 }
-                continue;
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
         };
+        // A job enqueued by a connection that already saw a newer epoch
+        // must not run against this engine: hand it to the next epoch.
+        // (A connection only observes the new epoch after the swap, and
+        // the channel hand-off orders that observation before this load.)
+        if shared.store.epoch() != snapshot.epoch {
+            return WorkerExit::Rebuild(Some(job));
+        }
         if Instant::now() >= job.deadline {
             // The connection side counts the DEADLINE outcome when it
             // relays the reply — counting here too would double-book it.
@@ -289,11 +386,15 @@ fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
             engine.query(job.user, job.k)
         }));
         let reply = match outcome {
-            Ok(result) => WorkerReply::Done { tags: result.tags, spread: result.spread },
+            Ok(result) => WorkerReply::Done {
+                tags: result.tags,
+                spread: result.spread,
+                epoch: snapshot.epoch,
+            },
             Err(_) => {
                 shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
                 // The engine may hold poisoned internal state; rebuild it.
-                engine = shared.handle.engine();
+                engine = snapshot.handle.engine();
                 WorkerReply::Panicked
             }
         };
@@ -313,6 +414,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncS
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut snapshot = shared.store.current();
     loop {
         // `line` may already hold a partial request from a timed-out read:
         // `read_line` appends, so fragmented writes reassemble correctly.
@@ -332,6 +434,12 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncS
                     oversized_line_reply(shared, &mut writer);
                     return;
                 }
+                // Re-pin on the idle path too: without this a silent
+                // connection would keep the superseded model + index
+                // snapshot alive arbitrarily long after a swap.
+                if shared.store.epoch() != snapshot.epoch {
+                    snapshot = shared.store.current();
+                }
                 continue;
             }
             Err(_) => return,
@@ -344,7 +452,12 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncS
             line.clear();
             continue;
         }
-        let (response, close) = handle_line(shared, line.trim(), job_tx);
+        // Re-pin the snapshot when a swap landed since the last request:
+        // one atomic load on the fast path, one Arc clone after a swap.
+        if shared.store.epoch() != snapshot.epoch {
+            snapshot = shared.store.current();
+        }
+        let (response, close) = handle_line(shared, &snapshot, line.trim(), job_tx);
         line.clear();
         let mut out = response.to_line();
         out.push('\n');
@@ -375,10 +488,16 @@ fn oversized_line_reply(shared: &Arc<Shared>, writer: &mut TcpStream) {
 /// Dispatches one request line; returns the reply and whether to close.
 fn handle_line(
     shared: &Arc<Shared>,
+    snapshot: &Snapshot,
     line: &str,
     job_tx: &mpsc::SyncSender<Job>,
 ) -> (Response, bool) {
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let denied = || {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let message = "admin verbs are disabled on this server".to_string();
+        (Response::Err { code: ErrorCode::AdminDenied, message }, false)
+    };
     match Request::parse(line) {
         Ok(Request::Ping) => (Response::Pong, false),
         Ok(Request::Quit) => (Response::Bye, true),
@@ -387,7 +506,13 @@ fn handle_line(
             (Response::Bye, true)
         }
         Ok(Request::Stats) => (Response::Stats(stats_reply(shared)), false),
-        Ok(Request::Query(q)) => (handle_query(shared, q, job_tx), false),
+        Ok(Request::Query(q)) => (handle_query(shared, snapshot, q, job_tx), false),
+        Ok(Request::Update(_) | Request::Reload | Request::Epoch) if !shared.options.admin => {
+            denied()
+        }
+        Ok(Request::Update(op)) => (handle_update(shared, op), false),
+        Ok(Request::Reload) => (handle_reload(shared), false),
+        Ok(Request::Epoch) => (Response::Epoch(shared.store.epoch()), false),
         Err(reason) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             (Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
@@ -397,6 +522,7 @@ fn handle_line(
 
 fn handle_query(
     shared: &Arc<Shared>,
+    snapshot: &Snapshot,
     q: crate::protocol::QueryRequest,
     job_tx: &mpsc::SyncSender<Job>,
 ) -> Response {
@@ -410,27 +536,35 @@ fn handle_query(
         Response::Err { code, message }
     };
 
-    let model = shared.handle.model();
+    let model = snapshot.handle.model();
     if q.k == 0 {
         return error(ErrorCode::BadK, "k must be at least 1".to_string());
     }
     let nodes = model.graph().num_nodes();
     if (q.user as usize) >= nodes {
-        return error(ErrorCode::UnknownUser, format!("user {} out of range (|V| = {nodes})", q.user));
+        return error(
+            ErrorCode::UnknownUser,
+            format!("user {} out of range (|V| = {nodes})", q.user),
+        );
     }
     let accepted = Instant::now();
-    let timeout = q.timeout_us.map(Duration::from_micros).unwrap_or(shared.options.default_deadline);
-    let deadline = accepted.checked_add(timeout).unwrap_or_else(|| accepted + Duration::from_secs(86_400));
+    let timeout =
+        q.timeout_us.map(Duration::from_micros).unwrap_or(shared.options.default_deadline);
+    let deadline =
+        accepted.checked_add(timeout).unwrap_or_else(|| accepted + Duration::from_secs(86_400));
     // `timeout_us=0` (and any deadline that has already passed) fails fast
     // here, before spending a cache probe or a queue slot.
     if Instant::now() >= deadline {
-        return error(ErrorCode::Deadline, format!("deadline of {timeout:?} elapsed before execution"));
+        return error(
+            ErrorCode::Deadline,
+            format!("deadline of {timeout:?} elapsed before execution"),
+        );
     }
 
     // The engine clamps k to the vocabulary; cache under the clamped key so
     // `k=99` and `k=|Ω|` share an entry.
     let k = q.k.min(model.num_tags());
-    let backend = shared.handle.backend();
+    let backend = snapshot.handle.backend();
     let key = (q.user, k, backend);
     if let Some(hit) = shared.cache.get(&key) {
         shared.counters.ok.fetch_add(1, Ordering::Relaxed);
@@ -457,8 +591,21 @@ fn handle_query(
         }
     }
     match reply_rx.recv() {
-        Ok(WorkerReply::Done { tags, spread }) => {
-            shared.cache.insert(key, CachedAnswer { tags: tags.clone(), spread });
+        Ok(WorkerReply::Done { tags, spread, epoch }) => {
+            // Cache only results that are still current, and re-check after
+            // the insert: a swap (plus its invalidation sweep) could land
+            // between the pre-check and the insert, which would let a stale
+            // answer slip in *after* the sweep. If the post-insert check
+            // sees a newer epoch the entry is removed here; if the swap
+            // lands after the check instead, the sweep — which runs
+            // strictly after the epoch bump — removes it. One of the two
+            // always runs after the insert, so no stale entry survives.
+            if shared.store.epoch() == epoch {
+                shared.cache.insert(key, CachedAnswer { tags: tags.clone(), spread });
+                if shared.store.epoch() != epoch {
+                    shared.cache.invalidate(&key);
+                }
+            }
             shared.counters.ok.fetch_add(1, Ordering::Relaxed);
             let us = accepted.elapsed().as_micros() as u64;
             record_latency(shared, us);
@@ -471,18 +618,151 @@ fn handle_query(
                 us,
             })
         }
-        Ok(WorkerReply::Deadline) => error(
-            ErrorCode::Deadline,
-            format!("deadline of {timeout:?} elapsed while queued"),
-        ),
+        Ok(WorkerReply::Deadline) => {
+            error(ErrorCode::Deadline, format!("deadline of {timeout:?} elapsed while queued"))
+        }
         Ok(WorkerReply::Panicked) => {
             error(ErrorCode::Internal, "query execution panicked".to_string())
         }
         // All workers exited mid-request (shutdown race): the job was
         // dropped with the queue.
-        Err(mpsc::RecvError) => {
-            error(ErrorCode::Internal, "server is shutting down".to_string())
+        Err(mpsc::RecvError) => error(ErrorCode::Internal, "server is shutting down".to_string()),
+    }
+}
+
+/// `UPDATE`: validate and stage one op in the overlay. Nothing is visible
+/// to queries until `RELOAD`.
+fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
+    let mut overlay = shared.overlay.lock().unwrap();
+    match overlay.apply(op) {
+        Ok(()) => {
+            shared.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
+            shared.counters.updates_pending.store(overlay.pending() as u64, Ordering::Relaxed);
+            Response::Updated { epoch: shared.store.epoch(), pending: overlay.pending() as u64 }
         }
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            Response::Err { code: ErrorCode::BadUpdate, message: e.to_string() }
+        }
+    }
+}
+
+/// `RELOAD`: fold the staged ops into a fresh model, repair whatever index
+/// the backend needs, swap the snapshot, and sweep the result cache. Runs
+/// on the requesting connection's thread — queries on every other
+/// connection keep being answered from the old epoch throughout.
+fn handle_reload(shared: &Arc<Shared>) -> Response {
+    // The overlay lock is held across fold + repair + swap: admin verbs
+    // serialize against each other; the query path never takes this lock.
+    let mut overlay = shared.overlay.lock().unwrap();
+    if overlay.pending() == 0 {
+        let epoch = shared.store.epoch();
+        return Response::Reloaded(ReloadReply { epoch, ..ReloadReply::default() });
+    }
+    let folded = overlay.pending() as u64;
+    let new_model = Arc::new(overlay.compact());
+    let affected = overlay.affected_users(&new_model);
+
+    let snapshot = shared.store.current();
+    let backend = snapshot.handle.backend();
+    let config = *snapshot.handle.config();
+    let repair_opts = shared.options.repair;
+
+    let mut reply = ReloadReply { folded, ..ReloadReply::default() };
+    // Membership of resampled RR-Graphs; `None` = the index was rebuilt
+    // wholesale (or is rebuilt by construction, like DELAYMAT's counters).
+    let mut dirty_members: Option<Vec<u32>> = Some(Vec::new());
+
+    let rr_index = snapshot.handle.rr_index().map(|old_rr| {
+        let (repaired, report) =
+            repair_rr_index(old_rr, snapshot.handle.model(), &new_model, &repair_opts);
+        reply.resampled = report.resampled;
+        reply.reused = report.reused;
+        reply.full = report.full_rebuild;
+        dirty_members = if report.full_rebuild { None } else { Some(report.dirty_members) };
+        Arc::new(repaired)
+    });
+    let delay_index = snapshot.handle.delay_index().map(|old| {
+        // DELAYMAT keeps only per-user counters; "repair" is one pass of
+        // the same per-draw sample stream (and re-counts everything). The
+        // budget and seed come from the old counters themselves.
+        let rebuilt = DelayMatIndex::build_with_threads(
+            &new_model,
+            old.budget(),
+            old.seed(),
+            repair_opts.threads.max(1),
+        );
+        reply.resampled = rebuilt.theta();
+        reply.full = true;
+        dirty_members = None;
+        Arc::new(rebuilt)
+    });
+
+    let new_handle =
+        match EngineHandle::with_indexes(new_model.clone(), backend, rr_index, delay_index, config)
+        {
+            Ok(handle) => handle,
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Err { code: ErrorCode::Internal, message: e.to_string() };
+            }
+        };
+    reply.epoch = shared.store.swap(new_handle);
+
+    // Sweep strictly after the swap: combined with the epoch check before
+    // every cache insert, no stale answer can outlive this line.
+    invalidate_cache(shared, backend, affected, dirty_members);
+
+    *overlay = ModelOverlay::new(new_model);
+    shared.counters.updates_pending.store(0, Ordering::Relaxed);
+    shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
+    Response::Reloaded(reply)
+}
+
+/// Post-swap cache sweep. `affected` is the set of users whose *true*
+/// answer can change (`None` = everyone, e.g. after a tag mutation);
+/// `dirty_members` the members of resampled RR-Graphs (`None` = full
+/// rebuild).
+///
+/// Per-user invalidation is applied only where staleness is provable from
+/// locality: EXACT answers change only for affected users; the forward
+/// samplers (MC, LAZY) are seeded per `(params, user)` and only ever probe
+/// out-edges of vertices forward-reachable from the user, so an unaffected
+/// user replays bit-identically; the RR-index estimators additionally
+/// drift for members of resampled graphs (their RNG streams diverge after
+/// the first mutated probe). LT is *not* scopable: its per-vertex weight
+/// normalizer sums **all** in-edges of every contacted vertex, so an
+/// estimate can depend on an edge whose source the user never reaches.
+/// RR/TIM sampling draws global targets per query — estimates anywhere can
+/// move. Those three clear the cache outright, as does DELAYMAT (its
+/// counters are rebuilt wholesale).
+fn invalidate_cache(
+    shared: &Arc<Shared>,
+    backend: EngineBackend,
+    affected: Option<Vec<u32>>,
+    dirty_members: Option<Vec<u32>>,
+) {
+    let scoped: Option<BTreeSet<u32>> = match backend {
+        EngineBackend::Exact | EngineBackend::Mc | EngineBackend::Lazy => {
+            affected.map(|users| users.into_iter().collect())
+        }
+        EngineBackend::IndexEst | EngineBackend::IndexEstPlus => match (affected, dirty_members) {
+            (Some(users), Some(members)) => {
+                let mut set: BTreeSet<u32> = users.into_iter().collect();
+                set.extend(members);
+                Some(set)
+            }
+            _ => None,
+        },
+        EngineBackend::Lt | EngineBackend::Rr | EngineBackend::Tim | EngineBackend::DelayMat => {
+            None
+        }
+    };
+    match scoped {
+        Some(users) => {
+            shared.cache.invalidate_if(|&(user, _, _), _| users.contains(&user));
+        }
+        None => shared.cache.clear(),
     }
 }
 
@@ -507,11 +787,17 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         )
     };
     let hit_rate = if cache.hits + cache.misses == 0 { 0.0 } else { cache.hit_rate() };
+    let snapshot = shared.store.current();
     let field = |k: &str, v: String| (k.to_string(), v);
     StatsReply::new([
-        field("backend", shared.handle.backend().cli_name().to_string()),
+        field("backend", snapshot.handle.backend().cli_name().to_string()),
         field("workers", shared.options.workers.max(1).to_string()),
         field("uptime_us", (uptime.as_micros() as u64).to_string()),
+        field("uptime_s", format!("{:.1}", uptime.as_secs_f64())),
+        field("epoch", snapshot.epoch.to_string()),
+        field("updates_applied", c.updates_applied.load(Ordering::Relaxed).to_string()),
+        field("updates_pending", c.updates_pending.load(Ordering::Relaxed).to_string()),
+        field("reloads", c.reloads.load(Ordering::Relaxed).to_string()),
         field("requests", c.requests.load(Ordering::Relaxed).to_string()),
         field("ok", ok.to_string()),
         field("busy", c.busy.load(Ordering::Relaxed).to_string()),
@@ -719,6 +1005,119 @@ mod tests {
             assert!(!reply.cached);
             assert_eq!(reply.tags, vec![2, 3]);
         }
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn update_reload_swaps_the_answer_and_the_epoch() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+        let Response::Ok(before) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert_eq!(before.tags, vec![2, 3]);
+        assert_eq!(roundtrip(&mut stream, "EPOCH"), Response::Epoch(1));
+
+        // Detach the winning tags: the optimum must flip to {w1, w2}.
+        let Response::Updated { epoch, pending } = roundtrip(&mut stream, "UPDATE DETACH_TAG 2")
+        else {
+            panic!("expected UPDATED")
+        };
+        assert_eq!((epoch, pending), (1, 1), "staged, not yet visible");
+        roundtrip(&mut stream, "UPDATE DETACH_TAG 3");
+        // Still the old answer (and a cache hit) pre-reload.
+        let Response::Ok(staged) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert_eq!(staged.tags, vec![2, 3]);
+        assert!(staged.cached);
+
+        let Response::Reloaded(reloaded) = roundtrip(&mut stream, "RELOAD") else {
+            panic!("expected RELOADED")
+        };
+        assert_eq!(reloaded.epoch, 2);
+        assert_eq!(reloaded.folded, 2);
+        assert_eq!(roundtrip(&mut stream, "EPOCH"), Response::Epoch(2));
+
+        // Tag mutations invalidate every cached answer: the same query now
+        // computes the new optimum.
+        let Response::Ok(after) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert!(!after.cached, "stale answer must not be served");
+        assert_eq!(after.tags, vec![0, 1], "detaching w3/w4 flips the optimum to {{w1, w2}}");
+
+        let Response::Stats(stats) = roundtrip(&mut stream, "STATS") else { panic!() };
+        assert_eq!(stats.get_u64("epoch"), Some(2));
+        assert_eq!(stats.get_u64("updates_applied"), Some(2));
+        assert_eq!(stats.get_u64("updates_pending"), Some(0));
+        assert_eq!(stats.get_u64("reloads"), Some(1));
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn reload_without_updates_keeps_the_epoch() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let Response::Reloaded(r) = roundtrip(&mut stream, "RELOAD") else { panic!() };
+        assert_eq!((r.epoch, r.folded), (1, 0));
+        assert_eq!(roundtrip(&mut stream, "EPOCH"), Response::Epoch(1));
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn invalid_updates_answer_bad_update() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for (line, needle) in [
+            ("UPDATE REMOVE_EDGE 1 0", "no edge"),
+            ("UPDATE ADD_EDGE 0 1 0:0.5", "already exists"),
+            ("UPDATE ADD_EDGE 0 99 0:0.5", "out of range"),
+            ("UPDATE ATTACH_TAG 9 0:0.5", "out of range"),
+            ("UPDATE ADD_EDGE 1 0 0:1.5", "outside (0, 1]"),
+        ] {
+            match roundtrip(&mut stream, line) {
+                Response::Err { code, message } => {
+                    assert_eq!(code, ErrorCode::BadUpdate, "{line}");
+                    assert!(message.contains(needle), "{line}: {message}");
+                }
+                other => panic!("{line}: expected ERR BAD_UPDATE, got {other:?}"),
+            }
+        }
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn admin_verbs_can_be_disabled() {
+        let options = ServeOptions { admin: false, ..ServeOptions::default() };
+        let server = Server::spawn(paper_handle(), ("127.0.0.1", 0), options).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for line in ["UPDATE ADD_USER", "RELOAD", "EPOCH"] {
+            match roundtrip(&mut stream, line) {
+                Response::Err { code, .. } => assert_eq!(code, ErrorCode::AdminDenied, "{line}"),
+                other => panic!("{line}: expected ERR ADMIN_DENIED, got {other:?}"),
+            }
+        }
+        // Plain serving is unaffected.
+        let Response::Ok(reply) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert_eq!(reply.tags, vec![2, 3]);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn edge_update_invalidates_only_affected_users() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Warm the cache for u1 (affected: reaches u6) and u7 (id 6, a
+        // sink — unaffected by any edge out of u6).
+        roundtrip(&mut stream, "QUERY 0 2");
+        roundtrip(&mut stream, "QUERY 6 2");
+        roundtrip(&mut stream, "UPDATE SET_EDGE 5 6 2:0.9");
+        let Response::Reloaded(_) = roundtrip(&mut stream, "RELOAD") else { panic!() };
+        // u7's cached answer survives the swap; u1's does not.
+        let Response::Ok(sink) = roundtrip(&mut stream, "QUERY 6 2") else { panic!() };
+        assert!(sink.cached, "unaffected user keeps their cache entry");
+        let Response::Ok(hot) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert!(!hot.cached, "affected user is recomputed");
         server.stop().unwrap();
     }
 

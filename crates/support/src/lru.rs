@@ -125,9 +125,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         let shards = shards.clamp(1, capacity.max(1));
         let base = capacity / shards;
         let extra = capacity % shards;
-        let shards: Vec<_> = (0..shards)
-            .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
-            .collect();
+        let shards: Vec<_> =
+            (0..shards).map(|i| Mutex::new(Shard::new(base + usize::from(i < extra)))).collect();
         Self {
             shards,
             hasher: FxBuildHasher::default(),
@@ -178,6 +177,30 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// re-inserted. Returns whether an entry was removed.
     pub fn invalidate(&self, key: &K) -> bool {
         self.shard(key).lock().unwrap().remove(key)
+    }
+
+    /// Drops every entry whose key/value matches `pred`, returning how
+    /// many were removed. Each shard is swept under its own lock, so the
+    /// sweep never blocks lookups on other shards; entries inserted into
+    /// an already-swept shard *during* the sweep are not revisited — the
+    /// caller sequences sweeps against writers (the serving layer swaps
+    /// the snapshot first, then sweeps, and gates inserts on the epoch).
+    ///
+    /// The serving layer uses this for user-keyed invalidation after a
+    /// live update: only the entries of affected users are dropped, so the
+    /// cache stays warm for everyone else.
+    pub fn invalidate_if(&self, mut pred: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let doomed: Vec<K> =
+                shard.map.iter().filter(|(k, (v, _))| pred(k, v)).map(|(k, _)| k.clone()).collect();
+            for key in doomed {
+                shard.remove(&key);
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Drops every entry (counters are preserved).
@@ -263,6 +286,34 @@ mod tests {
         assert_eq!(cache.get(&(3, 2)), None);
         cache.insert((3, 2), 2.0);
         assert_eq!(cache.get(&(3, 2)), Some(2.0));
+    }
+
+    #[test]
+    fn invalidate_if_sweeps_exactly_the_matching_keys() {
+        let cache: ShardedLru<(u32, usize), f64> = ShardedLru::new(32);
+        for user in 0..8u32 {
+            for k in 1..=2usize {
+                cache.insert((user, k), user as f64 + k as f64);
+            }
+        }
+        let removed = cache.invalidate_if(|&(user, _), _| user % 2 == 0);
+        assert_eq!(removed, 8);
+        for user in 0..8u32 {
+            for k in 1..=2usize {
+                let expect = if user % 2 == 0 { None } else { Some(user as f64 + k as f64) };
+                assert_eq!(cache.get(&(user, k)), expect, "user {user} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_if_can_match_on_values() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(16);
+        for i in 0..10 {
+            cache.insert(i, i * 10);
+        }
+        assert_eq!(cache.invalidate_if(|_, &v| v >= 50), 5);
+        assert_eq!(cache.len(), 5);
     }
 
     #[test]

@@ -130,6 +130,53 @@ proptest! {
         }
     }
 
+    /// Predicate invalidation removes exactly the matching keys — a
+    /// survivor still hits with its latest value, a victim misses — and
+    /// never resurrects entries that were already evicted or invalidated.
+    #[test]
+    fn invalidate_if_removes_exactly_the_matching_keys(
+        capacity in 1usize..33,
+        shards in 1usize..9,
+        raw_ops in proptest::collection::vec((0u8..3, 0u16..32, 0u16..1000), 1..200),
+        predicate_modulus in 2u16..5,
+    ) {
+        let cache: ShardedLru<u16, u16> = ShardedLru::with_shards(capacity, shards);
+        // What the cache *may* hold: key -> latest value. Eviction can drop
+        // any of these, but nothing outside this map may ever surface.
+        let mut latest: HashMap<u16, u16> = HashMap::new();
+        for op in decode(raw_ops) {
+            match op {
+                Op::Insert(k, v) => {
+                    cache.insert(k, v);
+                    latest.insert(k, v);
+                }
+                Op::Get(k) => {
+                    cache.get(&k);
+                }
+                Op::Invalidate(k) => {
+                    cache.invalidate(&k);
+                    latest.remove(&k);
+                }
+            }
+        }
+        let live_before = cache.len();
+        let matches = |k: &u16| k % predicate_modulus == 0;
+        let removed = cache.invalidate_if(|k, _| matches(k));
+        prop_assert_eq!(cache.len(), live_before - removed, "sweep removed what it counted");
+        for (&k, &v) in &latest {
+            let got = cache.get(&k);
+            if matches(&k) {
+                prop_assert_eq!(got, None, "key {} survived its own predicate", k);
+            } else if let Some(got) = got {
+                // Survivors may have been LRU-evicted, but a hit must be
+                // the latest value — the sweep resurrects nothing.
+                prop_assert_eq!(got, v, "stale survivor for key {}", k);
+            }
+        }
+        // A second identical sweep finds nothing: victims stay gone.
+        prop_assert_eq!(cache.invalidate_if(|k, _| matches(k)), 0);
+    }
+
     /// Capacity is a hard bound even when inserts vastly outnumber slots,
     /// and the counters account for every lookup.
     #[test]

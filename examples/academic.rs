@@ -23,10 +23,7 @@ fn main() {
 
     let mut engine = PitexEngine::with_lazy(&cs.model, PitexConfig::default());
     let mut total = 0.0;
-    println!(
-        "\n{:<24} {:<52} {:>9}",
-        "researcher", "selling points (k = 5)", "accuracy"
-    );
+    println!("\n{:<24} {:<52} {:>9}", "researcher", "selling points (k = 5)", "accuracy");
     for r in &cs.researchers {
         let result = engine.query(r.user, 5);
         let names: Vec<&str> = result.tags.iter().map(|t| cs.tag_name(t)).collect();

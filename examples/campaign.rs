@@ -30,10 +30,7 @@ const ISSUES: [&str; 12] = [
 ];
 
 fn tag_label(t: TagId) -> String {
-    ISSUES
-        .get(t as usize)
-        .map(|s| s.to_string())
-        .unwrap_or_else(|| format!("#tag-{t}"))
+    ISSUES.get(t as usize).map(|s| s.to_string()).unwrap_or_else(|| format!("#tag-{t}"))
 }
 
 fn main() {

@@ -62,7 +62,10 @@ fn main() {
         ("DELAYMAT", PitexEngine::with_delay(&model, &delay_index, config)),
     ];
 
-    println!("\n{:<16} {:>12} {:>14} {:>22}", "backend", "avg time", "avg spread", "example answer");
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>22}",
+        "backend", "avg time", "avg spread", "example answer"
+    );
     for (label, engine) in backends.iter_mut() {
         let t = Instant::now();
         let mut spread_sum = 0.0;

@@ -7,14 +7,18 @@
 //! pitex query   --model model.bin --user 42 --k 3 [--method lazy|mc|rr|tim|exact|lt]
 //!               [--index index.bin] [--top 5] [--epsilon 0.7] [--delta 1000]
 //! pitex serve   --model model.bin [--port 7411] [--threads 4] [--method lazy]
-//! pitex client  --addr 127.0.0.1:7411 --user 42 --k 3 | --stats | --shutdown | --bench
+//! pitex update  --model model.bin --out new.bin (--ops FILE | --op "SET_EDGE 0 1 0:0.9")
+//! pitex client  --addr 127.0.0.1:7411 --user 42 --k 3 | --stats [--json] | --shutdown
+//!               | --bench | --update "OP…" | --admin epoch|reload
 //! ```
 //!
 //! The CLI covers the offline/online lifecycle end-to-end: generate (or
-//! later: load) a model, build and persist an index, answer queries, and
-//! run / exercise the query server.
+//! later: load) a model, build and persist an index, answer queries, run /
+//! exercise the query server, and mutate a model offline (`update`) or a
+//! running server (`client --update` / `--admin reload`).
 
 use pitex::index::serial;
+use pitex::live::{ops_from_file_bytes, repair_rr_index};
 use pitex::prelude::*;
 use pitex::serve::{LoadGen, Response, ServeClient, ServeOptions, Server};
 use pitex::support::stats::{human_bytes, human_duration};
@@ -80,6 +84,7 @@ fn main() -> ExitCode {
         "index" => cmd_index(&opts),
         "query" => cmd_query(&opts),
         "serve" => cmd_serve(&opts),
+        "update" => cmd_update(&opts),
         "client" => cmd_client(&opts),
         "help" | "--help" | "-h" => write_stdout(format_args!("{USAGE}")),
         other => Err(CliError::Msg(format!("unknown command {other:?}"))),
@@ -99,22 +104,29 @@ const USAGE: &str = "pitex — personalized social influential tags exploration 
 USAGE:
   pitex gen    --profile <lastfm|diggs|dblp|twitter> [--scale F] [--tags N] --out FILE
   pitex stats  --model FILE
-  pitex index  --model FILE --out FILE [--per-vertex F] [--delay]
+  pitex index  --model FILE --out FILE [--per-vertex F] [--index-seed N] [--delay]
   pitex query  --model FILE --user N --k N [--method NAME] [--index FILE]
                [--top N] [--epsilon F] [--delta F] [--seed N]
   pitex serve  --model FILE [--method NAME] [--index FILE] [--port N] [--threads N]
                [--cache N] [--queue N] [--deadline-ms N] [--epsilon F] [--delta F] [--seed N]
+               [--dirty-threshold F] [--no-admin]
+  pitex update --model FILE --out FILE (--ops FILE | --op \"SET_EDGE 0 1 0:0.9\")
+               [--index FILE --index-out FILE [--dirty-threshold F]]
   pitex client --addr HOST:PORT (--user N --k N [--timeout-us N] [--repeat N]
-               | --stats | --ping | --shutdown
+               | --stats [--json] | --ping | --shutdown
+               | --update \"OP...\" | --admin epoch|reload
                | --bench [--clients N] [--requests N] [--user N] [--k N])
 
 METHODS: lazy (default), mc, rr, tim, exact, lt,
-         indexest / indexest+ / delaymat (require --index)";
+         indexest / indexest+ / delaymat (require --index)
+
+UPDATE OPS: ADD_EDGE s d z:p[,z:p..] | REMOVE_EDGE s d | SET_EDGE s d z:p[,..]
+            | ATTACH_TAG w z:p[,..] | DETACH_TAG w | ADD_USER  ('-' = empty row)";
 
 type Opts = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 5] = ["delay", "stats", "ping", "shutdown", "bench"];
+const BOOL_FLAGS: [&str; 7] = ["delay", "stats", "ping", "shutdown", "bench", "json", "no-admin"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::new();
@@ -191,13 +203,18 @@ fn cmd_index(opts: &Opts) -> Result<(), CliError> {
     let out = want(opts, "out")?;
     let per_vertex: f64 =
         opts.get("per-vertex").map(|s| parse(s, "--per-vertex")).transpose()?.unwrap_or(8.0);
+    // The index sampling seed. `serve`/`update` repair the index under the
+    // same `--index-seed` flag and default, so repairs stay bit-identical
+    // to rebuilds without the user threading a value through.
+    let index_seed: u64 =
+        opts.get("index-seed").map(|s| parse(s, "--index-seed")).transpose()?.unwrap_or(42);
     let budget = IndexBudget::PerVertex(per_vertex);
     let t = Instant::now();
     let bytes = if opts.contains_key("delay") {
-        let index = DelayMatIndex::build(&model, budget, 42);
+        let index = DelayMatIndex::build(&model, budget, index_seed);
         serial::delay_index_to_bytes(&index)
     } else {
-        let index = RrIndex::build(&model, budget, 42);
+        let index = RrIndex::build(&model, budget, index_seed);
         serial::rr_index_to_bytes(&index)
     };
     std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
@@ -244,7 +261,11 @@ fn cmd_query(opts: &Opts) -> Result<(), CliError> {
         );
     } else {
         let ranking = engine.query_top_n(user, k, top);
-        outln!("top-{top} tag sets [{} backend, {}]:", engine.backend_name(), human_duration(t.elapsed()));
+        outln!(
+            "top-{top} tag sets [{} backend, {}]:",
+            engine.backend_name(),
+            human_duration(t.elapsed())
+        );
         for (rank, (tags, spread)) in ranking.iter().enumerate() {
             outln!("  {:>2}. {tags}  spread {spread:.4}", rank + 1);
         }
@@ -279,9 +300,8 @@ fn build_handle(opts: &Opts) -> Result<EngineHandle, CliError> {
             .ok_or_else(|| format!("{} needs --index FILE", backend.cli_name()))?;
         let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
         if backend.needs_delay_index() {
-            delay_index = Some(Arc::new(
-                serial::delay_index_from_bytes(&bytes).map_err(|e| e.to_string())?,
-            ));
+            delay_index =
+                Some(Arc::new(serial::delay_index_from_bytes(&bytes).map_err(|e| e.to_string())?));
         } else {
             rr_index =
                 Some(Arc::new(serial::rr_index_from_bytes(&bytes).map_err(|e| e.to_string())?));
@@ -289,6 +309,18 @@ fn build_handle(opts: &Opts) -> Result<EngineHandle, CliError> {
     }
     EngineHandle::with_indexes(model, backend, rr_index, delay_index, config)
         .map_err(|e| CliError::Msg(e.to_string()))
+}
+
+/// Shared by `serve` and `update`: index-repair tuning. The sample budget
+/// and seed are *not* flags here — they travel inside the index artifact
+/// (written by `pitex index`), so repair always reproduces the exact
+/// streams the index was built from.
+fn repair_from_opts(opts: &Opts) -> Result<RepairOptions, String> {
+    let mut repair = RepairOptions::default().with_env();
+    if let Some(t) = opts.get("dirty-threshold") {
+        repair.dirty_threshold = parse(t, "--dirty-threshold")?;
+    }
+    Ok(repair)
 }
 
 fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
@@ -299,9 +331,14 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         workers: opts.get("threads").map(|s| parse(s, "--threads")).transpose()?.unwrap_or(4),
         queue_depth: opts.get("queue").map(|s| parse(s, "--queue")).transpose()?.unwrap_or(64),
         default_deadline: Duration::from_millis(
-            opts.get("deadline-ms").map(|s| parse(s, "--deadline-ms")).transpose()?.unwrap_or(5_000),
+            opts.get("deadline-ms")
+                .map(|s| parse(s, "--deadline-ms"))
+                .transpose()?
+                .unwrap_or(5_000),
         ),
         cache_capacity: opts.get("cache").map(|s| parse(s, "--cache")).transpose()?.unwrap_or(1024),
+        admin: !opts.contains_key("no-admin"),
+        repair: repair_from_opts(opts)?,
     };
     let server = Server::spawn(handle, ("127.0.0.1", port), options)
         .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
@@ -321,10 +358,99 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `pitex update`: apply an ops file (binary `PLOG` or text, see `--help`)
+/// or a single inline op to a model offline, writing the compacted model —
+/// and, when `--index`/`--index-out` are given, incrementally repairing
+/// the RR-Graph index to match.
+fn cmd_update(opts: &Opts) -> Result<(), CliError> {
+    // Flag validation up front, before anything is written to disk.
+    if opts.contains_key("index-out") && !opts.contains_key("index") {
+        return Err("--index-out needs --index FILE to repair from".into());
+    }
+    if opts.contains_key("index") && !opts.contains_key("index-out") {
+        return Err("--index needs --index-out FILE for the repaired index".into());
+    }
+    let model = Arc::new(load_model(opts)?);
+    let out = want(opts, "out")?;
+    let ops = match (opts.get("ops"), opts.get("op")) {
+        (Some(path), None) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            ops_from_file_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?
+        }
+        (None, Some(text)) => vec![UpdateOp::parse_text(text)?],
+        _ => return Err("update needs exactly one of --ops FILE or --op \"TEXT\"".into()),
+    };
+
+    // Load and decode the old index *before* writing anything: a bad
+    // --index file must not leave a mutated model beside a stale index.
+    let old_index = match opts.get("index") {
+        Some(index_path) => {
+            let bytes =
+                std::fs::read(index_path).map_err(|e| format!("reading {index_path}: {e}"))?;
+            Some(serial::rr_index_from_bytes(&bytes).map_err(|e| format!("{index_path}: {e}"))?)
+        }
+        None => None,
+    };
+
+    let mut overlay = ModelOverlay::new(model.clone());
+    let count = ops.len();
+    overlay.apply_all(ops).map_err(|(i, e)| format!("op {} of {count} rejected: {e}", i + 1))?;
+    let t = Instant::now();
+    let new_model = overlay.compact();
+    pitex::model::serial::save(&new_model, out).map_err(|e| e.to_string())?;
+    outln!(
+        "applied {count} ops: {} users, {} edges, {} tags -> {out} in {}",
+        new_model.graph().num_nodes(),
+        new_model.graph().num_edges(),
+        new_model.num_tags(),
+        human_duration(t.elapsed())
+    );
+
+    if let Some(old_index) = old_index {
+        let index_out = want(opts, "index-out")?;
+        let repair = repair_from_opts(opts)?;
+        let t = Instant::now();
+        let (repaired, report) = repair_rr_index(&old_index, &model, &new_model, &repair);
+        let bytes = serial::rr_index_to_bytes(&repaired);
+        std::fs::write(index_out, &bytes).map_err(|e| e.to_string())?;
+        if report.full_rebuild {
+            outln!(
+                "index rebuilt in full ({}): {} graphs, {} -> {index_out} in {}",
+                report.reason.as_deref().unwrap_or("unknown"),
+                report.theta,
+                human_bytes(bytes.len() as u64),
+                human_duration(t.elapsed())
+            );
+        } else {
+            outln!(
+                "index repaired: {} of {} graphs resampled ({} reused) -> {index_out} in {}",
+                report.resampled,
+                report.theta,
+                report.reused,
+                human_duration(t.elapsed())
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Minimal JSON string escaping for `--stats --json` values.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn cmd_client(opts: &Opts) -> Result<(), CliError> {
     let addr = want(opts, "addr")?;
-    let connect =
-        || ServeClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"));
+    let connect = || ServeClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"));
 
     if opts.contains_key("ping") {
         connect()?.ping().map_err(|e| e.to_string())?;
@@ -333,8 +459,63 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
     }
     if opts.contains_key("stats") {
         let stats = connect()?.stats().map_err(|e| e.to_string())?;
-        for (key, value) in stats.iter() {
-            outln!("{key}={value}");
+        if opts.contains_key("json") {
+            // Machine-readable mode: one JSON object, numeric values left
+            // unquoted so `jq '.qps'` and friends work directly.
+            let fields: Vec<String> = stats
+                .iter()
+                .map(|(key, value)| {
+                    let is_number = value.parse::<f64>().is_ok_and(f64::is_finite);
+                    if is_number {
+                        format!("\"{}\":{}", json_escape(key), value)
+                    } else {
+                        format!("\"{}\":\"{}\"", json_escape(key), json_escape(value))
+                    }
+                })
+                .collect();
+            outln!("{{{}}}", fields.join(","));
+        } else {
+            for (key, value) in stats.iter() {
+                outln!("{key}={value}");
+            }
+        }
+        return Ok(());
+    }
+    if let Some(text) = opts.get("update") {
+        let op = UpdateOp::parse_text(text)?;
+        let (epoch, pending) =
+            connect()?.update(op).map_err(|e| format!("update rejected: {e}"))?;
+        outln!("staged (epoch {epoch}, {pending} pending; RELOAD to apply)");
+        return Ok(());
+    }
+    if let Some(verb) = opts.get("admin") {
+        match verb.as_str() {
+            "epoch" => {
+                let epoch = connect()?.epoch().map_err(|e| e.to_string())?;
+                outln!("epoch {epoch}");
+            }
+            "reload" => {
+                let r = connect()?.reload().map_err(|e| format!("reload failed: {e}"))?;
+                if r.folded == 0 {
+                    outln!("nothing pending (epoch {})", r.epoch);
+                } else if r.full {
+                    outln!(
+                        "reloaded to epoch {}: {} ops folded, index rebuilt in full ({} graphs)",
+                        r.epoch,
+                        r.folded,
+                        r.resampled
+                    );
+                } else {
+                    outln!(
+                        "reloaded to epoch {}: {} ops folded, {} graphs resampled, {} reused",
+                        r.epoch,
+                        r.folded,
+                        r.resampled,
+                        r.reused
+                    );
+                }
+            }
+            other => return Err(format!("unknown --admin verb {other:?} (epoch|reload)").into()),
         }
         return Ok(());
     }

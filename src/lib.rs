@@ -25,6 +25,7 @@
 //! | [`sampling`] | MC / RR / lazy-propagation samplers, exact evaluator, stopping rules |
 //! | [`index`] | RR-Graph index, edge-cut pruning, delay materialization |
 //! | [`core`] | the query engine: enumeration, best-effort exploration, TIM baseline |
+//! | [`live`] | online updates: update log + overlay, incremental index repair, epoch snapshots |
 //! | [`serve`] | the concurrent query server: TCP line protocol, worker pool, result cache |
 //! | [`datasets`] | synthetic evaluation datasets, workloads, case study |
 
@@ -32,6 +33,7 @@ pub use pitex_core as core;
 pub use pitex_datasets as datasets;
 pub use pitex_graph as graph;
 pub use pitex_index as index;
+pub use pitex_live as live;
 pub use pitex_model as model;
 pub use pitex_sampling as sampling;
 pub use pitex_serve as serve;
@@ -46,11 +48,12 @@ pub mod prelude {
     pub use pitex_datasets::{CaseStudy, CaseStudyConfig, DatasetProfile, UserGroup, UserGroups};
     pub use pitex_graph::{DiGraph, EdgeId, GraphBuilder, NodeId};
     pub use pitex_index::{DelayMatIndex, IndexBudget, RrIndex};
+    pub use pitex_live::{ModelOverlay, RepairOptions, SnapshotStore, UpdateOp};
     pub use pitex_model::{
         EdgeProbs, EdgeTopics, TagId, TagSet, TagTopicMatrix, TicModel, TopicId,
     };
     pub use pitex_sampling::{
-        Estimate, ExactEstimator, LazySampler, McSampler, RrSampler, SampleBudget,
-        SamplingParams, SpreadEstimator,
+        Estimate, ExactEstimator, LazySampler, McSampler, RrSampler, SampleBudget, SamplingParams,
+        SpreadEstimator,
     };
 }

@@ -23,12 +23,18 @@ fn batch_is_deterministic_under_a_fixed_seed() {
             PitexConfig { seed: 0xDEAD_BEEF, ..PitexConfig::default() },
         )
         .unwrap();
-        let runs: Vec<Vec<PitexResult>> = (0..3)
-            .map(|run| query_batch_shared(&handle, &queries, 1 + run * 3))
-            .collect();
+        let runs: Vec<Vec<PitexResult>> =
+            (0..3).map(|run| query_batch_shared(&handle, &queries, 1 + run * 3)).collect();
         for (run, results) in runs.iter().enumerate().skip(1) {
             for (a, b) in runs[0].iter().zip(results) {
-                assert_eq!(a.tags, b.tags, "{}: run {run}, user {} k {}", backend.label(), a.user, a.k);
+                assert_eq!(
+                    a.tags,
+                    b.tags,
+                    "{}: run {run}, user {} k {}",
+                    backend.label(),
+                    a.user,
+                    a.k
+                );
                 assert_eq!(a.spread, b.spread, "{}: run {run}", backend.label());
             }
         }
@@ -41,8 +47,7 @@ fn batch_agrees_with_one_at_a_time_queries_across_backends() {
     let model = TicModel::paper_example();
     let config = PitexConfig::default();
     let queries = workload(&model);
-    for backend in
-        [EngineBackend::Exact, EngineBackend::Lazy, EngineBackend::Mc, EngineBackend::Rr]
+    for backend in [EngineBackend::Exact, EngineBackend::Lazy, EngineBackend::Mc, EngineBackend::Rr]
     {
         let handle = EngineHandle::new(Arc::new(model.clone()), backend, config).unwrap();
         let batched = query_batch_shared(&handle, &queries, 4);
@@ -51,7 +56,8 @@ fn batch_agrees_with_one_at_a_time_queries_across_backends() {
             let single = handle.engine().query(user, k);
             assert_eq!(result.user, user, "{}", backend.label());
             assert_eq!(
-                result.tags, single.tags,
+                result.tags,
+                single.tags,
                 "{}: user {user} k {k} diverged from a fresh engine",
                 backend.label()
             );
@@ -88,7 +94,8 @@ fn index_backed_batch_through_a_shared_handle() {
         PitexConfig::default(),
     )
     .unwrap();
-    let queries: Vec<(NodeId, usize)> = (0..model.graph().num_nodes() as u32).map(|u| (u, 2)).collect();
+    let queries: Vec<(NodeId, usize)> =
+        (0..model.graph().num_nodes() as u32).map(|u| (u, 2)).collect();
     let a = query_batch_shared(&handle, &queries, 4);
     let b = query_batch_shared(&handle, &queries, 2);
     assert_eq!(a.len(), queries.len());

@@ -90,10 +90,9 @@ fn queries_pick_near_optimal_sets() {
         );
         let optimum = exact_engine.query(0, 2);
         let config = PitexConfig { epsilon: 0.3, ..Default::default() };
-        for mut engine in [
-            PitexEngine::with_mc(&model, config),
-            PitexEngine::with_lazy(&model, config),
-        ] {
+        for mut engine in
+            [PitexEngine::with_mc(&model, config), PitexEngine::with_lazy(&model, config)]
+        {
             let picked = engine.query(0, 2);
             let picked_exact = exact_engine.estimate_tag_set(0, &picked.tags);
             let band = (1.0 - 0.3) / (1.0 + 0.3);

@@ -1,0 +1,257 @@
+//! End-to-end live-update suite: boots a real server over an RR-Graph
+//! index, mutates the model over the wire, and verifies — against the
+//! exact possible-world evaluator — that `RELOAD` swaps in the new truth
+//! with no stale cache hits and with *incremental* index repair (strictly
+//! fewer graphs resampled than a full rebuild). Plus the determinism
+//! properties: `compaction ∘ overlay` equals building the mutated model
+//! from scratch, and repairing an index equals rebuilding it, byte for
+//! byte, under the same `(budget, seed)`.
+
+use pitex::index::serial::rr_index_to_bytes;
+use pitex::live::{ops_from_bytes, ops_to_bytes, repair_rr_index};
+use pitex::prelude::*;
+use pitex::serve::{Response, ServeClient, ServeOptions, Server};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const INDEX_BUDGET: u64 = 6_000;
+const INDEX_SEED: u64 = 5;
+
+/// The scripted acceptance scenario from the issue: boot → query → mutate
+/// (edge retune + tag detachments that change the true top-k) → RELOAD →
+/// same query returns the new answer, cache serves nothing stale, repair
+/// resamples strictly fewer graphs than a rebuild.
+#[test]
+fn scripted_update_scenario_end_to_end() {
+    let model = Arc::new(TicModel::paper_example());
+    let budget = IndexBudget::Fixed(INDEX_BUDGET);
+    let index = Arc::new(RrIndex::build_with_threads(&model, budget, INDEX_SEED, 2));
+    let handle = EngineHandle::with_indexes(
+        model.clone(),
+        EngineBackend::IndexEst,
+        Some(index),
+        None,
+        PitexConfig::default(),
+    )
+    .unwrap();
+    // Budget and seed travel inside the index artifact; only the repair
+    // tuning is an option. The 7-node example dirties a big fraction of
+    // graphs, so raise the rebuild-fallback threshold.
+    let options = ServeOptions {
+        repair: RepairOptions { dirty_threshold: 0.9, ..RepairOptions::default() },
+        ..ServeOptions::default()
+    };
+    let server = Server::spawn(handle, ("127.0.0.1", 0), options).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // The ground truth on both worlds comes from the exact evaluator.
+    let ops = [
+        UpdateOp::parse_text("SET_EDGE 0 1 0:0.9").unwrap(),
+        UpdateOp::parse_text("DETACH_TAG 2").unwrap(),
+        UpdateOp::parse_text("DETACH_TAG 3").unwrap(),
+    ];
+    let old_truth = PitexEngine::with_exact(&model, PitexConfig::default()).query(0, 2);
+    let mut overlay = ModelOverlay::new(model.clone());
+    overlay.apply_all(ops.iter().cloned()).unwrap();
+    let new_model = overlay.compact();
+    let new_truth = PitexEngine::with_exact(&new_model, PitexConfig::default()).query(0, 2);
+    assert_ne!(old_truth.tags, new_truth.tags, "the mutation must change the true top-k");
+    assert_eq!(new_truth.tags, TagSet::from([0, 1]), "detaching w3/w4 leaves {{w1, w2}}");
+
+    // Boot state: the index backend agrees with the exact top-k, and the
+    // repeat is served from the cache.
+    let Response::Ok(before) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+    assert_eq!(before.tags, old_truth.tags.tags(), "index backend agrees with exact");
+    let Response::Ok(cached) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+    assert!(cached.cached);
+
+    // Stage the updates and swap.
+    for op in &ops {
+        client.update(op.clone()).unwrap();
+    }
+    let reloaded = client.reload().unwrap();
+    assert_eq!(reloaded.epoch, 2);
+    assert_eq!(reloaded.folded, 3);
+    assert!(!reloaded.full, "repair must not fall back to a rebuild");
+    assert!(
+        reloaded.resampled > 0 && reloaded.resampled < INDEX_BUDGET,
+        "incremental repair resamples strictly fewer graphs than a rebuild: {reloaded:?}"
+    );
+    assert_eq!(reloaded.resampled + reloaded.reused, INDEX_BUDGET);
+
+    // The same query now returns the new truth — recomputed, not stale.
+    let Response::Ok(after) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+    assert!(!after.cached, "the cache must not serve a pre-reload answer");
+    assert_eq!(after.tags, new_truth.tags.tags(), "post-reload answer matches exact");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get_u64("epoch"), Some(2));
+    assert_eq!(stats.get_u64("updates_applied"), Some(3));
+    assert_eq!(stats.get_u64("reloads"), Some(1));
+    server.stop().unwrap();
+}
+
+/// An independent oracle for `compact()`: replays the ops against plain
+/// maps and assembles the mutated `TicModel` from scratch.
+struct Oracle {
+    num_nodes: usize,
+    edges: BTreeMap<(u32, u32), Vec<(u16, f32)>>,
+    tags: Vec<Vec<(u16, f32)>>,
+    num_topics: usize,
+    prior: Vec<f64>,
+}
+
+impl Oracle {
+    fn new(model: &TicModel) -> Self {
+        let mut edges = BTreeMap::new();
+        for (e, s, t) in model.graph().edges() {
+            edges.insert((s, t), model.edge_topics().row(e).collect());
+        }
+        Self {
+            num_nodes: model.graph().num_nodes(),
+            edges,
+            tags: (0..model.num_tags() as u32)
+                .map(|w| model.tag_topic().row(w).collect())
+                .collect(),
+            num_topics: model.num_topics(),
+            prior: model.tag_topic().prior().to_vec(),
+        }
+    }
+
+    fn apply(&mut self, op: &UpdateOp) {
+        match op.clone() {
+            UpdateOp::AddEdge { src, dst, topics }
+            | UpdateOp::SetEdgeTopics { src, dst, topics } => {
+                self.edges.insert((src, dst), topics);
+            }
+            UpdateOp::RemoveEdge { src, dst } => {
+                self.edges.remove(&(src, dst));
+            }
+            UpdateOp::AttachTag { tag, topics } => {
+                if tag as usize == self.tags.len() {
+                    self.tags.push(topics);
+                } else {
+                    self.tags[tag as usize] = topics;
+                }
+            }
+            UpdateOp::DetachTag { tag } => self.tags[tag as usize].clear(),
+            UpdateOp::AddUser => self.num_nodes += 1,
+        }
+    }
+
+    fn build(&self) -> TicModel {
+        let mut builder = GraphBuilder::new(self.num_nodes);
+        for &(s, t) in self.edges.keys() {
+            builder.add_edge(s, t);
+        }
+        let graph = builder.build();
+        let rows: Vec<Vec<(u16, f32)>> = (0..graph.num_edges() as u32)
+            .map(|e| self.edges[&graph.edge_endpoints(e)].clone())
+            .collect();
+        let edge_topics = pitex::model::EdgeTopics::new(rows, self.num_topics);
+        let tag_topic = pitex::model::TagTopicMatrix::new(self.tags.clone(), self.prior.clone());
+        TicModel::new(graph, tag_topic, edge_topics)
+    }
+}
+
+/// Decodes arbitrary tuples into ops, applying only the valid ones (the
+/// overlay's own validation is the filter — rejected ops must leave no
+/// trace).
+fn apply_decoded(
+    overlay: &mut ModelOverlay,
+    oracle: &mut Oracle,
+    raw: &[(u8, u8, u8, u8, u16)],
+) -> usize {
+    let mut applied = 0;
+    for &(kind, a, b, z, p_raw) in raw {
+        let src = (a % 9) as u32;
+        let dst = (b % 9) as u32;
+        let topics = vec![((z % 3) as u16, (p_raw % 1000 + 1) as f32 / 1000.0)];
+        let op = match kind % 6 {
+            0 => UpdateOp::AddEdge { src, dst, topics },
+            1 => UpdateOp::RemoveEdge { src, dst },
+            2 => UpdateOp::SetEdgeTopics { src, dst, topics },
+            3 => UpdateOp::AttachTag { tag: src % 6, topics },
+            4 => UpdateOp::DetachTag { tag: src % 6 },
+            _ => UpdateOp::AddUser,
+        };
+        if overlay.apply(op.clone()).is_ok() {
+            oracle.apply(&op);
+            applied += 1;
+        }
+    }
+    applied
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `compact(overlay(ops))` equals building the mutated model from
+    /// scratch — and therefore (same seeds) produces identical index bytes.
+    #[test]
+    fn compaction_equals_from_scratch_build(
+        raw in proptest::collection::vec((0u8..6, 0u8..=255, 0u8..=255, 0u8..=255, 0u16..1000), 1..25),
+    ) {
+        let base = Arc::new(TicModel::paper_example());
+        let mut overlay = ModelOverlay::new(base.clone());
+        let mut oracle = Oracle::new(&base);
+        apply_decoded(&mut overlay, &mut oracle, &raw);
+
+        let compacted = overlay.compact();
+        let scratch = oracle.build();
+        prop_assert_eq!(compacted.graph(), scratch.graph());
+        prop_assert_eq!(compacted.edge_topics(), scratch.edge_topics());
+        prop_assert_eq!(compacted.tag_topic(), scratch.tag_topic());
+
+        // Same model, same seeds => identical index bytes.
+        let budget = IndexBudget::Fixed(120);
+        let a = RrIndex::build_with_threads(&compacted, budget, 3, 2);
+        let b = RrIndex::build_with_threads(&scratch, budget, 3, 3);
+        prop_assert_eq!(rr_index_to_bytes(&a), rr_index_to_bytes(&b));
+    }
+
+    /// Incremental repair of the staged mutations equals a from-scratch
+    /// rebuild of the mutated model, byte for byte — whatever mix of ops
+    /// was applied and whether or not the dirty threshold tripped.
+    #[test]
+    fn repair_equals_rebuild_for_arbitrary_ops(
+        raw in proptest::collection::vec((0u8..6, 0u8..=255, 0u8..=255, 0u8..=255, 0u16..1000), 1..12),
+        threshold in 0.0f64..1.0,
+    ) {
+        let base = Arc::new(TicModel::paper_example());
+        let mut overlay = ModelOverlay::new(base.clone());
+        let mut oracle = Oracle::new(&base);
+        apply_decoded(&mut overlay, &mut oracle, &raw);
+        let new_model = overlay.compact();
+
+        let opts = RepairOptions { threads: 2, dirty_threshold: threshold };
+        let old = RrIndex::build_with_threads(&base, IndexBudget::Fixed(150), 9, 2);
+        let (repaired, report) = repair_rr_index(&old, &base, &new_model, &opts);
+        let rebuilt = RrIndex::build_with_threads(&new_model, IndexBudget::Fixed(150), 9, 4);
+        prop_assert_eq!(rr_index_to_bytes(&repaired), rr_index_to_bytes(&rebuilt));
+        prop_assert_eq!(report.resampled + report.reused, report.theta);
+    }
+}
+
+/// The binary ops log round-trips through the codec (the CLI's `--ops`
+/// artifact and the text grammar agree).
+#[test]
+fn ops_log_binary_round_trip() {
+    let ops: Vec<UpdateOp> = [
+        "ADD_EDGE 1 4 0:0.4,2:0.1",
+        "REMOVE_EDGE 0 1",
+        "SET_EDGE 2 3 1:0.9",
+        "ATTACH_TAG 4 2:0.6",
+        "DETACH_TAG 0",
+        "ADD_USER",
+    ]
+    .iter()
+    .map(|s| UpdateOp::parse_text(s).unwrap())
+    .collect();
+    let back = ops_from_bytes(&ops_to_bytes(&ops)).unwrap();
+    assert_eq!(back, ops);
+    for op in &ops {
+        assert_eq!(UpdateOp::parse_text(&op.to_text()).unwrap(), *op);
+    }
+}

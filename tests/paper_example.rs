@@ -13,10 +13,7 @@ fn exact_spread_of(model: &TicModel, user: NodeId, tags: &TagSet) -> f64 {
 fn example1_value_is_exact() {
     let model = TicModel::paper_example();
     let spread = exact_spread_of(&model, 0, &TagSet::from([0, 1]));
-    assert!(
-        (spread - 1.5125).abs() < 1e-6,
-        "E[I(u1|{{w1,w2}})] = {spread}, paper says 1.5125"
-    );
+    assert!((spread - 1.5125).abs() < 1e-6, "E[I(u1|{{w1,w2}})] = {spread}, paper says 1.5125");
 }
 
 #[test]
@@ -29,10 +26,7 @@ fn optimum_beats_every_other_pair_exactly() {
                 continue;
             }
             let other = exact_spread_of(&model, 0, &TagSet::from([a, b]));
-            assert!(
-                best > other + 1e-9,
-                "{{w{a},w{b}}} = {other} must be below W* = {best}"
-            );
+            assert!(best > other + 1e-9, "{{w{a},w{b}}} = {other} must be below W* = {best}");
         }
     }
 }

@@ -60,13 +60,10 @@ fn delay_index_equivalent_counters_after_persistence() {
     let reloaded = serial::delay_index_from_bytes(&bytes).expect("round trip");
     assert_eq!(delay, reloaded);
     assert!(
-        bytes.len() < serial::rr_index_to_bytes(&RrIndex::build(
-            &model,
-            IndexBudget::PerVertex(6.0),
-            19
-        ))
-        .len()
-            / 50,
+        bytes.len()
+            < serial::rr_index_to_bytes(&RrIndex::build(&model, IndexBudget::PerVertex(6.0), 19))
+                .len()
+                / 50,
         "delay index must be a tiny fraction of the full index"
     );
 }

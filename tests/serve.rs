@@ -14,8 +14,7 @@ const PAPER_TAGS: [u32; 2] = [2, 3];
 
 fn boot(options: ServeOptions) -> ServerHandle {
     let model = Arc::new(TicModel::paper_example());
-    let handle =
-        EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+    let handle = EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
     Server::spawn(handle, ("127.0.0.1", 0), options).unwrap()
 }
 
@@ -51,8 +50,7 @@ fn concurrent_clients_agree_on_the_paper_answer() {
                     match round % 4 {
                         0 => {
                             let raw = client.roundtrip_line("EXPLODE 1 2").unwrap();
-                            let Response::Err { code, .. } = Response::parse(&raw).unwrap()
-                            else {
+                            let Response::Err { code, .. } = Response::parse(&raw).unwrap() else {
                                 panic!("malformed request must ERR")
                             };
                             assert_eq!(code, ErrorCode::BadRequest);
@@ -190,6 +188,84 @@ fn index_backend_serves_from_shared_snapshots() {
     assert_eq!(reply.k, 2);
     assert!(reply.spread >= 1.0);
     server.stop().unwrap();
+}
+
+/// Snapshot swaps under load: concurrent clients hammer the same query
+/// while an admin stages updates and reloads. Every reply must match one
+/// of the two worlds *exactly* — the paper answer with its old-world
+/// spread, or the post-update answer with its new-world spread. A torn
+/// snapshot (old tags with new spread, or vice versa) fails the test, as
+/// does any error or any stale answer after the swap completes.
+#[test]
+fn snapshot_swap_under_load_is_never_torn() {
+    let server = boot(ServeOptions { workers: 3, ..ServeOptions::default() });
+    let addr = server.addr();
+
+    // Ground truth for both worlds from the exact evaluator.
+    let old_model = TicModel::paper_example();
+    let old_truth = PitexEngine::with_exact(&old_model, PitexConfig::default()).query(0, 2);
+    let mut overlay = ModelOverlay::new(Arc::new(old_model));
+    let ops = [
+        UpdateOp::parse_text("DETACH_TAG 2").unwrap(),
+        UpdateOp::parse_text("DETACH_TAG 3").unwrap(),
+    ];
+    overlay.apply_all(ops.iter().cloned()).unwrap();
+    let new_model = overlay.compact();
+    let new_truth = PitexEngine::with_exact(&new_model, PitexConfig::default()).query(0, 2);
+    assert_ne!(old_truth.tags, new_truth.tags);
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 40;
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let old_truth = &old_truth;
+            let new_truth = &new_truth;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                for round in 0..ROUNDS {
+                    let Response::Ok(reply) = client.query(0, 2).unwrap() else {
+                        panic!("client {client_id} round {round}: query failed mid-swap")
+                    };
+                    let old_world =
+                        reply.tags == old_truth.tags.tags() && reply.spread == old_truth.spread;
+                    let new_world =
+                        reply.tags == new_truth.tags.tags() && reply.spread == new_truth.spread;
+                    assert!(
+                        old_world || new_world,
+                        "client {client_id} round {round}: torn answer {:?} spread {}",
+                        reply.tags,
+                        reply.spread
+                    );
+                }
+            });
+        }
+        scope.spawn(move || {
+            // Let the queriers get going, then mutate and swap mid-storm.
+            std::thread::sleep(Duration::from_millis(5));
+            let mut admin = ServeClient::connect(addr).unwrap();
+            assert_eq!(admin.epoch().unwrap(), 1);
+            for op in &ops {
+                admin.update(op.clone()).unwrap();
+            }
+            let reloaded = admin.reload().unwrap();
+            assert_eq!(reloaded.epoch, 2);
+            assert_eq!(reloaded.folded, 2);
+        });
+    });
+
+    // The swap completed: from here on only the new answer may be served,
+    // and the epoch in STATS has advanced.
+    let mut client = ServeClient::connect(addr).unwrap();
+    for _ in 0..3 {
+        let Response::Ok(reply) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+        assert_eq!(reply.tags, new_truth.tags.tags(), "stale answer after the swap");
+        assert_eq!(reply.spread, new_truth.spread);
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get_u64("epoch"), Some(2), "STATS must report the advanced epoch");
+    assert_eq!(stats.get_u64("reloads"), Some(1));
+    assert_eq!(stats.get_u64("updates_applied"), Some(2));
+    server.stop().expect("no server thread may panic during swaps");
 }
 
 #[test]

@@ -48,8 +48,12 @@ impl Criterion {
                 return self;
             }
         }
-        let mut bencher =
-            Bencher { warm_up: self.warm_up, measure: self.measure, iters: 0, elapsed: Duration::ZERO };
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
         f(&mut bencher);
         let mean = if bencher.iters == 0 {
             Duration::ZERO
@@ -138,7 +142,8 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_counts_iters() {
-        let mut c = Criterion { filter: None, warm_up: Duration::ZERO, measure: Duration::from_millis(5) };
+        let mut c =
+            Criterion { filter: None, warm_up: Duration::ZERO, measure: Duration::from_millis(5) };
         let mut ran = 0u64;
         c.bench_function("smoke", |b| {
             b.iter(|| {
