@@ -1,0 +1,56 @@
+//! # `pitex_cluster` — sharded serving over many `pitex_serve` processes
+//!
+//! One box is a dead end at the paper's own scale: §6 reports RR-Graph
+//! index builds of ~10⁴ seconds on twitter, and the Eq. 7 budget
+//! `Λ ∝ ln φ_K(n)` grows the index with the vertex count — yet
+//! `pitex_serve` assumes the whole model and index fit in a single
+//! process. This crate is the horizontal answer. The unit of partitioning
+//! falls straight out of the problem: a PITEX query `(u, k)` names exactly
+//! one user, so **user-hash sharding needs no cross-shard coordination on
+//! the read path** — only updates do, and they get an explicit epoch
+//! barrier.
+//!
+//! Three pieces:
+//!
+//! * [`ShardMap`] — deterministic user → shard assignment (a seeded
+//!   splitmix64 mix, identical in every process that loads the same map
+//!   file), per-shard replica lists, a [`plan`](ShardMap::plan) scatter
+//!   planner, and text + `PSHM` binary codecs.
+//! * [`ShardPools`] — per-shard connection pools over
+//!   [`pitex_serve::ServeClient`] with health gating, active `PING`
+//!   probing, replica failover, and per-shard load shedding.
+//! * [`Router`] — a TCP front-end speaking the *unchanged* `pitex_serve`
+//!   line protocol (a cluster is a drop-in for a single server): `QUERY`
+//!   routes by shard, `STATS`/`EPOCH` scatter-gather and merge (latency
+//!   histograms bucket-wise, counters by addition, epochs verified equal),
+//!   `UPDATE` forwards to the owning shard's replicas, and `RELOAD` runs
+//!   the two-phase barrier (`PREPARE` on every shard, then a `COMMIT`
+//!   wave under the router's write gate) so a scatter never observes two
+//!   shards answering from different worlds.
+//!
+//! ```no_run
+//! use pitex_cluster::{Router, RouterOptions, ShardMap};
+//! use pitex_serve::{Response, ServeClient};
+//!
+//! // Two shards x one replica, already running on these ports.
+//! let map = ShardMap::new(vec![
+//!     vec!["127.0.0.1:7411".to_string()],
+//!     vec!["127.0.0.1:7421".to_string()],
+//! ])
+//! .unwrap();
+//! let router = Router::spawn(map, ("127.0.0.1", 0), RouterOptions::default()).unwrap();
+//!
+//! // Clients cannot tell the router from a single server.
+//! let mut client = ServeClient::connect(router.addr()).unwrap();
+//! let Response::Ok(reply) = client.query(0, 2).unwrap() else { panic!() };
+//! assert_eq!(reply.user, 0);
+//! router.stop().unwrap();
+//! ```
+
+pub mod pool;
+pub mod router;
+pub mod shardmap;
+
+pub use pool::{BroadcastOutcome, CallError, PoolOptions, ShardPools};
+pub use router::{Router, RouterHandle, RouterOptions};
+pub use shardmap::ShardMap;

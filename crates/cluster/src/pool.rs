@@ -1,0 +1,562 @@
+//! Per-shard connection pools with health gating and replica failover.
+//!
+//! The router keeps, for every shard, a pool of pooled [`ServeClient`]
+//! connections per replica. A shard call checks a connection out (idle
+//! first, fresh dial otherwise), runs the request, and checks it back in on
+//! success. Failures drive the health state: a replica that refuses a dial
+//! or breaks mid-request is marked *down* for a cooldown window and the
+//! call **fails over** to the shard's next replica — one dead replica costs
+//! the cluster a retried round-trip, not an error. Down replicas rejoin two
+//! ways: lazily (the cooldown expires and the next call re-tries them) and
+//! actively (the router's prober thread — [`ShardPools::probe`] — which
+//! checks not just liveness but *epoch agreement* with a healthy peer, and
+//! re-quarantines a live replica that missed a reload while it was down).
+//!
+//! Back-pressure is per shard: at most `max_in_flight` calls may be
+//! outstanding against one shard; beyond that the pool reports
+//! [`CallError::Saturated`] and the router sheds the request with `BUSY`,
+//! mirroring what a single `pitex_serve` does when its queue fills.
+
+use crate::shardmap::ShardMap;
+use pitex_serve::{Request, Response, ServeClient};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for [`ShardPools`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolOptions {
+    /// Idle connections kept per replica (checked-out connections are not
+    /// capped by this; it only bounds what lingers).
+    pub idle_per_replica: usize,
+    /// Concurrent calls allowed per shard before the pool sheds
+    /// ([`CallError::Saturated`] → `BUSY`).
+    pub max_in_flight: usize,
+    /// How long a failed replica stays down before calls re-try it.
+    pub probe_cooldown: Duration,
+    /// TCP dial timeout for pool connections.
+    pub connect_timeout: Duration,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            idle_per_replica: 2,
+            max_in_flight: 64,
+            probe_cooldown: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Why a shard call failed without an answer.
+#[derive(Debug)]
+pub enum CallError {
+    /// The shard's in-flight cap is reached: shed the request.
+    Saturated,
+    /// Every replica of the shard failed; the message names the last error.
+    Unavailable(String),
+}
+
+/// One replica's pooled connections plus its health gate.
+struct Replica {
+    addr: String,
+    idle: Mutex<Vec<ServeClient>>,
+    /// `Some(t)`: considered down until `t` (calls skip it, the prober
+    /// pings it). `None`: healthy.
+    down_until: Mutex<Option<Instant>>,
+}
+
+impl Replica {
+    fn new(addr: String) -> Self {
+        Self { addr, idle: Mutex::new(Vec::new()), down_until: Mutex::new(None) }
+    }
+
+    /// Whether calls should try this replica right now (healthy, or the
+    /// cooldown has expired and it deserves another chance).
+    fn is_up(&self, now: Instant) -> bool {
+        match *self.down_until.lock().unwrap() {
+            Some(until) => now >= until,
+            None => true,
+        }
+    }
+
+    /// Whether the replica is currently marked down at all (regardless of
+    /// cooldown expiry) — what the prober and `replicas_up` report.
+    fn is_marked_down(&self) -> bool {
+        self.down_until.lock().unwrap().is_some()
+    }
+
+    fn mark_down(&self, cooldown: Duration) {
+        *self.down_until.lock().unwrap() = Some(Instant::now() + cooldown);
+        // Pooled connections to a dead peer are worthless; drop them so a
+        // revived replica starts from fresh dials.
+        self.idle.lock().unwrap().clear();
+    }
+
+    fn mark_up(&self) {
+        *self.down_until.lock().unwrap() = None;
+    }
+
+    fn take_idle(&self) -> Option<ServeClient> {
+        self.idle.lock().unwrap().pop()
+    }
+
+    fn put_idle(&self, client: ServeClient, cap: usize) {
+        let mut idle = self.idle.lock().unwrap();
+        if idle.len() < cap {
+            idle.push(client);
+        }
+    }
+}
+
+struct ShardPool {
+    replicas: Vec<Replica>,
+    /// Round-robin cursor so consecutive calls spread over replicas.
+    next: AtomicUsize,
+    in_flight: AtomicUsize,
+}
+
+/// Decrements the shard's in-flight count on every exit path.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// All shards' pools — see the module docs.
+pub struct ShardPools {
+    shards: Vec<ShardPool>,
+    options: PoolOptions,
+    failovers: AtomicU64,
+}
+
+/// Per-replica outcome of a [`ShardPools::broadcast`].
+pub struct BroadcastOutcome<T> {
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// The replica's address (for error messages).
+    pub addr: String,
+    /// `Ok` with the call's value, or the I/O error that felled it.
+    pub outcome: std::io::Result<T>,
+}
+
+impl ShardPools {
+    /// One pool per shard of `map`, all replicas initially healthy.
+    pub fn new(map: &ShardMap, options: PoolOptions) -> Self {
+        let shards = (0..map.num_shards())
+            .map(|s| ShardPool {
+                replicas: map.replicas(s).iter().cloned().map(Replica::new).collect(),
+                next: AtomicUsize::new(0),
+                in_flight: AtomicUsize::new(0),
+            })
+            .collect();
+        Self { shards, options, failovers: AtomicU64::new(0) }
+    }
+
+    /// Cross-replica failovers performed since construction.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// `(up, total)` replica counts across all shards, as health probing
+    /// currently sees them.
+    pub fn replica_health(&self) -> (usize, usize) {
+        let mut up = 0;
+        let mut total = 0;
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                total += 1;
+                if !replica.is_marked_down() {
+                    up += 1;
+                }
+            }
+        }
+        (up, total)
+    }
+
+    fn connect(&self, replica: &Replica) -> std::io::Result<ServeClient> {
+        ServeClient::connect_timeout(replica.addr.as_str(), self.options.connect_timeout)
+    }
+
+    /// Runs `f` against one replica of `shard`, failing over to the next
+    /// replica on any I/O error (healthy replicas first, then down-marked
+    /// ones as a last resort — a transiently mis-marked replica must not
+    /// black a shard out). `f` may run more than once and must be
+    /// idempotent against distinct replicas.
+    pub fn call<T>(
+        &self,
+        shard: usize,
+        mut f: impl FnMut(&mut ServeClient) -> std::io::Result<T>,
+    ) -> Result<T, CallError> {
+        let pool = &self.shards[shard];
+        if pool.in_flight.fetch_add(1, Ordering::Relaxed) >= self.options.max_in_flight {
+            pool.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(CallError::Saturated);
+        }
+        let _guard = InFlightGuard(&pool.in_flight);
+
+        let n = pool.replicas.len();
+        let start = pool.next.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        // Round-robin order, healthy replicas before down-marked ones.
+        let order: Vec<usize> = (0..n)
+            .map(|i| (start + i) % n)
+            .filter(|&r| pool.replicas[r].is_up(now))
+            .chain((0..n).map(|i| (start + i) % n).filter(|&r| !pool.replicas[r].is_up(now)))
+            .collect();
+        let mut last_err = None;
+        let mut attempts = 0;
+        for r in order {
+            let replica = &pool.replicas[r];
+            attempts += 1;
+            let mut client = match replica.take_idle() {
+                Some(client) => client,
+                None => match self.connect(replica) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        replica.mark_down(self.options.probe_cooldown);
+                        last_err = Some(e);
+                        continue;
+                    }
+                },
+            };
+            match f(&mut client) {
+                Ok(value) => {
+                    replica.mark_up();
+                    replica.put_idle(client, self.options.idle_per_replica);
+                    if attempts > 1 {
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(value);
+                }
+                Err(e) => {
+                    // The connection is in an unknown protocol state; drop
+                    // it and treat the replica as suspect.
+                    replica.mark_down(self.options.probe_cooldown);
+                    last_err = Some(e);
+                }
+            }
+        }
+        let detail = last_err.map(|e| e.to_string()).unwrap_or_else(|| "no replicas".to_string());
+        Err(CallError::Unavailable(format!("shard {shard}: {detail}")))
+    }
+
+    /// Runs `f` once against every replica of `shard`, returning
+    /// per-replica outcomes for the caller's policy; failures mark the
+    /// replica down as usual.
+    ///
+    /// `include_down` decides what "every" means. Admin fan-outs
+    /// (`UPDATE`, the reload barrier) pass `true`: skipping a live replica
+    /// there would silently diverge it, so even down-marked replicas get a
+    /// dial. Read scatters (`STATS`) pass `false`: a down replica is
+    /// already absent from the aggregate, and re-dialing a blackholed peer
+    /// would stall every scatter by the connect timeout.
+    pub fn broadcast<T>(
+        &self,
+        shard: usize,
+        include_down: bool,
+        mut f: impl FnMut(&mut ServeClient) -> std::io::Result<T>,
+    ) -> Vec<BroadcastOutcome<T>> {
+        let pool = &self.shards[shard];
+        let now = Instant::now();
+        pool.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, replica)| include_down || replica.is_up(now))
+            .map(|(r, replica)| {
+                let outcome =
+                    match replica.take_idle().map(Ok).unwrap_or_else(|| self.connect(replica)) {
+                        Ok(mut client) => match f(&mut client) {
+                            Ok(value) => {
+                                replica.mark_up();
+                                replica.put_idle(client, self.options.idle_per_replica);
+                                Ok(value)
+                            }
+                            Err(e) => {
+                                replica.mark_down(self.options.probe_cooldown);
+                                Err(e)
+                            }
+                        },
+                        Err(e) => {
+                            replica.mark_down(self.options.probe_cooldown);
+                            Err(e)
+                        }
+                    };
+                BroadcastOutcome { replica: r, addr: replica.addr.clone(), outcome }
+            })
+            .collect()
+    }
+
+    /// Number of shards (mirrors the map).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Actively probes down-marked replicas, reviving those that are both
+    /// alive (`PING`) **and** epoch-consistent with a healthy peer of the
+    /// same shard (`EPOCH`): a replica that missed a reload wave while it
+    /// was down would otherwise be re-admitted serving a stale world.
+    /// When epochs are unknowable — admin verbs disabled shard-side, or no
+    /// healthy peer to compare against — revival falls back to liveness
+    /// alone. Called periodically by the router's prober thread; returns
+    /// how many replicas were revived.
+    pub fn probe(&self) -> usize {
+        let mut revived = 0;
+        for shard in &self.shards {
+            // Computed lazily, once per shard, only when a down replica
+            // actually answers a PING.
+            let mut reference: Option<Option<u64>> = None;
+            for replica in &shard.replicas {
+                if !replica.is_marked_down() {
+                    continue;
+                }
+                let Ok(mut client) = self.connect(replica) else { continue };
+                if client.ping().is_err() {
+                    continue;
+                }
+                let reference = *reference.get_or_insert_with(|| self.reference_epoch(shard));
+                let agrees = match (reference, epoch_of(&mut client)) {
+                    (Some(want), Ok(Some(have))) => want == have,
+                    (_, Err(_)) => false,
+                    // Epochs unknowable on one side or the other.
+                    _ => true,
+                };
+                if agrees {
+                    replica.mark_up();
+                    replica.put_idle(client, self.options.idle_per_replica);
+                    revived += 1;
+                } else {
+                    // Alive but stale: re-quarantine so the lazy cooldown
+                    // expiry cannot readmit it before it catches up. (For
+                    // this to hold, the prober must run more often than
+                    // the cooldown — the defaults are 200 ms vs. 500 ms.)
+                    replica.mark_down(self.options.probe_cooldown);
+                }
+            }
+        }
+        revived
+    }
+
+    /// The serving epoch of the first healthy replica of `shard` that
+    /// reports one (`None`: no healthy replica, or admin verbs disabled).
+    fn reference_epoch(&self, shard: &ShardPool) -> Option<u64> {
+        for replica in &shard.replicas {
+            if replica.is_marked_down() {
+                continue;
+            }
+            let mut client = match replica.take_idle() {
+                Some(client) => client,
+                None => match self.connect(replica) {
+                    Ok(client) => client,
+                    Err(_) => continue,
+                },
+            };
+            if let Ok(Some(epoch)) = epoch_of(&mut client) {
+                replica.put_idle(client, self.options.idle_per_replica);
+                return Some(epoch);
+            }
+        }
+        None
+    }
+}
+
+/// The replica's serving epoch: `Ok(Some(e))` when it answers `EPOCH`,
+/// `Ok(None)` when it answers but refuses (admin verbs disabled — the
+/// epoch is unknowable, not wrong), `Err` on a transport failure.
+fn epoch_of(client: &mut ServeClient) -> std::io::Result<Option<u64>> {
+    match client.request(&Request::Epoch)? {
+        Response::Epoch(epoch) => Ok(Some(epoch)),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_core::{EngineBackend, EngineHandle, PitexConfig};
+    use pitex_model::TicModel;
+    use pitex_serve::{Response, ServeOptions, Server, ServerHandle};
+    use std::sync::Arc;
+
+    fn boot() -> ServerHandle {
+        let handle = EngineHandle::new(
+            Arc::new(TicModel::paper_example()),
+            EngineBackend::Exact,
+            PitexConfig::default(),
+        )
+        .unwrap();
+        Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap()
+    }
+
+    fn map_of(addrs: Vec<Vec<String>>) -> ShardMap {
+        ShardMap::new(addrs).unwrap()
+    }
+
+    #[test]
+    fn call_reuses_pooled_connections() {
+        let server = boot();
+        let map = map_of(vec![vec![server.addr().to_string()]]);
+        let pools = ShardPools::new(&map, PoolOptions::default());
+        for _ in 0..5 {
+            let response = pools.call(0, |client| client.query(0, 2)).unwrap();
+            let Response::Ok(reply) = response else { panic!("expected OK") };
+            assert_eq!(reply.tags, vec![2, 3]);
+        }
+        // One connection served all five calls (pooled between them).
+        let stats = pools.call(0, |client| client.stats()).unwrap();
+        assert_eq!(stats.get_u64("ok"), Some(5));
+        assert_eq!(pools.failovers(), 0);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn dead_replica_fails_over_and_revives_via_probe() {
+        let a = boot();
+        let b = boot();
+        let b_addr = b.addr();
+        let map = map_of(vec![vec![a.addr().to_string(), b.addr().to_string()]]);
+        let options =
+            PoolOptions { probe_cooldown: Duration::from_secs(3600), ..PoolOptions::default() };
+        let pools = ShardPools::new(&map, options);
+
+        // Both replicas answer; then kill one.
+        for _ in 0..4 {
+            pools.call(0, |client| client.ping()).unwrap();
+        }
+        b.stop().unwrap();
+        for _ in 0..8 {
+            pools.call(0, |client| client.ping()).expect("failover must hide the dead replica");
+        }
+        assert_eq!(pools.replica_health(), (1, 2), "the dead replica is marked down");
+
+        // Restart on the same address: the long cooldown keeps calls away,
+        // but an active probe revives it.
+        let handle = EngineHandle::new(
+            Arc::new(TicModel::paper_example()),
+            EngineBackend::Exact,
+            PitexConfig::default(),
+        )
+        .unwrap();
+        let b2 = Server::spawn(handle, b_addr, ServeOptions::default()).unwrap();
+        assert_eq!(pools.probe(), 1, "probe revives the restarted replica");
+        assert_eq!(pools.replica_health(), (2, 2));
+        a.stop().unwrap();
+        b2.stop().unwrap();
+    }
+
+    #[test]
+    fn all_replicas_dead_reports_unavailable() {
+        let server = boot();
+        let addr = server.addr().to_string();
+        server.stop().unwrap();
+        let map = map_of(vec![vec![addr]]);
+        let pools = ShardPools::new(&map, PoolOptions::default());
+        match pools.call(0, |client| client.ping()) {
+            Err(CallError::Unavailable(msg)) => assert!(msg.contains("shard 0"), "{msg}"),
+            other => panic!("expected Unavailable, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn saturation_sheds_instead_of_queueing() {
+        let server = boot();
+        let map = map_of(vec![vec![server.addr().to_string()]]);
+        let options = PoolOptions { max_in_flight: 1, ..PoolOptions::default() };
+        let pools = Arc::new(ShardPools::new(&map, options));
+        // Hold the only slot by parking inside the call, then saturate.
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+        let (held_tx, held_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let pools2 = pools.clone();
+            scope.spawn(move || {
+                pools2
+                    .call(0, |client| {
+                        held_tx.send(()).unwrap();
+                        hold_rx.recv().unwrap();
+                        client.ping()
+                    })
+                    .unwrap();
+            });
+            held_rx.recv().unwrap();
+            match pools.call(0, |client| client.ping()) {
+                Err(CallError::Saturated) => {}
+                other => panic!("expected Saturated, got {:?}", other.map(|_| ())),
+            }
+            hold_tx.send(()).unwrap();
+        });
+        // The slot is free again.
+        pools.call(0, |client| client.ping()).unwrap();
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn broadcast_reaches_every_replica() {
+        let a = boot();
+        let b = boot();
+        let map = map_of(vec![vec![a.addr().to_string(), b.addr().to_string()]]);
+        let pools = ShardPools::new(&map, PoolOptions::default());
+        let outcomes = pools.broadcast(0, true, |client| client.ping());
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.outcome.is_ok()));
+        a.stop().unwrap();
+        // A dead replica surfaces as its own failed outcome under the
+        // admin policy (include_down = true)...
+        let outcomes = pools.broadcast(0, true, |client| client.ping());
+        let failed = outcomes.iter().filter(|o| o.outcome.is_err()).count();
+        assert_eq!(failed, 1, "exactly the killed replica fails");
+        // ...and, once marked down, is skipped entirely by the scatter
+        // policy (include_down = false) instead of re-dialed per request.
+        let outcomes = pools.broadcast(0, false, |client| client.ping());
+        assert_eq!(outcomes.len(), 1, "scatters skip the down-marked replica");
+        assert!(outcomes[0].outcome.is_ok());
+        b.stop().unwrap();
+    }
+
+    #[test]
+    fn probe_refuses_to_revive_a_stale_epoch_replica() {
+        let a = boot();
+        let b = boot();
+        let b_addr = b.addr();
+        let map = map_of(vec![vec![a.addr().to_string(), b.addr().to_string()]]);
+        let options =
+            PoolOptions { probe_cooldown: Duration::from_secs(3600), ..PoolOptions::default() };
+        let pools = ShardPools::new(&map, options);
+        for _ in 0..4 {
+            pools.call(0, |client| client.ping()).unwrap();
+        }
+        b.stop().unwrap();
+        for _ in 0..8 {
+            pools.call(0, |client| client.ping()).unwrap();
+        }
+        assert_eq!(pools.replica_health(), (1, 2), "the dead replica is marked down");
+
+        // The surviving replica reloads while b is gone: epochs diverge.
+        let mut admin = ServeClient::connect(a.addr()).unwrap();
+        admin.update(pitex_live::UpdateOp::AddUser).unwrap();
+        assert_eq!(admin.reload().unwrap().epoch, 2);
+
+        // Restart b at epoch 1: alive, but one reload behind — liveness
+        // alone must not readmit it.
+        let handle = EngineHandle::new(
+            Arc::new(TicModel::paper_example()),
+            EngineBackend::Exact,
+            PitexConfig::default(),
+        )
+        .unwrap();
+        let b2 = Server::spawn(handle, b_addr, ServeOptions::default()).unwrap();
+        assert_eq!(pools.probe(), 0, "a stale-epoch replica stays quarantined");
+        assert_eq!(pools.replica_health(), (1, 2));
+
+        // Catch it up out of band; the next probe readmits it.
+        let mut catchup = ServeClient::connect(b_addr).unwrap();
+        catchup.update(pitex_live::UpdateOp::AddUser).unwrap();
+        assert_eq!(catchup.reload().unwrap().epoch, 2);
+        assert_eq!(pools.probe(), 1, "an epoch-consistent replica rejoins");
+        assert_eq!(pools.replica_health(), (2, 2));
+        a.stop().unwrap();
+        b2.stop().unwrap();
+    }
+}

@@ -1,0 +1,764 @@
+//! The scatter-gather router: one TCP front-end over many shards.
+//!
+//! The router speaks **exactly** the `pitex_serve` line protocol, so a
+//! cluster is a drop-in replacement for a single server — `pitex client`
+//! (and anything scripted over `nc`) cannot tell the difference. Per verb:
+//!
+//! * `QUERY u k` — routed to the shard owning `u` ([`ShardMap::shard_of`])
+//!   through the health-gated connection pools ([`ShardPools`]): a dead
+//!   replica costs a transparent failover, a saturated shard answers
+//!   `BUSY`, and the reply line is forwarded verbatim.
+//! * `STATS` / `EPOCH` — scattered to every shard and merged: monotone
+//!   counters add, latency *histograms* merge bucket-wise (via the
+//!   `lat_hist` field; percentiles themselves do not add), and the epochs
+//!   must agree — a mixed-epoch scatter answers `ERR INTERNAL` instead of
+//!   fabricating a coherent-looking aggregate.
+//! * `UPDATE <op>` — forwarded to every replica of the *owning* shard
+//!   (edge ops are anchored at their source user); tag-space and
+//!   vertex-count ops (`ATTACH_TAG`, `DETACH_TAG`, `ADD_USER`) change what
+//!   every shard may be asked, so they broadcast to all shards.
+//! * `RELOAD` — the epoch barrier. Phase 1 sends `PREPARE` to every
+//!   replica (fold + index repair run shard-side; queries keep flowing).
+//!   Phase 2 takes the router's write gate — no scatter or query is in
+//!   flight past it — sends the cheap `COMMIT` swaps back-to-back, and
+//!   releases. Every forwarded read holds the read side of that gate, so
+//!   a reader never observes two shards answering from different epochs
+//!   *through this router*: reads happen strictly before or strictly
+//!   after the commit wave.
+//! * `PING` is answered locally; `SHUTDOWN` stops the router (shards are
+//!   managed by their own admins).
+//!
+//! The router trusts the map, not a directory service: everything is a
+//! pure function of the `ShardMap` file, and the only cluster-wide state
+//! is the epoch the barrier maintains.
+
+use crate::pool::{CallError, PoolOptions, ShardPools};
+use crate::shardmap::ShardMap;
+use pitex_live::UpdateOp;
+use pitex_serve::{ErrorCode, ReloadReply, Request, Response, StatsReply};
+use pitex_support::lru::CacheCounters;
+use pitex_support::stats::LatencyHistogram;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Router::spawn`]. The `PITEX_CLUSTER_*` environment
+/// variables (see [`RouterOptions::with_env`]) override the defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterOptions {
+    /// Connection-pool tuning (failover, health gating, shedding).
+    pub pool: PoolOptions,
+    /// How often the prober thread re-`PING`s down-marked replicas.
+    pub probe_interval: Duration,
+    /// Whether admin verbs (`UPDATE`, `RELOAD`, `EPOCH`) are forwarded;
+    /// when false they answer `ERR ADMIN_DENIED` at the router.
+    pub admin: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            pool: PoolOptions::default(),
+            probe_interval: Duration::from_millis(200),
+            admin: true,
+        }
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+impl RouterOptions {
+    /// Applies the `PITEX_CLUSTER_*` environment overrides:
+    /// `PITEX_CLUSTER_MAX_IN_FLIGHT` (per-shard concurrency before `BUSY`),
+    /// `PITEX_CLUSTER_IDLE_CONNS` (pooled idle connections per replica),
+    /// `PITEX_CLUSTER_PROBE_MS` (prober interval), `PITEX_CLUSTER_COOLDOWN_MS`
+    /// (down-replica cooldown), `PITEX_CLUSTER_CONNECT_TIMEOUT_MS`.
+    pub fn with_env(mut self) -> Self {
+        if let Some(v) = env_u64("PITEX_CLUSTER_MAX_IN_FLIGHT") {
+            self.pool.max_in_flight = v as usize;
+        }
+        if let Some(v) = env_u64("PITEX_CLUSTER_IDLE_CONNS") {
+            self.pool.idle_per_replica = v as usize;
+        }
+        if let Some(v) = env_u64("PITEX_CLUSTER_PROBE_MS") {
+            self.probe_interval = Duration::from_millis(v);
+        }
+        if let Some(v) = env_u64("PITEX_CLUSTER_COOLDOWN_MS") {
+            self.pool.probe_cooldown = Duration::from_millis(v);
+        }
+        if let Some(v) = env_u64("PITEX_CLUSTER_CONNECT_TIMEOUT_MS") {
+            self.pool.connect_timeout = Duration::from_millis(v);
+        }
+        self
+    }
+}
+
+/// Router-side counters (shard counters live on the shards; `STATS` merges
+/// both views).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    scatters: AtomicU64,
+    updates: AtomicU64,
+    reloads: AtomicU64,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    reaped_panic: AtomicBool,
+    map: ShardMap,
+    pools: ShardPools,
+    options: RouterOptions,
+    /// The scatter/commit gate: every forwarded read holds `read`, the
+    /// commit wave of a reload holds `write`. This is what makes "no
+    /// mixed-epoch scatter" a guarantee instead of a probability.
+    epoch_gate: RwLock<()>,
+    /// Serializes admin verbs (`UPDATE`, `RELOAD`) through this router so
+    /// an update can never land inside another admin's prepare window.
+    admin_serial: Mutex<()>,
+    counters: Counters,
+    /// Router-observed `QUERY` service time (shard round-trip included).
+    latency: Mutex<LatencyHistogram>,
+    started: Instant,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Poll interval for stop-flag checks while blocked on I/O.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Longest accepted request line (mirrors the shard servers).
+const MAX_LINE_BYTES: usize = 4 * 1024;
+
+/// Namespace for [`Router::spawn`].
+pub struct Router;
+
+impl Router {
+    /// Binds `addr` (port 0 picks an ephemeral port), spawns the acceptor
+    /// and the health-prober, and returns immediately. Shards are *not*
+    /// contacted eagerly — a router can boot before its shards and heal as
+    /// they come up.
+    pub fn spawn(
+        map: ShardMap,
+        addr: impl ToSocketAddrs,
+        options: RouterOptions,
+    ) -> std::io::Result<RouterHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let pools = ShardPools::new(&map, options.pool);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            reaped_panic: AtomicBool::new(false),
+            map,
+            pools,
+            options,
+            epoch_gate: RwLock::new(()),
+            admin_serial: Mutex::new(()),
+            counters: Counters::default(),
+            latency: Mutex::new(LatencyHistogram::new()),
+            started: Instant::now(),
+            connections: Mutex::new(Vec::new()),
+        });
+
+        let mut threads = Vec::with_capacity(2);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pitex-router-acceptor".to_string())
+                    .spawn(move || acceptor_loop(&shared, &listener))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pitex-router-prober".to_string())
+                    .spawn(move || prober_loop(&shared))?,
+            );
+        }
+        Ok(RouterHandle { addr, shared, threads: Mutex::new(threads) })
+    }
+}
+
+/// A running router: its address, a shutdown switch, and the thread reaper.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop (idempotent; also triggered by a client's
+    /// `SHUTDOWN`). The shard servers are untouched.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the router has fully stopped and reaps every thread.
+    /// Returns `Err` with the panic payload if any router thread panicked.
+    pub fn join(self) -> std::thread::Result<()> {
+        let mut result = Ok(());
+        for thread in self.threads.lock().unwrap().drain(..) {
+            if let Err(panic) = thread.join() {
+                result = Err(panic);
+            }
+        }
+        for conn in self.shared.connections.lock().unwrap().drain(..) {
+            if let Err(panic) = conn.join() {
+                result = Err(panic);
+            }
+        }
+        if result.is_ok() && self.shared.reaped_panic.load(Ordering::SeqCst) {
+            result = Err(Box::new("a router connection thread panicked (reaped mid-run)"));
+        }
+        result
+    }
+
+    /// Convenience for tests and the CLI: shut down, then join.
+    pub fn stop(self) -> std::thread::Result<()> {
+        self.shutdown();
+        self.join()
+    }
+}
+
+fn prober_loop(shared: &Arc<Shared>) {
+    let mut last_probe = Instant::now();
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL.min(shared.options.probe_interval));
+        if last_probe.elapsed() >= shared.options.probe_interval {
+            shared.pools.probe();
+            last_probe = Instant::now();
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nodelay(true).ok();
+                let conn_shared = shared.clone();
+                let conn = std::thread::Builder::new()
+                    .name("pitex-router-conn".to_string())
+                    .spawn(move || connection_loop(&conn_shared, stream));
+                if let Ok(handle) = conn {
+                    // Reap finished connection threads as we go (same
+                    // policy as the shard servers).
+                    let mut conns = shared.connections.lock().unwrap();
+                    let mut live = Vec::with_capacity(conns.len() + 1);
+                    for conn in conns.drain(..) {
+                        if conn.is_finished() {
+                            if conn.join().is_err() {
+                                shared.reaped_panic.store(true, Ordering::SeqCst);
+                            }
+                        } else {
+                            live.push(conn);
+                        }
+                    }
+                    live.push(handle);
+                    *conns = live;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // Same partial-line and budget discipline as the shard servers:
+        // fragmented writes reassemble, a newline-free flood is cut off.
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
+        match std::io::Read::take(&mut reader, budget).read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if line.len() > MAX_LINE_BYTES {
+                    oversized_line_reply(shared, &mut writer);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.len() > MAX_LINE_BYTES {
+            oversized_line_reply(shared, &mut writer);
+            return;
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        let (response, close) = handle_line(shared, line.trim());
+        line.clear();
+        let mut out = response.to_line();
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn oversized_line_reply(shared: &Arc<Shared>, writer: &mut TcpStream) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    let response = Response::Err {
+        code: ErrorCode::BadRequest,
+        message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+    };
+    let mut out = response.to_line();
+    out.push('\n');
+    let _ = writer.write_all(out.as_bytes());
+}
+
+fn internal(shared: &Shared, message: String) -> Response {
+    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    Response::Err { code: ErrorCode::Internal, message }
+}
+
+/// Dispatches one request line; returns the reply and whether to close.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (Response, bool) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let denied = || {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let message = "admin verbs are disabled on this router".to_string();
+        (Response::Err { code: ErrorCode::AdminDenied, message }, false)
+    };
+    match Request::parse(line) {
+        Ok(Request::Ping) => (Response::Pong, false),
+        Ok(Request::Quit) => (Response::Bye, true),
+        Ok(Request::Shutdown) => {
+            shared.stop.store(true, Ordering::SeqCst);
+            (Response::Bye, true)
+        }
+        Ok(Request::Query(q)) => (handle_query(shared, q), false),
+        Ok(Request::Stats) => (handle_stats(shared), false),
+        Ok(
+            Request::Update(_)
+            | Request::Reload
+            | Request::Prepare
+            | Request::Commit
+            | Request::Epoch,
+        ) if !shared.options.admin => denied(),
+        Ok(Request::Update(op)) => (handle_update(shared, op), false),
+        Ok(Request::Reload) => (handle_reload(shared), false),
+        Ok(Request::Prepare | Request::Commit) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let message =
+                "PREPARE/COMMIT are shard-level; RELOAD at the router runs the cluster barrier"
+                    .to_string();
+            (Response::Err { code: ErrorCode::BadRequest, message }, false)
+        }
+        Ok(Request::Epoch) => (handle_epoch(shared), false),
+        Err(reason) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            (Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
+        }
+    }
+}
+
+fn handle_query(shared: &Arc<Shared>, q: pitex_serve::QueryRequest) -> Response {
+    // Read side of the epoch gate: a query is never in flight across the
+    // commit wave of a reload.
+    let _gate = shared.epoch_gate.read().unwrap();
+    let shard = shared.map.shard_of(q.user);
+    let t = Instant::now();
+    match shared.pools.call(shard, |client| client.request(&Request::Query(q))) {
+        Ok(response) => {
+            match &response {
+                Response::Ok(_) => {
+                    shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+                    shared.latency.lock().unwrap().record(t.elapsed().as_micros() as u64);
+                }
+                Response::Busy => {
+                    shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Forward the shard's reply line verbatim — the cluster is a
+            // drop-in for a single server, error codes included.
+            response
+        }
+        Err(CallError::Saturated) => {
+            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            Response::Busy
+        }
+        Err(CallError::Unavailable(detail)) => internal(shared, detail),
+    }
+}
+
+fn handle_epoch(shared: &Arc<Shared>) -> Response {
+    let _gate = shared.epoch_gate.read().unwrap();
+    shared.counters.scatters.fetch_add(1, Ordering::Relaxed);
+    let mut epochs = BTreeSet::new();
+    for shard in 0..shared.pools.num_shards() {
+        // Typed `request` rather than the `epoch()` sugar: a shard-side
+        // protocol rejection (e.g. `serve --no-admin`) is a *reply*, not a
+        // transport failure, and must neither mark the replica down nor be
+        // rewrapped — it forwards verbatim.
+        match shared.pools.call(shard, |client| client.request(&Request::Epoch)) {
+            Ok(Response::Epoch(epoch)) => {
+                epochs.insert(epoch);
+            }
+            Ok(Response::Err { code, message }) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Err { code, message };
+            }
+            Ok(other) => {
+                return internal(shared, format!("unexpected EPOCH reply: {other:?}"));
+            }
+            Err(CallError::Saturated) => {
+                shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+                return Response::Busy;
+            }
+            Err(CallError::Unavailable(detail)) => return internal(shared, detail),
+        }
+    }
+    if epochs.len() == 1 {
+        Response::Epoch(*epochs.iter().next().unwrap())
+    } else {
+        internal(shared, format!("mixed epochs across shards: {epochs:?}"))
+    }
+}
+
+/// One shard reply folded into the scatter-gather `STATS` aggregate.
+#[derive(Default)]
+struct MergedStats {
+    replies: u64,
+    sums: std::collections::BTreeMap<&'static str, u64>,
+    /// Cache counters aggregate through their own snapshot type — every
+    /// field is monotone, so cluster-wide cache behavior is a field-wise
+    /// [`CacheCounters::merge`].
+    cache: CacheCounters,
+    qps: f64,
+    mean_weight: u64,
+    mean_sum: f64,
+    hist: Option<LatencyHistogram>,
+    epochs: BTreeSet<u64>,
+    backend: Option<String>,
+    prepared: u64,
+}
+
+/// The shard counters that aggregate by addition.
+const SUMMED_FIELDS: [&str; 11] = [
+    "workers",
+    "requests",
+    "ok",
+    "busy",
+    "deadline",
+    "errors",
+    "worker_panics",
+    "updates_applied",
+    "updates_pending",
+    "reloads",
+    "cache_len",
+];
+
+impl MergedStats {
+    fn add(&mut self, stats: &StatsReply) {
+        self.replies += 1;
+        for key in SUMMED_FIELDS {
+            *self.sums.entry(key).or_insert(0) += stats.get_u64(key).unwrap_or(0);
+        }
+        self.cache.merge(&CacheCounters {
+            hits: stats.get_u64("cache_hits").unwrap_or(0),
+            misses: stats.get_u64("cache_misses").unwrap_or(0),
+            insertions: stats.get_u64("cache_insertions").unwrap_or(0),
+            evictions: stats.get_u64("cache_evictions").unwrap_or(0),
+        });
+        self.qps += stats.get_f64("qps").unwrap_or(0.0);
+        if let Some(epoch) = stats.get_u64("epoch") {
+            self.epochs.insert(epoch);
+        }
+        self.prepared = self.prepared.max(stats.get_u64("prepared").unwrap_or(0));
+        if self.backend.is_none() {
+            self.backend = stats.get("backend").map(str::to_string);
+        }
+        if let Some(wire) = stats.get("lat_hist") {
+            if let Ok(hist) = LatencyHistogram::from_wire(wire) {
+                let weight = hist.count();
+                self.mean_weight += weight;
+                self.mean_sum += stats.get_f64("lat_mean_us").unwrap_or(0.0) * weight as f64;
+                match &mut self.hist {
+                    Some(merged) => merged.merge(&hist),
+                    None => self.hist = Some(hist),
+                }
+            }
+        }
+    }
+}
+
+fn handle_stats(shared: &Arc<Shared>) -> Response {
+    let _gate = shared.epoch_gate.read().unwrap();
+    shared.counters.scatters.fetch_add(1, Ordering::Relaxed);
+    let mut merged = MergedStats::default();
+    for shard in 0..shared.pools.num_shards() {
+        // Scatter policy: down-marked replicas are skipped (not re-dialed
+        // per request — a blackholed peer would stall every scatter by the
+        // connect timeout) and are simply absent from the aggregate;
+        // `replicas_up` reports how many pass the health gate.
+        for outcome in
+            shared.pools.broadcast(shard, false, |client| client.request(&Request::Stats))
+        {
+            if let Ok(Response::Stats(stats)) = outcome.outcome {
+                merged.add(&stats);
+            }
+        }
+    }
+    if merged.replies == 0 {
+        return internal(shared, "no shard replica reachable".to_string());
+    }
+    if merged.epochs.len() > 1 {
+        // Divergence (e.g. an admin reloaded one shard behind the
+        // router's back) is reported, not papered over.
+        return internal(shared, format!("mixed epochs across shard replies: {:?}", merged.epochs));
+    }
+
+    let c = &shared.counters;
+    let hist = merged.hist.unwrap_or_else(LatencyHistogram::new);
+    let cache = merged.cache;
+    let hit_rate = if cache.hits + cache.misses == 0 { 0.0 } else { cache.hit_rate() };
+    let mean =
+        if merged.mean_weight == 0 { 0.0 } else { merged.mean_sum / merged.mean_weight as f64 };
+    let (up, total) = shared.pools.replica_health();
+    let (rp50, rp90, rp99) = {
+        let router_hist = shared.latency.lock().unwrap();
+        (router_hist.quantile(0.50), router_hist.quantile(0.90), router_hist.quantile(0.99))
+    };
+    let field = |k: &str, v: String| (k.to_string(), v);
+    let mut fields = vec![
+        field("backend", merged.backend.unwrap_or_else(|| "?".to_string())),
+        field("epoch", merged.epochs.iter().next().copied().unwrap_or(0).to_string()),
+        field("prepared", merged.prepared.to_string()),
+        field("shards", shared.map.num_shards().to_string()),
+        field("replicas", total.to_string()),
+        field("replicas_up", up.to_string()),
+        field("replies", merged.replies.to_string()),
+        field("cache_hits", cache.hits.to_string()),
+        field("cache_misses", cache.misses.to_string()),
+        field("cache_insertions", cache.insertions.to_string()),
+        field("cache_evictions", cache.evictions.to_string()),
+        field("cache_hit_rate", format!("{hit_rate:.4}")),
+        field("qps", format!("{:.2}", merged.qps)),
+        field("lat_p50_us", hist.quantile(0.50).to_string()),
+        field("lat_p90_us", hist.quantile(0.90).to_string()),
+        field("lat_p99_us", hist.quantile(0.99).to_string()),
+        field("lat_mean_us", format!("{mean:.1}")),
+        field("lat_hist", hist.to_wire()),
+        field("router_requests", c.requests.load(Ordering::Relaxed).to_string()),
+        field("router_ok", c.ok.load(Ordering::Relaxed).to_string()),
+        field("router_busy", c.busy.load(Ordering::Relaxed).to_string()),
+        field("router_errors", c.errors.load(Ordering::Relaxed).to_string()),
+        field("router_failovers", shared.pools.failovers().to_string()),
+        field("router_scatters", c.scatters.load(Ordering::Relaxed).to_string()),
+        field("router_updates", c.updates.load(Ordering::Relaxed).to_string()),
+        field("router_reloads", c.reloads.load(Ordering::Relaxed).to_string()),
+        field("router_uptime_s", format!("{:.1}", shared.started.elapsed().as_secs_f64())),
+        field("router_lat_p50_us", rp50.to_string()),
+        field("router_lat_p90_us", rp90.to_string()),
+        field("router_lat_p99_us", rp99.to_string()),
+    ];
+    for key in SUMMED_FIELDS {
+        fields.push(field(key, merged.sums[key].to_string()));
+    }
+    Response::Stats(StatsReply::new(fields))
+}
+
+/// The shards an op must reach: edge mutations are anchored at their
+/// source user's shard; tag-space and vertex-count mutations change what
+/// *every* shard may be asked (`shard_of` is total over users, and tags
+/// are global), so they go everywhere.
+fn target_shards(map: &ShardMap, op: &UpdateOp) -> Vec<usize> {
+    match op {
+        UpdateOp::AddEdge { src, .. }
+        | UpdateOp::RemoveEdge { src, .. }
+        | UpdateOp::SetEdgeTopics { src, .. } => vec![map.shard_of(*src)],
+        UpdateOp::AttachTag { .. } | UpdateOp::DetachTag { .. } | UpdateOp::AddUser => {
+            (0..map.num_shards()).collect()
+        }
+    }
+}
+
+fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
+    let _admin = shared.admin_serial.lock().unwrap();
+    let _gate = shared.epoch_gate.read().unwrap();
+    shared.counters.updates.fetch_add(1, Ordering::Relaxed);
+    let mut last: Option<(u64, u64)> = None;
+    for shard in target_shards(&shared.map, &op) {
+        let mut reached = 0;
+        for outcome in shared
+            .pools
+            .broadcast(shard, true, |client| client.request(&Request::Update(op.clone())))
+        {
+            match outcome.outcome {
+                Ok(Response::Updated { epoch, pending }) => {
+                    reached += 1;
+                    last = Some((epoch, pending));
+                }
+                Ok(Response::Err { code, message }) => {
+                    // The op itself was rejected (identical models reject
+                    // identically); forward the shard's verdict verbatim.
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    return Response::Err { code, message };
+                }
+                Ok(other) => {
+                    return internal(
+                        shared,
+                        format!("unexpected UPDATE reply from {}: {other:?}", outcome.addr),
+                    )
+                }
+                // An unreachable replica is skipped: it must resync (be
+                // restarted from current artifacts) before rejoining.
+                Err(_) => {}
+            }
+        }
+        if reached == 0 {
+            return internal(shared, format!("shard {shard}: no replica accepted the update"));
+        }
+    }
+    match last {
+        Some((epoch, pending)) => Response::Updated { epoch, pending },
+        None => internal(shared, "update targeted no shard".to_string()),
+    }
+}
+
+/// The cluster-wide reload barrier — see the module docs for the phases.
+fn handle_reload(shared: &Arc<Shared>) -> Response {
+    let _admin = shared.admin_serial.lock().unwrap();
+    let num_shards = shared.pools.num_shards();
+
+    // Phase 1: PREPARE everywhere. Slow (fold + repair) but non-blocking —
+    // every shard keeps answering queries from its current epoch, and the
+    // epoch gate stays open for readers. PREPARE is idempotent, so a
+    // barrier that failed halfway is simply retried with another RELOAD.
+    for shard in 0..num_shards {
+        let mut prepared = 0;
+        for outcome in
+            shared.pools.broadcast(shard, true, |client| client.request(&Request::Prepare))
+        {
+            match outcome.outcome {
+                Ok(Response::Prepared(_)) => prepared += 1,
+                Ok(Response::Err { code, message }) => {
+                    return internal(
+                        shared,
+                        format!(
+                            "prepare failed on {} ({}: {message}); retry RELOAD once resolved",
+                            outcome.addr,
+                            code.as_str()
+                        ),
+                    )
+                }
+                Ok(other) => {
+                    return internal(
+                        shared,
+                        format!("unexpected PREPARE reply from {}: {other:?}", outcome.addr),
+                    )
+                }
+                Err(_) => {} // dead replica: resyncs out of band
+            }
+        }
+        if prepared == 0 {
+            return internal(shared, format!("shard {shard}: no replica reachable for PREPARE"));
+        }
+    }
+
+    // Phase 2: the barrier. Take the write gate — every scatter and query
+    // drains first and none starts until the wave is done — then commit
+    // the cheap swaps back-to-back.
+    let mut reply = ReloadReply::default();
+    let mut epochs = BTreeSet::new();
+    {
+        let _gate = shared.epoch_gate.write().unwrap();
+        for shard in 0..num_shards {
+            let mut committed = 0;
+            for outcome in
+                shared.pools.broadcast(shard, true, |client| client.request(&Request::Commit))
+            {
+                match outcome.outcome {
+                    Ok(Response::Reloaded(r)) => {
+                        committed += 1;
+                        epochs.insert(r.epoch);
+                        // Per-shard folds/repairs add up to the cluster
+                        // total (replicas of one shard do identical work;
+                        // their counts are intentionally all included —
+                        // the reply reports work done, not distinct ops).
+                        reply.folded += r.folded;
+                        reply.resampled += r.resampled;
+                        reply.reused += r.reused;
+                        reply.full |= r.full;
+                    }
+                    Ok(other) => {
+                        return internal(
+                            shared,
+                            format!(
+                                "commit failed on {} ({other:?}); cluster may be mixed-epoch — \
+                                 retry RELOAD",
+                                outcome.addr
+                            ),
+                        )
+                    }
+                    Err(_) => {}
+                }
+            }
+            if committed == 0 {
+                return internal(
+                    shared,
+                    format!(
+                        "shard {shard}: no replica reachable for COMMIT; cluster may be \
+                         mixed-epoch — retry RELOAD"
+                    ),
+                );
+            }
+        }
+    }
+    shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
+    // All shards entered this barrier at a common epoch (boot, or the
+    // previous barrier) and every commit advances by one, so the post-wave
+    // epochs agree unless someone reloaded a shard behind the router.
+    reply.epoch = epochs.iter().next_back().copied().unwrap_or(0);
+    if epochs.len() > 1 {
+        return internal(
+            shared,
+            format!("post-commit epochs disagree ({epochs:?}): a shard was reloaded out of band"),
+        );
+    }
+    Response::Reloaded(reply)
+}

@@ -14,18 +14,72 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// A blocking client for the `pitex serve` line protocol.
+///
+/// The client remembers its resolved address and transparently reconnects
+/// **once** per request when an *idempotent* verb (`QUERY`, `STATS`,
+/// `PING`) hits a connection-level I/O error — a restarted server (or a
+/// router replica swap) costs one retried round-trip instead of killing
+/// the session. Non-idempotent verbs (`UPDATE`, `RELOAD`, `SHUTDOWN`, …)
+/// are never retried: the first attempt may have been applied before the
+/// connection died, and replaying it could double-apply.
 pub struct ServeClient {
+    addr: std::net::SocketAddr,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
 impl ServeClient {
-    /// Connects to a running server.
+    /// Connects to a running server. A hostname that resolves to several
+    /// addresses is tried in order (as `TcpStream::connect` does); the
+    /// first address that answers is pinned for
+    /// [`reconnect`](Self::reconnect).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
+        Self::dial(addr, None)
+    }
+
+    /// Connects with an explicit timeout on the TCP dial — what a router's
+    /// health-gated connection pool wants (a down replica must fail fast,
+    /// not hang the probing request).
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Self> {
+        Self::dial(addr, Some(timeout))
+    }
+
+    fn dial(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> std::io::Result<Self> {
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match Self::open(addr, timeout) {
+                Ok((writer, reader)) => return Ok(Self { addr, writer, reader }),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address")))
+    }
+
+    fn open(
+        addr: std::net::SocketAddr,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+        let writer = match timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
         writer.set_nodelay(true).ok(); // request/response; don't batch
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { writer, reader })
+        Ok((writer, reader))
+    }
+
+    /// The server address this client is (re)connecting to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Drops the current connection and dials the same address again.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let (writer, reader) = Self::open(self.addr, None)?;
+        self.writer = writer;
+        self.reader = reader;
+        Ok(())
     }
 
     /// Sends one raw line and reads one reply line (the protocol is strictly
@@ -47,9 +101,19 @@ impl ServeClient {
         Ok(reply)
     }
 
-    /// Sends a typed request and parses the reply.
+    /// Sends a typed request and parses the reply. Idempotent verbs
+    /// (`QUERY`, `STATS`, `PING`) survive one connection loss: the client
+    /// reconnects and retries exactly once (see the type docs).
     pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
-        let reply = self.roundtrip_line(&request.to_line())?;
+        let idempotent = matches!(request, Request::Ping | Request::Stats | Request::Query(_));
+        let line = request.to_line();
+        let reply = match self.roundtrip_line(&line) {
+            Err(e) if idempotent && connection_lost(&e) => {
+                self.reconnect()?;
+                self.roundtrip_line(&line)?
+            }
+            other => other?,
+        };
         Response::parse(&reply).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
@@ -113,6 +177,25 @@ impl ServeClient {
         }
     }
 
+    /// `PREPARE` (admin): phase 1 of a two-phase reload — fold pending
+    /// updates and repair the index into a staged snapshot without
+    /// swapping. The reply's `epoch` is the epoch still being served.
+    pub fn prepare(&mut self) -> std::io::Result<ReloadReply> {
+        match self.request(&Request::Prepare)? {
+            Response::Prepared(reply) => Ok(reply),
+            other => Err(reply_error("PREPARED", other)),
+        }
+    }
+
+    /// `COMMIT` (admin): phase 2 — swap the `PREPARE`d snapshot in (a
+    /// no-op reload reply if nothing was staged).
+    pub fn commit(&mut self) -> std::io::Result<ReloadReply> {
+        match self.request(&Request::Commit)? {
+            Response::Reloaded(reply) => Ok(reply),
+            other => Err(reply_error("RELOADED", other)),
+        }
+    }
+
     /// `EPOCH` (admin): the epoch of the snapshot currently being served.
     pub fn epoch(&mut self) -> std::io::Result<u64> {
         match self.request(&Request::Epoch)? {
@@ -120,6 +203,21 @@ impl ServeClient {
             other => Err(reply_error("EPOCH", other)),
         }
     }
+}
+
+/// Whether an I/O error means the TCP connection itself is gone (worth one
+/// reconnect) rather than a protocol- or OS-level problem that a fresh
+/// connection would not fix.
+fn connection_lost(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::WriteZero
+    )
 }
 
 fn reply_error(expected: &str, got: Response) -> std::io::Error {
@@ -314,5 +412,57 @@ mod tests {
         let mut client = ServeClient::connect(server.addr()).unwrap();
         client.shutdown_server().unwrap();
         server.join().unwrap();
+    }
+
+    fn boot_at(addr: std::net::SocketAddr) -> crate::server::ServerHandle {
+        let handle = EngineHandle::new(
+            Arc::new(TicModel::paper_example()),
+            EngineBackend::Exact,
+            PitexConfig::default(),
+        )
+        .unwrap();
+        Server::spawn(handle, addr, ServeOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn idempotent_requests_survive_a_server_restart() {
+        let first = boot();
+        let addr = first.addr();
+        let mut client = ServeClient::connect(addr).unwrap();
+        let Response::Ok(before) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+        assert_eq!(before.tags, vec![2, 3]);
+
+        // Kill the server and boot a fresh one on the *same* address. The
+        // client's next idempotent request lands on a dead socket, must
+        // reconnect once, and succeed against the replacement.
+        first.stop().unwrap();
+        let second = boot_at(addr);
+        let Response::Ok(after) = client.query(0, 2).unwrap() else {
+            panic!("query after restart must succeed via reconnect")
+        };
+        assert_eq!(after.tags, vec![2, 3]);
+        assert!(!after.cached, "the replacement server has a cold cache");
+        client.ping().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get_u64("ok"), Some(1), "only the retried query hit server two");
+        second.stop().unwrap();
+    }
+
+    #[test]
+    fn non_idempotent_requests_are_not_replayed() {
+        let first = boot();
+        let addr = first.addr();
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.ping().unwrap();
+        first.stop().unwrap();
+        let second = boot_at(addr);
+        // UPDATE over the dead connection must surface the I/O error, not
+        // silently replay against the replacement server.
+        let err = client.update(UpdateOp::AddUser).expect_err("must not be retried");
+        assert!(connection_lost(&err) || err.kind() == std::io::ErrorKind::ConnectionRefused);
+        let mut probe = ServeClient::connect(addr).unwrap();
+        let stats = probe.stats().unwrap();
+        assert_eq!(stats.get_u64("updates_applied"), Some(0), "no ghost update applied");
+        second.stop().unwrap();
     }
 }

@@ -17,8 +17,10 @@
 //! * **Result cache** — a sharded LRU over `(user, k, backend)`
 //!   ([`pitex_support::lru`]) consulted before any sampling; `STATS`
 //!   exposes hit rates, throughput and latency percentiles.
-//! * **Client + load generator** ([`client`]) — the typed client, and the
-//!   closed-loop [`LoadGen`] behind `bench_serve` and `pitex client --bench`.
+//! * **Client + load generator** ([`client`]) — the typed client (with
+//!   one transparent reconnect-and-retry for the idempotent verbs
+//!   `QUERY`/`STATS`/`PING`), and the closed-loop [`LoadGen`] behind
+//!   `bench_serve` and `pitex client --bench`.
 //! * **Live updates** — `UPDATE` stages typed [`pitex_live::UpdateOp`]
 //!   mutations, `RELOAD` folds them into a fresh snapshot with incremental
 //!   RR-index repair and swaps it in under a new epoch (zero-downtime:
@@ -26,6 +28,12 @@
 //!   serving epoch; all three are admin-gated. `STATS` reports `epoch=`,
 //!   `updates_applied=` and `reloads=`, and the result cache is swept
 //!   per-user so no stale answer survives a mutation that touches it.
+//! * **Cluster coordination** — `PREPARE`/`COMMIT` split `RELOAD` into its
+//!   slow (fold + repair, no swap) and fast (atomic swap) halves, so the
+//!   `pitex_cluster` router can run a two-phase epoch barrier across
+//!   shards; `STATS` exports the raw latency buckets (`lat_hist=`) so a
+//!   scatter-gather can merge distributions instead of averaging
+//!   percentiles.
 //!
 //! ```
 //! use pitex_core::{EngineBackend, EngineHandle, PitexConfig};

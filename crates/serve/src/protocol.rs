@@ -11,10 +11,21 @@
 //! UPDATE <op…>                      stage one model mutation (admin)
 //! RELOAD                            fold staged ops, repair the index,
 //!                                   swap the snapshot (admin)
+//! PREPARE                           phase 1 of a coordinated reload: fold +
+//!                                   repair into a staged snapshot, do NOT
+//!                                   swap (admin)
+//! COMMIT                            phase 2: swap the PREPAREd snapshot in
+//!                                   (admin)
 //! EPOCH                             current snapshot epoch (admin)
 //! QUIT                              close this connection
 //! SHUTDOWN                          gracefully stop the whole server
 //! ```
+//!
+//! `PREPARE`/`COMMIT` split `RELOAD` so a cluster router can run an epoch
+//! barrier: the slow half (fold + index repair) happens on every shard
+//! first, then the cheap swaps are committed back-to-back — the window in
+//! which two shards serve different epochs shrinks from "one repair each"
+//! to "one atomic swap each".
 //!
 //! The `UPDATE` operand is the [`pitex_live::UpdateOp`] text grammar, e.g.
 //! `UPDATE SET_EDGE 0 1 0:0.9` or `UPDATE DETACH_TAG 2`.
@@ -27,6 +38,7 @@
 //! STATS <key>=<value> ...
 //! UPDATED epoch=<e> pending=<n>     op staged; visible after RELOAD
 //! RELOADED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
+//! PREPARED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
 //! EPOCH <e>
 //! BYE
 //! BUSY                              load shed: the request queue was full
@@ -53,6 +65,12 @@ pub enum Request {
     Update(UpdateOp),
     /// Fold staged mutations into a fresh snapshot (admin-gated).
     Reload,
+    /// Phase 1 of a two-phase reload: fold + repair without swapping
+    /// (admin-gated).
+    Prepare,
+    /// Phase 2 of a two-phase reload: swap the prepared snapshot in
+    /// (admin-gated).
+    Commit,
     /// Read the current snapshot epoch (admin-gated).
     Epoch,
     Quit,
@@ -78,6 +96,8 @@ impl Request {
             Request::Stats => "STATS".to_string(),
             Request::Update(op) => format!("UPDATE {}", op.to_text()),
             Request::Reload => "RELOAD".to_string(),
+            Request::Prepare => "PREPARE".to_string(),
+            Request::Commit => "COMMIT".to_string(),
             Request::Epoch => "EPOCH".to_string(),
             Request::Quit => "QUIT".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
@@ -103,6 +123,8 @@ impl Request {
             "STATS" => Request::Stats,
             "UPDATE" => return Err("UPDATE needs an operation".to_string()),
             "RELOAD" => Request::Reload,
+            "PREPARE" => Request::Prepare,
+            "COMMIT" => Request::Commit,
             "EPOCH" => Request::Epoch,
             "QUIT" => Request::Quit,
             "SHUTDOWN" => Request::Shutdown,
@@ -250,6 +272,10 @@ pub enum Response {
     },
     /// `RELOADED …` — see [`ReloadReply`].
     Reloaded(ReloadReply),
+    /// `PREPARED …` — a reload staged but not yet swapped; `epoch` is the
+    /// epoch still being served, the remaining fields describe the staged
+    /// snapshot exactly as `RELOADED` would.
+    Prepared(ReloadReply),
     /// `EPOCH <e>`.
     Epoch(u64),
     Bye,
@@ -272,6 +298,32 @@ fn parse_tags(s: &str) -> Result<Vec<TagId>, String> {
         return Ok(Vec::new());
     }
     s.split(',').map(|t| t.parse().map_err(|_| format!("bad tag id {t:?}"))).collect()
+}
+
+fn format_reload_fields(r: &ReloadReply) -> String {
+    format!(
+        "epoch={} folded={} resampled={} reused={} full={}",
+        r.epoch,
+        r.folded,
+        r.resampled,
+        r.reused,
+        u8::from(r.full)
+    )
+}
+
+fn parse_reload_fields(verb: &str, rest: &str) -> Result<ReloadReply, String> {
+    let mut tokens = rest.split_ascii_whitespace();
+    let mut next = |key: &str| -> Result<u64, String> {
+        let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+        kv(token, key)?.parse().map_err(|_| format!("bad {key} in {verb}"))
+    };
+    Ok(ReloadReply {
+        epoch: next("epoch")?,
+        folded: next("folded")?,
+        resampled: next("resampled")?,
+        reused: next("reused")?,
+        full: next("full")? != 0,
+    })
 }
 
 fn kv<'a>(token: &'a str, key: &str) -> Result<&'a str, String> {
@@ -303,14 +355,8 @@ impl Response {
             Response::Updated { epoch, pending } => {
                 format!("UPDATED epoch={epoch} pending={pending}")
             }
-            Response::Reloaded(r) => format!(
-                "RELOADED epoch={} folded={} resampled={} reused={} full={}",
-                r.epoch,
-                r.folded,
-                r.resampled,
-                r.reused,
-                u8::from(r.full)
-            ),
+            Response::Reloaded(r) => format!("RELOADED {}", format_reload_fields(r)),
+            Response::Prepared(r) => format!("PREPARED {}", format_reload_fields(r)),
             Response::Epoch(e) => format!("EPOCH {e}"),
             Response::Stats(s) => {
                 let mut line = String::from("STATS");
@@ -369,20 +415,8 @@ impl Response {
                 };
                 Ok(Response::Updated { epoch: next("epoch")?, pending: next("pending")? })
             }
-            "RELOADED" => {
-                let mut tokens = rest.split_ascii_whitespace();
-                let mut next = |key: &str| -> Result<u64, String> {
-                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
-                    kv(token, key)?.parse().map_err(|_| format!("bad {key} in RELOADED"))
-                };
-                Ok(Response::Reloaded(ReloadReply {
-                    epoch: next("epoch")?,
-                    folded: next("folded")?,
-                    resampled: next("resampled")?,
-                    reused: next("reused")?,
-                    full: next("full")? != 0,
-                }))
-            }
+            "RELOADED" => Ok(Response::Reloaded(parse_reload_fields(verb, rest)?)),
+            "PREPARED" => Ok(Response::Prepared(parse_reload_fields(verb, rest)?)),
             "EPOCH" => {
                 let epoch = rest.trim().parse().map_err(|_| format!("bad epoch {rest:?}"))?;
                 Ok(Response::Epoch(epoch))
@@ -412,6 +446,8 @@ mod tests {
             Request::Ping,
             Request::Stats,
             Request::Reload,
+            Request::Prepare,
+            Request::Commit,
             Request::Epoch,
             Request::Quit,
             Request::Shutdown,
@@ -442,6 +478,8 @@ mod tests {
             ("UPDATE FROB 1", "unknown update op"),
             ("UPDATE ADD_EDGE 1", "needs"),
             ("RELOAD NOW", "trailing"),
+            ("PREPARE 2", "trailing"),
+            ("COMMIT fast", "trailing"),
             ("EPOCH 3", "trailing"),
         ] {
             let err = Request::parse(line).expect_err(line);
@@ -490,6 +528,13 @@ mod tests {
                 resampled: 560,
                 reused: 0,
                 full: true,
+            }),
+            Response::Prepared(ReloadReply {
+                epoch: 3,
+                folded: 2,
+                resampled: 40,
+                reused: 360,
+                full: false,
             }),
             Response::Epoch(7),
         ];

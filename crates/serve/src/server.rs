@@ -42,7 +42,7 @@ use crate::protocol::{ErrorCode, QueryReply, ReloadReply, Request, Response, Sta
 use pitex_core::{EngineBackend, EngineHandle};
 use pitex_index::DelayMatIndex;
 use pitex_live::{repair_rr_index, ModelOverlay, RepairOptions, Snapshot, SnapshotStore, UpdateOp};
-use pitex_model::TagSet;
+use pitex_model::{TagSet, TicModel};
 use pitex_support::lru::ShardedLru;
 use pitex_support::stats::{LatencyHistogram, OnlineStats};
 use std::collections::BTreeSet;
@@ -132,6 +132,28 @@ struct Counters {
     reloads: AtomicU64,
 }
 
+/// A reload that has been folded and repaired but not yet swapped in —
+/// the `PREPARE` half of a two-phase (cluster-coordinated) reload.
+struct StagedReload {
+    new_model: Arc<TicModel>,
+    handle: EngineHandle,
+    backend: EngineBackend,
+    affected: Option<Vec<u32>>,
+    dirty_members: Option<Vec<u32>>,
+    /// The `PREPARED`/`RELOADED` fields; `epoch` is stamped at reply time
+    /// (current epoch while staged, the new epoch once committed).
+    reply: ReloadReply,
+}
+
+/// Admin-verb state: staged-but-not-yet-folded mutations plus an optional
+/// prepared (folded + repaired, not yet swapped) snapshot. One lock
+/// serializes admin verbs against each other — the query path never
+/// touches it.
+struct AdminState {
+    overlay: ModelOverlay,
+    staged: Option<StagedReload>,
+}
+
 /// Everything the acceptor, connections and workers share.
 struct Shared {
     stop: AtomicBool,
@@ -140,9 +162,10 @@ struct Shared {
     reaped_panic: AtomicBool,
     /// The epoch-versioned snapshot currently being served.
     store: SnapshotStore,
-    /// Staged-but-not-yet-folded mutations. The lock serializes admin
-    /// verbs against each other only — the query path never touches it.
-    overlay: Mutex<ModelOverlay>,
+    admin_state: Mutex<AdminState>,
+    /// Mirrors `admin_state.staged.is_some()` so `STATS` never has to take
+    /// the admin lock (a slow PREPARE holds it across index repair).
+    prepared: AtomicBool,
     options: ServeOptions,
     cache: ShardedLru<(u32, usize, EngineBackend), CachedAnswer>,
     counters: Counters,
@@ -183,7 +206,8 @@ impl Server {
             reaped_panic: AtomicBool::new(false),
             cache: ShardedLru::with_shards(options.cache_capacity, workers.max(4)),
             store: SnapshotStore::new(handle),
-            overlay: Mutex::new(overlay),
+            admin_state: Mutex::new(AdminState { overlay, staged: None }),
+            prepared: AtomicBool::new(false),
             options,
             counters: Counters::default(),
             latency: Mutex::new((LatencyHistogram::new(), OnlineStats::new())),
@@ -507,11 +531,17 @@ fn handle_line(
         }
         Ok(Request::Stats) => (Response::Stats(stats_reply(shared)), false),
         Ok(Request::Query(q)) => (handle_query(shared, snapshot, q, job_tx), false),
-        Ok(Request::Update(_) | Request::Reload | Request::Epoch) if !shared.options.admin => {
-            denied()
-        }
+        Ok(
+            Request::Update(_)
+            | Request::Reload
+            | Request::Prepare
+            | Request::Commit
+            | Request::Epoch,
+        ) if !shared.options.admin => denied(),
         Ok(Request::Update(op)) => (handle_update(shared, op), false),
         Ok(Request::Reload) => (handle_reload(shared), false),
+        Ok(Request::Prepare) => (handle_prepare(shared), false),
+        Ok(Request::Commit) => (handle_commit(shared), false),
         Ok(Request::Epoch) => (Response::Epoch(shared.store.epoch()), false),
         Err(reason) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -633,12 +663,21 @@ fn handle_query(
 /// `UPDATE`: validate and stage one op in the overlay. Nothing is visible
 /// to queries until `RELOAD`.
 fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
-    let mut overlay = shared.overlay.lock().unwrap();
-    match overlay.apply(op) {
+    let mut admin = shared.admin_state.lock().unwrap();
+    if admin.staged.is_some() {
+        // A prepared snapshot no longer reflects the overlay once new ops
+        // land; rather than silently invalidating a barrier in flight,
+        // refuse until the coordinator COMMITs (or RELOADs) it.
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let message = "a prepared reload is pending; COMMIT (or RELOAD) it first".to_string();
+        return Response::Err { code: ErrorCode::BadUpdate, message };
+    }
+    match admin.overlay.apply(op) {
         Ok(()) => {
             shared.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
-            shared.counters.updates_pending.store(overlay.pending() as u64, Ordering::Relaxed);
-            Response::Updated { epoch: shared.store.epoch(), pending: overlay.pending() as u64 }
+            let pending = admin.overlay.pending() as u64;
+            shared.counters.updates_pending.store(pending, Ordering::Relaxed);
+            Response::Updated { epoch: shared.store.epoch(), pending }
         }
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -647,18 +686,11 @@ fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
     }
 }
 
-/// `RELOAD`: fold the staged ops into a fresh model, repair whatever index
-/// the backend needs, swap the snapshot, and sweep the result cache. Runs
-/// on the requesting connection's thread — queries on every other
-/// connection keep being answered from the old epoch throughout.
-fn handle_reload(shared: &Arc<Shared>) -> Response {
-    // The overlay lock is held across fold + repair + swap: admin verbs
-    // serialize against each other; the query path never takes this lock.
-    let mut overlay = shared.overlay.lock().unwrap();
-    if overlay.pending() == 0 {
-        let epoch = shared.store.epoch();
-        return Response::Reloaded(ReloadReply { epoch, ..ReloadReply::default() });
-    }
+/// Folds the overlay's pending ops into a fresh model and repairs whatever
+/// index the backend needs — everything a reload does *except* the swap.
+/// The caller holds the admin lock. `Err` carries the ready-to-send error
+/// response.
+fn stage_reload(shared: &Arc<Shared>, overlay: &ModelOverlay) -> Result<StagedReload, Response> {
     let folded = overlay.pending() as u64;
     let new_model = Arc::new(overlay.compact());
     let affected = overlay.affected_users(&new_model);
@@ -698,25 +730,115 @@ fn handle_reload(shared: &Arc<Shared>) -> Response {
         Arc::new(rebuilt)
     });
 
-    let new_handle =
-        match EngineHandle::with_indexes(new_model.clone(), backend, rr_index, delay_index, config)
-        {
-            Ok(handle) => handle,
-            Err(e) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                return Response::Err { code: ErrorCode::Internal, message: e.to_string() };
-            }
-        };
-    reply.epoch = shared.store.swap(new_handle);
+    match EngineHandle::with_indexes(new_model.clone(), backend, rr_index, delay_index, config) {
+        Ok(handle) => {
+            Ok(StagedReload { new_model, handle, backend, affected, dirty_members, reply })
+        }
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            Err(Response::Err { code: ErrorCode::Internal, message: e.to_string() })
+        }
+    }
+}
+
+/// Swaps a staged snapshot in: the cheap half of a reload. The caller
+/// holds the admin lock and has already `take`n the staged entry.
+fn commit_staged(
+    shared: &Arc<Shared>,
+    admin: &mut AdminState,
+    staged: StagedReload,
+) -> ReloadReply {
+    let StagedReload { new_model, handle, backend, affected, dirty_members, mut reply } = staged;
+    reply.epoch = shared.store.swap(handle);
 
     // Sweep strictly after the swap: combined with the epoch check before
-    // every cache insert, no stale answer can outlive this line.
-    invalidate_cache(shared, backend, affected, dirty_members);
+    // every cache insert, no stale answer can outlive this line. An
+    // epoch-only swap (folded = 0: same world, next epoch) skips the sweep
+    // — every cached answer is still true in the "new" world.
+    if reply.folded > 0 {
+        invalidate_cache(shared, backend, affected, dirty_members);
+    }
 
-    *overlay = ModelOverlay::new(new_model);
+    admin.overlay = ModelOverlay::new(new_model);
+    shared.prepared.store(false, Ordering::Relaxed);
     shared.counters.updates_pending.store(0, Ordering::Relaxed);
     shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
-    Response::Reloaded(reply)
+    reply
+}
+
+/// `RELOAD`: fold the staged ops into a fresh model, repair whatever index
+/// the backend needs, swap the snapshot, and sweep the result cache —
+/// `PREPARE` and `COMMIT` back to back under one admin-lock hold. Runs on
+/// the requesting connection's thread — queries on every other connection
+/// keep being answered from the old epoch throughout.
+fn handle_reload(shared: &Arc<Shared>) -> Response {
+    let mut admin = shared.admin_state.lock().unwrap();
+    if let Some(staged) = admin.staged.take() {
+        // A previously PREPAREd snapshot is committed as-is: UPDATE was
+        // refused while it was staged, so the overlay cannot have moved.
+        return Response::Reloaded(commit_staged(shared, &mut admin, staged));
+    }
+    if admin.overlay.pending() == 0 {
+        let epoch = shared.store.epoch();
+        return Response::Reloaded(ReloadReply { epoch, ..ReloadReply::default() });
+    }
+    match stage_reload(shared, &admin.overlay) {
+        Ok(staged) => Response::Reloaded(commit_staged(shared, &mut admin, staged)),
+        Err(response) => response,
+    }
+}
+
+/// `PREPARE`: the slow half of a reload (fold + repair) without the swap.
+/// Idempotent — a repeated PREPARE reports the already-staged snapshot.
+/// With nothing pending, an *epoch-only* swap is staged (same world, next
+/// epoch): a cluster-wide barrier must advance every shard so a
+/// scatter-gather reader can verify all shards answer from the same epoch
+/// even when this shard had nothing to fold.
+fn handle_prepare(shared: &Arc<Shared>) -> Response {
+    let mut admin = shared.admin_state.lock().unwrap();
+    if let Some(staged) = &admin.staged {
+        let mut reply = staged.reply;
+        reply.epoch = shared.store.epoch();
+        return Response::Prepared(reply);
+    }
+    if admin.overlay.pending() == 0 {
+        let snapshot = shared.store.current();
+        let staged = StagedReload {
+            new_model: snapshot.handle.model().clone(),
+            handle: snapshot.handle.clone(),
+            backend: snapshot.handle.backend(),
+            affected: Some(Vec::new()),
+            dirty_members: Some(Vec::new()),
+            reply: ReloadReply::default(),
+        };
+        let epoch = snapshot.epoch;
+        admin.staged = Some(staged);
+        shared.prepared.store(true, Ordering::Relaxed);
+        return Response::Prepared(ReloadReply { epoch, ..ReloadReply::default() });
+    }
+    match stage_reload(shared, &admin.overlay) {
+        Ok(staged) => {
+            let mut reply = staged.reply;
+            reply.epoch = shared.store.epoch();
+            admin.staged = Some(staged);
+            shared.prepared.store(true, Ordering::Relaxed);
+            Response::Prepared(reply)
+        }
+        Err(response) => response,
+    }
+}
+
+/// `COMMIT`: swap the PREPAREd snapshot in. Without one this is a no-op
+/// reload reply (the shard had nothing staged — see `handle_prepare`).
+fn handle_commit(shared: &Arc<Shared>) -> Response {
+    let mut admin = shared.admin_state.lock().unwrap();
+    match admin.staged.take() {
+        Some(staged) => Response::Reloaded(commit_staged(shared, &mut admin, staged)),
+        None => {
+            let epoch = shared.store.epoch();
+            Response::Reloaded(ReloadReply { epoch, ..ReloadReply::default() })
+        }
+    }
 }
 
 /// Post-swap cache sweep. `affected` is the set of users whose *true*
@@ -777,13 +899,14 @@ fn stats_reply(shared: &Shared) -> StatsReply {
     let cache = shared.cache.counters();
     let uptime = shared.started.elapsed();
     let ok = c.ok.load(Ordering::Relaxed);
-    let (p50, p90, p99, mean) = {
+    let (p50, p90, p99, mean, hist_wire) = {
         let latency = shared.latency.lock().unwrap();
         (
             latency.0.quantile(0.50),
             latency.0.quantile(0.90),
             latency.0.quantile(0.99),
             if latency.1.count() == 0 { 0.0 } else { latency.1.mean() },
+            latency.0.to_wire(),
         )
     };
     let hit_rate = if cache.hits + cache.misses == 0 { 0.0 } else { cache.hit_rate() };
@@ -795,6 +918,7 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         field("uptime_us", (uptime.as_micros() as u64).to_string()),
         field("uptime_s", format!("{:.1}", uptime.as_secs_f64())),
         field("epoch", snapshot.epoch.to_string()),
+        field("prepared", u8::from(shared.prepared.load(Ordering::Relaxed)).to_string()),
         field("updates_applied", c.updates_applied.load(Ordering::Relaxed).to_string()),
         field("updates_pending", c.updates_pending.load(Ordering::Relaxed).to_string()),
         field("reloads", c.reloads.load(Ordering::Relaxed).to_string()),
@@ -806,6 +930,7 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         field("worker_panics", c.worker_panics.load(Ordering::Relaxed).to_string()),
         field("cache_hits", cache.hits.to_string()),
         field("cache_misses", cache.misses.to_string()),
+        field("cache_insertions", cache.insertions.to_string()),
         field("cache_evictions", cache.evictions.to_string()),
         field("cache_len", shared.cache.len().to_string()),
         field("cache_hit_rate", format!("{hit_rate:.4}")),
@@ -814,6 +939,9 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         field("lat_p90_us", p90.to_string()),
         field("lat_p99_us", p99.to_string()),
         field("lat_mean_us", format!("{mean:.1}")),
+        // The raw log2 buckets, so a scatter-gather router can merge
+        // per-shard distributions instead of "averaging" percentiles.
+        field("lat_hist", hist_wire),
     ])
 }
 
@@ -1052,6 +1180,88 @@ mod tests {
     }
 
     #[test]
+    fn prepare_commit_is_a_two_phase_reload() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        roundtrip(&mut stream, "UPDATE DETACH_TAG 2");
+        roundtrip(&mut stream, "UPDATE DETACH_TAG 3");
+
+        // Phase 1 folds and repairs but does not swap.
+        let Response::Prepared(p) = roundtrip(&mut stream, "PREPARE") else {
+            panic!("expected PREPARED")
+        };
+        assert_eq!((p.epoch, p.folded), (1, 2), "still serving the old epoch");
+        let Response::Ok(old) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert_eq!(old.tags, vec![2, 3], "old world until COMMIT");
+        let Response::Stats(stats) = roundtrip(&mut stream, "STATS") else { panic!() };
+        assert_eq!(stats.get_u64("prepared"), Some(1));
+
+        // New mutations are refused while a snapshot is staged, and a
+        // repeated PREPARE reports the same staged snapshot.
+        match roundtrip(&mut stream, "UPDATE ADD_USER") {
+            Response::Err { code, message } => {
+                assert_eq!(code, ErrorCode::BadUpdate);
+                assert!(message.contains("prepared"), "{message}");
+            }
+            other => panic!("UPDATE while staged must ERR, got {other:?}"),
+        }
+        let Response::Prepared(again) = roundtrip(&mut stream, "PREPARE") else { panic!() };
+        assert_eq!(again, p, "PREPARE is idempotent");
+
+        // Phase 2 swaps the staged world in.
+        let Response::Reloaded(r) = roundtrip(&mut stream, "COMMIT") else {
+            panic!("expected RELOADED")
+        };
+        assert_eq!((r.epoch, r.folded), (2, 2));
+        let Response::Ok(new) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert_eq!(new.tags, vec![0, 1], "committed world serves the new optimum");
+        let Response::Stats(stats) = roundtrip(&mut stream, "STATS") else { panic!() };
+        assert_eq!(stats.get_u64("prepared"), Some(0));
+        assert_eq!(stats.get_u64("reloads"), Some(1));
+
+        // COMMIT with nothing staged is a no-op reload.
+        let Response::Reloaded(noop) = roundtrip(&mut stream, "COMMIT") else { panic!() };
+        assert_eq!((noop.epoch, noop.folded), (2, 0));
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn reload_commits_a_staged_prepare_as_is() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        roundtrip(&mut stream, "UPDATE DETACH_TAG 2");
+        let Response::Prepared(_) = roundtrip(&mut stream, "PREPARE") else { panic!() };
+        let Response::Reloaded(r) = roundtrip(&mut stream, "RELOAD") else { panic!() };
+        assert_eq!((r.epoch, r.folded), (2, 1), "RELOAD commits the staged snapshot");
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn empty_prepare_stages_an_epoch_only_swap() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Warm the cache: it must survive an epoch-only swap untouched.
+        roundtrip(&mut stream, "QUERY 0 2");
+        let Response::Prepared(p) = roundtrip(&mut stream, "PREPARE") else { panic!() };
+        assert_eq!((p.epoch, p.folded), (1, 0));
+        let Response::Stats(stats) = roundtrip(&mut stream, "STATS") else { panic!() };
+        assert_eq!(stats.get_u64("prepared"), Some(1));
+        // The commit advances the epoch (so a cluster barrier leaves every
+        // shard at the same epoch) but the world — and its cache — is the
+        // same.
+        let Response::Reloaded(r) = roundtrip(&mut stream, "COMMIT") else { panic!() };
+        assert_eq!((r.epoch, r.folded), (2, 0), "idle shards still take the epoch bump");
+        assert_eq!(roundtrip(&mut stream, "EPOCH"), Response::Epoch(2));
+        let Response::Ok(reply) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert_eq!(reply.tags, vec![2, 3]);
+        assert!(reply.cached, "an epoch-only swap must not flush the cache");
+        server.stop().unwrap();
+    }
+
+    #[test]
     fn reload_without_updates_keeps_the_epoch() {
         let server =
             Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
@@ -1090,7 +1300,7 @@ mod tests {
         let options = ServeOptions { admin: false, ..ServeOptions::default() };
         let server = Server::spawn(paper_handle(), ("127.0.0.1", 0), options).unwrap();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
-        for line in ["UPDATE ADD_USER", "RELOAD", "EPOCH"] {
+        for line in ["UPDATE ADD_USER", "RELOAD", "PREPARE", "COMMIT", "EPOCH"] {
             match roundtrip(&mut stream, line) {
                 Response::Err { code, .. } => assert_eq!(code, ErrorCode::AdminDenied, "{line}"),
                 other => panic!("{line}: expected ERR ADMIN_DENIED, got {other:?}"),

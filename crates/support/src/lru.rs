@@ -37,6 +37,17 @@ impl CacheCounters {
     pub fn hit_rate(&self) -> f64 {
         self.hits as f64 / (self.hits + self.misses) as f64
     }
+
+    /// Merges another snapshot into this one — every field is a monotone
+    /// count, so aggregation is field-wise addition. A scatter-gather
+    /// router uses this to report cluster-wide cache behavior from
+    /// per-shard `STATS` counters.
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
 }
 
 struct Shard<K, V> {
@@ -314,6 +325,16 @@ mod tests {
         }
         assert_eq!(cache.invalidate_if(|_, &v| v >= 50), 5);
         assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn counters_merge_is_fieldwise_addition() {
+        let a = CacheCounters { hits: 3, misses: 1, insertions: 4, evictions: 2 };
+        let b = CacheCounters { hits: 7, misses: 9, insertions: 6, evictions: 0 };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, CacheCounters { hits: 10, misses: 10, insertions: 10, evictions: 2 });
+        assert!((merged.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

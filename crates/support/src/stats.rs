@@ -163,6 +163,47 @@ impl LatencyHistogram {
         }
         self.count += other.count;
     }
+
+    /// Serializes the non-empty buckets as `bucket:count` pairs joined by
+    /// commas (`-` when empty) — a single whitespace-free token, so it fits
+    /// a `key=value` field of the serving `STATS` line. A scatter-gather
+    /// router reassembles per-shard histograms with
+    /// [`from_wire`](Self::from_wire) and [`merge`](Self::merge), which is the only way
+    /// to aggregate percentiles correctly (percentiles themselves do not
+    /// add).
+    pub fn to_wire(&self) -> String {
+        if self.count == 0 {
+            return "-".to_string();
+        }
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| format!("{b}:{n}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses the [`to_wire`](Self::to_wire) encoding.
+    pub fn from_wire(s: &str) -> Result<LatencyHistogram, String> {
+        let mut hist = LatencyHistogram::new();
+        if s == "-" {
+            return Ok(hist);
+        }
+        for pair in s.split(',') {
+            let (bucket, count) =
+                pair.split_once(':').ok_or_else(|| format!("bad histogram pair {pair:?}"))?;
+            let bucket: usize =
+                bucket.parse().map_err(|_| format!("bad histogram bucket {bucket:?}"))?;
+            let count: u64 = count.parse().map_err(|_| format!("bad histogram count {count:?}"))?;
+            if bucket >= hist.buckets.len() {
+                return Err(format!("histogram bucket {bucket} out of range"));
+            }
+            hist.buckets[bucket] += count;
+            hist.count += count;
+        }
+        Ok(hist)
+    }
 }
 
 /// A simple wall-clock timer.
@@ -300,6 +341,46 @@ mod tests {
         assert_eq!(left.count(), whole.count());
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(left.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn histogram_wire_round_trips_and_merges() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 3, 7, 7, 100, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let decoded = LatencyHistogram::from_wire(&h.to_wire()).unwrap();
+        assert_eq!(decoded.count(), h.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(decoded.quantile(q), h.quantile(q));
+        }
+        // Merging decoded shards equals one histogram over all samples.
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..500u64 {
+            if v % 3 == 0 {
+                a.record(v * 13 % 2048);
+            } else {
+                b.record(v * 13 % 2048);
+            }
+        }
+        let mut whole = a.clone();
+        whole.merge(&b);
+        let mut gathered = LatencyHistogram::from_wire(&a.to_wire()).unwrap();
+        gathered.merge(&LatencyHistogram::from_wire(&b.to_wire()).unwrap());
+        assert_eq!(gathered.count(), whole.count());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(gathered.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn histogram_wire_rejects_garbage() {
+        assert_eq!(LatencyHistogram::from_wire("-").unwrap().count(), 0);
+        assert_eq!(LatencyHistogram::new().to_wire(), "-");
+        for bad in ["", "3", "3:", ":4", "x:1", "1:y", "99:1", "3:1,,4:1"] {
+            assert!(LatencyHistogram::from_wire(bad).is_err(), "{bad:?} must not parse");
         }
     }
 

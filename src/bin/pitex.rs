@@ -10,12 +10,17 @@
 //! pitex update  --model model.bin --out new.bin (--ops FILE | --op "SET_EDGE 0 1 0:0.9")
 //! pitex client  --addr 127.0.0.1:7411 --user 42 --k 3 | --stats [--json] | --shutdown
 //!               | --bench | --update "OP…" | --admin epoch|reload
+//! pitex shardmap --out cluster.map --replicas "h:1,h:2;h:3,h:4" [--seed 42]
+//! pitex router  --map cluster.map [--port 7400]
 //! ```
 //!
 //! The CLI covers the offline/online lifecycle end-to-end: generate (or
 //! later: load) a model, build and persist an index, answer queries, run /
-//! exercise the query server, and mutate a model offline (`update`) or a
-//! running server (`client --update` / `--admin reload`).
+//! exercise the query server, mutate a model offline (`update`) or a
+//! running server (`client --update` / `--admin reload`), and scale out:
+//! `shardmap` writes the cluster's user-partitioning artifact and `router`
+//! serves the same line protocol over many shard servers (`client` pointed
+//! at a router works unchanged).
 
 use pitex::index::serial;
 use pitex::live::{ops_from_file_bytes, repair_rr_index};
@@ -86,6 +91,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts),
         "update" => cmd_update(&opts),
         "client" => cmd_client(&opts),
+        "shardmap" => cmd_shardmap(&opts),
+        "router" => cmd_router(&opts),
         "help" | "--help" | "-h" => write_stdout(format_args!("{USAGE}")),
         other => Err(CliError::Msg(format!("unknown command {other:?}"))),
     };
@@ -116,9 +123,17 @@ USAGE:
                | --stats [--json] | --ping | --shutdown
                | --update \"OP...\" | --admin epoch|reload
                | --bench [--clients N] [--requests N] [--user N] [--k N])
+  pitex shardmap (--out FILE --replicas \"A:P,A:P;A:P,A:P\" [--seed N] [--binary]
+               | --map FILE [--user N])
+  pitex router --map FILE [--port N] [--max-in-flight N] [--idle-conns N]
+               [--probe-ms N] [--no-admin]
 
 METHODS: lazy (default), mc, rr, tim, exact, lt,
          indexest / indexest+ / delaymat (require --index)
+
+SHARDMAP: --replicas lists shards separated by ';', each shard its replica
+          addresses separated by ','. A router is a drop-in single server:
+          point `pitex client` at it unchanged.
 
 UPDATE OPS: ADD_EDGE s d z:p[,z:p..] | REMOVE_EDGE s d | SET_EDGE s d z:p[,..]
             | ATTACH_TAG w z:p[,..] | DETACH_TAG w | ADD_USER  ('-' = empty row)";
@@ -126,7 +141,8 @@ UPDATE OPS: ADD_EDGE s d z:p[,z:p..] | REMOVE_EDGE s d | SET_EDGE s d z:p[,..]
 type Opts = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 7] = ["delay", "stats", "ping", "shutdown", "bench", "json", "no-admin"];
+const BOOL_FLAGS: [&str; 8] =
+    ["delay", "stats", "ping", "shutdown", "bench", "json", "no-admin", "binary"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::new();
@@ -431,6 +447,78 @@ fn cmd_update(opts: &Opts) -> Result<(), CliError> {
             );
         }
     }
+    Ok(())
+}
+
+/// `pitex shardmap`: write the cluster's user-partitioning artifact from a
+/// `--replicas` spec, or inspect an existing map (optionally answering
+/// which shard owns `--user`).
+fn cmd_shardmap(opts: &Opts) -> Result<(), CliError> {
+    if let Some(path) = opts.get("map") {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let map = ShardMap::from_file_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(user) = opts.get("user") {
+            let user: u32 = parse(user, "--user")?;
+            let shard = map.shard_of(user);
+            outln!("user {user} -> shard {shard} [{}]", map.replicas(shard).join(" "));
+        } else {
+            outln!("{}", map.to_text().trim_end());
+        }
+        return Ok(());
+    }
+    let spec = want(opts, "replicas")?;
+    let shards: Vec<Vec<String>> = spec
+        .split(';')
+        .map(|shard| {
+            shard
+                .split(',')
+                .map(|addr| addr.trim().to_string())
+                .filter(|addr| !addr.is_empty())
+                .collect()
+        })
+        .collect();
+    let seed: u64 = opts.get("seed").map(|s| parse(s, "--seed")).transpose()?.unwrap_or(42);
+    let map = ShardMap::with_seed(shards, seed)?;
+    let out = want(opts, "out")?;
+    let bytes =
+        if opts.contains_key("binary") { map.to_bytes() } else { map.to_text().into_bytes() };
+    std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
+    outln!(
+        "wrote shard map: {} shards, {} replicas, seed {} -> {out}",
+        map.num_shards(),
+        map.num_replicas(),
+        map.seed()
+    );
+    Ok(())
+}
+
+/// `pitex router`: serve the `pitex serve` line protocol over the shards
+/// of a map file — scatter-gather front-end, health-gated failover, and
+/// the cluster-wide reload barrier.
+fn cmd_router(opts: &Opts) -> Result<(), CliError> {
+    let path = want(opts, "map")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let map = ShardMap::from_file_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let port: u16 = opts.get("port").map(|s| parse(s, "--port")).transpose()?.unwrap_or(0);
+    let mut options = RouterOptions::default().with_env();
+    if let Some(v) = opts.get("max-in-flight") {
+        options.pool.max_in_flight = parse(v, "--max-in-flight")?;
+    }
+    if let Some(v) = opts.get("idle-conns") {
+        options.pool.idle_per_replica = parse(v, "--idle-conns")?;
+    }
+    if let Some(v) = opts.get("probe-ms") {
+        options.probe_interval = Duration::from_millis(parse(v, "--probe-ms")?);
+    }
+    options.admin = !opts.contains_key("no-admin");
+    let shards = map.num_shards();
+    let replicas = map.num_replicas();
+    let router = Router::spawn(map, ("127.0.0.1", port), options)
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    // One parseable line for scripts, then block until SHUTDOWN.
+    outln!("pitex_router listening on {} [{shards} shards, {replicas} replicas]", router.addr());
+    router.join().map_err(|_| "a router thread panicked".to_string())?;
+    outln!("pitex_router stopped");
     Ok(())
 }
 

@@ -27,8 +27,10 @@
 //! | [`core`] | the query engine: enumeration, best-effort exploration, TIM baseline |
 //! | [`live`] | online updates: update log + overlay, incremental index repair, epoch snapshots |
 //! | [`serve`] | the concurrent query server: TCP line protocol, worker pool, result cache |
+//! | [`cluster`] | sharded serving: user-hash shard map, scatter-gather router, epoch-coordinated cluster reloads |
 //! | [`datasets`] | synthetic evaluation datasets, workloads, case study |
 
+pub use pitex_cluster as cluster;
 pub use pitex_core as core;
 pub use pitex_datasets as datasets;
 pub use pitex_graph as graph;
@@ -41,6 +43,7 @@ pub use pitex_support as support;
 
 /// The types most applications need.
 pub mod prelude {
+    pub use pitex_cluster::{Router, RouterOptions, ShardMap};
     pub use pitex_core::{
         BackendKind, EngineBackend, EngineHandle, ExplorationStrategy, PitexConfig, PitexEngine,
         PitexResult, QueryStats, TimEstimator,

@@ -1,0 +1,365 @@
+//! Cluster integration suite: a real 2-shard × 2-replica loopback cluster
+//! behind a scatter-gather router, driven over TCP.
+//!
+//! Asserts the acceptance scenario of the sharded-serving layer: the
+//! router answers the paper's Fig. 2 ground truth for **every** user
+//! exactly as a single server would, survives a replica kill with zero
+//! failed queries, and runs a concurrent cluster-wide `RELOAD` under
+//! 4-client load without ever yielding a torn answer or a mixed-epoch
+//! scatter reply. Plus the §7.1 workload-sharding skew property: user-hash
+//! sharding keeps the high/mid/low query groups within 2× of uniform.
+
+use pitex::cluster::{Router, RouterHandle, RouterOptions, ShardMap};
+use pitex::prelude::*;
+use pitex::serve::{ErrorCode, Response, ServeClient, ServeOptions, Server, ServerHandle};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fig. 2: 7 users.
+const USERS: u32 = 7;
+
+fn boot_shard() -> ServerHandle {
+    let model = Arc::new(TicModel::paper_example());
+    let handle = EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+    Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap()
+}
+
+struct Cluster {
+    /// `servers[shard][replica]`.
+    servers: Vec<Vec<ServerHandle>>,
+    map: ShardMap,
+    router: RouterHandle,
+}
+
+fn boot_cluster(shards: usize, replicas: usize) -> Cluster {
+    let servers: Vec<Vec<ServerHandle>> =
+        (0..shards).map(|_| (0..replicas).map(|_| boot_shard()).collect()).collect();
+    let addrs: Vec<Vec<String>> =
+        servers.iter().map(|shard| shard.iter().map(|s| s.addr().to_string()).collect()).collect();
+    let map = ShardMap::new(addrs).unwrap();
+    let router = Router::spawn(map.clone(), ("127.0.0.1", 0), RouterOptions::default()).unwrap();
+    Cluster { servers, map, router }
+}
+
+impl Cluster {
+    fn stop(self) {
+        self.router.stop().expect("no router thread may panic");
+        for shard in self.servers {
+            for server in shard {
+                server.stop().expect("no shard server thread may panic");
+            }
+        }
+    }
+}
+
+/// `(tags, spread)` per user from the exact evaluator — the single-server
+/// ground truth the cluster must reproduce bit for bit.
+fn ground_truth(model: &TicModel) -> Vec<(Vec<u32>, f64)> {
+    let mut engine = PitexEngine::with_exact(model, PitexConfig::default());
+    (0..USERS)
+        .map(|u| {
+            let r = engine.query(u, 2);
+            (r.tags.tags().to_vec(), r.spread)
+        })
+        .collect()
+}
+
+#[test]
+fn router_answers_every_user_like_a_single_server() {
+    let cluster = boot_cluster(2, 2);
+    let truth = ground_truth(&TicModel::paper_example());
+    let mut client = ServeClient::connect(cluster.router.addr()).unwrap();
+
+    client.ping().unwrap();
+    assert_eq!(client.epoch().unwrap(), 1, "all shards boot at epoch 1");
+
+    for user in 0..USERS {
+        let Response::Ok(reply) = client.query(user, 2).unwrap() else {
+            panic!("user {user}: expected OK")
+        };
+        let (tags, spread) = &truth[user as usize];
+        assert_eq!(&reply.tags, tags, "user {user}: routed answer differs from single-server");
+        assert_eq!(reply.spread, *spread, "user {user}: spread must be bit-identical");
+        assert_eq!(reply.user, user);
+    }
+
+    // Error paths forward verbatim: the cluster is a drop-in server.
+    match client.query(4_000_000, 2).unwrap() {
+        Response::Err { code, .. } => assert_eq!(code, ErrorCode::UnknownUser),
+        other => panic!("unknown user must ERR, got {other:?}"),
+    }
+    match client.query(0, 0).unwrap() {
+        Response::Err { code, .. } => assert_eq!(code, ErrorCode::BadK),
+        other => panic!("k = 0 must ERR, got {other:?}"),
+    }
+
+    // The scatter view sees the whole cluster.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get_u64("shards"), Some(2));
+    assert_eq!(stats.get_u64("replicas"), Some(4));
+    assert_eq!(stats.get_u64("replicas_up"), Some(4));
+    assert_eq!(stats.get_u64("epoch"), Some(1));
+    assert_eq!(stats.get_u64("ok"), Some(USERS as u64), "shard ok counters sum");
+    assert!(stats.get_u64("router_ok").unwrap() >= USERS as u64);
+    assert!(stats.get("lat_hist").is_some(), "merged histogram is re-exported");
+    cluster.stop();
+}
+
+#[test]
+fn replica_kill_loses_zero_queries() {
+    let mut cluster = boot_cluster(2, 2);
+    let truth = ground_truth(&TicModel::paper_example());
+    let mut client = ServeClient::connect(cluster.router.addr()).unwrap();
+
+    // Warm every pool path, then kill one replica of shard 0 outright.
+    for user in 0..USERS {
+        let Response::Ok(_) = client.query(user, 2).unwrap() else { panic!() };
+    }
+    let victim = cluster.servers[0].remove(1);
+    victim.stop().unwrap();
+
+    // Every query keeps succeeding with the exact answer: failover is
+    // invisible to the client (pooled-dead-connection and fresh-dial paths
+    // both covered by repeating rounds).
+    for round in 0..6 {
+        for user in 0..USERS {
+            let Response::Ok(reply) = client.query(user, 2).unwrap() else {
+                panic!("round {round} user {user}: query failed after replica kill")
+            };
+            let (tags, spread) = &truth[user as usize];
+            assert_eq!(&reply.tags, tags, "round {round} user {user}");
+            assert_eq!(reply.spread, *spread, "round {round} user {user}");
+        }
+    }
+
+    // The scatter still works and reports the dead replica.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get_u64("replicas"), Some(4));
+    assert!(
+        stats.get_u64("replicas_up").unwrap() <= 3,
+        "the killed replica must be marked down by now"
+    );
+    assert!(stats.get_u64("router_failovers").unwrap() >= 1, "at least one failover hid the kill");
+    cluster.stop();
+}
+
+/// The tentpole acceptance test: a cluster-wide `RELOAD` races 4 query
+/// clients and a scatter client. Every answer must match one world
+/// *exactly* (old tags + old spread, or new tags + new spread); every
+/// scatter must succeed with a single coherent epoch — the router's
+/// commit-wave write gate is what makes both guarantees hold.
+#[test]
+fn cluster_reload_under_load_is_never_torn_or_mixed_epoch() {
+    let cluster = boot_cluster(2, 2);
+    let addr = cluster.router.addr();
+
+    let old_model = TicModel::paper_example();
+    let old_truth = ground_truth(&old_model);
+    let ops = [
+        UpdateOp::parse_text("DETACH_TAG 2").unwrap(),
+        UpdateOp::parse_text("DETACH_TAG 3").unwrap(),
+    ];
+    let mut overlay = ModelOverlay::new(Arc::new(old_model));
+    overlay.apply_all(ops.iter().cloned()).unwrap();
+    let new_model = overlay.compact();
+    let new_truth = ground_truth(&new_model);
+    assert_ne!(old_truth[0], new_truth[0], "the update must flip u1's optimum");
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 25;
+    let finished = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let (old_truth, new_truth, finished) = (&old_truth, &new_truth, &finished);
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                for round in 0..ROUNDS {
+                    for user in 0..USERS {
+                        let Response::Ok(reply) = client.query(user, 2).unwrap() else {
+                            panic!("client {client_id} round {round}: query failed mid-reload")
+                        };
+                        let old = &old_truth[user as usize];
+                        let new = &new_truth[user as usize];
+                        let old_world = reply.tags == old.0 && reply.spread == old.1;
+                        let new_world = reply.tags == new.0 && reply.spread == new.1;
+                        assert!(
+                            old_world || new_world,
+                            "client {client_id} round {round} user {user}: torn answer \
+                             {:?} spread {}",
+                            reply.tags,
+                            reply.spread
+                        );
+                    }
+                }
+                finished.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // The scatter client: STATS through the reload storm must never
+        // fail — a mixed-epoch scatter would answer ERR INTERNAL and
+        // panic this unwrap.
+        {
+            let finished = &finished;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let mut scatters = 0u64;
+                while finished.load(Ordering::SeqCst) < CLIENTS {
+                    let stats = client
+                        .stats()
+                        .expect("scatter STATS must never fail (mixed-epoch would ERR)");
+                    let epoch = stats.get_u64("epoch").unwrap();
+                    assert!(epoch == 1 || epoch == 2, "impossible epoch {epoch}");
+                    scatters += 1;
+                }
+                assert!(scatters > 0);
+            });
+        }
+        // The admin: stage the update cluster-wide and run the barrier
+        // mid-storm.
+        {
+            let ops = &ops;
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                let mut admin = ServeClient::connect(addr).unwrap();
+                for op in ops {
+                    admin.update(op.clone()).unwrap();
+                }
+                let reloaded = admin.reload().unwrap();
+                assert_eq!(reloaded.epoch, 2, "one barrier -> every shard at epoch 2");
+                // DETACH_TAG broadcasts: 2 ops x 4 replicas fold.
+                assert_eq!(reloaded.folded, 8);
+            });
+        }
+    });
+
+    // Post-barrier: only the new world is served, and every shard replica
+    // agrees on the epoch — asked directly, not through the router.
+    let mut client = ServeClient::connect(addr).unwrap();
+    for user in 0..USERS {
+        let Response::Ok(reply) = client.query(user, 2).unwrap() else { panic!() };
+        assert_eq!(reply.tags, new_truth[user as usize].0, "stale answer after the barrier");
+        assert_eq!(reply.spread, new_truth[user as usize].1);
+    }
+    assert_eq!(client.epoch().unwrap(), 2);
+    for shard in &cluster.servers {
+        for server in shard {
+            let mut direct = ServeClient::connect(server.addr()).unwrap();
+            assert_eq!(direct.epoch().unwrap(), 2, "every replica took the epoch bump");
+        }
+    }
+    cluster.stop();
+}
+
+#[test]
+fn edge_updates_route_to_the_owning_shard_only() {
+    let cluster = boot_cluster(2, 1);
+    let mut client = ServeClient::connect(cluster.router.addr()).unwrap();
+
+    // An edge op is anchored at its source user; only that shard folds it.
+    let owner = cluster.map.shard_of(5);
+    let op = UpdateOp::parse_text("SET_EDGE 5 6 2:0.9").unwrap();
+    client.update(op).unwrap();
+    let reloaded = client.reload().unwrap();
+    assert_eq!(reloaded.epoch, 2);
+    assert_eq!(reloaded.folded, 1, "one op folded, on one replica of one shard");
+
+    for (shard, servers) in cluster.servers.iter().enumerate() {
+        let mut direct = ServeClient::connect(servers[0].addr()).unwrap();
+        let stats = direct.stats().unwrap();
+        let expected = u64::from(shard == owner);
+        assert_eq!(
+            stats.get_u64("updates_applied"),
+            Some(expected),
+            "shard {shard}: edge ops reach only the owner (owner = {owner})"
+        );
+        assert_eq!(
+            stats.get_u64("epoch"),
+            Some(2),
+            "shard {shard}: the barrier still advances every shard's epoch"
+        );
+    }
+    cluster.stop();
+}
+
+#[test]
+fn router_rejects_shard_level_barrier_verbs() {
+    let cluster = boot_cluster(1, 1);
+    let mut client = ServeClient::connect(cluster.router.addr()).unwrap();
+    for line in ["PREPARE", "COMMIT"] {
+        let raw = client.roundtrip_line(line).unwrap();
+        match Response::parse(&raw).unwrap() {
+            Response::Err { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest, "{line}");
+                assert!(message.contains("RELOAD"), "{line}: {message}");
+            }
+            other => panic!("{line}: expected ERR, got {other:?}"),
+        }
+    }
+    cluster.stop();
+}
+
+// §7.1 workload sharding skew: hash-sharding the high/mid/low query
+// groups keeps per-shard load within 2x of uniform at 4/8/16 shards —
+// both for each group's member set (where the group is large enough to
+// balance at all) and for the paper's combined 3 x 100-query workload.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn hash_sharding_keeps_user_groups_within_2x_of_uniform(seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = pitex::graph::gen::preferential_attachment(3_000, 3, 0.3, &mut rng);
+        let groups = UserGroups::from_graph(&graph);
+
+        for shards in [4usize, 8, 16] {
+            let map = ShardMap::with_seed(
+                vec![vec!["shard:0".to_string()]; shards],
+                seed ^ 0xC1A5,
+            ).unwrap();
+
+            // Per-group member balance, whenever the group can balance at
+            // all (below ~4 users per shard, "2x of uniform" is noise).
+            for group in UserGroup::ALL {
+                let members = groups.members(group);
+                if members.len() < shards * 4 {
+                    continue;
+                }
+                let mut load = vec![0usize; shards];
+                for &u in members {
+                    load[map.shard_of(u)] += 1;
+                }
+                let uniform = (members.len() + shards - 1) / shards;
+                for (s, &l) in load.iter().enumerate() {
+                    prop_assert!(
+                        l <= 2 * uniform,
+                        "{} group, {shards} shards: shard {s} holds {l} members \
+                         (uniform {uniform})",
+                        group.label()
+                    );
+                }
+            }
+
+            // The paper's workload: 100 queries per group, combined.
+            let mut load = vec![0usize; shards];
+            let mut total = 0usize;
+            for group in UserGroup::ALL {
+                let mut qrng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+                for u in groups.sample(group, 100, &mut qrng) {
+                    load[map.shard_of(u)] += 1;
+                    total += 1;
+                }
+            }
+            let uniform = (total + shards - 1) / shards;
+            for (s, &l) in load.iter().enumerate() {
+                prop_assert!(
+                    l <= 2 * uniform,
+                    "{shards} shards: shard {s} takes {l} of {total} queries \
+                     (uniform {uniform})"
+                );
+            }
+        }
+    }
+}

@@ -13,8 +13,29 @@
 //! their `main` with harness flags such as `--bench`; [`criterion_main!`]
 //! accepts and ignores them, and honors a single positional argument as a
 //! substring filter on benchmark names, like the real harness.
+//!
+//! ## Machine-readable summaries
+//!
+//! When `PITEX_BENCH_JSON` names a directory, each bench target
+//! additionally writes `BENCH_<target>.json` there on exit — one record
+//! per benchmark with `name`, `iters` and `ns_per_iter` — so a perf
+//! trajectory can be tracked across commits without scraping stdout
+//! (see EXPERIMENTS.md).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark, as written to the JSON summary.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    pub name: String,
+    pub iters: u64,
+    pub ns_per_iter: f64,
+}
+
+/// Results of every `bench_function` run in this process, drained by
+/// [`write_json_summary`] at the end of `main`.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Entry point handed to each registered benchmark function.
 pub struct Criterion {
@@ -61,7 +82,53 @@ impl Criterion {
             bencher.elapsed / bencher.iters as u32
         };
         println!("bench: {name:<50} {mean:>12.3?}/iter ({} iters)", bencher.iters);
+        let ns_per_iter = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        RESULTS.lock().unwrap().push(BenchRecord {
+            name: name.to_string(),
+            iters: bencher.iters,
+            ns_per_iter,
+        });
         self
+    }
+}
+
+/// Writes the `BENCH_<target>.json` summary into `dir` and returns its
+/// path, draining the per-process result registry. Called by
+/// [`write_json_summary`]; public for tests and custom harnesses.
+pub fn write_json_summary_to(
+    target: &str,
+    dir: &std::path::Path,
+) -> std::io::Result<std::path::PathBuf> {
+    let records: Vec<BenchRecord> = std::mem::take(&mut *RESULTS.lock().unwrap());
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"name":"{}","iters":{},"ns_per_iter":{:.1}}}"#,
+                r.name.replace('\\', "\\\\").replace('"', "\\\""),
+                r.iters,
+                r.ns_per_iter
+            )
+        })
+        .collect();
+    let json = format!(r#"{{"target":"{target}","results":[{}]}}{}"#, rows.join(","), "\n");
+    let path = dir.join(format!("BENCH_{target}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// End-of-run hook invoked by [`criterion_main!`]: writes the JSON summary
+/// into `$PITEX_BENCH_JSON` if that directory is configured, and stays
+/// silent otherwise (stdout remains the human report either way).
+pub fn write_json_summary(target: &str) {
+    if let Ok(dir) = std::env::var("PITEX_BENCH_JSON") {
+        if let Err(e) = write_json_summary_to(target, std::path::Path::new(&dir)) {
+            eprintln!("warning: could not write BENCH_{target}.json to {dir}: {e}");
+        }
     }
 }
 
@@ -126,12 +193,16 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` for a `harness = false` bench target.
+/// Generates `main` for a `harness = false` bench target. On exit the
+/// accumulated results are written as `BENCH_<target>.json` when
+/// `PITEX_BENCH_JSON` names a directory (`CARGO_CRATE_NAME` is the bench
+/// target's name, since every bench file compiles as its own crate).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_summary(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -162,5 +233,34 @@ mod tests {
             b.iter(|| ran = true);
         });
         assert!(!ran);
+    }
+
+    #[test]
+    fn json_summary_has_one_record_per_bench() {
+        // Other tests share the global registry; run them through a
+        // private name and assert on the drained file content.
+        let mut c = Criterion {
+            filter: Some("json_smoke".to_string()),
+            warm_up: Duration::ZERO,
+            measure: Duration::from_millis(2),
+        };
+        c.bench_function("json_smoke_a", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("json_smoke_b", |b| b.iter(|| 2u64 * 2));
+        let dir = std::env::temp_dir().join(format!("pitex-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_json_summary_to("unit_target", &dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_target.json");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with(r#"{"target":"unit_target","results":["#), "{json}");
+        assert!(json.contains(r#""name":"json_smoke_a""#), "{json}");
+        assert!(json.contains(r#""name":"json_smoke_b""#), "{json}");
+        assert!(json.contains(r#""ns_per_iter":"#), "{json}");
+        // The registry drains: a second write no longer carries these
+        // records (other tests may race their own into the registry, so
+        // only absence is asserted).
+        let json2 =
+            std::fs::read_to_string(write_json_summary_to("unit_target", &dir).unwrap()).unwrap();
+        assert!(!json2.contains("json_smoke_a"), "{json2}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
