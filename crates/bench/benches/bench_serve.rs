@@ -33,7 +33,7 @@ fn bench_serve(c: &mut Criterion) {
         "bench_serve: closed-loop serving throughput (queries/sec)",
         "4 clients x 16 requests per loop; Fig. 2 model, EXACT backend",
     );
-    let gen = LoadGen { clients: 4, requests_per_client: 16, user: 0, k: 2, timeout_us: None };
+    let gen = LoadGen { clients: 4, requests_per_client: 16, user: 0, k: 2, ..LoadGen::default() };
     let per_loop = (gen.clients * gen.requests_per_client) as f64;
 
     let cached = boot(1024);

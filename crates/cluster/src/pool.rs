@@ -189,6 +189,50 @@ impl ShardPools {
     pub fn call<T>(
         &self,
         shard: usize,
+        f: impl FnMut(&mut ServeClient) -> std::io::Result<T>,
+    ) -> Result<T, CallError> {
+        let start = self.shards[shard].next.fetch_add(1, Ordering::Relaxed);
+        self.call_from(shard, start, f)
+    }
+
+    /// [`call`](Self::call) with **cache affinity**: the starting replica
+    /// is `key % healthy_count` instead of the round-robin cursor, so
+    /// identical keys keep landing on the same healthy replica and warm
+    /// *one* result cache rather than every replica's independently.
+    /// Failover is unchanged — a dead favorite costs one hop to the next
+    /// replica in order, and when the replica set heals the key snaps back
+    /// to its stable favorite.
+    pub fn call_keyed<T>(
+        &self,
+        shard: usize,
+        key: u64,
+        f: impl FnMut(&mut ServeClient) -> std::io::Result<T>,
+    ) -> Result<T, CallError> {
+        let pool = &self.shards[shard];
+        let now = Instant::now();
+        let up = pool.replicas.iter().filter(|r| r.is_up(now)).count();
+        // With every replica down the rotation is over the full list; the
+        // modulus only decides the *starting point*, never membership.
+        let start = (key % pool.replicas.len().max(1) as u64) as usize;
+        let keyed = if up > 0 {
+            // Rotate over healthy slots: the i-th healthy replica (in index
+            // order) starting from `key % up`, so the favorite is a pure
+            // function of (key, healthy set).
+            let healthy: Vec<usize> =
+                (0..pool.replicas.len()).filter(|&r| pool.replicas[r].is_up(now)).collect();
+            healthy[(key % up as u64) as usize]
+        } else {
+            start
+        };
+        self.call_from(shard, keyed, f)
+    }
+
+    /// The shared failover body: tries replicas in rotation order from
+    /// `start`, healthy ones first.
+    fn call_from<T>(
+        &self,
+        shard: usize,
+        start: usize,
         mut f: impl FnMut(&mut ServeClient) -> std::io::Result<T>,
     ) -> Result<T, CallError> {
         let pool = &self.shards[shard];
@@ -199,9 +243,9 @@ impl ShardPools {
         let _guard = InFlightGuard(&pool.in_flight);
 
         let n = pool.replicas.len();
-        let start = pool.next.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
-        // Round-robin order, healthy replicas before down-marked ones.
+        // Rotation order from `start`, healthy replicas before down-marked
+        // ones.
         let order: Vec<usize> = (0..n)
             .map(|i| (start + i) % n)
             .filter(|&r| pool.replicas[r].is_up(now))
@@ -490,6 +534,37 @@ mod tests {
         // The slot is free again.
         pools.call(0, |client| client.ping()).unwrap();
         server.stop().unwrap();
+    }
+
+    #[test]
+    fn keyed_calls_stick_to_one_replica_and_fail_over() {
+        let a = boot();
+        let b = boot();
+        let map = map_of(vec![vec![a.addr().to_string(), b.addr().to_string()]]);
+        let pools = ShardPools::new(&map, PoolOptions::default());
+
+        // The same key lands on the same replica every time: exactly one
+        // server observes all the pings.
+        for _ in 0..6 {
+            pools.call_keyed(0, 0x5EED, |client| client.ping()).unwrap();
+        }
+        let count_of = |server: &ServerHandle| {
+            let mut probe = ServeClient::connect(server.addr()).unwrap();
+            probe.stats().unwrap().get_u64("requests").unwrap()
+        };
+        let (on_a, on_b) = (count_of(&a), count_of(&b));
+        // One replica served 6 pings (+1 for the probe), the other only
+        // its own probe.
+        assert_eq!(on_a.min(on_b), 1, "the unfavored replica saw no keyed call");
+        assert_eq!(on_a.max(on_b), 7, "all keyed calls stuck to one replica");
+
+        // Kill the favorite: the key fails over and keeps answering.
+        let (favorite, other) = if on_a > on_b { (a, b) } else { (b, a) };
+        favorite.stop().unwrap();
+        for _ in 0..4 {
+            pools.call_keyed(0, 0x5EED, |client| client.ping()).unwrap();
+        }
+        other.stop().unwrap();
     }
 
     #[test]

@@ -4,10 +4,16 @@
 //! cluster is a drop-in replacement for a single server — `pitex client`
 //! (and anything scripted over `nc`) cannot tell the difference. Per verb:
 //!
-//! * `QUERY u k` — routed to the shard owning `u` ([`ShardMap::shard_of`])
-//!   through the health-gated connection pools ([`ShardPools`]): a dead
-//!   replica costs a transparent failover, a saturated shard answers
-//!   `BUSY`, and the reply line is forwarded verbatim.
+//! * `QUERY u k [timeout_us] [backend]` / `EXPLAIN …` — routed to the
+//!   shard owning `u` ([`ShardMap::shard_of`]) through the health-gated
+//!   connection pools ([`ShardPools`]): a dead replica costs a transparent
+//!   failover, a saturated shard answers `BUSY`, and the reply line is
+//!   forwarded verbatim — including the backend operand (`auto` plans
+//!   shard-side, where the artifacts and the latency EWMAs live) and the
+//!   `EXPLAINED` decision trace. Within the owning shard the replica is
+//!   picked by hashing `(user, k)` over the *healthy* replicas
+//!   ([`ShardPools::call_keyed`]), so identical queries warm one replica's
+//!   result cache instead of spraying cold misses round-robin.
 //! * `STATS` / `EPOCH` — scattered to every shard and merged: monotone
 //!   counters add, latency *histograms* merge bucket-wise (via the
 //!   `lat_hist` field; percentiles themselves do not add), and the epochs
@@ -34,6 +40,7 @@
 
 use crate::pool::{CallError, PoolOptions, ShardPools};
 use crate::shardmap::ShardMap;
+use pitex_core::EngineBackend;
 use pitex_live::UpdateOp;
 use pitex_serve::{ErrorCode, ReloadReply, Request, Response, StatsReply};
 use pitex_support::lru::CacheCounters;
@@ -367,7 +374,10 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (Response, bool) {
             shared.stop.store(true, Ordering::SeqCst);
             (Response::Bye, true)
         }
-        Ok(Request::Query(q)) => (handle_query(shared, q), false),
+        Ok(Request::Query(q)) => (handle_query(shared, Request::Query(q)), false),
+        // EXPLAIN forwards verbatim like QUERY: planning happens on the
+        // owning shard, where the artifacts and latency EWMAs live.
+        Ok(Request::Explain(q)) => (handle_query(shared, Request::Explain(q)), false),
         Ok(Request::Stats) => (handle_stats(shared), false),
         Ok(
             Request::Update(_)
@@ -393,16 +403,36 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (Response, bool) {
     }
 }
 
-fn handle_query(shared: &Arc<Shared>, q: pitex_serve::QueryRequest) -> Response {
+/// The splitmix64 finalizer (same mix the shard map uses), keying replica
+/// affinity on `(user, k)` — the result-cache key minus the backend, so an
+/// `auto` query and its resolved-backend repeats share a favorite replica.
+fn affinity_key(user: u32, k: usize) -> u64 {
+    let mut x = (u64::from(user) << 32) ^ (k as u64);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Routes `QUERY` and `EXPLAIN` (the `request` must be one of the two) to
+/// the owning shard, with cache-affine replica choice.
+fn handle_query(shared: &Arc<Shared>, request: Request) -> Response {
+    let q = match &request {
+        Request::Query(q) | Request::Explain(q) => *q,
+        _ => unreachable!("handle_query only routes QUERY/EXPLAIN"),
+    };
     // Read side of the epoch gate: a query is never in flight across the
     // commit wave of a reload.
     let _gate = shared.epoch_gate.read().unwrap();
     let shard = shared.map.shard_of(q.user);
     let t = Instant::now();
-    match shared.pools.call(shard, |client| client.request(&Request::Query(q))) {
+    match shared
+        .pools
+        .call_keyed(shard, affinity_key(q.user, q.k), |client| client.request(&request))
+    {
         Ok(response) => {
             match &response {
-                Response::Ok(_) => {
+                Response::Ok(_) | Response::Explained(_) => {
                     shared.counters.ok.fetch_add(1, Ordering::Relaxed);
                     shared.latency.lock().unwrap().record(t.elapsed().as_micros() as u64);
                 }
@@ -475,6 +505,13 @@ struct MergedStats {
     epochs: BTreeSet<u64>,
     backend: Option<String>,
     prepared: u64,
+    /// `plan_*` decision counters (monotone, summed), keyed by field name.
+    plans: std::collections::BTreeMap<String, u64>,
+    /// Per-backend `ewma_*_us` estimates, merged as a decision-weighted
+    /// mean: `(weighted sum, weight)` per backend. An EWMA is a *local*
+    /// estimate — weighting by how often each shard chose the backend is
+    /// the best cluster-wide summary short of shipping raw samples.
+    ewma: std::collections::BTreeMap<String, (f64, u64)>,
 }
 
 /// The shard counters that aggregate by addition.
@@ -522,6 +559,27 @@ impl MergedStats {
                     None => self.hist = Some(hist),
                 }
             }
+        }
+        // Planner observability: decision counters sum; EWMAs merge as a
+        // decision-weighted mean, skipping shards that never ran the
+        // backend (their 0.0 placeholder would dilute the estimate).
+        for (key, value) in stats.iter() {
+            if key.starts_with("plan_") {
+                if let Ok(count) = value.parse::<u64>() {
+                    *self.plans.entry(key.to_string()).or_insert(0) += count;
+                }
+            }
+        }
+        for backend in EngineBackend::ALL {
+            let key = format!("ewma_{}_us", backend.cli_name());
+            let Some(ewma) = stats.get_f64(&key) else { continue };
+            if ewma <= 0.0 {
+                continue;
+            }
+            let weight = stats.get_u64(&format!("plan_{}", backend.cli_name())).unwrap_or(0).max(1);
+            let entry = self.ewma.entry(key).or_insert((0.0, 0));
+            entry.0 += ewma * weight as f64;
+            entry.1 += weight;
         }
     }
 }
@@ -598,6 +656,12 @@ fn handle_stats(shared: &Arc<Shared>) -> Response {
     ];
     for key in SUMMED_FIELDS {
         fields.push(field(key, merged.sums[key].to_string()));
+    }
+    for (key, count) in &merged.plans {
+        fields.push(field(key, count.to_string()));
+    }
+    for (key, &(weighted, weight)) in &merged.ewma {
+        fields.push(field(key, format!("{:.1}", weighted / weight.max(1) as f64)));
     }
     Response::Stats(StatsReply::new(fields))
 }

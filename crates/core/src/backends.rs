@@ -1,9 +1,14 @@
-//! Backend selection helpers for the experiment harness.
+//! Backend naming and selection types.
+//!
+//! The attribute and construction knowledge for each backend lives in the
+//! [`crate::registry`] table; the enums here are the *names* every layer
+//! passes around. [`EngineBackend::Auto`] is the planner directive — it
+//! resolves to one of the nine concrete constructions per query through
+//! [`crate::plan::Planner`].
 
-use crate::tim::TimEstimator;
-use pitex_index::{DelayMatEstimator, DelayMatIndex, IndexEstimator, IndexPlusEstimator, RrIndex};
+use crate::registry;
 use pitex_model::TicModel;
-use pitex_sampling::{ExactEstimator, LazySampler, McSampler, RrSampler, SpreadEstimator};
+use pitex_sampling::SpreadEstimator;
 
 /// Every spread-estimation method the paper's evaluation compares (§7.1),
 /// plus the exact evaluator for tiny graphs.
@@ -25,8 +30,20 @@ impl BackendKind {
     /// The online (index-free) methods of Fig. 7/13.
     pub const ONLINE: [BackendKind; 3] = [BackendKind::Rr, BackendKind::Mc, BackendKind::Lazy];
 
-    /// Builds the estimator. Index-based backends need an index and are
-    /// constructed through [`index_backend`]/[`delay_backend`] instead.
+    /// The full-engine backend this kind names.
+    pub fn engine_backend(self) -> EngineBackend {
+        match self {
+            BackendKind::Mc => EngineBackend::Mc,
+            BackendKind::Rr => EngineBackend::Rr,
+            BackendKind::Lazy => EngineBackend::Lazy,
+            BackendKind::Tim => EngineBackend::Tim,
+            BackendKind::Exact => EngineBackend::Exact,
+        }
+    }
+
+    /// Builds the estimator through the registry. Index-based backends
+    /// additionally need an index artifact and are constructed through
+    /// [`crate::EngineHandle`] instead.
     pub fn make<'a>(self, model: &'a TicModel) -> Box<dyn SpreadEstimator + 'a> {
         self.make_for_nodes(model.graph().num_nodes())
     }
@@ -34,31 +51,27 @@ impl BackendKind {
     /// Builds the estimator for a graph of `n` vertices (the samplers are
     /// model-agnostic: edge probabilities arrive through [`pitex_model::EdgeProbs`]).
     pub fn make_for_nodes(self, n: usize) -> Box<dyn SpreadEstimator + 'static> {
-        match self {
-            BackendKind::Mc => Box::new(McSampler::new(n)),
-            BackendKind::Rr => Box::new(RrSampler::new(n)),
-            BackendKind::Lazy => Box::new(LazySampler::new(n)),
-            BackendKind::Tim => Box::new(TimEstimator::new(n)),
-            BackendKind::Exact => Box::new(ExactEstimator::new()),
-        }
+        registry::spec(self.engine_backend())
+            .expect("every BackendKind is concrete")
+            .build_for_nodes(n)
+            .expect("every BackendKind is model-free")
     }
 
     /// Display label matching the paper's plots.
     pub fn label(self) -> &'static str {
-        match self {
-            BackendKind::Mc => "MC",
-            BackendKind::Rr => "RR",
-            BackendKind::Lazy => "LAZY",
-            BackendKind::Tim => "TIM",
-            BackendKind::Exact => "EXACT",
-        }
+        self.engine_backend().label()
     }
 }
 
 /// Every engine construction the CLI and the serving layer can name —
-/// the online samplers of [`BackendKind`], the LT variant, and the three
+/// the online samplers of [`BackendKind`], the LT variant, the three
 /// index-based estimators (which additionally need an index artifact; see
-/// [`crate::EngineHandle`]).
+/// [`crate::EngineHandle`]) — plus [`Auto`](EngineBackend::Auto), which
+/// defers the choice to the cost-based planner per query.
+///
+/// The discriminants of the nine concrete variants index the
+/// [`crate::registry`] table; keep declaration order and
+/// [`ALL`](Self::ALL) in sync.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EngineBackend {
     /// Lazy propagation sampling (§5.1) — the paper's default.
@@ -79,10 +92,15 @@ pub enum EngineBackend {
     IndexEstPlus,
     /// DELAYMAT over a prebuilt delay-materialized index.
     DelayMat,
+    /// Let the cost-based planner ([`crate::plan::Planner`]) pick the
+    /// cheapest suitable backend per query, degrading under tight
+    /// deadlines. Not a construction — it resolves to one of the above.
+    Auto,
 }
 
 impl EngineBackend {
-    /// All nine constructions, in CLI listing order.
+    /// All nine concrete constructions, in CLI listing order (`Auto` is a
+    /// directive, not a construction, and is deliberately absent).
     pub const ALL: [EngineBackend; 9] = [
         EngineBackend::Lazy,
         EngineBackend::Mc,
@@ -96,60 +114,40 @@ impl EngineBackend {
     ];
 
     /// Parses the CLI / wire-protocol method name (`lazy`, `mc`, `rr`,
-    /// `tim`, `exact`, `lt`, `indexest`, `indexest+`, `delaymat`).
+    /// `tim`, `exact`, `lt`, `indexest`, `indexest+`, `delaymat`, `auto`).
     pub fn parse(name: &str) -> Option<EngineBackend> {
-        Some(match name {
-            "lazy" => EngineBackend::Lazy,
-            "mc" => EngineBackend::Mc,
-            "rr" => EngineBackend::Rr,
-            "tim" => EngineBackend::Tim,
-            "exact" => EngineBackend::Exact,
-            "lt" => EngineBackend::Lt,
-            "indexest" => EngineBackend::IndexEst,
-            "indexest+" => EngineBackend::IndexEstPlus,
-            "delaymat" => EngineBackend::DelayMat,
-            _ => return None,
-        })
+        if name == "auto" {
+            return Some(EngineBackend::Auto);
+        }
+        EngineBackend::ALL.into_iter().find(|b| b.cli_name() == name)
     }
 
     /// The CLI / wire-protocol method name ([`parse`](Self::parse)'s inverse).
     pub fn cli_name(self) -> &'static str {
-        match self {
-            EngineBackend::Lazy => "lazy",
-            EngineBackend::Mc => "mc",
-            EngineBackend::Rr => "rr",
-            EngineBackend::Tim => "tim",
-            EngineBackend::Exact => "exact",
-            EngineBackend::Lt => "lt",
-            EngineBackend::IndexEst => "indexest",
-            EngineBackend::IndexEstPlus => "indexest+",
-            EngineBackend::DelayMat => "delaymat",
+        match registry::spec(self) {
+            Some(spec) => spec.cli_name(),
+            None => "auto",
         }
     }
 
     /// Display label matching the paper's method names.
     pub fn label(self) -> &'static str {
-        match self {
-            EngineBackend::Lazy => "LAZY",
-            EngineBackend::Mc => "MC",
-            EngineBackend::Rr => "RR",
-            EngineBackend::Tim => "TIM",
-            EngineBackend::Exact => "EXACT",
-            EngineBackend::Lt => "LT",
-            EngineBackend::IndexEst => "INDEXEST",
-            EngineBackend::IndexEstPlus => "INDEXEST+",
-            EngineBackend::DelayMat => "DELAYMAT",
+        match registry::spec(self) {
+            Some(spec) => spec.label(),
+            None => "AUTO",
         }
     }
 
-    /// Whether this construction needs a prebuilt [`RrIndex`].
+    /// Whether this construction needs a prebuilt [`pitex_index::RrIndex`].
+    /// `Auto` needs nothing — it plans with whatever artifacts exist.
     pub fn needs_rr_index(self) -> bool {
-        matches!(self, EngineBackend::IndexEst | EngineBackend::IndexEstPlus)
+        registry::spec(self).is_some_and(|s| s.artifact() == registry::ArtifactNeed::RrIndex)
     }
 
-    /// Whether this construction needs a prebuilt [`DelayMatIndex`].
+    /// Whether this construction needs a prebuilt
+    /// [`pitex_index::DelayMatIndex`].
     pub fn needs_delay_index(self) -> bool {
-        matches!(self, EngineBackend::DelayMat)
+        registry::spec(self).is_some_and(|s| s.artifact() == registry::ArtifactNeed::DelayIndex)
     }
 }
 
@@ -157,28 +155,6 @@ impl std::fmt::Display for EngineBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
-}
-
-/// INDEXEST backend over a prebuilt index.
-pub fn index_backend<'a>(index: &'a RrIndex) -> Box<dyn SpreadEstimator + 'a> {
-    Box::new(IndexEstimator::new(index))
-}
-
-/// INDEXEST+ backend over a prebuilt index.
-pub fn index_plus_backend<'a>(
-    model: &'a TicModel,
-    index: &'a RrIndex,
-) -> Box<dyn SpreadEstimator + 'a> {
-    Box::new(IndexPlusEstimator::new(index, model.edge_topics()))
-}
-
-/// DELAYMAT backend over a prebuilt counter index.
-pub fn delay_backend<'a>(
-    model: &'a TicModel,
-    index: &'a DelayMatIndex,
-    seed: u64,
-) -> Box<dyn SpreadEstimator + 'a> {
-    Box::new(DelayMatEstimator::new(index, model.edge_topics(), seed))
 }
 
 #[cfg(test)]
@@ -208,11 +184,16 @@ mod tests {
             assert_eq!(EngineBackend::parse(backend.cli_name()), Some(backend));
             assert_eq!(backend.to_string(), backend.label());
         }
+        assert_eq!(EngineBackend::parse("auto"), Some(EngineBackend::Auto));
+        assert_eq!(EngineBackend::Auto.cli_name(), "auto");
+        assert_eq!(EngineBackend::Auto.to_string(), "AUTO");
         assert_eq!(EngineBackend::parse("frob"), None);
         assert!(EngineBackend::IndexEstPlus.needs_rr_index());
         assert!(!EngineBackend::IndexEstPlus.needs_delay_index());
         assert!(EngineBackend::DelayMat.needs_delay_index());
         assert!(!EngineBackend::Lazy.needs_rr_index());
+        assert!(!EngineBackend::Auto.needs_rr_index(), "auto plans around missing artifacts");
+        assert!(!EngineBackend::Auto.needs_delay_index());
     }
 
     #[test]

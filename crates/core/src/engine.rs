@@ -2,20 +2,23 @@
 //! (§5.2, Algo. 5).
 
 use crate::backends::EngineBackend;
+use crate::plan::{PlanDecision, PlanInput, Planner};
 use crate::query::{PitexResult, QueryStats};
+use crate::registry::{self, EngineParts};
 use crate::OrdF64;
 use pitex_graph::NodeId;
-use pitex_index::{DelayMatEstimator, DelayMatIndex, IndexEstimator, IndexPlusEstimator, RrIndex};
+use pitex_index::{DelayMatIndex, RrIndex};
 use pitex_model::bound::UpperBoundEdgeProbs;
 use pitex_model::combi::KSubsets;
 use pitex_model::{BoundOracle, EdgeProbCache, PosteriorEdgeProbs, TagId, TagSet, TicModel};
-use pitex_sampling::{
-    ExactEstimator, LazySampler, McSampler, RrSampler, SamplingParams, SpreadEstimator,
-};
+use pitex_sampling::{SamplingParams, SpreadEstimator};
 use pitex_support::Timer;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+use std::time::Duration;
+
+pub use crate::registry::MissingIndexError;
 
 /// How the space of tag sets is searched.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -73,55 +76,77 @@ impl<'a> PitexEngine<'a> {
         Self { model, estimator, oracle, cache, config }
     }
 
+    /// Builds an engine for any concrete backend through the
+    /// [`crate::registry`] — the one construction path every convenience
+    /// constructor below routes through.
+    ///
+    /// # Panics
+    /// If `backend` is [`EngineBackend::Auto`] (resolve it through an
+    /// [`EngineHandle`] first — planning needs the shared snapshot set).
+    pub fn with_backend(
+        model: &'a TicModel,
+        backend: EngineBackend,
+        rr_index: Option<&'a RrIndex>,
+        delay_index: Option<&'a DelayMatIndex>,
+        config: PitexConfig,
+    ) -> Result<Self, MissingIndexError> {
+        let spec = registry::spec(backend).expect("auto resolves through an EngineHandle");
+        let parts = EngineParts { model, rr_index, delay_index, config };
+        Ok(Self::new(model, spec.build(&parts)?, config))
+    }
+
+    fn with_online(model: &'a TicModel, backend: EngineBackend, config: PitexConfig) -> Self {
+        Self::with_backend(model, backend, None, None, config)
+            .expect("online backends need no artifact")
+    }
+
     /// Engine with the exact possible-world evaluator (tiny graphs only).
     pub fn with_exact(model: &'a TicModel, config: PitexConfig) -> Self {
-        Self::new(model, Box::new(ExactEstimator::new()), config)
+        Self::with_online(model, EngineBackend::Exact, config)
     }
 
     /// Engine with Monte-Carlo sampling (the paper's MC).
     pub fn with_mc(model: &'a TicModel, config: PitexConfig) -> Self {
-        Self::new(model, Box::new(McSampler::new(model.graph().num_nodes())), config)
+        Self::with_online(model, EngineBackend::Mc, config)
     }
 
     /// Engine with reverse-reachable sampling (the paper's RR).
     pub fn with_rr(model: &'a TicModel, config: PitexConfig) -> Self {
-        Self::new(model, Box::new(RrSampler::new(model.graph().num_nodes())), config)
+        Self::with_online(model, EngineBackend::Rr, config)
     }
 
     /// Engine with lazy propagation sampling (the paper's LAZY).
     pub fn with_lazy(model: &'a TicModel, config: PitexConfig) -> Self {
-        Self::new(model, Box::new(LazySampler::new(model.graph().num_nodes())), config)
+        Self::with_online(model, EngineBackend::Lazy, config)
     }
 
     /// Engine with the tree-based TIM baseline.
     pub fn with_tim(model: &'a TicModel, config: PitexConfig) -> Self {
-        Self::new(model, Box::new(crate::tim::TimEstimator::new(model.graph().num_nodes())), config)
+        Self::with_online(model, EngineBackend::Tim, config)
     }
 
     /// Engine with Linear Threshold propagation (footnote 1 of the paper):
     /// tag-aware edge weights drive the LT live-edge process instead of IC.
     pub fn with_lt(model: &'a TicModel, config: PitexConfig) -> Self {
-        Self::new(
-            model,
-            Box::new(pitex_sampling::LtSampler::new(model.graph().num_nodes())),
-            config,
-        )
+        Self::with_online(model, EngineBackend::Lt, config)
     }
 
     /// Engine with the plain RR-Graph index (INDEXEST).
     pub fn with_index(model: &'a TicModel, index: &'a RrIndex, config: PitexConfig) -> Self {
-        Self::new(model, Box::new(IndexEstimator::new(index)), config)
+        Self::with_backend(model, EngineBackend::IndexEst, Some(index), None, config)
+            .expect("the index is provided")
     }
 
     /// Engine with the edge-cut-filtered index (INDEXEST+).
     pub fn with_index_plus(model: &'a TicModel, index: &'a RrIndex, config: PitexConfig) -> Self {
-        Self::new(model, Box::new(IndexPlusEstimator::new(index, model.edge_topics())), config)
+        Self::with_backend(model, EngineBackend::IndexEstPlus, Some(index), None, config)
+            .expect("the index is provided")
     }
 
     /// Engine with the delay-materialized index (DELAYMAT).
     pub fn with_delay(model: &'a TicModel, index: &'a DelayMatIndex, config: PitexConfig) -> Self {
-        let seed = config.seed;
-        Self::new(model, Box::new(DelayMatEstimator::new(index, model.edge_topics(), seed)), config)
+        Self::with_backend(model, EngineBackend::DelayMat, None, Some(index), config)
+            .expect("the index is provided")
     }
 
     /// The backend's display name (matches the paper's method labels).
@@ -370,33 +395,6 @@ impl<'a> PitexEngine<'a> {
     }
 }
 
-/// Error returned when an [`EngineHandle`] is asked for an index-based
-/// backend without the matching index artifact.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MissingIndexError {
-    backend: EngineBackend,
-}
-
-impl MissingIndexError {
-    /// The backend that could not be constructed.
-    pub fn backend(&self) -> EngineBackend {
-        self.backend
-    }
-}
-
-impl std::fmt::Display for MissingIndexError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "backend {} needs a prebuilt {} index",
-            self.backend.label(),
-            if self.backend.needs_delay_index() { "delay-materialized" } else { "RR-Graph" }
-        )
-    }
-}
-
-impl std::error::Error for MissingIndexError {}
-
 /// Owned, shareable engine state: the immutable model / index snapshots
 /// behind `Arc`s plus a backend choice and configuration.
 ///
@@ -425,6 +423,10 @@ pub struct EngineHandle {
     delay_index: Option<Arc<DelayMatIndex>>,
     backend: EngineBackend,
     config: PitexConfig,
+    /// Shared by every clone: the cost-based planner `backend=auto`
+    /// resolves through, and the latency-EWMA sink every measured query
+    /// feeds ([`Planner::observe`]).
+    planner: Arc<Planner>,
 }
 
 impl std::fmt::Debug for EngineHandle {
@@ -452,7 +454,8 @@ impl EngineHandle {
     }
 
     /// A handle over the full snapshot set. The indexes may be omitted when
-    /// `backend` does not need them.
+    /// `backend` does not need them ([`EngineBackend::Auto`] needs nothing:
+    /// its planner only ever selects among the artifacts actually present).
     pub fn with_indexes(
         model: Arc<TicModel>,
         backend: EngineBackend,
@@ -460,42 +463,108 @@ impl EngineHandle {
         delay_index: Option<Arc<DelayMatIndex>>,
         config: PitexConfig,
     ) -> Result<Self, MissingIndexError> {
-        if (backend.needs_rr_index() && rr_index.is_none())
-            || (backend.needs_delay_index() && delay_index.is_none())
-        {
-            return Err(MissingIndexError { backend });
-        }
-        Ok(Self { model, rr_index, delay_index, backend, config })
+        // A fixed backend missing its artifact fails here, at handle
+        // construction, not on the first query.
+        registry::require_artifacts(backend, rr_index.is_some(), delay_index.is_some())?;
+        let planner =
+            Arc::new(Planner::new(&model, rr_index.is_some(), delay_index.is_some(), &config));
+        Ok(Self { model, rr_index, delay_index, backend, config, planner })
     }
 
     /// Builds a fresh engine borrowing this handle's shared snapshots.
     /// Cheap enough to call once per worker thread (or even per batch);
     /// each engine gets its own memoisation cache and sampler state.
+    ///
+    /// An `Auto` handle resolves through the planner with a typical query
+    /// shape (average degree, `k = 2`, no deadline); per-query planning
+    /// wants [`plan`](Self::plan) + [`engine_for`](Self::engine_for) or
+    /// [`query_auto`](Self::query_auto) instead.
     pub fn engine(&self) -> PitexEngine<'_> {
-        let model = &*self.model;
+        let backend = self.resolve_default();
+        self.engine_for(backend).expect("resolved backends are constructible")
+    }
+
+    /// Builds an engine for one concrete backend over this handle's
+    /// snapshots, regardless of the handle's own backend choice (`Auto`
+    /// resolves through the planner first). This is what serve workers use
+    /// to execute a planned or per-request-overridden backend.
+    pub fn engine_for(&self, backend: EngineBackend) -> Result<PitexEngine<'_>, MissingIndexError> {
+        let backend = if backend == EngineBackend::Auto { self.resolve_default() } else { backend };
+        PitexEngine::with_backend(
+            &self.model,
+            backend,
+            self.rr_index.as_deref(),
+            self.delay_index.as_deref(),
+            self.config,
+        )
+    }
+
+    fn resolve_default(&self) -> EngineBackend {
         match self.backend {
-            EngineBackend::Lazy => PitexEngine::with_lazy(model, self.config),
-            EngineBackend::Mc => PitexEngine::with_mc(model, self.config),
-            EngineBackend::Rr => PitexEngine::with_rr(model, self.config),
-            EngineBackend::Tim => PitexEngine::with_tim(model, self.config),
-            EngineBackend::Exact => PitexEngine::with_exact(model, self.config),
-            EngineBackend::Lt => PitexEngine::with_lt(model, self.config),
-            EngineBackend::IndexEst => PitexEngine::with_index(
-                model,
-                self.rr_index.as_deref().expect("checked at construction"),
-                self.config,
-            ),
-            EngineBackend::IndexEstPlus => PitexEngine::with_index_plus(
-                model,
-                self.rr_index.as_deref().expect("checked at construction"),
-                self.config,
-            ),
-            EngineBackend::DelayMat => PitexEngine::with_delay(
-                model,
-                self.delay_index.as_deref().expect("checked at construction"),
-                self.config,
-            ),
+            EngineBackend::Auto => {
+                let degree = self.model.graph().num_edges() / self.model.graph().num_nodes().max(1);
+                // `preview`, not `plan`: building an engine is not a query,
+                // so it must not move the decision counters.
+                self.planner
+                    .preview(PlanInput { degree: degree.max(1), k: 2, budget_us: None })
+                    .chosen
+            }
+            backend => backend,
         }
+    }
+
+    /// Plans one query: which backend to run, at what predicted cost, with
+    /// the rejected alternatives. `budget` is the remaining deadline, if
+    /// any. Increments the planner's decision counters.
+    pub fn plan(&self, user: NodeId, k: usize, budget: Option<Duration>) -> PlanDecision {
+        self.planner.plan(self.plan_input(user, k, budget))
+    }
+
+    /// Predicted service time of one backend for this query shape (what
+    /// `EXPLAIN` reports for a forced backend).
+    pub fn predicted_us(&self, backend: EngineBackend, user: NodeId, k: usize) -> u64 {
+        self.planner.predicted_us(backend, &self.plan_input(user, k, None))
+    }
+
+    fn plan_input(&self, user: NodeId, k: usize, budget: Option<Duration>) -> PlanInput {
+        let graph = self.model.graph();
+        let degree = if (user as usize) < graph.num_nodes() { graph.out_degree(user) } else { 0 };
+        let k = k.clamp(1, self.model.num_tags());
+        PlanInput { degree, k, budget_us: budget.map(|d| d.as_micros() as u64) }
+    }
+
+    /// Plans, executes and observes one query in a single call — the
+    /// library-level `backend=auto` path. The answer is bit-identical to
+    /// running the decision's backend directly (it *is* that engine).
+    ///
+    /// ```
+    /// use pitex_core::{EngineBackend, EngineHandle, PitexConfig};
+    /// use pitex_model::TicModel;
+    /// use std::sync::Arc;
+    ///
+    /// let model = Arc::new(TicModel::paper_example());
+    /// let handle = EngineHandle::new(model, EngineBackend::Auto, PitexConfig::default()).unwrap();
+    /// let (result, decision) = handle.query_auto(0, 2, None);
+    /// assert_eq!(result.tags.tags(), &[2, 3]); // W* = {w3, w4} either way
+    /// assert_ne!(decision.chosen, EngineBackend::Auto, "resolved to a concrete backend");
+    /// ```
+    pub fn query_auto(
+        &self,
+        user: NodeId,
+        k: usize,
+        budget: Option<Duration>,
+    ) -> (PitexResult, PlanDecision) {
+        let decision = self.plan(user, k, budget);
+        let mut engine =
+            self.engine_for(decision.chosen).expect("the planner only picks available backends");
+        let result = engine.query(user, k);
+        self.planner.observe(decision.chosen, result.stats.elapsed.as_micros() as u64);
+        (result, decision)
+    }
+
+    /// The shared planner (decision counters, latency EWMAs).
+    pub fn planner(&self) -> &Arc<Planner> {
+        &self.planner
     }
 
     /// The shared model snapshot.

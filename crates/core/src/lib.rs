@@ -27,12 +27,15 @@ pub mod backends;
 pub mod batch;
 pub mod engine;
 pub mod hardness;
+pub mod plan;
 pub mod query;
+pub mod registry;
 pub mod tim;
 
 pub use backends::{BackendKind, EngineBackend};
 pub use batch::{query_batch, query_batch_shared};
 pub use engine::{EngineHandle, ExplorationStrategy, MissingIndexError, PitexConfig, PitexEngine};
+pub use plan::{PlanDecision, PlanInput, Planner, RejectReason, RejectedPlan};
 pub use query::{PitexResult, QueryStats};
 pub use tim::TimEstimator;
 

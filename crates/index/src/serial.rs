@@ -75,6 +75,26 @@ impl From<DecodeError> for IndexIoError {
     }
 }
 
+/// Which index scheme a serialized artifact holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// A full RR-Graph index (`PRRI`).
+    Rr,
+    /// A delay-materialized counter index (`PDLY`).
+    Delay,
+}
+
+/// Sniffs an artifact's scheme by magic without decoding it — what
+/// `pitex query --backend auto --index FILE` uses to load whichever index
+/// kind it was handed (`None`: neither magic, not an index file).
+pub fn index_kind(bytes: &[u8]) -> Option<IndexKind> {
+    match bytes.get(..4) {
+        Some(magic) if magic == RR_MAGIC => Some(IndexKind::Rr),
+        Some(magic) if magic == DELAY_MAGIC => Some(IndexKind::Delay),
+        _ => None,
+    }
+}
+
 /// Serializes a full RR-Graph index.
 pub fn rr_index_to_bytes(index: &RrIndex) -> Vec<u8> {
     let mut enc = Encoder::new(Vec::new());
@@ -190,6 +210,17 @@ mod tests {
         let mut bytes = rr_index_to_bytes(&index);
         bytes.truncate(bytes.len() / 3);
         assert!(rr_index_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn index_kind_sniffs_by_magic() {
+        let model = TicModel::paper_example();
+        let full = RrIndex::build_with_threads(&model, IndexBudget::Fixed(50), 3, 1);
+        let delay = DelayMatIndex::build_with_threads(&model, IndexBudget::Fixed(50), 3, 1);
+        assert_eq!(index_kind(&rr_index_to_bytes(&full)), Some(IndexKind::Rr));
+        assert_eq!(index_kind(&delay_index_to_bytes(&delay)), Some(IndexKind::Delay));
+        assert_eq!(index_kind(b"GARBAGE!"), None);
+        assert_eq!(index_kind(b"PR"), None, "too short to carry a magic");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! response lands (closed loop), and reports aggregate throughput — the
 //! measurement the `bench_serve` target and `pitex client --bench` print.
 
-use crate::protocol::{QueryRequest, ReloadReply, Request, Response, StatsReply};
+use crate::protocol::{ExplainReply, QueryRequest, ReloadReply, Request, Response, StatsReply};
+use pitex_core::EngineBackend;
 use pitex_live::UpdateOp;
 use pitex_support::stats::OnlineStats;
 use std::io::{BufRead, BufReader, Write};
@@ -102,10 +103,13 @@ impl ServeClient {
     }
 
     /// Sends a typed request and parses the reply. Idempotent verbs
-    /// (`QUERY`, `STATS`, `PING`) survive one connection loss: the client
-    /// reconnects and retries exactly once (see the type docs).
+    /// (`QUERY`, `EXPLAIN`, `STATS`, `PING`) survive one connection loss:
+    /// the client reconnects and retries exactly once (see the type docs).
     pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
-        let idempotent = matches!(request, Request::Ping | Request::Stats | Request::Query(_));
+        let idempotent = matches!(
+            request,
+            Request::Ping | Request::Stats | Request::Query(_) | Request::Explain(_)
+        );
         let line = request.to_line();
         let reply = match self.roundtrip_line(&line) {
             Err(e) if idempotent && connection_lost(&e) => {
@@ -117,9 +121,9 @@ impl ServeClient {
         Response::parse(&reply).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
-    /// `QUERY user k` with the server's default deadline.
+    /// `QUERY user k` with the server's default deadline and backend.
     pub fn query(&mut self, user: u32, k: usize) -> std::io::Result<Response> {
-        self.request(&Request::Query(QueryRequest { user, k, timeout_us: None }))
+        self.request(&Request::Query(QueryRequest::new(user, k)))
     }
 
     /// `QUERY user k timeout_us`.
@@ -129,7 +133,45 @@ impl ServeClient {
         k: usize,
         timeout_us: u64,
     ) -> std::io::Result<Response> {
-        self.request(&Request::Query(QueryRequest { user, k, timeout_us: Some(timeout_us) }))
+        self.request(&Request::Query(QueryRequest {
+            timeout_us: Some(timeout_us),
+            ..QueryRequest::new(user, k)
+        }))
+    }
+
+    /// `QUERY user k [timeout_us] backend` — per-request backend override
+    /// (`EngineBackend::Auto` asks the server's planner).
+    pub fn query_with_backend(
+        &mut self,
+        user: u32,
+        k: usize,
+        timeout_us: Option<u64>,
+        backend: EngineBackend,
+    ) -> std::io::Result<Response> {
+        self.request(&Request::Query(QueryRequest {
+            timeout_us,
+            backend: Some(backend),
+            ..QueryRequest::new(user, k)
+        }))
+    }
+
+    /// `EXPLAIN user k [timeout_us] [backend]`, decoded: the query answer
+    /// plus the planner's decision (chosen backend, predicted vs. actual
+    /// cost, rejected alternatives). A protocol-level `ERR` surfaces as an
+    /// I/O error.
+    pub fn explain(
+        &mut self,
+        user: u32,
+        k: usize,
+        timeout_us: Option<u64>,
+        backend: Option<EngineBackend>,
+    ) -> std::io::Result<ExplainReply> {
+        let request =
+            Request::Explain(QueryRequest { timeout_us, backend, ..QueryRequest::new(user, k) });
+        match self.request(&request)? {
+            Response::Explained(reply) => Ok(reply),
+            other => Err(reply_error("EXPLAINED", other)),
+        }
     }
 
     /// `STATS`, decoded (errors if the server answers anything else).
@@ -242,11 +284,13 @@ pub struct LoadGen {
     pub k: usize,
     /// Optional per-request deadline forwarded to the server.
     pub timeout_us: Option<u64>,
+    /// Optional per-request backend override (`auto` drives the planner).
+    pub backend: Option<EngineBackend>,
 }
 
 impl Default for LoadGen {
     fn default() -> Self {
-        Self { clients: 4, requests_per_client: 16, user: 0, k: 2, timeout_us: None }
+        Self { clients: 4, requests_per_client: 16, user: 0, k: 2, timeout_us: None, backend: None }
     }
 }
 
@@ -334,6 +378,7 @@ impl LoadGen {
             user: self.user,
             k: self.k,
             timeout_us: self.timeout_us,
+            backend: self.backend,
         });
         for _ in 0..self.requests_per_client {
             let t = Instant::now();

@@ -17,6 +17,15 @@
 //! * **Result cache** — a sharded LRU over `(user, k, backend)`
 //!   ([`pitex_support::lru`]) consulted before any sampling; `STATS`
 //!   exposes hit rates, throughput and latency percentiles.
+//! * **Adaptive backend planning** — `QUERY` accepts an optional backend
+//!   operand; `auto` (per request, or as the server's `--method`) asks the
+//!   cost-based planner ([`pitex_core::plan`]) to pick the cheapest
+//!   suitable estimator for the query's shape and *remaining* deadline,
+//!   degrading to a cheaper backend rather than burning the budget.
+//!   Results are cached under the **resolved** backend, the `EXPLAIN` verb
+//!   reports the decision (chosen backend, predicted vs. actual cost,
+//!   rejected alternatives), and `STATS` exports per-backend decision
+//!   counters and latency EWMAs (`plan_*`, `ewma_*_us`).
 //! * **Client + load generator** ([`client`]) — the typed client (with
 //!   one transparent reconnect-and-retry for the idempotent verbs
 //!   `QUERY`/`STATS`/`PING`), and the closed-loop [`LoadGen`] behind
@@ -59,6 +68,6 @@ pub mod server;
 
 pub use client::{LoadGen, LoadReport, ServeClient};
 pub use protocol::{
-    ErrorCode, QueryReply, QueryRequest, ReloadReply, Request, Response, StatsReply,
+    ErrorCode, ExplainReply, QueryReply, QueryRequest, ReloadReply, Request, Response, StatsReply,
 };
 pub use server::{ServeOptions, Server, ServerHandle};

@@ -6,7 +6,14 @@
 //!
 //! ```text
 //! PING                              liveness probe
-//! QUERY <user> <k> [timeout_us]     a PITEX query (Def. 1)
+//! QUERY <user> <k> [timeout_us] [backend]
+//!                                   a PITEX query (Def. 1); the optional
+//!                                   backend overrides the server's method
+//!                                   per request — `auto` asks the planner
+//! EXPLAIN <user> <k> [timeout_us] [backend]
+//!                                   run the query and report the planner's
+//!                                   decision: chosen backend, predicted vs.
+//!                                   actual cost, rejected alternatives
 //! STATS                             server counters and latency percentiles
 //! UPDATE <op…>                      stage one model mutation (admin)
 //! RELOAD                            fold staged ops, repair the index,
@@ -35,6 +42,9 @@
 //! ```text
 //! PONG
 //! OK user=<u> k=<k> tags=<t1,t2,..> spread=<f> cached=<0|1> us=<micros>
+//! EXPLAINED user=<u> k=<k> backend=<name> predicted_us=<p> actual_us=<a>
+//!           us=<total> degraded=<0|1> tags=<..> spread=<f>
+//!           rejected=<name:pred:reason,..|->
 //! STATS <key>=<value> ...
 //! UPDATED epoch=<e> pending=<n>     op staged; visible after RELOAD
 //! RELOADED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
@@ -51,6 +61,8 @@
 //! set. Both sides of the protocol live here so the server, the client and
 //! the tests share one parser.
 
+use pitex_core::plan::{RejectReason, RejectedPlan};
+use pitex_core::{registry, EngineBackend};
 use pitex_live::UpdateOp;
 use pitex_model::TagId;
 use std::collections::BTreeMap;
@@ -60,6 +72,8 @@ use std::collections::BTreeMap;
 pub enum Request {
     Ping,
     Query(QueryRequest),
+    /// A query that additionally reports the planner's decision.
+    Explain(QueryRequest),
     Stats,
     /// Stage one mutation (admin-gated).
     Update(UpdateOp),
@@ -77,7 +91,7 @@ pub enum Request {
     Shutdown,
 }
 
-/// The `QUERY` verb's operands.
+/// The `QUERY`/`EXPLAIN` verbs' operands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueryRequest {
     /// Query user (0-based vertex id).
@@ -86,6 +100,16 @@ pub struct QueryRequest {
     pub k: usize,
     /// Optional per-request deadline; the server default applies when absent.
     pub timeout_us: Option<u64>,
+    /// Optional per-request backend override; the server's configured
+    /// method applies when absent. `auto` defers to the cost-based planner.
+    pub backend: Option<EngineBackend>,
+}
+
+impl QueryRequest {
+    /// A plain `(user, k)` query under the server's defaults.
+    pub fn new(user: u32, k: usize) -> Self {
+        Self { user, k, timeout_us: None, backend: None }
+    }
 }
 
 impl Request {
@@ -101,10 +125,8 @@ impl Request {
             Request::Epoch => "EPOCH".to_string(),
             Request::Quit => "QUIT".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
-            Request::Query(q) => match q.timeout_us {
-                Some(t) => format!("QUERY {} {} {}", q.user, q.k, t),
-                None => format!("QUERY {} {}", q.user, q.k),
-            },
+            Request::Query(q) => format_query_line("QUERY", q),
+            Request::Explain(q) => format_query_line("EXPLAIN", q),
         }
     }
 
@@ -128,19 +150,13 @@ impl Request {
             "EPOCH" => Request::Epoch,
             "QUIT" => Request::Quit,
             "SHUTDOWN" => Request::Shutdown,
-            "QUERY" => {
-                let user = tokens.next().ok_or("QUERY needs <user> <k>")?;
-                let user: u32 =
-                    user.parse().map_err(|_| format!("bad user {user:?} (want u32)"))?;
-                let k = tokens.next().ok_or("QUERY needs <user> <k>")?;
-                let k: usize = k.parse().map_err(|_| format!("bad k {k:?} (want usize)"))?;
-                let timeout_us = match tokens.next() {
-                    Some(t) => Some(
-                        t.parse::<u64>().map_err(|_| format!("bad timeout_us {t:?} (want u64)"))?,
-                    ),
-                    None => None,
-                };
-                Request::Query(QueryRequest { user, k, timeout_us })
+            "QUERY" | "EXPLAIN" => {
+                let q = parse_query_operands(verb, &mut tokens)?;
+                if verb == "QUERY" {
+                    Request::Query(q)
+                } else {
+                    Request::Explain(q)
+                }
             }
             other => return Err(format!("unknown verb {other:?}")),
         };
@@ -149,6 +165,50 @@ impl Request {
         }
         Ok(request)
     }
+}
+
+fn format_query_line(verb: &str, q: &QueryRequest) -> String {
+    let mut line = format!("{verb} {} {}", q.user, q.k);
+    if let Some(t) = q.timeout_us {
+        line.push_str(&format!(" {t}"));
+    }
+    if let Some(b) = q.backend {
+        line.push_str(&format!(" {}", b.cli_name()));
+    }
+    line
+}
+
+/// `<user> <k> [timeout_us] [backend]` — timeout first when both optional
+/// operands are present.
+fn parse_query_operands<'a>(
+    verb: &str,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<QueryRequest, String> {
+    let user = tokens.next().ok_or_else(|| format!("{verb} needs <user> <k>"))?;
+    let user: u32 = user.parse().map_err(|_| format!("bad user {user:?} (want u32)"))?;
+    let k = tokens.next().ok_or_else(|| format!("{verb} needs <user> <k>"))?;
+    let k: usize = k.parse().map_err(|_| format!("bad k {k:?} (want usize)"))?;
+    let mut timeout_us = None;
+    let mut backend = None;
+    if let Some(token) = tokens.next() {
+        if token.bytes().all(|b| b.is_ascii_digit()) {
+            timeout_us =
+                Some(token.parse().map_err(|_| format!("bad timeout_us {token:?} (want u64)"))?);
+            if let Some(token) = tokens.next() {
+                backend = Some(parse_backend_name(token)?);
+            }
+        } else {
+            backend = Some(parse_backend_name(token)?);
+        }
+    }
+    Ok(QueryRequest { user, k, timeout_us, backend })
+}
+
+/// Parses a wire backend name; the error names every valid method, sourced
+/// from the backend registry so the listing can never drift.
+pub fn parse_backend_name(token: &str) -> Result<EngineBackend, String> {
+    EngineBackend::parse(token)
+        .ok_or_else(|| format!("unknown backend {token:?} (valid: {})", registry::method_names()))
 }
 
 /// Machine-readable error classes, mirrored by the CLI exit paths.
@@ -259,11 +319,78 @@ pub struct ReloadReply {
     pub full: bool,
 }
 
+/// The `EXPLAINED` reply: a query answer plus the planner's decision —
+/// which backend ran, what it was predicted to cost, what it actually
+/// cost, and every alternative that was rejected (with the reason).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExplainReply {
+    /// Echo of the query user.
+    pub user: u32,
+    /// The effective `k` (clamped to the tag vocabulary).
+    pub k: usize,
+    /// The concrete backend that answered (never `auto`).
+    pub backend: EngineBackend,
+    /// The planner's predicted service time for that backend.
+    pub predicted_us: u64,
+    /// Measured execution time on the worker (queue wait excluded).
+    pub actual_us: u64,
+    /// Total server-side handling time, queue wait included.
+    pub us: u64,
+    /// Whether the deadline budget forced a cheaper backend than the
+    /// preferred one.
+    pub degraded: bool,
+    /// The selected tag set `W*`.
+    pub tags: Vec<TagId>,
+    /// Estimated spread.
+    pub spread: f64,
+    /// The alternatives the planner rejected.
+    pub rejected: Vec<RejectedPlan>,
+}
+
+fn format_rejected(rejected: &[RejectedPlan]) -> String {
+    if rejected.is_empty() {
+        return "-".to_string();
+    }
+    rejected
+        .iter()
+        .map(|r| {
+            let predicted =
+                r.predicted_us.map(|us| us.to_string()).unwrap_or_else(|| "-".to_string());
+            format!("{}:{predicted}:{}", r.backend.cli_name(), r.reason.as_str())
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_rejected(s: &str) -> Result<Vec<RejectedPlan>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|entry| {
+            let mut parts = entry.split(':');
+            let bad = || format!("bad rejected entry {entry:?}");
+            let backend = parse_backend_name(parts.next().ok_or_else(bad)?)?;
+            let predicted = parts.next().ok_or_else(bad)?;
+            let predicted_us =
+                if predicted == "-" { None } else { Some(predicted.parse().map_err(|_| bad())?) };
+            let reason = parts.next().ok_or_else(bad)?;
+            let reason = RejectReason::parse(reason).ok_or_else(bad)?;
+            if parts.next().is_some() {
+                return Err(bad());
+            }
+            Ok(RejectedPlan { backend, predicted_us, reason })
+        })
+        .collect()
+}
+
 /// A parsed response line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     Pong,
     Ok(QueryReply),
+    /// `EXPLAINED …` — see [`ExplainReply`].
+    Explained(ExplainReply),
     Stats(StatsReply),
     /// `UPDATED epoch=<serving epoch> pending=<staged ops>`.
     Updated {
@@ -352,6 +479,20 @@ impl Response {
                 u8::from(r.cached),
                 r.us
             ),
+            Response::Explained(r) => format!(
+                "EXPLAINED user={} k={} backend={} predicted_us={} actual_us={} us={} \
+                 degraded={} tags={} spread={} rejected={}",
+                r.user,
+                r.k,
+                r.backend.cli_name(),
+                r.predicted_us,
+                r.actual_us,
+                r.us,
+                u8::from(r.degraded),
+                format_tags(&r.tags),
+                r.spread,
+                format_rejected(&r.rejected)
+            ),
             Response::Updated { epoch, pending } => {
                 format!("UPDATED epoch={epoch} pending={pending}")
             }
@@ -407,6 +548,41 @@ impl Response {
                 let us = next("us")?.parse().map_err(|_| "bad us in OK reply".to_string())?;
                 Ok(Response::Ok(QueryReply { user, k, tags, spread, cached, us }))
             }
+            "EXPLAINED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<String, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    Ok(kv(token, key)?.to_string())
+                };
+                let bad = |key: &str| format!("bad {key} in EXPLAINED reply");
+                let user = next("user")?.parse().map_err(|_| bad("user"))?;
+                let k = next("k")?.parse().map_err(|_| bad("k"))?;
+                let backend = parse_backend_name(&next("backend")?)?;
+                let predicted_us =
+                    next("predicted_us")?.parse().map_err(|_| bad("predicted_us"))?;
+                let actual_us = next("actual_us")?.parse().map_err(|_| bad("actual_us"))?;
+                let us = next("us")?.parse().map_err(|_| bad("us"))?;
+                let degraded = match next("degraded")?.as_str() {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bad degraded flag {other:?}")),
+                };
+                let tags = parse_tags(&next("tags")?)?;
+                let spread = next("spread")?.parse().map_err(|_| bad("spread"))?;
+                let rejected = parse_rejected(&next("rejected")?)?;
+                Ok(Response::Explained(ExplainReply {
+                    user,
+                    k,
+                    backend,
+                    predicted_us,
+                    actual_us,
+                    us,
+                    degraded,
+                    tags,
+                    spread,
+                    rejected,
+                }))
+            }
             "UPDATED" => {
                 let mut tokens = rest.split_ascii_whitespace();
                 let mut next = |key: &str| -> Result<u64, String> {
@@ -451,8 +627,26 @@ mod tests {
             Request::Epoch,
             Request::Quit,
             Request::Shutdown,
-            Request::Query(QueryRequest { user: 0, k: 2, timeout_us: None }),
-            Request::Query(QueryRequest { user: 41, k: 3, timeout_us: Some(2_000_000) }),
+            Request::Query(QueryRequest::new(0, 2)),
+            Request::Query(QueryRequest {
+                timeout_us: Some(2_000_000),
+                ..QueryRequest::new(41, 3)
+            }),
+            Request::Query(QueryRequest {
+                backend: Some(EngineBackend::Auto),
+                ..QueryRequest::new(7, 2)
+            }),
+            Request::Query(QueryRequest {
+                timeout_us: Some(500),
+                backend: Some(EngineBackend::IndexEstPlus),
+                ..QueryRequest::new(7, 2)
+            }),
+            Request::Explain(QueryRequest::new(0, 2)),
+            Request::Explain(QueryRequest {
+                timeout_us: Some(1_000),
+                backend: Some(EngineBackend::Auto),
+                ..QueryRequest::new(3, 1)
+            }),
             Request::Update(UpdateOp::AddEdge { src: 1, dst: 4, topics: vec![(0, 0.25)] }),
             Request::Update(UpdateOp::DetachTag { tag: 2 }),
             Request::Update(UpdateOp::AddUser),
@@ -460,6 +654,24 @@ mod tests {
         for request in cases {
             assert_eq!(Request::parse(&request.to_line()), Ok(request));
         }
+    }
+
+    #[test]
+    fn query_backend_operand_parses_with_and_without_timeout() {
+        let Ok(Request::Query(q)) = Request::parse("QUERY 0 2 auto") else { panic!() };
+        assert_eq!((q.timeout_us, q.backend), (None, Some(EngineBackend::Auto)));
+        let Ok(Request::Query(q)) = Request::parse("QUERY 0 2 750 lazy") else { panic!() };
+        assert_eq!((q.timeout_us, q.backend), (Some(750), Some(EngineBackend::Lazy)));
+    }
+
+    #[test]
+    fn unknown_backend_error_lists_every_valid_method() {
+        let err = Request::parse("QUERY 0 2 frob").expect_err("unknown backend must not parse");
+        assert!(err.contains("unknown backend"), "{err}");
+        for backend in EngineBackend::ALL {
+            assert!(err.contains(backend.cli_name()), "{err} misses {}", backend.cli_name());
+        }
+        assert!(err.contains("auto"), "{err}");
     }
 
     #[test]
@@ -471,8 +683,11 @@ mod tests {
             ("QUERY 1", "needs"),
             ("QUERY x 2", "bad user"),
             ("QUERY 1 -3", "bad k"),
-            ("QUERY 1 2 fast", "bad timeout_us"),
-            ("QUERY 1 2 3 4", "trailing"),
+            ("QUERY 1 2 fast", "unknown backend"),
+            ("QUERY 1 2 3 4", "unknown backend"),
+            ("QUERY 1 2 3 lazy extra", "trailing"),
+            ("EXPLAIN", "needs"),
+            ("EXPLAIN 1 2 frob", "unknown backend"),
             ("PING PONG", "trailing"),
             ("UPDATE", "needs an operation"),
             ("UPDATE FROB 1", "unknown update op"),
@@ -509,6 +724,45 @@ mod tests {
                 spread: 1.0,
                 cached: false,
                 us: 7,
+            }),
+            Response::Explained(ExplainReply {
+                user: 0,
+                k: 2,
+                backend: EngineBackend::Exact,
+                predicted_us: 4,
+                actual_us: 21,
+                us: 90,
+                degraded: false,
+                tags: vec![2, 3],
+                spread: 2.0575,
+                rejected: vec![
+                    RejectedPlan {
+                        backend: EngineBackend::Lazy,
+                        predicted_us: Some(55),
+                        reason: RejectReason::Costlier,
+                    },
+                    RejectedPlan {
+                        backend: EngineBackend::IndexEstPlus,
+                        predicted_us: None,
+                        reason: RejectReason::MissingArtifact,
+                    },
+                ],
+            }),
+            Response::Explained(ExplainReply {
+                user: 3,
+                k: 1,
+                backend: EngineBackend::Tim,
+                predicted_us: 12,
+                actual_us: 9,
+                us: 30,
+                degraded: true,
+                tags: vec![],
+                spread: 1.0,
+                rejected: vec![RejectedPlan {
+                    backend: EngineBackend::Lazy,
+                    predicted_us: Some(900_000),
+                    reason: RejectReason::OverBudget,
+                }],
             }),
             Response::Stats(StatsReply::new([
                 ("requests".to_string(), "64".to_string()),

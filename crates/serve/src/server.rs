@@ -2,7 +2,7 @@
 //!
 //! Topology: one acceptor thread, one lightweight thread per client
 //! connection, and a fixed pool of worker threads that each own a private
-//! [`PitexEngine`](pitex_core::PitexEngine) built from the shared
+//! [`PitexEngine`] built from the shared
 //! [`EngineHandle`] (the engine's `&mut self` memoisation stays
 //! single-threaded by construction). Connections and workers meet at a
 //! *bounded* job queue: when it is full the connection answers `BUSY`
@@ -38,8 +38,12 @@
 //! sweep runs after the swap, so the stale-insert race is closed from both
 //! sides.
 
-use crate::protocol::{ErrorCode, QueryReply, ReloadReply, Request, Response, StatsReply};
-use pitex_core::{EngineBackend, EngineHandle};
+use crate::protocol::{
+    ErrorCode, ExplainReply, QueryReply, ReloadReply, Request, Response, StatsReply,
+};
+use pitex_core::plan::PlanDecision;
+use pitex_core::registry::{self, CacheScope};
+use pitex_core::{EngineBackend, EngineHandle, PitexEngine};
 use pitex_index::DelayMatIndex;
 use pitex_live::{repair_rr_index, ModelOverlay, RepairOptions, Snapshot, SnapshotStore, UpdateOp};
 use pitex_model::{TagSet, TicModel};
@@ -94,24 +98,34 @@ struct CachedAnswer {
     spread: f64,
 }
 
-/// One queued query, ready for a worker.
+/// One queued query, ready for a worker. The backend is already resolved
+/// (the connection planned `auto` before the cache probe, so the cache key
+/// and the execution agree).
 struct Job {
     user: u32,
     k: usize,
+    backend: EngineBackend,
     deadline: Instant,
     reply: mpsc::SyncSender<WorkerReply>,
 }
 
 enum WorkerReply {
     /// A computed answer, stamped with the epoch it was computed under so
-    /// the connection can refuse to cache results from a superseded world.
+    /// the connection can refuse to cache results from a superseded world,
+    /// and with the measured execution time (what feeds the planner EWMA
+    /// and the `EXPLAIN` actual-cost field).
     Done {
         tags: TagSet,
         spread: f64,
         epoch: u64,
+        us: u64,
     },
     Deadline,
     Panicked,
+    /// The resolved backend could not be constructed on this snapshot
+    /// (only reachable if an admin swaps in a snapshot with fewer
+    /// artifacts than the one the request was validated against).
+    Unavailable(String),
 }
 
 /// Always-on serving counters (all monotone).
@@ -137,7 +151,6 @@ struct Counters {
 struct StagedReload {
     new_model: Arc<TicModel>,
     handle: EngineHandle,
-    backend: EngineBackend,
     affected: Option<Vec<u32>>,
     dirty_members: Option<Vec<u32>>,
     /// The `PREPARED`/`RELOADED` fields; `epoch` is stamped at reply time
@@ -362,13 +375,19 @@ fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
 
 /// Serves jobs against one pinned snapshot until the epoch advances or the
 /// pool shuts down.
+///
+/// Engines are built lazily per *resolved* backend and reused: a fixed
+/// server populates exactly one slot; an `auto` server (or per-request
+/// overrides) grows one engine per backend the planner actually picks, so
+/// each keeps its own memoisation cache warm.
 fn run_worker_epoch(
     shared: &Arc<Shared>,
     snapshot: &Snapshot,
     job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
     carried: Option<Job>,
 ) -> WorkerExit {
-    let mut engine = snapshot.handle.engine();
+    let mut engines: Vec<Option<PitexEngine<'_>>> = Vec::new();
+    engines.resize_with(EngineBackend::ALL.len(), || None);
     let mut next_job = carried;
     loop {
         let job = match next_job.take() {
@@ -406,19 +425,40 @@ fn run_worker_epoch(
             let _ = job.reply.try_send(WorkerReply::Deadline);
             continue;
         }
+        let slot = job.backend as usize;
+        if engines[slot].is_none() {
+            match snapshot.handle.engine_for(job.backend) {
+                Ok(engine) => engines[slot] = Some(engine),
+                Err(e) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.try_send(WorkerReply::Unavailable(e.to_string()));
+                    continue;
+                }
+            }
+        }
+        let engine = engines[slot].as_mut().expect("filled above");
+        let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             engine.query(job.user, job.k)
         }));
         let reply = match outcome {
-            Ok(result) => WorkerReply::Done {
-                tags: result.tags,
-                spread: result.spread,
-                epoch: snapshot.epoch,
-            },
+            Ok(result) => {
+                let us = started.elapsed().as_micros() as u64;
+                // Feed the measurement back into the planner's EWMA — this
+                // is how `auto` converges on what this machine really costs.
+                snapshot.handle.planner().observe(job.backend, us);
+                WorkerReply::Done {
+                    tags: result.tags,
+                    spread: result.spread,
+                    epoch: snapshot.epoch,
+                    us,
+                }
+            }
             Err(_) => {
                 shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-                // The engine may hold poisoned internal state; rebuild it.
-                engine = snapshot.handle.engine();
+                // The engine may hold poisoned internal state; drop it so
+                // the next job on this backend rebuilds from the snapshot.
+                engines[slot] = None;
                 WorkerReply::Panicked
             }
         };
@@ -531,6 +571,7 @@ fn handle_line(
         }
         Ok(Request::Stats) => (Response::Stats(stats_reply(shared)), false),
         Ok(Request::Query(q)) => (handle_query(shared, snapshot, q, job_tx), false),
+        Ok(Request::Explain(q)) => (handle_explain(shared, snapshot, q, job_tx), false),
         Ok(
             Request::Update(_)
             | Request::Reload
@@ -550,32 +591,38 @@ fn handle_line(
     }
 }
 
-fn handle_query(
+/// Validates a query's user / k / deadline and resolves the backend it
+/// will run under: a per-request override beats the server's configured
+/// method, and `auto` (either way) asks the planner with the *remaining*
+/// deadline budget, so a tight deadline degrades to a cheaper backend
+/// instead of burning itself on the preferred one. `Err` carries the
+/// ready-to-send response.
+struct Admitted {
+    k: usize,
+    deadline: Instant,
+    timeout: Duration,
+    accepted: Instant,
+    resolved: EngineBackend,
+    /// The planner's verdict (`None` when the backend was forced).
+    decision: Option<PlanDecision>,
+}
+
+fn admit_query(
     shared: &Arc<Shared>,
     snapshot: &Snapshot,
-    q: crate::protocol::QueryRequest,
-    job_tx: &mpsc::SyncSender<Job>,
-) -> Response {
-    let error = |code: ErrorCode, message: String| {
-        let counter = if code == ErrorCode::Deadline {
-            &shared.counters.deadline_exceeded
-        } else {
-            &shared.counters.errors
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-        Response::Err { code, message }
-    };
-
+    q: &crate::protocol::QueryRequest,
+    error: &impl Fn(ErrorCode, String) -> Response,
+) -> Result<Admitted, Response> {
     let model = snapshot.handle.model();
     if q.k == 0 {
-        return error(ErrorCode::BadK, "k must be at least 1".to_string());
+        return Err(error(ErrorCode::BadK, "k must be at least 1".to_string()));
     }
     let nodes = model.graph().num_nodes();
     if (q.user as usize) >= nodes {
-        return error(
+        return Err(error(
             ErrorCode::UnknownUser,
             format!("user {} out of range (|V| = {nodes})", q.user),
-        );
+        ));
     }
     let accepted = Instant::now();
     let timeout =
@@ -583,19 +630,115 @@ fn handle_query(
     let deadline =
         accepted.checked_add(timeout).unwrap_or_else(|| accepted + Duration::from_secs(86_400));
     // `timeout_us=0` (and any deadline that has already passed) fails fast
-    // here, before spending a cache probe or a queue slot.
+    // here, before spending a plan, a cache probe or a queue slot.
     if Instant::now() >= deadline {
-        return error(
+        return Err(error(
             ErrorCode::Deadline,
             format!("deadline of {timeout:?} elapsed before execution"),
-        );
+        ));
     }
 
     // The engine clamps k to the vocabulary; cache under the clamped key so
     // `k=99` and `k=|Ω|` share an entry.
     let k = q.k.min(model.num_tags());
-    let backend = snapshot.handle.backend();
-    let key = (q.user, k, backend);
+    let requested = q.backend.unwrap_or_else(|| snapshot.handle.backend());
+    let (resolved, decision) = if requested == EngineBackend::Auto {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let decision = snapshot.handle.plan(q.user, k, Some(remaining));
+        (decision.chosen, Some(decision))
+    } else {
+        let rr = snapshot.handle.rr_index().is_some();
+        let delay = snapshot.handle.delay_index().is_some();
+        if !registry::available(requested, rr, delay) {
+            return Err(error(
+                ErrorCode::BadRequest,
+                format!(
+                    "backend {} needs a prebuilt index this server does not hold",
+                    requested.cli_name()
+                ),
+            ));
+        }
+        (requested, None)
+    };
+    Ok(Admitted { k, deadline, timeout, accepted, resolved, decision })
+}
+
+/// Counts and builds an error reply (`DEADLINE` books against its own
+/// counter; everything else against `errors`).
+fn count_error(shared: &Shared, code: ErrorCode, message: String) -> Response {
+    let counter = if code == ErrorCode::Deadline {
+        &shared.counters.deadline_exceeded
+    } else {
+        &shared.counters.errors
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    Response::Err { code, message }
+}
+
+/// Enqueues one resolved job and waits for the worker's answer — the
+/// shared dispatch half of `QUERY` and `EXPLAIN`. `Err` carries the
+/// ready-to-send (and already counted) response for every non-answer
+/// outcome: `BUSY` shed, queued-past-deadline, worker panic, backend
+/// unavailable, shutdown race.
+fn dispatch_job(
+    shared: &Arc<Shared>,
+    admitted: &Admitted,
+    user: u32,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Result<(TagSet, f64, u64, u64), Response> {
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<WorkerReply>(1);
+    let job = Job {
+        user,
+        k: admitted.k,
+        backend: admitted.resolved,
+        deadline: admitted.deadline,
+        reply: reply_tx,
+    };
+    match job_tx.try_send(job) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+            // Full queue or a draining pool: shed the request.
+            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::Busy);
+        }
+    }
+    match reply_rx.recv() {
+        Ok(WorkerReply::Done { tags, spread, epoch, us }) => Ok((tags, spread, epoch, us)),
+        Ok(WorkerReply::Deadline) => Err(count_error(
+            shared,
+            ErrorCode::Deadline,
+            format!("deadline of {:?} elapsed while queued", admitted.timeout),
+        )),
+        Ok(WorkerReply::Panicked) => {
+            Err(count_error(shared, ErrorCode::Internal, "query execution panicked".to_string()))
+        }
+        Ok(WorkerReply::Unavailable(message)) => {
+            Err(Response::Err { code: ErrorCode::Internal, message })
+        }
+        // All workers exited mid-request (shutdown race): the job was
+        // dropped with the queue.
+        Err(mpsc::RecvError) => {
+            Err(count_error(shared, ErrorCode::Internal, "server is shutting down".to_string()))
+        }
+    }
+}
+
+fn handle_query(
+    shared: &Arc<Shared>,
+    snapshot: &Snapshot,
+    q: crate::protocol::QueryRequest,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Response {
+    let error = |code: ErrorCode, message: String| count_error(shared, code, message);
+    let admitted = match admit_query(shared, snapshot, &q, &error) {
+        Ok(admitted) => admitted,
+        Err(response) => return response,
+    };
+    let (k, accepted) = (admitted.k, admitted.accepted);
+
+    // Cache under the *resolved* backend: `auto` queries share entries
+    // with — and warm the cache for — the concrete backend they ran as.
+    let key = (q.user, k, admitted.resolved);
     if let Some(hit) = shared.cache.get(&key) {
         shared.counters.ok.fetch_add(1, Ordering::Relaxed);
         let us = accepted.elapsed().as_micros() as u64;
@@ -610,54 +753,80 @@ fn handle_query(
         });
     }
 
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<WorkerReply>(1);
-    let job = Job { user: q.user, k, deadline, reply: reply_tx };
-    match job_tx.try_send(job) {
-        Ok(()) => {}
-        Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
-            // Full queue or a draining pool: shed the request.
-            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
-            return Response::Busy;
+    let (tags, spread, epoch, _us) = match dispatch_job(shared, &admitted, q.user, job_tx) {
+        Ok(done) => done,
+        Err(response) => return response,
+    };
+    // Cache only results that are still current, and re-check after
+    // the insert: a swap (plus its invalidation sweep) could land
+    // between the pre-check and the insert, which would let a stale
+    // answer slip in *after* the sweep. If the post-insert check
+    // sees a newer epoch the entry is removed here; if the swap
+    // lands after the check instead, the sweep — which runs
+    // strictly after the epoch bump — removes it. One of the two
+    // always runs after the insert, so no stale entry survives.
+    if shared.store.epoch() == epoch {
+        shared.cache.insert(key, CachedAnswer { tags: tags.clone(), spread });
+        if shared.store.epoch() != epoch {
+            shared.cache.invalidate(&key);
         }
     }
-    match reply_rx.recv() {
-        Ok(WorkerReply::Done { tags, spread, epoch }) => {
-            // Cache only results that are still current, and re-check after
-            // the insert: a swap (plus its invalidation sweep) could land
-            // between the pre-check and the insert, which would let a stale
-            // answer slip in *after* the sweep. If the post-insert check
-            // sees a newer epoch the entry is removed here; if the swap
-            // lands after the check instead, the sweep — which runs
-            // strictly after the epoch bump — removes it. One of the two
-            // always runs after the insert, so no stale entry survives.
-            if shared.store.epoch() == epoch {
-                shared.cache.insert(key, CachedAnswer { tags: tags.clone(), spread });
-                if shared.store.epoch() != epoch {
-                    shared.cache.invalidate(&key);
-                }
-            }
-            shared.counters.ok.fetch_add(1, Ordering::Relaxed);
-            let us = accepted.elapsed().as_micros() as u64;
-            record_latency(shared, us);
-            Response::Ok(QueryReply {
-                user: q.user,
-                k,
-                tags: tags.tags().to_vec(),
-                spread,
-                cached: false,
-                us,
-            })
-        }
-        Ok(WorkerReply::Deadline) => {
-            error(ErrorCode::Deadline, format!("deadline of {timeout:?} elapsed while queued"))
-        }
-        Ok(WorkerReply::Panicked) => {
-            error(ErrorCode::Internal, "query execution panicked".to_string())
-        }
-        // All workers exited mid-request (shutdown race): the job was
-        // dropped with the queue.
-        Err(mpsc::RecvError) => error(ErrorCode::Internal, "server is shutting down".to_string()),
-    }
+    shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+    let us = accepted.elapsed().as_micros() as u64;
+    record_latency(shared, us);
+    Response::Ok(QueryReply {
+        user: q.user,
+        k,
+        tags: tags.tags().to_vec(),
+        spread,
+        cached: false,
+        us,
+    })
+}
+
+/// `EXPLAIN`: run the query exactly like `QUERY` would, but bypass the
+/// result cache (the point is a real measurement) and report the planner's
+/// decision next to the answer: chosen backend, predicted vs. actual cost,
+/// degradation flag, and the rejected alternatives.
+fn handle_explain(
+    shared: &Arc<Shared>,
+    snapshot: &Snapshot,
+    q: crate::protocol::QueryRequest,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Response {
+    let error = |code: ErrorCode, message: String| count_error(shared, code, message);
+    let admitted = match admit_query(shared, snapshot, &q, &error) {
+        Ok(admitted) => admitted,
+        Err(response) => return response,
+    };
+    // A forced backend still gets a (trivial) decision so the reply can
+    // show what the planner would have predicted for it.
+    let decision = admitted.decision.clone().unwrap_or_else(|| PlanDecision {
+        chosen: admitted.resolved,
+        predicted_us: snapshot.handle.predicted_us(admitted.resolved, q.user, admitted.k),
+        degraded: false,
+        rejected: Vec::new(),
+    });
+
+    let (tags, spread, _epoch, us) = match dispatch_job(shared, &admitted, q.user, job_tx) {
+        Ok(done) => done,
+        Err(response) => return response,
+    };
+    shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+    let total_us = admitted.accepted.elapsed().as_micros() as u64;
+    record_latency(shared, total_us);
+    Response::Explained(ExplainReply {
+        user: q.user,
+        k: admitted.k,
+        backend: admitted.resolved,
+        predicted_us: decision.predicted_us,
+        actual_us: us,
+        us: total_us,
+        degraded: decision.degraded,
+        tags: tags.tags().to_vec(),
+        spread,
+        rejected: decision.rejected,
+    })
 }
 
 /// `UPDATE`: validate and stage one op in the overlay. Nothing is visible
@@ -732,7 +901,12 @@ fn stage_reload(shared: &Arc<Shared>, overlay: &ModelOverlay) -> Result<StagedRe
 
     match EngineHandle::with_indexes(new_model.clone(), backend, rr_index, delay_index, config) {
         Ok(handle) => {
-            Ok(StagedReload { new_model, handle, backend, affected, dirty_members, reply })
+            // Carry the learned per-backend latency EWMAs across the swap:
+            // the machine did not change, only the model did, and resetting
+            // the planner's warmup on every reload would make `auto`
+            // briefly cost-blind.
+            handle.planner().inherit(snapshot.handle.planner());
+            Ok(StagedReload { new_model, handle, affected, dirty_members, reply })
         }
         Err(e) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -748,7 +922,7 @@ fn commit_staged(
     admin: &mut AdminState,
     staged: StagedReload,
 ) -> ReloadReply {
-    let StagedReload { new_model, handle, backend, affected, dirty_members, mut reply } = staged;
+    let StagedReload { new_model, handle, affected, dirty_members, mut reply } = staged;
     reply.epoch = shared.store.swap(handle);
 
     // Sweep strictly after the swap: combined with the epoch check before
@@ -756,7 +930,7 @@ fn commit_staged(
     // epoch-only swap (folded = 0: same world, next epoch) skips the sweep
     // — every cached answer is still true in the "new" world.
     if reply.folded > 0 {
-        invalidate_cache(shared, backend, affected, dirty_members);
+        invalidate_cache(shared, affected, dirty_members);
     }
 
     admin.overlay = ModelOverlay::new(new_model);
@@ -806,7 +980,6 @@ fn handle_prepare(shared: &Arc<Shared>) -> Response {
         let staged = StagedReload {
             new_model: snapshot.handle.model().clone(),
             handle: snapshot.handle.clone(),
-            backend: snapshot.handle.backend(),
             affected: Some(Vec::new()),
             dirty_members: Some(Vec::new()),
             reply: ReloadReply::default(),
@@ -846,46 +1019,37 @@ fn handle_commit(shared: &Arc<Shared>) -> Response {
 /// `dirty_members` the members of resampled RR-Graphs (`None` = full
 /// rebuild).
 ///
-/// Per-user invalidation is applied only where staleness is provable from
-/// locality: EXACT answers change only for affected users; the forward
-/// samplers (MC, LAZY) are seeded per `(params, user)` and only ever probe
-/// out-edges of vertices forward-reachable from the user, so an unaffected
-/// user replays bit-identically; the RR-index estimators additionally
-/// drift for members of resampled graphs (their RNG streams diverge after
-/// the first mutated probe). LT is *not* scopable: its per-vertex weight
-/// normalizer sums **all** in-edges of every contacted vertex, so an
-/// estimate can depend on an edge whose source the user never reaches.
-/// RR/TIM sampling draws global targets per query — estimates anywhere can
-/// move. Those three clear the cache outright, as does DELAYMAT (its
-/// counters are rebuilt wholesale).
+/// Each cached entry is judged under its *own* backend's
+/// [`CacheScope`] from the registry (the cache may hold several backends'
+/// answers at once — per-request overrides and `auto` resolution both mix
+/// them), so a swap evicts exactly what each backend's locality argument
+/// cannot save. See [`pitex_core::registry::CacheScope`] for the
+/// per-backend reasoning.
 fn invalidate_cache(
     shared: &Arc<Shared>,
-    backend: EngineBackend,
     affected: Option<Vec<u32>>,
     dirty_members: Option<Vec<u32>>,
 ) {
-    let scoped: Option<BTreeSet<u32>> = match backend {
-        EngineBackend::Exact | EngineBackend::Mc | EngineBackend::Lazy => {
-            affected.map(|users| users.into_iter().collect())
+    let affected: Option<BTreeSet<u32>> = affected.map(|users| users.into_iter().collect());
+    let with_dirty: Option<BTreeSet<u32>> = match (&affected, dirty_members) {
+        (Some(users), Some(members)) => {
+            let mut set = users.clone();
+            set.extend(members);
+            Some(set)
         }
-        EngineBackend::IndexEst | EngineBackend::IndexEstPlus => match (affected, dirty_members) {
-            (Some(users), Some(members)) => {
-                let mut set: BTreeSet<u32> = users.into_iter().collect();
-                set.extend(members);
-                Some(set)
-            }
-            _ => None,
-        },
-        EngineBackend::Lt | EngineBackend::Rr | EngineBackend::Tim | EngineBackend::DelayMat => {
-            None
-        }
+        _ => None,
     };
-    match scoped {
-        Some(users) => {
-            shared.cache.invalidate_if(|&(user, _, _), _| users.contains(&user));
+    shared.cache.invalidate_if(|&(user, _, backend), _| {
+        let scope =
+            registry::spec(backend).map(|s| s.cache_scope()).unwrap_or(CacheScope::Everything);
+        let stale_in =
+            |set: &Option<BTreeSet<u32>>| set.as_ref().map_or(true, |s| s.contains(&user));
+        match scope {
+            CacheScope::AffectedUsers => stale_in(&affected),
+            CacheScope::AffectedPlusDirty => stale_in(&with_dirty),
+            CacheScope::Everything => true,
         }
-        None => shared.cache.clear(),
-    }
+    });
 }
 
 fn record_latency(shared: &Shared, us: u64) {
@@ -912,7 +1076,23 @@ fn stats_reply(shared: &Shared) -> StatsReply {
     let hit_rate = if cache.hits + cache.misses == 0 { 0.0 } else { cache.hit_rate() };
     let snapshot = shared.store.current();
     let field = |k: &str, v: String| (k.to_string(), v);
-    StatsReply::new([
+    // Per-backend planner observability: how often `auto` chose each
+    // backend, how often a deadline forced a degradation, and the current
+    // latency EWMA per backend (0.0 until first observed).
+    let planner = snapshot.handle.planner();
+    let plan_fields = EngineBackend::ALL
+        .into_iter()
+        .flat_map(|backend| {
+            [
+                (format!("plan_{}", backend.cli_name()), planner.decisions(backend).to_string()),
+                (
+                    format!("ewma_{}_us", backend.cli_name()),
+                    format!("{:.1}", planner.ewma_us(backend).unwrap_or(0.0)),
+                ),
+            ]
+        })
+        .chain([field("plan_degraded", planner.degraded_count().to_string())]);
+    StatsReply::new(plan_fields.chain([
         field("backend", snapshot.handle.backend().cli_name().to_string()),
         field("workers", shared.options.workers.max(1).to_string()),
         field("uptime_us", (uptime.as_micros() as u64).to_string()),
@@ -942,7 +1122,7 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         // The raw log2 buckets, so a scatter-gather router can merge
         // per-shard distributions instead of "averaging" percentiles.
         field("lat_hist", hist_wire),
-    ])
+    ]))
 }
 
 #[cfg(test)]

@@ -112,24 +112,27 @@ USAGE:
   pitex gen    --profile <lastfm|diggs|dblp|twitter> [--scale F] [--tags N] --out FILE
   pitex stats  --model FILE
   pitex index  --model FILE --out FILE [--per-vertex F] [--index-seed N] [--delay]
-  pitex query  --model FILE --user N --k N [--method NAME] [--index FILE]
-               [--top N] [--epsilon F] [--delta F] [--seed N]
-  pitex serve  --model FILE [--method NAME] [--index FILE] [--port N] [--threads N]
+  pitex query  --model FILE --user N --k N [--backend NAME] [--index FILE]
+               [--explain] [--timeout-us N] [--top N] [--epsilon F] [--delta F] [--seed N]
+  pitex serve  --model FILE [--backend NAME] [--index FILE] [--port N] [--threads N]
                [--cache N] [--queue N] [--deadline-ms N] [--epsilon F] [--delta F] [--seed N]
                [--dirty-threshold F] [--no-admin]
   pitex update --model FILE --out FILE (--ops FILE | --op \"SET_EDGE 0 1 0:0.9\")
                [--index FILE --index-out FILE [--dirty-threshold F]]
   pitex client --addr HOST:PORT (--user N --k N [--timeout-us N] [--repeat N]
+               [--backend NAME] [--explain]
                | --stats [--json] | --ping | --shutdown
                | --update \"OP...\" | --admin epoch|reload
-               | --bench [--clients N] [--requests N] [--user N] [--k N])
+               | --bench [--clients N] [--requests N] [--user N] [--k N] [--backend NAME])
   pitex shardmap (--out FILE --replicas \"A:P,A:P;A:P,A:P\" [--seed N] [--binary]
                | --map FILE [--user N])
   pitex router --map FILE [--port N] [--max-in-flight N] [--idle-conns N]
                [--probe-ms N] [--no-admin]
 
-METHODS: lazy (default), mc, rr, tim, exact, lt,
-         indexest / indexest+ / delaymat (require --index)
+BACKENDS (--backend / --method): lazy (default), mc, rr, tim, exact, lt,
+         indexest / indexest+ / delaymat (require --index),
+         auto — the cost-based planner picks per query (an --index widens
+         its options); --explain prints the decision it made.
 
 SHARDMAP: --replicas lists shards separated by ';', each shard its replica
           addresses separated by ','. A router is a drop-in single server:
@@ -141,8 +144,8 @@ UPDATE OPS: ADD_EDGE s d z:p[,z:p..] | REMOVE_EDGE s d | SET_EDGE s d z:p[,..]
 type Opts = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 8] =
-    ["delay", "stats", "ping", "shutdown", "bench", "json", "no-admin", "binary"];
+const BOOL_FLAGS: [&str; 9] =
+    ["delay", "stats", "ping", "shutdown", "bench", "json", "no-admin", "binary", "explain"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::new();
@@ -250,21 +253,30 @@ fn cmd_query(opts: &Opts) -> Result<(), CliError> {
         return Err("--k must be at least 1".into());
     }
     let top: usize = opts.get("top").map(|s| parse(s, "--top")).transpose()?.unwrap_or(1);
+    let explain = opts.contains_key("explain");
+    let timeout_us: Option<u64> =
+        opts.get("timeout-us").map(|s| parse(s, "--timeout-us")).transpose()?;
+    let budget = timeout_us.map(Duration::from_micros);
     let handle = build_handle(opts)?;
     let nodes = handle.model().graph().num_nodes();
     if (user as usize) >= nodes {
         return Err(format!("user {user} out of range (|V| = {nodes})").into());
     }
-    let mut engine = handle.engine();
 
     let t = Instant::now();
     if top <= 1 {
-        let result = engine.query(user, k);
+        let (result, decision) = if handle.backend() == EngineBackend::Auto {
+            let (result, decision) = handle.query_auto(user, k, budget);
+            (result, Some(decision))
+        } else {
+            (handle.engine().query(user, k), None)
+        };
+        let backend = decision.as_ref().map(|d| d.chosen).unwrap_or_else(|| handle.backend());
         outln!(
             "W* = {} with spread {:.4} [{} backend, {}]",
             result.tags,
             result.spread,
-            engine.backend_name(),
+            backend.label(),
             human_duration(t.elapsed())
         );
         outln!(
@@ -275,16 +287,66 @@ fn cmd_query(opts: &Opts) -> Result<(), CliError> {
             result.stats.samples_used,
             result.stats.edges_visited
         );
+        if explain {
+            print_plan(&handle, user, k, decision, result.stats.elapsed)?;
+        }
     } else {
+        // A ranking resolves the backend once (per-candidate replanning
+        // would let the ranking mix estimators mid-list).
+        let decision =
+            (handle.backend() == EngineBackend::Auto).then(|| handle.plan(user, k, budget));
+        let backend = decision.as_ref().map(|d| d.chosen).unwrap_or_else(|| handle.backend());
+        let mut engine = handle.engine_for(backend).map_err(|e| CliError::Msg(e.to_string()))?;
         let ranking = engine.query_top_n(user, k, top);
         outln!(
             "top-{top} tag sets [{} backend, {}]:",
-            engine.backend_name(),
+            backend.label(),
             human_duration(t.elapsed())
         );
         for (rank, (tags, spread)) in ranking.iter().enumerate() {
             outln!("  {:>2}. {tags}  spread {spread:.4}", rank + 1);
         }
+        if explain {
+            print_plan(&handle, user, k, decision, t.elapsed())?;
+        }
+    }
+    Ok(())
+}
+
+/// `--explain`: print the planner's decision next to the answer. A forced
+/// backend gets a trivial decision (what the planner would have predicted
+/// for it); `auto` shows the real one, rejected alternatives included.
+fn print_plan(
+    handle: &EngineHandle,
+    user: u32,
+    k: usize,
+    decision: Option<pitex::core::PlanDecision>,
+    actual: Duration,
+) -> Result<(), CliError> {
+    let decision = decision.unwrap_or_else(|| pitex::core::PlanDecision {
+        chosen: handle.backend(),
+        predicted_us: handle.predicted_us(handle.backend(), user, k),
+        degraded: false,
+        rejected: Vec::new(),
+    });
+    outln!(
+        "plan: {} (predicted {}us, actual {}us{})",
+        decision.chosen.label(),
+        decision.predicted_us,
+        actual.as_micros(),
+        if decision.degraded { ", DEGRADED to fit the deadline" } else { "" }
+    );
+    for rejected in &decision.rejected {
+        let predicted = rejected
+            .predicted_us
+            .map(|us| format!("predicted {us}us"))
+            .unwrap_or_else(|| "not costable".to_string());
+        outln!(
+            "  rejected {}: {} ({})",
+            rejected.backend.label(),
+            predicted,
+            rejected.reason.as_str()
+        );
     }
     Ok(())
 }
@@ -299,12 +361,23 @@ fn config_from_opts(opts: &Opts) -> Result<PitexConfig, String> {
     })
 }
 
-/// Shared by `query` and `serve`: resolves `--method`, loads `--model` and
-/// (only when the backend needs it) `--index` into an owned engine handle.
+/// Shared by `query`, `client` and `serve`: resolves the `--backend` (or
+/// legacy `--method`) name; an unknown name lists every valid method from
+/// the backend registry.
+fn backend_from_opts(opts: &Opts) -> Result<EngineBackend, String> {
+    let method =
+        opts.get("backend").or_else(|| opts.get("method")).map(|s| s.as_str()).unwrap_or("lazy");
+    EngineBackend::parse(method).ok_or_else(|| {
+        format!("unknown method {method:?} (valid: {})", pitex::core::registry::method_names())
+    })
+}
+
+/// Shared by `query` and `serve`: loads `--model` and (only when the
+/// backend can use it) `--index` into an owned engine handle. A fixed
+/// index backend *requires* `--index`; `auto` *accepts* one of either kind
+/// (sniffed by magic) to widen the planner's options.
 fn build_handle(opts: &Opts) -> Result<EngineHandle, CliError> {
-    let method = opts.get("method").map(|s| s.as_str()).unwrap_or("lazy");
-    let backend =
-        EngineBackend::parse(method).ok_or_else(|| format!("unknown method {method:?}"))?;
+    let backend = backend_from_opts(opts)?;
     let config = config_from_opts(opts)?;
     let model = Arc::new(load_model(opts)?);
 
@@ -321,6 +394,23 @@ fn build_handle(opts: &Opts) -> Result<EngineHandle, CliError> {
         } else {
             rr_index =
                 Some(Arc::new(serial::rr_index_from_bytes(&bytes).map_err(|e| e.to_string())?));
+        }
+    } else if backend == EngineBackend::Auto {
+        if let Some(path) = opts.get("index") {
+            let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            match serial::index_kind(&bytes) {
+                Some(serial::IndexKind::Rr) => {
+                    rr_index = Some(Arc::new(
+                        serial::rr_index_from_bytes(&bytes).map_err(|e| e.to_string())?,
+                    ));
+                }
+                Some(serial::IndexKind::Delay) => {
+                    delay_index = Some(Arc::new(
+                        serial::delay_index_from_bytes(&bytes).map_err(|e| e.to_string())?,
+                    ));
+                }
+                None => return Err(format!("{path} is not a pitex index artifact").into()),
+            }
         }
     }
     EngineHandle::with_indexes(model, backend, rr_index, delay_index, config)
@@ -612,6 +702,13 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
         outln!("server shutting down");
         return Ok(());
     }
+    // An explicit per-request backend override (absent = server's default;
+    // `auto` asks the server-side planner).
+    let backend_override: Option<EngineBackend> =
+        match opts.get("backend").or_else(|| opts.get("method")) {
+            Some(_) => Some(backend_from_opts(opts)?),
+            None => None,
+        };
     if opts.contains_key("bench") {
         let gen = LoadGen {
             clients: opts.get("clients").map(|s| parse(s, "--clients")).transpose()?.unwrap_or(4),
@@ -623,6 +720,7 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
             user: opts.get("user").map(|s| parse(s, "--user")).transpose()?.unwrap_or(0),
             k: opts.get("k").map(|s| parse(s, "--k")).transpose()?.unwrap_or(2),
             timeout_us: opts.get("timeout-us").map(|s| parse(s, "--timeout-us")).transpose()?,
+            backend: backend_override,
         };
         let report = gen.run(addr).map_err(|e| format!("load generation: {e}"))?;
         outln!(
@@ -655,10 +753,45 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
     let timeout_us: Option<u64> =
         opts.get("timeout-us").map(|s| parse(s, "--timeout-us")).transpose()?;
     let mut client = connect()?;
+    if opts.contains_key("explain") {
+        let reply = client
+            .explain(user, k, timeout_us, backend_override)
+            .map_err(|e| format!("explain failed: {e}"))?;
+        let tags = TagSet::new(reply.tags.clone());
+        outln!(
+            "W* = {tags} with spread {:.4} [user {}, k {}, {} backend in {}us]",
+            reply.spread,
+            reply.user,
+            reply.k,
+            reply.backend.label(),
+            reply.us
+        );
+        outln!(
+            "plan: {} (predicted {}us, actual {}us{})",
+            reply.backend.label(),
+            reply.predicted_us,
+            reply.actual_us,
+            if reply.degraded { ", DEGRADED to fit the deadline" } else { "" }
+        );
+        for rejected in &reply.rejected {
+            let predicted = rejected
+                .predicted_us
+                .map(|us| format!("predicted {us}us"))
+                .unwrap_or_else(|| "not costable".to_string());
+            outln!(
+                "  rejected {}: {} ({})",
+                rejected.backend.label(),
+                predicted,
+                rejected.reason.as_str()
+            );
+        }
+        return Ok(());
+    }
     for _ in 0..repeat.max(1) {
-        let response = match timeout_us {
-            Some(t) => client.query_with_timeout(user, k, t),
-            None => client.query(user, k),
+        let response = match (timeout_us, backend_override) {
+            (_, Some(backend)) => client.query_with_backend(user, k, timeout_us, backend),
+            (Some(t), None) => client.query_with_timeout(user, k, t),
+            (None, None) => client.query(user, k),
         }
         .map_err(|e| e.to_string())?;
         match response {

@@ -46,7 +46,7 @@ pub mod prelude {
     pub use pitex_cluster::{Router, RouterOptions, ShardMap};
     pub use pitex_core::{
         BackendKind, EngineBackend, EngineHandle, ExplorationStrategy, PitexConfig, PitexEngine,
-        PitexResult, QueryStats, TimEstimator,
+        PitexResult, PlanDecision, Planner, QueryStats, RejectReason, TimEstimator,
     };
     pub use pitex_datasets::{CaseStudy, CaseStudyConfig, DatasetProfile, UserGroup, UserGroups};
     pub use pitex_graph::{DiGraph, EdgeId, GraphBuilder, NodeId};

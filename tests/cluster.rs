@@ -254,6 +254,63 @@ fn cluster_reload_under_load_is_never_torn_or_mixed_epoch() {
 }
 
 #[test]
+fn auto_and_explain_forward_through_the_router() {
+    let cluster = boot_cluster(2, 1);
+    let mut client = ServeClient::connect(cluster.router.addr()).unwrap();
+
+    // `backend=auto` forwards verbatim and resolves shard-side: the Fig. 2
+    // optimum comes back for u1 whatever the planner picked.
+    let Response::Ok(reply) = client.query_with_backend(0, 2, None, EngineBackend::Auto).unwrap()
+    else {
+        panic!("auto through the router must answer OK")
+    };
+    assert_eq!(reply.tags, vec![2, 3]);
+
+    // EXPLAIN forwards verbatim too, decision trace included.
+    let explained = client.explain(0, 2, None, Some(EngineBackend::Auto)).unwrap();
+    assert_ne!(explained.backend, EngineBackend::Auto, "resolved on the shard");
+    assert_eq!(explained.tags, vec![2, 3]);
+    assert!(!explained.rejected.is_empty());
+
+    // The scatter view merges the planner counters and EWMAs.
+    let stats = client.stats().unwrap();
+    let plan_total: u64 = EngineBackend::ALL
+        .iter()
+        .filter_map(|b| stats.get_u64(&format!("plan_{}", b.cli_name())))
+        .sum();
+    assert!(plan_total >= 2, "both auto decisions surface in the merged STATS");
+    let chosen = explained.backend.cli_name();
+    assert!(
+        stats.get_f64(&format!("ewma_{chosen}_us")).unwrap() > 0.0,
+        "the executed backend has a merged EWMA"
+    );
+    cluster.stop();
+}
+
+#[test]
+fn identical_queries_warm_one_replica_cache() {
+    // 1 shard x 3 replicas: the router's (user, k) affinity must pin the
+    // repeated query to one replica so one LRU warms instead of three.
+    let cluster = boot_cluster(1, 3);
+    let mut client = ServeClient::connect(cluster.router.addr()).unwrap();
+    const REPEATS: u64 = 6;
+    for _ in 0..REPEATS {
+        let Response::Ok(_) = client.query(0, 2).unwrap() else { panic!() };
+    }
+    let mut ok_counts = Vec::new();
+    for server in &cluster.servers[0] {
+        let mut direct = ServeClient::connect(server.addr()).unwrap();
+        let stats = direct.stats().unwrap();
+        ok_counts.push((stats.get_u64("ok").unwrap(), stats.get_u64("cache_hits").unwrap()));
+    }
+    let served: Vec<_> = ok_counts.iter().filter(|&&(ok, _)| ok > 0).collect();
+    assert_eq!(served.len(), 1, "exactly one replica served the repeats: {ok_counts:?}");
+    assert_eq!(served[0].0, REPEATS);
+    assert_eq!(served[0].1, REPEATS - 1, "all but the first repeat hit that replica's cache");
+    cluster.stop();
+}
+
+#[test]
 fn edge_updates_route_to_the_owning_shard_only() {
     let cluster = boot_cluster(2, 1);
     let mut client = ServeClient::connect(cluster.router.addr()).unwrap();

@@ -1,0 +1,301 @@
+//! Planner acceptance suite (`backend=auto` end to end).
+//!
+//! Asserts the tentpole contract of the cost-based planner: an `auto`
+//! answer is **bit-identical** to the forced backend it resolves to (on
+//! Fig. 2 and on the pipeline workload, every user), a deadline-tight
+//! query *degrades* to a cheaper backend and still answers instead of
+//! burning the deadline into `ERR DEADLINE`, the `EXPLAIN` verb reports
+//! the decision through a real server, and — property-tested — the
+//! planner never selects a backend whose required artifact is absent.
+
+use pitex::core::plan::{ModelStats, PlanInput, Planner};
+use pitex::prelude::*;
+use pitex::serve::{ErrorCode, Response, ServeClient, ServeOptions, Server};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Fig. 2's optimum for `(u1, k = 2)`, as 0-based tag ids.
+const PAPER_TAGS: [u32; 2] = [2, 3];
+
+fn auto_handle_with_indexes(model: Arc<TicModel>) -> EngineHandle {
+    let rr = Arc::new(RrIndex::build(&model, IndexBudget::Fixed(3_000), 3));
+    let delay = Arc::new(DelayMatIndex::build(&model, IndexBudget::Fixed(3_000), 3));
+    EngineHandle::with_indexes(
+        model,
+        EngineBackend::Auto,
+        Some(rr),
+        Some(delay),
+        PitexConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn auto_is_bit_identical_to_its_resolved_backend_on_fig2() {
+    let model = Arc::new(TicModel::paper_example());
+    let handle = auto_handle_with_indexes(model.clone());
+    for user in 0..model.graph().num_nodes() as u32 {
+        for k in 1..=3usize {
+            let (auto_result, decision) = handle.query_auto(user, k, None);
+            assert_ne!(decision.chosen, EngineBackend::Auto);
+            // The same query forced onto the resolved backend, over the
+            // same snapshots and config, must agree bit for bit.
+            let forced = handle.engine_for(decision.chosen).unwrap().query(user, k);
+            assert_eq!(auto_result.tags, forced.tags, "user {user} k {k} {}", decision.chosen);
+            assert_eq!(
+                auto_result.spread, forced.spread,
+                "user {user} k {k} {}: spread must be bit-identical",
+                decision.chosen
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_matches_forced_backend_on_the_pipeline_workload() {
+    // The pipeline suite's dataset: lastfm-like at 0.15 scale, RR index —
+    // every user queried once.
+    let model = Arc::new(DatasetProfile::lastfm_like().scaled(0.15).generate());
+    let rr = Arc::new(RrIndex::build(&model, IndexBudget::PerVertex(6.0), 13));
+    let handle = EngineHandle::with_indexes(
+        model.clone(),
+        EngineBackend::Auto,
+        Some(rr),
+        None,
+        PitexConfig::default(),
+    )
+    .unwrap();
+    let mut chosen = std::collections::BTreeSet::new();
+    for user in 0..model.graph().num_nodes() as u32 {
+        let (auto_result, decision) = handle.query_auto(user, 2, None);
+        chosen.insert(decision.chosen.cli_name());
+        let forced = handle.engine_for(decision.chosen).unwrap().query(user, 2);
+        assert_eq!(auto_result.tags, forced.tags, "user {user} via {}", decision.chosen);
+        assert_eq!(auto_result.spread, forced.spread, "user {user} via {}", decision.chosen);
+    }
+    // With an RR index present the planner must be exploiting it.
+    assert!(
+        chosen.contains("indexest") || chosen.contains("indexest+"),
+        "an index regime never used its index: chose {chosen:?}"
+    );
+}
+
+#[test]
+fn planner_counters_account_for_every_auto_query() {
+    let model = Arc::new(TicModel::paper_example());
+    let handle = auto_handle_with_indexes(model);
+    for _ in 0..5 {
+        handle.query_auto(0, 2, None);
+    }
+    let total: u64 = EngineBackend::ALL.iter().map(|&b| handle.planner().decisions(b)).sum();
+    assert_eq!(total, 5, "every auto query is one recorded decision");
+}
+
+/// The serve-level degradation contract: a deadline that cannot fit the
+/// preferred backend answers from a cheaper one — no `ERR DEADLINE`.
+#[test]
+fn deadline_tight_query_degrades_and_still_answers() {
+    let model = Arc::new(TicModel::paper_example());
+    let handle = EngineHandle::new(model, EngineBackend::Auto, PitexConfig::default()).unwrap();
+    // Teach the planner that every accurate backend takes ~0.8s while the
+    // TIM fallback is microseconds: the decision becomes deterministic and
+    // independent of CI timing.
+    let planner = handle.planner().clone();
+    for backend in [EngineBackend::Lazy, EngineBackend::Mc, EngineBackend::Rr, EngineBackend::Exact]
+    {
+        for _ in 0..5 {
+            planner.observe(backend, 800_000);
+        }
+    }
+    for _ in 0..5 {
+        planner.observe(EngineBackend::Tim, 20);
+    }
+
+    let server = Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // 200ms budget: predicted 800ms for every accurate backend, so the
+    // planner degrades to TIM — which really does finish well inside the
+    // budget on the Fig. 2 model.
+    let reply = client.explain(0, 2, Some(200_000), Some(EngineBackend::Auto)).unwrap();
+    assert_eq!(reply.backend, EngineBackend::Tim, "degraded to the cheap fallback");
+    assert!(reply.degraded, "the reply must flag the degradation");
+    assert_eq!(reply.tags, PAPER_TAGS, "TIM still finds the Fig. 2 optimum");
+    assert!(
+        reply.rejected.iter().any(|r| r.reason == pitex::core::RejectReason::OverBudget),
+        "the preferred backend shows up as over-budget: {:?}",
+        reply.rejected
+    );
+
+    // The same query without the crunch is not degraded...
+    let reply = client.explain(0, 2, None, Some(EngineBackend::Auto)).unwrap();
+    assert!(!reply.degraded);
+    assert_eq!(reply.tags, PAPER_TAGS);
+
+    // ...and a deadline-tight plain QUERY answers OK, not ERR DEADLINE.
+    let Response::Ok(ok) =
+        client.query_with_backend(0, 3, Some(200_000), EngineBackend::Auto).unwrap()
+    else {
+        panic!("deadline-tight auto query must answer, not ERR")
+    };
+    assert_eq!(ok.k, 3);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.get_u64("plan_tim").unwrap() >= 1, "TIM decisions surface in STATS");
+    assert!(stats.get_u64("plan_degraded").unwrap() >= 1);
+    assert!(stats.get_f64("ewma_tim_us").unwrap() > 0.0);
+    server.stop().unwrap();
+}
+
+#[test]
+fn explain_reports_the_decision_over_the_wire() {
+    let model = Arc::new(TicModel::paper_example());
+    let handle = auto_handle_with_indexes(model);
+    let server = Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let reply = client.explain(0, 2, None, Some(EngineBackend::Auto)).unwrap();
+    assert_eq!(reply.tags, PAPER_TAGS);
+    assert_ne!(reply.backend, EngineBackend::Auto, "resolved to a concrete backend");
+    assert!(reply.predicted_us >= 1);
+    assert!(!reply.rejected.is_empty(), "auto always has rejected alternatives");
+    assert!(
+        reply.rejected.iter().any(|r| r.backend == EngineBackend::Lt
+            && r.reason == pitex::core::RejectReason::DifferentSemantics),
+        "LT must be rejected as a different model: {:?}",
+        reply.rejected
+    );
+
+    // EXPLAIN of a *forced* backend reports a trivial decision.
+    let reply = client.explain(0, 2, None, Some(EngineBackend::Exact)).unwrap();
+    assert_eq!(reply.backend, EngineBackend::Exact);
+    assert!(!reply.degraded);
+    assert!(reply.rejected.is_empty());
+    assert_eq!(reply.tags, PAPER_TAGS);
+    server.stop().unwrap();
+}
+
+#[test]
+fn per_request_backend_override_and_resolved_cache_key() {
+    // A lazy server: per-request overrides must run (and cache) under the
+    // requested backend, and `auto` must share entries with the backend it
+    // resolves to.
+    let model = Arc::new(TicModel::paper_example());
+    let handle = EngineHandle::new(model, EngineBackend::Lazy, PitexConfig::default()).unwrap();
+    let server = Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // Forced EXACT then forced EXACT again: second is a cache hit.
+    let Response::Ok(first) = client.query_with_backend(0, 2, None, EngineBackend::Exact).unwrap()
+    else {
+        panic!()
+    };
+    assert!(!first.cached);
+    let Response::Ok(second) = client.query_with_backend(0, 2, None, EngineBackend::Exact).unwrap()
+    else {
+        panic!()
+    };
+    assert!(second.cached, "override queries cache under the overridden backend");
+
+    // The server's own (lazy) cache is untouched by the exact entries.
+    let Response::Ok(lazy) = client.query(0, 2).unwrap() else { panic!() };
+    assert!(!lazy.cached, "different backend, different cache key");
+
+    // An index backend this server has no artifact for: BAD_REQUEST.
+    match client.query_with_backend(0, 2, None, EngineBackend::IndexEst).unwrap() {
+        Response::Err { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("index"), "{message}");
+        }
+        other => panic!("expected ERR BAD_REQUEST, got {other:?}"),
+    }
+
+    // An unknown backend name over the raw wire lists the valid methods.
+    let raw = client.roundtrip_line("QUERY 0 2 frob").unwrap();
+    match Response::parse(&raw).unwrap() {
+        Response::Err { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            for name in ["lazy", "indexest+", "delaymat", "auto"] {
+                assert!(message.contains(name), "{message} misses {name}");
+            }
+        }
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    server.stop().unwrap();
+}
+
+#[test]
+fn auto_server_answers_fig2_for_every_user() {
+    let model = Arc::new(TicModel::paper_example());
+    let truth: Vec<_> = {
+        let mut exact = PitexEngine::with_exact(&model, PitexConfig::default());
+        (0..7u32).map(|u| exact.query(u, 2)).collect()
+    };
+    let handle = auto_handle_with_indexes(model);
+    let server = Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    for user in 0..7u32 {
+        let reply = client.explain(user, 2, None, None).unwrap();
+        // Index estimators may rank sampled spreads differently on a
+        // 7-vertex toy graph; what must hold is that the *same* backend
+        // forced directly gives the same answer — checked in the
+        // bit-identical tests — and that u1's famous optimum comes out.
+        if user == 0 {
+            assert_eq!(reply.tags, truth[0].tags.tags(), "u1's W* = {{w3, w4}}");
+        }
+        assert_eq!(reply.k, 2);
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("backend"), Some("auto"), "the server reports its configured method");
+    server.stop().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The planner never selects a backend whose required artifact is
+    /// absent — under arbitrary model shapes, query shapes, budgets,
+    /// artifact availability, and EWMA warm-up states.
+    #[test]
+    fn planner_never_selects_a_backend_without_its_artifact(
+        nodes in 2usize..1_000_000,
+        edge_factor in 1usize..30,
+        num_tags in 1usize..300,
+        degree in 0usize..10_000,
+        k in 1usize..8,
+        budget_us in (0u64..10_000_000).prop_map(|v| (v != 0).then_some(v)),
+        rr_available in (0u8..2).prop_map(|v| v == 1),
+        delay_available in (0u8..2).prop_map(|v| v == 1),
+        warm in proptest::collection::vec((0usize..9, 1u64..1_000_000), 0..12),
+    ) {
+        let planner = Planner::from_stats(
+            ModelStats { nodes, edges: nodes.saturating_mul(edge_factor), num_tags },
+            rr_available,
+            delay_available,
+            0.7,
+            1000.0,
+        );
+        for &(slot, us) in &warm {
+            planner.observe(EngineBackend::ALL[slot], us);
+        }
+        let decision = planner.plan(PlanInput { degree, k, budget_us });
+        prop_assert!(
+            planner.available(decision.chosen),
+            "chose {} with rr={rr_available} delay={delay_available}",
+            decision.chosen
+        );
+        prop_assert_ne!(decision.chosen, EngineBackend::Auto);
+        prop_assert_ne!(decision.chosen, EngineBackend::Lt);
+        // Every unavailable backend is reported, never silently dropped.
+        for backend in [EngineBackend::IndexEst, EngineBackend::IndexEstPlus] {
+            if !rr_available {
+                prop_assert!(decision.rejected.iter().any(|r| r.backend == backend
+                    && r.reason == pitex::core::RejectReason::MissingArtifact));
+            }
+        }
+        if !delay_available {
+            prop_assert!(decision.rejected.iter().any(|r| r.backend == EngineBackend::DelayMat
+                && r.reason == pitex::core::RejectReason::MissingArtifact));
+        }
+    }
+}

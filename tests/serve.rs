@@ -283,7 +283,7 @@ fn load_shedding_accounts_for_every_request() {
         requests_per_client: 8,
         user: 0,
         k: 2,
-        timeout_us: None,
+        ..pitex::serve::LoadGen::default()
     }
     .run(server.addr())
     .unwrap();
