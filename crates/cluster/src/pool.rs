@@ -18,6 +18,7 @@
 //! mirroring what a single `pitex_serve` does when its queue fills.
 
 use crate::shardmap::ShardMap;
+use pitex_live::SyncBundle;
 use pitex_serve::{Request, Response, ServeClient};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -131,6 +132,12 @@ pub struct ShardPools {
     shards: Vec<ShardPool>,
     options: PoolOptions,
     failovers: AtomicU64,
+    /// Replicas healed by prober-driven catch-up (SYNC replay).
+    catchup_replicas: AtomicU64,
+    /// Epoch transitions replayed across all catch-ups.
+    catchup_epochs: AtomicU64,
+    /// Ops replayed (committed + re-staged) across all catch-ups.
+    catchup_ops: AtomicU64,
 }
 
 /// Per-replica outcome of a [`ShardPools::broadcast`].
@@ -153,12 +160,29 @@ impl ShardPools {
                 in_flight: AtomicUsize::new(0),
             })
             .collect();
-        Self { shards, options, failovers: AtomicU64::new(0) }
+        Self {
+            shards,
+            options,
+            failovers: AtomicU64::new(0),
+            catchup_replicas: AtomicU64::new(0),
+            catchup_epochs: AtomicU64::new(0),
+            catchup_ops: AtomicU64::new(0),
+        }
     }
 
     /// Cross-replica failovers performed since construction.
     pub fn failovers(&self) -> u64 {
         self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// `(replicas, epochs, ops)` healed/replayed by prober catch-up since
+    /// construction — the router surfaces these in its merged `STATS`.
+    pub fn catchup_counters(&self) -> (u64, u64, u64) {
+        (
+            self.catchup_replicas.load(Ordering::Relaxed),
+            self.catchup_epochs.load(Ordering::Relaxed),
+            self.catchup_ops.load(Ordering::Relaxed),
+        )
     }
 
     /// `(up, total)` replica counts across all shards, as health probing
@@ -341,12 +365,20 @@ impl ShardPools {
 
     /// Actively probes down-marked replicas, reviving those that are both
     /// alive (`PING`) **and** epoch-consistent with a healthy peer of the
-    /// same shard (`EPOCH`): a replica that missed a reload wave while it
-    /// was down would otherwise be re-admitted serving a stale world.
-    /// When epochs are unknowable — admin verbs disabled shard-side, or no
-    /// healthy peer to compare against — revival falls back to liveness
-    /// alone. Called periodically by the router's prober thread; returns
-    /// how many replicas were revived.
+    /// same shard (`EPOCH`). A replica that is alive but *behind* is no
+    /// longer merely re-quarantined: the prober heals it in place — it
+    /// fetches the committed-history suffix from a healthy donor
+    /// (`SYNC <stale_epoch>`) and drives the stale replica through it
+    /// (`DISCARD`, then per epoch `UPDATE…` + `PREPARE` + `COMMIT`, then
+    /// re-staging the donor's pending ops) until its epoch matches, and
+    /// only then readmits it. Folding and index repair are deterministic,
+    /// so the healed replica answers bit-identically to the donor.
+    /// Catch-up fails closed: any error (donor history compacted, replay
+    /// rejected, epoch skew) leaves the replica quarantined for the
+    /// operator. When epochs are unknowable — admin verbs disabled
+    /// shard-side, or no healthy peer to compare against — revival falls
+    /// back to liveness alone. Called periodically by the router's prober
+    /// thread; returns how many replicas were revived.
     pub fn probe(&self) -> usize {
         let mut revived = 0;
         for shard in &self.shards {
@@ -363,7 +395,10 @@ impl ShardPools {
                 }
                 let reference = *reference.get_or_insert_with(|| self.reference_epoch(shard));
                 let agrees = match (reference, epoch_of(&mut client)) {
-                    (Some(want), Ok(Some(have))) => want == have,
+                    (Some(want), Ok(Some(have))) => {
+                        want == have
+                            || (have < want && self.catch_up(shard, &mut client, have).is_ok())
+                    }
                     (_, Err(_)) => false,
                     // Epochs unknowable on one side or the other.
                     _ => true,
@@ -373,15 +408,107 @@ impl ShardPools {
                     replica.put_idle(client, self.options.idle_per_replica);
                     revived += 1;
                 } else {
-                    // Alive but stale: re-quarantine so the lazy cooldown
-                    // expiry cannot readmit it before it catches up. (For
-                    // this to hold, the prober must run more often than
-                    // the cooldown — the defaults are 200 ms vs. 500 ms.)
+                    // Ahead of the reference, refused a verb, or catch-up
+                    // failed: re-quarantine so the lazy cooldown expiry
+                    // cannot readmit it before it is consistent. (For this
+                    // to hold, the prober must run more often than the
+                    // cooldown — the defaults are 200 ms vs. 500 ms.)
                     replica.mark_down(self.options.probe_cooldown);
                 }
             }
         }
         revived
+    }
+
+    /// Replays a healthy donor's committed history onto a live-but-stale
+    /// replica until its epoch matches the donor's. The replica first
+    /// `DISCARD`s its local staged state (e.g. pending ops restored from
+    /// its own WAL) — the donor's bundle carries the authoritative pending
+    /// set, and replaying on top of a non-empty overlay would double-apply.
+    fn catch_up(
+        &self,
+        shard: &ShardPool,
+        stale: &mut ServeClient,
+        have: u64,
+    ) -> std::io::Result<()> {
+        let bundle = self.sync_from_donor(shard, have)?;
+        stale.discard()?;
+        let mut epochs = 0u64;
+        let mut ops = 0u64;
+        for batch in &bundle.records {
+            if batch.epoch <= have {
+                continue;
+            }
+            for op in &batch.ops {
+                stale.update(op.clone())?;
+                ops += 1;
+            }
+            // One barrier per batch, empty batches included: the replica
+            // must walk the same epoch sequence the donor did, or its
+            // epoch number would diverge from its content history.
+            stale.prepare()?;
+            let committed = stale.commit()?;
+            if committed.epoch != batch.epoch {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "catch-up skew: replica committed epoch {} where the donor history \
+                         says {}",
+                        committed.epoch, batch.epoch
+                    ),
+                ));
+            }
+            epochs += 1;
+        }
+        for op in &bundle.pending {
+            stale.update(op.clone())?;
+            ops += 1;
+        }
+        let now = stale.epoch()?;
+        if now != bundle.epoch {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("catch-up ended at epoch {now}, donor bundle claims {}", bundle.epoch),
+            ));
+        }
+        self.catchup_replicas.fetch_add(1, Ordering::Relaxed);
+        self.catchup_epochs.fetch_add(epochs, Ordering::Relaxed);
+        self.catchup_ops.fetch_add(ops, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fetches the catch-up bundle from the first healthy replica of
+    /// `shard` that serves `SYNC from_epoch`. A donor whose history no
+    /// longer reaches back to `from_epoch` (compacted) answers an error;
+    /// the next donor is tried, and with none left the catch-up fails
+    /// closed (the replica stays quarantined for an operator resync).
+    fn sync_from_donor(&self, shard: &ShardPool, from_epoch: u64) -> std::io::Result<SyncBundle> {
+        let mut last_err = None;
+        for replica in &shard.replicas {
+            if replica.is_marked_down() {
+                continue;
+            }
+            let mut client = match replica.take_idle() {
+                Some(client) => client,
+                None => match self.connect(replica) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                },
+            };
+            match client.sync(from_epoch) {
+                Ok(bundle) => {
+                    replica.put_idle(client, self.options.idle_per_replica);
+                    return Ok(bundle);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no healthy donor for SYNC")
+        }))
     }
 
     /// The serving epoch of the first healthy replica of `shard` that
@@ -590,8 +717,16 @@ mod tests {
         b.stop().unwrap();
     }
 
+    /// A query answer reduced to its engine-determined parts: `cached` and
+    /// `us` legitimately differ between replicas, the rest must not.
+    fn answer_of(addr: std::net::SocketAddr, user: u32, k: usize) -> (Vec<u32>, f64) {
+        let mut client = ServeClient::connect(addr).unwrap();
+        let Response::Ok(reply) = client.query(user, k).unwrap() else { panic!("expected OK") };
+        (reply.tags, reply.spread)
+    }
+
     #[test]
-    fn probe_refuses_to_revive_a_stale_epoch_replica() {
+    fn probe_heals_a_stale_epoch_replica_via_catch_up() {
         let a = boot();
         let b = boot();
         let b_addr = b.addr();
@@ -608,13 +743,16 @@ mod tests {
         }
         assert_eq!(pools.replica_health(), (1, 2), "the dead replica is marked down");
 
-        // The surviving replica reloads while b is gone: epochs diverge.
+        // The surviving replica mutates and reloads while b is gone:
+        // epochs diverge and so do the answers.
         let mut admin = ServeClient::connect(a.addr()).unwrap();
-        admin.update(pitex_live::UpdateOp::AddUser).unwrap();
+        admin.update(pitex_live::UpdateOp::DetachTag { tag: 2 }).unwrap();
+        admin.update(pitex_live::UpdateOp::DetachTag { tag: 3 }).unwrap();
         assert_eq!(admin.reload().unwrap().epoch, 2);
 
-        // Restart b at epoch 1: alive, but one reload behind — liveness
-        // alone must not readmit it.
+        // Restart b at epoch 1: alive, but one epoch behind with different
+        // content. The probe must not readmit it as-is — it heals it: SYNC
+        // from a, replay the missed batch, and only then revive.
         let handle = EngineHandle::new(
             Arc::new(TicModel::paper_example()),
             EngineBackend::Exact,
@@ -622,15 +760,74 @@ mod tests {
         )
         .unwrap();
         let b2 = Server::spawn(handle, b_addr, ServeOptions::default()).unwrap();
-        assert_eq!(pools.probe(), 0, "a stale-epoch replica stays quarantined");
+        assert_eq!(pools.probe(), 1, "a stale replica is caught up and rejoins");
+        assert_eq!(pools.replica_health(), (2, 2));
+        let (healed, epochs, ops) = pools.catchup_counters();
+        assert_eq!((healed, epochs, ops), (1, 1, 2), "one replica, one epoch, two ops");
+
+        // The healed replica answers bit-identically to its donor — the
+        // detached tags are gone on both — and every query through the
+        // pool (now striping across both replicas) succeeds.
+        assert_eq!(answer_of(b_addr, 0, 2), answer_of(a.addr(), 0, 2));
+        assert_eq!(answer_of(b_addr, 0, 2).0, vec![0, 1], "detached tags are gone");
+        for _ in 0..8 {
+            let response = pools.call(0, |client| client.query(0, 2)).unwrap();
+            let Response::Ok(reply) = response else { panic!("expected OK") };
+            assert_eq!(reply.tags, vec![0, 1]);
+        }
+        a.stop().unwrap();
+        b2.stop().unwrap();
+    }
+
+    #[test]
+    fn probe_heals_a_replica_that_missed_updates_and_pending_ops() {
+        let a = boot();
+        let b = boot();
+        let b_addr = b.addr();
+        let map = map_of(vec![vec![a.addr().to_string(), b.addr().to_string()]]);
+        let options =
+            PoolOptions { probe_cooldown: Duration::from_secs(3600), ..PoolOptions::default() };
+        let pools = ShardPools::new(&map, options);
+        for _ in 0..4 {
+            pools.call(0, |client| client.ping()).unwrap();
+        }
+        b.stop().unwrap();
+        for _ in 0..8 {
+            pools.call(0, |client| client.ping()).unwrap();
+        }
         assert_eq!(pools.replica_health(), (1, 2));
 
-        // Catch it up out of band; the next probe readmits it.
-        let mut catchup = ServeClient::connect(b_addr).unwrap();
-        catchup.update(pitex_live::UpdateOp::AddUser).unwrap();
-        assert_eq!(catchup.reload().unwrap().epoch, 2);
-        assert_eq!(pools.probe(), 1, "an epoch-consistent replica rejoins");
+        // While b is gone, a commits two epochs' worth of updates *and*
+        // keeps an uncommitted op staged on top — catch-up must replay the
+        // committed history epoch by epoch and re-stage the pending tail.
+        let mut admin = ServeClient::connect(a.addr()).unwrap();
+        admin.update(pitex_live::UpdateOp::DetachTag { tag: 2 }).unwrap();
+        assert_eq!(admin.reload().unwrap().epoch, 2);
+        admin.update(pitex_live::UpdateOp::AddUser).unwrap();
+        assert_eq!(admin.reload().unwrap().epoch, 3);
+        admin.update(pitex_live::UpdateOp::DetachTag { tag: 3 }).unwrap();
+
+        let handle = EngineHandle::new(
+            Arc::new(TicModel::paper_example()),
+            EngineBackend::Exact,
+            PitexConfig::default(),
+        )
+        .unwrap();
+        let b2 = Server::spawn(handle, b_addr, ServeOptions::default()).unwrap();
+        assert_eq!(pools.probe(), 1, "catch-up replays both missed epochs");
         assert_eq!(pools.replica_health(), (2, 2));
+        let (healed, epochs, ops) = pools.catchup_counters();
+        assert_eq!((healed, epochs, ops), (1, 2, 3), "2 committed epochs + 1 pending op");
+
+        // Same epoch, same committed content, and the pending op is staged
+        // on the rejoiner too — the next cluster RELOAD folds it everywhere.
+        let mut b_admin = ServeClient::connect(b_addr).unwrap();
+        assert_eq!(b_admin.epoch().unwrap(), 3);
+        let stats = b_admin.stats().unwrap();
+        assert_eq!(stats.get_u64("updates_pending"), Some(1), "pending tail re-staged");
+        assert_eq!(answer_of(b_addr, 0, 4), answer_of(a.addr(), 0, 4));
+        assert_eq!(b_admin.reload().unwrap().epoch, 4);
+        assert_eq!(answer_of(b_addr, 0, 2).0, vec![0, 1], "pending detach folded in");
         a.stop().unwrap();
         b2.stop().unwrap();
     }

@@ -253,6 +253,11 @@ fn prober_loop(shared: &Arc<Shared>) {
     while !shared.stop.load(Ordering::SeqCst) {
         std::thread::sleep(POLL.min(shared.options.probe_interval));
         if last_probe.elapsed() >= shared.options.probe_interval {
+            // Catch-up drives a stale replica through UPDATE/PREPARE/COMMIT
+            // barriers of its own; serializing with the router's admin
+            // verbs keeps a concurrent UPDATE broadcast or RELOAD wave
+            // from interleaving with (and double-applying into) a replay.
+            let _admin = shared.admin_serial.lock().unwrap();
             shared.pools.probe();
             last_probe = Instant::now();
         }
@@ -384,7 +389,9 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (Response, bool) {
             | Request::Reload
             | Request::Prepare
             | Request::Commit
-            | Request::Epoch,
+            | Request::Epoch
+            | Request::Sync { .. }
+            | Request::Discard,
         ) if !shared.options.admin => denied(),
         Ok(Request::Update(op)) => (handle_update(shared, op), false),
         Ok(Request::Reload) => (handle_reload(shared), false),
@@ -393,6 +400,13 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (Response, bool) {
             let message =
                 "PREPARE/COMMIT are shard-level; RELOAD at the router runs the cluster barrier"
                     .to_string();
+            (Response::Err { code: ErrorCode::BadRequest, message }, false)
+        }
+        Ok(Request::Sync { .. } | Request::Discard) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let message = "SYNC/DISCARD are shard-level; the router's prober runs replica \
+                           catch-up itself"
+                .to_string();
             (Response::Err { code: ErrorCode::BadRequest, message }, false)
         }
         Ok(Request::Epoch) => (handle_epoch(shared), false),
@@ -515,7 +529,7 @@ struct MergedStats {
 }
 
 /// The shard counters that aggregate by addition.
-const SUMMED_FIELDS: [&str; 11] = [
+const SUMMED_FIELDS: [&str; 16] = [
     "workers",
     "requests",
     "ok",
@@ -527,6 +541,11 @@ const SUMMED_FIELDS: [&str; 11] = [
     "updates_pending",
     "reloads",
     "cache_len",
+    "wal_replayed_records",
+    "wal_replayed_ops",
+    "wal_truncated_bytes",
+    "wal_compactions",
+    "sync_served",
 ];
 
 impl MergedStats {
@@ -654,6 +673,12 @@ fn handle_stats(shared: &Arc<Shared>) -> Response {
         field("router_lat_p90_us", rp90.to_string()),
         field("router_lat_p99_us", rp99.to_string()),
     ];
+    // Prober-side catch-up totals (replicas healed, epoch barriers and ops
+    // replayed onto them) — router-level, not summed from shard replies.
+    let (healed, epochs_replayed, ops_replayed) = shared.pools.catchup_counters();
+    fields.push(field("router_catchup_replicas", healed.to_string()));
+    fields.push(field("router_catchup_epochs", epochs_replayed.to_string()));
+    fields.push(field("router_catchup_ops", ops_replayed.to_string()));
     for key in SUMMED_FIELDS {
         fields.push(field(key, merged.sums[key].to_string()));
     }

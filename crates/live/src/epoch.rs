@@ -38,9 +38,17 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// A store publishing `handle` at epoch 1.
     pub fn new(handle: EngineHandle) -> Self {
+        Self::new_at(handle, 1)
+    }
+
+    /// A store publishing `handle` at an arbitrary starting epoch — how a
+    /// replica that replayed a durable log resumes at its pre-crash epoch
+    /// instead of restarting the count (which would make it look stale to
+    /// an epoch-comparing prober forever).
+    pub fn new_at(handle: EngineHandle, epoch: u64) -> Self {
         Self {
-            epoch: AtomicU64::new(1),
-            current: RwLock::new(Arc::new(Snapshot { epoch: 1, handle })),
+            epoch: AtomicU64::new(epoch),
+            current: RwLock::new(Arc::new(Snapshot { epoch, handle })),
         }
     }
 
@@ -93,6 +101,14 @@ mod tests {
         assert_eq!(store.swap(handle()), 3);
         assert_eq!(store.epoch(), 3);
         assert_eq!(store.current().epoch, 3);
+    }
+
+    #[test]
+    fn new_at_resumes_a_recovered_epoch() {
+        let store = SnapshotStore::new_at(handle(), 7);
+        assert_eq!(store.epoch(), 7);
+        assert_eq!(store.current().epoch, 7);
+        assert_eq!(store.swap(handle()), 8);
     }
 
     #[test]

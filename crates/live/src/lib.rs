@@ -18,6 +18,13 @@
 //!   per-draw RNG streams. The repaired index is bit-identical to a
 //!   from-scratch rebuild; past a dirty-fraction threshold it falls back
 //!   to one.
+//! * **Durable log + catch-up bundles** ([`wal`]) — the update log made
+//!   crash-safe and shippable: acked ops are fsynced to an append-only
+//!   [`Wal`] before the `UPDATE` ack, torn tails truncate on open (loud
+//!   error on mid-record corruption), the log compacts into an
+//!   epoch-stamped base snapshot past `PITEX_WAL_*` bounds, and a
+//!   [`SyncBundle`] ships the history suffix a stale replica replays to
+//!   rejoin its cluster bit-identically.
 //! * **Epoch-versioned snapshots** ([`epoch`]) — a [`SnapshotStore`] that
 //!   publishes `EngineHandle`s under a monotone epoch; query workers pin a
 //!   snapshot, poll the epoch atomically between requests, and rebuild
@@ -53,6 +60,7 @@ pub mod epoch;
 pub mod log;
 pub mod overlay;
 pub mod repair;
+pub mod wal;
 
 pub use epoch::{Snapshot, SnapshotStore};
 pub use log::{
@@ -60,3 +68,4 @@ pub use log::{
 };
 pub use overlay::{ModelOverlay, UpdateError};
 pub use repair::{repair_rr_index, RepairOptions, RepairReport};
+pub use wal::{replay, CommittedBatch, SyncBundle, Wal, WalError, WalOptions, WalRecovery};

@@ -8,7 +8,7 @@
 
 use crate::protocol::{ExplainReply, QueryRequest, ReloadReply, Request, Response, StatsReply};
 use pitex_core::EngineBackend;
-use pitex_live::UpdateOp;
+use pitex_live::{SyncBundle, UpdateOp};
 use pitex_support::stats::OnlineStats;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -108,7 +108,11 @@ impl ServeClient {
     pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
         let idempotent = matches!(
             request,
-            Request::Ping | Request::Stats | Request::Query(_) | Request::Explain(_)
+            Request::Ping
+                | Request::Stats
+                | Request::Query(_)
+                | Request::Explain(_)
+                | Request::Sync { .. }
         );
         let line = request.to_line();
         let reply = match self.roundtrip_line(&line) {
@@ -235,6 +239,28 @@ impl ServeClient {
         match self.request(&Request::Commit)? {
             Response::Reloaded(reply) => Ok(reply),
             other => Err(reply_error("RELOADED", other)),
+        }
+    }
+
+    /// `SYNC <from_epoch>` (admin): the committed history suffix past
+    /// `from_epoch` plus the donor's staged ops — what a stale replica
+    /// replays to catch up. Read-only on the donor, so it is retried like
+    /// the other idempotent verbs.
+    pub fn sync(&mut self, from_epoch: u64) -> std::io::Result<SyncBundle> {
+        match self.request(&Request::Sync { from_epoch })? {
+            Response::Synced(bundle) => Ok(bundle),
+            other => Err(reply_error("SYNCED", other)),
+        }
+    }
+
+    /// `DISCARD` (admin): drop every staged-but-uncommitted op and any
+    /// PREPAREd snapshot; returns `(epoch, dropped)`. Not retried — like
+    /// `UPDATE`, replaying it after a connection loss could discard ops
+    /// staged in between.
+    pub fn discard(&mut self) -> std::io::Result<(u64, u64)> {
+        match self.request(&Request::Discard)? {
+            Response::Discarded { epoch, dropped } => Ok((epoch, dropped)),
+            other => Err(reply_error("DISCARDED", other)),
         }
     }
 

@@ -43,6 +43,16 @@
 //!   shards; `STATS` exports the raw latency buckets (`lat_hist=`) so a
 //!   scatter-gather can merge distributions instead of averaging
 //!   percentiles.
+//! * **Durability + catch-up** — spawned with a WAL directory
+//!   ([`ServeOptions::wal`]), every acknowledged `UPDATE` is fsynced to an
+//!   epoch-stamped log *before* its ack, boot replays the recovered
+//!   history (resuming the pre-crash epoch, torn tails truncated, loud
+//!   error on corruption), and the log compacts into a base snapshot past
+//!   the `PITEX_WAL_*` bounds. The `SYNC <from_epoch>` verb streams the
+//!   committed-history suffix as a [`pitex_live::SyncBundle`] so a stale
+//!   replica (or the cluster prober acting for it) can replay its way
+//!   back to the current epoch — bit-identically, because both folding
+//!   and index repair are deterministic.
 //!
 //! ```
 //! use pitex_core::{EngineBackend, EngineHandle, PitexConfig};

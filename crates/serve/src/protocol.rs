@@ -24,6 +24,15 @@
 //! COMMIT                            phase 2: swap the PREPAREd snapshot in
 //!                                   (admin)
 //! EPOCH                             current snapshot epoch (admin)
+//! SYNC <from_epoch>                 stream the update-log suffix a stale
+//!                                   replica needs to replay from
+//!                                   `from_epoch` up to this server's
+//!                                   epoch (admin)
+//! DISCARD                           drop every staged-but-uncommitted op
+//!                                   (and any PREPAREd snapshot) — how a
+//!                                   rejoining replica yields its local
+//!                                   pending state to a catch-up donor's
+//!                                   (admin)
 //! QUIT                              close this connection
 //! SHUTDOWN                          gracefully stop the whole server
 //! ```
@@ -50,6 +59,11 @@
 //! RELOADED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
 //! PREPARED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
 //! EPOCH <e>
+//! SYNCED epoch=<e> base=<b> records=<n> pending=<p> bundle=<hex>
+//!                                   the committed batches after
+//!                                   `from_epoch` plus staged ops, as a
+//!                                   hex-armored [`SyncBundle`]
+//! DISCARDED epoch=<e> dropped=<n>   staged ops dropped; epoch unchanged
 //! BYE
 //! BUSY                              load shed: the request queue was full
 //! ERR <CODE> <message>              CODE ∈ BAD_REQUEST | UNKNOWN_USER |
@@ -63,7 +77,7 @@
 
 use pitex_core::plan::{RejectReason, RejectedPlan};
 use pitex_core::{registry, EngineBackend};
-use pitex_live::UpdateOp;
+use pitex_live::{SyncBundle, UpdateOp};
 use pitex_model::TagId;
 use std::collections::BTreeMap;
 
@@ -87,6 +101,15 @@ pub enum Request {
     Commit,
     /// Read the current snapshot epoch (admin-gated).
     Epoch,
+    /// Stream the update-log suffix after `from_epoch` (admin-gated) so a
+    /// stale replica can replay its way back to the current epoch.
+    Sync {
+        from_epoch: u64,
+    },
+    /// Drop every staged-but-uncommitted op and any prepared snapshot
+    /// (admin-gated) — the first step of replica catch-up, so a donor's
+    /// history replay cannot double-apply the rejoiner's local pending.
+    Discard,
     Quit,
     Shutdown,
 }
@@ -123,6 +146,8 @@ impl Request {
             Request::Prepare => "PREPARE".to_string(),
             Request::Commit => "COMMIT".to_string(),
             Request::Epoch => "EPOCH".to_string(),
+            Request::Sync { from_epoch } => format!("SYNC {from_epoch}"),
+            Request::Discard => "DISCARD".to_string(),
             Request::Quit => "QUIT".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
             Request::Query(q) => format_query_line("QUERY", q),
@@ -148,6 +173,13 @@ impl Request {
             "PREPARE" => Request::Prepare,
             "COMMIT" => Request::Commit,
             "EPOCH" => Request::Epoch,
+            "SYNC" => {
+                let from = tokens.next().ok_or("SYNC needs <from_epoch>")?;
+                let from_epoch =
+                    from.parse().map_err(|_| format!("bad from_epoch {from:?} (want u64)"))?;
+                Request::Sync { from_epoch }
+            }
+            "DISCARD" => Request::Discard,
             "QUIT" => Request::Quit,
             "SHUTDOWN" => Request::Shutdown,
             "QUERY" | "EXPLAIN" => {
@@ -405,6 +437,14 @@ pub enum Response {
     Prepared(ReloadReply),
     /// `EPOCH <e>`.
     Epoch(u64),
+    /// `SYNCED …` — the hex-armored catch-up history ([`SyncBundle`]).
+    Synced(SyncBundle),
+    /// `DISCARDED epoch=<e> dropped=<n>` — staged ops dropped, epoch
+    /// unchanged.
+    Discarded {
+        epoch: u64,
+        dropped: u64,
+    },
     Bye,
     Busy,
     Err {
@@ -499,6 +539,17 @@ impl Response {
             Response::Reloaded(r) => format!("RELOADED {}", format_reload_fields(r)),
             Response::Prepared(r) => format!("PREPARED {}", format_reload_fields(r)),
             Response::Epoch(e) => format!("EPOCH {e}"),
+            Response::Synced(bundle) => format!(
+                "SYNCED epoch={} base={} records={} pending={} bundle={}",
+                bundle.epoch,
+                bundle.base_epoch,
+                bundle.records.len(),
+                bundle.pending.len(),
+                bundle.to_hex()
+            ),
+            Response::Discarded { epoch, dropped } => {
+                format!("DISCARDED epoch={epoch} dropped={dropped}")
+            }
             Response::Stats(s) => {
                 let mut line = String::from("STATS");
                 for (k, v) in s.iter() {
@@ -597,6 +648,34 @@ impl Response {
                 let epoch = rest.trim().parse().map_err(|_| format!("bad epoch {rest:?}"))?;
                 Ok(Response::Epoch(epoch))
             }
+            "SYNCED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<String, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    Ok(kv(token, key)?.to_string())
+                };
+                let epoch: u64 =
+                    next("epoch")?.parse().map_err(|_| "bad epoch in SYNCED".to_string())?;
+                let _base = next("base")?;
+                let _records = next("records")?;
+                let _pending = next("pending")?;
+                let bundle = SyncBundle::from_hex(&next("bundle")?)?;
+                if bundle.epoch != epoch {
+                    return Err(format!(
+                        "SYNCED epoch field {epoch} disagrees with bundle epoch {}",
+                        bundle.epoch
+                    ));
+                }
+                Ok(Response::Synced(bundle))
+            }
+            "DISCARDED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<u64, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    kv(token, key)?.parse().map_err(|_| format!("bad {key} in DISCARDED"))
+                };
+                Ok(Response::Discarded { epoch: next("epoch")?, dropped: next("dropped")? })
+            }
             "STATS" => {
                 let mut fields = BTreeMap::new();
                 for token in rest.split_ascii_whitespace() {
@@ -650,6 +729,8 @@ mod tests {
             Request::Update(UpdateOp::AddEdge { src: 1, dst: 4, topics: vec![(0, 0.25)] }),
             Request::Update(UpdateOp::DetachTag { tag: 2 }),
             Request::Update(UpdateOp::AddUser),
+            Request::Sync { from_epoch: 3 },
+            Request::Discard,
         ];
         for request in cases {
             assert_eq!(Request::parse(&request.to_line()), Ok(request));
@@ -696,6 +777,10 @@ mod tests {
             ("PREPARE 2", "trailing"),
             ("COMMIT fast", "trailing"),
             ("EPOCH 3", "trailing"),
+            ("SYNC", "needs <from_epoch>"),
+            ("SYNC x", "bad from_epoch"),
+            ("SYNC 1 2", "trailing"),
+            ("DISCARD all", "trailing"),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert!(err.contains(needle), "{line:?} -> {err:?}");
@@ -791,6 +876,22 @@ mod tests {
                 full: false,
             }),
             Response::Epoch(7),
+            Response::Synced(SyncBundle {
+                base_epoch: 1,
+                epoch: 3,
+                records: vec![
+                    pitex_live::CommittedBatch { epoch: 2, ops: vec![UpdateOp::AddUser] },
+                    pitex_live::CommittedBatch { epoch: 3, ops: vec![] },
+                ],
+                pending: vec![UpdateOp::DetachTag { tag: 1 }],
+            }),
+            Response::Synced(SyncBundle {
+                base_epoch: 5,
+                epoch: 5,
+                records: vec![],
+                pending: vec![],
+            }),
+            Response::Discarded { epoch: 4, dropped: 3 },
         ];
         for response in cases {
             let line = response.to_line();

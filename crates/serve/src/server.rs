@@ -45,20 +45,24 @@ use pitex_core::plan::PlanDecision;
 use pitex_core::registry::{self, CacheScope};
 use pitex_core::{EngineBackend, EngineHandle, PitexEngine};
 use pitex_index::DelayMatIndex;
-use pitex_live::{repair_rr_index, ModelOverlay, RepairOptions, Snapshot, SnapshotStore, UpdateOp};
+use pitex_live::{
+    repair_rr_index, replay, CommittedBatch, ModelOverlay, RepairOptions, Snapshot, SnapshotStore,
+    SyncBundle, UpdateOp, Wal, WalError, WalOptions, WalRecovery,
+};
 use pitex_model::{TagSet, TicModel};
 use pitex_support::lru::ShardedLru;
 use pitex_support::stats::{LatencyHistogram, OnlineStats};
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::spawn`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Worker threads, each with a private engine. At least 1.
     pub workers: usize,
@@ -76,6 +80,12 @@ pub struct ServeOptions {
     /// not configurable here: they travel inside the index artifact, so a
     /// repair always runs under the parameters the index was built with.
     pub repair: RepairOptions,
+    /// Directory for the durable update log (WAL). `None` disables
+    /// durability: acked `UPDATE`s live only in memory, exactly as before.
+    /// With a WAL, every `UPDATE` is fsynced before its ack, boot replays
+    /// the recovered history (restoring the pre-crash epoch), and the log
+    /// compacts into a base snapshot past the `PITEX_WAL_*` bounds.
+    pub wal: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -87,6 +97,7 @@ impl Default for ServeOptions {
             cache_capacity: 1024,
             admin: true,
             repair: RepairOptions::default(),
+            wal: None,
         }
     }
 }
@@ -144,6 +155,16 @@ struct Counters {
     updates_pending: AtomicU64,
     /// Snapshot swaps performed (`RELOAD`s that folded at least one op).
     reloads: AtomicU64,
+    /// Committed batches replayed from the WAL at boot.
+    wal_replayed_records: AtomicU64,
+    /// Ops replayed from the WAL at boot.
+    wal_replayed_ops: AtomicU64,
+    /// Torn-tail bytes truncated from the WAL at boot.
+    wal_truncated_bytes: AtomicU64,
+    /// WAL compactions performed since boot.
+    wal_compactions: AtomicU64,
+    /// `SYNC` requests answered with a bundle.
+    sync_served: AtomicU64,
 }
 
 /// A reload that has been folded and repaired but not yet swapped in —
@@ -165,6 +186,17 @@ struct StagedReload {
 struct AdminState {
     overlay: ModelOverlay,
     staged: Option<StagedReload>,
+    /// The durable log, when the server was spawned with a WAL directory.
+    /// Lives under the admin lock: every append happens while the op (or
+    /// swap) that warrants it is being processed.
+    wal: Option<Wal>,
+    /// In-memory committed history for `SYNC`: every epoch transition
+    /// since `history_base`, kept even without a WAL so a single healthy
+    /// peer can heal a whole quarantined shard.
+    history: Vec<CommittedBatch>,
+    /// Epoch the history starts after — `SYNC <e>` with `e < history_base`
+    /// cannot be served (the suffix was trimmed or compacted away).
+    history_base: u64,
 }
 
 /// Everything the acceptor, connections and workers share.
@@ -180,6 +212,9 @@ struct Shared {
     /// the admin lock (a slow PREPARE holds it across index repair).
     prepared: AtomicBool,
     options: ServeOptions,
+    /// Compaction bounds for the WAL (env-resolved once at spawn) —
+    /// also the in-memory history trim bound.
+    wal_options: WalOptions,
     cache: ShardedLru<(u32, usize, EngineBackend), CachedAnswer>,
     counters: Counters,
     /// Service-time distribution of `OK` replies, in microseconds.
@@ -197,6 +232,104 @@ const POLL: Duration = Duration::from_millis(50);
 /// disconnected instead of growing server memory without bound.
 const MAX_LINE_BYTES: usize = 4 * 1024;
 
+/// What boot-time WAL recovery hands to [`Server::spawn`]: the (possibly
+/// replayed) engine handle, the epoch to resume at, and the history the
+/// `SYNC` verb serves from.
+struct BootState {
+    handle: EngineHandle,
+    wal: Option<Wal>,
+    epoch: u64,
+    history: Vec<CommittedBatch>,
+    history_base: u64,
+    pending: Vec<UpdateOp>,
+    replayed_records: u64,
+    replayed_ops: u64,
+    truncated_bytes: u64,
+}
+
+/// WAL failures surface as boot errors: corruption must stop the server,
+/// not demote it to an amnesiac fresh start.
+fn wal_to_io(e: WalError) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, e.to_string())
+}
+
+/// Replays a recovered WAL over the engine the server was spawned with:
+/// fold the committed batches over the recovered base (or the spawn
+/// model when no `base.snap` exists), rebuild whatever indexes the
+/// backend holds — incremental repair is bit-identical to a rebuild, so
+/// the replayed replica converges to the same artifacts as a peer that
+/// took the ops live — and resume at the recovered epoch.
+fn restore_from_wal(
+    handle: EngineHandle,
+    recovery: WalRecovery,
+    repair: &RepairOptions,
+) -> std::io::Result<BootState> {
+    let replayed_records = recovery.committed.len() as u64;
+    let truncated_bytes = recovery.truncated_bytes;
+    let epoch = recovery.epoch();
+    let had_snapshot = recovery.base_model.is_some();
+    let history = recovery.committed;
+    let history_base = recovery.base_epoch;
+    let pending = recovery.pending;
+
+    let base: Arc<TicModel> = match recovery.base_model {
+        Some(model) => Arc::new(model),
+        None => handle.model().clone(),
+    };
+    // No compacted base and no committed mutations: the spawn model *is*
+    // the recovered world — resume its epoch without rebuilding anything.
+    if !had_snapshot && history.iter().all(|b| b.ops.is_empty()) {
+        return Ok(BootState {
+            handle,
+            wal: None,
+            epoch,
+            history,
+            history_base,
+            pending,
+            replayed_records,
+            replayed_ops: 0,
+            truncated_bytes,
+        });
+    }
+
+    let (new_model, replayed_ops) = replay(base, &history).map_err(wal_to_io)?;
+    let new_model = Arc::new(new_model);
+
+    let rr_index = handle.rr_index().map(|old_rr| {
+        let (repaired, _report) = repair_rr_index(old_rr, handle.model(), &new_model, repair);
+        Arc::new(repaired)
+    });
+    let delay_index = handle.delay_index().map(|old| {
+        Arc::new(DelayMatIndex::build_with_threads(
+            &new_model,
+            old.budget(),
+            old.seed(),
+            repair.threads.max(1),
+        ))
+    });
+    let new_handle = EngineHandle::with_indexes(
+        new_model,
+        handle.backend(),
+        rr_index,
+        delay_index,
+        *handle.config(),
+    )
+    .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    new_handle.planner().inherit(handle.planner());
+
+    Ok(BootState {
+        handle: new_handle,
+        wal: None,
+        epoch,
+        history,
+        history_base,
+        pending,
+        replayed_records,
+        replayed_ops,
+        truncated_bytes,
+    })
+}
+
 /// Namespace for [`Server::spawn`].
 pub struct Server;
 
@@ -213,22 +346,88 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let workers = options.workers.max(1);
-        let overlay = ModelOverlay::new(handle.model().clone());
+        let queue_depth = options.queue_depth.max(1);
+        let wal_options = WalOptions::from_env();
+
+        // With a WAL directory, recover the durable history before serving:
+        // replay it over the recovered base, rebuild the indexes (repair is
+        // bit-identical to a rebuild), and resume at the pre-crash epoch.
+        // Corruption is a loud boot failure — a replica must not serve from
+        // a log it cannot trust.
+        let wal_boot = match &options.wal {
+            Some(dir) => {
+                let (wal, recovery) = Wal::open(dir, 1, wal_options).map_err(wal_to_io)?;
+                Some((wal, recovery))
+            }
+            None => None,
+        };
+        let boot = match wal_boot {
+            Some((wal, recovery)) => {
+                let boot = restore_from_wal(handle, recovery, &options.repair)?;
+                BootState { wal: Some(wal), ..boot }
+            }
+            None => BootState {
+                handle,
+                wal: None,
+                epoch: 1,
+                history: Vec::new(),
+                history_base: 1,
+                pending: Vec::new(),
+                replayed_records: 0,
+                replayed_ops: 0,
+                truncated_bytes: 0,
+            },
+        };
+        let BootState {
+            handle,
+            wal,
+            epoch,
+            history,
+            history_base,
+            pending,
+            replayed_records,
+            replayed_ops,
+            truncated_bytes,
+        } = boot;
+
+        let mut overlay = ModelOverlay::new(handle.model().clone());
+        for op in pending {
+            // These ops were validated before they were acked and logged;
+            // the recovered base they extend is the same world.
+            overlay.apply(op).map_err(|e| {
+                std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("wal pending op no longer applies: {e}"),
+                )
+            })?;
+        }
+        let pending_count = overlay.pending() as u64;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             reaped_panic: AtomicBool::new(false),
             cache: ShardedLru::with_shards(options.cache_capacity, workers.max(4)),
-            store: SnapshotStore::new(handle),
-            admin_state: Mutex::new(AdminState { overlay, staged: None }),
+            store: SnapshotStore::new_at(handle, epoch),
+            admin_state: Mutex::new(AdminState {
+                overlay,
+                staged: None,
+                wal,
+                history,
+                history_base,
+            }),
             prepared: AtomicBool::new(false),
             options,
+            wal_options,
             counters: Counters::default(),
             latency: Mutex::new((LatencyHistogram::new(), OnlineStats::new())),
             started: Instant::now(),
             connections: Mutex::new(Vec::new()),
         });
+        shared.counters.wal_replayed_records.store(replayed_records, Ordering::Relaxed);
+        shared.counters.wal_replayed_ops.store(replayed_ops, Ordering::Relaxed);
+        shared.counters.wal_truncated_bytes.store(truncated_bytes, Ordering::Relaxed);
+        shared.counters.updates_pending.store(pending_count, Ordering::Relaxed);
 
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(options.queue_depth.max(1));
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_depth);
         let job_rx = Arc::new(Mutex::new(job_rx));
 
         let mut threads = Vec::with_capacity(workers + 1);
@@ -577,13 +776,17 @@ fn handle_line(
             | Request::Reload
             | Request::Prepare
             | Request::Commit
-            | Request::Epoch,
+            | Request::Epoch
+            | Request::Sync { .. }
+            | Request::Discard,
         ) if !shared.options.admin => denied(),
         Ok(Request::Update(op)) => (handle_update(shared, op), false),
         Ok(Request::Reload) => (handle_reload(shared), false),
         Ok(Request::Prepare) => (handle_prepare(shared), false),
         Ok(Request::Commit) => (handle_commit(shared), false),
         Ok(Request::Epoch) => (Response::Epoch(shared.store.epoch()), false),
+        Ok(Request::Sync { from_epoch }) => (handle_sync(shared, from_epoch), false),
+        Ok(Request::Discard) => (handle_discard(shared), false),
         Err(reason) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             (Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
@@ -841,8 +1044,29 @@ fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
         let message = "a prepared reload is pending; COMMIT (or RELOAD) it first".to_string();
         return Response::Err { code: ErrorCode::BadUpdate, message };
     }
-    match admin.overlay.apply(op) {
+    match admin.overlay.apply(op.clone()) {
         Ok(()) => {
+            // Durability before acknowledgement: the op hits the fsynced
+            // log *before* the `UPDATED` reply. If the append fails the op
+            // is rolled back out of the overlay — an unacked op must not
+            // linger staged-but-not-durable, or a crash would silently
+            // diverge this replica from what its clients were told.
+            if let Some(wal) = admin.wal.as_mut() {
+                if let Err(e) = wal.append_staged(shared.store.epoch(), &op) {
+                    let kept: Vec<UpdateOp> = {
+                        let ops = admin.overlay.ops();
+                        ops[..ops.len() - 1].to_vec()
+                    };
+                    let mut overlay = ModelOverlay::new(admin.overlay.base().clone());
+                    for prior in kept {
+                        overlay.apply(prior).expect("previously validated ops re-apply");
+                    }
+                    admin.overlay = overlay;
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let message = format!("wal append failed: {e}");
+                    return Response::Err { code: ErrorCode::Internal, message };
+                }
+            }
             shared.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
             let pending = admin.overlay.pending() as u64;
             shared.counters.updates_pending.store(pending, Ordering::Relaxed);
@@ -923,6 +1147,10 @@ fn commit_staged(
     staged: StagedReload,
 ) -> ReloadReply {
     let StagedReload { new_model, handle, affected, dirty_members, mut reply } = staged;
+    // The ops this swap folds (empty for an epoch-only swap): they become
+    // the `SYNC` history entry for the new epoch, and the WAL's commit
+    // record folds the staged records that precede it.
+    let folded_ops = admin.overlay.ops().to_vec();
     reply.epoch = shared.store.swap(handle);
 
     // Sweep strictly after the swap: combined with the epoch check before
@@ -933,11 +1161,62 @@ fn commit_staged(
         invalidate_cache(shared, affected, dirty_members);
     }
 
-    admin.overlay = ModelOverlay::new(new_model);
+    admin.overlay = ModelOverlay::new(new_model.clone());
+    admin.history.push(CommittedBatch { epoch: reply.epoch, ops: folded_ops });
+    trim_history(admin, &shared.wal_options);
+
+    if let Some(wal) = admin.wal.as_mut() {
+        // The commit record lands *after* the swap: a crash between the
+        // two leaves this replica one epoch behind its own disk claims
+        // nothing — boot replays to the last durable commit and the
+        // prober heals the rest. A failed append is counted, not unswapped
+        // (the swap already happened; the staged records are still there,
+        // so recovery merely resumes one epoch back).
+        if let Err(e) = wal.append_commit(reply.epoch, reply.folded) {
+            log_wal_failure(shared, "commit", &e);
+        } else if wal.should_compact() {
+            // Pending is empty by construction: UPDATE is refused while a
+            // reload is staged, and the overlay was reset just above.
+            match wal.compact(&new_model, reply.epoch, &[]) {
+                Ok(()) => {
+                    shared.counters.wal_compactions.fetch_add(1, Ordering::Relaxed);
+                    // The on-disk history was folded into `base.snap`;
+                    // mirror that in the SYNC history so both tell the
+                    // same story about how far back they can serve.
+                    admin.history.clear();
+                    admin.history_base = reply.epoch;
+                }
+                Err(e) => log_wal_failure(shared, "compaction", &e),
+            }
+        }
+    }
+
     shared.prepared.store(false, Ordering::Relaxed);
     shared.counters.updates_pending.store(0, Ordering::Relaxed);
     shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
     reply
+}
+
+/// Books a non-fatal WAL failure (the swap already happened; recovery
+/// degrades to "one epoch behind", which the prober heals).
+fn log_wal_failure(shared: &Arc<Shared>, what: &str, e: &WalError) {
+    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    eprintln!("pitex-serve: wal {what} failed: {e}");
+}
+
+/// Bounds the in-memory `SYNC` history by the same ops budget as the WAL
+/// (plus a hard batch cap): a donor serves catch-up from RAM, so a
+/// replica further behind than the window must resync from artifacts.
+fn trim_history(admin: &mut AdminState, options: &WalOptions) {
+    const MAX_HISTORY_BATCHES: usize = 4096;
+    let mut total_ops: u64 = admin.history.iter().map(|b| b.ops.len() as u64).sum();
+    while admin.history.len() > 1
+        && (total_ops > options.max_ops || admin.history.len() > MAX_HISTORY_BATCHES)
+    {
+        let dropped = admin.history.remove(0);
+        total_ops -= dropped.ops.len() as u64;
+        admin.history_base = dropped.epoch;
+    }
 }
 
 /// `RELOAD`: fold the staged ops into a fresh model, repair whatever index
@@ -1012,6 +1291,57 @@ fn handle_commit(shared: &Arc<Shared>) -> Response {
             Response::Reloaded(ReloadReply { epoch, ..ReloadReply::default() })
         }
     }
+}
+
+/// `SYNC <from_epoch>`: the donor half of replica catch-up. Streams the
+/// committed history suffix (every epoch transition past `from_epoch`)
+/// plus the staged-but-uncommitted ops, so the rejoiner can replay its way
+/// to this replica's exact state. A request from before the history window
+/// (trimmed or compacted away) is refused — the caller must resync from
+/// artifacts instead.
+fn handle_sync(shared: &Arc<Shared>, from_epoch: u64) -> Response {
+    let admin = shared.admin_state.lock().unwrap();
+    if from_epoch < admin.history_base {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let message = format!(
+            "history starts at epoch {} (older epochs were compacted); \
+             a replica at epoch {from_epoch} must resync from artifacts",
+            admin.history_base
+        );
+        return Response::Err { code: ErrorCode::BadRequest, message };
+    }
+    let records: Vec<CommittedBatch> =
+        admin.history.iter().filter(|b| b.epoch > from_epoch).cloned().collect();
+    let bundle = SyncBundle {
+        base_epoch: admin.history_base,
+        epoch: shared.store.epoch(),
+        records,
+        pending: admin.overlay.ops().to_vec(),
+    };
+    shared.counters.sync_served.fetch_add(1, Ordering::Relaxed);
+    Response::Synced(bundle)
+}
+
+/// `DISCARD`: drop every staged-but-uncommitted op (and any PREPAREd
+/// snapshot). This is the first step of replica catch-up: the rejoiner
+/// yields whatever it staged locally (e.g. pending ops restored from its
+/// own WAL) so the donor's history replay cannot double-apply them. The
+/// WAL is rewritten without the staged records — a crash after a DISCARD
+/// must not resurrect the discarded ops.
+fn handle_discard(shared: &Arc<Shared>) -> Response {
+    let mut admin = shared.admin_state.lock().unwrap();
+    let dropped = admin.overlay.pending() as u64;
+    let snapshot = shared.store.current();
+    admin.overlay = ModelOverlay::new(snapshot.handle.model().clone());
+    admin.staged = None;
+    if let Some(wal) = admin.wal.as_mut() {
+        if let Err(e) = wal.compact(snapshot.handle.model(), snapshot.epoch, &[]) {
+            log_wal_failure(shared, "discard rewrite", &e);
+        }
+    }
+    shared.prepared.store(false, Ordering::Relaxed);
+    shared.counters.updates_pending.store(0, Ordering::Relaxed);
+    Response::Discarded { epoch: snapshot.epoch, dropped }
 }
 
 /// Post-swap cache sweep. `affected` is the set of users whose *true*
@@ -1102,6 +1432,12 @@ fn stats_reply(shared: &Shared) -> StatsReply {
         field("updates_applied", c.updates_applied.load(Ordering::Relaxed).to_string()),
         field("updates_pending", c.updates_pending.load(Ordering::Relaxed).to_string()),
         field("reloads", c.reloads.load(Ordering::Relaxed).to_string()),
+        field("wal", u8::from(shared.options.wal.is_some()).to_string()),
+        field("wal_replayed_records", c.wal_replayed_records.load(Ordering::Relaxed).to_string()),
+        field("wal_replayed_ops", c.wal_replayed_ops.load(Ordering::Relaxed).to_string()),
+        field("wal_truncated_bytes", c.wal_truncated_bytes.load(Ordering::Relaxed).to_string()),
+        field("wal_compactions", c.wal_compactions.load(Ordering::Relaxed).to_string()),
+        field("sync_served", c.sync_served.load(Ordering::Relaxed).to_string()),
         field("requests", c.requests.load(Ordering::Relaxed).to_string()),
         field("ok", ok.to_string()),
         field("busy", c.busy.load(Ordering::Relaxed).to_string()),

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh PITEX_BENCH_JSON run to the
+committed baselines.
+
+Usage:
+    scripts/bench_diff.py <current-dir> <baseline-dir> [--threshold 0.20] [--normalize]
+
+Both directories hold ``BENCH_<target>.json`` files as written by the
+vendored criterion shim::
+
+    {"target":"bench_serve","results":[{"name":"...","iters":N,"ns_per_iter":F}]}
+
+For every baseline target, every baseline benchmark must (a) still exist in
+the current run and (b) not be more than ``threshold`` slower (relative
+``ns_per_iter``). With ``--normalize``, each benchmark's slowdown is
+measured against the *median* current/baseline ratio across all benchmarks
+instead of 1.0 — a machine that is uniformly 2x slower than the one that
+wrote the baselines moves the median, not the verdict, so only benchmarks
+that regressed relative to their peers fail. That is the mode CI uses,
+since runner hardware differs from wherever the baselines were recorded.
+New benchmarks with no baseline are reported but pass — refresh the
+baseline to start tracking them. Exit code 1 on any regression or coverage
+loss, with one line per finding (GitHub-annotation formatted when running
+in CI).
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict[str, float]:
+    doc = json.loads(path.read_text())
+    return {row["name"]: float(row["ns_per_iter"]) for row in doc["results"]}
+
+
+def annotate(kind: str, message: str) -> None:
+    prefix = f"::{kind}::" if os.environ.get("GITHUB_ACTIONS") else f"{kind}: "
+    print(f"{prefix}{message}")
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_dir, baseline_dir = Path(args[0]), Path(args[1])
+    threshold = 0.20
+    normalize = "--normalize" in argv
+    for i, a in enumerate(argv):
+        if a == "--threshold":
+            threshold = float(argv[i + 1])
+
+    # First pass: collect every (baseline, current) pair so the
+    # normalization median spans all targets, not one file at a time.
+    pairs: list[tuple[str, str, float, float]] = []
+    failures = 0
+    for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            annotate("error", f"{baseline_path.name}: no current run (bench target removed?)")
+            failures += 1
+            continue
+        baseline = load(baseline_path)
+        current = load(current_path)
+        for name, base_ns in sorted(baseline.items()):
+            if name not in current:
+                annotate("error", f"{baseline_path.name}: benchmark {name!r} disappeared")
+                failures += 1
+                continue
+            pairs.append((baseline_path.name, name, base_ns, current[name]))
+        for name in sorted(set(current) - set(baseline)):
+            annotate(
+                "notice",
+                f"{baseline_path.name}: new benchmark {name!r} has no baseline "
+                "(refresh benchmarks/baselines to track it)",
+            )
+
+    ratios = sorted(c / b for _, _, b, c in pairs if b > 0)
+    machine = 1.0
+    if normalize and ratios:
+        machine = ratios[len(ratios) // 2]
+        print(f"machine factor (median current/baseline ratio): {machine:.2f}x")
+
+    compared = 0
+    for file_name, name, base_ns, cur_ns in pairs:
+        compared += 1
+        ratio = cur_ns / (base_ns * machine) if base_ns > 0 else float("inf")
+        verdict = (
+            f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/iter "
+            f"({ratio:.2f}x the normalized baseline)"
+        )
+        if ratio > 1.0 + threshold:
+            annotate("error", f"{file_name}: REGRESSION {verdict}")
+            failures += 1
+        else:
+            print(f"  ok {file_name}: {verdict}")
+    if compared == 0 and failures == 0:
+        annotate("error", f"no baselines found under {baseline_dir}")
+        return 1
+    print(f"compared {compared} benchmarks against baseline, {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -116,7 +116,7 @@ USAGE:
                [--explain] [--timeout-us N] [--top N] [--epsilon F] [--delta F] [--seed N]
   pitex serve  --model FILE [--backend NAME] [--index FILE] [--port N] [--threads N]
                [--cache N] [--queue N] [--deadline-ms N] [--epsilon F] [--delta F] [--seed N]
-               [--dirty-threshold F] [--no-admin]
+               [--dirty-threshold F] [--no-admin] [--wal DIR]
   pitex update --model FILE --out FILE (--ops FILE | --op \"SET_EDGE 0 1 0:0.9\")
                [--index FILE --index-out FILE [--dirty-threshold F]]
   pitex client --addr HOST:PORT (--user N --k N [--timeout-us N] [--repeat N]
@@ -137,6 +137,12 @@ BACKENDS (--backend / --method): lazy (default), mc, rr, tim, exact, lt,
 SHARDMAP: --replicas lists shards separated by ';', each shard its replica
           addresses separated by ','. A router is a drop-in single server:
           point `pitex client` at it unchanged.
+
+WAL:      `serve --wal DIR` persists every acknowledged UPDATE to an
+          epoch-stamped log (fsynced before the ack); a restart replays it
+          and resumes at the pre-crash epoch. PITEX_WAL_MAX_BYTES /
+          PITEX_WAL_MAX_OPS bound the log before it compacts into DIR's
+          base snapshot.
 
 UPDATE OPS: ADD_EDGE s d z:p[,z:p..] | REMOVE_EDGE s d | SET_EDGE s d z:p[,..]
             | ATTACH_TAG w z:p[,..] | DETACH_TAG w | ADD_USER  ('-' = empty row)";
@@ -445,19 +451,24 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         cache_capacity: opts.get("cache").map(|s| parse(s, "--cache")).transpose()?.unwrap_or(1024),
         admin: !opts.contains_key("no-admin"),
         repair: repair_from_opts(opts)?,
+        wal: opts.get("wal").map(std::path::PathBuf::from),
     };
-    let server = Server::spawn(handle, ("127.0.0.1", port), options)
+    let server = Server::spawn(handle, ("127.0.0.1", port), options.clone())
         .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
     // One parseable line for scripts (stdout is line-buffered: flushed now),
     // then block until a client sends SHUTDOWN.
     outln!(
-        "pitex_serve listening on {} [{} backend, {} workers, queue {}, cache {}, deadline {}]",
+        "pitex_serve listening on {} [{} backend, {} workers, queue {}, cache {}, deadline {}{}]",
         server.addr(),
         backend.label(),
         options.workers.max(1),
         options.queue_depth,
         options.cache_capacity,
-        human_duration(options.default_deadline)
+        human_duration(options.default_deadline),
+        match &options.wal {
+            Some(dir) => format!(", wal {}", dir.display()),
+            None => String::new(),
+        }
     );
     server.join().map_err(|_| "a server thread panicked".to_string())?;
     outln!("pitex_serve stopped");

@@ -355,7 +355,109 @@ fn router_rejects_shard_level_barrier_verbs() {
             other => panic!("{line}: expected ERR, got {other:?}"),
         }
     }
+    // SYNC/DISCARD are likewise shard-level: the router's own prober
+    // drives catch-up, a client must not run it through the front door.
+    for line in ["SYNC 1", "DISCARD"] {
+        let raw = client.roundtrip_line(line).unwrap();
+        match Response::parse(&raw).unwrap() {
+            Response::Err { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest, "{line}");
+                assert!(message.contains("prober"), "{line}: {message}");
+            }
+            other => panic!("{line}: expected ERR, got {other:?}"),
+        }
+    }
     cluster.stop();
+}
+
+/// The PR 6 self-healing acceptance test — the flip of PR 4's "a stale
+/// replica stays quarantined": a replica that died, missed acknowledged
+/// `UPDATE`s *and* the reload wave that folded them, and came back at the
+/// old epoch rejoins automatically — no operator resync — with zero failed
+/// queries through the whole catch-up window and answers bit-identical to
+/// the replica that never died.
+#[test]
+fn killed_replica_rejoins_with_zero_failed_queries_and_identical_answers() {
+    let a = boot_shard();
+    let b = boot_shard();
+    let b_addr = b.addr();
+    let map = ShardMap::new(vec![vec![a.addr().to_string(), b.addr().to_string()]]).unwrap();
+    let options =
+        RouterOptions { probe_interval: Duration::from_millis(50), ..RouterOptions::default() };
+    let router = Router::spawn(map, ("127.0.0.1", 0), options).unwrap();
+    let mut client = ServeClient::connect(router.addr()).unwrap();
+
+    // Warm the pools, then kill replica b outright.
+    for user in 0..USERS {
+        let Response::Ok(_) = client.query(user, 2).unwrap() else { panic!() };
+    }
+    b.stop().unwrap();
+
+    // The cluster mutates while b is dead: two acknowledged updates and
+    // the barrier that folds them. b missed all of it.
+    let ops = [
+        UpdateOp::parse_text("DETACH_TAG 2").unwrap(),
+        UpdateOp::parse_text("DETACH_TAG 3").unwrap(),
+    ];
+    for op in &ops {
+        client.update(op.clone()).unwrap();
+    }
+    assert_eq!(client.reload().unwrap().epoch, 2);
+    let mut overlay = ModelOverlay::new(Arc::new(TicModel::paper_example()));
+    overlay.apply_all(ops.iter().cloned()).unwrap();
+    let new_truth = ground_truth(&overlay.compact());
+
+    // Restart b on its old address with the *pre-update* model: alive but
+    // one epoch and two ops behind the shard.
+    let model = Arc::new(TicModel::paper_example());
+    let handle = EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+    let b2 = Server::spawn(handle, b_addr, ServeOptions::default()).unwrap();
+
+    // Zero failed queries through the catch-up window: hammer the router
+    // until the prober has healed and readmitted b. Every answer along the
+    // way must be the post-update truth — never an error, never the stale
+    // world the rejoiner came back with.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut rejoined = false;
+    while std::time::Instant::now() < deadline {
+        for user in 0..USERS {
+            let Response::Ok(reply) = client.query(user, 2).unwrap() else {
+                panic!("user {user}: query failed during the catch-up window")
+            };
+            assert_eq!(reply.tags, new_truth[user as usize].0, "user {user}: stale answer");
+            assert_eq!(reply.spread, new_truth[user as usize].1, "user {user}");
+        }
+        let stats = client.stats().expect("scatter STATS must keep working");
+        if stats.get_u64("replicas_up") == Some(2) {
+            rejoined = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(rejoined, "the killed replica never rejoined within 10s");
+
+    // The heal is visible in the router's STATS...
+    let stats = client.stats().unwrap();
+    assert!(stats.get_u64("router_catchup_replicas").unwrap() >= 1, "the prober healed b");
+    assert!(stats.get_u64("router_catchup_ops").unwrap() >= 2, "both missed ops replayed");
+    assert_eq!(stats.get_u64("epoch"), Some(2), "one coherent epoch across the scatter");
+
+    // ...and the healed replica answers bit-identically to the one that
+    // never died, for every user, asked directly.
+    let mut on_a = ServeClient::connect(a.addr()).unwrap();
+    let mut on_b = ServeClient::connect(b_addr).unwrap();
+    assert_eq!(on_b.epoch().unwrap(), 2, "b resumed the shard epoch");
+    for user in 0..USERS {
+        let Response::Ok(from_a) = on_a.query(user, 2).unwrap() else { panic!() };
+        let Response::Ok(from_b) = on_b.query(user, 2).unwrap() else { panic!() };
+        assert_eq!(from_a.tags, from_b.tags, "user {user}: healed replica diverges");
+        assert_eq!(from_a.spread, from_b.spread, "user {user}: spread diverges");
+        assert_eq!(from_b.tags, new_truth[user as usize].0, "user {user}");
+    }
+
+    router.stop().expect("no router thread may panic");
+    a.stop().unwrap();
+    b2.stop().unwrap();
 }
 
 // §7.1 workload sharding skew: hash-sharding the high/mid/low query

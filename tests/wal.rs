@@ -1,0 +1,322 @@
+//! Fault-injection suite for the durable update log.
+//!
+//! The WAL's contract is *no acknowledged update is ever lost*: `UPDATE`
+//! acks only after the op is fsynced, a restart replays the log back to
+//! the pre-crash epoch, a torn tail (the crash landed mid-append) is
+//! truncated silently, and anything worse — a complete record whose bytes
+//! changed — fails the boot loudly rather than serving a corrupted world.
+//! This suite proves each clause with real faults: a `kill -9` against a
+//! live `pitex serve` process mid-update-stream, byte-level tail tearing
+//! and mid-record corruption against the on-disk log, and a property test
+//! pinning WAL replay (from every intermediate epoch) to the
+//! overlay-compaction oracle.
+
+use pitex::live::{replay, CommittedBatch, Wal, WalOptions};
+use pitex::prelude::*;
+use pitex::serve::{Response, ServeClient, ServeOptions, Server};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pitex-wal-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn model_bytes(model: &TicModel) -> Vec<u8> {
+    pitex::model::serial::to_bytes(model)
+}
+
+fn boot_with_wal(dir: &std::path::Path) -> std::io::Result<pitex::serve::ServerHandle> {
+    let model = Arc::new(TicModel::paper_example());
+    let handle = EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+    let options = ServeOptions { wal: Some(dir.to_path_buf()), ..ServeOptions::default() };
+    Server::spawn(handle, ("127.0.0.1", 0), options)
+}
+
+/// The headline fault: a real `pitex serve --wal` process is killed with
+/// SIGKILL (`kill -9`) in the middle of an update stream. Every update the
+/// client saw acknowledged must survive into the recovered log — the
+/// fsync-before-ack ordering is exactly what this pins — while an
+/// unacknowledged tail may be torn and silently truncated. A fresh server
+/// booted on the same WAL directory resumes the pre-crash epoch with the
+/// committed history applied and the acknowledged pending tail re-staged.
+#[test]
+fn kill_dash_nine_loses_no_acknowledged_update() {
+    let dir = tmp_dir("kill9");
+    let model_path = dir.join("model.bin");
+    pitex::model::serial::save(&TicModel::paper_example(), &model_path).unwrap();
+    let wal_dir = dir.join("wal");
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pitex"))
+        .args([
+            "serve",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--backend",
+            "exact",
+            "--port",
+            "0",
+            "--wal",
+            wal_dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawning the pitex binary");
+    // First stdout line: "pitex_serve listening on 127.0.0.1:PORT [...]".
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split_whitespace()
+        .find(|tok| tok.contains(':'))
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+
+    let mut client = ServeClient::connect(addr.as_str()).unwrap();
+    // One committed epoch first, so recovery crosses a commit record too.
+    client.update(UpdateOp::DetachTag { tag: 2 }).unwrap();
+    assert_eq!(client.reload().unwrap().epoch, 2);
+    // Now the stream: acks counted one by one until the process dies.
+    let mut acked = 0u64;
+    for _ in 0..64 {
+        if acked == 24 {
+            // Mid-stream, not between streams: updates 25.. race the kill.
+            child.kill().unwrap();
+        }
+        match client.update(UpdateOp::AddUser) {
+            Ok(_) => acked += 1,
+            Err(_) => break,
+        }
+    }
+    child.wait().unwrap();
+    assert!(acked >= 24, "the stream must have been running when the kill landed");
+
+    // Recover the log directly: the committed DETACH_TAG batch is intact
+    // and *at least* every acknowledged AddUser survived as pending.
+    let (_, recovery) = Wal::open(&wal_dir, 1, WalOptions::default()).unwrap();
+    assert_eq!(recovery.epoch(), 2, "the pre-crash epoch is in the log");
+    let committed_ops: usize = recovery.committed.iter().map(|b| b.ops.len()).sum();
+    assert_eq!(committed_ops, 1, "epoch 2 committed exactly the detach");
+    assert!(
+        recovery.pending.len() as u64 >= acked,
+        "{} acknowledged updates but only {} recovered — an ack outran its fsync",
+        acked,
+        recovery.pending.len()
+    );
+
+    // A fresh server on the same directory resumes where the dead one left
+    // off: epoch 2, the detach folded in, the acknowledged tail re-staged.
+    let server = boot_with_wal(&wal_dir).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    assert_eq!(client.epoch().unwrap(), 2);
+    let stats = client.stats().unwrap();
+    assert!(stats.get_u64("updates_pending").unwrap() >= acked);
+    assert!(stats.get_u64("wal_replayed_ops").unwrap() >= 1);
+    let Response::Ok(reply) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+    assert_eq!(reply.tags, vec![0, 1], "the committed detach is visible after recovery");
+    server.stop().unwrap();
+}
+
+/// A torn tail — the crash landed mid-append, leaving a half-written frame
+/// at the end of `update.wal` — is truncated on boot: every complete
+/// record before it survives, and the server reports the surgery in
+/// `STATS wal_truncated_bytes` instead of refusing to start.
+#[test]
+fn torn_tail_is_truncated_on_boot() {
+    let dir = tmp_dir("torn");
+    {
+        let (mut wal, _) = Wal::open(&dir, 1, WalOptions::default()).unwrap();
+        wal.append_staged(1, &UpdateOp::DetachTag { tag: 2 }).unwrap();
+        wal.append_commit(2, 1).unwrap();
+        wal.append_staged(2, &UpdateOp::DetachTag { tag: 3 }).unwrap();
+    }
+    // Tear the tail: a frame that claims 64 payload bytes but has 7.
+    let mut file = std::fs::OpenOptions::new().append(true).open(dir.join("update.wal")).unwrap();
+    file.write_all(&64u32.to_le_bytes()).unwrap();
+    file.write_all(&[0xAB; 7]).unwrap();
+    drop(file);
+
+    let server = boot_with_wal(&dir).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    assert_eq!(client.epoch().unwrap(), 2);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get_u64("wal_truncated_bytes"), Some(11), "4-byte len + 7 torn bytes");
+    assert_eq!(stats.get_u64("updates_pending"), Some(1), "the complete records survived");
+    let Response::Ok(reply) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+    assert_eq!(reply.tags, vec![0, 1]);
+    server.stop().unwrap();
+}
+
+/// Corruption *inside* a complete record — bytes changed under an intact
+/// frame — is not a crash artifact and must never be repaired by guesswork:
+/// the boot fails loudly so the operator resyncs from a peer or artifact.
+#[test]
+fn mid_record_corruption_refuses_to_boot() {
+    let dir = tmp_dir("corrupt");
+    {
+        let (mut wal, _) = Wal::open(&dir, 1, WalOptions::default()).unwrap();
+        wal.append_staged(1, &UpdateOp::DetachTag { tag: 2 }).unwrap();
+        wal.append_commit(2, 1).unwrap();
+    }
+    let path = dir.join("update.wal");
+    let record_start = {
+        let mut file = std::fs::File::open(&path).unwrap();
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).unwrap();
+        bytes.len() as u64 / 2 // somewhere inside the records, past the header
+    };
+    let mut file = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+    file.seek(SeekFrom::Start(record_start)).unwrap();
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte).unwrap();
+    file.seek(SeekFrom::Start(record_start)).unwrap();
+    file.write_all(&[byte[0] ^ 0xFF]).unwrap();
+    drop(file);
+
+    let err = match boot_with_wal(&dir) {
+        Ok(server) => {
+            server.stop().unwrap();
+            panic!("a corrupt record must fail the boot");
+        }
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("corrupt"), "the error must say what happened, got: {err}");
+}
+
+/// Decodes arbitrary tuples into ops against the Fig. 2 model, mirroring
+/// the overlay's own validation (rejected ops leave no trace in either the
+/// WAL or the oracle).
+fn decode_op(kind: u8, a: u8, b: u8, z: u8, p_raw: u16) -> UpdateOp {
+    let src = (a % 9) as u32;
+    let dst = (b % 9) as u32;
+    let topics = vec![((z % 3) as u16, (p_raw % 1000 + 1) as f32 / 1000.0)];
+    match kind % 6 {
+        0 => UpdateOp::AddEdge { src, dst, topics },
+        1 => UpdateOp::RemoveEdge { src, dst },
+        2 => UpdateOp::SetEdgeTopics { src, dst, topics },
+        3 => UpdateOp::AttachTag { tag: src % 6, topics },
+        4 => UpdateOp::DetachTag { tag: src % 6 },
+        _ => UpdateOp::AddUser,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The WAL is a faithful journal of the overlay: any valid op sequence,
+    /// cut into commit batches at arbitrary points, survives an
+    /// append → reopen → replay round trip bit-identically to folding the
+    /// same ops through [`ModelOverlay::compact`] directly — and catch-up
+    /// replay starting from *every* intermediate epoch converges to the
+    /// same bytes, which is what lets a stale replica resume anywhere.
+    /// Compaction then folds the log into a base snapshot without changing
+    /// the recovered state.
+    #[test]
+    fn wal_replay_agrees_with_the_overlay_oracle_from_every_epoch(
+        raw in proptest::collection::vec(
+            (0u8..6, 0u8..=255, 0u8..=255, 0u8..=255, 0u16..1000),
+            1..28,
+        ),
+        cuts in proptest::collection::vec(0u8..2, 27..28),
+    ) {
+        let dir = tmp_dir("prop");
+        let base = Arc::new(TicModel::paper_example());
+        let (mut wal, _) = Wal::open(&dir, 1, WalOptions::default()).unwrap();
+
+        // Drive the WAL exactly as the server does: stage valid ops, cut a
+        // commit batch wherever `cuts` says, leave the rest pending.
+        let mut overlay = ModelOverlay::new(base.clone());
+        let mut epoch = 1u64;
+        let mut batches: Vec<CommittedBatch> = Vec::new();
+        let mut current: Vec<UpdateOp> = Vec::new();
+        for (i, &(kind, a, b, z, p)) in raw.iter().enumerate() {
+            let op = decode_op(kind, a, b, z, p);
+            if overlay.apply(op.clone()).is_ok() {
+                wal.append_staged(epoch, &op).unwrap();
+                current.push(op);
+            }
+            if cuts[i] == 1 && !current.is_empty() {
+                epoch += 1;
+                wal.append_commit(epoch, current.len() as u64).unwrap();
+                batches.push(CommittedBatch { epoch, ops: std::mem::take(&mut current) });
+            }
+        }
+        let pending = current;
+
+        // The from-scratch oracle: one overlay over the base, committed
+        // ops only, compacted once.
+        let mut oracle = ModelOverlay::new(base.clone());
+        for batch in &batches {
+            for op in &batch.ops {
+                oracle.apply(op.clone()).unwrap();
+            }
+        }
+        let expected = model_bytes(&oracle.compact());
+
+        // Reopen: the journal recovered is the journal written.
+        drop(wal);
+        let (mut wal, recovery) = Wal::open(&dir, 1, WalOptions::default()).unwrap();
+        prop_assert_eq!(recovery.epoch(), epoch);
+        prop_assert_eq!(recovery.truncated_bytes, 0);
+        prop_assert_eq!(&recovery.committed, &batches);
+        prop_assert_eq!(&recovery.pending, &pending);
+
+        // Full replay agrees with the oracle bit for bit.
+        let (replayed, _) = replay(base.clone(), &recovery.committed).unwrap();
+        prop_assert_eq!(model_bytes(&replayed), expected.clone());
+
+        // Catch-up replay from every intermediate epoch: fold the prefix,
+        // replay the suffix on top, same bytes. (from = 1 is the full
+        // replay again; from = `epoch` replays nothing.)
+        for from in 1..=epoch {
+            let mut prefix = ModelOverlay::new(base.clone());
+            for batch in batches.iter().filter(|b| b.epoch <= from) {
+                for op in &batch.ops {
+                    prefix.apply(op.clone()).unwrap();
+                }
+            }
+            let suffix: Vec<CommittedBatch> =
+                batches.iter().filter(|b| b.epoch > from).cloned().collect();
+            let (caught_up, _) = replay(Arc::new(prefix.compact()), &suffix).unwrap();
+            prop_assert_eq!(
+                model_bytes(&caught_up),
+                expected.clone(),
+                "catch-up from epoch {} diverged",
+                from
+            );
+        }
+
+        // Compaction folds the log into a snapshot; the recovered state —
+        // model bytes, epoch, pending tail — is unchanged.
+        let final_model = oracle_model(&base, &batches);
+        wal.compact(&final_model, epoch, &pending).unwrap();
+        drop(wal);
+        let (_, rec2) = Wal::open(&dir, 1, WalOptions::default()).unwrap();
+        prop_assert_eq!(rec2.base_epoch, epoch);
+        prop_assert_eq!(rec2.epoch(), epoch);
+        prop_assert!(rec2.committed.is_empty());
+        prop_assert_eq!(&rec2.pending, &pending);
+        prop_assert_eq!(model_bytes(&rec2.base_model.unwrap()), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Rebuilds the committed model from scratch for the compaction leg.
+fn oracle_model(base: &Arc<TicModel>, batches: &[CommittedBatch]) -> TicModel {
+    let mut overlay = ModelOverlay::new(base.clone());
+    for batch in batches {
+        for op in &batch.ops {
+            overlay.apply(op.clone()).unwrap();
+        }
+    }
+    overlay.compact()
+}
