@@ -20,7 +20,8 @@
 use crate::shardmap::ShardMap;
 use pitex_live::SyncBundle;
 use pitex_serve::{Request, Response, ServeClient};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use pitex_support::obs::Counter;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -131,13 +132,18 @@ impl Drop for InFlightGuard<'_> {
 pub struct ShardPools {
     shards: Vec<ShardPool>,
     options: PoolOptions,
-    failovers: AtomicU64,
+    failovers: Counter,
+    /// Probe attempts against down-marked replicas.
+    probes: Counter,
+    /// Probe attempts that left the replica quarantined (dead, refused, or
+    /// failed catch-up).
+    probe_failures: Counter,
     /// Replicas healed by prober-driven catch-up (SYNC replay).
-    catchup_replicas: AtomicU64,
+    catchup_replicas: Counter,
     /// Epoch transitions replayed across all catch-ups.
-    catchup_epochs: AtomicU64,
+    catchup_epochs: Counter,
     /// Ops replayed (committed + re-staged) across all catch-ups.
-    catchup_ops: AtomicU64,
+    catchup_ops: Counter,
 }
 
 /// Per-replica outcome of a [`ShardPools::broadcast`].
@@ -163,26 +169,38 @@ impl ShardPools {
         Self {
             shards,
             options,
-            failovers: AtomicU64::new(0),
-            catchup_replicas: AtomicU64::new(0),
-            catchup_epochs: AtomicU64::new(0),
-            catchup_ops: AtomicU64::new(0),
+            failovers: Counter::new(),
+            probes: Counter::new(),
+            probe_failures: Counter::new(),
+            catchup_replicas: Counter::new(),
+            catchup_epochs: Counter::new(),
+            catchup_ops: Counter::new(),
         }
     }
 
     /// Cross-replica failovers performed since construction.
     pub fn failovers(&self) -> u64 {
-        self.failovers.load(Ordering::Relaxed)
+        self.failovers.get()
+    }
+
+    /// The pool's event counters as shared [`Counter`] handles, keyed by
+    /// the router's `STATS`/`METRICS` field names — what the router adopts
+    /// into its registry so pool events export without a polling bridge.
+    pub fn counters(&self) -> [(&'static str, Counter); 6] {
+        [
+            ("router_failovers", self.failovers.clone()),
+            ("router_probes", self.probes.clone()),
+            ("router_probe_failures", self.probe_failures.clone()),
+            ("router_catchup_replicas", self.catchup_replicas.clone()),
+            ("router_catchup_epochs", self.catchup_epochs.clone()),
+            ("router_catchup_ops", self.catchup_ops.clone()),
+        ]
     }
 
     /// `(replicas, epochs, ops)` healed/replayed by prober catch-up since
     /// construction — the router surfaces these in its merged `STATS`.
     pub fn catchup_counters(&self) -> (u64, u64, u64) {
-        (
-            self.catchup_replicas.load(Ordering::Relaxed),
-            self.catchup_epochs.load(Ordering::Relaxed),
-            self.catchup_ops.load(Ordering::Relaxed),
-        )
+        (self.catchup_replicas.get(), self.catchup_epochs.get(), self.catchup_ops.get())
     }
 
     /// `(up, total)` replica counts across all shards, as health probing
@@ -296,7 +314,7 @@ impl ShardPools {
                     replica.mark_up();
                     replica.put_idle(client, self.options.idle_per_replica);
                     if attempts > 1 {
-                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.failovers.inc();
                     }
                     return Ok(value);
                 }
@@ -389,8 +407,13 @@ impl ShardPools {
                 if !replica.is_marked_down() {
                     continue;
                 }
-                let Ok(mut client) = self.connect(replica) else { continue };
+                self.probes.inc();
+                let Ok(mut client) = self.connect(replica) else {
+                    self.probe_failures.inc();
+                    continue;
+                };
                 if client.ping().is_err() {
+                    self.probe_failures.inc();
                     continue;
                 }
                 let reference = *reference.get_or_insert_with(|| self.reference_epoch(shard));
@@ -413,6 +436,7 @@ impl ShardPools {
                     // cannot readmit it before it is consistent. (For this
                     // to hold, the prober must run more often than the
                     // cooldown — the defaults are 200 ms vs. 500 ms.)
+                    self.probe_failures.inc();
                     replica.mark_down(self.options.probe_cooldown);
                 }
             }
@@ -471,9 +495,9 @@ impl ShardPools {
                 format!("catch-up ended at epoch {now}, donor bundle claims {}", bundle.epoch),
             ));
         }
-        self.catchup_replicas.fetch_add(1, Ordering::Relaxed);
-        self.catchup_epochs.fetch_add(epochs, Ordering::Relaxed);
-        self.catchup_ops.fetch_add(ops, Ordering::Relaxed);
+        self.catchup_replicas.inc();
+        self.catchup_epochs.add(epochs);
+        self.catchup_ops.add(ops);
         Ok(())
     }
 

@@ -40,15 +40,19 @@
 
 use crate::pool::{CallError, PoolOptions, ShardPools};
 use crate::shardmap::ShardMap;
-use pitex_core::EngineBackend;
 use pitex_live::UpdateOp;
-use pitex_serve::{ErrorCode, ReloadReply, Request, Response, StatsReply};
-use pitex_support::lru::CacheCounters;
-use pitex_support::stats::LatencyHistogram;
+use pitex_serve::{
+    ErrorCode, FlightReply, FlightWireEntry, ReloadReply, Request, Response, StatsReply,
+    TraceReply, TraceRequest,
+};
+use pitex_support::obs::{
+    mint_trace_id, render_prometheus, AtomicHistogram, Counter, FieldSet, FlightEntry,
+    FlightRecorder, MergedFields, ObsOptions, Registry, SpanRecorder,
+};
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -107,16 +111,31 @@ impl RouterOptions {
 }
 
 /// Router-side counters (shard counters live on the shards; `STATS` merges
-/// both views).
-#[derive(Debug, Default)]
+/// both views) — typed handles registered in the router's [`Registry`], so
+/// the export list *is* the registration list.
+#[derive(Debug)]
 struct Counters {
-    requests: AtomicU64,
-    ok: AtomicU64,
-    busy: AtomicU64,
-    errors: AtomicU64,
-    scatters: AtomicU64,
-    updates: AtomicU64,
-    reloads: AtomicU64,
+    requests: Counter,
+    ok: Counter,
+    busy: Counter,
+    errors: Counter,
+    scatters: Counter,
+    updates: Counter,
+    reloads: Counter,
+}
+
+impl Counters {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            requests: registry.counter("router_requests"),
+            ok: registry.counter("router_ok"),
+            busy: registry.counter("router_busy"),
+            errors: registry.counter("router_errors"),
+            scatters: registry.counter("router_scatters"),
+            updates: registry.counter("router_updates"),
+            reloads: registry.counter("router_reloads"),
+        }
+    }
 }
 
 struct Shared {
@@ -132,9 +151,15 @@ struct Shared {
     /// Serializes admin verbs (`UPDATE`, `RELOAD`) through this router so
     /// an update can never land inside another admin's prepare window.
     admin_serial: Mutex<()>,
+    /// The typed metric registry behind `STATS`/`METRICS`: the router's
+    /// own counters, the pool's adopted probe/failover/catch-up counters
+    /// and the hop-latency histogram all export off this one table.
+    registry: Registry,
     counters: Counters,
     /// Router-observed `QUERY` service time (shard round-trip included).
-    latency: Mutex<LatencyHistogram>,
+    latency: Arc<AtomicHistogram>,
+    /// Ring of recent request summaries + slow-query log (`FLIGHT`).
+    flight: FlightRecorder,
     started: Instant,
     connections: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -162,6 +187,14 @@ impl Router {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let pools = ShardPools::new(&map, options.pool);
+        let registry = Registry::new();
+        let counters = Counters::register(&registry);
+        // The pool's probe/failover/catch-up counters are shared handles
+        // adopted into the same registry — no polling bridge.
+        for (name, counter) in pools.counters() {
+            registry.adopt_counter(name, &counter);
+        }
+        let latency = registry.histogram("router_lat_hist");
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             reaped_panic: AtomicBool::new(false),
@@ -170,8 +203,10 @@ impl Router {
             options,
             epoch_gate: RwLock::new(()),
             admin_serial: Mutex::new(()),
-            counters: Counters::default(),
-            latency: Mutex::new(LatencyHistogram::new()),
+            registry,
+            counters,
+            latency,
+            flight: FlightRecorder::new(ObsOptions::from_env()),
             started: Instant::now(),
             connections: Mutex::new(Vec::new()),
         });
@@ -334,10 +369,18 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
             line.clear();
             continue;
         }
-        let (response, close) = handle_line(shared, line.trim());
+        let handled = handle_line(shared, line.trim());
         line.clear();
-        let mut out = response.to_line();
-        out.push('\n');
+        let (out, close) = match handled {
+            Handled::Reply(response, close) => {
+                let mut out = response.to_line();
+                out.push('\n');
+                (out, close)
+            }
+            // The one multi-line response (`METRICS`): written verbatim,
+            // framed by its `# EOF` terminator.
+            Handled::Raw(text) => (text, false),
+        };
         if writer.write_all(out.as_bytes()).is_err() {
             return;
         }
@@ -348,8 +391,8 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
 }
 
 fn oversized_line_reply(shared: &Arc<Shared>, writer: &mut TcpStream) {
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    shared.counters.requests.inc();
+    shared.counters.errors.inc();
     let response = Response::Err {
         code: ErrorCode::BadRequest,
         message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
@@ -360,30 +403,40 @@ fn oversized_line_reply(shared: &Arc<Shared>, writer: &mut TcpStream) {
 }
 
 fn internal(shared: &Shared, message: String) -> Response {
-    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    shared.counters.errors.inc();
     Response::Err { code: ErrorCode::Internal, message }
 }
 
-/// Dispatches one request line; returns the reply and whether to close.
-fn handle_line(shared: &Arc<Shared>, line: &str) -> (Response, bool) {
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+/// A dispatched request line: a single-line [`Response`] (plus a
+/// close-connection flag), or pre-rendered multi-line text (`METRICS`).
+enum Handled {
+    Reply(Response, bool),
+    Raw(String),
+}
+
+/// Dispatches one request line.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> Handled {
+    shared.counters.requests.inc();
+    let reply = |response: Response, close: bool| Handled::Reply(response, close);
     let denied = || {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.inc();
         let message = "admin verbs are disabled on this router".to_string();
-        (Response::Err { code: ErrorCode::AdminDenied, message }, false)
+        Handled::Reply(Response::Err { code: ErrorCode::AdminDenied, message }, false)
     };
     match Request::parse(line) {
-        Ok(Request::Ping) => (Response::Pong, false),
-        Ok(Request::Quit) => (Response::Bye, true),
+        Ok(Request::Ping) => reply(Response::Pong, false),
+        Ok(Request::Quit) => reply(Response::Bye, true),
         Ok(Request::Shutdown) => {
             shared.stop.store(true, Ordering::SeqCst);
-            (Response::Bye, true)
+            reply(Response::Bye, true)
         }
-        Ok(Request::Query(q)) => (handle_query(shared, Request::Query(q)), false),
+        Ok(Request::Query(q)) => reply(handle_query(shared, Request::Query(q)), false),
         // EXPLAIN forwards verbatim like QUERY: planning happens on the
         // owning shard, where the artifacts and latency EWMAs live.
-        Ok(Request::Explain(q)) => (handle_query(shared, Request::Explain(q)), false),
-        Ok(Request::Stats) => (handle_stats(shared), false),
+        Ok(Request::Explain(q)) => reply(handle_query(shared, Request::Explain(q)), false),
+        Ok(Request::Trace(t)) => reply(handle_trace(shared, t), false),
+        Ok(Request::Stats) => reply(handle_stats(shared), false),
+        Ok(Request::Metrics) => handle_metrics(shared),
         Ok(
             Request::Update(_)
             | Request::Reload
@@ -391,28 +444,30 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (Response, bool) {
             | Request::Commit
             | Request::Epoch
             | Request::Sync { .. }
-            | Request::Discard,
+            | Request::Discard
+            | Request::Flight,
         ) if !shared.options.admin => denied(),
-        Ok(Request::Update(op)) => (handle_update(shared, op), false),
-        Ok(Request::Reload) => (handle_reload(shared), false),
+        Ok(Request::Flight) => reply(handle_flight(shared), false),
+        Ok(Request::Update(op)) => reply(handle_update(shared, op), false),
+        Ok(Request::Reload) => reply(handle_reload(shared), false),
         Ok(Request::Prepare | Request::Commit) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors.inc();
             let message =
                 "PREPARE/COMMIT are shard-level; RELOAD at the router runs the cluster barrier"
                     .to_string();
-            (Response::Err { code: ErrorCode::BadRequest, message }, false)
+            reply(Response::Err { code: ErrorCode::BadRequest, message }, false)
         }
         Ok(Request::Sync { .. } | Request::Discard) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors.inc();
             let message = "SYNC/DISCARD are shard-level; the router's prober runs replica \
                            catch-up itself"
                 .to_string();
-            (Response::Err { code: ErrorCode::BadRequest, message }, false)
+            reply(Response::Err { code: ErrorCode::BadRequest, message }, false)
         }
-        Ok(Request::Epoch) => (handle_epoch(shared), false),
+        Ok(Request::Epoch) => reply(handle_epoch(shared), false),
         Err(reason) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            (Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
+            shared.counters.errors.inc();
+            reply(Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
         }
     }
 }
@@ -428,11 +483,22 @@ fn affinity_key(user: u32, k: usize) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Maps a final response to the flight-recorder outcome tag.
+fn outcome_of(response: &Response) -> &'static str {
+    match response {
+        Response::Busy => "busy",
+        Response::Err { code: ErrorCode::Deadline, .. } => "deadline",
+        Response::Err { .. } => "error",
+        _ => "ok",
+    }
+}
+
 /// Routes `QUERY` and `EXPLAIN` (the `request` must be one of the two) to
 /// the owning shard, with cache-affine replica choice.
 fn handle_query(shared: &Arc<Shared>, request: Request) -> Response {
-    let q = match &request {
-        Request::Query(q) | Request::Explain(q) => *q,
+    let (verb, q) = match &request {
+        Request::Query(q) => ("QUERY", *q),
+        Request::Explain(q) => ("EXPLAIN", *q),
         _ => unreachable!("handle_query only routes QUERY/EXPLAIN"),
     };
     // Read side of the epoch gate: a query is never in flight across the
@@ -440,21 +506,21 @@ fn handle_query(shared: &Arc<Shared>, request: Request) -> Response {
     let _gate = shared.epoch_gate.read().unwrap();
     let shard = shared.map.shard_of(q.user);
     let t = Instant::now();
-    match shared
+    let response = match shared
         .pools
         .call_keyed(shard, affinity_key(q.user, q.k), |client| client.request(&request))
     {
         Ok(response) => {
             match &response {
                 Response::Ok(_) | Response::Explained(_) => {
-                    shared.counters.ok.fetch_add(1, Ordering::Relaxed);
-                    shared.latency.lock().unwrap().record(t.elapsed().as_micros() as u64);
+                    shared.counters.ok.inc();
+                    shared.latency.record(t.elapsed().as_micros() as u64);
                 }
                 Response::Busy => {
-                    shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.busy.inc();
                 }
                 _ => {
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                 }
             }
             // Forward the shard's reply line verbatim — the cluster is a
@@ -462,16 +528,109 @@ fn handle_query(shared: &Arc<Shared>, request: Request) -> Response {
             response
         }
         Err(CallError::Saturated) => {
-            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            shared.counters.busy.inc();
             Response::Busy
         }
         Err(CallError::Unavailable(detail)) => internal(shared, detail),
-    }
+    };
+    shared.flight.record(FlightEntry {
+        trace_id: mint_trace_id(),
+        verb,
+        user: q.user,
+        k: q.k,
+        backend: q.backend.map(|b| b.cli_name()).unwrap_or("auto"),
+        outcome: outcome_of(&response),
+        us: t.elapsed().as_micros() as u64,
+    });
+    response
+}
+
+/// Routes `TRACE` like a query, then splices the shard's timeline into the
+/// router's own: the trace id minted (or echoed) here rides the shard hop
+/// as `id=<hex>`, shard spans come back re-based under a `shard.` prefix,
+/// and the part of the hop the shard cannot see (pool checkout,
+/// serialization, both network legs) becomes the `net` span. One trace id,
+/// one timeline, two processes.
+fn handle_trace(shared: &Arc<Shared>, t: TraceRequest) -> Response {
+    let _gate = shared.epoch_gate.read().unwrap();
+    let trace_id = t.trace_id.unwrap_or_else(mint_trace_id);
+    let q = t.query;
+    let forwarded = Request::Trace(TraceRequest { query: q, trace_id: Some(trace_id) });
+    let mut recorder = SpanRecorder::new();
+    let started = recorder.origin();
+    let shard = shared.map.shard_of(q.user);
+    recorder.record_since("route", started);
+    let dispatch_start = Instant::now();
+    let outcome = shared
+        .pools
+        .call_keyed(shard, affinity_key(q.user, q.k), |client| client.request(&forwarded));
+    let response = match outcome {
+        Ok(Response::Traced(reply)) => {
+            if reply.trace_id != trace_id {
+                internal(
+                    shared,
+                    format!("shard answered trace {} for trace {}", reply.trace_id, trace_id),
+                )
+            } else {
+                let hop_us = dispatch_start.elapsed().as_micros() as u64;
+                let hop_start = recorder.offset_us(dispatch_start);
+                // The shard accounts for `reply.us` of the hop; the rest
+                // is the network + pool overhead only the router can see.
+                let net_us = hop_us.saturating_sub(reply.us);
+                recorder.record_at("net", hop_start, net_us);
+                let shard_base = hop_start + net_us;
+                for span in &reply.spans {
+                    recorder.record_at(
+                        &format!("shard.{}", span.name),
+                        shard_base + span.start_us,
+                        span.dur_us,
+                    );
+                }
+                shared.counters.ok.inc();
+                let total_us = recorder.offset_us(Instant::now());
+                shared.latency.record(total_us);
+                Response::Traced(TraceReply {
+                    trace_id,
+                    user: reply.user,
+                    k: reply.k,
+                    tags: reply.tags,
+                    spread: reply.spread,
+                    cached: reply.cached,
+                    us: total_us,
+                    spans: recorder.finish(),
+                })
+            }
+        }
+        Ok(Response::Busy) => {
+            shared.counters.busy.inc();
+            Response::Busy
+        }
+        Ok(Response::Err { code, message }) => {
+            shared.counters.errors.inc();
+            Response::Err { code, message }
+        }
+        Ok(other) => internal(shared, format!("unexpected TRACE reply: {other:?}")),
+        Err(CallError::Saturated) => {
+            shared.counters.busy.inc();
+            Response::Busy
+        }
+        Err(CallError::Unavailable(detail)) => internal(shared, detail),
+    };
+    shared.flight.record(FlightEntry {
+        trace_id,
+        verb: "TRACE",
+        user: q.user,
+        k: q.k,
+        backend: q.backend.map(|b| b.cli_name()).unwrap_or("auto"),
+        outcome: outcome_of(&response),
+        us: started.elapsed().as_micros() as u64,
+    });
+    response
 }
 
 fn handle_epoch(shared: &Arc<Shared>) -> Response {
     let _gate = shared.epoch_gate.read().unwrap();
-    shared.counters.scatters.fetch_add(1, Ordering::Relaxed);
+    shared.counters.scatters.inc();
     let mut epochs = BTreeSet::new();
     for shard in 0..shared.pools.num_shards() {
         // Typed `request` rather than the `epoch()` sugar: a shard-side
@@ -483,14 +642,14 @@ fn handle_epoch(shared: &Arc<Shared>) -> Response {
                 epochs.insert(epoch);
             }
             Ok(Response::Err { code, message }) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.inc();
                 return Response::Err { code, message };
             }
             Ok(other) => {
                 return internal(shared, format!("unexpected EPOCH reply: {other:?}"));
             }
             Err(CallError::Saturated) => {
-                shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+                shared.counters.busy.inc();
                 return Response::Busy;
             }
             Err(CallError::Unavailable(detail)) => return internal(shared, detail),
@@ -503,110 +662,13 @@ fn handle_epoch(shared: &Arc<Shared>) -> Response {
     }
 }
 
-/// One shard reply folded into the scatter-gather `STATS` aggregate.
-#[derive(Default)]
-struct MergedStats {
-    replies: u64,
-    sums: std::collections::BTreeMap<&'static str, u64>,
-    /// Cache counters aggregate through their own snapshot type — every
-    /// field is monotone, so cluster-wide cache behavior is a field-wise
-    /// [`CacheCounters::merge`].
-    cache: CacheCounters,
-    qps: f64,
-    mean_weight: u64,
-    mean_sum: f64,
-    hist: Option<LatencyHistogram>,
-    epochs: BTreeSet<u64>,
-    backend: Option<String>,
-    prepared: u64,
-    /// `plan_*` decision counters (monotone, summed), keyed by field name.
-    plans: std::collections::BTreeMap<String, u64>,
-    /// Per-backend `ewma_*_us` estimates, merged as a decision-weighted
-    /// mean: `(weighted sum, weight)` per backend. An EWMA is a *local*
-    /// estimate — weighting by how often each shard chose the backend is
-    /// the best cluster-wide summary short of shipping raw samples.
-    ewma: std::collections::BTreeMap<String, (f64, u64)>,
-}
-
-/// The shard counters that aggregate by addition.
-const SUMMED_FIELDS: [&str; 16] = [
-    "workers",
-    "requests",
-    "ok",
-    "busy",
-    "deadline",
-    "errors",
-    "worker_panics",
-    "updates_applied",
-    "updates_pending",
-    "reloads",
-    "cache_len",
-    "wal_replayed_records",
-    "wal_replayed_ops",
-    "wal_truncated_bytes",
-    "wal_compactions",
-    "sync_served",
-];
-
-impl MergedStats {
-    fn add(&mut self, stats: &StatsReply) {
-        self.replies += 1;
-        for key in SUMMED_FIELDS {
-            *self.sums.entry(key).or_insert(0) += stats.get_u64(key).unwrap_or(0);
-        }
-        self.cache.merge(&CacheCounters {
-            hits: stats.get_u64("cache_hits").unwrap_or(0),
-            misses: stats.get_u64("cache_misses").unwrap_or(0),
-            insertions: stats.get_u64("cache_insertions").unwrap_or(0),
-            evictions: stats.get_u64("cache_evictions").unwrap_or(0),
-        });
-        self.qps += stats.get_f64("qps").unwrap_or(0.0);
-        if let Some(epoch) = stats.get_u64("epoch") {
-            self.epochs.insert(epoch);
-        }
-        self.prepared = self.prepared.max(stats.get_u64("prepared").unwrap_or(0));
-        if self.backend.is_none() {
-            self.backend = stats.get("backend").map(str::to_string);
-        }
-        if let Some(wire) = stats.get("lat_hist") {
-            if let Ok(hist) = LatencyHistogram::from_wire(wire) {
-                let weight = hist.count();
-                self.mean_weight += weight;
-                self.mean_sum += stats.get_f64("lat_mean_us").unwrap_or(0.0) * weight as f64;
-                match &mut self.hist {
-                    Some(merged) => merged.merge(&hist),
-                    None => self.hist = Some(hist),
-                }
-            }
-        }
-        // Planner observability: decision counters sum; EWMAs merge as a
-        // decision-weighted mean, skipping shards that never ran the
-        // backend (their 0.0 placeholder would dilute the estimate).
-        for (key, value) in stats.iter() {
-            if key.starts_with("plan_") {
-                if let Ok(count) = value.parse::<u64>() {
-                    *self.plans.entry(key.to_string()).or_insert(0) += count;
-                }
-            }
-        }
-        for backend in EngineBackend::ALL {
-            let key = format!("ewma_{}_us", backend.cli_name());
-            let Some(ewma) = stats.get_f64(&key) else { continue };
-            if ewma <= 0.0 {
-                continue;
-            }
-            let weight = stats.get_u64(&format!("plan_{}", backend.cli_name())).unwrap_or(0).max(1);
-            let entry = self.ewma.entry(key).or_insert((0.0, 0));
-            entry.0 += ewma * weight as f64;
-            entry.1 += weight;
-        }
-    }
-}
-
-fn handle_stats(shared: &Arc<Shared>) -> Response {
-    let _gate = shared.epoch_gate.read().unwrap();
-    shared.counters.scatters.fetch_add(1, Ordering::Relaxed);
-    let mut merged = MergedStats::default();
+/// Scatters `STATS` to every shard and folds the replies under the merge
+/// rules the obs schema declares per field ([`MergedFields`]) — the
+/// hand-maintained field table this replaces silently dropped any shard
+/// field it forgot; now a field without a registered rule fails the merge
+/// loudly, naming the field.
+fn merged_shard_fields(shared: &Arc<Shared>) -> Result<Vec<(String, String)>, String> {
+    let mut merged = MergedFields::new();
     for shard in 0..shared.pools.num_shards() {
         // Scatter policy: down-marked replicas are skipped (not re-dialed
         // per request — a blackholed peer would stall every scatter by the
@@ -616,79 +678,91 @@ fn handle_stats(shared: &Arc<Shared>) -> Response {
             shared.pools.broadcast(shard, false, |client| client.request(&Request::Stats))
         {
             if let Ok(Response::Stats(stats)) = outcome.outcome {
-                merged.add(&stats);
+                merged.absorb(stats.iter())?;
             }
         }
     }
-    if merged.replies == 0 {
-        return internal(shared, "no shard replica reachable".to_string());
+    if merged.replies() == 0 {
+        return Err("no shard replica reachable".to_string());
     }
-    if merged.epochs.len() > 1 {
-        // Divergence (e.g. an admin reloaded one shard behind the
-        // router's back) is reported, not papered over.
-        return internal(shared, format!("mixed epochs across shard replies: {:?}", merged.epochs));
-    }
+    let replies = merged.replies();
+    // `finish` recomputes quantiles off the merged histograms and ratios
+    // off the merged sums, and turns must-agree divergence (e.g. an admin
+    // reloaded one shard behind the router's back) into an error instead
+    // of a coherent-looking aggregate.
+    let mut fields = merged.finish()?;
+    fields.extend(router_fields(shared, replies).into_fields());
+    Ok(fields)
+}
 
-    let c = &shared.counters;
-    let hist = merged.hist.unwrap_or_else(LatencyHistogram::new);
-    let cache = merged.cache;
-    let hit_rate = if cache.hits + cache.misses == 0 { 0.0 } else { cache.hit_rate() };
-    let mean =
-        if merged.mean_weight == 0 { 0.0 } else { merged.mean_sum / merged.mean_weight as f64 };
+/// The router's own portion of the `STATS`/`METRICS` field list: cluster
+/// topology, the hop-latency distribution, the flight recorder's totals,
+/// and everything registered in the registry (router verb counters plus
+/// the pool's adopted probe/failover/catch-up counters).
+fn router_fields(shared: &Shared, replies: u64) -> FieldSet {
+    let mut fields = FieldSet::new();
+    fields.push("shards", shared.map.num_shards());
     let (up, total) = shared.pools.replica_health();
-    let (rp50, rp90, rp99) = {
-        let router_hist = shared.latency.lock().unwrap();
-        (router_hist.quantile(0.50), router_hist.quantile(0.90), router_hist.quantile(0.99))
+    fields.push("replicas", total);
+    fields.push("replicas_up", up);
+    fields.push("replies", replies);
+    fields.push("router_uptime_s", format!("{:.1}", shared.started.elapsed().as_secs_f64()));
+    let hist = shared.latency.snapshot();
+    fields.push("router_lat_p50_us", hist.quantile(0.50));
+    fields.push("router_lat_p90_us", hist.quantile(0.90));
+    fields.push("router_lat_p99_us", hist.quantile(0.99));
+    fields.push("router_flight_recorded", shared.flight.recorded());
+    fields.push("router_slow_queries", shared.flight.slow_count());
+    fields.extend_from_registry(&shared.registry);
+    fields
+}
+
+fn handle_stats(shared: &Arc<Shared>) -> Response {
+    let _gate = shared.epoch_gate.read().unwrap();
+    shared.counters.scatters.inc();
+    match merged_shard_fields(shared) {
+        Ok(fields) => Response::Stats(StatsReply::new(fields)),
+        Err(message) => internal(shared, message),
+    }
+}
+
+/// `METRICS` at the router: the same merged field list `STATS` reports,
+/// rendered as Prometheus text exposition — one scrape endpoint for the
+/// whole cluster.
+fn handle_metrics(shared: &Arc<Shared>) -> Handled {
+    let _gate = shared.epoch_gate.read().unwrap();
+    shared.counters.scatters.inc();
+    match merged_shard_fields(shared) {
+        Ok(fields) => Handled::Raw(render_prometheus(fields.into_iter())),
+        Err(message) => Handled::Reply(internal(shared, message), false),
+    }
+}
+
+/// Newest ring entries a one-line `FLIGHTED` reply carries (mirrors the
+/// shard servers' cap).
+const FLIGHT_REPLY_CAP: usize = 64;
+
+/// Dumps the router's flight recorder: the recent-request ring plus the
+/// retained slow queries.
+fn handle_flight(shared: &Arc<Shared>) -> Response {
+    let wire = |e: &FlightEntry| FlightWireEntry {
+        trace_id: e.trace_id,
+        verb: e.verb.to_string(),
+        user: e.user,
+        k: e.k,
+        backend: e.backend.to_string(),
+        outcome: e.outcome.to_string(),
+        us: e.us,
     };
-    let field = |k: &str, v: String| (k.to_string(), v);
-    let mut fields = vec![
-        field("backend", merged.backend.unwrap_or_else(|| "?".to_string())),
-        field("epoch", merged.epochs.iter().next().copied().unwrap_or(0).to_string()),
-        field("prepared", merged.prepared.to_string()),
-        field("shards", shared.map.num_shards().to_string()),
-        field("replicas", total.to_string()),
-        field("replicas_up", up.to_string()),
-        field("replies", merged.replies.to_string()),
-        field("cache_hits", cache.hits.to_string()),
-        field("cache_misses", cache.misses.to_string()),
-        field("cache_insertions", cache.insertions.to_string()),
-        field("cache_evictions", cache.evictions.to_string()),
-        field("cache_hit_rate", format!("{hit_rate:.4}")),
-        field("qps", format!("{:.2}", merged.qps)),
-        field("lat_p50_us", hist.quantile(0.50).to_string()),
-        field("lat_p90_us", hist.quantile(0.90).to_string()),
-        field("lat_p99_us", hist.quantile(0.99).to_string()),
-        field("lat_mean_us", format!("{mean:.1}")),
-        field("lat_hist", hist.to_wire()),
-        field("router_requests", c.requests.load(Ordering::Relaxed).to_string()),
-        field("router_ok", c.ok.load(Ordering::Relaxed).to_string()),
-        field("router_busy", c.busy.load(Ordering::Relaxed).to_string()),
-        field("router_errors", c.errors.load(Ordering::Relaxed).to_string()),
-        field("router_failovers", shared.pools.failovers().to_string()),
-        field("router_scatters", c.scatters.load(Ordering::Relaxed).to_string()),
-        field("router_updates", c.updates.load(Ordering::Relaxed).to_string()),
-        field("router_reloads", c.reloads.load(Ordering::Relaxed).to_string()),
-        field("router_uptime_s", format!("{:.1}", shared.started.elapsed().as_secs_f64())),
-        field("router_lat_p50_us", rp50.to_string()),
-        field("router_lat_p90_us", rp90.to_string()),
-        field("router_lat_p99_us", rp99.to_string()),
-    ];
-    // Prober-side catch-up totals (replicas healed, epoch barriers and ops
-    // replayed onto them) — router-level, not summed from shard replies.
-    let (healed, epochs_replayed, ops_replayed) = shared.pools.catchup_counters();
-    fields.push(field("router_catchup_replicas", healed.to_string()));
-    fields.push(field("router_catchup_epochs", epochs_replayed.to_string()));
-    fields.push(field("router_catchup_ops", ops_replayed.to_string()));
-    for key in SUMMED_FIELDS {
-        fields.push(field(key, merged.sums[key].to_string()));
-    }
-    for (key, count) in &merged.plans {
-        fields.push(field(key, count.to_string()));
-    }
-    for (key, &(weighted, weight)) in &merged.ewma {
-        fields.push(field(key, format!("{:.1}", weighted / weight.max(1) as f64)));
-    }
-    Response::Stats(StatsReply::new(fields))
+    let dump = shared.flight.dump();
+    let entries = dump[dump.len().saturating_sub(FLIGHT_REPLY_CAP)..].iter().map(wire).collect();
+    let slow = shared.flight.slow_queries().iter().map(wire).collect();
+    Response::Flight(FlightReply {
+        recorded: shared.flight.recorded(),
+        slow_count: shared.flight.slow_count(),
+        entries,
+        slow,
+    })
 }
 
 /// The shards an op must reach: edge mutations are anchored at their
@@ -709,7 +783,7 @@ fn target_shards(map: &ShardMap, op: &UpdateOp) -> Vec<usize> {
 fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
     let _admin = shared.admin_serial.lock().unwrap();
     let _gate = shared.epoch_gate.read().unwrap();
-    shared.counters.updates.fetch_add(1, Ordering::Relaxed);
+    shared.counters.updates.inc();
     let mut last: Option<(u64, u64)> = None;
     for shard in target_shards(&shared.map, &op) {
         let mut reached = 0;
@@ -725,7 +799,7 @@ fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
                 Ok(Response::Err { code, message }) => {
                     // The op itself was rejected (identical models reject
                     // identically); forward the shard's verdict verbatim.
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                     return Response::Err { code, message };
                 }
                 Ok(other) => {
@@ -838,7 +912,7 @@ fn handle_reload(shared: &Arc<Shared>) -> Response {
             }
         }
     }
-    shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
+    shared.counters.reloads.inc();
     // All shards entered this barrier at a common epoch (boot, or the
     // previous barrier) and every commit advances by one, so the post-wave
     // epochs agree unless someone reloaded a shard behind the router.

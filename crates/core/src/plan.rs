@@ -37,6 +37,7 @@ use crate::engine::PitexConfig;
 use crate::registry::{self, Plannability};
 use pitex_model::{combi, TicModel};
 use pitex_sampling::SamplingParams;
+use pitex_support::obs::Ewma;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of concrete backends the planner ranks.
@@ -153,10 +154,9 @@ pub struct Planner {
     /// Static-seed cost per edge probe in nanoseconds
     /// (`PITEX_PLAN_EDGE_NS`, default 5).
     edge_ns: f64,
-    /// Per-backend latency EWMA (f64 bits). Racy read-modify-write by
-    /// design: a lost update costs one smoothing step, never correctness.
-    ewma_bits: [AtomicU64; NUM_BACKENDS],
-    observations: [AtomicU64; NUM_BACKENDS],
+    /// Per-backend latency EWMA (the shared lock-free
+    /// [`pitex_support::obs::Ewma`] — the same handle type `STATS` exports).
+    ewma: [Ewma; NUM_BACKENDS],
     decisions: [AtomicU64; NUM_BACKENDS],
     degraded: AtomicU64,
 }
@@ -213,8 +213,7 @@ impl Planner {
             alpha: env_f64("PITEX_PLAN_ALPHA", 0.2).clamp(0.01, 1.0),
             warmup: env_u64("PITEX_PLAN_WARMUP", 3),
             edge_ns: env_f64("PITEX_PLAN_EDGE_NS", 5.0).max(0.001),
-            ewma_bits: std::array::from_fn(|_| AtomicU64::new(0f64.to_bits())),
-            observations: std::array::from_fn(|_| AtomicU64::new(0)),
+            ewma: std::array::from_fn(|_| Ewma::new()),
             decisions: std::array::from_fn(|_| AtomicU64::new(0)),
             degraded: AtomicU64::new(0),
         }
@@ -234,8 +233,9 @@ impl Planner {
     /// the static seed before that.
     pub fn predicted_us(&self, backend: EngineBackend, input: &PlanInput) -> u64 {
         let i = Self::index(backend);
-        if self.observations[i].load(Ordering::Relaxed) >= self.warmup {
-            return (f64::from_bits(self.ewma_bits[i].load(Ordering::Relaxed)).max(1.0)) as u64;
+        let ewma = &self.ewma[i];
+        if ewma.count() >= self.warmup {
+            return ewma.value().unwrap_or(0.0).max(1.0) as u64;
         }
         (self.seed_cost_us(backend, input).max(1.0)).min(u64::MAX as f64 / 2.0) as u64
     }
@@ -375,25 +375,13 @@ impl Planner {
 
     /// Feeds one measured service time back into the backend's EWMA.
     pub fn observe(&self, backend: EngineBackend, actual_us: u64) {
-        let i = Self::index(backend);
-        let prior = self.observations[i].fetch_add(1, Ordering::Relaxed);
-        let old = f64::from_bits(self.ewma_bits[i].load(Ordering::Relaxed));
-        let new = if prior == 0 {
-            actual_us as f64
-        } else {
-            self.alpha * actual_us as f64 + (1.0 - self.alpha) * old
-        };
-        self.ewma_bits[i].store(new.to_bits(), Ordering::Relaxed);
+        self.ewma[Self::index(backend)].observe(actual_us as f64, self.alpha);
     }
 
     /// The backend's current latency EWMA in microseconds (`None` before
     /// the first observation).
     pub fn ewma_us(&self, backend: EngineBackend) -> Option<f64> {
-        let i = Self::index(backend);
-        if self.observations[i].load(Ordering::Relaxed) == 0 {
-            return None;
-        }
-        Some(f64::from_bits(self.ewma_bits[i].load(Ordering::Relaxed)))
+        self.ewma[Self::index(backend)].value()
     }
 
     /// How many plans chose `backend`.
@@ -413,9 +401,7 @@ impl Planner {
     /// `STATS`).
     pub fn inherit(&self, other: &Planner) {
         for i in 0..NUM_BACKENDS {
-            self.ewma_bits[i].store(other.ewma_bits[i].load(Ordering::Relaxed), Ordering::Relaxed);
-            self.observations[i]
-                .store(other.observations[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            self.ewma[i].inherit(&other.ewma[i]);
             self.decisions[i].store(other.decisions[i].load(Ordering::Relaxed), Ordering::Relaxed);
         }
         self.degraded.store(other.degraded.load(Ordering::Relaxed), Ordering::Relaxed);

@@ -68,4 +68,6 @@ pub use log::{
 };
 pub use overlay::{ModelOverlay, UpdateError};
 pub use repair::{repair_rr_index, RepairOptions, RepairReport};
-pub use wal::{replay, CommittedBatch, SyncBundle, Wal, WalError, WalOptions, WalRecovery};
+pub use wal::{
+    replay, CommittedBatch, SyncBundle, Wal, WalError, WalOptions, WalRecovery, WalTimings,
+};

@@ -41,10 +41,12 @@ use crate::log::{ops_from_bytes, ops_to_bytes, UpdateOp};
 use crate::overlay::{ModelOverlay, UpdateError};
 use pitex_model::TicModel;
 use pitex_support::codec::{DecodeError, Decoder, Encoder};
+use pitex_support::obs::AtomicHistogram;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 const WAL_MAGIC: [u8; 4] = *b"PWAL";
 const WAL_VERSION: u32 = 1;
@@ -258,6 +260,19 @@ fn read_snapshot(dir: &Path) -> Result<Option<(u64, TicModel)>, WalError> {
     Ok(Some((epoch, model)))
 }
 
+/// Lock-free timing histograms the WAL records into (microseconds): the
+/// full append (write + sync), the `fdatasync` alone — the number that
+/// bounds `UPDATE` ack latency — and compactions. The serving layer hands
+/// a clone to [`Wal::set_timings`] and exports the same histograms
+/// through `STATS`/`METRICS`, so fsync stalls show up next to query
+/// latency instead of hiding under the admin lock.
+#[derive(Clone, Debug, Default)]
+pub struct WalTimings {
+    pub append: Arc<AtomicHistogram>,
+    pub fsync: Arc<AtomicHistogram>,
+    pub compact: Arc<AtomicHistogram>,
+}
+
 /// The open, append-only durable log. See the module docs for the disk
 /// contract; the serving layer owns one of these under its admin lock.
 #[derive(Debug)]
@@ -267,6 +282,7 @@ pub struct Wal {
     options: WalOptions,
     bytes: u64,
     committed_ops: u64,
+    timings: WalTimings,
 }
 
 impl Wal {
@@ -339,7 +355,14 @@ impl Wal {
 
         let committed_ops = committed.iter().map(|b| b.ops.len() as u64).sum();
         let file_len = file.metadata()?.len();
-        let wal = Self { dir, file, options, bytes: file_len, committed_ops };
+        let wal = Self {
+            dir,
+            file,
+            options,
+            bytes: file_len,
+            committed_ops,
+            timings: WalTimings::default(),
+        };
         let recovery = WalRecovery {
             base_epoch,
             base_model: snapshot.map(|(_, m)| m),
@@ -353,6 +376,12 @@ impl Wal {
     /// The WAL directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Installs the timing histograms appends/fsyncs/compactions record
+    /// into (the default set is recorded but unobserved).
+    pub fn set_timings(&mut self, timings: WalTimings) {
+        self.timings = timings;
     }
 
     /// Appends one acknowledged-but-uncommitted op and syncs. Call this
@@ -370,8 +399,12 @@ impl Wal {
 
     fn append(&mut self, kind: RecordKind, epoch: u64, ops: &[UpdateOp]) -> Result<(), WalError> {
         let buf = frame(&record_payload(kind, epoch, ops));
+        let started = Instant::now();
         self.file.write_all(&buf)?;
+        let pre_sync = Instant::now();
         self.file.sync_data()?;
+        self.timings.fsync.record(pre_sync.elapsed().as_micros() as u64);
+        self.timings.append.record(started.elapsed().as_micros() as u64);
         self.bytes += buf.len() as u64;
         Ok(())
     }
@@ -396,6 +429,7 @@ impl Wal {
         epoch: u64,
         pending: &[UpdateOp],
     ) -> Result<(), WalError> {
+        let started = Instant::now();
         write_snapshot(&self.dir, model, epoch)?;
 
         let mut enc = Encoder::new(Vec::new());
@@ -421,6 +455,7 @@ impl Wal {
         self.file = OpenOptions::new().read(true).append(true).open(&path)?;
         self.bytes = buf.len() as u64;
         self.committed_ops = 0;
+        self.timings.compact.record(started.elapsed().as_micros() as u64);
         Ok(())
     }
 }

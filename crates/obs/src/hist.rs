@@ -1,0 +1,244 @@
+//! Log₂-bucketed latency histograms: the locked single-writer variant the
+//! stats paths have always used, and an atomic variant for hot paths that
+//! must record without taking any lock (WAL fsyncs, metric registries).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: one per possible `u64` bit length, plus zero.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A fixed-footprint log₂-bucketed histogram for latency percentiles.
+///
+/// The serving layer's `STATS` endpoint reports p50/p90/p99 service times.
+/// Exact percentiles would require storing every sample; instead samples
+/// (microseconds, say) land in power-of-two buckets, so any quantile is
+/// answered in O(64) with at most a 2× overestimate — plenty for spotting a
+/// latency regression, and recording is two instructions on the hot path.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[b]` counts samples with exactly `b` significant bits
+    /// (bucket 0 holds the value 0, bucket 1 holds 1, bucket 2 holds 2–3, …).
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self { buckets: [0; NUM_BUCKETS], count: 0 }
+    }
+
+    /// A histogram from raw bucket counts (what [`AtomicHistogram::snapshot`]
+    /// produces), so an atomic recorder can be quantiled and wired like any
+    /// other histogram.
+    pub fn from_buckets(buckets: [u64; NUM_BUCKETS]) -> Self {
+        let count = buckets.iter().sum();
+        Self { buckets, count }
+    }
+
+    /// Records one sample (any non-negative integer unit; pick one and stay
+    /// with it — the serving layer uses microseconds).
+    pub fn record(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw bucket counts (`buckets[b]` = samples with `b` significant
+    /// bits).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the inclusive upper
+    /// bound of the bucket the quantile falls in (0 when empty). `q = 0.5`
+    /// is the median, `q = 1.0` an upper bound on the maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_bound(bucket);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one (parallel reduction).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// An approximate sum of the recorded samples (each sample counted at
+    /// its bucket's upper bound, so the estimate is an over-count of at
+    /// most 2×). What the Prometheus `_sum` series is exported from, since
+    /// the buckets do not retain exact values.
+    pub fn approx_sum(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(b, &n)| n.saturating_mul(bucket_upper_bound(b).min(u64::MAX / 2)))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Serializes the non-empty buckets as `bucket:count` pairs joined by
+    /// commas (`-` when empty) — a single whitespace-free token, so it fits
+    /// a `key=value` field of the serving `STATS` line. A scatter-gather
+    /// router reassembles per-shard histograms with
+    /// [`from_wire`](Self::from_wire) and [`merge`](Self::merge), which is the only way
+    /// to aggregate percentiles correctly (percentiles themselves do not
+    /// add).
+    pub fn to_wire(&self) -> String {
+        if self.count == 0 {
+            return "-".to_string();
+        }
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| format!("{b}:{n}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses the [`to_wire`](Self::to_wire) encoding.
+    pub fn from_wire(s: &str) -> Result<LatencyHistogram, String> {
+        let mut hist = LatencyHistogram::new();
+        if s == "-" {
+            return Ok(hist);
+        }
+        for pair in s.split(',') {
+            let (bucket, count) =
+                pair.split_once(':').ok_or_else(|| format!("bad histogram pair {pair:?}"))?;
+            let bucket: usize =
+                bucket.parse().map_err(|_| format!("bad histogram bucket {bucket:?}"))?;
+            let count: u64 = count.parse().map_err(|_| format!("bad histogram count {count:?}"))?;
+            if bucket >= hist.buckets.len() {
+                return Err(format!("histogram bucket {bucket} out of range"));
+            }
+            hist.buckets[bucket] += count;
+            hist.count += count;
+        }
+        Ok(hist)
+    }
+}
+
+/// The inclusive upper bound of log₂ bucket `b`.
+pub(crate) fn bucket_upper_bound(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        64.. => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// A [`LatencyHistogram`] whose buckets are relaxed atomics, so concurrent
+/// hot paths (worker threads, WAL appenders) record without a lock: one
+/// `leading_zeros` and one `fetch_add`.
+///
+/// Reads ([`snapshot`](Self::snapshot)) are not atomic across buckets — a
+/// concurrent recorder may land between two bucket loads — which is fine
+/// for monitoring: the snapshot is some valid recent history, never torn
+/// within a bucket.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    pub fn new() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Records one sample. Lock-free; relaxed ordering (counters carry no
+    /// synchronization obligations).
+    pub fn record(&self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy as a plain [`LatencyHistogram`] (for quantiles
+    /// and the wire encoding).
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        LatencyHistogram::from_buckets(buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_histogram_matches_locked_recording() {
+        let atomic = AtomicHistogram::new();
+        let mut locked = LatencyHistogram::new();
+        for v in [0u64, 1, 3, 7, 100, 1000, u64::MAX] {
+            atomic.record(v);
+            locked.record(v);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), locked.count());
+        assert_eq!(snap.to_wire(), locked.to_wire());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), locked.quantile(q));
+        }
+    }
+
+    #[test]
+    fn from_buckets_recounts() {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        buckets[0] = 2;
+        buckets[5] = 3;
+        let h = LatencyHistogram::from_buckets(buckets);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn approx_sum_bounds_the_true_sum() {
+        let mut h = LatencyHistogram::new();
+        let samples = [1u64, 3, 7, 100, 1000];
+        let true_sum: u64 = samples.iter().sum();
+        for v in samples {
+            h.record(v);
+        }
+        assert!(h.approx_sum() >= true_sum);
+        assert!(h.approx_sum() < true_sum * 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Observability primitives for the PITEX serving stack.
+//!
+//! This crate sits *below* `pitex_support` (which re-exports it as
+//! `pitex_support::obs`) and has no dependencies, so every layer — the
+//! WAL, the planner, the server, the router — can record into it without
+//! new edges in the crate graph. Three pieces:
+//!
+//! * [`metrics`] — a **typed metrics registry**: named counters, gauges
+//!   and histograms whose *merge semantics* (sum across shards, max,
+//!   must-agree, decision-weighted mean, histogram merge, …) are declared
+//!   in one static [`metrics::SCHEMA`] table. The shard `STATS` reply,
+//!   the router's scatter-gather aggregation ([`metrics::MergedFields`])
+//!   and the Prometheus-style `METRICS` text exposition
+//!   ([`metrics::render_prometheus`]) are all derived from that one
+//!   table, so a field can no longer be exported on one side and
+//!   silently dropped on the other.
+//! * [`trace`] — per-request **trace spans**: a 64-bit trace id minted at
+//!   admission, a span recorder, and a whitespace-free wire encoding so
+//!   the `TRACE` verb can return the timeline (and the router can splice
+//!   shard-side spans into its own).
+//! * [`flight`] — an always-on **flight recorder**: a lock-light ring
+//!   buffer of the last N request summaries plus a threshold-triggered
+//!   slow-query log (`PITEX_OBS_SLOW_US`), dumped by the `FLIGHT` verb
+//!   and the `pitex top` live view.
+//!
+//! [`hist::LatencyHistogram`] lives here (moved from `pitex_support`,
+//! which still re-exports it) because the registry's histogram merge and
+//! the atomic hot-path recorder share its bucket layout.
+
+pub mod flight;
+pub mod hist;
+pub mod metrics;
+pub mod trace;
+
+pub use flight::{FlightEntry, FlightRecorder, ObsOptions};
+pub use hist::{AtomicHistogram, LatencyHistogram};
+pub use metrics::{
+    parse_prometheus, render_prometheus, spec_for, Counter, Ewma, FieldSet, Gauge, MergeRule,
+    MergedFields, MetricKind, PromSample, Registry,
+};
+pub use trace::{
+    format_trace_id, mint_trace_id, parse_trace_id, spans_from_wire, spans_to_wire, Span,
+    SpanRecorder,
+};

@@ -1,0 +1,219 @@
+//! Per-request trace spans: a 64-bit trace id minted at admission, a span
+//! recorder measuring against one origin instant, and a whitespace-free
+//! wire encoding so the `TRACE` verb can carry the timeline in a single
+//! `key=value` token (and the router can splice shard spans into its own).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Mints a fresh trace id: a process-wide counter mixed through
+/// splitmix64, seeded once from the wall clock, so ids are unique within a
+/// process and effectively unique across a cluster without coordination.
+/// Cheap enough (one `fetch_add` + a few multiplies) that *every* request
+/// gets one at admission — `TRACE` only changes whether it is surfaced.
+pub fn mint_trace_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15)
+            | 1
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // splitmix64 finalizer over seed ⊕ counter.
+    let mut z = seed ^ n.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A trace id as it travels the wire: 16 lowercase hex digits.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses [`format_trace_id`] output (any 1–16 digit hex token).
+pub fn parse_trace_id(s: &str) -> Result<u64, String> {
+    if s.is_empty() || s.len() > 16 {
+        return Err(format!("bad trace id {s:?}"));
+    }
+    u64::from_str_radix(s, 16).map_err(|_| format!("bad trace id {s:?}"))
+}
+
+/// One named interval inside a request, offset from the request's
+/// admission instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (`queue`, `plan`, `cache`, `execute`, `net`, `route`,
+    /// `wal_fsync`, …). Router-side splicing prefixes shard spans with
+    /// `shard.`.
+    pub name: String,
+    /// Microseconds from the request origin to the span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Encodes spans as `name:start:dur` triples joined by commas, `-` when
+/// empty — a single whitespace-free token for the `spans=` field of a
+/// `TRACED` reply.
+pub fn spans_to_wire(spans: &[Span]) -> String {
+    if spans.is_empty() {
+        return "-".to_string();
+    }
+    spans
+        .iter()
+        .map(|s| format!("{}:{}:{}", s.name, s.start_us, s.dur_us))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses [`spans_to_wire`] output. Span names may contain dots (for the
+/// router's `shard.` prefix) but not colons, commas or whitespace.
+pub fn spans_from_wire(s: &str) -> Result<Vec<Span>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|token| {
+            let mut parts = token.split(':');
+            let (Some(name), Some(start), Some(dur), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("bad span token {token:?}"));
+            };
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(format!("bad span name {name:?}"));
+            }
+            Ok(Span {
+                name: name.to_string(),
+                start_us: start.parse().map_err(|_| format!("bad span start {start:?}"))?,
+                dur_us: dur.parse().map_err(|_| format!("bad span duration {dur:?}"))?,
+            })
+        })
+        .collect()
+}
+
+/// Records spans against one origin instant (the request's admission).
+/// Spans can be closed out of order; [`finish`](Self::finish) returns them
+/// sorted by start offset.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    origin: Instant,
+    spans: Vec<Span>,
+}
+
+impl SpanRecorder {
+    pub fn new() -> Self {
+        Self::starting_at(Instant::now())
+    }
+
+    /// A recorder whose offsets measure from `origin` (lets the server
+    /// reuse the admission timestamp it already took).
+    pub fn starting_at(origin: Instant) -> Self {
+        Self { origin, spans: Vec::new() }
+    }
+
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Microseconds from the origin to `t`.
+    pub fn offset_us(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.origin).as_micros() as u64
+    }
+
+    /// Records a span that started at `start` and just ended.
+    pub fn record_since(&mut self, name: &str, start: Instant) {
+        let start_us = self.offset_us(start);
+        let end_us = self.offset_us(Instant::now());
+        self.push(Span {
+            name: name.to_string(),
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+        });
+    }
+
+    /// Records a span from explicit offsets (for durations measured
+    /// elsewhere, e.g. the worker's own engine timing).
+    pub fn record_at(&mut self, name: &str, start_us: u64, dur_us: u64) {
+        self.push(Span { name: name.to_string(), start_us, dur_us });
+    }
+
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// All spans so far, sorted by start offset (stable, so equal starts
+    /// keep recording order).
+    pub fn finish(mut self) -> Vec<Span> {
+        self.spans.sort_by_key(|s| s.start_us);
+        self.spans
+    }
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_distinct_and_round_trip() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, b);
+        for id in [a, b, 0, u64::MAX] {
+            let s = format_trace_id(id);
+            assert_eq!(s.len(), 16);
+            assert_eq!(parse_trace_id(&s).unwrap(), id);
+        }
+        assert!(parse_trace_id("").is_err());
+        assert!(parse_trace_id("xyz").is_err());
+        assert!(parse_trace_id("00000000000000000").is_err(), "17 digits");
+    }
+
+    #[test]
+    fn spans_round_trip_the_wire() {
+        let spans = vec![
+            Span { name: "plan".into(), start_us: 0, dur_us: 12 },
+            Span { name: "shard.execute".into(), start_us: 40, dur_us: 900 },
+        ];
+        let wire = spans_to_wire(&spans);
+        assert!(!wire.contains(' '));
+        assert_eq!(spans_from_wire(&wire).unwrap(), spans);
+        assert_eq!(spans_to_wire(&[]), "-");
+        assert_eq!(spans_from_wire("-").unwrap(), Vec::new());
+        assert!(spans_from_wire("noduration:1").is_err());
+        assert!(spans_from_wire("a:1:2:3").is_err());
+        assert!(spans_from_wire(":1:2").is_err());
+    }
+
+    #[test]
+    fn recorder_sorts_by_start() {
+        let mut rec = SpanRecorder::new();
+        rec.record_at("late", 100, 5);
+        rec.record_at("early", 2, 50);
+        let spans = rec.finish();
+        assert_eq!(spans[0].name, "early");
+        assert_eq!(spans[1].name, "late");
+    }
+
+    #[test]
+    fn recorder_measures_real_time() {
+        let mut rec = SpanRecorder::new();
+        let start = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.record_since("sleep", start);
+        let spans = rec.finish();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].dur_us >= 1_000, "slept 2ms, recorded {}us", spans[0].dur_us);
+    }
+}

@@ -6,7 +6,10 @@
 //! response lands (closed loop), and reports aggregate throughput — the
 //! measurement the `bench_serve` target and `pitex client --bench` print.
 
-use crate::protocol::{ExplainReply, QueryRequest, ReloadReply, Request, Response, StatsReply};
+use crate::protocol::{
+    ExplainReply, FlightReply, QueryRequest, ReloadReply, Request, Response, StatsReply,
+    TraceReply, TraceRequest,
+};
 use pitex_core::EngineBackend;
 use pitex_live::{SyncBundle, UpdateOp};
 use pitex_support::stats::OnlineStats;
@@ -112,6 +115,8 @@ impl ServeClient {
                 | Request::Stats
                 | Request::Query(_)
                 | Request::Explain(_)
+                | Request::Trace(_)
+                | Request::Flight
                 | Request::Sync { .. }
         );
         let line = request.to_line();
@@ -175,6 +180,60 @@ impl ServeClient {
         match self.request(&request)? {
             Response::Explained(reply) => Ok(reply),
             other => Err(reply_error("EXPLAINED", other)),
+        }
+    }
+
+    /// `TRACE user k [timeout_us] [backend] [id=…]`, decoded: the query
+    /// answer plus the span timeline. Pass `trace_id` to adopt an id
+    /// minted upstream (the router does this on the shard hop); `None`
+    /// lets the server mint one.
+    pub fn trace(
+        &mut self,
+        user: u32,
+        k: usize,
+        timeout_us: Option<u64>,
+        backend: Option<EngineBackend>,
+        trace_id: Option<u64>,
+    ) -> std::io::Result<TraceReply> {
+        let request = Request::Trace(TraceRequest {
+            query: QueryRequest { timeout_us, backend, ..QueryRequest::new(user, k) },
+            trace_id,
+        });
+        match self.request(&request)? {
+            Response::Traced(reply) => Ok(reply),
+            other => Err(reply_error("TRACED", other)),
+        }
+    }
+
+    /// `METRICS`: the Prometheus text exposition. The reply is the one
+    /// multi-line response in the protocol; it is read through to its
+    /// `# EOF` terminator (and includes it).
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.writer.write_all(b"METRICS\n")?;
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before # EOF",
+                ));
+            }
+            let done = line.trim() == "# EOF";
+            text.push_str(&line);
+            if done {
+                return Ok(text);
+            }
+        }
+    }
+
+    /// `FLIGHT` (admin): the flight-recorder dump — recent request
+    /// summaries plus the slow-query log.
+    pub fn flight(&mut self) -> std::io::Result<FlightReply> {
+        match self.request(&Request::Flight)? {
+            Response::Flight(reply) => Ok(reply),
+            other => Err(reply_error("FLIGHTED", other)),
         }
     }
 
@@ -459,6 +518,58 @@ mod tests {
         assert_eq!(reply.tags, vec![2, 3]);
         let stats = client.stats().unwrap();
         assert_eq!(stats.get_u64("ok"), Some(1));
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn trace_metrics_and_flight_observe_a_query() {
+        let server = boot();
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+
+        // A forwarded trace id is adopted; spans cover the whole service.
+        let traced = client.trace(0, 2, None, None, Some(0xabcd)).unwrap();
+        assert_eq!(traced.trace_id, 0xabcd);
+        assert_eq!(traced.tags, vec![2, 3]);
+        assert!(!traced.cached);
+        let names: Vec<&str> = traced.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["plan", "cache", "queue", "execute"] {
+            assert!(names.contains(&expected), "missing span {expected} in {names:?}");
+        }
+        for span in &traced.spans {
+            assert!(
+                span.start_us + span.dur_us <= traced.us + 1_000,
+                "span {} overruns the total: {span:?} vs us={}",
+                span.name,
+                traced.us
+            );
+        }
+
+        // A repeated trace hits the cache: no queue/execute spans, and a
+        // freshly minted (distinct) id.
+        let again = client.trace(0, 2, None, None, None).unwrap();
+        assert!(again.cached);
+        assert_ne!(again.trace_id, 0xabcd);
+        let names: Vec<&str> = again.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["plan", "cache"]);
+
+        // METRICS parses as Prometheus exposition and the connection
+        // still frames the next request correctly.
+        let text = client.metrics().unwrap();
+        let samples = pitex_support::obs::parse_prometheus(&text).unwrap();
+        let get = |name: &str| {
+            samples.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert!(get("pitex_requests").value >= 2.0);
+        assert!(get("pitex_flight_recorded").value >= 2.0);
+        client.ping().unwrap();
+
+        // The flight recorder saw both traces, ids intact.
+        let flight = client.flight().unwrap();
+        assert!(flight.recorded >= 2);
+        assert!(flight
+            .entries
+            .iter()
+            .any(|e| e.trace_id == 0xabcd && e.verb == "TRACE" && e.outcome == "ok"));
         server.stop().unwrap();
     }
 

@@ -78,6 +78,7 @@ pub mod server;
 
 pub use client::{LoadGen, LoadReport, ServeClient};
 pub use protocol::{
-    ErrorCode, ExplainReply, QueryReply, QueryRequest, ReloadReply, Request, Response, StatsReply,
+    ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, QueryRequest, ReloadReply,
+    Request, Response, StatsReply, TraceReply, TraceRequest,
 };
 pub use server::{ServeOptions, Server, ServerHandle};

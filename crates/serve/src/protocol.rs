@@ -14,7 +14,17 @@
 //!                                   run the query and report the planner's
 //!                                   decision: chosen backend, predicted vs.
 //!                                   actual cost, rejected alternatives
+//! TRACE <user> <k> [timeout_us] [backend] [id=<hex>]
+//!                                   run the query and return its span
+//!                                   timeline; `id=` carries the trace id
+//!                                   across the router→shard hop (minted
+//!                                   at admission when absent)
 //! STATS                             server counters and latency percentiles
+//! METRICS                           Prometheus text exposition (the one
+//!                                   multi-line reply: lines until `# EOF`)
+//! FLIGHT                            dump the flight recorder: the last N
+//!                                   request summaries and the slow-query
+//!                                   log (admin)
 //! UPDATE <op…>                      stage one model mutation (admin)
 //! RELOAD                            fold staged ops, repair the index,
 //!                                   swap the snapshot (admin)
@@ -54,7 +64,12 @@
 //! EXPLAINED user=<u> k=<k> backend=<name> predicted_us=<p> actual_us=<a>
 //!           us=<total> degraded=<0|1> tags=<..> spread=<f>
 //!           rejected=<name:pred:reason,..|->
+//! TRACED trace_id=<hex> user=<u> k=<k> tags=<..> spread=<f> cached=<0|1>
+//!        us=<micros> spans=<name:start:dur,..|->
 //! STATS <key>=<value> ...
+//! FLIGHTED n=<count> slow=<count> entries=<trace:verb:user:k:backend:outcome:us;..|->
+//!                                   newest last; the slow-log entries are
+//!                                   appended after the ring entries
 //! UPDATED epoch=<e> pending=<n>     op staged; visible after RELOAD
 //! RELOADED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
 //! PREPARED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
@@ -79,6 +94,8 @@ use pitex_core::plan::{RejectReason, RejectedPlan};
 use pitex_core::{registry, EngineBackend};
 use pitex_live::{SyncBundle, UpdateOp};
 use pitex_model::TagId;
+use pitex_support::obs::trace::{format_trace_id, parse_trace_id, spans_from_wire, spans_to_wire};
+use pitex_support::obs::Span;
 use std::collections::BTreeMap;
 
 /// A parsed request line.
@@ -88,7 +105,17 @@ pub enum Request {
     Query(QueryRequest),
     /// A query that additionally reports the planner's decision.
     Explain(QueryRequest),
+    /// A query that additionally returns its span timeline (and echoes —
+    /// or mints — its trace id).
+    Trace(TraceRequest),
     Stats,
+    /// Prometheus text exposition. The reply is the protocol's one
+    /// multi-line response: raw exposition lines terminated by `# EOF`,
+    /// written outside the [`Response`] enum.
+    Metrics,
+    /// Dump the flight recorder (admin-gated, like the other
+    /// introspection-of-state verbs).
+    Flight,
     /// Stage one mutation (admin-gated).
     Update(UpdateOp),
     /// Fold staged mutations into a fresh snapshot (admin-gated).
@@ -135,12 +162,23 @@ impl QueryRequest {
     }
 }
 
+/// The `TRACE` verb's operands: a query plus an optional inbound trace id
+/// (`id=<hex>`), which is how the router propagates the id it minted onto
+/// the shard hop. Absent, the receiving server mints one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRequest {
+    pub query: QueryRequest,
+    pub trace_id: Option<u64>,
+}
+
 impl Request {
     /// Serializes to a protocol line (no trailing newline).
     pub fn to_line(&self) -> String {
         match self {
             Request::Ping => "PING".to_string(),
             Request::Stats => "STATS".to_string(),
+            Request::Metrics => "METRICS".to_string(),
+            Request::Flight => "FLIGHT".to_string(),
             Request::Update(op) => format!("UPDATE {}", op.to_text()),
             Request::Reload => "RELOAD".to_string(),
             Request::Prepare => "PREPARE".to_string(),
@@ -152,6 +190,13 @@ impl Request {
             Request::Shutdown => "SHUTDOWN".to_string(),
             Request::Query(q) => format_query_line("QUERY", q),
             Request::Explain(q) => format_query_line("EXPLAIN", q),
+            Request::Trace(t) => {
+                let mut line = format_query_line("TRACE", &t.query);
+                if let Some(id) = t.trace_id {
+                    line.push_str(&format!(" id={}", format_trace_id(id)));
+                }
+                line
+            }
         }
     }
 
@@ -168,6 +213,8 @@ impl Request {
         let request = match verb {
             "PING" => Request::Ping,
             "STATS" => Request::Stats,
+            "METRICS" => Request::Metrics,
+            "FLIGHT" => Request::Flight,
             "UPDATE" => return Err("UPDATE needs an operation".to_string()),
             "RELOAD" => Request::Reload,
             "PREPARE" => Request::Prepare,
@@ -189,6 +236,24 @@ impl Request {
                 } else {
                     Request::Explain(q)
                 }
+            }
+            "TRACE" => {
+                // The optional trailing `id=<hex>` operand is peeled off
+                // before the shared query-operand parser runs.
+                let mut operands: Vec<&str> = tokens.by_ref().collect();
+                let trace_id = match operands.last().and_then(|t| t.strip_prefix("id=")) {
+                    Some(hex) => {
+                        operands.pop();
+                        Some(parse_trace_id(hex)?)
+                    }
+                    None => None,
+                };
+                let mut operands = operands.into_iter();
+                let query = parse_query_operands(verb, &mut operands)?;
+                if operands.next().is_some() {
+                    return Err("trailing tokens after TRACE".to_string());
+                }
+                Request::Trace(TraceRequest { query, trace_id })
             }
             other => return Err(format!("unknown verb {other:?}")),
         };
@@ -308,6 +373,102 @@ pub struct QueryReply {
     pub us: u64,
 }
 
+/// The `TRACED` reply: a query answer plus its trace id and span timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceReply {
+    /// The request's trace id (inbound `id=` echoed, or minted here).
+    pub trace_id: u64,
+    /// Echo of the query user.
+    pub user: u32,
+    /// The effective `k`.
+    pub k: usize,
+    /// The selected tag set `W*`.
+    pub tags: Vec<TagId>,
+    /// Estimated spread.
+    pub spread: f64,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// Total server-side handling time in microseconds.
+    pub us: u64,
+    /// Where those microseconds went, offsets relative to admission. A
+    /// router splices shard-side spans in under a `shard.` name prefix.
+    pub spans: Vec<Span>,
+}
+
+/// One flight-recorder entry as it crosses the wire (owned strings — the
+/// in-memory recorder uses `&'static str`, but a router dump aggregates
+/// foreign entries too).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightWireEntry {
+    pub trace_id: u64,
+    pub verb: String,
+    pub user: u32,
+    pub k: usize,
+    pub backend: String,
+    pub outcome: String,
+    pub us: u64,
+}
+
+impl FlightWireEntry {
+    fn to_token(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}:{}:{}",
+            format_trace_id(self.trace_id),
+            self.verb,
+            self.user,
+            self.k,
+            self.backend,
+            self.outcome,
+            self.us
+        )
+    }
+
+    fn from_token(token: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = token.split(':').collect();
+        let bad = || format!("bad flight entry {token:?}");
+        let [trace, verb, user, k, backend, outcome, us] = parts.as_slice() else {
+            return Err(bad());
+        };
+        Ok(Self {
+            trace_id: parse_trace_id(trace)?,
+            verb: verb.to_string(),
+            user: user.parse().map_err(|_| bad())?,
+            k: k.parse().map_err(|_| bad())?,
+            backend: backend.to_string(),
+            outcome: outcome.to_string(),
+            us: us.parse().map_err(|_| bad())?,
+        })
+    }
+}
+
+fn format_flight_entries(entries: &[FlightWireEntry]) -> String {
+    if entries.is_empty() {
+        return "-".to_string();
+    }
+    entries.iter().map(FlightWireEntry::to_token).collect::<Vec<_>>().join(";")
+}
+
+fn parse_flight_entries(s: &str) -> Result<Vec<FlightWireEntry>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(';').map(FlightWireEntry::from_token).collect()
+}
+
+/// The `FLIGHTED` reply: the recorder's ring (newest last, capped so the
+/// reply stays a single line) and the slow-query log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlightReply {
+    /// Total entries ever recorded into the ring.
+    pub recorded: u64,
+    /// Total requests that crossed the slow threshold.
+    pub slow_count: u64,
+    /// The ring contents, oldest first.
+    pub entries: Vec<FlightWireEntry>,
+    /// The retained slow queries, oldest first.
+    pub slow: Vec<FlightWireEntry>,
+}
+
 /// The `STATS` reply: ordered `key=value` pairs.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsReply {
@@ -331,7 +492,7 @@ impl StatsReply {
         self.get(key)?.parse().ok()
     }
 
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> + Clone {
         self.fields.iter().map(|(k, v)| (k.as_str(), v.as_str()))
     }
 }
@@ -423,7 +584,11 @@ pub enum Response {
     Ok(QueryReply),
     /// `EXPLAINED …` — see [`ExplainReply`].
     Explained(ExplainReply),
+    /// `TRACED …` — see [`TraceReply`].
+    Traced(TraceReply),
     Stats(StatsReply),
+    /// `FLIGHTED …` — see [`FlightReply`].
+    Flight(FlightReply),
     /// `UPDATED epoch=<serving epoch> pending=<staged ops>`.
     Updated {
         epoch: u64,
@@ -533,6 +698,24 @@ impl Response {
                 r.spread,
                 format_rejected(&r.rejected)
             ),
+            Response::Traced(r) => format!(
+                "TRACED trace_id={} user={} k={} tags={} spread={} cached={} us={} spans={}",
+                format_trace_id(r.trace_id),
+                r.user,
+                r.k,
+                format_tags(&r.tags),
+                r.spread,
+                u8::from(r.cached),
+                r.us,
+                spans_to_wire(&r.spans)
+            ),
+            Response::Flight(r) => format!(
+                "FLIGHTED n={} slow={} entries={} slow_entries={}",
+                r.recorded,
+                r.slow_count,
+                format_flight_entries(&r.entries),
+                format_flight_entries(&r.slow)
+            ),
             Response::Updated { epoch, pending } => {
                 format!("UPDATED epoch={epoch} pending={pending}")
             }
@@ -634,6 +817,49 @@ impl Response {
                     rejected,
                 }))
             }
+            "TRACED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<String, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    Ok(kv(token, key)?.to_string())
+                };
+                let bad = |key: &str| format!("bad {key} in TRACED reply");
+                let trace_id = parse_trace_id(&next("trace_id")?)?;
+                let user = next("user")?.parse().map_err(|_| bad("user"))?;
+                let k = next("k")?.parse().map_err(|_| bad("k"))?;
+                let tags = parse_tags(&next("tags")?)?;
+                let spread = next("spread")?.parse().map_err(|_| bad("spread"))?;
+                let cached = match next("cached")?.as_str() {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bad cached flag {other:?}")),
+                };
+                let us = next("us")?.parse().map_err(|_| bad("us"))?;
+                let spans = spans_from_wire(&next("spans")?)?;
+                Ok(Response::Traced(TraceReply {
+                    trace_id,
+                    user,
+                    k,
+                    tags,
+                    spread,
+                    cached,
+                    us,
+                    spans,
+                }))
+            }
+            "FLIGHTED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<String, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    Ok(kv(token, key)?.to_string())
+                };
+                let bad = |key: &str| format!("bad {key} in FLIGHTED reply");
+                let recorded = next("n")?.parse().map_err(|_| bad("n"))?;
+                let slow_count = next("slow")?.parse().map_err(|_| bad("slow"))?;
+                let entries = parse_flight_entries(&next("entries")?)?;
+                let slow = parse_flight_entries(&next("slow_entries")?)?;
+                Ok(Response::Flight(FlightReply { recorded, slow_count, entries, slow }))
+            }
             "UPDATED" => {
                 let mut tokens = rest.split_ascii_whitespace();
                 let mut next = |key: &str| -> Result<u64, String> {
@@ -731,6 +957,21 @@ mod tests {
             Request::Update(UpdateOp::AddUser),
             Request::Sync { from_epoch: 3 },
             Request::Discard,
+            Request::Metrics,
+            Request::Flight,
+            Request::Trace(TraceRequest { query: QueryRequest::new(0, 2), trace_id: None }),
+            Request::Trace(TraceRequest {
+                query: QueryRequest {
+                    timeout_us: Some(500),
+                    backend: Some(EngineBackend::Lazy),
+                    ..QueryRequest::new(7, 3)
+                },
+                trace_id: Some(0xdeadbeef12345678),
+            }),
+            Request::Trace(TraceRequest {
+                query: QueryRequest::new(1, 1),
+                trace_id: Some(u64::MAX),
+            }),
         ];
         for request in cases {
             assert_eq!(Request::parse(&request.to_line()), Ok(request));
@@ -781,6 +1022,14 @@ mod tests {
             ("SYNC x", "bad from_epoch"),
             ("SYNC 1 2", "trailing"),
             ("DISCARD all", "trailing"),
+            ("TRACE", "needs"),
+            ("TRACE 1", "needs"),
+            ("TRACE 1 2 frob", "unknown backend"),
+            ("TRACE 1 2 id=zz", "bad trace id"),
+            ("TRACE 1 2 id=", "bad trace id"),
+            ("TRACE 1 2 id=ff extra", "unknown backend"),
+            ("METRICS now", "trailing"),
+            ("FLIGHT all", "trailing"),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert!(err.contains(needle), "{line:?} -> {err:?}");
@@ -892,6 +1141,64 @@ mod tests {
                 pending: vec![],
             }),
             Response::Discarded { epoch: 4, dropped: 3 },
+            Response::Traced(TraceReply {
+                trace_id: 0xabc123,
+                user: 0,
+                k: 2,
+                tags: vec![2, 3],
+                spread: 2.0575,
+                cached: false,
+                us: 1234,
+                spans: vec![
+                    Span { name: "plan".into(), start_us: 0, dur_us: 10 },
+                    Span { name: "queue".into(), start_us: 10, dur_us: 40 },
+                    Span { name: "shard.execute".into(), start_us: 50, dur_us: 1100 },
+                ],
+            }),
+            Response::Traced(TraceReply {
+                trace_id: u64::MAX,
+                user: 5,
+                k: 1,
+                tags: vec![],
+                spread: 1.0,
+                cached: true,
+                us: 9,
+                spans: vec![],
+            }),
+            Response::Flight(FlightReply {
+                recorded: 1000,
+                slow_count: 2,
+                entries: vec![
+                    FlightWireEntry {
+                        trace_id: 7,
+                        verb: "QUERY".into(),
+                        user: 3,
+                        k: 2,
+                        backend: "lazy".into(),
+                        outcome: "ok".into(),
+                        us: 812,
+                    },
+                    FlightWireEntry {
+                        trace_id: 8,
+                        verb: "TRACE".into(),
+                        user: 4,
+                        k: 1,
+                        backend: "auto".into(),
+                        outcome: "busy".into(),
+                        us: 3,
+                    },
+                ],
+                slow: vec![FlightWireEntry {
+                    trace_id: 9,
+                    verb: "QUERY".into(),
+                    user: 1,
+                    k: 5,
+                    backend: "exact".into(),
+                    outcome: "ok".into(),
+                    us: 95_000,
+                }],
+            }),
+            Response::Flight(FlightReply::default()),
         ];
         for response in cases {
             let line = response.to_line();

@@ -39,7 +39,8 @@
 //! sides.
 
 use crate::protocol::{
-    ErrorCode, ExplainReply, QueryReply, ReloadReply, Request, Response, StatsReply,
+    ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, ReloadReply, Request,
+    Response, StatsReply, TraceReply,
 };
 use pitex_core::plan::PlanDecision;
 use pitex_core::registry::{self, CacheScope};
@@ -47,16 +48,20 @@ use pitex_core::{EngineBackend, EngineHandle, PitexEngine};
 use pitex_index::DelayMatIndex;
 use pitex_live::{
     repair_rr_index, replay, CommittedBatch, ModelOverlay, RepairOptions, Snapshot, SnapshotStore,
-    SyncBundle, UpdateOp, Wal, WalError, WalOptions, WalRecovery,
+    SyncBundle, UpdateOp, Wal, WalError, WalOptions, WalRecovery, WalTimings,
 };
 use pitex_model::{TagSet, TicModel};
 use pitex_support::lru::ShardedLru;
+use pitex_support::obs::{
+    mint_trace_id, render_prometheus, Counter, FieldSet, FlightEntry, FlightRecorder, Gauge,
+    ObsOptions, SpanRecorder,
+};
 use pitex_support::stats::{LatencyHistogram, OnlineStats};
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -117,6 +122,9 @@ struct Job {
     k: usize,
     backend: EngineBackend,
     deadline: Instant,
+    /// When the connection enqueued the job — the worker reports the
+    /// dequeue delta back as the `queue` trace span.
+    enqueued: Instant,
     reply: mpsc::SyncSender<WorkerReply>,
 }
 
@@ -124,12 +132,14 @@ enum WorkerReply {
     /// A computed answer, stamped with the epoch it was computed under so
     /// the connection can refuse to cache results from a superseded world,
     /// and with the measured execution time (what feeds the planner EWMA
-    /// and the `EXPLAIN` actual-cost field).
+    /// and the `EXPLAIN` actual-cost field) plus the queue wait (what
+    /// feeds the `queue` trace span).
     Done {
         tags: TagSet,
         spread: f64,
         epoch: u64,
         us: u64,
+        queue_us: u64,
     },
     Deadline,
     Panicked,
@@ -139,32 +149,42 @@ enum WorkerReply {
     Unavailable(String),
 }
 
-/// Always-on serving counters (all monotone).
+/// Always-on serving counters, as typed obs handles: every name here has
+/// a row in the obs `SCHEMA` (kind + cluster merge rule), which
+/// `stats_fields` asserts when it exports them.
 #[derive(Debug, Default)]
 struct Counters {
-    requests: AtomicU64,
-    ok: AtomicU64,
-    busy: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    errors: AtomicU64,
-    worker_panics: AtomicU64,
+    requests: Counter,
+    ok: Counter,
+    busy: Counter,
+    deadline_exceeded: Counter,
+    errors: Counter,
+    worker_panics: Counter,
     /// `UPDATE` ops accepted into the overlay since boot.
-    updates_applied: AtomicU64,
+    updates_applied: Counter,
     /// Ops currently staged (mirrors `overlay.pending()` so `STATS` never
     /// has to take the overlay lock, which `RELOAD` holds across repair).
-    updates_pending: AtomicU64,
+    updates_pending: Gauge,
     /// Snapshot swaps performed (`RELOAD`s that folded at least one op).
-    reloads: AtomicU64,
+    reloads: Counter,
     /// Committed batches replayed from the WAL at boot.
-    wal_replayed_records: AtomicU64,
+    wal_replayed_records: Counter,
     /// Ops replayed from the WAL at boot.
-    wal_replayed_ops: AtomicU64,
+    wal_replayed_ops: Counter,
     /// Torn-tail bytes truncated from the WAL at boot.
-    wal_truncated_bytes: AtomicU64,
+    wal_truncated_bytes: Counter,
     /// WAL compactions performed since boot.
-    wal_compactions: AtomicU64,
+    wal_compactions: Counter,
     /// `SYNC` requests answered with a bundle.
-    sync_served: AtomicU64,
+    sync_served: Counter,
+}
+
+/// Observability state shared across the serving stack: the always-on
+/// flight recorder (ring of recent request summaries + slow-query log)
+/// and the WAL timing histograms the admin path records into.
+struct ServerObs {
+    flight: FlightRecorder,
+    wal_timings: WalTimings,
 }
 
 /// A reload that has been folded and repaired but not yet swapped in —
@@ -217,6 +237,7 @@ struct Shared {
     wal_options: WalOptions,
     cache: ShardedLru<(u32, usize, EngineBackend), CachedAnswer>,
     counters: Counters,
+    obs: ServerObs,
     /// Service-time distribution of `OK` replies, in microseconds.
     latency: Mutex<(LatencyHistogram, OnlineStats)>,
     started: Instant,
@@ -380,7 +401,7 @@ impl Server {
         };
         let BootState {
             handle,
-            wal,
+            mut wal,
             epoch,
             history,
             history_base,
@@ -389,6 +410,13 @@ impl Server {
             replayed_ops,
             truncated_bytes,
         } = boot;
+
+        // The WAL records its append/fsync/compaction timings into
+        // histograms the stats path can read without the admin lock.
+        let wal_timings = WalTimings::default();
+        if let Some(wal) = wal.as_mut() {
+            wal.set_timings(wal_timings.clone());
+        }
 
         let mut overlay = ModelOverlay::new(handle.model().clone());
         for op in pending {
@@ -418,14 +446,15 @@ impl Server {
             options,
             wal_options,
             counters: Counters::default(),
+            obs: ServerObs { flight: FlightRecorder::new(ObsOptions::from_env()), wal_timings },
             latency: Mutex::new((LatencyHistogram::new(), OnlineStats::new())),
             started: Instant::now(),
             connections: Mutex::new(Vec::new()),
         });
-        shared.counters.wal_replayed_records.store(replayed_records, Ordering::Relaxed);
-        shared.counters.wal_replayed_ops.store(replayed_ops, Ordering::Relaxed);
-        shared.counters.wal_truncated_bytes.store(truncated_bytes, Ordering::Relaxed);
-        shared.counters.updates_pending.store(pending_count, Ordering::Relaxed);
+        shared.counters.wal_replayed_records.add(replayed_records);
+        shared.counters.wal_replayed_ops.add(replayed_ops);
+        shared.counters.wal_truncated_bytes.add(truncated_bytes);
+        shared.counters.updates_pending.set(pending_count);
 
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_depth);
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -624,12 +653,15 @@ fn run_worker_epoch(
             let _ = job.reply.try_send(WorkerReply::Deadline);
             continue;
         }
+        // Queue wait ends here: everything after (engine build included)
+        // is work done *for* this job, booked under its execute span.
+        let queue_us = job.enqueued.elapsed().as_micros() as u64;
         let slot = job.backend as usize;
         if engines[slot].is_none() {
             match snapshot.handle.engine_for(job.backend) {
                 Ok(engine) => engines[slot] = Some(engine),
                 Err(e) => {
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                     let _ = job.reply.try_send(WorkerReply::Unavailable(e.to_string()));
                     continue;
                 }
@@ -651,10 +683,11 @@ fn run_worker_epoch(
                     spread: result.spread,
                     epoch: snapshot.epoch,
                     us,
+                    queue_us,
                 }
             }
             Err(_) => {
-                shared.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                shared.counters.worker_panics.inc();
                 // The engine may hold poisoned internal state; drop it so
                 // the next job on this backend rebuilds from the snapshot.
                 engines[slot] = None;
@@ -720,25 +753,43 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncS
         if shared.store.epoch() != snapshot.epoch {
             snapshot = shared.store.current();
         }
-        let (response, close) = handle_line(shared, &snapshot, line.trim(), job_tx);
+        let handled = handle_line(shared, &snapshot, line.trim(), job_tx);
         line.clear();
-        let mut out = response.to_line();
-        out.push('\n');
-        // One write per reply: a split line + '\n' would stall ~40ms on the
-        // peer's delayed ACK under Nagle.
-        if writer.write_all(out.as_bytes()).is_err() {
-            return;
-        }
-        if close {
-            return;
+        match handled {
+            Handled::Reply(response, close) => {
+                let mut out = response.to_line();
+                out.push('\n');
+                // One write per reply: a split line + '\n' would stall
+                // ~40ms on the peer's delayed ACK under Nagle.
+                if writer.write_all(out.as_bytes()).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Handled::Raw(text) => {
+                if writer.write_all(text.as_bytes()).is_err() {
+                    return;
+                }
+            }
         }
     }
 }
 
+/// What one request line produced: a single-line [`Response`], or a raw
+/// multi-line payload written verbatim (the `METRICS` Prometheus
+/// exposition, whose `# EOF` terminator stands in for the line protocol's
+/// one-reply-per-line framing).
+enum Handled {
+    Reply(Response, bool),
+    Raw(String),
+}
+
 /// Tells an over-long-line client off once; the connection then closes.
 fn oversized_line_reply(shared: &Arc<Shared>, writer: &mut TcpStream) {
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    shared.counters.requests.inc();
+    shared.counters.errors.inc();
     let response = Response::Err {
         code: ErrorCode::BadRequest,
         message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
@@ -754,23 +805,26 @@ fn handle_line(
     snapshot: &Snapshot,
     line: &str,
     job_tx: &mpsc::SyncSender<Job>,
-) -> (Response, bool) {
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+) -> Handled {
+    shared.counters.requests.inc();
+    let reply = |response, close| Handled::Reply(response, close);
     let denied = || {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.inc();
         let message = "admin verbs are disabled on this server".to_string();
-        (Response::Err { code: ErrorCode::AdminDenied, message }, false)
+        Handled::Reply(Response::Err { code: ErrorCode::AdminDenied, message }, false)
     };
     match Request::parse(line) {
-        Ok(Request::Ping) => (Response::Pong, false),
-        Ok(Request::Quit) => (Response::Bye, true),
+        Ok(Request::Ping) => reply(Response::Pong, false),
+        Ok(Request::Quit) => reply(Response::Bye, true),
         Ok(Request::Shutdown) => {
             shared.stop.store(true, Ordering::SeqCst);
-            (Response::Bye, true)
+            reply(Response::Bye, true)
         }
-        Ok(Request::Stats) => (Response::Stats(stats_reply(shared)), false),
-        Ok(Request::Query(q)) => (handle_query(shared, snapshot, q, job_tx), false),
-        Ok(Request::Explain(q)) => (handle_explain(shared, snapshot, q, job_tx), false),
+        Ok(Request::Stats) => reply(Response::Stats(stats_reply(shared)), false),
+        Ok(Request::Metrics) => Handled::Raw(render_prometheus(stats_fields(shared).into_iter())),
+        Ok(Request::Query(q)) => reply(handle_query(shared, snapshot, q, job_tx), false),
+        Ok(Request::Explain(q)) => reply(handle_explain(shared, snapshot, q, job_tx), false),
+        Ok(Request::Trace(t)) => reply(handle_trace(shared, snapshot, t, job_tx), false),
         Ok(
             Request::Update(_)
             | Request::Reload
@@ -778,18 +832,20 @@ fn handle_line(
             | Request::Commit
             | Request::Epoch
             | Request::Sync { .. }
-            | Request::Discard,
+            | Request::Discard
+            | Request::Flight,
         ) if !shared.options.admin => denied(),
-        Ok(Request::Update(op)) => (handle_update(shared, op), false),
-        Ok(Request::Reload) => (handle_reload(shared), false),
-        Ok(Request::Prepare) => (handle_prepare(shared), false),
-        Ok(Request::Commit) => (handle_commit(shared), false),
-        Ok(Request::Epoch) => (Response::Epoch(shared.store.epoch()), false),
-        Ok(Request::Sync { from_epoch }) => (handle_sync(shared, from_epoch), false),
-        Ok(Request::Discard) => (handle_discard(shared), false),
+        Ok(Request::Update(op)) => reply(handle_update(shared, op), false),
+        Ok(Request::Reload) => reply(handle_reload(shared), false),
+        Ok(Request::Prepare) => reply(handle_prepare(shared), false),
+        Ok(Request::Commit) => reply(handle_commit(shared), false),
+        Ok(Request::Epoch) => reply(Response::Epoch(shared.store.epoch()), false),
+        Ok(Request::Sync { from_epoch }) => reply(handle_sync(shared, from_epoch), false),
+        Ok(Request::Discard) => reply(handle_discard(shared), false),
+        Ok(Request::Flight) => reply(handle_flight(shared), false),
         Err(reason) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            (Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
+            shared.counters.errors.inc();
+            reply(Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
         }
     }
 }
@@ -874,13 +930,50 @@ fn count_error(shared: &Shared, code: ErrorCode, message: String) -> Response {
     } else {
         &shared.counters.errors
     };
-    counter.fetch_add(1, Ordering::Relaxed);
+    counter.inc();
     Response::Err { code, message }
 }
 
+/// The flight-recorder outcome tag for a ready-to-send response.
+fn outcome_of(response: &Response) -> &'static str {
+    match response {
+        Response::Busy => "busy",
+        Response::Err { code: ErrorCode::Deadline, .. } => "deadline",
+        Response::Err { .. } => "error",
+        _ => "ok",
+    }
+}
+
+/// Books one request summary into the flight recorder (and, past the
+/// `PITEX_OBS_SLOW_US` threshold, into the slow-query log).
+#[allow(clippy::too_many_arguments)]
+fn record_flight(
+    shared: &Shared,
+    trace_id: u64,
+    verb: &'static str,
+    user: u32,
+    k: usize,
+    backend: &'static str,
+    outcome: &'static str,
+    us: u64,
+) {
+    shared.obs.flight.record(FlightEntry { trace_id, verb, user, k, backend, outcome, us });
+}
+
+/// What a successful dispatch hands back to the connection thread.
+struct JobDone {
+    tags: TagSet,
+    spread: f64,
+    epoch: u64,
+    /// Worker-measured execution time (`engine.query` alone).
+    us: u64,
+    /// Enqueue-to-dequeue wait.
+    queue_us: u64,
+}
+
 /// Enqueues one resolved job and waits for the worker's answer — the
-/// shared dispatch half of `QUERY` and `EXPLAIN`. `Err` carries the
-/// ready-to-send (and already counted) response for every non-answer
+/// shared dispatch half of `QUERY`, `EXPLAIN` and `TRACE`. `Err` carries
+/// the ready-to-send (and already counted) response for every non-answer
 /// outcome: `BUSY` shed, queued-past-deadline, worker panic, backend
 /// unavailable, shutdown race.
 fn dispatch_job(
@@ -888,25 +981,28 @@ fn dispatch_job(
     admitted: &Admitted,
     user: u32,
     job_tx: &mpsc::SyncSender<Job>,
-) -> Result<(TagSet, f64, u64, u64), Response> {
+) -> Result<JobDone, Response> {
     let (reply_tx, reply_rx) = mpsc::sync_channel::<WorkerReply>(1);
     let job = Job {
         user,
         k: admitted.k,
         backend: admitted.resolved,
         deadline: admitted.deadline,
+        enqueued: Instant::now(),
         reply: reply_tx,
     };
     match job_tx.try_send(job) {
         Ok(()) => {}
         Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
             // Full queue or a draining pool: shed the request.
-            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            shared.counters.busy.inc();
             return Err(Response::Busy);
         }
     }
     match reply_rx.recv() {
-        Ok(WorkerReply::Done { tags, spread, epoch, us }) => Ok((tags, spread, epoch, us)),
+        Ok(WorkerReply::Done { tags, spread, epoch, us, queue_us }) => {
+            Ok(JobDone { tags, spread, epoch, us, queue_us })
+        }
         Ok(WorkerReply::Deadline) => Err(count_error(
             shared,
             ErrorCode::Deadline,
@@ -932,20 +1028,26 @@ fn handle_query(
     q: crate::protocol::QueryRequest,
     job_tx: &mpsc::SyncSender<Job>,
 ) -> Response {
+    let trace_id = mint_trace_id();
     let error = |code: ErrorCode, message: String| count_error(shared, code, message);
     let admitted = match admit_query(shared, snapshot, &q, &error) {
         Ok(admitted) => admitted,
-        Err(response) => return response,
+        Err(response) => {
+            record_flight(shared, trace_id, "QUERY", q.user, q.k, "-", outcome_of(&response), 0);
+            return response;
+        }
     };
     let (k, accepted) = (admitted.k, admitted.accepted);
+    let backend = admitted.resolved.cli_name();
 
     // Cache under the *resolved* backend: `auto` queries share entries
     // with — and warm the cache for — the concrete backend they ran as.
     let key = (q.user, k, admitted.resolved);
     if let Some(hit) = shared.cache.get(&key) {
-        shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+        shared.counters.ok.inc();
         let us = accepted.elapsed().as_micros() as u64;
         record_latency(shared, us);
+        record_flight(shared, trace_id, "QUERY", q.user, k, backend, "ok", us);
         return Response::Ok(QueryReply {
             user: q.user,
             k,
@@ -956,9 +1058,14 @@ fn handle_query(
         });
     }
 
-    let (tags, spread, epoch, _us) = match dispatch_job(shared, &admitted, q.user, job_tx) {
+    let JobDone { tags, spread, epoch, .. } = match dispatch_job(shared, &admitted, q.user, job_tx)
+    {
         Ok(done) => done,
-        Err(response) => return response,
+        Err(response) => {
+            let us = accepted.elapsed().as_micros() as u64;
+            record_flight(shared, trace_id, "QUERY", q.user, k, backend, outcome_of(&response), us);
+            return response;
+        }
     };
     // Cache only results that are still current, and re-check after
     // the insert: a swap (plus its invalidation sweep) could land
@@ -974,9 +1081,10 @@ fn handle_query(
             shared.cache.invalidate(&key);
         }
     }
-    shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+    shared.counters.ok.inc();
     let us = accepted.elapsed().as_micros() as u64;
     record_latency(shared, us);
+    record_flight(shared, trace_id, "QUERY", q.user, k, backend, "ok", us);
     Response::Ok(QueryReply {
         user: q.user,
         k,
@@ -997,11 +1105,16 @@ fn handle_explain(
     q: crate::protocol::QueryRequest,
     job_tx: &mpsc::SyncSender<Job>,
 ) -> Response {
+    let trace_id = mint_trace_id();
     let error = |code: ErrorCode, message: String| count_error(shared, code, message);
     let admitted = match admit_query(shared, snapshot, &q, &error) {
         Ok(admitted) => admitted,
-        Err(response) => return response,
+        Err(response) => {
+            record_flight(shared, trace_id, "EXPLAIN", q.user, q.k, "-", outcome_of(&response), 0);
+            return response;
+        }
     };
+    let backend = admitted.resolved.cli_name();
     // A forced backend still gets a (trivial) decision so the reply can
     // show what the planner would have predicted for it.
     let decision = admitted.decision.clone().unwrap_or_else(|| PlanDecision {
@@ -1011,13 +1124,27 @@ fn handle_explain(
         rejected: Vec::new(),
     });
 
-    let (tags, spread, _epoch, us) = match dispatch_job(shared, &admitted, q.user, job_tx) {
+    let JobDone { tags, spread, us, .. } = match dispatch_job(shared, &admitted, q.user, job_tx) {
         Ok(done) => done,
-        Err(response) => return response,
+        Err(response) => {
+            let us = admitted.accepted.elapsed().as_micros() as u64;
+            record_flight(
+                shared,
+                trace_id,
+                "EXPLAIN",
+                q.user,
+                admitted.k,
+                backend,
+                outcome_of(&response),
+                us,
+            );
+            return response;
+        }
     };
-    shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+    shared.counters.ok.inc();
     let total_us = admitted.accepted.elapsed().as_micros() as u64;
     record_latency(shared, total_us);
+    record_flight(shared, trace_id, "EXPLAIN", q.user, admitted.k, backend, "ok", total_us);
     Response::Explained(ExplainReply {
         user: q.user,
         k: admitted.k,
@@ -1032,6 +1159,119 @@ fn handle_explain(
     })
 }
 
+/// `TRACE`: serve exactly like `QUERY` (cache included) while recording a
+/// span timeline — plan (admission + backend resolution), cache (the
+/// probe), queue (enqueue-to-dequeue wait) and execute (the engine run) —
+/// all measured against one origin so the client can lay them on a single
+/// time axis. The trace id is minted here unless the client (e.g. the
+/// cluster router, which spans the net hop) forwarded one with `id=`.
+fn handle_trace(
+    shared: &Arc<Shared>,
+    snapshot: &Snapshot,
+    t: crate::protocol::TraceRequest,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Response {
+    let q = t.query;
+    let trace_id = t.trace_id.unwrap_or_else(mint_trace_id);
+    let mut recorder = SpanRecorder::new();
+    let error = |code: ErrorCode, message: String| count_error(shared, code, message);
+    let admitted = match admit_query(shared, snapshot, &q, &error) {
+        Ok(admitted) => admitted,
+        Err(response) => {
+            let us = recorder.offset_us(Instant::now());
+            record_flight(shared, trace_id, "TRACE", q.user, q.k, "-", outcome_of(&response), us);
+            return response;
+        }
+    };
+    recorder.record_since("plan", recorder.origin());
+    let k = admitted.k;
+    let backend = admitted.resolved.cli_name();
+
+    let key = (q.user, k, admitted.resolved);
+    let probe_start = Instant::now();
+    let hit = shared.cache.get(&key);
+    recorder.record_since("cache", probe_start);
+    if let Some(hit) = hit {
+        shared.counters.ok.inc();
+        let us = recorder.offset_us(Instant::now());
+        record_latency(shared, us);
+        record_flight(shared, trace_id, "TRACE", q.user, k, backend, "ok", us);
+        return Response::Traced(TraceReply {
+            trace_id,
+            user: q.user,
+            k,
+            tags: hit.tags.tags().to_vec(),
+            spread: hit.spread,
+            cached: true,
+            us,
+            spans: recorder.finish(),
+        });
+    }
+
+    let dispatch_start = Instant::now();
+    let done = match dispatch_job(shared, &admitted, q.user, job_tx) {
+        Ok(done) => done,
+        Err(response) => {
+            let us = recorder.offset_us(Instant::now());
+            record_flight(shared, trace_id, "TRACE", q.user, k, backend, outcome_of(&response), us);
+            return response;
+        }
+    };
+    // The worker measured the queue wait and the execution; re-base both
+    // onto this trace's origin (the wait starts when the job is sent).
+    let queue_start = recorder.offset_us(dispatch_start);
+    recorder.record_at("queue", queue_start, done.queue_us);
+    recorder.record_at("execute", queue_start + done.queue_us, done.us);
+
+    // Same two-sided stale-insert discipline as `handle_query`.
+    if shared.store.epoch() == done.epoch {
+        shared.cache.insert(key, CachedAnswer { tags: done.tags.clone(), spread: done.spread });
+        if shared.store.epoch() != done.epoch {
+            shared.cache.invalidate(&key);
+        }
+    }
+    shared.counters.ok.inc();
+    let us = recorder.offset_us(Instant::now());
+    record_latency(shared, us);
+    record_flight(shared, trace_id, "TRACE", q.user, k, backend, "ok", us);
+    Response::Traced(TraceReply {
+        trace_id,
+        user: q.user,
+        k,
+        tags: done.tags.tags().to_vec(),
+        spread: done.spread,
+        cached: false,
+        us,
+        spans: recorder.finish(),
+    })
+}
+
+/// `FLIGHT` (admin): dump the flight recorder — the newest ring entries
+/// (capped so the reply stays one line) plus the slow-query log.
+fn handle_flight(shared: &Arc<Shared>) -> Response {
+    /// Newest ring entries included in the reply; the ring itself may be
+    /// larger (`PITEX_OBS_FLIGHT`), but the reply must stay a single
+    /// protocol line.
+    const FLIGHT_REPLY_CAP: usize = 64;
+    let wire = |e: &FlightEntry| FlightWireEntry {
+        trace_id: e.trace_id,
+        verb: e.verb.to_string(),
+        user: e.user,
+        k: e.k,
+        backend: e.backend.to_string(),
+        outcome: e.outcome.to_string(),
+        us: e.us,
+    };
+    let dump = shared.obs.flight.dump();
+    let newest = dump.len().saturating_sub(FLIGHT_REPLY_CAP);
+    Response::Flight(FlightReply {
+        recorded: shared.obs.flight.recorded(),
+        slow_count: shared.obs.flight.slow_count(),
+        entries: dump[newest..].iter().map(wire).collect(),
+        slow: shared.obs.flight.slow_queries().iter().map(wire).collect(),
+    })
+}
+
 /// `UPDATE`: validate and stage one op in the overlay. Nothing is visible
 /// to queries until `RELOAD`.
 fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
@@ -1040,7 +1280,7 @@ fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
         // A prepared snapshot no longer reflects the overlay once new ops
         // land; rather than silently invalidating a barrier in flight,
         // refuse until the coordinator COMMITs (or RELOADs) it.
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.inc();
         let message = "a prepared reload is pending; COMMIT (or RELOAD) it first".to_string();
         return Response::Err { code: ErrorCode::BadUpdate, message };
     }
@@ -1062,18 +1302,18 @@ fn handle_update(shared: &Arc<Shared>, op: UpdateOp) -> Response {
                         overlay.apply(prior).expect("previously validated ops re-apply");
                     }
                     admin.overlay = overlay;
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.inc();
                     let message = format!("wal append failed: {e}");
                     return Response::Err { code: ErrorCode::Internal, message };
                 }
             }
-            shared.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
+            shared.counters.updates_applied.inc();
             let pending = admin.overlay.pending() as u64;
-            shared.counters.updates_pending.store(pending, Ordering::Relaxed);
+            shared.counters.updates_pending.set(pending);
             Response::Updated { epoch: shared.store.epoch(), pending }
         }
         Err(e) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors.inc();
             Response::Err { code: ErrorCode::BadUpdate, message: e.to_string() }
         }
     }
@@ -1133,7 +1373,7 @@ fn stage_reload(shared: &Arc<Shared>, overlay: &ModelOverlay) -> Result<StagedRe
             Ok(StagedReload { new_model, handle, affected, dirty_members, reply })
         }
         Err(e) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors.inc();
             Err(Response::Err { code: ErrorCode::Internal, message: e.to_string() })
         }
     }
@@ -1179,7 +1419,7 @@ fn commit_staged(
             // reload is staged, and the overlay was reset just above.
             match wal.compact(&new_model, reply.epoch, &[]) {
                 Ok(()) => {
-                    shared.counters.wal_compactions.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.wal_compactions.inc();
                     // The on-disk history was folded into `base.snap`;
                     // mirror that in the SYNC history so both tell the
                     // same story about how far back they can serve.
@@ -1192,15 +1432,15 @@ fn commit_staged(
     }
 
     shared.prepared.store(false, Ordering::Relaxed);
-    shared.counters.updates_pending.store(0, Ordering::Relaxed);
-    shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
+    shared.counters.updates_pending.set(0);
+    shared.counters.reloads.inc();
     reply
 }
 
 /// Books a non-fatal WAL failure (the swap already happened; recovery
 /// degrades to "one epoch behind", which the prober heals).
 fn log_wal_failure(shared: &Arc<Shared>, what: &str, e: &WalError) {
-    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    shared.counters.errors.inc();
     eprintln!("pitex-serve: wal {what} failed: {e}");
 }
 
@@ -1302,7 +1542,7 @@ fn handle_commit(shared: &Arc<Shared>) -> Response {
 fn handle_sync(shared: &Arc<Shared>, from_epoch: u64) -> Response {
     let admin = shared.admin_state.lock().unwrap();
     if from_epoch < admin.history_base {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.inc();
         let message = format!(
             "history starts at epoch {} (older epochs were compacted); \
              a replica at epoch {from_epoch} must resync from artifacts",
@@ -1318,7 +1558,7 @@ fn handle_sync(shared: &Arc<Shared>, from_epoch: u64) -> Response {
         records,
         pending: admin.overlay.ops().to_vec(),
     };
-    shared.counters.sync_served.fetch_add(1, Ordering::Relaxed);
+    shared.counters.sync_served.inc();
     Response::Synced(bundle)
 }
 
@@ -1340,7 +1580,7 @@ fn handle_discard(shared: &Arc<Shared>) -> Response {
         }
     }
     shared.prepared.store(false, Ordering::Relaxed);
-    shared.counters.updates_pending.store(0, Ordering::Relaxed);
+    shared.counters.updates_pending.set(0);
     Response::Discarded { epoch: snapshot.epoch, dropped }
 }
 
@@ -1389,10 +1629,18 @@ fn record_latency(shared: &Shared, us: u64) {
 }
 
 fn stats_reply(shared: &Shared) -> StatsReply {
+    StatsReply::new(stats_fields(shared))
+}
+
+/// Every field this server exports, built through the obs [`FieldSet`] so
+/// each name is asserted against the registration schema (a field without
+/// a declared kind + merge rule cannot ship). `STATS` and the `METRICS`
+/// Prometheus exposition are two renderings of this one list.
+fn stats_fields(shared: &Shared) -> Vec<(String, String)> {
     let c = &shared.counters;
     let cache = shared.cache.counters();
     let uptime = shared.started.elapsed();
-    let ok = c.ok.load(Ordering::Relaxed);
+    let ok = c.ok.get();
     let (p50, p90, p99, mean, hist_wire) = {
         let latency = shared.latency.lock().unwrap();
         (
@@ -1405,60 +1653,69 @@ fn stats_reply(shared: &Shared) -> StatsReply {
     };
     let hit_rate = if cache.hits + cache.misses == 0 { 0.0 } else { cache.hit_rate() };
     let snapshot = shared.store.current();
-    let field = |k: &str, v: String| (k.to_string(), v);
+    let mut fields = FieldSet::new();
     // Per-backend planner observability: how often `auto` chose each
     // backend, how often a deadline forced a degradation, and the current
     // latency EWMA per backend (0.0 until first observed).
     let planner = snapshot.handle.planner();
-    let plan_fields = EngineBackend::ALL
-        .into_iter()
-        .flat_map(|backend| {
-            [
-                (format!("plan_{}", backend.cli_name()), planner.decisions(backend).to_string()),
-                (
-                    format!("ewma_{}_us", backend.cli_name()),
-                    format!("{:.1}", planner.ewma_us(backend).unwrap_or(0.0)),
-                ),
-            ]
-        })
-        .chain([field("plan_degraded", planner.degraded_count().to_string())]);
-    StatsReply::new(plan_fields.chain([
-        field("backend", snapshot.handle.backend().cli_name().to_string()),
-        field("workers", shared.options.workers.max(1).to_string()),
-        field("uptime_us", (uptime.as_micros() as u64).to_string()),
-        field("uptime_s", format!("{:.1}", uptime.as_secs_f64())),
-        field("epoch", snapshot.epoch.to_string()),
-        field("prepared", u8::from(shared.prepared.load(Ordering::Relaxed)).to_string()),
-        field("updates_applied", c.updates_applied.load(Ordering::Relaxed).to_string()),
-        field("updates_pending", c.updates_pending.load(Ordering::Relaxed).to_string()),
-        field("reloads", c.reloads.load(Ordering::Relaxed).to_string()),
-        field("wal", u8::from(shared.options.wal.is_some()).to_string()),
-        field("wal_replayed_records", c.wal_replayed_records.load(Ordering::Relaxed).to_string()),
-        field("wal_replayed_ops", c.wal_replayed_ops.load(Ordering::Relaxed).to_string()),
-        field("wal_truncated_bytes", c.wal_truncated_bytes.load(Ordering::Relaxed).to_string()),
-        field("wal_compactions", c.wal_compactions.load(Ordering::Relaxed).to_string()),
-        field("sync_served", c.sync_served.load(Ordering::Relaxed).to_string()),
-        field("requests", c.requests.load(Ordering::Relaxed).to_string()),
-        field("ok", ok.to_string()),
-        field("busy", c.busy.load(Ordering::Relaxed).to_string()),
-        field("deadline", c.deadline_exceeded.load(Ordering::Relaxed).to_string()),
-        field("errors", c.errors.load(Ordering::Relaxed).to_string()),
-        field("worker_panics", c.worker_panics.load(Ordering::Relaxed).to_string()),
-        field("cache_hits", cache.hits.to_string()),
-        field("cache_misses", cache.misses.to_string()),
-        field("cache_insertions", cache.insertions.to_string()),
-        field("cache_evictions", cache.evictions.to_string()),
-        field("cache_len", shared.cache.len().to_string()),
-        field("cache_hit_rate", format!("{hit_rate:.4}")),
-        field("qps", format!("{:.2}", ok as f64 / uptime.as_secs_f64().max(1e-9))),
-        field("lat_p50_us", p50.to_string()),
-        field("lat_p90_us", p90.to_string()),
-        field("lat_p99_us", p99.to_string()),
-        field("lat_mean_us", format!("{mean:.1}")),
-        // The raw log2 buckets, so a scatter-gather router can merge
-        // per-shard distributions instead of "averaging" percentiles.
-        field("lat_hist", hist_wire),
-    ]))
+    for backend in EngineBackend::ALL {
+        fields.push(format!("plan_{}", backend.cli_name()), planner.decisions(backend));
+        fields.push(
+            format!("ewma_{}_us", backend.cli_name()),
+            format!("{:.1}", planner.ewma_us(backend).unwrap_or(0.0)),
+        );
+    }
+    fields.push("plan_degraded", planner.degraded_count());
+    fields.push("backend", snapshot.handle.backend().cli_name());
+    fields.push("workers", shared.options.workers.max(1));
+    fields.push("uptime_us", uptime.as_micros() as u64);
+    fields.push("uptime_s", format!("{:.1}", uptime.as_secs_f64()));
+    fields.push("epoch", snapshot.epoch);
+    fields.push("prepared", u8::from(shared.prepared.load(Ordering::Relaxed)));
+    fields.push("updates_applied", c.updates_applied.get());
+    fields.push("updates_pending", c.updates_pending.get());
+    fields.push("reloads", c.reloads.get());
+    fields.push("wal", u8::from(shared.options.wal.is_some()));
+    fields.push("wal_replayed_records", c.wal_replayed_records.get());
+    fields.push("wal_replayed_ops", c.wal_replayed_ops.get());
+    fields.push("wal_truncated_bytes", c.wal_truncated_bytes.get());
+    fields.push("wal_compactions", c.wal_compactions.get());
+    fields.push("sync_served", c.sync_served.get());
+    fields.push("requests", c.requests.get());
+    fields.push("ok", ok);
+    fields.push("busy", c.busy.get());
+    fields.push("deadline", c.deadline_exceeded.get());
+    fields.push("errors", c.errors.get());
+    fields.push("worker_panics", c.worker_panics.get());
+    fields.push("cache_hits", cache.hits);
+    fields.push("cache_misses", cache.misses);
+    fields.push("cache_insertions", cache.insertions);
+    fields.push("cache_evictions", cache.evictions);
+    fields.push("cache_len", shared.cache.len());
+    fields.push("cache_hit_rate", format!("{hit_rate:.4}"));
+    fields.push("qps", format!("{:.2}", ok as f64 / uptime.as_secs_f64().max(1e-9)));
+    fields.push("lat_p50_us", p50);
+    fields.push("lat_p90_us", p90);
+    fields.push("lat_p99_us", p99);
+    fields.push("lat_mean_us", format!("{mean:.1}"));
+    // The raw log2 buckets, so a scatter-gather router can merge
+    // per-shard distributions instead of "averaging" percentiles.
+    fields.push("lat_hist", hist_wire);
+    // Flight recorder + WAL timing families (append = write + fsync,
+    // fsync alone bounds UPDATE ack latency, compact = snapshot + rewrite).
+    fields.push("flight_recorded", shared.obs.flight.recorded());
+    fields.push("slow_queries", shared.obs.flight.slow_count());
+    let wal_t = &shared.obs.wal_timings;
+    for (name, p99_name, hist) in [
+        ("wal_append_hist", "wal_append_p99_us", &wal_t.append),
+        ("wal_fsync_hist", "wal_fsync_p99_us", &wal_t.fsync),
+        ("wal_compact_hist", "wal_compact_p99_us", &wal_t.compact),
+    ] {
+        let snap = hist.snapshot();
+        fields.push(p99_name, snap.quantile(0.99));
+        fields.push(name, snap.to_wire());
+    }
+    fields.into_fields()
 }
 
 #[cfg(test)]

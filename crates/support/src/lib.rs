@@ -16,12 +16,20 @@
 //!   wall-clock timers used by the experiment harness and the query server.
 //! * [`lru`] — a sharded, thread-safe LRU result cache with hit/miss
 //!   counters, used by the serving layer.
+//! * [`obs`] — the observability layer (re-exported from `pitex_obs`):
+//!   the typed metrics registry, request trace spans and the flight
+//!   recorder. `LatencyHistogram` now lives there; this crate re-exports
+//!   it so existing imports keep working.
 
 pub mod codec;
 pub mod hash;
 pub mod lru;
 pub mod stats;
 pub mod visited;
+
+/// The observability layer: typed metrics registry, trace spans, flight
+/// recorder. Downstream crates reach it as `pitex_support::obs::…`.
+pub use pitex_obs as obs;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use lru::{CacheCounters, ShardedLru};

@@ -92,119 +92,10 @@ impl OnlineStats {
     }
 }
 
-/// A fixed-footprint log₂-bucketed histogram for latency percentiles.
-///
-/// The serving layer's `/stats` endpoint reports p50/p90/p99 service times.
-/// Exact percentiles would require storing every sample; instead samples
-/// (microseconds, say) land in power-of-two buckets, so any quantile is
-/// answered in O(64) with at most a 2× overestimate — plenty for spotting a
-/// latency regression, and recording is two instructions on the hot path.
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    /// `buckets[b]` counts samples with exactly `b` significant bits
-    /// (bucket 0 holds the value 0, bucket 1 holds 1, bucket 2 holds 2–3, …).
-    buckets: [u64; 65],
-    count: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        Self { buckets: [0; 65], count: 0 }
-    }
-
-    /// Records one sample (any non-negative integer unit; pick one and stay
-    /// with it — the serving layer uses microseconds).
-    pub fn record(&mut self, value: u64) {
-        let bucket = 64 - value.leading_zeros() as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// The value at quantile `q ∈ [0, 1]`, reported as the inclusive upper
-    /// bound of the bucket the quantile falls in (0 when empty). `q = 0.5`
-    /// is the median, `q = 1.0` an upper bound on the maximum.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (bucket, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return match bucket {
-                    0 => 0,
-                    64 => u64::MAX,
-                    b => (1u64 << b) - 1,
-                };
-            }
-        }
-        u64::MAX
-    }
-
-    /// Merges another histogram into this one (parallel reduction).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-    }
-
-    /// Serializes the non-empty buckets as `bucket:count` pairs joined by
-    /// commas (`-` when empty) — a single whitespace-free token, so it fits
-    /// a `key=value` field of the serving `STATS` line. A scatter-gather
-    /// router reassembles per-shard histograms with
-    /// [`from_wire`](Self::from_wire) and [`merge`](Self::merge), which is the only way
-    /// to aggregate percentiles correctly (percentiles themselves do not
-    /// add).
-    pub fn to_wire(&self) -> String {
-        if self.count == 0 {
-            return "-".to_string();
-        }
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(b, &n)| format!("{b}:{n}"))
-            .collect::<Vec<_>>()
-            .join(",")
-    }
-
-    /// Parses the [`to_wire`](Self::to_wire) encoding.
-    pub fn from_wire(s: &str) -> Result<LatencyHistogram, String> {
-        let mut hist = LatencyHistogram::new();
-        if s == "-" {
-            return Ok(hist);
-        }
-        for pair in s.split(',') {
-            let (bucket, count) =
-                pair.split_once(':').ok_or_else(|| format!("bad histogram pair {pair:?}"))?;
-            let bucket: usize =
-                bucket.parse().map_err(|_| format!("bad histogram bucket {bucket:?}"))?;
-            let count: u64 = count.parse().map_err(|_| format!("bad histogram count {count:?}"))?;
-            if bucket >= hist.buckets.len() {
-                return Err(format!("histogram bucket {bucket} out of range"));
-            }
-            hist.buckets[bucket] += count;
-            hist.count += count;
-        }
-        Ok(hist)
-    }
-}
+/// The latency histogram now lives in the observability crate (its bucket
+/// layout is shared with the atomic hot-path recorder and the Prometheus
+/// exposition); re-exported here so existing imports keep working.
+pub use pitex_obs::hist::LatencyHistogram;
 
 /// A simple wall-clock timer.
 #[derive(Clone, Copy, Debug)]

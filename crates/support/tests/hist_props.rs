@@ -1,0 +1,145 @@
+//! Property tests for `LatencyHistogram` (the wire format the cluster's
+//! scatter-gather merge depends on): to_wire/from_wire identity, merge
+//! commutativity and associativity, and the empty / saturated edge cases.
+
+use pitex_support::LatencyHistogram;
+use proptest::prelude::*;
+
+fn hist_from(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spread across the full u64 range, not just small values, so
+/// high buckets (including 64, the `u64::MAX` bucket) get exercised: a
+/// generated `(bits, raw)` pair becomes a value with `bits` significant
+/// bits.
+fn sample_vec() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u32..66, 0u64..u64::MAX).prop_map(|(bits, raw)| match bits {
+            0 => 0,
+            64.. => raw | (1 << 63),
+            b => (raw % (1 << b)) | (1 << (b - 1)),
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Wire encoding is lossless: decode(encode(h)) reproduces every
+    /// bucket, the count, and therefore every quantile.
+    #[test]
+    fn wire_round_trip_is_identity(samples in sample_vec()) {
+        let h = hist_from(&samples);
+        let decoded = LatencyHistogram::from_wire(&h.to_wire()).unwrap();
+        prop_assert_eq!(decoded.buckets(), h.buckets());
+        prop_assert_eq!(decoded.count(), h.count());
+        prop_assert_eq!(decoded.to_wire(), h.to_wire());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(decoded.quantile(q), h.quantile(q));
+        }
+    }
+
+    /// Merge is commutative: a∪b = b∪a bucket for bucket.
+    #[test]
+    fn merge_is_commutative(a in sample_vec(), b in sample_vec()) {
+        let (ha, hb) = (hist_from(&a), hist_from(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.buckets(), ba.buckets());
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    /// Merge is associative: (a∪b)∪c = a∪(b∪c) — so a router may fold
+    /// shard replies in any arrival order.
+    #[test]
+    fn merge_is_associative(a in sample_vec(), b in sample_vec(), c in sample_vec()) {
+        let (ha, hb, hc) = (hist_from(&a), hist_from(&b), hist_from(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.buckets(), right.buckets());
+        prop_assert_eq!(left.count(), right.count());
+    }
+
+    /// Merging equals recording the concatenated samples directly, and the
+    /// wire survives the split: decode(a)∪decode(b) = whole.
+    #[test]
+    fn merge_equals_sequential_through_the_wire(a in sample_vec(), b in sample_vec()) {
+        let whole = hist_from(&a.iter().chain(b.iter()).copied().collect::<Vec<_>>());
+        let mut gathered = LatencyHistogram::from_wire(&hist_from(&a).to_wire()).unwrap();
+        gathered.merge(&LatencyHistogram::from_wire(&hist_from(&b).to_wire()).unwrap());
+        prop_assert_eq!(gathered.buckets(), whole.buckets());
+        prop_assert_eq!(gathered.count(), whole.count());
+    }
+
+    /// Quantiles are sound: for every recorded sample set, quantile(q) is
+    /// >= the true q-th sample and less than 2x above it (the log2 bucket
+    /// guarantee), and quantile is monotone in q.
+    #[test]
+    fn quantiles_bound_true_samples(
+        first in 0u64..1_000_000,
+        rest in sample_vec(),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        // Always at least one sample, so every quantile has a true answer.
+        let samples: Vec<u64> = std::iter::once(first).chain(rest).collect();
+        let h = hist_from(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let mut last = 0u64;
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        for q in qs {
+            let est = h.quantile(q);
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(est >= truth, "quantile({q}) = {est} < true {truth}");
+            if truth > 0 && est < u64::MAX {
+                prop_assert!(est < truth.saturating_mul(2), "quantile({q}) = {est} >= 2x true {truth}");
+            }
+            prop_assert!(est >= last, "quantile not monotone in q");
+            last = est;
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_edge_cases() {
+    let h = LatencyHistogram::new();
+    assert_eq!(h.to_wire(), "-");
+    let decoded = LatencyHistogram::from_wire("-").unwrap();
+    assert_eq!(decoded.count(), 0);
+    assert_eq!(decoded.quantile(0.5), 0);
+    // Merging an empty histogram is the identity.
+    let mut a = LatencyHistogram::new();
+    a.record(42);
+    let before = a.to_wire();
+    a.merge(&h);
+    assert_eq!(a.to_wire(), before);
+}
+
+#[test]
+fn saturated_bucket_survives_the_wire_and_merge() {
+    // A bucket holding u64::MAX-ish counts must round-trip without
+    // overflow panics in the encoding itself.
+    let wire = format!("64:{}", u64::MAX / 2);
+    let h = LatencyHistogram::from_wire(&wire).unwrap();
+    assert_eq!(h.count(), u64::MAX / 2);
+    assert_eq!(h.quantile(1.0), u64::MAX);
+    assert_eq!(LatencyHistogram::from_wire(&h.to_wire()).unwrap().to_wire(), wire);
+    let mut doubled = h.clone();
+    doubled.merge(&h);
+    assert_eq!(doubled.count(), u64::MAX / 2 * 2);
+}

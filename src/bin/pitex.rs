@@ -10,8 +10,10 @@
 //! pitex update  --model model.bin --out new.bin (--ops FILE | --op "SET_EDGE 0 1 0:0.9")
 //! pitex client  --addr 127.0.0.1:7411 --user 42 --k 3 | --stats [--json] | --shutdown
 //!               | --bench | --update "OP…" | --admin epoch|reload
+//!               | --trace --user 42 --k 3 | --metrics | --flight
 //! pitex shardmap --out cluster.map --replicas "h:1,h:2;h:3,h:4" [--seed 42]
 //! pitex router  --map cluster.map [--port 7400]
+//! pitex top     --addr 127.0.0.1:7411 [--interval-ms 1000] [--count N]
 //! ```
 //!
 //! The CLI covers the offline/online lifecycle end-to-end: generate (or
@@ -26,6 +28,7 @@ use pitex::index::serial;
 use pitex::live::{ops_from_file_bytes, repair_rr_index};
 use pitex::prelude::*;
 use pitex::serve::{LoadGen, Response, ServeClient, ServeOptions, Server};
+use pitex::support::obs::format_trace_id;
 use pitex::support::stats::{human_bytes, human_duration};
 use std::collections::HashMap;
 use std::io::Write;
@@ -93,6 +96,7 @@ fn main() -> ExitCode {
         "client" => cmd_client(&opts),
         "shardmap" => cmd_shardmap(&opts),
         "router" => cmd_router(&opts),
+        "top" => cmd_top(&opts),
         "help" | "--help" | "-h" => write_stdout(format_args!("{USAGE}")),
         other => Err(CliError::Msg(format!("unknown command {other:?}"))),
     };
@@ -120,14 +124,23 @@ USAGE:
   pitex update --model FILE --out FILE (--ops FILE | --op \"SET_EDGE 0 1 0:0.9\")
                [--index FILE --index-out FILE [--dirty-threshold F]]
   pitex client --addr HOST:PORT (--user N --k N [--timeout-us N] [--repeat N]
-               [--backend NAME] [--explain]
-               | --stats [--json] | --ping | --shutdown
+               [--backend NAME] [--explain] [--trace]
+               | --stats [--json] | --metrics | --flight | --ping | --shutdown
                | --update \"OP...\" | --admin epoch|reload
                | --bench [--clients N] [--requests N] [--user N] [--k N] [--backend NAME])
   pitex shardmap (--out FILE --replicas \"A:P,A:P;A:P,A:P\" [--seed N] [--binary]
                | --map FILE [--user N])
   pitex router --map FILE [--port N] [--max-in-flight N] [--idle-conns N]
                [--probe-ms N] [--no-admin]
+  pitex top    --addr HOST:PORT [--interval-ms N] [--count N]
+
+OBSERVABILITY: `client --trace` runs one traced query and prints its span
+          timeline (through a router: `shard.*` spans show the hop);
+          `client --metrics` scrapes Prometheus text exposition;
+          `client --flight` dumps the flight recorder (admin-gated);
+          `top` is a live terminal dashboard over STATS + FLIGHT.
+          PITEX_OBS_FLIGHT sizes the ring, PITEX_OBS_SLOW_US sets the
+          slow-query threshold (0 = off).
 
 BACKENDS (--backend / --method): lazy (default), mc, rr, tim, exact, lt,
          indexest / indexest+ / delaymat (require --index),
@@ -150,8 +163,10 @@ UPDATE OPS: ADD_EDGE s d z:p[,z:p..] | REMOVE_EDGE s d | SET_EDGE s d z:p[,..]
 type Opts = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 9] =
-    ["delay", "stats", "ping", "shutdown", "bench", "json", "no-admin", "binary", "explain"];
+const BOOL_FLAGS: [&str; 12] = [
+    "delay", "stats", "ping", "shutdown", "bench", "json", "no-admin", "binary", "explain",
+    "trace", "metrics", "flight",
+];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::new();
@@ -623,6 +638,89 @@ fn cmd_router(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `pitex top` — a `watch`-style terminal dashboard over `STATS` and
+/// `FLIGHT`. Works identically against a single server and a router (where
+/// the stats are the cluster-wide merge). `--count N` renders N frames and
+/// exits (N=0, the default, runs until interrupted); frames after the
+/// first start with an ANSI clear so the view updates in place.
+fn cmd_top(opts: &Opts) -> Result<(), CliError> {
+    let addr = want(opts, "addr")?;
+    let interval_ms: u64 =
+        opts.get("interval-ms").map(|s| parse(s, "--interval-ms")).transpose()?.unwrap_or(1000);
+    let count: u64 = opts.get("count").map(|s| parse(s, "--count")).transpose()?.unwrap_or(0);
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut frame = 0u64;
+    loop {
+        let stats = client.stats().map_err(|e| format!("STATS failed: {e}"))?;
+        // FLIGHT is admin-gated; a denial just leaves the panel out.
+        let flight = client.flight().ok();
+        if frame > 0 {
+            outln!("\x1b[2J\x1b[H");
+        }
+        let get = |key: &str| stats.get(key).unwrap_or("-").to_string();
+        outln!("pitex top — {addr}  epoch {}  backend {}", get("epoch"), get("backend"));
+        if stats.get("shards").is_some() {
+            outln!(
+                "cluster: {} shards, {}/{} replicas up, {} failovers, {} probes ({} failed)",
+                get("shards"),
+                get("replicas_up"),
+                get("replicas"),
+                get("router_failovers"),
+                get("router_probes"),
+                get("router_probe_failures")
+            );
+        }
+        outln!(
+            "requests {}  ok {}  busy {}  deadline {}  errors {}  qps {}",
+            get("requests"),
+            get("ok"),
+            get("busy"),
+            get("deadline"),
+            get("errors"),
+            get("qps")
+        );
+        outln!(
+            "latency p50 {}us  p90 {}us  p99 {}us  mean {}us",
+            get("lat_p50_us"),
+            get("lat_p90_us"),
+            get("lat_p99_us"),
+            get("lat_mean_us")
+        );
+        outln!(
+            "cache: {} entries, {} hits / {} misses (rate {})",
+            get("cache_len"),
+            get("cache_hits"),
+            get("cache_misses"),
+            get("cache_hit_rate")
+        );
+        if let Some(reply) = &flight {
+            outln!(
+                "flight: {} recorded, {} slow — most recent first:",
+                reply.recorded,
+                reply.slow_count
+            );
+            for e in reply.entries.iter().rev().take(15) {
+                outln!(
+                    "  {} {:<7} user {:>6} k {} [{}] {} in {}us",
+                    format_trace_id(e.trace_id),
+                    e.verb,
+                    e.user,
+                    e.k,
+                    e.backend,
+                    e.outcome,
+                    e.us
+                );
+            }
+        }
+        frame += 1;
+        if count != 0 && frame >= count {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
 /// Minimal JSON string escaping for `--stats --json` values.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -667,6 +765,36 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
             for (key, value) in stats.iter() {
                 outln!("{key}={value}");
             }
+        }
+        return Ok(());
+    }
+    if opts.contains_key("metrics") {
+        let text = connect()?.metrics().map_err(|e| e.to_string())?;
+        outln!("{}", text.trim_end());
+        return Ok(());
+    }
+    if opts.contains_key("flight") {
+        let reply = connect()?.flight().map_err(|e| format!("flight dump failed: {e}"))?;
+        outln!("flight: {} recorded, {} slow", reply.recorded, reply.slow_count);
+        let print_entries = |entries: &[pitex::serve::FlightWireEntry]| -> Result<(), CliError> {
+            for e in entries {
+                outln!(
+                    "  {} {:<7} user {:>6} k {} [{}] {} in {}us",
+                    format_trace_id(e.trace_id),
+                    e.verb,
+                    e.user,
+                    e.k,
+                    e.backend,
+                    e.outcome,
+                    e.us
+                );
+            }
+            Ok(())
+        };
+        print_entries(&reply.entries)?;
+        if !reply.slow.is_empty() {
+            outln!("slow queries (over PITEX_OBS_SLOW_US):");
+            print_entries(&reply.slow)?;
         }
         return Ok(());
     }
@@ -764,6 +892,25 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
     let timeout_us: Option<u64> =
         opts.get("timeout-us").map(|s| parse(s, "--timeout-us")).transpose()?;
     let mut client = connect()?;
+    if opts.contains_key("trace") {
+        let reply = client
+            .trace(user, k, timeout_us, backend_override, None)
+            .map_err(|e| format!("trace failed: {e}"))?;
+        let tags = TagSet::new(reply.tags.clone());
+        outln!(
+            "trace {} — W* = {tags} with spread {:.4} [user {}, k {}, {} in {}us]",
+            format_trace_id(reply.trace_id),
+            reply.spread,
+            reply.user,
+            reply.k,
+            if reply.cached { "cache hit" } else { "computed" },
+            reply.us
+        );
+        for span in &reply.spans {
+            outln!("  {:>9}us  {:>9}us  {}", span.start_us, span.dur_us, span.name);
+        }
+        return Ok(());
+    }
     if opts.contains_key("explain") {
         let reply = client
             .explain(user, k, timeout_us, backend_override)

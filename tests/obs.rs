@@ -1,0 +1,205 @@
+//! Observability integration suite: end-to-end request tracing, the typed
+//! metrics registry, and the flight recorder, exercised over real TCP
+//! through both a single server and a 2-shard router.
+//!
+//! Asserts the acceptance scenario of the observability layer: a `TRACE`d
+//! query through the router returns one span timeline whose router-side
+//! and shard-side spans share a single trace id and whose span durations
+//! sum to (approximately) the measured end-to-end latency; `METRICS`
+//! parses as Prometheus text exposition at both hops; the flight recorder
+//! sees the query at both hops under the same id; and every field a shard
+//! exports through `STATS` carries a registered merge rule — the loud
+//! replacement for the router's old hand-maintained sum table.
+
+use pitex::cluster::{Router, RouterHandle, RouterOptions, ShardMap};
+use pitex::prelude::*;
+use pitex::serve::{Response, ServeClient, ServeOptions, Server, ServerHandle};
+use pitex::support::obs::{parse_prometheus, spec_for, MergedFields};
+use std::sync::Arc;
+
+fn boot_shard() -> ServerHandle {
+    let model = Arc::new(TicModel::paper_example());
+    let handle = EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+    Server::spawn(handle, ("127.0.0.1", 0), ServeOptions::default()).unwrap()
+}
+
+struct Cluster {
+    /// `servers[shard][0]` — one replica per shard keeps replica affinity
+    /// out of the picture, so a warming query and the traced query land on
+    /// the same process.
+    servers: Vec<Vec<ServerHandle>>,
+    router: RouterHandle,
+}
+
+fn boot_cluster(shards: usize) -> Cluster {
+    let servers: Vec<Vec<ServerHandle>> = (0..shards).map(|_| vec![boot_shard()]).collect();
+    let addrs: Vec<Vec<String>> =
+        servers.iter().map(|shard| shard.iter().map(|s| s.addr().to_string()).collect()).collect();
+    let map = ShardMap::new(addrs).unwrap();
+    let router = Router::spawn(map, ("127.0.0.1", 0), RouterOptions::default()).unwrap();
+    Cluster { servers, router }
+}
+
+impl Cluster {
+    fn stop(self) {
+        self.router.stop().expect("no router thread may panic");
+        for shard in self.servers {
+            for server in shard {
+                server.stop().expect("no shard server thread may panic");
+            }
+        }
+    }
+}
+
+#[test]
+fn traced_query_through_the_router_is_one_timeline_under_one_id() {
+    let cluster = boot_cluster(2);
+    let mut client = ServeClient::connect(cluster.router.addr()).unwrap();
+
+    // Warm the owning shard's worker (engine build is lazy) with a
+    // different cache key, so the traced query itself is a cold cache miss
+    // on a warm engine.
+    let user = 1u32;
+    let Response::Ok(_) = client.query(user, 3).unwrap() else { panic!("warmup must answer") };
+
+    let wanted_id = 0x00c0_ffee_u64;
+    let traced = client.trace(user, 2, None, None, Some(wanted_id)).unwrap();
+    assert_eq!(traced.trace_id, wanted_id, "the caller's trace id is honored end to end");
+    assert!(!traced.cached, "distinct k means a cache miss");
+    assert_eq!(traced.user, user);
+
+    // The timeline interleaves router-side spans with `shard.`-prefixed
+    // shard spans — one trace, two processes.
+    let names: Vec<&str> = traced.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["route", "net", "shard.plan", "shard.cache", "shard.queue", "shard.execute"] {
+        assert!(names.contains(&expected), "span {expected:?} missing from {names:?}");
+    }
+    for span in &traced.spans {
+        assert!(
+            span.start_us + span.dur_us <= traced.us + 1_000,
+            "span {} [{} +{}us] overruns the request ({}us)",
+            span.name,
+            span.start_us,
+            span.dur_us,
+            traced.us
+        );
+    }
+    // The spans are a phase decomposition of the request: their durations
+    // must account for (within 20%, plus a small floor for µs-scale
+    // timer noise) the measured end-to-end latency.
+    let span_sum: u64 = traced.spans.iter().map(|s| s.dur_us).sum();
+    let tolerance = (traced.us / 5).max(150);
+    assert!(
+        span_sum <= traced.us + tolerance && span_sum + tolerance >= traced.us,
+        "span durations sum to {span_sum}us, end-to-end was {}us",
+        traced.us
+    );
+
+    // Both hops' flight recorders saw the same trace id.
+    let router_flight = client.flight().unwrap();
+    assert!(
+        router_flight.entries.iter().any(|e| e.trace_id == wanted_id && e.verb == "TRACE"),
+        "router flight recorder missed the traced query"
+    );
+    let shard_hit = cluster.servers.iter().any(|shard| {
+        let mut direct = ServeClient::connect(shard[0].addr()).unwrap();
+        direct
+            .flight()
+            .unwrap()
+            .entries
+            .iter()
+            .any(|e| e.trace_id == wanted_id && e.verb == "TRACE")
+    });
+    assert!(shard_hit, "no shard flight recorder saw trace {wanted_id:#x}");
+    cluster.stop();
+}
+
+#[test]
+fn metrics_exposition_parses_at_both_hops() {
+    let cluster = boot_cluster(2);
+    let mut client = ServeClient::connect(cluster.router.addr()).unwrap();
+    for user in 0..4u32 {
+        let Response::Ok(_) = client.query(user, 2).unwrap() else { panic!("query must answer") };
+    }
+
+    // Router scrape: the cluster-wide merge as Prometheus text.
+    let text = client.metrics().unwrap();
+    let samples = parse_prometheus(&text).expect("router METRICS must parse");
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("sample {name:?} missing"))
+            .value
+    };
+    assert!(get("pitex_ok") >= 4.0, "shard ok counters sum into the router scrape");
+    assert!(get("pitex_router_requests") >= 4.0);
+    assert!(
+        samples.iter().any(|s| s.name == "pitex_lat_bucket"),
+        "merged latency histogram expands into cumulative buckets"
+    );
+
+    // Shard scrape: same exposition format straight off one process.
+    let mut direct = ServeClient::connect(cluster.servers[0][0].addr()).unwrap();
+    let shard_text = direct.metrics().unwrap();
+    let shard_samples = parse_prometheus(&shard_text).expect("shard METRICS must parse");
+    assert!(shard_samples.iter().any(|s| s.name == "pitex_requests"));
+    // The connection survives the multi-line response: framing is intact.
+    direct.ping().unwrap();
+    client.ping().unwrap();
+    cluster.stop();
+}
+
+#[test]
+fn every_shard_stats_field_has_a_registered_merge_rule() {
+    // Satellite of the registry tentpole: the router's old hand-maintained
+    // SUMMED_FIELDS table silently dropped any field it forgot (the PR 4
+    // `cache_len=0` bug). Now the schema is the single source of truth —
+    // this test fails the moment a shard exports a STATS field without a
+    // registered merge rule.
+    let server = boot_shard();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let Response::Ok(_) = client.query(0, 2).unwrap() else { panic!("query must answer") };
+    let stats = client.stats().unwrap();
+    for (name, _) in stats.iter() {
+        assert!(
+            spec_for(name).is_some(),
+            "shard STATS field {name:?} has no merge rule in the obs SCHEMA"
+        );
+    }
+    // And the merge itself accepts the full reply (the same code path the
+    // router runs).
+    let mut merged = MergedFields::new();
+    merged.absorb(stats.iter()).expect("a full shard reply must merge cleanly");
+    merged.absorb(stats.iter()).unwrap();
+    let fields = merged.finish().expect("no must-agree divergence from one server");
+    let lookup = |key: &str| {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()).unwrap_or_default()
+    };
+    let single: u64 = stats.get_u64("requests").unwrap();
+    assert_eq!(lookup("requests"), (2 * single).to_string(), "counters sum across replies");
+    assert_eq!(lookup("epoch"), "1", "must-agree fields pass through");
+    server.stop().unwrap();
+}
+
+#[test]
+fn slow_query_log_captures_requests_over_the_threshold() {
+    // Every loopback query takes more than a microsecond, so a 1µs
+    // threshold marks everything slow. The env var is read at server boot;
+    // it is restored before the test ends.
+    std::env::set_var("PITEX_OBS_SLOW_US", "1");
+    let server = boot_shard();
+    std::env::remove_var("PITEX_OBS_SLOW_US");
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let Response::Ok(_) = client.query(0, 2).unwrap() else { panic!("query must answer") };
+
+    let stats = client.stats().unwrap();
+    assert!(stats.get_u64("slow_queries").unwrap() >= 1, "the 1µs threshold catches everything");
+    let flight = client.flight().unwrap();
+    assert!(flight.slow_count >= 1);
+    assert!(
+        flight.slow.iter().any(|e| e.verb == "QUERY" && e.us >= 1),
+        "the slow log retains the offending query"
+    );
+    server.stop().unwrap();
+}
