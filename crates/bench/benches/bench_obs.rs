@@ -17,7 +17,16 @@ use pitex_support::obs::{
 use std::time::Instant;
 
 fn entry(trace_id: u64, us: u64) -> FlightEntry {
-    FlightEntry { trace_id, verb: "QUERY", user: 7, k: 2, backend: "auto", outcome: "ok", us }
+    FlightEntry {
+        trace_id,
+        ts_us: 0,
+        verb: "QUERY",
+        user: 7,
+        k: 2,
+        backend: "auto",
+        outcome: "ok",
+        us,
+    }
 }
 
 fn bench_obs(c: &mut Criterion) {
@@ -57,7 +66,7 @@ fn bench_obs(c: &mut Criterion) {
         })
     });
     c.bench_function("obs_ewma_observe", |b| b.iter(|| ewma.observe(95.0, 0.2)));
-    c.bench_function("obs_mint_trace_id", |b| b.iter(|| mint_trace_id()));
+    c.bench_function("obs_mint_trace_id", |b| b.iter(mint_trace_id));
     c.bench_function("obs_trace_span_set", |b| {
         b.iter(|| {
             let mut rec = SpanRecorder::new();

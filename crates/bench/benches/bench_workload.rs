@@ -1,0 +1,95 @@
+//! Workload capture + replay machinery: the costs off the serving hot path.
+//!
+//! Capture already pays its per-request cost inside `bench_obs`-style
+//! budgets (one `fetch_add` when sampled out; encode + buffer append when
+//! sampled in) — here the *offline* halves are gated: encoding and
+//! decoding one PWRK record, scanning a whole log back in (checksums and
+//! all), turning it into a replay schedule, and synthesizing a
+//! Poisson/Zipf schedule from nothing. These run before a replay starts,
+//! so they bound how quickly `pitex replay` goes from file to first
+//! request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pitex_bench::banner;
+use pitex_serve::{schedule_from_log, SyntheticSchedule};
+use pitex_support::obs::{
+    capture::{decode_record, encode_record},
+    read_log, CaptureOptions, CaptureRecord, CaptureRecorder,
+};
+
+const LOG_RECORDS: u64 = 1024;
+
+fn record(n: u64) -> CaptureRecord {
+    CaptureRecord {
+        ts_us: 1_700_000_000_000_000 + n * 997,
+        trace_id: 0xabc0 + n,
+        verb: "QUERY".to_string(),
+        user: (n % 64) as u32,
+        k: 2,
+        backend: "-".to_string(),
+        resolved: "lazy".to_string(),
+        outcome: "ok".to_string(),
+        us: 40 + n % 300,
+        tags: vec![2, 3],
+        spread_bits: (1.5f64 + n as f64 / 100.0).to_bits(),
+    }
+}
+
+/// Writes a `LOG_RECORDS`-record log through the real recorder and returns
+/// its raw bytes, so the scan benchmarks read exactly what a server writes.
+fn log_bytes() -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("pitex-bench-workload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.pwrk");
+    let recorder =
+        CaptureRecorder::new(CaptureOptions { path: Some(path.clone()), rate: 1 }).unwrap();
+    for n in 0..LOG_RECORDS {
+        recorder.record(|| record(n));
+    }
+    recorder.flush();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+fn bench_workload(c: &mut Criterion) {
+    banner(
+        "bench_workload: PWRK codec + replay schedule construction",
+        "record encode/decode, full-log checksum scan, log->schedule, synthetic Poisson/Zipf",
+    );
+
+    let sample = record(7);
+    let payload = encode_record(&sample);
+    c.bench_function("workload_encode_record", |b| b.iter(|| encode_record(&sample).len()));
+    c.bench_function("workload_decode_record", |b| {
+        b.iter(|| decode_record(&payload).unwrap().user)
+    });
+
+    let bytes = log_bytes();
+    let log = read_log(&bytes).unwrap();
+    assert_eq!(log.records.len(), LOG_RECORDS as usize);
+    println!(
+        "workload: {} records in {} bytes ({:.1} bytes/record)",
+        log.records.len(),
+        bytes.len(),
+        bytes.len() as f64 / log.records.len() as f64
+    );
+    c.bench_function("workload_read_log_1k", |b| {
+        b.iter(|| read_log(&bytes).unwrap().records.len())
+    });
+    c.bench_function("workload_schedule_from_log_1k", |b| {
+        b.iter(|| schedule_from_log(&log, 2.0).len())
+    });
+
+    let spec = SyntheticSchedule {
+        requests: 1000,
+        users: 256,
+        burst: 2,
+        update_every: 100,
+        ..SyntheticSchedule::default()
+    };
+    c.bench_function("workload_synthetic_build_1k", |b| b.iter(|| spec.build().len()));
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

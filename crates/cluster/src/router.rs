@@ -33,6 +33,10 @@
 //!   after the commit wave.
 //! * `PING` is answered locally; `SHUTDOWN` stops the router (shards are
 //!   managed by their own admins).
+//! * `CAPTURE on|off|rotate` — controls the *router's* PWRK workload
+//!   recorder (`PITEX_OBS_CAPTURE`): the front-door arrival stream, which
+//!   is what `pitex replay` wants for whole-cluster replays. Shards keep
+//!   their own recorders with the resolved-backend view.
 //!
 //! The router trusts the map, not a directory service: everything is a
 //! pure function of the `ShardMap` file, and the only cluster-wide state
@@ -42,12 +46,13 @@ use crate::pool::{CallError, PoolOptions, ShardPools};
 use crate::shardmap::ShardMap;
 use pitex_live::UpdateOp;
 use pitex_serve::{
-    ErrorCode, FlightReply, FlightWireEntry, ReloadReply, Request, Response, StatsReply,
-    TraceReply, TraceRequest,
+    CaptureAction, ErrorCode, FlightReply, FlightWireEntry, ReloadReply, Request, Response,
+    StatsReply, TraceReply, TraceRequest,
 };
 use pitex_support::obs::{
-    mint_trace_id, render_prometheus, AtomicHistogram, Counter, FieldSet, FlightEntry,
-    FlightRecorder, MergedFields, ObsOptions, Registry, SpanRecorder,
+    mint_trace_id, render_prometheus, wall_now_us, AtomicHistogram, CaptureOptions, CaptureRecord,
+    CaptureRecorder, Counter, FieldSet, FlightEntry, FlightRecorder, MergedFields, ObsOptions,
+    Registry, SpanRecorder,
 };
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -59,7 +64,7 @@ use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Router::spawn`]. The `PITEX_CLUSTER_*` environment
 /// variables (see [`RouterOptions::with_env`]) override the defaults.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RouterOptions {
     /// Connection-pool tuning (failover, health gating, shedding).
     pub pool: PoolOptions,
@@ -68,6 +73,11 @@ pub struct RouterOptions {
     /// Whether admin verbs (`UPDATE`, `RELOAD`, `EPOCH`) are forwarded;
     /// when false they answer `ERR ADMIN_DENIED` at the router.
     pub admin: bool,
+    /// Workload-capture override for tests and embedders; `None` reads
+    /// `PITEX_OBS_CAPTURE` / `PITEX_OBS_CAPTURE_RATE` from the environment
+    /// at spawn. The router records the *front-door* view (resolved
+    /// backend unknown here); shards record their own logs.
+    pub capture: Option<CaptureOptions>,
 }
 
 impl Default for RouterOptions {
@@ -76,6 +86,7 @@ impl Default for RouterOptions {
             pool: PoolOptions::default(),
             probe_interval: Duration::from_millis(200),
             admin: true,
+            capture: None,
         }
     }
 }
@@ -160,6 +171,9 @@ struct Shared {
     latency: Arc<AtomicHistogram>,
     /// Ring of recent request summaries + slow-query log (`FLIGHT`).
     flight: FlightRecorder,
+    /// Sampled PWRK workload recorder (`CAPTURE on|off|rotate` — applied
+    /// to this router process; shards control their own recorders).
+    capture: CaptureRecorder,
     started: Instant,
     connections: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -195,6 +209,8 @@ impl Router {
             registry.adopt_counter(name, &counter);
         }
         let latency = registry.histogram("router_lat_hist");
+        let capture =
+            CaptureRecorder::new(options.capture.clone().unwrap_or_else(CaptureOptions::from_env))?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             reaped_panic: AtomicBool::new(false),
@@ -207,6 +223,7 @@ impl Router {
             counters,
             latency,
             flight: FlightRecorder::new(ObsOptions::from_env()),
+            capture,
             started: Instant::now(),
             connections: Mutex::new(Vec::new()),
         });
@@ -445,9 +462,16 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> Handled {
             | Request::Epoch
             | Request::Sync { .. }
             | Request::Discard
-            | Request::Flight,
+            | Request::Flight
+            | Request::Capture(_),
         ) if !shared.options.admin => denied(),
         Ok(Request::Flight) => reply(handle_flight(shared), false),
+        // CAPTURE controls *this router's* recorder: each hop owns its log
+        // (shards record the resolved-backend view, the router the front
+        // door), so cluster-wide capture is per-process — set
+        // `PITEX_OBS_CAPTURE` on every process, toggle each over its own
+        // admin socket.
+        Ok(Request::Capture(action)) => reply(handle_capture(shared, action), false),
         Ok(Request::Update(op)) => reply(handle_update(shared, op), false),
         Ok(Request::Reload) => reply(handle_reload(shared), false),
         Ok(Request::Prepare | Request::Commit) => {
@@ -493,6 +517,54 @@ fn outcome_of(response: &Response) -> &'static str {
     }
 }
 
+/// Records one routed request into the flight ring and (sampled) into the
+/// router's PWRK workload log. The flight entry keeps the ring's `auto`
+/// display for an unset backend; the capture record keeps the wire-level
+/// `-` so a replay re-issues the request exactly as it arrived.
+/// `resolved` is the concrete backend when the reply names one
+/// (`EXPLAINED` does) and `-` otherwise — the router sees the front door,
+/// not the owning shard's planner.
+#[allow(clippy::too_many_arguments)]
+fn record_request(
+    shared: &Shared,
+    trace_id: u64,
+    verb: &'static str,
+    user: u32,
+    k: usize,
+    requested: Option<&'static str>,
+    resolved: &'static str,
+    outcome: &'static str,
+    us: u64,
+    tags: &[u32],
+    spread: f64,
+) {
+    // Anchor at admission: ts + us lines up with the reply's send instant.
+    let ts_us = wall_now_us().saturating_sub(us);
+    shared.flight.record(FlightEntry {
+        trace_id,
+        ts_us,
+        verb,
+        user,
+        k,
+        backend: requested.unwrap_or("auto"),
+        outcome,
+        us,
+    });
+    shared.capture.record(|| CaptureRecord {
+        ts_us,
+        trace_id,
+        verb: verb.to_string(),
+        user,
+        k: k as u32,
+        backend: requested.unwrap_or("-").to_string(),
+        resolved: resolved.to_string(),
+        outcome: outcome.to_string(),
+        us,
+        tags: tags.to_vec(),
+        spread_bits: spread.to_bits(),
+    });
+}
+
 /// Routes `QUERY` and `EXPLAIN` (the `request` must be one of the two) to
 /// the owning shard, with cache-affine replica choice.
 fn handle_query(shared: &Arc<Shared>, request: Request) -> Response {
@@ -533,15 +605,25 @@ fn handle_query(shared: &Arc<Shared>, request: Request) -> Response {
         }
         Err(CallError::Unavailable(detail)) => internal(shared, detail),
     };
-    shared.flight.record(FlightEntry {
-        trace_id: mint_trace_id(),
+    let us = t.elapsed().as_micros() as u64;
+    let (resolved, tags, spread): (&'static str, &[u32], f64) = match &response {
+        Response::Ok(r) => ("-", &r.tags, r.spread),
+        Response::Explained(r) => (r.backend.cli_name(), &r.tags, r.spread),
+        _ => ("-", &[], 0.0),
+    };
+    record_request(
+        shared,
+        mint_trace_id(),
         verb,
-        user: q.user,
-        k: q.k,
-        backend: q.backend.map(|b| b.cli_name()).unwrap_or("auto"),
-        outcome: outcome_of(&response),
-        us: t.elapsed().as_micros() as u64,
-    });
+        q.user,
+        q.k,
+        q.backend.map(|b| b.cli_name()),
+        resolved,
+        outcome_of(&response),
+        us,
+        tags,
+        spread,
+    );
     response
 }
 
@@ -616,15 +698,24 @@ fn handle_trace(shared: &Arc<Shared>, t: TraceRequest) -> Response {
         }
         Err(CallError::Unavailable(detail)) => internal(shared, detail),
     };
-    shared.flight.record(FlightEntry {
+    let us = started.elapsed().as_micros() as u64;
+    let (tags, spread): (&[u32], f64) = match &response {
+        Response::Traced(r) => (&r.tags, r.spread),
+        _ => (&[], 0.0),
+    };
+    record_request(
+        shared,
         trace_id,
-        verb: "TRACE",
-        user: q.user,
-        k: q.k,
-        backend: q.backend.map(|b| b.cli_name()).unwrap_or("auto"),
-        outcome: outcome_of(&response),
-        us: started.elapsed().as_micros() as u64,
-    });
+        "TRACE",
+        q.user,
+        q.k,
+        q.backend.map(|b| b.cli_name()),
+        "-",
+        outcome_of(&response),
+        us,
+        tags,
+        spread,
+    );
     response
 }
 
@@ -713,6 +804,8 @@ fn router_fields(shared: &Shared, replies: u64) -> FieldSet {
     fields.push("router_lat_p99_us", hist.quantile(0.99));
     fields.push("router_flight_recorded", shared.flight.recorded());
     fields.push("router_slow_queries", shared.flight.slow_count());
+    fields.push("router_capture_records", shared.capture.recorded());
+    fields.push("router_capture_dropped", shared.capture.dropped());
     fields.extend_from_registry(&shared.registry);
     fields
 }
@@ -753,6 +846,7 @@ fn handle_flight(shared: &Arc<Shared>) -> Response {
         backend: e.backend.to_string(),
         outcome: e.outcome.to_string(),
         us: e.us,
+        ts_us: e.ts_us,
     };
     let dump = shared.flight.dump();
     let entries = dump[dump.len().saturating_sub(FLIGHT_REPLY_CAP)..].iter().map(wire).collect();
@@ -763,6 +857,32 @@ fn handle_flight(shared: &Arc<Shared>) -> Response {
         entries,
         slow,
     })
+}
+
+/// `CAPTURE on|off|rotate` against the router's own workload recorder
+/// (mirrors the shard servers' handler).
+fn handle_capture(shared: &Arc<Shared>, action: CaptureAction) -> Response {
+    if !shared.capture.configured() {
+        shared.counters.errors.inc();
+        return Response::Err {
+            code: ErrorCode::BadRequest,
+            message: "no capture path configured (set PITEX_OBS_CAPTURE)".to_string(),
+        };
+    }
+    match action {
+        CaptureAction::On => shared.capture.set_enabled(true),
+        CaptureAction::Off => shared.capture.set_enabled(false),
+        CaptureAction::Rotate => {
+            if let Err(e) = shared.capture.rotate() {
+                return internal(shared, format!("capture rotate failed: {e}"));
+            }
+        }
+    }
+    Response::Captured {
+        enabled: shared.capture.enabled(),
+        recorded: shared.capture.recorded(),
+        dropped: shared.capture.dropped(),
+    }
 }
 
 /// The shards an op must reach: edge mutations are anchored at their

@@ -216,8 +216,8 @@ mod tests {
     #[test]
     fn theorem1_reduction_decides_reachability() {
         let two = cover_two();
-        assert_eq!(solve_via_pitex(&two, 2), true);
-        assert_eq!(solve_via_pitex(&two, 1), false);
+        assert!(solve_via_pitex(&two, 2));
+        assert!(!solve_via_pitex(&two, 1));
     }
 
     #[test]

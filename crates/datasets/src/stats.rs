@@ -82,7 +82,7 @@ mod tests {
         let model = TicModel::paper_example();
         let stats = DatasetStats::compute("fig2", &model);
         assert!(stats.row().contains("fig2"));
-        assert_eq!(DatasetStats::header().is_empty(), false);
+        assert!(!DatasetStats::header().is_empty());
         assert_eq!(format!("{stats}"), stats.row());
     }
 }

@@ -361,7 +361,7 @@ mod tests {
         let e36 = model.graph().find_edge(2, 5).unwrap();
         // Under {w1,w2}: p(z|W) = (.5,.5,0); p(u3->u4) = 0.5·0.5 = 0.25;
         // p(u3->u6) = 0 (z3 only).
-        let graphs = vec![
+        let graphs = [
             RrGraph::from_parts(3, vec![2, 3], &[(2, 3, e34, 0.2)]), // live (0.25 ≥ 0.2)
             RrGraph::from_parts(3, vec![2, 3], &[(2, 3, e34, 0.3)]), // dead (0.25 < 0.3)
             RrGraph::from_parts(5, vec![2, 5], &[(2, 5, e36, 0.1)]), // dead (0 < 0.1)
@@ -425,7 +425,7 @@ mod tests {
     fn user_as_target_is_always_candidate() {
         use crate::rrgraph::RrGraph;
         let model = TicModel::paper_example();
-        let graphs = vec![RrGraph::from_parts(2, vec![2], &[])];
+        let graphs = [RrGraph::from_parts(2, vec![2], &[])];
         let filter = CutFilter::build(2, graphs.iter(), model.edge_topics());
         let mut zero = pitex_model::FixedEdgeProbs::uniform(model.graph().num_edges(), 0.0);
         let mut marks = EpochVisited::new(0);

@@ -12,6 +12,11 @@ use std::sync::Mutex;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlightEntry {
     pub trace_id: u64,
+    /// Wall-clock microseconds since `UNIX_EPOCH` at admission, stamped
+    /// through the shared [`crate::capture::wall_now_us`] anchor so
+    /// flight entries line up with `PWRK` capture records and `TRACE`
+    /// timelines from the same process.
+    pub ts_us: u64,
     pub verb: &'static str,
     pub user: u32,
     pub k: usize,
@@ -156,7 +161,16 @@ mod tests {
     use super::*;
 
     fn entry(trace_id: u64, us: u64) -> FlightEntry {
-        FlightEntry { trace_id, verb: "QUERY", user: 7, k: 5, backend: "lazy", outcome: "ok", us }
+        FlightEntry {
+            trace_id,
+            ts_us: crate::capture::wall_now_us(),
+            verb: "QUERY",
+            user: 7,
+            k: 5,
+            backend: "lazy",
+            outcome: "ok",
+            us,
+        }
     }
 
     #[test]

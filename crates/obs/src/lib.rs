@@ -1,9 +1,9 @@
 //! Observability primitives for the PITEX serving stack.
 //!
 //! This crate sits *below* `pitex_support` (which re-exports it as
-//! `pitex_support::obs`) and has no dependencies, so every layer — the
-//! WAL, the planner, the server, the router — can record into it without
-//! new edges in the crate graph. Three pieces:
+//! `pitex_support::obs`) and depends only on the vendored [`bytes`] shim,
+//! so every layer — the WAL, the planner, the server, the router — can
+//! record into it without new edges in the crate graph. The pieces:
 //!
 //! * [`metrics`] — a **typed metrics registry**: named counters, gauges
 //!   and histograms whose *merge semantics* (sum across shards, max,
@@ -22,16 +22,28 @@
 //!   buffer of the last N request summaries plus a threshold-triggered
 //!   slow-query log (`PITEX_OBS_SLOW_US`), dumped by the `FLIGHT` verb
 //!   and the `pitex top` live view.
+//! * [`capture`] — **workload capture**: a sampled request recorder
+//!   (`PITEX_OBS_CAPTURE`/`PITEX_OBS_CAPTURE_RATE`, the `CAPTURE` verb)
+//!   flushed to the binary `PWRK` workload log that `pitex replay` feeds
+//!   from, plus the process-wide wall-clock anchor every observability
+//!   timestamp derives from.
 //!
 //! [`hist::LatencyHistogram`] lives here (moved from `pitex_support`,
 //! which still re-exports it) because the registry's histogram merge and
-//! the atomic hot-path recorder share its bucket layout.
+//! the atomic hot-path recorder share its bucket layout — and so does
+//! [`codec`] (same arrangement), because the `PWRK` log encodes through
+//! it from below `pitex_support` in the crate graph.
 
+pub mod capture;
+pub mod codec;
 pub mod flight;
 pub mod hist;
 pub mod metrics;
 pub mod trace;
 
+pub use capture::{
+    read_log, wall_now_us, CaptureError, CaptureLog, CaptureOptions, CaptureRecord, CaptureRecorder,
+};
 pub use flight::{FlightEntry, FlightRecorder, ObsOptions};
 pub use hist::{AtomicHistogram, LatencyHistogram};
 pub use metrics::{

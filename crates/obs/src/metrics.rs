@@ -343,6 +343,18 @@ pub static SCHEMA: &[FieldSpec] = &[
         merge: MergeRule::Sum,
         help: "requests over the PITEX_OBS_SLOW_US threshold",
     },
+    FieldSpec {
+        pattern: "capture_records",
+        kind: MetricKind::Counter,
+        merge: MergeRule::Sum,
+        help: "requests sampled into the PWRK workload log",
+    },
+    FieldSpec {
+        pattern: "capture_dropped",
+        kind: MetricKind::Counter,
+        merge: MergeRule::Sum,
+        help: "sampled workload records lost to capture I/O errors",
+    },
     // --- router-side fields (prefixed; a router-of-routers would sum) ------
     FieldSpec {
         pattern: "router_requests",
@@ -397,6 +409,18 @@ pub static SCHEMA: &[FieldSpec] = &[
         kind: MetricKind::Gauge,
         merge: MergeRule::Max,
         help: "seconds since router boot",
+    },
+    FieldSpec {
+        pattern: "router_capture_records",
+        kind: MetricKind::Counter,
+        merge: MergeRule::Sum,
+        help: "requests sampled into the router's PWRK workload log",
+    },
+    FieldSpec {
+        pattern: "router_capture_dropped",
+        kind: MetricKind::Counter,
+        merge: MergeRule::Sum,
+        help: "sampled router workload records lost to capture I/O errors",
     },
     FieldSpec {
         pattern: "router_catchup_replicas",

@@ -8,19 +8,22 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Mints a fresh trace id: a process-wide counter mixed through
-/// splitmix64, seeded once from the wall clock, so ids are unique within a
-/// process and effectively unique across a cluster without coordination.
-/// Cheap enough (one `fetch_add` + a few multiplies) that *every* request
-/// gets one at admission — `TRACE` only changes whether it is surfaced.
+/// splitmix64, seeded once from the shared wall-clock anchor
+/// ([`crate::capture::clock_anchor`] — the same clock capture records and
+/// flight entries stamp through), so ids are unique within a process and
+/// effectively unique across a cluster without coordination. Cheap enough
+/// (one `fetch_add` + a few multiplies) that *every* request gets one at
+/// admission — `TRACE` only changes whether it is surfaced.
 pub fn mint_trace_id() -> u64 {
     static SEED: OnceLock<u64> = OnceLock::new();
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let seed = *SEED.get_or_init(|| {
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0x9e3779b97f4a7c15)
-            | 1
+        let (_, anchor_us) = crate::capture::clock_anchor();
+        if anchor_us == 0 {
+            0x9e3779b97f4a7c15
+        } else {
+            anchor_us | 1
+        }
     });
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
     // splitmix64 finalizer over seed ⊕ counter.

@@ -7,12 +7,12 @@
 //! measurement the `bench_serve` target and `pitex client --bench` print.
 
 use crate::protocol::{
-    ExplainReply, FlightReply, QueryRequest, ReloadReply, Request, Response, StatsReply,
-    TraceReply, TraceRequest,
+    CaptureAction, ExplainReply, FlightReply, QueryRequest, ReloadReply, Request, Response,
+    StatsReply, TraceReply, TraceRequest,
 };
 use pitex_core::EngineBackend;
 use pitex_live::{SyncBundle, UpdateOp};
-use pitex_support::stats::OnlineStats;
+use pitex_support::stats::{LatencyHistogram, OnlineStats};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -330,6 +330,17 @@ impl ServeClient {
             other => Err(reply_error("EPOCH", other)),
         }
     }
+
+    /// `CAPTURE on|off|rotate` (admin): controls the server's PWRK workload
+    /// recorder; returns `(enabled, recorded, dropped)` after the action.
+    /// Not retried on connection loss — `rotate` is not idempotent (a
+    /// replay would rotate twice).
+    pub fn capture(&mut self, action: CaptureAction) -> std::io::Result<(bool, u64, u64)> {
+        match self.request(&Request::Capture(action))? {
+            Response::Captured { enabled, recorded, dropped } => Ok((enabled, recorded, dropped)),
+            other => Err(reply_error("CAPTURED", other)),
+        }
+    }
 }
 
 /// Whether an I/O error means the TCP connection itself is gone (worth one
@@ -355,8 +366,17 @@ fn reply_error(expected: &str, got: Response) -> std::io::Error {
     std::io::Error::new(kind, format!("expected {expected} reply, got {got:?}"))
 }
 
-/// A closed-loop load generator: `clients` connections, each issuing
-/// `requests_per_client` queries back-to-back.
+/// A **closed-loop** load generator: `clients` connections, each issuing
+/// `requests_per_client` queries back-to-back, the next request only after
+/// the previous response lands.
+///
+/// Closed loops are the right tool for measuring *throughput capacity*,
+/// but their latency numbers suffer **coordinated omission**: when the
+/// server stalls, the generator stops offering load, so the stall is
+/// counted once instead of once per request that *would have* arrived.
+/// For tail-latency measurements use the open-loop replay engine
+/// ([`crate::workload::Replay`], `pitex replay --rate`), which keeps
+/// issuing on schedule and measures from the scheduled arrival time.
 #[derive(Clone, Copy, Debug)]
 pub struct LoadGen {
     /// Concurrent connections.
@@ -380,6 +400,10 @@ impl Default for LoadGen {
 }
 
 /// Aggregate outcome of one [`LoadGen::run`].
+///
+/// Latencies here are **closed-loop** (measured request-send to
+/// response-read, with no backlog credit) — see the [`LoadGen`] docs for
+/// why that understates tails under stalls.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
     /// Requests issued (clients × requests_per_client).
@@ -396,6 +420,9 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Client-observed per-request latency in microseconds.
     pub latency_us: OnlineStats,
+    /// The same latencies as a log₂ histogram, so percentiles (p50/p99)
+    /// can be read — and compared against open-loop replay percentiles.
+    pub latency_hist: LatencyHistogram,
 }
 
 impl LoadReport {
@@ -435,6 +462,7 @@ impl LoadGen {
             errors: 0,
             elapsed: started.elapsed(),
             latency_us: OnlineStats::new(),
+            latency_hist: LatencyHistogram::new(),
         };
         for outcome in outcomes {
             let one = outcome?;
@@ -444,6 +472,7 @@ impl LoadGen {
             report.busy += one.busy;
             report.errors += one.errors;
             report.latency_us.merge(&one.latency_us);
+            report.latency_hist.merge(&one.latency_hist);
         }
         Ok(report)
     }
@@ -458,6 +487,7 @@ impl LoadGen {
             errors: 0,
             elapsed: Duration::ZERO,
             latency_us: OnlineStats::new(),
+            latency_hist: LatencyHistogram::new(),
         };
         let request = Request::Query(QueryRequest {
             user: self.user,
@@ -468,7 +498,9 @@ impl LoadGen {
         for _ in 0..self.requests_per_client {
             let t = Instant::now();
             let response = client.request(&request)?;
-            report.latency_us.push(t.elapsed().as_micros() as f64);
+            let us = t.elapsed().as_micros() as u64;
+            report.latency_us.push(us as f64);
+            report.latency_hist.record(us);
             report.requests += 1;
             match response {
                 Response::Ok(reply) => {
@@ -585,6 +617,8 @@ mod tests {
         assert!(report.cached >= report.ok.saturating_sub(3), "all but first-per-key hits cache");
         assert!(report.qps() > 0.0);
         assert_eq!(report.latency_us.count(), 30);
+        assert_eq!(report.latency_hist.count(), 30);
+        assert!(report.latency_hist.quantile(0.99) >= report.latency_hist.quantile(0.5));
         server.stop().unwrap();
     }
 

@@ -30,6 +30,16 @@
 //!   one transparent reconnect-and-retry for the idempotent verbs
 //!   `QUERY`/`STATS`/`PING`), and the closed-loop [`LoadGen`] behind
 //!   `bench_serve` and `pitex client --bench`.
+//! * **Workload capture + open-loop replay** ([`workload`]) — the server
+//!   samples admitted requests into a PWRK workload log
+//!   (`PITEX_OBS_CAPTURE`, the admin `CAPTURE on|off|rotate` verb);
+//!   [`schedule_from_log`] replays a recording at recorded or scaled
+//!   pace, [`SyntheticSchedule`] synthesizes Poisson/Zipf load, and
+//!   [`Replay`] issues either **open-loop** — latency measured from the
+//!   scheduled arrival, immune to the coordinated omission that makes
+//!   closed-loop tails look flat — with `--verify` checking answers
+//!   bit-identically against the recording and a per-phase
+//!   (queue/plan/cache/execute/net) latency-attribution report.
 //! * **Live updates** — `UPDATE` stages typed [`pitex_live::UpdateOp`]
 //!   mutations, `RELOAD` folds them into a fresh snapshot with incremental
 //!   RR-index repair and swaps it in under a new epoch (zero-downtime:
@@ -75,10 +85,14 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod workload;
 
 pub use client::{LoadGen, LoadReport, ServeClient};
 pub use protocol::{
-    ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, QueryRequest, ReloadReply,
-    Request, Response, StatsReply, TraceReply, TraceRequest,
+    CaptureAction, ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, QueryRequest,
+    ReloadReply, Request, Response, StatsReply, TraceReply, TraceRequest,
 };
 pub use server::{ServeOptions, Server, ServerHandle};
+pub use workload::{
+    schedule_from_log, Expected, Replay, ReplayItem, ReplayReport, SyntheticSchedule,
+};

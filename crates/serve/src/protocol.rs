@@ -25,6 +25,12 @@
 //! FLIGHT                            dump the flight recorder: the last N
 //!                                   request summaries and the slow-query
 //!                                   log (admin)
+//! CAPTURE <on|off|rotate>           control the workload-capture recorder:
+//!                                   pause/resume sampling into the `PWRK`
+//!                                   log, or rotate the log file aside and
+//!                                   start a fresh one (admin; capture must
+//!                                   have been configured at boot via
+//!                                   `PITEX_OBS_CAPTURE`)
 //! UPDATE <op…>                      stage one model mutation (admin)
 //! RELOAD                            fold staged ops, repair the index,
 //!                                   swap the snapshot (admin)
@@ -67,9 +73,13 @@
 //! TRACED trace_id=<hex> user=<u> k=<k> tags=<..> spread=<f> cached=<0|1>
 //!        us=<micros> spans=<name:start:dur,..|->
 //! STATS <key>=<value> ...
-//! FLIGHTED n=<count> slow=<count> entries=<trace:verb:user:k:backend:outcome:us;..|->
-//!                                   newest last; the slow-log entries are
+//! FLIGHTED n=<count> slow=<count> entries=<trace:verb:user:k:backend:outcome:us:ts;..|->
+//!                                   newest last; `ts` is wall-clock µs at
+//!                                   admission; the slow-log entries are
 //!                                   appended after the ring entries
+//! CAPTURED enabled=<0|1> recorded=<n> dropped=<n>
+//!                                   capture recorder state after a CAPTURE
+//!                                   verb (counts are since boot)
 //! UPDATED epoch=<e> pending=<n>     op staged; visible after RELOAD
 //! RELOADED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
 //! PREPARED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
@@ -116,6 +126,8 @@ pub enum Request {
     /// Dump the flight recorder (admin-gated, like the other
     /// introspection-of-state verbs).
     Flight,
+    /// Control the workload-capture recorder (admin-gated).
+    Capture(CaptureAction),
     /// Stage one mutation (admin-gated).
     Update(UpdateOp),
     /// Fold staged mutations into a fresh snapshot (admin-gated).
@@ -139,6 +151,37 @@ pub enum Request {
     Discard,
     Quit,
     Shutdown,
+}
+
+/// The `CAPTURE` verb's operand: what to do to the workload recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaptureAction {
+    /// Resume sampling into the configured `PWRK` log.
+    On,
+    /// Pause sampling and flush buffered records to disk.
+    Off,
+    /// Rename the current log aside (`<path>.1`, `.2`, …) and start a
+    /// fresh one; the reply counts carry over (they are since boot).
+    Rotate,
+}
+
+impl CaptureAction {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CaptureAction::On => "on",
+            CaptureAction::Off => "off",
+            CaptureAction::Rotate => "rotate",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<CaptureAction> {
+        Some(match s {
+            "on" => CaptureAction::On,
+            "off" => CaptureAction::Off,
+            "rotate" => CaptureAction::Rotate,
+            _ => return None,
+        })
+    }
 }
 
 /// The `QUERY`/`EXPLAIN` verbs' operands.
@@ -179,6 +222,7 @@ impl Request {
             Request::Stats => "STATS".to_string(),
             Request::Metrics => "METRICS".to_string(),
             Request::Flight => "FLIGHT".to_string(),
+            Request::Capture(action) => format!("CAPTURE {}", action.as_str()),
             Request::Update(op) => format!("UPDATE {}", op.to_text()),
             Request::Reload => "RELOAD".to_string(),
             Request::Prepare => "PREPARE".to_string(),
@@ -210,53 +254,60 @@ impl Request {
         }
         let mut tokens = line.split_ascii_whitespace();
         let verb = tokens.next().ok_or("empty request")?;
-        let request = match verb {
-            "PING" => Request::Ping,
-            "STATS" => Request::Stats,
-            "METRICS" => Request::Metrics,
-            "FLIGHT" => Request::Flight,
-            "UPDATE" => return Err("UPDATE needs an operation".to_string()),
-            "RELOAD" => Request::Reload,
-            "PREPARE" => Request::Prepare,
-            "COMMIT" => Request::Commit,
-            "EPOCH" => Request::Epoch,
-            "SYNC" => {
-                let from = tokens.next().ok_or("SYNC needs <from_epoch>")?;
-                let from_epoch =
-                    from.parse().map_err(|_| format!("bad from_epoch {from:?} (want u64)"))?;
-                Request::Sync { from_epoch }
-            }
-            "DISCARD" => Request::Discard,
-            "QUIT" => Request::Quit,
-            "SHUTDOWN" => Request::Shutdown,
-            "QUERY" | "EXPLAIN" => {
-                let q = parse_query_operands(verb, &mut tokens)?;
-                if verb == "QUERY" {
-                    Request::Query(q)
-                } else {
-                    Request::Explain(q)
+        let request =
+            match verb {
+                "PING" => Request::Ping,
+                "STATS" => Request::Stats,
+                "METRICS" => Request::Metrics,
+                "FLIGHT" => Request::Flight,
+                "CAPTURE" => {
+                    let action = tokens.next().ok_or("CAPTURE needs <on|off|rotate>")?;
+                    Request::Capture(CaptureAction::parse(action).ok_or_else(|| {
+                        format!("bad capture action {action:?} (want on|off|rotate)")
+                    })?)
                 }
-            }
-            "TRACE" => {
-                // The optional trailing `id=<hex>` operand is peeled off
-                // before the shared query-operand parser runs.
-                let mut operands: Vec<&str> = tokens.by_ref().collect();
-                let trace_id = match operands.last().and_then(|t| t.strip_prefix("id=")) {
-                    Some(hex) => {
-                        operands.pop();
-                        Some(parse_trace_id(hex)?)
+                "UPDATE" => return Err("UPDATE needs an operation".to_string()),
+                "RELOAD" => Request::Reload,
+                "PREPARE" => Request::Prepare,
+                "COMMIT" => Request::Commit,
+                "EPOCH" => Request::Epoch,
+                "SYNC" => {
+                    let from = tokens.next().ok_or("SYNC needs <from_epoch>")?;
+                    let from_epoch =
+                        from.parse().map_err(|_| format!("bad from_epoch {from:?} (want u64)"))?;
+                    Request::Sync { from_epoch }
+                }
+                "DISCARD" => Request::Discard,
+                "QUIT" => Request::Quit,
+                "SHUTDOWN" => Request::Shutdown,
+                "QUERY" | "EXPLAIN" => {
+                    let q = parse_query_operands(verb, &mut tokens)?;
+                    if verb == "QUERY" {
+                        Request::Query(q)
+                    } else {
+                        Request::Explain(q)
                     }
-                    None => None,
-                };
-                let mut operands = operands.into_iter();
-                let query = parse_query_operands(verb, &mut operands)?;
-                if operands.next().is_some() {
-                    return Err("trailing tokens after TRACE".to_string());
                 }
-                Request::Trace(TraceRequest { query, trace_id })
-            }
-            other => return Err(format!("unknown verb {other:?}")),
-        };
+                "TRACE" => {
+                    // The optional trailing `id=<hex>` operand is peeled off
+                    // before the shared query-operand parser runs.
+                    let mut operands: Vec<&str> = tokens.by_ref().collect();
+                    let trace_id = match operands.last().and_then(|t| t.strip_prefix("id=")) {
+                        Some(hex) => {
+                            operands.pop();
+                            Some(parse_trace_id(hex)?)
+                        }
+                        None => None,
+                    };
+                    let mut operands = operands.into_iter();
+                    let query = parse_query_operands(verb, &mut operands)?;
+                    if operands.next().is_some() {
+                        return Err("trailing tokens after TRACE".to_string());
+                    }
+                    Request::Trace(TraceRequest { query, trace_id })
+                }
+                other => return Err(format!("unknown verb {other:?}")),
+            };
         if tokens.next().is_some() {
             return Err(format!("trailing tokens after {verb}"));
         }
@@ -407,26 +458,30 @@ pub struct FlightWireEntry {
     pub backend: String,
     pub outcome: String,
     pub us: u64,
+    /// Wall-clock microseconds since `UNIX_EPOCH` at admission (the shared
+    /// observability anchor), so dumps line up with `PWRK` capture records.
+    pub ts_us: u64,
 }
 
 impl FlightWireEntry {
     fn to_token(&self) -> String {
         format!(
-            "{}:{}:{}:{}:{}:{}:{}",
+            "{}:{}:{}:{}:{}:{}:{}:{}",
             format_trace_id(self.trace_id),
             self.verb,
             self.user,
             self.k,
             self.backend,
             self.outcome,
-            self.us
+            self.us,
+            self.ts_us
         )
     }
 
     fn from_token(token: &str) -> Result<Self, String> {
         let parts: Vec<&str> = token.split(':').collect();
         let bad = || format!("bad flight entry {token:?}");
-        let [trace, verb, user, k, backend, outcome, us] = parts.as_slice() else {
+        let [trace, verb, user, k, backend, outcome, us, ts] = parts.as_slice() else {
             return Err(bad());
         };
         Ok(Self {
@@ -437,6 +492,7 @@ impl FlightWireEntry {
             backend: backend.to_string(),
             outcome: outcome.to_string(),
             us: us.parse().map_err(|_| bad())?,
+            ts_us: ts.parse().map_err(|_| bad())?,
         })
     }
 }
@@ -589,6 +645,13 @@ pub enum Response {
     Stats(StatsReply),
     /// `FLIGHTED …` — see [`FlightReply`].
     Flight(FlightReply),
+    /// `CAPTURED enabled=<0|1> recorded=<n> dropped=<n>` — capture
+    /// recorder state after a `CAPTURE` verb (counts since boot).
+    Captured {
+        enabled: bool,
+        recorded: u64,
+        dropped: u64,
+    },
     /// `UPDATED epoch=<serving epoch> pending=<staged ops>`.
     Updated {
         epoch: u64,
@@ -716,6 +779,12 @@ impl Response {
                 format_flight_entries(&r.entries),
                 format_flight_entries(&r.slow)
             ),
+            Response::Captured { enabled, recorded, dropped } => {
+                format!(
+                    "CAPTURED enabled={} recorded={recorded} dropped={dropped}",
+                    u8::from(*enabled)
+                )
+            }
             Response::Updated { epoch, pending } => {
                 format!("UPDATED epoch={epoch} pending={pending}")
             }
@@ -860,6 +929,23 @@ impl Response {
                 let slow = parse_flight_entries(&next("slow_entries")?)?;
                 Ok(Response::Flight(FlightReply { recorded, slow_count, entries, slow }))
             }
+            "CAPTURED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<u64, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    kv(token, key)?.parse().map_err(|_| format!("bad {key} in CAPTURED"))
+                };
+                let enabled = match next("enabled")? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(format!("bad enabled flag {other:?}")),
+                };
+                Ok(Response::Captured {
+                    enabled,
+                    recorded: next("recorded")?,
+                    dropped: next("dropped")?,
+                })
+            }
             "UPDATED" => {
                 let mut tokens = rest.split_ascii_whitespace();
                 let mut next = |key: &str| -> Result<u64, String> {
@@ -959,6 +1045,9 @@ mod tests {
             Request::Discard,
             Request::Metrics,
             Request::Flight,
+            Request::Capture(CaptureAction::On),
+            Request::Capture(CaptureAction::Off),
+            Request::Capture(CaptureAction::Rotate),
             Request::Trace(TraceRequest { query: QueryRequest::new(0, 2), trace_id: None }),
             Request::Trace(TraceRequest {
                 query: QueryRequest {
@@ -1030,6 +1119,9 @@ mod tests {
             ("TRACE 1 2 id=ff extra", "unknown backend"),
             ("METRICS now", "trailing"),
             ("FLIGHT all", "trailing"),
+            ("CAPTURE", "needs <on|off|rotate>"),
+            ("CAPTURE maybe", "bad capture action"),
+            ("CAPTURE on off", "trailing"),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert!(err.contains(needle), "{line:?} -> {err:?}");
@@ -1177,6 +1269,7 @@ mod tests {
                         backend: "lazy".into(),
                         outcome: "ok".into(),
                         us: 812,
+                        ts_us: 1_722_000_000_000_000,
                     },
                     FlightWireEntry {
                         trace_id: 8,
@@ -1186,6 +1279,7 @@ mod tests {
                         backend: "auto".into(),
                         outcome: "busy".into(),
                         us: 3,
+                        ts_us: 1_722_000_000_000_812,
                     },
                 ],
                 slow: vec![FlightWireEntry {
@@ -1196,9 +1290,12 @@ mod tests {
                     backend: "exact".into(),
                     outcome: "ok".into(),
                     us: 95_000,
+                    ts_us: 0,
                 }],
             }),
             Response::Flight(FlightReply::default()),
+            Response::Captured { enabled: true, recorded: 512, dropped: 0 },
+            Response::Captured { enabled: false, recorded: 0, dropped: 3 },
         ];
         for response in cases {
             let line = response.to_line();

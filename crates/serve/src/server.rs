@@ -39,8 +39,8 @@
 //! sides.
 
 use crate::protocol::{
-    ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, ReloadReply, Request,
-    Response, StatsReply, TraceReply,
+    CaptureAction, ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, ReloadReply,
+    Request, Response, StatsReply, TraceReply,
 };
 use pitex_core::plan::PlanDecision;
 use pitex_core::registry::{self, CacheScope};
@@ -53,8 +53,8 @@ use pitex_live::{
 use pitex_model::{TagSet, TicModel};
 use pitex_support::lru::ShardedLru;
 use pitex_support::obs::{
-    mint_trace_id, render_prometheus, Counter, FieldSet, FlightEntry, FlightRecorder, Gauge,
-    ObsOptions, SpanRecorder,
+    mint_trace_id, render_prometheus, wall_now_us, CaptureOptions, CaptureRecord, CaptureRecorder,
+    Counter, FieldSet, FlightEntry, FlightRecorder, Gauge, ObsOptions, SpanRecorder,
 };
 use pitex_support::stats::{LatencyHistogram, OnlineStats};
 use std::collections::BTreeSet;
@@ -91,6 +91,10 @@ pub struct ServeOptions {
     /// the recovered history (restoring the pre-crash epoch), and the log
     /// compacts into a base snapshot past the `PITEX_WAL_*` bounds.
     pub wal: Option<PathBuf>,
+    /// Workload-capture override for tests and embedders; `None` reads
+    /// `PITEX_OBS_CAPTURE` / `PITEX_OBS_CAPTURE_RATE` from the
+    /// environment at spawn.
+    pub capture: Option<CaptureOptions>,
 }
 
 impl Default for ServeOptions {
@@ -103,6 +107,7 @@ impl Default for ServeOptions {
             admin: true,
             repair: RepairOptions::default(),
             wal: None,
+            capture: None,
         }
     }
 }
@@ -180,10 +185,12 @@ struct Counters {
 }
 
 /// Observability state shared across the serving stack: the always-on
-/// flight recorder (ring of recent request summaries + slow-query log)
-/// and the WAL timing histograms the admin path records into.
+/// flight recorder (ring of recent request summaries + slow-query log),
+/// the sampled workload-capture recorder (`PITEX_OBS_CAPTURE`), and the
+/// WAL timing histograms the admin path records into.
 struct ServerObs {
     flight: FlightRecorder,
+    capture: CaptureRecorder,
     wal_timings: WalTimings,
 }
 
@@ -430,6 +437,10 @@ impl Server {
             })?;
         }
         let pending_count = overlay.pending() as u64;
+        // A capture path that cannot be opened is a boot error, not a
+        // silent no-op: the operator asked for a workload log.
+        let capture_recorder =
+            CaptureRecorder::new(options.capture.clone().unwrap_or_else(CaptureOptions::from_env))?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             reaped_panic: AtomicBool::new(false),
@@ -446,7 +457,11 @@ impl Server {
             options,
             wal_options,
             counters: Counters::default(),
-            obs: ServerObs { flight: FlightRecorder::new(ObsOptions::from_env()), wal_timings },
+            obs: ServerObs {
+                flight: FlightRecorder::new(ObsOptions::from_env()),
+                capture: capture_recorder,
+                wal_timings,
+            },
             latency: Mutex::new((LatencyHistogram::new(), OnlineStats::new())),
             started: Instant::now(),
             connections: Mutex::new(Vec::new()),
@@ -833,7 +848,8 @@ fn handle_line(
             | Request::Epoch
             | Request::Sync { .. }
             | Request::Discard
-            | Request::Flight,
+            | Request::Flight
+            | Request::Capture(_),
         ) if !shared.options.admin => denied(),
         Ok(Request::Update(op)) => reply(handle_update(shared, op), false),
         Ok(Request::Reload) => reply(handle_reload(shared), false),
@@ -843,6 +859,7 @@ fn handle_line(
         Ok(Request::Sync { from_epoch }) => reply(handle_sync(shared, from_epoch), false),
         Ok(Request::Discard) => reply(handle_discard(shared), false),
         Ok(Request::Flight) => reply(handle_flight(shared), false),
+        Ok(Request::Capture(action)) => reply(handle_capture(shared, action), false),
         Err(reason) => {
             shared.counters.errors.inc();
             reply(Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
@@ -945,19 +962,52 @@ fn outcome_of(response: &Response) -> &'static str {
 }
 
 /// Books one request summary into the flight recorder (and, past the
-/// `PITEX_OBS_SLOW_US` threshold, into the slow-query log).
+/// `PITEX_OBS_SLOW_US` threshold, into the slow-query log) and — when
+/// sampled — into the workload-capture log. Both stamp the same
+/// admission timestamp off the shared wall-clock anchor. `requested` is
+/// the backend the client asked for (`-` when the server default
+/// applied); `resolved` the one that answered (`-` when the request
+/// never reached one); `tags`/`spread` the answer, when there was one.
 #[allow(clippy::too_many_arguments)]
-fn record_flight(
+fn record_request(
     shared: &Shared,
     trace_id: u64,
     verb: &'static str,
     user: u32,
     k: usize,
-    backend: &'static str,
+    requested: &str,
+    resolved: &'static str,
     outcome: &'static str,
     us: u64,
+    tags: &[u32],
+    spread: f64,
 ) {
-    shared.obs.flight.record(FlightEntry { trace_id, verb, user, k, backend, outcome, us });
+    // Anchor the timestamp at admission, not completion, so replayed
+    // arrival schedules reproduce when requests *arrived*.
+    let ts_us = wall_now_us().saturating_sub(us);
+    shared.obs.flight.record(FlightEntry {
+        trace_id,
+        ts_us,
+        verb,
+        user,
+        k,
+        backend: resolved,
+        outcome,
+        us,
+    });
+    shared.obs.capture.record(|| CaptureRecord {
+        ts_us,
+        trace_id,
+        verb: verb.to_string(),
+        user,
+        k: k as u32,
+        backend: requested.to_string(),
+        resolved: resolved.to_string(),
+        outcome: outcome.to_string(),
+        us,
+        tags: tags.to_vec(),
+        spread_bits: spread.to_bits(),
+    });
 }
 
 /// What a successful dispatch hands back to the connection thread.
@@ -1029,11 +1079,25 @@ fn handle_query(
     job_tx: &mpsc::SyncSender<Job>,
 ) -> Response {
     let trace_id = mint_trace_id();
+    let requested = q.backend.map(|b| b.cli_name()).unwrap_or("-");
     let error = |code: ErrorCode, message: String| count_error(shared, code, message);
     let admitted = match admit_query(shared, snapshot, &q, &error) {
         Ok(admitted) => admitted,
         Err(response) => {
-            record_flight(shared, trace_id, "QUERY", q.user, q.k, "-", outcome_of(&response), 0);
+            let outcome = outcome_of(&response);
+            record_request(
+                shared,
+                trace_id,
+                "QUERY",
+                q.user,
+                q.k,
+                requested,
+                "-",
+                outcome,
+                0,
+                &[],
+                0.0,
+            );
             return response;
         }
     };
@@ -1047,7 +1111,19 @@ fn handle_query(
         shared.counters.ok.inc();
         let us = accepted.elapsed().as_micros() as u64;
         record_latency(shared, us);
-        record_flight(shared, trace_id, "QUERY", q.user, k, backend, "ok", us);
+        record_request(
+            shared,
+            trace_id,
+            "QUERY",
+            q.user,
+            k,
+            requested,
+            backend,
+            "ok",
+            us,
+            hit.tags.tags(),
+            hit.spread,
+        );
         return Response::Ok(QueryReply {
             user: q.user,
             k,
@@ -1063,7 +1139,20 @@ fn handle_query(
         Ok(done) => done,
         Err(response) => {
             let us = accepted.elapsed().as_micros() as u64;
-            record_flight(shared, trace_id, "QUERY", q.user, k, backend, outcome_of(&response), us);
+            let outcome = outcome_of(&response);
+            record_request(
+                shared,
+                trace_id,
+                "QUERY",
+                q.user,
+                k,
+                requested,
+                backend,
+                outcome,
+                us,
+                &[],
+                0.0,
+            );
             return response;
         }
     };
@@ -1084,7 +1173,19 @@ fn handle_query(
     shared.counters.ok.inc();
     let us = accepted.elapsed().as_micros() as u64;
     record_latency(shared, us);
-    record_flight(shared, trace_id, "QUERY", q.user, k, backend, "ok", us);
+    record_request(
+        shared,
+        trace_id,
+        "QUERY",
+        q.user,
+        k,
+        requested,
+        backend,
+        "ok",
+        us,
+        tags.tags(),
+        spread,
+    );
     Response::Ok(QueryReply {
         user: q.user,
         k,
@@ -1106,11 +1207,25 @@ fn handle_explain(
     job_tx: &mpsc::SyncSender<Job>,
 ) -> Response {
     let trace_id = mint_trace_id();
+    let requested = q.backend.map(|b| b.cli_name()).unwrap_or("-");
     let error = |code: ErrorCode, message: String| count_error(shared, code, message);
     let admitted = match admit_query(shared, snapshot, &q, &error) {
         Ok(admitted) => admitted,
         Err(response) => {
-            record_flight(shared, trace_id, "EXPLAIN", q.user, q.k, "-", outcome_of(&response), 0);
+            let outcome = outcome_of(&response);
+            record_request(
+                shared,
+                trace_id,
+                "EXPLAIN",
+                q.user,
+                q.k,
+                requested,
+                "-",
+                outcome,
+                0,
+                &[],
+                0.0,
+            );
             return response;
         }
     };
@@ -1128,15 +1243,19 @@ fn handle_explain(
         Ok(done) => done,
         Err(response) => {
             let us = admitted.accepted.elapsed().as_micros() as u64;
-            record_flight(
+            let outcome = outcome_of(&response);
+            record_request(
                 shared,
                 trace_id,
                 "EXPLAIN",
                 q.user,
                 admitted.k,
+                requested,
                 backend,
-                outcome_of(&response),
+                outcome,
                 us,
+                &[],
+                0.0,
             );
             return response;
         }
@@ -1144,7 +1263,19 @@ fn handle_explain(
     shared.counters.ok.inc();
     let total_us = admitted.accepted.elapsed().as_micros() as u64;
     record_latency(shared, total_us);
-    record_flight(shared, trace_id, "EXPLAIN", q.user, admitted.k, backend, "ok", total_us);
+    record_request(
+        shared,
+        trace_id,
+        "EXPLAIN",
+        q.user,
+        admitted.k,
+        requested,
+        backend,
+        "ok",
+        total_us,
+        tags.tags(),
+        spread,
+    );
     Response::Explained(ExplainReply {
         user: q.user,
         k: admitted.k,
@@ -1173,13 +1304,27 @@ fn handle_trace(
 ) -> Response {
     let q = t.query;
     let trace_id = t.trace_id.unwrap_or_else(mint_trace_id);
+    let requested = q.backend.map(|b| b.cli_name()).unwrap_or("-");
     let mut recorder = SpanRecorder::new();
     let error = |code: ErrorCode, message: String| count_error(shared, code, message);
     let admitted = match admit_query(shared, snapshot, &q, &error) {
         Ok(admitted) => admitted,
         Err(response) => {
             let us = recorder.offset_us(Instant::now());
-            record_flight(shared, trace_id, "TRACE", q.user, q.k, "-", outcome_of(&response), us);
+            let outcome = outcome_of(&response);
+            record_request(
+                shared,
+                trace_id,
+                "TRACE",
+                q.user,
+                q.k,
+                requested,
+                "-",
+                outcome,
+                us,
+                &[],
+                0.0,
+            );
             return response;
         }
     };
@@ -1195,7 +1340,19 @@ fn handle_trace(
         shared.counters.ok.inc();
         let us = recorder.offset_us(Instant::now());
         record_latency(shared, us);
-        record_flight(shared, trace_id, "TRACE", q.user, k, backend, "ok", us);
+        record_request(
+            shared,
+            trace_id,
+            "TRACE",
+            q.user,
+            k,
+            requested,
+            backend,
+            "ok",
+            us,
+            hit.tags.tags(),
+            hit.spread,
+        );
         return Response::Traced(TraceReply {
             trace_id,
             user: q.user,
@@ -1213,7 +1370,20 @@ fn handle_trace(
         Ok(done) => done,
         Err(response) => {
             let us = recorder.offset_us(Instant::now());
-            record_flight(shared, trace_id, "TRACE", q.user, k, backend, outcome_of(&response), us);
+            let outcome = outcome_of(&response);
+            record_request(
+                shared,
+                trace_id,
+                "TRACE",
+                q.user,
+                k,
+                requested,
+                backend,
+                outcome,
+                us,
+                &[],
+                0.0,
+            );
             return response;
         }
     };
@@ -1233,7 +1403,19 @@ fn handle_trace(
     shared.counters.ok.inc();
     let us = recorder.offset_us(Instant::now());
     record_latency(shared, us);
-    record_flight(shared, trace_id, "TRACE", q.user, k, backend, "ok", us);
+    record_request(
+        shared,
+        trace_id,
+        "TRACE",
+        q.user,
+        k,
+        requested,
+        backend,
+        "ok",
+        us,
+        done.tags.tags(),
+        done.spread,
+    );
     Response::Traced(TraceReply {
         trace_id,
         user: q.user,
@@ -1261,6 +1443,7 @@ fn handle_flight(shared: &Arc<Shared>) -> Response {
         backend: e.backend.to_string(),
         outcome: e.outcome.to_string(),
         us: e.us,
+        ts_us: e.ts_us,
     };
     let dump = shared.obs.flight.dump();
     let newest = dump.len().saturating_sub(FLIGHT_REPLY_CAP);
@@ -1270,6 +1453,36 @@ fn handle_flight(shared: &Arc<Shared>) -> Response {
         entries: dump[newest..].iter().map(wire).collect(),
         slow: shared.obs.flight.slow_queries().iter().map(wire).collect(),
     })
+}
+
+/// `CAPTURE` (admin): control the workload-capture recorder. `on`/`off`
+/// toggle sampling (off flushes, so the log is complete on disk); `rotate`
+/// renames the current log aside and starts a fresh one. All three report
+/// the recorder's state. A server booted without `PITEX_OBS_CAPTURE` has
+/// no sink to control and answers `ERR BAD_REQUEST`.
+fn handle_capture(shared: &Arc<Shared>, action: CaptureAction) -> Response {
+    let capture = &shared.obs.capture;
+    if !capture.configured() {
+        shared.counters.errors.inc();
+        let message = "no capture path configured (set PITEX_OBS_CAPTURE)".to_string();
+        return Response::Err { code: ErrorCode::BadRequest, message };
+    }
+    match action {
+        CaptureAction::On => capture.set_enabled(true),
+        CaptureAction::Off => capture.set_enabled(false),
+        CaptureAction::Rotate => {
+            if let Err(e) = capture.rotate() {
+                shared.counters.errors.inc();
+                let message = format!("capture rotate failed: {e}");
+                return Response::Err { code: ErrorCode::Internal, message };
+            }
+        }
+    }
+    Response::Captured {
+        enabled: capture.enabled(),
+        recorded: capture.recorded(),
+        dropped: capture.dropped(),
+    }
 }
 
 /// `UPDATE`: validate and stage one op in the overlay. Nothing is visible
@@ -1705,6 +1918,8 @@ fn stats_fields(shared: &Shared) -> Vec<(String, String)> {
     // fsync alone bounds UPDATE ack latency, compact = snapshot + rewrite).
     fields.push("flight_recorded", shared.obs.flight.recorded());
     fields.push("slow_queries", shared.obs.flight.slow_count());
+    fields.push("capture_records", shared.obs.capture.recorded());
+    fields.push("capture_dropped", shared.obs.capture.dropped());
     let wal_t = &shared.obs.wal_timings;
     for (name, p99_name, hist) in [
         ("wal_append_hist", "wal_append_p99_us", &wal_t.append),
@@ -1907,6 +2122,81 @@ mod tests {
             assert_eq!(reply.tags, vec![2, 3]);
         }
         server.stop().unwrap();
+    }
+
+    #[test]
+    fn capture_verb_requires_a_configured_sink() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        match roundtrip(&mut stream, "CAPTURE on") {
+            Response::Err { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("PITEX_OBS_CAPTURE"), "{message}");
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn capture_records_queries_into_a_replayable_log() {
+        let dir = std::env::temp_dir().join(format!("pitex-serve-capture-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.pwrk");
+        let options = ServeOptions {
+            capture: Some(CaptureOptions { path: Some(path.clone()), rate: 1 }),
+            ..ServeOptions::default()
+        };
+        let server = Server::spawn(paper_handle(), ("127.0.0.1", 0), options).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let Response::Ok(first) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        let Response::Ok(second) = roundtrip(&mut stream, "QUERY 0 2") else { panic!() };
+        assert!(second.cached, "second query is a cache hit — and still captured");
+
+        // `off` flushes, so the log is complete on disk.
+        let Response::Captured { enabled, recorded, dropped } =
+            roundtrip(&mut stream, "CAPTURE off")
+        else {
+            panic!("expected CAPTURED")
+        };
+        assert!(!enabled);
+        assert_eq!((recorded, dropped), (2, 0));
+        let log = pitex_support::obs::read_log(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.truncated_bytes, 0);
+        let rec = &log.records[0];
+        assert_eq!((rec.verb.as_str(), rec.user, rec.k), ("QUERY", 0, 2));
+        assert_eq!((rec.backend.as_str(), rec.resolved.as_str()), ("-", "exact"));
+        assert_eq!(rec.tags, first.tags, "the answer rides in the record");
+        assert_eq!(rec.spread(), first.spread);
+        assert!(rec.trace_id != 0 && rec.ts_us > 0);
+        assert!(log.records[1].ts_us >= rec.ts_us, "admission timestamps are ordered");
+
+        // While off, nothing is recorded; `on` resumes; `rotate` starts a
+        // fresh log and preserves the old one.
+        roundtrip(&mut stream, "QUERY 1 2");
+        let Response::Captured { enabled, recorded, .. } = roundtrip(&mut stream, "CAPTURE on")
+        else {
+            panic!()
+        };
+        assert!(enabled);
+        assert_eq!(recorded, 2, "the query while off was not captured");
+        let Response::Captured { .. } = roundtrip(&mut stream, "CAPTURE rotate") else { panic!() };
+        roundtrip(&mut stream, "QUERY 2 2");
+        roundtrip(&mut stream, "CAPTURE off");
+        let fresh = pitex_support::obs::read_log(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(fresh.records.len(), 1);
+        assert_eq!(fresh.records[0].user, 2);
+        let rotated = PathBuf::from(format!("{}.1", path.display()));
+        let old = pitex_support::obs::read_log(&std::fs::read(&rotated).unwrap()).unwrap();
+        assert_eq!(old.records.len(), 2);
+
+        let Response::Stats(stats) = roundtrip(&mut stream, "STATS") else { panic!() };
+        assert_eq!(stats.get_u64("capture_records"), Some(3));
+        assert_eq!(stats.get_u64("capture_dropped"), Some(0));
+        server.stop().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,652 @@
+//! Open-loop workload replay: schedules from a PWRK capture log or a
+//! synthetic generator, issued at their *scheduled* arrival times.
+//!
+//! The closed-loop [`crate::client::LoadGen`] measures throughput capacity
+//! but suffers coordinated omission: a stalled server stops the generator,
+//! so the stall is counted once instead of once per request that would
+//! have arrived. This module is the open-loop counterpart. A dispatcher
+//! thread releases requests on schedule regardless of how the server is
+//! doing, workers drain them over a fixed pool of connections, and every
+//! latency sample is measured **from the scheduled arrival instant** — a
+//! request picked up late because the server stalled carries its full
+//! queueing delay into the tail.
+//!
+//! Schedules come from two places:
+//!
+//! * [`schedule_from_log`] — replay a [`CaptureLog`] recorded by
+//!   the server's `CAPTURE` verb, at recorded pace or scaled by `speed`,
+//!   optionally verifying answers bit-identically against the recorded
+//!   outcomes (same snapshot + deterministic backends ⇒ same tags and the
+//!   exact same spread bits).
+//! * [`SyntheticSchedule`] — a fixed-rate Poisson arrival process with
+//!   §7.1-style Zipf user skew, periodic bursts, and an optional update
+//!   mix, for load tests without a recording.
+
+use crate::protocol::{QueryRequest, Request, Response, TraceRequest};
+use crate::ServeClient;
+use pitex_core::EngineBackend;
+use pitex_live::UpdateOp;
+use pitex_model::TagId;
+use pitex_support::obs::{AtomicHistogram, CaptureLog, LatencyHistogram};
+use std::collections::BTreeMap;
+use std::net::ToSocketAddrs;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The recorded answer a replayed request is verified against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Expected {
+    /// The recorded tag set `W*`.
+    pub tags: Vec<TagId>,
+    /// The recorded spread, kept as raw bits so verification is
+    /// bit-identical rather than epsilon-close.
+    pub spread_bits: u64,
+}
+
+/// One scheduled request: when to send it (offset from replay start) and
+/// what answer the recording saw, if any.
+#[derive(Clone, Debug)]
+pub struct ReplayItem {
+    /// Microseconds from replay start to this request's scheduled arrival.
+    pub offset_us: u64,
+    /// The request to issue.
+    pub request: Request,
+    /// The recorded answer (`--verify` compares against this).
+    pub expect: Option<Expected>,
+}
+
+/// Builds a replay schedule from a capture log, preserving recorded
+/// arrival spacing scaled by `speed` (`2.0` replays twice as fast,
+/// `0.5` half speed).
+///
+/// Query-shaped verbs (`QUERY`, `EXPLAIN`, `TRACE`) are all replayed as
+/// plain queries — the replay engine re-traces its own sample via
+/// [`Replay::trace_every`] — preserving each record's user, `k`, and
+/// *requested* backend (so an `auto` query exercises the planner again).
+/// Records with other verbs or an unparseable backend are skipped.
+/// `expect` is filled only for records whose outcome was `ok`.
+pub fn schedule_from_log(log: &CaptureLog, speed: f64) -> Vec<ReplayItem> {
+    let speed = if speed.is_finite() && speed > 0.0 { speed } else { 1.0 };
+    let first_ts = log.records.first().map(|r| r.ts_us).unwrap_or(0);
+    let mut items = Vec::with_capacity(log.records.len());
+    for record in &log.records {
+        if !matches!(record.verb.as_str(), "QUERY" | "EXPLAIN" | "TRACE") {
+            continue;
+        }
+        let backend = match record.backend.as_str() {
+            "-" => None,
+            name => match EngineBackend::parse(name) {
+                Some(b) => Some(b),
+                None => continue,
+            },
+        };
+        let offset_us =
+            (record.ts_us.saturating_sub(first_ts) as f64 / speed).round().max(0.0) as u64;
+        let request = Request::Query(QueryRequest {
+            backend,
+            ..QueryRequest::new(record.user, record.k as usize)
+        });
+        let expect = (record.outcome == "ok")
+            .then(|| Expected { tags: record.tags.clone(), spread_bits: record.spread_bits });
+        items.push(ReplayItem { offset_us, request, expect });
+    }
+    items
+}
+
+/// A synthetic open-loop schedule: Poisson arrivals at a fixed offered
+/// rate, users drawn from a Zipf distribution (the skew the paper's §7.1
+/// workloads assume), periodic same-instant bursts, and an optional
+/// update mix. Deterministic for a given `seed`.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticSchedule {
+    /// Offered arrival rate in requests per second.
+    pub rate: f64,
+    /// Total requests to schedule.
+    pub requests: usize,
+    /// User ids are drawn from `0..users`.
+    pub users: u32,
+    /// Zipf exponent over users (`0.0` = uniform, `1.0` = classic skew).
+    pub zipf: f64,
+    /// Query `k` for every request.
+    pub k: usize,
+    /// Extra same-instant requests injected at every 64th arrival
+    /// (`0` disables bursts).
+    pub burst: usize,
+    /// Every `update_every`-th request becomes an `UPDATE add_user`
+    /// (`0` = queries only). Updates are admin verbs: replaying them
+    /// needs a server spawned without `--no-admin`.
+    pub update_every: usize,
+    /// Optional per-request backend override (`auto` drives the planner).
+    pub backend: Option<EngineBackend>,
+    /// Optional per-request deadline forwarded to the server.
+    pub timeout_us: Option<u64>,
+    /// PRNG seed; equal seeds build byte-identical schedules.
+    pub seed: u64,
+}
+
+impl Default for SyntheticSchedule {
+    fn default() -> Self {
+        Self {
+            rate: 500.0,
+            requests: 1000,
+            users: 64,
+            zipf: 1.0,
+            k: 2,
+            burst: 0,
+            update_every: 0,
+            backend: None,
+            timeout_us: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` with 53 random bits.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl SyntheticSchedule {
+    /// Materializes the schedule. Inter-arrival gaps are exponential
+    /// (`−ln(1−U)/rate`), making the arrival process Poisson — the
+    /// open-loop shape under which queueing tails actually form.
+    pub fn build(&self) -> Vec<ReplayItem> {
+        let rate = if self.rate.is_finite() && self.rate > 0.0 { self.rate } else { 1.0 };
+        let users = self.users.max(1);
+        // Zipf over users: cumulative weights 1/(i+1)^s, binary-searched.
+        let mut cumulative = Vec::with_capacity(users as usize);
+        let mut total = 0.0f64;
+        for i in 0..users {
+            total += 1.0 / ((i + 1) as f64).powf(self.zipf.max(0.0));
+            cumulative.push(total);
+        }
+        let mut state = self.seed ^ 0x9e3779b97f4a7c15;
+        let draw_user = |state: &mut u64| -> u32 {
+            let target = unit(state) * total;
+            cumulative.partition_point(|&c| c < target).min(users as usize - 1) as u32
+        };
+        let mut items = Vec::with_capacity(self.requests + self.requests / 64 * self.burst);
+        let mut offset_s = 0.0f64;
+        for i in 0..self.requests {
+            offset_s += -(1.0 - unit(&mut state)).ln() / rate;
+            let offset_us = (offset_s * 1e6).round() as u64;
+            let request = if self.update_every > 0 && (i + 1) % self.update_every == 0 {
+                Request::Update(UpdateOp::AddUser)
+            } else {
+                self.query(draw_user(&mut state))
+            };
+            items.push(ReplayItem { offset_us, request, expect: None });
+            if self.burst > 0 && (i + 1) % 64 == 0 {
+                for _ in 0..self.burst {
+                    let request = self.query(draw_user(&mut state));
+                    items.push(ReplayItem { offset_us, request, expect: None });
+                }
+            }
+        }
+        items
+    }
+
+    fn query(&self, user: u32) -> Request {
+        Request::Query(QueryRequest {
+            timeout_us: self.timeout_us,
+            backend: self.backend,
+            ..QueryRequest::new(user, self.k)
+        })
+    }
+}
+
+/// The open-loop replay engine: a dispatcher releases [`ReplayItem`]s at
+/// their scheduled offsets, `conns` workers drain them, and latency is
+/// measured from the *scheduled* instant (see the module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct Replay {
+    /// Worker connections draining the schedule.
+    pub conns: usize,
+    /// Compare answers against each item's recorded [`Expected`];
+    /// mismatches are counted (and exemplified) in the report.
+    pub verify: bool,
+    /// Re-issue every `trace_every`-th query as `TRACE` and fold its span
+    /// timeline into the per-phase attribution (`0` disables tracing).
+    pub trace_every: usize,
+}
+
+impl Default for Replay {
+    fn default() -> Self {
+        Self { conns: 4, verify: false, trace_every: 16 }
+    }
+}
+
+/// Aggregate outcome of one [`Replay::run`].
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Requests in the schedule.
+    pub scheduled: u64,
+    /// Requests actually issued (all of them, barring connect failures).
+    pub sent: u64,
+    /// `OK` replies.
+    pub ok: u64,
+    /// `OK` replies served from the result cache.
+    pub cached: u64,
+    /// `BUSY` (load-shed) replies.
+    pub busy: u64,
+    /// `ERR` replies and transport failures.
+    pub errors: u64,
+    /// Replies compared against a recorded answer.
+    pub verified: u64,
+    /// Compared replies that differed from the recording.
+    pub mismatches: u64,
+    /// Up to [`MISMATCH_EXAMPLES`] human-readable mismatch descriptions.
+    pub mismatch_examples: Vec<String>,
+    /// Wall-clock duration from first scheduled instant to last reply.
+    pub elapsed: Duration,
+    /// Open-loop latency: scheduled arrival → response, microseconds.
+    pub latency: LatencyHistogram,
+    /// Per-phase service-time histograms from the traced sample, keyed by
+    /// span name (`queue`, `plan`, `cache`, `execute`, plus `net` for the
+    /// client-observed minus server-reported gap; a router adds `route`
+    /// and `shard.*`).
+    pub phases: BTreeMap<String, LatencyHistogram>,
+}
+
+/// Cap on retained mismatch examples (counters keep exact totals).
+pub const MISMATCH_EXAMPLES: usize = 8;
+
+impl ReplayReport {
+    /// Achieved `OK` replies per second over the run.
+    pub fn qps(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Renders the latency-attribution report: headline counters, the
+    /// open-loop percentiles, the verify verdict, and one `phase` line per
+    /// traced span name with its p50/p99 — each line `key=value` tokens,
+    /// grep- and script-friendly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "replay scheduled={} sent={} ok={} cached={} busy={} errors={} elapsed_ms={} qps={:.1}\n",
+            self.scheduled,
+            self.sent,
+            self.ok,
+            self.cached,
+            self.busy,
+            self.errors,
+            self.elapsed.as_millis(),
+            self.qps(),
+        ));
+        out.push_str(&format!(
+            "latency open-loop from-scheduled-arrival p50_us={} p90_us={} p99_us={} max_us={}\n",
+            self.latency.quantile(0.50),
+            self.latency.quantile(0.90),
+            self.latency.quantile(0.99),
+            self.latency.quantile(1.0),
+        ));
+        if self.verified > 0 || self.mismatches > 0 {
+            out.push_str(&format!(
+                "verify compared={} mismatches={}\n",
+                self.verified, self.mismatches
+            ));
+            for example in &self.mismatch_examples {
+                out.push_str(&format!("verify-mismatch {example}\n"));
+            }
+        }
+        for (name, hist) in &self.phases {
+            out.push_str(&format!(
+                "phase name={} n={} p50_us={} p99_us={}\n",
+                name,
+                hist.count(),
+                hist.quantile(0.50),
+                hist.quantile(0.99),
+            ));
+        }
+        out
+    }
+}
+
+/// What one worker accumulates; merged into the report after the scope.
+#[derive(Default)]
+struct WorkerStats {
+    sent: u64,
+    ok: u64,
+    cached: u64,
+    busy: u64,
+    errors: u64,
+    verified: u64,
+    mismatches: u64,
+    mismatch_examples: Vec<String>,
+    phases: BTreeMap<String, LatencyHistogram>,
+}
+
+impl WorkerStats {
+    fn phase(&mut self, name: &str, us: u64) {
+        self.phases.entry(name.to_string()).or_default().record(us);
+    }
+
+    fn mismatch(&mut self, example: String) {
+        self.mismatches += 1;
+        if self.mismatch_examples.len() < MISMATCH_EXAMPLES {
+            self.mismatch_examples.push(example);
+        }
+    }
+
+    fn verify(&mut self, idx: usize, expect: &Expected, tags: &[TagId], spread_bits: u64) {
+        self.verified += 1;
+        if tags != expect.tags.as_slice() || spread_bits != expect.spread_bits {
+            self.mismatch(format!(
+                "item={idx} tags={tags:?} want={:?} spread_bits={spread_bits:#x} want={:#x}",
+                expect.tags, expect.spread_bits
+            ));
+        }
+    }
+}
+
+impl Replay {
+    /// Runs the schedule to completion.
+    ///
+    /// The dispatcher thread sleeps to each item's offset and hands it to
+    /// an unbounded queue, so a slow server can never push back on the
+    /// arrival process (that push-back is exactly the closed-loop bug this
+    /// engine exists to avoid). Workers time each reply against the item's
+    /// scheduled instant into a shared [`AtomicHistogram`].
+    pub fn run(
+        &self,
+        addr: impl ToSocketAddrs,
+        items: &[ReplayItem],
+    ) -> std::io::Result<ReplayReport> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let conns = self.conns.max(1);
+        let latency = Arc::new(AtomicHistogram::new());
+        let (tx, rx) = mpsc::channel::<(usize, Instant)>();
+        let rx = Mutex::new(rx);
+        // A small lead so item 0 is not already late before dispatch starts.
+        let t0 = Instant::now() + Duration::from_millis(2);
+        let started = Instant::now();
+        let mut outcomes: Vec<std::io::Result<WorkerStats>> = Vec::with_capacity(conns);
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(conns);
+            for _ in 0..conns {
+                let rx = &rx;
+                let latency = Arc::clone(&latency);
+                joins.push(
+                    scope.spawn(move || self.run_worker(addr, items, rx, t0, latency.as_ref())),
+                );
+            }
+            let dispatcher = scope.spawn(move || {
+                for (idx, item) in items.iter().enumerate() {
+                    let when = t0 + Duration::from_micros(item.offset_us);
+                    let now = Instant::now();
+                    if when > now {
+                        std::thread::sleep(when - now);
+                    }
+                    if tx.send((idx, when)).is_err() {
+                        break; // every worker died; nothing left to feed
+                    }
+                }
+                drop(tx); // closes the queue; workers drain and exit
+            });
+            dispatcher.join().expect("replay dispatcher panicked");
+            for join in joins {
+                outcomes.push(join.join().expect("replay worker panicked"));
+            }
+        });
+        let mut report = ReplayReport {
+            scheduled: items.len() as u64,
+            sent: 0,
+            ok: 0,
+            cached: 0,
+            busy: 0,
+            errors: 0,
+            verified: 0,
+            mismatches: 0,
+            mismatch_examples: Vec::new(),
+            elapsed: started.elapsed(),
+            latency: latency.snapshot(),
+            phases: BTreeMap::new(),
+        };
+        for outcome in outcomes {
+            let one = outcome?;
+            report.sent += one.sent;
+            report.ok += one.ok;
+            report.cached += one.cached;
+            report.busy += one.busy;
+            report.errors += one.errors;
+            report.verified += one.verified;
+            report.mismatches += one.mismatches;
+            for example in one.mismatch_examples {
+                if report.mismatch_examples.len() < MISMATCH_EXAMPLES {
+                    report.mismatch_examples.push(example);
+                }
+            }
+            for (name, hist) in one.phases {
+                report.phases.entry(name).or_default().merge(&hist);
+            }
+        }
+        Ok(report)
+    }
+
+    fn run_worker(
+        &self,
+        addr: std::net::SocketAddr,
+        items: &[ReplayItem],
+        rx: &Mutex<mpsc::Receiver<(usize, Instant)>>,
+        _t0: Instant,
+        latency: &AtomicHistogram,
+    ) -> std::io::Result<WorkerStats> {
+        let mut client = ServeClient::connect(addr)?;
+        let mut stats = WorkerStats::default();
+        loop {
+            let job = rx.lock().expect("replay queue poisoned").recv();
+            let Ok((idx, when)) = job else { break };
+            let item = &items[idx];
+            self.run_one(&mut client, idx, item, &mut stats);
+            // Open loop: latency accrues from the *scheduled* arrival, so
+            // time spent waiting behind a stalled server counts.
+            latency.record(when.elapsed().as_micros() as u64);
+        }
+        Ok(stats)
+    }
+
+    fn run_one(
+        &self,
+        client: &mut ServeClient,
+        idx: usize,
+        item: &ReplayItem,
+        stats: &mut WorkerStats,
+    ) {
+        stats.sent += 1;
+        // Convert the traced sample: every `trace_every`-th query goes out
+        // as TRACE so its span timeline feeds the phase attribution.
+        let traced = self.trace_every > 0 && idx % self.trace_every == 0;
+        let request = match (&item.request, traced) {
+            (Request::Query(q), true) => Request::Trace(TraceRequest { query: *q, trace_id: None }),
+            (request, _) => request.clone(),
+        };
+        let sent_at = Instant::now();
+        let response = match client.request(&request) {
+            Ok(response) => response,
+            Err(_) => {
+                stats.errors += 1;
+                client.reconnect().ok(); // give the next item a fresh socket
+                return;
+            }
+        };
+        let service_us = sent_at.elapsed().as_micros() as u64;
+        match response {
+            Response::Ok(reply) => {
+                stats.ok += 1;
+                if reply.cached {
+                    stats.cached += 1;
+                }
+                if self.verify {
+                    if let Some(expect) = &item.expect {
+                        stats.verify(idx, expect, &reply.tags, reply.spread.to_bits());
+                    }
+                }
+            }
+            Response::Traced(reply) => {
+                stats.ok += 1;
+                if reply.cached {
+                    stats.cached += 1;
+                }
+                for span in &reply.spans {
+                    stats.phase(&span.name, span.dur_us);
+                }
+                // The gap between what the client saw and what the server
+                // accounted for is time on the wire (plus socket queueing).
+                stats.phase("net", service_us.saturating_sub(reply.us));
+                if self.verify {
+                    if let Some(expect) = &item.expect {
+                        stats.verify(idx, expect, &reply.tags, reply.spread.to_bits());
+                    }
+                }
+            }
+            Response::Updated { .. } => stats.ok += 1,
+            Response::Busy => {
+                stats.busy += 1;
+                if self.verify && item.expect.is_some() {
+                    stats.mismatch(format!("item={idx} got=BUSY want=recorded-ok"));
+                }
+            }
+            _ => {
+                stats.errors += 1;
+                if self.verify && item.expect.is_some() {
+                    stats.mismatch(format!("item={idx} got=error want=recorded-ok"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitex_support::obs::CaptureRecord;
+
+    fn record(ts_us: u64, verb: &str, user: u32, outcome: &str) -> CaptureRecord {
+        CaptureRecord {
+            ts_us,
+            trace_id: 7,
+            verb: verb.to_string(),
+            user,
+            k: 2,
+            backend: "-".to_string(),
+            resolved: "exact".to_string(),
+            outcome: outcome.to_string(),
+            us: 10,
+            tags: vec![2, 3],
+            spread_bits: 1.5f64.to_bits(),
+        }
+    }
+
+    #[test]
+    fn schedule_from_log_preserves_pace_and_requested_backend() {
+        let mut query = record(1_000, "QUERY", 1, "ok");
+        query.backend = "auto".to_string();
+        let log = CaptureLog {
+            anchor_us: 0,
+            records: vec![
+                record(1_000, "TRACE", 0, "ok"),
+                query,
+                record(5_000, "EXPLAIN", 2, "busy"),
+                record(6_000, "UPDATE", 0, "ok"), // not query-shaped: skipped
+            ],
+            truncated_bytes: 0,
+        };
+        let items = schedule_from_log(&log, 2.0);
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].offset_us, 0);
+        assert_eq!(items[1].offset_us, 0, "same recorded instant");
+        assert_eq!(items[2].offset_us, 2_000, "4ms gap at 2x speed");
+        let Request::Query(q) = &items[1].request else { panic!("replayed as QUERY") };
+        assert_eq!(q.backend, Some(EngineBackend::Auto));
+        assert_eq!(
+            items[0].expect,
+            Some(Expected { tags: vec![2, 3], spread_bits: 1.5f64.to_bits() })
+        );
+        assert_eq!(items[2].expect, None, "busy outcome carries no expectation");
+    }
+
+    #[test]
+    fn synthetic_schedule_is_deterministic_and_skewed() {
+        let spec = SyntheticSchedule {
+            requests: 512,
+            users: 16,
+            burst: 2,
+            update_every: 100,
+            ..SyntheticSchedule::default()
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 512 + 512 / 64 * 2);
+        let mut updates = 0;
+        let mut per_user = vec![0u64; 16];
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.offset_us, y.offset_us, "same seed, same schedule");
+            match &x.request {
+                Request::Query(q) => per_user[q.user as usize] += 1,
+                Request::Update(UpdateOp::AddUser) => updates += 1,
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+        assert_eq!(updates, 5, "every 100th of 512 requests is an update");
+        assert!(
+            per_user[0] > per_user[8] && per_user[0] > per_user[15],
+            "zipf head outweighs tail: {per_user:?}"
+        );
+        let last = a.last().unwrap().offset_us;
+        // 512 arrivals at 500/s ≈ 1.02s; Poisson jitter stays well inside 3x.
+        assert!(last > 200_000 && last < 3_000_000, "offsets span ~1s, got {last}us");
+        // Offsets are nondecreasing (bursts share their trigger's instant).
+        assert!(a.windows(2).all(|w| w[0].offset_us <= w[1].offset_us));
+    }
+
+    #[test]
+    fn zero_rate_and_zero_users_do_not_panic() {
+        let items =
+            SyntheticSchedule { rate: 0.0, requests: 4, users: 0, ..SyntheticSchedule::default() }
+                .build();
+        assert_eq!(items.len(), 4);
+    }
+
+    #[test]
+    fn report_renders_parseable_attribution_lines() {
+        let mut phases = BTreeMap::new();
+        let mut execute = LatencyHistogram::new();
+        execute.record(120);
+        phases.insert("execute".to_string(), execute);
+        let mut latency = LatencyHistogram::new();
+        latency.record(300);
+        let report = ReplayReport {
+            scheduled: 1,
+            sent: 1,
+            ok: 1,
+            cached: 0,
+            busy: 0,
+            errors: 0,
+            verified: 1,
+            mismatches: 0,
+            mismatch_examples: Vec::new(),
+            elapsed: Duration::from_millis(5),
+            latency,
+            phases,
+        };
+        let text = report.render();
+        assert!(text.contains("replay scheduled=1 sent=1 ok=1"));
+        assert!(text.contains("latency open-loop from-scheduled-arrival p50_us="));
+        assert!(text.contains("verify compared=1 mismatches=0"));
+        assert!(text.contains("phase name=execute n=1 p50_us="));
+    }
+}

@@ -9,9 +9,10 @@
 //!   `u32` keys; see the Rust Performance Book, "Hashing").
 //! * [`visited`] — epoch-stamped visited sets so breadth-first traversals can
 //!   be reset in O(1) between the millions of sampling iterations PITEX runs.
-//! * [`codec`] — a small, explicit binary codec over [`bytes`] used to
+//! * [`codec`] — a small, explicit binary codec over `bytes` used to
 //!   persist datasets and indexes without pulling in a serialization
-//!   framework for fixed layouts.
+//!   framework for fixed layouts (re-exported from `pitex_obs`, where it
+//!   moved so the workload-capture log can encode through it).
 //! * [`stats`] — online summary statistics, latency histograms and
 //!   wall-clock timers used by the experiment harness and the query server.
 //! * [`lru`] — a sharded, thread-safe LRU result cache with hit/miss
@@ -21,15 +22,19 @@
 //!   recorder. `LatencyHistogram` now lives there; this crate re-exports
 //!   it so existing imports keep working.
 
-pub mod codec;
 pub mod hash;
 pub mod lru;
 pub mod stats;
 pub mod visited;
 
 /// The observability layer: typed metrics registry, trace spans, flight
-/// recorder. Downstream crates reach it as `pitex_support::obs::…`.
+/// recorder, workload capture. Downstream crates reach it as
+/// `pitex_support::obs::…`.
 pub use pitex_obs as obs;
+
+/// The binary artifact codec (moved to `pitex_obs` so the `PWRK` workload
+/// log can use it; existing `pitex_support::codec::…` paths keep working).
+pub use pitex_obs::codec;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use lru::{CacheCounters, ShardedLru};

@@ -126,7 +126,7 @@ proptest! {
                     prop_assert_eq!(cache.get(&k), None, "step {}: read after invalidate", step);
                 }
             }
-            prop_assert!(cache.len() <= capacity.max(0), "step {}: over capacity", step);
+            prop_assert!(cache.len() <= capacity, "step {}: over capacity", step);
         }
     }
 

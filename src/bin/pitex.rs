@@ -13,7 +13,9 @@
 //!               | --trace --user 42 --k 3 | --metrics | --flight
 //! pitex shardmap --out cluster.map --replicas "h:1,h:2;h:3,h:4" [--seed 42]
 //! pitex router  --map cluster.map [--port 7400]
-//! pitex top     --addr 127.0.0.1:7411 [--interval-ms 1000] [--count N]
+//! pitex top     --addr 127.0.0.1:7411 [--interval-ms 1000] [--count N] [--json]
+//! pitex record  --addr 127.0.0.1:7411 (--on | --off | --rotate)
+//! pitex replay  --addr 127.0.0.1:7411 (--log capture.pwrk [--verify] | --rate 500)
 //! ```
 //!
 //! The CLI covers the offline/online lifecycle end-to-end: generate (or
@@ -22,13 +24,20 @@
 //! running server (`client --update` / `--admin reload`), and scale out:
 //! `shardmap` writes the cluster's user-partitioning artifact and `router`
 //! serves the same line protocol over many shard servers (`client` pointed
-//! at a router works unchanged).
+//! at a router works unchanged). `record`/`replay` close the loop on
+//! production traffic: capture the arrival stream into a PWRK workload
+//! log, replay it open-loop at recorded (or scaled, or synthetic Poisson)
+//! pace, verify answers bit-identically, and attribute tail latency to
+//! the serving phases.
 
 use pitex::index::serial;
 use pitex::live::{ops_from_file_bytes, repair_rr_index};
 use pitex::prelude::*;
-use pitex::serve::{LoadGen, Response, ServeClient, ServeOptions, Server};
-use pitex::support::obs::format_trace_id;
+use pitex::serve::{
+    schedule_from_log, CaptureAction, LoadGen, Replay, Response, ServeClient, ServeOptions, Server,
+    SyntheticSchedule,
+};
+use pitex::support::obs::{format_trace_id, read_log};
 use pitex::support::stats::{human_bytes, human_duration};
 use std::collections::HashMap;
 use std::io::Write;
@@ -97,6 +106,8 @@ fn main() -> ExitCode {
         "shardmap" => cmd_shardmap(&opts),
         "router" => cmd_router(&opts),
         "top" => cmd_top(&opts),
+        "record" => cmd_record(&opts),
+        "replay" => cmd_replay(&opts),
         "help" | "--help" | "-h" => write_stdout(format_args!("{USAGE}")),
         other => Err(CliError::Msg(format!("unknown command {other:?}"))),
     };
@@ -132,15 +143,33 @@ USAGE:
                | --map FILE [--user N])
   pitex router --map FILE [--port N] [--max-in-flight N] [--idle-conns N]
                [--probe-ms N] [--no-admin]
-  pitex top    --addr HOST:PORT [--interval-ms N] [--count N]
+  pitex top    --addr HOST:PORT [--interval-ms N] [--count N] [--json]
+  pitex record --addr HOST:PORT (--on | --off | --rotate)
+  pitex replay --addr HOST:PORT (--log FILE [--speed F] [--verify]
+               | --rate F [--requests N] [--users N] [--zipf F] [--burst N]
+                 [--update-every N] [--k N] [--seed N])
+               [--conns N] [--trace-every N] [--backend NAME] [--timeout-us N]
 
 OBSERVABILITY: `client --trace` runs one traced query and prints its span
           timeline (through a router: `shard.*` spans show the hop);
           `client --metrics` scrapes Prometheus text exposition;
           `client --flight` dumps the flight recorder (admin-gated);
-          `top` is a live terminal dashboard over STATS + FLIGHT.
+          `top` is a live terminal dashboard over STATS + FLIGHT
+          (`top --json` prints one machine-readable snapshot and exits).
           PITEX_OBS_FLIGHT sizes the ring, PITEX_OBS_SLOW_US sets the
           slow-query threshold (0 = off).
+
+CAPTURE:  PITEX_OBS_CAPTURE=FILE makes a server (or router) sample
+          admitted requests into a PWRK workload log;
+          PITEX_OBS_CAPTURE_RATE=N keeps 1-in-N. `record` toggles or
+          rotates the log at runtime (admin-gated). `replay --log`
+          re-issues a recording OPEN-LOOP — latency measured from each
+          request's scheduled arrival, so stalls show up in the tail
+          instead of being coordinated-omitted away — with `--verify`
+          asserting bit-identical answers; `replay --rate` synthesizes
+          Poisson arrivals with Zipf user skew. Both print a per-phase
+          (queue/plan/cache/execute/net) latency attribution from a
+          traced sample (every `--trace-every`-th request).
 
 BACKENDS (--backend / --method): lazy (default), mc, rr, tim, exact, lt,
          indexest / indexest+ / delaymat (require --index),
@@ -163,9 +192,9 @@ UPDATE OPS: ADD_EDGE s d z:p[,z:p..] | REMOVE_EDGE s d | SET_EDGE s d z:p[,..]
 type Opts = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 12] = [
+const BOOL_FLAGS: [&str; 16] = [
     "delay", "stats", "ping", "shutdown", "bench", "json", "no-admin", "binary", "explain",
-    "trace", "metrics", "flight",
+    "trace", "metrics", "flight", "verify", "on", "off", "rotate",
 ];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -467,6 +496,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         admin: !opts.contains_key("no-admin"),
         repair: repair_from_opts(opts)?,
         wal: opts.get("wal").map(std::path::PathBuf::from),
+        capture: None, // read PITEX_OBS_CAPTURE from the environment
     };
     let server = Server::spawn(handle, ("127.0.0.1", port), options.clone())
         .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
@@ -642,7 +672,9 @@ fn cmd_router(opts: &Opts) -> Result<(), CliError> {
 /// `FLIGHT`. Works identically against a single server and a router (where
 /// the stats are the cluster-wide merge). `--count N` renders N frames and
 /// exits (N=0, the default, runs until interrupted); frames after the
-/// first start with an ANSI clear so the view updates in place.
+/// first start with an ANSI clear so the view updates in place. `--json`
+/// prints a single machine-readable snapshot (one JSON object, numbers
+/// unquoted — `pitex top --json | jq .qps`) and exits.
 fn cmd_top(opts: &Opts) -> Result<(), CliError> {
     let addr = want(opts, "addr")?;
     let interval_ms: u64 =
@@ -650,6 +682,11 @@ fn cmd_top(opts: &Opts) -> Result<(), CliError> {
     let count: u64 = opts.get("count").map(|s| parse(s, "--count")).transpose()?.unwrap_or(0);
     let mut client =
         ServeClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    if opts.contains_key("json") {
+        let stats = client.stats().map_err(|e| format!("STATS failed: {e}"))?;
+        outln!("{}", stats_json(&stats));
+        return Ok(());
+    }
     let mut frame = 0u64;
     loop {
         let stats = client.stats().map_err(|e| format!("STATS failed: {e}"))?;
@@ -721,6 +758,130 @@ fn cmd_top(opts: &Opts) -> Result<(), CliError> {
     }
 }
 
+/// `pitex record`: control a server's (or router's) PWRK workload
+/// recorder over the admin `CAPTURE` verb. The target process must have
+/// been started with `PITEX_OBS_CAPTURE=FILE`; `--rotate` renames the
+/// live log aside (`FILE.1`, `FILE.2`, …) and starts a fresh one — the
+/// rotated file is what `pitex replay --log` wants.
+fn cmd_record(opts: &Opts) -> Result<(), CliError> {
+    let addr = want(opts, "addr")?;
+    let action =
+        match (opts.contains_key("on"), opts.contains_key("off"), opts.contains_key("rotate")) {
+            (true, false, false) => CaptureAction::On,
+            (false, true, false) => CaptureAction::Off,
+            (false, false, true) => CaptureAction::Rotate,
+            _ => return Err("record needs exactly one of --on | --off | --rotate".into()),
+        };
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let (enabled, recorded, dropped) =
+        client.capture(action).map_err(|e| format!("capture failed: {e}"))?;
+    outln!(
+        "capture {}: {recorded} recorded, {dropped} dropped",
+        if enabled { "on" } else { "off" }
+    );
+    Ok(())
+}
+
+/// `pitex replay`: drive a server (or router) open-loop from a PWRK
+/// recording (`--log`, recorded pace scaled by `--speed`) or a synthetic
+/// Poisson/Zipf schedule (`--rate`), print the latency-attribution
+/// report, and — under `--log --verify` — exit nonzero unless every
+/// compared answer is bit-identical to the recording.
+fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
+    let addr = want(opts, "addr")?;
+    let backend_override: Option<EngineBackend> =
+        match opts.get("backend").or_else(|| opts.get("method")) {
+            Some(_) => Some(backend_from_opts(opts)?),
+            None => None,
+        };
+    let verify = opts.contains_key("verify");
+    let items = if let Some(path) = opts.get("log") {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let log = read_log(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        if log.truncated_bytes > 0 {
+            eprintln!(
+                "note: {path} ends in a torn record ({} trailing bytes ignored)",
+                log.truncated_bytes
+            );
+        }
+        let speed: f64 = opts.get("speed").map(|s| parse(s, "--speed")).transpose()?.unwrap_or(1.0);
+        schedule_from_log(&log, speed)
+    } else if let Some(rate) = opts.get("rate") {
+        if verify {
+            return Err("--verify needs --log FILE (a recording to compare against)".into());
+        }
+        let defaults = SyntheticSchedule::default();
+        SyntheticSchedule {
+            rate: parse(rate, "--rate")?,
+            requests: opts
+                .get("requests")
+                .map(|s| parse(s, "--requests"))
+                .transpose()?
+                .unwrap_or(defaults.requests),
+            users: opts.get("users").map(|s| parse(s, "--users")).transpose()?.unwrap_or(64),
+            zipf: opts.get("zipf").map(|s| parse(s, "--zipf")).transpose()?.unwrap_or(1.0),
+            k: opts.get("k").map(|s| parse(s, "--k")).transpose()?.unwrap_or(2),
+            burst: opts.get("burst").map(|s| parse(s, "--burst")).transpose()?.unwrap_or(0),
+            update_every: opts
+                .get("update-every")
+                .map(|s| parse(s, "--update-every"))
+                .transpose()?
+                .unwrap_or(0),
+            backend: backend_override,
+            timeout_us: opts.get("timeout-us").map(|s| parse(s, "--timeout-us")).transpose()?,
+            seed: opts
+                .get("seed")
+                .map(|s| parse(s, "--seed"))
+                .transpose()?
+                .unwrap_or(defaults.seed),
+        }
+        .build()
+    } else {
+        return Err("replay needs --log FILE or --rate F".into());
+    };
+    if items.is_empty() {
+        return Err("nothing to replay (the schedule is empty)".into());
+    }
+    let replay = Replay {
+        conns: opts.get("conns").map(|s| parse(s, "--conns")).transpose()?.unwrap_or(4),
+        verify,
+        trace_every: opts
+            .get("trace-every")
+            .map(|s| parse(s, "--trace-every"))
+            .transpose()?
+            .unwrap_or(16),
+    };
+    let report = replay.run(addr, &items).map_err(|e| format!("replay failed: {e}"))?;
+    outln!("{}", report.render().trim_end());
+    if report.mismatches > 0 {
+        return Err(format!(
+            "{} of {} verified replies diverged from the recording",
+            report.mismatches, report.verified
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// Renders a `STATS` reply as one JSON object. Numeric values stay
+/// unquoted so `jq '.qps'` and friends work directly; shared by
+/// `client --stats --json` and `top --json`.
+fn stats_json(stats: &pitex::serve::StatsReply) -> String {
+    let fields: Vec<String> = stats
+        .iter()
+        .map(|(key, value)| {
+            let is_number = value.parse::<f64>().is_ok_and(f64::is_finite);
+            if is_number {
+                format!("\"{}\":{}", json_escape(key), value)
+            } else {
+                format!("\"{}\":\"{}\"", json_escape(key), json_escape(value))
+            }
+        })
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
 /// Minimal JSON string escaping for `--stats --json` values.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -747,20 +908,7 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
     if opts.contains_key("stats") {
         let stats = connect()?.stats().map_err(|e| e.to_string())?;
         if opts.contains_key("json") {
-            // Machine-readable mode: one JSON object, numeric values left
-            // unquoted so `jq '.qps'` and friends work directly.
-            let fields: Vec<String> = stats
-                .iter()
-                .map(|(key, value)| {
-                    let is_number = value.parse::<f64>().is_ok_and(f64::is_finite);
-                    if is_number {
-                        format!("\"{}\":{}", json_escape(key), value)
-                    } else {
-                        format!("\"{}\":\"{}\"", json_escape(key), json_escape(value))
-                    }
-                })
-                .collect();
-            outln!("{{{}}}", fields.join(","));
+            outln!("{}", stats_json(&stats));
         } else {
             for (key, value) in stats.iter() {
                 outln!("{key}={value}");
@@ -877,10 +1025,16 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
             report.qps()
         );
         outln!(
-            "  client-side latency: mean {:.1}us, min {:.1}us, max {:.1}us",
+            "  client-side latency: mean {:.1}us, min {:.1}us, max {:.1}us, p50 {}us, p99 {}us",
             report.latency_us.mean(),
             report.latency_us.min(),
-            report.latency_us.max()
+            report.latency_us.max(),
+            report.latency_hist.quantile(0.50),
+            report.latency_hist.quantile(0.99)
+        );
+        outln!(
+            "  note: closed-loop percentiles understate tails under stalls \
+             (coordinated omission); for open-loop tails use `pitex replay --rate`"
         );
         return Ok(());
     }

@@ -1,0 +1,245 @@
+//! Fault-injection suite for the PWRK workload-capture log.
+//!
+//! The capture log's contract mirrors the WAL's, adapted for telemetry:
+//! every record that [`CaptureRecorder`] flushed is readable back
+//! bit-identically, a torn tail (the process died mid-flush) is tolerated
+//! and reported instead of failing the read, and corruption *inside* a
+//! complete record — bytes changed under an intact frame — refuses loudly
+//! with the offset, never yielding a silently wrong workload. This suite
+//! proves each clause against real files written through the real
+//! recorder, plus a property test pinning the record codec round trip
+//! over arbitrary field values.
+
+use pitex::support::obs::capture::{
+    decode_record, encode_record, read_log, CaptureError, CaptureOptions, CaptureRecord,
+    CaptureRecorder, CAPTURE_MAGIC,
+};
+use proptest::prelude::*;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pitex-capture-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn record(n: u64) -> CaptureRecord {
+    CaptureRecord {
+        ts_us: 1_000 + n,
+        trace_id: 0xabc0 + n,
+        verb: "QUERY".to_string(),
+        user: n as u32,
+        k: 2,
+        backend: "-".to_string(),
+        resolved: "lazy".to_string(),
+        outcome: "ok".to_string(),
+        us: 40 + n,
+        tags: vec![2, 3],
+        spread_bits: (1.5f64 + n as f64).to_bits(),
+    }
+}
+
+/// Writes `n` records through the real recorder and returns the log path.
+fn write_log(dir: &std::path::Path, n: u64) -> PathBuf {
+    let path = dir.join("cap.pwrk");
+    let recorder =
+        CaptureRecorder::new(CaptureOptions { path: Some(path.clone()), rate: 1 }).unwrap();
+    for i in 0..n {
+        recorder.record(|| record(i));
+    }
+    recorder.flush();
+    path
+}
+
+#[test]
+fn recorder_output_reads_back_bit_identically() {
+    let dir = tmp_dir("roundtrip");
+    let path = write_log(&dir, 5);
+    let log = read_log(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(log.truncated_bytes, 0);
+    assert_eq!(log.records.len(), 5);
+    for (i, r) in log.records.iter().enumerate() {
+        assert_eq!(*r, record(i as u64), "record {i} must survive the file round trip exactly");
+    }
+}
+
+/// A torn tail — the process died mid-flush, leaving a half-written frame —
+/// must not cost the records before it: the read succeeds and reports the
+/// surgery in `truncated_bytes`, exactly like WAL recovery.
+#[test]
+fn torn_tail_is_tolerated_and_reported() {
+    let dir = tmp_dir("torn");
+    let path = write_log(&dir, 3);
+    // Tear the tail: a frame claiming 96 payload bytes with only 5 present.
+    let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+    file.write_all(&96u32.to_le_bytes()).unwrap();
+    file.write_all(&[0xCD; 5]).unwrap();
+    drop(file);
+
+    let log = read_log(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(log.records.len(), 3, "complete records before the tear survive");
+    assert_eq!(log.truncated_bytes, 9, "4-byte len + 5 torn bytes");
+    assert_eq!(log.records[2], record(2));
+}
+
+/// Corruption inside a complete record is not a crash artifact; a workload
+/// log that decodes to the wrong traffic would silently invalidate every
+/// replay built on it, so the read must fail loudly, naming the offset.
+#[test]
+fn mid_record_corruption_refuses_loudly() {
+    let dir = tmp_dir("corrupt");
+    let path = write_log(&dir, 4);
+    let len = std::fs::metadata(&path).unwrap().len();
+    let mut file = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+    // Flip one byte inside the last frame's payload (just before its 8-byte
+    // checksum) — the frame stays structurally complete, so this must read
+    // as corruption, not as a tolerable torn tail.
+    let target = len - 20;
+    file.seek(SeekFrom::Start(target)).unwrap();
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte).unwrap();
+    file.seek(SeekFrom::Start(target)).unwrap();
+    file.write_all(&[byte[0] ^ 0xFF]).unwrap();
+    drop(file);
+
+    match read_log(&std::fs::read(&path).unwrap()) {
+        Ok(log) => {
+            panic!("corrupt bytes decoded into {} records without complaint", log.records.len())
+        }
+        Err(CaptureError::Corrupt { offset, detail }) => {
+            assert!(offset >= 16, "corruption is past the header, got offset {offset}");
+            assert!(!detail.is_empty());
+        }
+        Err(other) => panic!("wanted CaptureError::Corrupt, got {other:?}"),
+    }
+}
+
+/// A file that is not a PWRK log at all (wrong magic) errors on the header,
+/// not mid-scan.
+#[test]
+fn wrong_magic_is_a_header_error() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"PLOG");
+    bytes.extend_from_slice(&[0u8; 12]);
+    match read_log(&bytes) {
+        Err(CaptureError::Header(_)) => {}
+        other => panic!("wanted a header error, got {other:?}"),
+    }
+    assert_eq!(&CAPTURE_MAGIC, b"PWRK");
+}
+
+/// Rotation atomically renames the live log aside and starts a fresh one;
+/// both halves must read back complete.
+#[test]
+fn rotation_splits_the_stream_across_readable_files() {
+    let dir = tmp_dir("rotate");
+    let path = dir.join("cap.pwrk");
+    let recorder =
+        CaptureRecorder::new(CaptureOptions { path: Some(path.clone()), rate: 1 }).unwrap();
+    for i in 0..3 {
+        recorder.record(|| record(i));
+    }
+    let rotated = recorder.rotate().unwrap();
+    for i in 3..5 {
+        recorder.record(|| record(i));
+    }
+    recorder.flush();
+
+    let old = read_log(&std::fs::read(&rotated).unwrap()).unwrap();
+    let new = read_log(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(old.records.len(), 3);
+    assert_eq!(new.records.len(), 2);
+    assert_eq!(new.records[0], record(3), "the stream continues in the fresh file");
+}
+
+/// Sampling keeps 1-in-`rate` *admitted* requests and counts everything it
+/// kept; replays scale counts back up by the rate, so the kept subset must
+/// be exactly periodic, not probabilistic.
+#[test]
+fn sampling_rate_keeps_a_deterministic_subset() {
+    let dir = tmp_dir("rate");
+    let path = dir.join("cap.pwrk");
+    let recorder =
+        CaptureRecorder::new(CaptureOptions { path: Some(path.clone()), rate: 4 }).unwrap();
+    for i in 0..17 {
+        recorder.record(|| record(i));
+    }
+    recorder.flush();
+    let log = read_log(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(log.records.len(), 5, "17 admitted at 1-in-4 keeps ceil(17/4)");
+    assert_eq!(recorder.recorded(), 5);
+    let users: Vec<u32> = log.records.iter().map(|r| r.user).collect();
+    assert_eq!(users, vec![0, 4, 8, 12, 16], "every 4th admission, starting at the first");
+}
+
+/// String-field pools for the property tests: each covers the empty string
+/// and the values the capture hooks actually emit.
+const VERBS: [&str; 4] = ["QUERY", "EXPLAIN", "TRACE", ""];
+const BACKENDS: [&str; 5] = ["-", "auto", "lazy", "exact", ""];
+const OUTCOMES: [&str; 5] = ["ok", "cached", "busy", "deadline", ""];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The record codec is total over its field domain: any combination of
+    /// values (empty strings, max ids, NaN spread bits, long tag lists)
+    /// encodes and decodes bit-identically.
+    #[test]
+    fn record_codec_round_trips_arbitrary_fields(
+        ts_us in 0u64..u64::MAX,
+        trace_id in 0u64..u64::MAX,
+        verb_i in 0usize..VERBS.len(),
+        ids in (0u32..u32::MAX, 0u32..u32::MAX),
+        backend_i in 0usize..BACKENDS.len(),
+        resolved_i in 0usize..BACKENDS.len(),
+        outcome_i in 0usize..OUTCOMES.len(),
+        us in 0u64..u64::MAX,
+        tags in proptest::collection::vec(0u32..u32::MAX, 0..32),
+        spread_bits in 0u64..u64::MAX,
+    ) {
+        let record = CaptureRecord {
+            ts_us,
+            trace_id,
+            verb: VERBS[verb_i].to_string(),
+            user: ids.0,
+            k: ids.1,
+            backend: BACKENDS[backend_i].to_string(),
+            resolved: BACKENDS[resolved_i].to_string(),
+            outcome: OUTCOMES[outcome_i].to_string(),
+            us,
+            tags,
+            spread_bits,
+        };
+        let decoded = decode_record(&encode_record(&record)).unwrap();
+        prop_assert_eq!(decoded, record);
+    }
+
+    /// Arbitrary record *sequences* survive the full file round trip
+    /// through the real recorder, order and contents intact.
+    #[test]
+    fn log_files_round_trip_arbitrary_sequences(
+        users in proptest::collection::vec(0u32..u32::MAX, 1..24),
+    ) {
+        let dir = tmp_dir("prop");
+        let path = dir.join("cap.pwrk");
+        let recorder =
+            CaptureRecorder::new(CaptureOptions { path: Some(path.clone()), rate: 1 }).unwrap();
+        for (i, &user) in users.iter().enumerate() {
+            recorder.record(|| CaptureRecord { user, ..record(i as u64) });
+        }
+        recorder.flush();
+        let log = read_log(&std::fs::read(&path).unwrap()).unwrap();
+        prop_assert_eq!(log.truncated_bytes, 0);
+        prop_assert_eq!(log.records.len(), users.len());
+        for (i, (r, &user)) in log.records.iter().zip(&users).enumerate() {
+            prop_assert_eq!(r, &CaptureRecord { user, ..record(i as u64) });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -490,7 +490,7 @@ proptest! {
                 for &u in members {
                     load[map.shard_of(u)] += 1;
                 }
-                let uniform = (members.len() + shards - 1) / shards;
+                let uniform = members.len().div_ceil(shards);
                 for (s, &l) in load.iter().enumerate() {
                     prop_assert!(
                         l <= 2 * uniform,
@@ -511,7 +511,7 @@ proptest! {
                     total += 1;
                 }
             }
-            let uniform = (total + shards - 1) / shards;
+            let uniform = total.div_ceil(shards);
             for (s, &l) in load.iter().enumerate() {
                 prop_assert!(
                     l <= 2 * uniform,

@@ -29,7 +29,7 @@ fn samplers_track_exact_values() {
         let mut exact = PitexEngine::with_exact(&model, PitexConfig::default());
         // Tight parameters so the sampled estimates concentrate.
         let config = PitexConfig { epsilon: 0.3, delta: 1000.0, ..Default::default() };
-        let mut engines = vec![
+        let mut engines = [
             PitexEngine::with_mc(&model, config),
             PitexEngine::with_rr(&model, config),
             PitexEngine::with_lazy(&model, config),
@@ -57,7 +57,7 @@ fn index_backends_track_exact_values() {
     let delay = DelayMatIndex::build(&model, IndexBudget::Fixed(120_000), 3);
     let mut exact = PitexEngine::with_exact(&model, PitexConfig::default());
     let config = PitexConfig::default();
-    let mut engines = vec![
+    let mut engines = [
         PitexEngine::with_index(&model, &index, config),
         PitexEngine::with_index_plus(&model, &index, config),
         PitexEngine::with_delay(&model, &delay, config),

@@ -1,0 +1,215 @@
+//! Workload capture + open-loop replay, end to end.
+//!
+//! Two scenarios the unit tests cannot cover:
+//!
+//! 1. **Coordinated omission**, demonstrated rather than asserted by fiat:
+//!    against a stub server with one injected 400ms stall, the closed-loop
+//!    [`LoadGen`] reports a flat p99 (its generators stop sending while
+//!    blocked, so the stall is sampled once per connection), while the
+//!    open-loop [`Replay`] — measuring every request from its *scheduled*
+//!    arrival — carries the whole backlog into the tail.
+//! 2. **Record → replay → verify round trip** against a real server:
+//!    traffic captured via [`ServeOptions::capture`] replays through
+//!    [`schedule_from_log`] and verifies bit-identically (`mismatches=0`),
+//!    with the traced sample feeding per-phase latency attribution.
+
+use pitex::prelude::*;
+use pitex::serve::{
+    schedule_from_log, CaptureAction, LoadGen, Replay, Response, ServeClient, ServeOptions, Server,
+    SyntheticSchedule,
+};
+use pitex::support::obs::{read_log, CaptureOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pitex-workload-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A protocol-shaped stub: answers every request with a canned `OK` line,
+/// except that handling request number `stall_at` opens a `stall`-long
+/// window during which every in-flight request sleeps until the window
+/// closes — one server-side hiccup, identical for both load shapes.
+fn spawn_stall_stub(stall_at: u64, stall: Duration) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hits = Arc::new(AtomicU64::new(0));
+    let stall_until = Arc::new(Mutex::new(None::<Instant>));
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let hits = Arc::clone(&hits);
+            let stall_until = Arc::clone(&stall_until);
+            std::thread::spawn(move || stub_conn(stream, &hits, &stall_until, stall_at, stall));
+        }
+    });
+    addr
+}
+
+fn stub_conn(
+    stream: TcpStream,
+    hits: &AtomicU64,
+    stall_until: &Mutex<Option<Instant>>,
+    stall_at: u64,
+    stall: Duration,
+) {
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim() == "QUIT" {
+            let _ = writer.write_all(b"BYE\n");
+            return;
+        }
+        if hits.fetch_add(1, Ordering::SeqCst) + 1 == stall_at {
+            *stall_until.lock().unwrap() = Some(Instant::now() + stall);
+        }
+        let deadline = *stall_until.lock().unwrap();
+        if let Some(deadline) = deadline {
+            let now = Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+        }
+        if writer.write_all(b"OK user=0 k=2 tags=2,3 spread=1.5 cached=0 us=50\n").is_err() {
+            return;
+        }
+    }
+}
+
+/// The coordinated-omission demonstration. Same stall, two load shapes:
+/// the closed loop samples it at most once per connection (its clients
+/// stop *sending* while blocked), so ~4 of 1000 samples are slow and p99
+/// stays flat; the open loop keeps scheduling arrivals through the stall,
+/// so a few hundred requests accrue queueing delay from their scheduled
+/// instant and p99 reports the stall.
+#[test]
+fn open_loop_tail_reflects_a_stall_the_closed_loop_hides() {
+    const STALL: Duration = Duration::from_millis(400);
+    // Well below the stall, well above a loopback round trip against a
+    // stub that does no work — generous in both directions for slow CI.
+    const THRESHOLD_US: u64 = 100_000;
+
+    // Closed loop: 4 clients x 250 requests, stall at request 100.
+    let gen = LoadGen { clients: 4, requests_per_client: 250, ..LoadGen::default() };
+    let closed = gen.run(spawn_stall_stub(100, STALL)).unwrap();
+    assert_eq!(closed.ok, 1000);
+    let closed_p99 = closed.latency_hist.quantile(0.99);
+    assert!(
+        closed_p99 < THRESHOLD_US,
+        "closed-loop p99 should hide the stall (coordinated omission), got {closed_p99}us"
+    );
+
+    // Open loop: ~0.75s of Poisson arrivals at 800/s, stall at request 50
+    // (~60ms in), so roughly 300 scheduled arrivals land inside the stall
+    // window and wait behind it.
+    let items = SyntheticSchedule {
+        rate: 800.0,
+        requests: 600,
+        users: 8,
+        zipf: 0.0,
+        ..SyntheticSchedule::default()
+    }
+    .build();
+    let replay = Replay { conns: 4, verify: false, trace_every: 0 };
+    let open = replay.run(spawn_stall_stub(50, STALL), &items).unwrap();
+    assert_eq!(open.ok, 600);
+    assert_eq!(open.errors, 0);
+    let open_p99 = open.latency.quantile(0.99);
+    assert!(
+        open_p99 > THRESHOLD_US,
+        "open-loop p99 must carry the stall backlog, got {open_p99}us"
+    );
+    assert!(
+        open_p99 > closed_p99,
+        "same stall: open loop ({open_p99}us) must report a fatter tail than \
+         closed loop ({closed_p99}us)"
+    );
+}
+
+/// Record production-shaped traffic on a real server, replay the log, and
+/// verify the answers bit-identically — the whole tentpole in one pass,
+/// with no environment variables involved ([`ServeOptions::capture`] wires
+/// the recorder hermetically).
+#[test]
+fn recorded_traffic_replays_and_verifies_bit_identically() {
+    let dir = tmp_dir("record-replay");
+    let path = dir.join("cap.pwrk");
+    let model = Arc::new(TicModel::paper_example());
+    let handle = EngineHandle::new(model, EngineBackend::Exact, PitexConfig::default()).unwrap();
+    let server = Server::spawn(
+        handle,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            capture: Some(CaptureOptions { path: Some(path.clone()), rate: 1 }),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+
+    // The "production" run: one query per user of the Fig. 2 graph.
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    for user in 0..6u32 {
+        let Response::Ok(reply) = client.query(user, 2).unwrap() else {
+            panic!("query for user {user} must succeed")
+        };
+        assert!(!reply.tags.is_empty());
+    }
+    // `CAPTURE off` flushes, so the log is complete on disk before we read.
+    let (enabled, recorded, dropped) = client.capture(CaptureAction::Off).unwrap();
+    assert!(!enabled);
+    assert_eq!(recorded, 6);
+    assert_eq!(dropped, 0);
+
+    let log = read_log(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(log.truncated_bytes, 0);
+    assert_eq!(log.records.len(), 6);
+    for record in &log.records {
+        assert_eq!(record.verb, "QUERY");
+        assert!(!record.tags.is_empty(), "the recorded answer travels in the log");
+    }
+
+    let items = schedule_from_log(&log, 10.0);
+    assert_eq!(items.len(), 6);
+    let comparable = items.iter().filter(|i| i.expect.is_some()).count() as u64;
+    assert!(comparable > 0, "ok-outcome records must carry expectations");
+
+    let replay = Replay { conns: 2, verify: true, trace_every: 4 };
+    let report = replay.run(server.addr(), &items).unwrap();
+    assert_eq!(report.sent, 6);
+    assert_eq!(report.ok, 6);
+    assert_eq!(report.verified, comparable);
+    assert_eq!(
+        report.mismatches, 0,
+        "replay must match the recording bit-identically: {:?}",
+        report.mismatch_examples
+    );
+    assert_eq!(report.latency.count(), 6, "every request contributes an open-loop sample");
+    assert!(
+        report.phases.contains_key("net"),
+        "the traced sample must feed phase attribution, got {:?}",
+        report.phases.keys().collect::<Vec<_>>()
+    );
+    let rendered = report.render();
+    assert!(rendered.contains("verify compared="));
+    assert!(rendered.contains("phase name="));
+
+    server.stop().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
