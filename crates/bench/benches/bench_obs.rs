@@ -12,7 +12,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pitex_bench::banner;
 use pitex_support::obs::{
-    mint_trace_id, Ewma, FlightEntry, FlightRecorder, ObsOptions, Registry, SpanRecorder,
+    mint_trace_id, Ewma, FlightEntry, FlightRecorder, LatencyHistogram, ObsOptions, Registry,
+    SpanRecorder, TimeSeriesStore, TsOptions,
 };
 use std::time::Instant;
 
@@ -79,6 +80,32 @@ fn bench_obs(c: &mut Criterion) {
         })
     });
     c.bench_function("obs_registry_export", |b| b.iter(|| registry.export().len()));
+
+    // One background-sampler tick over a serving-shaped field set:
+    // counters (parsed + delta'd), a gauge, a label (skipped), and the
+    // latency histogram's wire encoding (parsed + bucket-delta'd into the
+    // current window). This is the whole per-tick cost of keeping the
+    // rolling rings warm — it runs once a second off the hot path, so the
+    // budget is generous, but a regression here is a regression in the
+    // always-on sampler thread.
+    c.bench_function("obs_timeseries_tick", |b| {
+        let mut lat = LatencyHistogram::new();
+        for n in 0..512u64 {
+            lat.record((n * 37) & 0xffff);
+        }
+        let fields: Vec<(String, String)> = vec![
+            ("requests".into(), "480213".into()),
+            ("ok".into(), "479004".into()),
+            ("busy".into(), "97".into()),
+            ("errors".into(), "12".into()),
+            ("cache_hits".into(), "301552".into()),
+            ("qps".into(), "812.5".into()),
+            ("backend".into(), "auto".into()),
+            ("lat_hist".into(), lat.to_wire()),
+        ];
+        let store = TimeSeriesStore::new(TsOptions::default());
+        b.iter(|| store.tick(fields.iter().map(|(k, v)| (k.as_str(), v.as_str()))))
+    });
 
     // The per-request bundle the server's hot path actually runs: two
     // counter incs, one histogram record, one flight-ring write.

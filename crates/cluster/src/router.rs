@@ -31,6 +31,21 @@
 //!   a reader never observes two shards answering from different epochs
 //!   *through this router*: reads happen strictly before or strictly
 //!   after the commit wave.
+//! * `HEALTH` — scattered to every shard and merged into the *cluster*
+//!   verdict: each shard's per-objective verdicts come back re-originated
+//!   as `shard<N>`, the router appends its own burn-rate verdicts (origin
+//!   `router`, over its front-door counters and hop latency), and the
+//!   overall status is the worst across all origins — `worst=` names the
+//!   component an operator should look at first. An unreachable shard
+//!   contributes a synthetic paging `reachability` verdict: the moment
+//!   health reporting matters most is when a shard is down.
+//! * `SERIES` — answered from the router's *own* rolling time-series (a
+//!   local sampler thread ticks the router's registry fields; shard rings
+//!   are queried per shard, where they live).
+//! * `GET /metrics`, `/health`, `/series?…` — HTTP requests sniffed on
+//!   this same port (the `pitex_serve::http` magic-detection idiom) answer
+//!   the cluster-merged Prometheus exposition, the cluster health verdict
+//!   (`503` on page), and the router's local ring dumps.
 //! * `PING` is answered locally; `SHUTDOWN` stops the router (shards are
 //!   managed by their own admins).
 //! * `CAPTURE on|off|rotate` — controls the *router's* PWRK workload
@@ -46,9 +61,11 @@ use crate::pool::{CallError, PoolOptions, ShardPools};
 use crate::shardmap::ShardMap;
 use pitex_live::UpdateOp;
 use pitex_serve::{
-    CaptureAction, ErrorCode, FlightReply, FlightWireEntry, ReloadReply, Request, Response,
+    http, CaptureAction, ErrorCode, FlightReply, FlightWireEntry, ReloadReply, Request, Response,
     StatsReply, TraceReply, TraceRequest,
 };
+use pitex_support::obs::slo::{self, HealthVerdict, SloOptions, SloStatus, SloVerdict};
+use pitex_support::obs::timeseries::{SeriesRes, TimeSeriesStore, TsOptions};
 use pitex_support::obs::{
     mint_trace_id, render_prometheus, wall_now_us, AtomicHistogram, CaptureOptions, CaptureRecord,
     CaptureRecorder, Counter, FieldSet, FlightEntry, FlightRecorder, MergedFields, ObsOptions,
@@ -169,6 +186,12 @@ struct Shared {
     counters: Counters,
     /// Router-observed `QUERY` service time (shard round-trip included).
     latency: Arc<AtomicHistogram>,
+    /// Rolling time-series over the router's *own* fields (`SERIES`,
+    /// `GET /series`): a local sampler thread ticks once per configured
+    /// interval — no per-tick network scatter to the shards.
+    timeseries: TimeSeriesStore,
+    /// SLO thresholds for the router's own burn-rate verdicts.
+    slo: SloOptions,
     /// Ring of recent request summaries + slow-query log (`FLIGHT`).
     flight: FlightRecorder,
     /// Sampled PWRK workload recorder (`CAPTURE on|off|rotate` — applied
@@ -222,13 +245,15 @@ impl Router {
             registry,
             counters,
             latency,
+            timeseries: TimeSeriesStore::new(TsOptions::from_env()),
+            slo: SloOptions::from_env(),
             flight: FlightRecorder::new(ObsOptions::from_env()),
             capture,
             started: Instant::now(),
             connections: Mutex::new(Vec::new()),
         });
 
-        let mut threads = Vec::with_capacity(2);
+        let mut threads = Vec::with_capacity(3);
         {
             let shared = shared.clone();
             threads.push(
@@ -243,6 +268,14 @@ impl Router {
                 std::thread::Builder::new()
                     .name("pitex-router-prober".to_string())
                     .spawn(move || prober_loop(&shared))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pitex-router-sampler".to_string())
+                    .spawn(move || sampler_loop(&shared))?,
             );
         }
         Ok(RouterHandle { addr, shared, threads: Mutex::new(threads) })
@@ -316,6 +349,25 @@ fn prober_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// The router's background sampler (mirrors the shard servers'): once per
+/// configured tick it snapshots the router's *own* field list into the
+/// rolling rings. It deliberately does not scatter to the shards — a tick
+/// must stay cheap and local; shard rings are read shard-side.
+fn sampler_loop(shared: &Arc<Shared>) {
+    let tick = shared.timeseries.options().tick;
+    let mut next = Instant::now() + tick;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(POLL.min(next - now));
+            continue;
+        }
+        let fields = router_fields(shared, 0).into_fields();
+        shared.timeseries.tick(fields.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+        next = Instant::now() + tick;
+    }
+}
+
 fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -386,6 +438,16 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
             line.clear();
             continue;
         }
+        // HTTP auto-detection (the PSHM/PWRK magic-sniffing idiom, shared
+        // with the shard servers): a GET request line on the protocol port
+        // becomes a one-shot scrape — answer and close.
+        if let Some(path) = http::request_path(line.trim()) {
+            let path = path.to_string();
+            if http::drain_headers(&mut reader, &shared.stop) {
+                let _ = writer.write_all(http_get(shared, &path).as_bytes());
+            }
+            return;
+        }
         let handled = handle_line(shared, line.trim());
         line.clear();
         let (out, close) = match handled {
@@ -454,6 +516,8 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> Handled {
         Ok(Request::Trace(t)) => reply(handle_trace(shared, t), false),
         Ok(Request::Stats) => reply(handle_stats(shared), false),
         Ok(Request::Metrics) => handle_metrics(shared),
+        Ok(Request::Series { field, res }) => reply(handle_series(shared, &field, res), false),
+        Ok(Request::Health) => reply(handle_health(shared), false),
         Ok(
             Request::Update(_)
             | Request::Reload
@@ -828,6 +892,142 @@ fn handle_metrics(shared: &Arc<Shared>) -> Handled {
     match merged_shard_fields(shared) {
         Ok(fields) => Handled::Raw(render_prometheus(fields.into_iter())),
         Err(message) => Handled::Reply(internal(shared, message), false),
+    }
+}
+
+/// `SERIES <field> [res]` over the router's *local* rings (its own
+/// counters, hop latency, pool health) — shard rings are per shard, where
+/// the samples live; ask a shard directly for its history.
+fn handle_series(shared: &Shared, field: &str, res: Option<SeriesRes>) -> Response {
+    match shared.timeseries.series(field, res.unwrap_or(SeriesRes::Fast)) {
+        Some(dump) => Response::Series(dump.into()),
+        None => {
+            shared.counters.errors.inc();
+            Response::Err {
+                code: ErrorCode::BadRequest,
+                message: format!("unknown or never-sampled router field {field:?}"),
+            }
+        }
+    }
+}
+
+/// `HEALTH` at the router: the cluster verdict — see [`cluster_health`].
+fn handle_health(shared: &Arc<Shared>) -> Response {
+    let _gate = shared.epoch_gate.read().unwrap();
+    shared.counters.scatters.inc();
+    Response::Health(cluster_health(shared))
+}
+
+/// Scatters `HEALTH` to every shard and merges: shard verdicts come back
+/// re-originated as `shard<N>`, the router's own burn-rate verdicts (over
+/// its front-door counters and hop-latency histogram) append as `router`,
+/// and the fold picks the worst origin. A shard with no reachable replica
+/// — or one answering something other than `HEALTHY` (an old binary) —
+/// contributes a synthetic paging `reachability` verdict instead of
+/// silently vanishing from the aggregate: the moment health matters most
+/// is when a shard is down.
+fn cluster_health(shared: &Arc<Shared>) -> HealthVerdict {
+    let mut slos = Vec::new();
+    for shard in 0..shared.pools.num_shards() {
+        let origin = format!("shard{shard}");
+        match shared.pools.call(shard, |client| client.request(&Request::Health)) {
+            Ok(Response::Health(verdict)) => {
+                slos.extend(verdict.slos.into_iter().map(|mut v| {
+                    v.origin = origin.clone();
+                    v
+                }));
+            }
+            _ => slos.push(SloVerdict {
+                name: "reachability".to_string(),
+                status: SloStatus::Page,
+                window: "-".to_string(),
+                burn: 0.0,
+                field: "-".to_string(),
+                origin,
+            }),
+        }
+    }
+    let own = slo::evaluate(&shared.timeseries, &shared.slo, slo::ROUTER_INPUTS);
+    slos.extend(own.slos.into_iter().map(|mut v| {
+        v.origin = "router".to_string();
+        v
+    }));
+    HealthVerdict::from_slos(slos)
+}
+
+/// Routes one sniffed `GET` to its body and frames the HTTP response:
+/// `/metrics` and `/health` answer for the whole cluster (merged fields,
+/// merged verdict), `/series` for the router's local rings.
+fn http_get(shared: &Arc<Shared>, path: &str) -> String {
+    let (route, query) = match path.split_once('?') {
+        Some((route, query)) => (route, query),
+        None => (path, ""),
+    };
+    match route {
+        "/metrics" => {
+            let _gate = shared.epoch_gate.read().unwrap();
+            shared.counters.scatters.inc();
+            match merged_shard_fields(shared) {
+                Ok(fields) => http::response(
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    &render_prometheus(fields.into_iter()),
+                ),
+                Err(message) => {
+                    shared.counters.errors.inc();
+                    http::response(
+                        "500 Internal Server Error",
+                        "text/plain; charset=utf-8",
+                        &format!("{message}\n"),
+                    )
+                }
+            }
+        }
+        "/health" => {
+            let verdict = {
+                let _gate = shared.epoch_gate.read().unwrap();
+                shared.counters.scatters.inc();
+                cluster_health(shared)
+            };
+            http::response(
+                http::health_status_line(verdict.status),
+                "application/json",
+                &http::health_json(&verdict),
+            )
+        }
+        "/series" => {
+            let mut field = None;
+            let mut res = SeriesRes::Fast;
+            for pair in query.split('&') {
+                match pair.split_once('=') {
+                    Some(("field", v)) => field = Some(v),
+                    Some(("res", v)) => res = SeriesRes::parse(v).unwrap_or(res),
+                    _ => {}
+                }
+            }
+            let Some(field) = field else {
+                return http::response(
+                    "400 Bad Request",
+                    "text/plain; charset=utf-8",
+                    "missing ?field=<name>\n",
+                );
+            };
+            match shared.timeseries.series(field, res) {
+                Some(dump) => {
+                    http::response("200 OK", "application/json", &http::series_json(&dump))
+                }
+                None => http::response(
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    &format!("unknown or never-sampled router field {field:?}\n"),
+                ),
+            }
+        }
+        _ => http::response(
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics, /health or /series?field=<name>[&res=fast|mid|slow]\n",
+        ),
     }
 }
 

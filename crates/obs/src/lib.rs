@@ -39,6 +39,8 @@ pub mod codec;
 pub mod flight;
 pub mod hist;
 pub mod metrics;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 pub use capture::{
@@ -50,6 +52,11 @@ pub use metrics::{
     parse_prometheus, render_prometheus, spec_for, Counter, Ewma, FieldSet, Gauge, MergeRule,
     MergedFields, MetricKind, PromSample, Registry,
 };
+pub use slo::{
+    evaluate as evaluate_slos, fraction_above, HealthVerdict, SloInputs, SloOptions, SloStatus,
+    SloVerdict, ROUTER_INPUTS, SHARD_INPUTS,
+};
+pub use timeseries::{SeriesDump, SeriesKind, SeriesPoints, SeriesRes, TimeSeriesStore, TsOptions};
 pub use trace::{
     format_trace_id, mint_trace_id, parse_trace_id, spans_from_wire, spans_to_wire, Span,
     SpanRecorder,

@@ -480,7 +480,7 @@ fn pattern_match<'a>(pattern: &str, name: &'a str) -> Option<&'a str> {
 }
 
 /// Substitutes `capture` for the `*` in `pattern` (identity for literals).
-fn pattern_subst(pattern: &str, capture: &str) -> String {
+pub(crate) fn pattern_subst(pattern: &str, capture: &str) -> String {
     pattern.replacen('*', capture, 1)
 }
 
@@ -511,7 +511,7 @@ pub fn spec_for(name: &str) -> Option<&'static FieldSpec> {
 
 /// The `*` capture of the pattern row that matched `name` (empty for a
 /// literal row).
-fn capture_for(spec: &FieldSpec, name: &str) -> String {
+pub(crate) fn capture_for(spec: &FieldSpec, name: &str) -> String {
     pattern_match(spec.pattern, name).unwrap_or("").to_string()
 }
 
@@ -1163,9 +1163,10 @@ mod tests {
         // Decision-weighted: (100*4 + 200*1) / 5 = 120.
         assert_eq!(out["ewma_lazy_us"], "120.0");
         // Histogram merged bucket-wise; p50 recomputed from the merge
-        // (5 samples, 4 in bucket 3 => p50 = 7), not averaged.
+        // (5 samples, rank 3 of 4 in bucket 3 = [4,7], interpolated to
+        // 4 + 3/4*3 = 6), not averaged.
         assert_eq!(out["lat_hist"], "3:4,5:1");
-        assert_eq!(out["lat_p50_us"], "7");
+        assert_eq!(out["lat_p50_us"], "6");
         // Hit rate recomputed from merged counts: 4 / 8.
         assert_eq!(out["cache_hit_rate"], "0.5000");
     }

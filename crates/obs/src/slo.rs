@@ -1,0 +1,521 @@
+//! SLO burn-rate health evaluation over the rolling time series.
+//!
+//! An SLO turns "is it healthy?" from a judgement call into arithmetic: a
+//! target fraction of requests must be good (non-error for the
+//! availability objective, under a latency threshold for the latency
+//! objective). The *burn rate* is how fast the error budget is being
+//! spent — `bad_fraction / (1 - target)` — so a burn of 1.0 exactly
+//! exhausts the budget over the objective period, 10.0 exhausts it ten
+//! times as fast.
+//!
+//! Following the SRE multi-window recipe, every objective is evaluated
+//! over two windows of the [`TimeSeriesStore`]'s **mid** ring: a fast
+//! window (default ≈5 minutes) that reacts quickly, and a slow window
+//! (default ≈1 hour) that confirms the problem is sustained. The verdict:
+//!
+//! * **page** — fast burn ≥ page threshold *and* slow burn ≥ 1.0: the
+//!   budget is burning fast and it is not a blip;
+//! * **warn** — fast burn ≥ warn threshold *or* slow burn ≥ 1.0: worth a
+//!   look, not worth a wake-up;
+//! * **ok** — otherwise.
+//!
+//! Every non-ok verdict carries its evidence — the window that tripped,
+//! the burn rate, and the offending field — because "degraded" without a
+//! pointer is a question, not an answer. The router re-evaluates shard
+//! verdicts under shard-named origins and appends its own, so the cluster
+//! verdict names the worst shard outright.
+
+use crate::hist::LatencyHistogram;
+use crate::timeseries::{SeriesPoints, SeriesRes, TimeSeriesStore};
+use std::fmt;
+
+/// Objective targets and window geometry, resolved once at boot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloOptions {
+    /// Availability target: good = non-error fraction of requests
+    /// (`PITEX_SLO_AVAIL_TARGET`, default 0.999).
+    pub avail_target: f64,
+    /// Latency threshold in µs — a request slower than this is "bad" for
+    /// the latency objective (`PITEX_SLO_P99_US`, default 100_000).
+    pub latency_threshold_us: u64,
+    /// Latency target: fraction of requests that must beat the threshold
+    /// (`PITEX_SLO_LAT_TARGET`, default 0.999).
+    pub latency_target: f64,
+    /// Fast window, in mid-ring windows (`PITEX_SLO_FAST_WINDOWS`,
+    /// default 30 ≈ 5 minutes at the default 10 s mid window).
+    pub fast_windows: usize,
+    /// Slow window, in mid-ring windows (`PITEX_SLO_SLOW_WINDOWS`,
+    /// default 360 ≈ 1 hour).
+    pub slow_windows: usize,
+    /// Fast-window burn rate that yields `warn` (`PITEX_SLO_WARN_BURN`,
+    /// default 2.0).
+    pub warn_burn: f64,
+    /// Fast-window burn rate that (with a confirming slow window) yields
+    /// `page` (`PITEX_SLO_PAGE_BURN`, default 10.0).
+    pub page_burn: f64,
+}
+
+impl Default for SloOptions {
+    fn default() -> Self {
+        Self {
+            avail_target: 0.999,
+            latency_threshold_us: 100_000,
+            latency_target: 0.999,
+            fast_windows: 30,
+            slow_windows: 360,
+            warn_burn: 2.0,
+            page_burn: 10.0,
+        }
+    }
+}
+
+impl SloOptions {
+    /// Reads the `PITEX_SLO_*` knobs, falling back to the defaults.
+    pub fn from_env() -> Self {
+        let int = |key: &str| std::env::var(key).ok().and_then(|v| v.parse::<u64>().ok());
+        let float = |key: &str| std::env::var(key).ok().and_then(|v| v.parse::<f64>().ok());
+        let d = Self::default();
+        Self {
+            avail_target: float("PITEX_SLO_AVAIL_TARGET")
+                .filter(|t| (0.0..1.0).contains(t))
+                .unwrap_or(d.avail_target),
+            latency_threshold_us: int("PITEX_SLO_P99_US").unwrap_or(d.latency_threshold_us),
+            latency_target: float("PITEX_SLO_LAT_TARGET")
+                .filter(|t| (0.0..1.0).contains(t))
+                .unwrap_or(d.latency_target),
+            fast_windows: int("PITEX_SLO_FAST_WINDOWS")
+                .map(|n| n.max(1) as usize)
+                .unwrap_or(d.fast_windows),
+            slow_windows: int("PITEX_SLO_SLOW_WINDOWS")
+                .map(|n| n.max(1) as usize)
+                .unwrap_or(d.slow_windows),
+            warn_burn: float("PITEX_SLO_WARN_BURN").unwrap_or(d.warn_burn),
+            page_burn: float("PITEX_SLO_PAGE_BURN").unwrap_or(d.page_burn),
+        }
+    }
+}
+
+/// Which registry fields feed the objectives. The shard and the router
+/// export the same shapes under different names, so the engine is
+/// parameterized instead of hard-coded.
+#[derive(Clone, Copy, Debug)]
+pub struct SloInputs {
+    /// Total-request counter field (availability denominator).
+    pub requests: &'static str,
+    /// Error counter field (availability numerator).
+    pub errors: &'static str,
+    /// Latency histogram field (latency objective).
+    pub lat_hist: &'static str,
+}
+
+/// Shard-side field names.
+pub const SHARD_INPUTS: SloInputs =
+    SloInputs { requests: "requests", errors: "errors", lat_hist: "lat_hist" };
+
+/// Router-side field names.
+pub const ROUTER_INPUTS: SloInputs =
+    SloInputs { requests: "router_requests", errors: "router_errors", lat_hist: "router_lat_hist" };
+
+/// Health status, ordered by severity (`Ok < Warn < Page`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloStatus {
+    Ok,
+    Warn,
+    Page,
+}
+
+impl SloStatus {
+    pub fn name(self) -> &'static str {
+        match self {
+            SloStatus::Ok => "ok",
+            SloStatus::Warn => "warn",
+            SloStatus::Page => "page",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(SloStatus::Ok),
+            "warn" => Some(SloStatus::Warn),
+            "page" => Some(SloStatus::Page),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SloStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One objective's verdict, with the evidence that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloVerdict {
+    /// Objective name: `availability` or `latency`.
+    pub name: String,
+    pub status: SloStatus,
+    /// Which window tripped: `fast`, `slow`, or `-` when ok.
+    pub window: String,
+    /// The tripping window's burn rate (the fast burn when ok).
+    pub burn: f64,
+    /// The registry field the objective watched.
+    pub field: String,
+    /// Where the evidence came from: `self` on a shard, `shardN` or
+    /// `router` in a merged cluster verdict.
+    pub origin: String,
+}
+
+/// The whole component's verdict: worst status across objectives, plus
+/// every per-objective verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthVerdict {
+    pub status: SloStatus,
+    /// Origin of the worst non-ok verdict (`-` when everything is ok).
+    pub worst: String,
+    pub slos: Vec<SloVerdict>,
+}
+
+impl HealthVerdict {
+    /// Folds a set of per-objective verdicts into a component verdict.
+    pub fn from_slos(slos: Vec<SloVerdict>) -> Self {
+        let mut status = SloStatus::Ok;
+        let mut worst = "-".to_string();
+        let mut worst_burn = f64::NEG_INFINITY;
+        for v in &slos {
+            let beats = v.status > status
+                || (v.status == status && v.status != SloStatus::Ok && v.burn > worst_burn);
+            if beats {
+                status = v.status;
+                worst_burn = v.burn;
+                worst = v.origin.clone();
+            }
+        }
+        Self { status, worst, slos }
+    }
+}
+
+/// Evaluates both objectives against `store` and folds them into a
+/// component verdict with origin `self`.
+pub fn evaluate(store: &TimeSeriesStore, options: &SloOptions, inputs: SloInputs) -> HealthVerdict {
+    let slos =
+        vec![availability_verdict(store, options, inputs), latency_verdict(store, options, inputs)];
+    HealthVerdict::from_slos(slos)
+}
+
+fn availability_verdict(
+    store: &TimeSeriesStore,
+    options: &SloOptions,
+    inputs: SloInputs,
+) -> SloVerdict {
+    let bad_fraction = |windows: usize| -> Option<f64> {
+        let requests = tail_sum(store, inputs.requests, windows)?;
+        let errors = tail_sum(store, inputs.errors, windows)?;
+        if requests <= 0.0 {
+            return None;
+        }
+        Some((errors / requests).clamp(0.0, 1.0))
+    };
+    verdict(
+        "availability",
+        inputs.errors,
+        options.avail_target,
+        options,
+        bad_fraction(options.fast_windows),
+        bad_fraction(options.slow_windows),
+    )
+}
+
+fn latency_verdict(store: &TimeSeriesStore, options: &SloOptions, inputs: SloInputs) -> SloVerdict {
+    let bad_fraction = |windows: usize| -> Option<f64> {
+        let merged = tail_hist(store, inputs.lat_hist, windows)?;
+        if merged.count() == 0 {
+            return None;
+        }
+        Some(fraction_above(&merged, options.latency_threshold_us))
+    };
+    verdict(
+        "latency",
+        inputs.lat_hist,
+        options.latency_target,
+        options,
+        bad_fraction(options.fast_windows),
+        bad_fraction(options.slow_windows),
+    )
+}
+
+/// Applies the multi-window rule to one objective's fast/slow bad
+/// fractions. `None` (no traffic yet) counts as a clean window — an idle
+/// service is a healthy service.
+fn verdict(
+    name: &str,
+    field: &str,
+    target: f64,
+    options: &SloOptions,
+    fast_bad: Option<f64>,
+    slow_bad: Option<f64>,
+) -> SloVerdict {
+    let budget = (1.0 - target).max(f64::EPSILON);
+    let fast_burn = fast_bad.unwrap_or(0.0) / budget;
+    let slow_burn = slow_bad.unwrap_or(0.0) / budget;
+    let (status, window, burn) = if fast_burn >= options.page_burn && slow_burn >= 1.0 {
+        (SloStatus::Page, "fast", fast_burn)
+    } else if fast_burn >= options.warn_burn {
+        (SloStatus::Warn, "fast", fast_burn)
+    } else if slow_burn >= 1.0 {
+        (SloStatus::Warn, "slow", slow_burn)
+    } else {
+        (SloStatus::Ok, "-", fast_burn)
+    };
+    SloVerdict {
+        name: name.to_string(),
+        status,
+        window: window.to_string(),
+        burn,
+        field: field.to_string(),
+        origin: "self".to_string(),
+    }
+}
+
+/// Sum of the last `windows` mid-ring points of a counter field.
+fn tail_sum(store: &TimeSeriesStore, field: &str, windows: usize) -> Option<f64> {
+    let dump = store.series(field, SeriesRes::Mid)?;
+    let SeriesPoints::Scalar(points) = dump.points else { return None };
+    let start = points.len().saturating_sub(windows);
+    Some(points[start..].iter().sum())
+}
+
+/// Merge of the last `windows` mid-ring snapshots of a histogram field.
+fn tail_hist(store: &TimeSeriesStore, field: &str, windows: usize) -> Option<LatencyHistogram> {
+    let dump = store.series(field, SeriesRes::Mid)?;
+    let SeriesPoints::Hist(points) = dump.points else { return None };
+    let start = points.len().saturating_sub(windows);
+    let mut merged = LatencyHistogram::new();
+    for h in &points[start..] {
+        merged.merge(h);
+    }
+    Some(merged)
+}
+
+/// Fraction of recorded samples strictly above `threshold`, with linear
+/// interpolation inside the straddling bucket (the same uniform-in-bucket
+/// model as [`LatencyHistogram::quantile`]).
+pub fn fraction_above(hist: &LatencyHistogram, threshold: u64) -> f64 {
+    let total = hist.count();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut above = 0u64;
+    let mut straddle = 0.0f64;
+    for (bucket, &n) in hist.buckets().iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let lower = crate::hist::bucket_lower_bound(bucket);
+        let upper = crate::hist::bucket_upper_bound(bucket);
+        if lower > threshold {
+            above += n;
+        } else if upper > threshold {
+            // Bucket straddles the threshold: assume uniform occupancy.
+            let width = (upper - lower) as f64 + 1.0;
+            let above_width = (upper - threshold) as f64;
+            straddle += n as f64 * (above_width / width);
+        }
+    }
+    ((above as f64 + straddle) / total as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::TsOptions;
+    use std::time::Duration as StdDuration;
+
+    fn store() -> TimeSeriesStore {
+        TimeSeriesStore::new(TsOptions {
+            tick: StdDuration::from_millis(10),
+            fast_slots: 8,
+            mid_slots: 64,
+            slow_slots: 8,
+        })
+    }
+
+    fn options() -> SloOptions {
+        SloOptions { fast_windows: 3, slow_windows: 6, ..SloOptions::default() }
+    }
+
+    /// Pushes one *mid* window's worth of ticks with the given cumulative
+    /// field values repeated (counters only move on the first tick).
+    fn push_window(store: &TimeSeriesStore, requests: u64, errors: u64, hist: &LatencyHistogram) {
+        let requests = requests.to_string();
+        let errors = errors.to_string();
+        let hist = hist.to_wire();
+        for _ in 0..SeriesRes::Mid.window_ticks() {
+            store.tick([
+                ("requests", requests.as_str()),
+                ("errors", errors.as_str()),
+                ("lat_hist", hist.as_str()),
+            ]);
+        }
+    }
+
+    fn fast_hist(samples: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..samples {
+            h.record(500); // well under the default 100 ms threshold
+        }
+        h
+    }
+
+    #[test]
+    fn idle_store_is_ok() {
+        let verdict = evaluate(&store(), &options(), SHARD_INPUTS);
+        assert_eq!(verdict.status, SloStatus::Ok);
+        assert_eq!(verdict.worst, "-");
+        assert_eq!(verdict.slos.len(), 2);
+        assert!(verdict.slos.iter().all(|v| v.status == SloStatus::Ok && v.window == "-"));
+    }
+
+    #[test]
+    fn healthy_traffic_is_ok() {
+        let store = store();
+        let mut hist = LatencyHistogram::new();
+        let mut requests = 0;
+        for _ in 0..6 {
+            requests += 1000;
+            hist.merge(&fast_hist(1000));
+            push_window(&store, requests, 0, &hist);
+        }
+        let verdict = evaluate(&store, &options(), SHARD_INPUTS);
+        assert_eq!(verdict.status, SloStatus::Ok, "verdict: {verdict:?}");
+    }
+
+    #[test]
+    fn sustained_errors_page_with_evidence() {
+        let store = store();
+        let mut requests = 0;
+        let mut errors = 0;
+        let hist = fast_hist(0);
+        for _ in 0..6 {
+            requests += 1000;
+            errors += 100; // 10% errors: burn 100x against a 0.1% budget
+            push_window(&store, requests, errors, &hist);
+        }
+        let verdict = evaluate(&store, &options(), SHARD_INPUTS);
+        assert_eq!(verdict.status, SloStatus::Page);
+        assert_eq!(verdict.worst, "self");
+        let avail = verdict.slos.iter().find(|v| v.name == "availability").unwrap();
+        assert_eq!(avail.status, SloStatus::Page);
+        assert_eq!(avail.window, "fast");
+        assert_eq!(avail.field, "errors");
+        assert!(avail.burn > 50.0, "burn: {}", avail.burn);
+    }
+
+    #[test]
+    fn slow_latency_pages_and_names_the_histogram() {
+        let store = store();
+        let opts = options();
+        let mut hist = LatencyHistogram::new();
+        let mut requests = 0;
+        for _ in 0..6 {
+            requests += 100;
+            for _ in 0..100 {
+                hist.record(1_000_000); // 1 s — 10x over the threshold
+            }
+            push_window(&store, requests, 0, &hist);
+        }
+        let verdict = evaluate(&store, &opts, SHARD_INPUTS);
+        assert_eq!(verdict.status, SloStatus::Page);
+        let lat = verdict.slos.iter().find(|v| v.name == "latency").unwrap();
+        assert_eq!(lat.status, SloStatus::Page);
+        assert_eq!(lat.field, "lat_hist");
+        assert_eq!(lat.window, "fast");
+    }
+
+    #[test]
+    fn short_blip_warns_but_does_not_page() {
+        let store = store();
+        let opts = SloOptions { fast_windows: 1, slow_windows: 6, ..SloOptions::default() };
+        let mut hist = LatencyHistogram::new();
+        let mut requests = 0;
+        // Five clean high-traffic windows, then one window with a burst of
+        // slow requests: the fast window burns way past the page
+        // threshold, but the slow window has budget left — the
+        // multi-window rule holds the page and emits a warn instead.
+        for _ in 0..5 {
+            requests += 10_000;
+            hist.merge(&fast_hist(10_000));
+            push_window(&store, requests, 0, &hist);
+        }
+        requests += 1000;
+        hist.merge(&fast_hist(970));
+        for _ in 0..30 {
+            hist.record(1_000_000);
+        }
+        push_window(&store, requests, 0, &hist);
+        let verdict = evaluate(&store, &opts, SHARD_INPUTS);
+        let lat = verdict.slos.iter().find(|v| v.name == "latency").unwrap();
+        assert_eq!(lat.status, SloStatus::Warn, "verdict: {verdict:?}");
+        assert_eq!(lat.window, "fast");
+        assert!(lat.burn >= opts.page_burn, "fast window alone would have paged: {}", lat.burn);
+    }
+
+    #[test]
+    fn merged_cluster_verdict_names_the_worst_origin() {
+        let ok = SloVerdict {
+            name: "availability".into(),
+            status: SloStatus::Ok,
+            window: "-".into(),
+            burn: 0.1,
+            field: "errors".into(),
+            origin: "shard0".into(),
+        };
+        let warm = SloVerdict {
+            name: "latency".into(),
+            status: SloStatus::Page,
+            window: "fast".into(),
+            burn: 12.0,
+            field: "lat_hist".into(),
+            origin: "shard1".into(),
+        };
+        let hot = SloVerdict { burn: 40.0, origin: "shard2".into(), ..warm.clone() };
+        let verdict = HealthVerdict::from_slos(vec![ok, warm, hot]);
+        assert_eq!(verdict.status, SloStatus::Page);
+        assert_eq!(verdict.worst, "shard2", "higher burn wins the tie");
+    }
+
+    #[test]
+    fn fraction_above_interpolates_within_the_bucket() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(600); // bucket 10 = [512, 1023]
+        }
+        let f = fraction_above(&h, 767); // midpoint of the bucket
+        assert!((f - 0.5).abs() < 0.01, "fraction: {f}");
+        assert_eq!(fraction_above(&h, 1023), 0.0);
+        assert_eq!(fraction_above(&h, 100), 1.0);
+    }
+
+    #[test]
+    fn status_orders_and_parses() {
+        assert!(SloStatus::Ok < SloStatus::Warn && SloStatus::Warn < SloStatus::Page);
+        for s in [SloStatus::Ok, SloStatus::Warn, SloStatus::Page] {
+            assert_eq!(SloStatus::parse(s.name()), Some(s));
+        }
+        assert_eq!(SloStatus::parse("bogus"), None);
+    }
+
+    #[test]
+    fn env_knobs_parse() {
+        std::env::set_var("PITEX_SLO_P99_US", "5000");
+        std::env::set_var("PITEX_SLO_PAGE_BURN", "4.5");
+        std::env::set_var("PITEX_SLO_AVAIL_TARGET", "1.5"); // out of range: ignored
+        let opts = SloOptions::from_env();
+        std::env::remove_var("PITEX_SLO_P99_US");
+        std::env::remove_var("PITEX_SLO_PAGE_BURN");
+        std::env::remove_var("PITEX_SLO_AVAIL_TARGET");
+        assert_eq!(opts.latency_threshold_us, 5000);
+        assert_eq!(opts.page_burn, 4.5);
+        assert_eq!(opts.avail_target, SloOptions::default().avail_target);
+    }
+}

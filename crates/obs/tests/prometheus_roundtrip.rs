@@ -1,0 +1,95 @@
+//! Property tests for the Prometheus text exposition.
+//!
+//! Two invariants, over arbitrary schema-registered field sets:
+//!
+//! 1. **Everything `render_prometheus` emits parses** — `parse_prometheus`
+//!    accepts the exposition whole (HELP/TYPE comments, histogram bucket
+//!    expansion, the `# EOF` terminator), and the histogram series it
+//!    yields are internally consistent (cumulative buckets never decrease,
+//!    `+Inf` equals `_count`).
+//! 2. **The parsed samples are a fixed point** — formatting them back into
+//!    exposition lines and re-parsing yields the identical sample list, so
+//!    parse and format cannot drift apart without a test failing.
+
+use pitex_obs::{parse_prometheus, render_prometheus, LatencyHistogram, PromSample};
+use proptest::prelude::*;
+
+/// The minimal inverse of `parse_prometheus`: samples back to exposition
+/// lines (no HELP/TYPE comments — the parser validates and skips those).
+fn render_samples(samples: &[PromSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        match &s.label {
+            Some((k, v)) => out.push_str(&format!("{}{{{}=\"{}\"}} {}\n", s.name, k, v, s.value)),
+            None => out.push_str(&format!("{} {}\n", s.name, s.value)),
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Schema-registered fields with kind-appropriate values: counters and
+/// gauges numeric, `backend` a label, `lat_hist` a real histogram's wire
+/// encoding (so bucket expansion sees arbitrary shapes, empty included).
+/// Duplicate field names are possible and deliberately left in — the
+/// exposition renders what it is handed.
+fn arb_fields() -> impl Strategy<Value = Vec<(String, String)>> {
+    const COUNTERS: [&str; 5] = ["requests", "ok", "errors", "busy", "cache_hits"];
+    const GAUGES: [&str; 2] = ["qps", "cache_hit_rate"];
+    const BACKENDS: [&str; 5] = ["lazy", "mc", "rr", "exact", "auto"];
+    (
+        proptest::collection::vec((0usize..COUNTERS.len(), 0u64..u64::MAX), 0..5),
+        proptest::collection::vec((0usize..GAUGES.len(), 0.0f64..1e12), 0..3),
+        0usize..BACKENDS.len(),
+        proptest::collection::vec(0u64..u64::MAX, 0..40),
+    )
+        .prop_map(|(counters, gauges, backend, hist_samples)| {
+            let mut fields = Vec::new();
+            for (i, v) in counters {
+                fields.push((COUNTERS[i].to_string(), v.to_string()));
+            }
+            for (i, v) in gauges {
+                fields.push((GAUGES[i].to_string(), format!("{v}")));
+            }
+            fields.push(("backend".to_string(), BACKENDS[backend].to_string()));
+            let mut h = LatencyHistogram::new();
+            for v in hist_samples {
+                h.record(v);
+            }
+            fields.push(("lat_hist".to_string(), h.to_wire()));
+            fields
+        })
+}
+
+proptest! {
+    #[test]
+    fn exposition_parses_and_reparses_to_a_fixed_point(fields in arb_fields()) {
+        let text = render_prometheus(fields.into_iter());
+        let samples = parse_prometheus(&text).expect("render_prometheus output must parse");
+
+        // Histogram internal consistency: cumulative buckets never
+        // decrease, and the +Inf bucket agrees with _count.
+        let mut last_bucket: Option<(String, f64)> = None;
+        for s in &samples {
+            if let Some(metric) = s.name.strip_suffix("_bucket") {
+                if let Some((prev_metric, prev)) = &last_bucket {
+                    if prev_metric == metric {
+                        prop_assert!(s.value >= *prev, "bucket series decreased in {}", s.name);
+                    }
+                }
+                last_bucket = Some((metric.to_string(), s.value));
+                if s.label.as_ref().is_some_and(|(_, v)| v == "+Inf") {
+                    let count = samples
+                        .iter()
+                        .find(|c| c.name == format!("{metric}_count"))
+                        .expect("histogram without _count");
+                    prop_assert_eq!(s.value, count.value, "+Inf bucket != _count");
+                }
+            }
+        }
+
+        let again = parse_prometheus(&render_samples(&samples))
+            .expect("re-rendered samples must parse");
+        prop_assert_eq!(samples, again);
+    }
+}

@@ -8,10 +8,12 @@
 
 use crate::protocol::{
     CaptureAction, ExplainReply, FlightReply, QueryRequest, ReloadReply, Request, Response,
-    StatsReply, TraceReply, TraceRequest,
+    SeriesReply, StatsReply, TraceReply, TraceRequest,
 };
 use pitex_core::EngineBackend;
 use pitex_live::{SyncBundle, UpdateOp};
+use pitex_support::obs::slo::HealthVerdict;
+use pitex_support::obs::timeseries::SeriesRes;
 use pitex_support::stats::{LatencyHistogram, OnlineStats};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -117,6 +119,8 @@ impl ServeClient {
                 | Request::Explain(_)
                 | Request::Trace(_)
                 | Request::Flight
+                | Request::Series { .. }
+                | Request::Health
                 | Request::Sync { .. }
         );
         let line = request.to_line();
@@ -245,6 +249,25 @@ impl ServeClient {
                 std::io::ErrorKind::InvalidData,
                 format!("expected STATS reply, got {other:?}"),
             )),
+        }
+    }
+
+    /// `SERIES <field> [res]`: one rolling-ring dump from the server's
+    /// background sampler (default resolution: fast). Read-only, retried
+    /// like the other idempotent verbs.
+    pub fn series(&mut self, field: &str, res: Option<SeriesRes>) -> std::io::Result<SeriesReply> {
+        match self.request(&Request::Series { field: field.to_string(), res })? {
+            Response::Series(reply) => Ok(reply),
+            other => Err(reply_error("SERIESED", other)),
+        }
+    }
+
+    /// `HEALTH`: the SLO burn-rate verdict with its evidence. Read-only,
+    /// retried like the other idempotent verbs.
+    pub fn health(&mut self) -> std::io::Result<HealthVerdict> {
+        match self.request(&Request::Health)? {
+            Response::Health(verdict) => Ok(verdict),
+            other => Err(reply_error("HEALTHY", other)),
         }
     }
 

@@ -83,6 +83,7 @@
 //! ```
 
 pub mod client;
+pub mod http;
 pub mod protocol;
 pub mod server;
 pub mod workload;
@@ -90,7 +91,7 @@ pub mod workload;
 pub use client::{LoadGen, LoadReport, ServeClient};
 pub use protocol::{
     CaptureAction, ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, QueryRequest,
-    ReloadReply, Request, Response, StatsReply, TraceReply, TraceRequest,
+    ReloadReply, Request, Response, SeriesReply, StatsReply, TraceReply, TraceRequest,
 };
 pub use server::{ServeOptions, Server, ServerHandle};
 pub use workload::{

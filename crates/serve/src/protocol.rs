@@ -22,6 +22,16 @@
 //! STATS                             server counters and latency percentiles
 //! METRICS                           Prometheus text exposition (the one
 //!                                   multi-line reply: lines until `# EOF`)
+//! SERIES <field> [fast|mid|slow]    one registry field's rolling ring from
+//!                                   the background sampler (default fast);
+//!                                   counters come back as per-window
+//!                                   deltas, histograms as per-window
+//!                                   snapshots
+//! HEALTH                            SLO burn-rate verdict: per-objective
+//!                                   ok|warn|page with the evidence
+//!                                   (window, burn rate, offending field);
+//!                                   a router merges shard verdicts and
+//!                                   names the worst shard
 //! FLIGHT                            dump the flight recorder: the last N
 //!                                   request summaries and the slow-query
 //!                                   log (admin)
@@ -80,6 +90,19 @@
 //! CAPTURED enabled=<0|1> recorded=<n> dropped=<n>
 //!                                   capture recorder state after a CAPTURE
 //!                                   verb (counts are since boot)
+//! SERIESED field=<f> res=<fast|mid|slow> tick_ms=<n> window_ticks=<n>
+//!          kind=<counter|gauge|hist> n=<count> points=<p1;p2;..|->
+//!                                   ring contents oldest-first; a point is
+//!                                   a number (counter/gauge) or a
+//!                                   histogram wire string (hist); `n=`
+//!                                   disambiguates one empty histogram
+//!                                   (`-`) from the empty list
+//! HEALTHY status=<ok|warn|page> worst=<origin|->
+//!         slos=<name:status:window:burn:field:origin;..|->
+//!                                   the component verdict plus every
+//!                                   per-objective verdict with evidence;
+//!                                   `worst` is the origin of the worst
+//!                                   non-ok verdict
 //! UPDATED epoch=<e> pending=<n>     op staged; visible after RELOAD
 //! RELOADED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
 //! PREPARED epoch=<e> folded=<n> resampled=<r> reused=<u> full=<0|1>
@@ -104,6 +127,8 @@ use pitex_core::plan::{RejectReason, RejectedPlan};
 use pitex_core::{registry, EngineBackend};
 use pitex_live::{SyncBundle, UpdateOp};
 use pitex_model::TagId;
+use pitex_support::obs::slo::{HealthVerdict, SloStatus, SloVerdict};
+use pitex_support::obs::timeseries::{SeriesDump, SeriesKind, SeriesPoints, SeriesRes};
 use pitex_support::obs::trace::{format_trace_id, parse_trace_id, spans_from_wire, spans_to_wire};
 use pitex_support::obs::Span;
 use std::collections::BTreeMap;
@@ -126,6 +151,16 @@ pub enum Request {
     /// Dump the flight recorder (admin-gated, like the other
     /// introspection-of-state verbs).
     Flight,
+    /// One registry field's rolling ring from the background sampler
+    /// (default resolution: fast). Unauthenticated, like `STATS` — it is
+    /// how dashboards and `pitex top` see the recent past.
+    Series {
+        field: String,
+        res: Option<SeriesRes>,
+    },
+    /// The SLO burn-rate verdict. Unauthenticated — it is what a load
+    /// balancer or a stock Prometheus probes.
+    Health,
     /// Control the workload-capture recorder (admin-gated).
     Capture(CaptureAction),
     /// Stage one mutation (admin-gated).
@@ -222,6 +257,11 @@ impl Request {
             Request::Stats => "STATS".to_string(),
             Request::Metrics => "METRICS".to_string(),
             Request::Flight => "FLIGHT".to_string(),
+            Request::Series { field, res } => match res {
+                Some(res) => format!("SERIES {field} {}", res.name()),
+                None => format!("SERIES {field}"),
+            },
+            Request::Health => "HEALTH".to_string(),
             Request::Capture(action) => format!("CAPTURE {}", action.as_str()),
             Request::Update(op) => format!("UPDATE {}", op.to_text()),
             Request::Reload => "RELOAD".to_string(),
@@ -260,6 +300,17 @@ impl Request {
                 "STATS" => Request::Stats,
                 "METRICS" => Request::Metrics,
                 "FLIGHT" => Request::Flight,
+                "SERIES" => {
+                    let field = tokens.next().ok_or("SERIES needs <field> [fast|mid|slow]")?;
+                    let res = match tokens.next() {
+                        Some(token) => Some(SeriesRes::parse(token).ok_or_else(|| {
+                            format!("bad series resolution {token:?} (want fast|mid|slow)")
+                        })?),
+                        None => None,
+                    };
+                    Request::Series { field: field.to_string(), res }
+                }
+                "HEALTH" => Request::Health,
                 "CAPTURE" => {
                     let action = tokens.next().ok_or("CAPTURE needs <on|off|rotate>")?;
                     Request::Capture(CaptureAction::parse(action).ok_or_else(|| {
@@ -525,6 +576,102 @@ pub struct FlightReply {
     pub slow: Vec<FlightWireEntry>,
 }
 
+/// The `SERIESED` reply: one ring's contents plus the metadata a consumer
+/// needs to lay the points on a time axis. Points stay wire-encoded
+/// strings here — a number for counter/gauge series, a
+/// [`LatencyHistogram`](pitex_support::obs::LatencyHistogram) wire string
+/// for histogram series — so the protocol layer does not need to know
+/// every shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesReply {
+    pub field: String,
+    pub res: SeriesRes,
+    /// Sampler tick width in milliseconds.
+    pub tick_ms: u64,
+    /// Ticks per ring window (1 fast / 10 mid / 60 slow).
+    pub window_ticks: u64,
+    pub kind: SeriesKind,
+    /// Completed windows, oldest first.
+    pub points: Vec<String>,
+}
+
+impl SeriesReply {
+    /// The points as numbers, for counter/gauge (and derived-quantile)
+    /// series. Histogram points yield `None`.
+    pub fn scalar_points(&self) -> Option<Vec<f64>> {
+        self.points.iter().map(|p| p.parse().ok()).collect()
+    }
+}
+
+impl From<SeriesDump> for SeriesReply {
+    fn from(dump: SeriesDump) -> Self {
+        let points = match &dump.points {
+            SeriesPoints::Scalar(values) => {
+                values.iter().map(|&v| crate::http::scalar_token(v)).collect()
+            }
+            SeriesPoints::Hist(hists) => hists.iter().map(|h| h.to_wire()).collect(),
+        };
+        Self {
+            field: dump.field,
+            res: dump.res,
+            tick_ms: dump.tick_ms,
+            window_ticks: dump.window_ticks,
+            kind: dump.kind,
+            points,
+        }
+    }
+}
+
+fn format_series_points(points: &[String]) -> String {
+    if points.is_empty() {
+        return "-".to_string();
+    }
+    points.join(";")
+}
+
+fn format_slos(slos: &[SloVerdict]) -> String {
+    if slos.is_empty() {
+        return "-".to_string();
+    }
+    slos.iter()
+        .map(|v| {
+            format!(
+                "{}:{}:{}:{:.2}:{}:{}",
+                v.name,
+                v.status.name(),
+                v.window,
+                v.burn,
+                v.field,
+                v.origin
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn parse_slos(s: &str) -> Result<Vec<SloVerdict>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(';')
+        .map(|entry| {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let bad = || format!("bad slo entry {entry:?}");
+            let [name, status, window, burn, field, origin] = parts.as_slice() else {
+                return Err(bad());
+            };
+            Ok(SloVerdict {
+                name: name.to_string(),
+                status: SloStatus::parse(status).ok_or_else(bad)?,
+                window: window.to_string(),
+                burn: burn.parse().map_err(|_| bad())?,
+                field: field.to_string(),
+                origin: origin.to_string(),
+            })
+        })
+        .collect()
+}
+
 /// The `STATS` reply: ordered `key=value` pairs.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsReply {
@@ -645,6 +792,12 @@ pub enum Response {
     Stats(StatsReply),
     /// `FLIGHTED …` — see [`FlightReply`].
     Flight(FlightReply),
+    /// `SERIESED …` — see [`SeriesReply`].
+    Series(SeriesReply),
+    /// `HEALTHY …` — the SLO verdict, reusing the obs-layer
+    /// [`HealthVerdict`] verbatim (burn rates round to two decimals on
+    /// the wire).
+    Health(HealthVerdict),
     /// `CAPTURED enabled=<0|1> recorded=<n> dropped=<n>` — capture
     /// recorder state after a `CAPTURE` verb (counts since boot).
     Captured {
@@ -778,6 +931,22 @@ impl Response {
                 r.slow_count,
                 format_flight_entries(&r.entries),
                 format_flight_entries(&r.slow)
+            ),
+            Response::Series(r) => format!(
+                "SERIESED field={} res={} tick_ms={} window_ticks={} kind={} n={} points={}",
+                r.field,
+                r.res.name(),
+                r.tick_ms,
+                r.window_ticks,
+                r.kind.name(),
+                r.points.len(),
+                format_series_points(&r.points)
+            ),
+            Response::Health(r) => format!(
+                "HEALTHY status={} worst={} slos={}",
+                r.status.name(),
+                r.worst,
+                format_slos(&r.slos)
             ),
             Response::Captured { enabled, recorded, dropped } => {
                 format!(
@@ -929,6 +1098,56 @@ impl Response {
                 let slow = parse_flight_entries(&next("slow_entries")?)?;
                 Ok(Response::Flight(FlightReply { recorded, slow_count, entries, slow }))
             }
+            "SERIESED" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<String, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    Ok(kv(token, key)?.to_string())
+                };
+                let bad = |key: &str| format!("bad {key} in SERIESED reply");
+                let field = next("field")?;
+                let res = next("res")?;
+                let res = SeriesRes::parse(&res).ok_or_else(|| bad("res"))?;
+                let tick_ms = next("tick_ms")?.parse().map_err(|_| bad("tick_ms"))?;
+                let window_ticks =
+                    next("window_ticks")?.parse().map_err(|_| bad("window_ticks"))?;
+                let kind = next("kind")?;
+                let kind = SeriesKind::parse(&kind).ok_or_else(|| bad("kind"))?;
+                let n: usize = next("n")?.parse().map_err(|_| bad("n"))?;
+                let points = next("points")?;
+                let points: Vec<String> = if n == 0 {
+                    if points != "-" {
+                        return Err(bad("points"));
+                    }
+                    Vec::new()
+                } else {
+                    points.split(';').map(|p| p.to_string()).collect()
+                };
+                if points.len() != n {
+                    return Err(format!("SERIESED n={n} disagrees with {} points", points.len()));
+                }
+                Ok(Response::Series(SeriesReply {
+                    field,
+                    res,
+                    tick_ms,
+                    window_ticks,
+                    kind,
+                    points,
+                }))
+            }
+            "HEALTHY" => {
+                let mut tokens = rest.split_ascii_whitespace();
+                let mut next = |key: &str| -> Result<String, String> {
+                    let token = tokens.next().ok_or_else(|| format!("missing {key}="))?;
+                    Ok(kv(token, key)?.to_string())
+                };
+                let status = next("status")?;
+                let status = SloStatus::parse(&status)
+                    .ok_or_else(|| format!("bad status {status:?} in HEALTHY reply"))?;
+                let worst = next("worst")?;
+                let slos = parse_slos(&next("slos")?)?;
+                Ok(Response::Health(HealthVerdict { status, worst, slos }))
+            }
             "CAPTURED" => {
                 let mut tokens = rest.split_ascii_whitespace();
                 let mut next = |key: &str| -> Result<u64, String> {
@@ -1045,6 +1264,11 @@ mod tests {
             Request::Discard,
             Request::Metrics,
             Request::Flight,
+            Request::Series { field: "lat_hist".into(), res: None },
+            Request::Series { field: "requests".into(), res: Some(SeriesRes::Fast) },
+            Request::Series { field: "lat_p99_us".into(), res: Some(SeriesRes::Mid) },
+            Request::Series { field: "qps".into(), res: Some(SeriesRes::Slow) },
+            Request::Health,
             Request::Capture(CaptureAction::On),
             Request::Capture(CaptureAction::Off),
             Request::Capture(CaptureAction::Rotate),
@@ -1119,6 +1343,10 @@ mod tests {
             ("TRACE 1 2 id=ff extra", "unknown backend"),
             ("METRICS now", "trailing"),
             ("FLIGHT all", "trailing"),
+            ("SERIES", "needs <field>"),
+            ("SERIES lat_hist hourly", "bad series resolution"),
+            ("SERIES lat_hist fast extra", "trailing"),
+            ("HEALTH check", "trailing"),
             ("CAPTURE", "needs <on|off|rotate>"),
             ("CAPTURE maybe", "bad capture action"),
             ("CAPTURE on off", "trailing"),
@@ -1294,6 +1522,71 @@ mod tests {
                 }],
             }),
             Response::Flight(FlightReply::default()),
+            Response::Series(SeriesReply {
+                field: "requests".into(),
+                res: SeriesRes::Fast,
+                tick_ms: 1000,
+                window_ticks: 1,
+                kind: SeriesKind::Counter,
+                points: vec!["0".into(), "12".into(), "9".into()],
+            }),
+            Response::Series(SeriesReply {
+                field: "lat_hist".into(),
+                res: SeriesRes::Mid,
+                tick_ms: 1000,
+                window_ticks: 10,
+                // One empty histogram window (`-`) followed by a populated
+                // one — the case `n=` exists to disambiguate.
+                kind: SeriesKind::Hist,
+                points: vec!["-".into(), "3:4,10:2".into()],
+            }),
+            Response::Series(SeriesReply {
+                field: "lat_p99_us".into(),
+                res: SeriesRes::Slow,
+                tick_ms: 250,
+                window_ticks: 60,
+                kind: SeriesKind::Gauge,
+                points: vec![],
+            }),
+            Response::Health(HealthVerdict {
+                status: SloStatus::Ok,
+                worst: "-".into(),
+                slos: vec![SloVerdict {
+                    name: "availability".into(),
+                    status: SloStatus::Ok,
+                    window: "-".into(),
+                    burn: 0.25,
+                    field: "errors".into(),
+                    origin: "self".into(),
+                }],
+            }),
+            Response::Health(HealthVerdict {
+                status: SloStatus::Page,
+                worst: "shard1".into(),
+                slos: vec![
+                    SloVerdict {
+                        name: "latency".into(),
+                        status: SloStatus::Page,
+                        window: "fast".into(),
+                        burn: 42.5,
+                        field: "lat_hist".into(),
+                        origin: "shard1".into(),
+                    },
+                    SloVerdict {
+                        name: "availability".into(),
+                        status: SloStatus::Warn,
+                        window: "slow".into(),
+                        burn: 1.75,
+                        field: "router_errors".into(),
+                        origin: "router".into(),
+                    },
+                ],
+            }),
+            Response::Health(HealthVerdict {
+                status: SloStatus::Ok,
+                worst: "-".into(),
+                slos: vec![],
+            }),
             Response::Captured { enabled: true, recorded: 512, dropped: 0 },
             Response::Captured { enabled: false, recorded: 0, dropped: 3 },
         ];

@@ -38,6 +38,7 @@
 //! sweep runs after the swap, so the stale-insert race is closed from both
 //! sides.
 
+use crate::http;
 use crate::protocol::{
     CaptureAction, ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, ReloadReply,
     Request, Response, StatsReply, TraceReply,
@@ -52,6 +53,8 @@ use pitex_live::{
 };
 use pitex_model::{TagSet, TicModel};
 use pitex_support::lru::ShardedLru;
+use pitex_support::obs::slo::{HealthVerdict, SloOptions, SHARD_INPUTS};
+use pitex_support::obs::timeseries::{SeriesRes, TimeSeriesStore, TsOptions};
 use pitex_support::obs::{
     mint_trace_id, render_prometheus, wall_now_us, CaptureOptions, CaptureRecord, CaptureRecorder,
     Counter, FieldSet, FlightEntry, FlightRecorder, Gauge, ObsOptions, SpanRecorder,
@@ -192,6 +195,13 @@ struct ServerObs {
     flight: FlightRecorder,
     capture: CaptureRecorder,
     wal_timings: WalTimings,
+    /// Rolling multi-resolution rings the background sampler thread writes
+    /// every stats field into (`PITEX_OBS_TS_*`); read by the `SERIES`
+    /// verb, `GET /series`, and the SLO engine.
+    timeseries: TimeSeriesStore,
+    /// SLO targets and burn thresholds (`PITEX_SLO_*`) the `HEALTH` verb
+    /// and `GET /health` evaluate against the rings.
+    slo: SloOptions,
 }
 
 /// A reload that has been folded and repaired but not yet swapped in —
@@ -250,6 +260,11 @@ struct Shared {
     started: Instant,
     /// Connection threads spawned by the acceptor, reaped on `join`.
     connections: Mutex<Vec<JoinHandle<()>>>,
+    /// Fault injection (`PITEX_OBS_STALL_US`, 0 = off): every query's
+    /// execute phase sleeps this long on the worker. Exists so health
+    /// drills — tests, CI, operators rehearsing an incident — can produce
+    /// a sustained, attributable latency degradation on demand.
+    stall_us: u64,
 }
 
 /// Poll interval for stop-flag checks while blocked on I/O or the queue.
@@ -461,10 +476,16 @@ impl Server {
                 flight: FlightRecorder::new(ObsOptions::from_env()),
                 capture: capture_recorder,
                 wal_timings,
+                timeseries: TimeSeriesStore::new(TsOptions::from_env()),
+                slo: SloOptions::from_env(),
             },
             latency: Mutex::new((LatencyHistogram::new(), OnlineStats::new())),
             started: Instant::now(),
             connections: Mutex::new(Vec::new()),
+            stall_us: std::env::var("PITEX_OBS_STALL_US")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         });
         shared.counters.wal_replayed_records.add(replayed_records);
         shared.counters.wal_replayed_ops.add(replayed_ops);
@@ -474,7 +495,7 @@ impl Server {
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_depth);
         let job_rx = Arc::new(Mutex::new(job_rx));
 
-        let mut threads = Vec::with_capacity(workers + 1);
+        let mut threads = Vec::with_capacity(workers + 2);
         for id in 0..workers {
             let shared = shared.clone();
             let job_rx = job_rx.clone();
@@ -482,6 +503,14 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("pitex-worker-{id}"))
                     .spawn(move || worker_loop(&shared, &job_rx))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pitex-sampler".to_string())
+                    .spawn(move || sampler_loop(&shared))?,
             );
         }
         {
@@ -590,6 +619,28 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, job_tx: &mpsc::Sy
     // connection thread has dropped theirs too.
 }
 
+/// The background sampler: once per configured tick (`PITEX_OBS_TS_TICK_MS`)
+/// it snapshots every stats field into the rolling time-series rings. It
+/// sleeps in small increments so shutdown stays prompt, and it re-anchors
+/// after each sample instead of replaying boundaries it slept through — an
+/// idle machine that oversleeps gets one fresh sample, not a burst of
+/// stale ones. The serving hot path is untouched: workers keep bumping the
+/// same atomics they always have, and this thread reads them once a tick.
+fn sampler_loop(shared: &Arc<Shared>) {
+    let tick = shared.obs.timeseries.options().tick;
+    let mut next = Instant::now() + tick;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(POLL.min(next - now));
+            continue;
+        }
+        let fields = stats_fields(shared);
+        shared.obs.timeseries.tick(fields.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+        next = Instant::now() + tick;
+    }
+}
+
 /// Why [`run_worker_epoch`] returned.
 enum WorkerExit {
     /// Shutdown / pool drained: exit the thread.
@@ -684,6 +735,13 @@ fn run_worker_epoch(
         }
         let engine = engines[slot].as_mut().expect("filled above");
         let started = Instant::now();
+        // Fault injection for health drills: the stall lands inside the
+        // measured execute window, so it surfaces in lat_hist, the planner
+        // EWMAs and the per-request execute span — exactly like a real
+        // slowdown would.
+        if shared.stall_us > 0 {
+            std::thread::sleep(Duration::from_micros(shared.stall_us));
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             engine.query(job.user, job.k)
         }));
@@ -763,6 +821,16 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncS
             line.clear();
             continue;
         }
+        // HTTP auto-detection (the PSHM/PWRK magic-sniffing idiom): a GET
+        // request line on the protocol port becomes a one-shot scrape —
+        // answer and close, never entering the verb dispatch.
+        if let Some(path) = http::request_path(line.trim()) {
+            let path = path.to_string();
+            if http::drain_headers(&mut reader, &shared.stop) {
+                let _ = writer.write_all(http_get(shared, &path).as_bytes());
+            }
+            return;
+        }
         // Re-pin the snapshot when a swap landed since the last request:
         // one atomic load on the fast path, one Arc clone after a swap.
         if shared.store.epoch() != snapshot.epoch {
@@ -837,6 +905,8 @@ fn handle_line(
         }
         Ok(Request::Stats) => reply(Response::Stats(stats_reply(shared)), false),
         Ok(Request::Metrics) => Handled::Raw(render_prometheus(stats_fields(shared).into_iter())),
+        Ok(Request::Series { field, res }) => reply(handle_series(shared, &field, res), false),
+        Ok(Request::Health) => reply(Response::Health(health_verdict(shared)), false),
         Ok(Request::Query(q)) => reply(handle_query(shared, snapshot, q, job_tx), false),
         Ok(Request::Explain(q)) => reply(handle_explain(shared, snapshot, q, job_tx), false),
         Ok(Request::Trace(t)) => reply(handle_trace(shared, snapshot, t, job_tx), false),
@@ -1845,6 +1915,83 @@ fn stats_reply(shared: &Shared) -> StatsReply {
     StatsReply::new(stats_fields(shared))
 }
 
+/// `SERIES <field> [res]`: one ring's dump (default resolution: fast). A
+/// field the sampler has never seen — unregistered, or a server younger
+/// than one tick — answers `ERR BAD_REQUEST` naming the field.
+fn handle_series(shared: &Shared, field: &str, res: Option<SeriesRes>) -> Response {
+    match shared.obs.timeseries.series(field, res.unwrap_or(SeriesRes::Fast)) {
+        Some(dump) => Response::Series(dump.into()),
+        None => {
+            shared.counters.errors.inc();
+            Response::Err {
+                code: ErrorCode::BadRequest,
+                message: format!("unknown or never-sampled field {field:?}"),
+            }
+        }
+    }
+}
+
+/// The SLO verdict this shard reports for itself (origin `self`).
+fn health_verdict(shared: &Shared) -> HealthVerdict {
+    pitex_support::obs::slo::evaluate(&shared.obs.timeseries, &shared.obs.slo, SHARD_INPUTS)
+}
+
+/// Routes one `GET` to its body and frames the HTTP response.
+fn http_get(shared: &Arc<Shared>, path: &str) -> String {
+    let (route, query) = match path.split_once('?') {
+        Some((route, query)) => (route, query),
+        None => (path, ""),
+    };
+    match route {
+        "/metrics" => http::response(
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &render_prometheus(stats_fields(shared).into_iter()),
+        ),
+        "/health" => {
+            let verdict = health_verdict(shared);
+            http::response(
+                http::health_status_line(verdict.status),
+                "application/json",
+                &http::health_json(&verdict),
+            )
+        }
+        "/series" => {
+            let mut field = None;
+            let mut res = SeriesRes::Fast;
+            for pair in query.split('&') {
+                match pair.split_once('=') {
+                    Some(("field", v)) => field = Some(v),
+                    Some(("res", v)) => res = SeriesRes::parse(v).unwrap_or(res),
+                    _ => {}
+                }
+            }
+            let Some(field) = field else {
+                return http::response(
+                    "400 Bad Request",
+                    "text/plain; charset=utf-8",
+                    "missing ?field=<name>\n",
+                );
+            };
+            match shared.obs.timeseries.series(field, res) {
+                Some(dump) => {
+                    http::response("200 OK", "application/json", &http::series_json(&dump))
+                }
+                None => http::response(
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    &format!("unknown or never-sampled field {field:?}\n"),
+                ),
+            }
+        }
+        _ => http::response(
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics, /health or /series?field=<name>[&res=fast|mid|slow]\n",
+        ),
+    }
+}
+
 /// Every field this server exports, built through the obs [`FieldSet`] so
 /// each name is asserted against the registration schema (a field without
 /// a declared kind + merge rule cannot ship). `STATS` and the `METRICS`
@@ -1976,6 +2123,57 @@ mod tests {
         assert!(reply.cached);
         assert_eq!(reply.tags, vec![2, 3]);
         assert_eq!(roundtrip(&mut stream, "QUIT"), Response::Bye);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn health_and_series_verbs_answer() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // An idle, just-booted server is healthy — both objectives ok.
+        let Response::Health(verdict) = roundtrip(&mut stream, "HEALTH") else {
+            panic!("expected HEALTHY")
+        };
+        assert_eq!(verdict.status, pitex_support::obs::slo::SloStatus::Ok);
+        assert_eq!(verdict.worst, "-");
+        assert_eq!(verdict.slos.len(), 2);
+        // The sampler has not ticked yet at the default 1 s cadence, so
+        // every field is still unsampled.
+        let Response::Err { code, message } = roundtrip(&mut stream, "SERIES no_such_field") else {
+            panic!("expected ERR")
+        };
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(message.contains("no_such_field"), "{message}");
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn http_get_is_sniffed_on_the_protocol_port() {
+        use std::io::Read;
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let scrape = |request: &str| -> String {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(request.as_bytes()).unwrap();
+            let mut reply = String::new();
+            stream.read_to_string(&mut reply).unwrap();
+            reply
+        };
+        let metrics = scrape("GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("pitex_requests"), "{metrics}");
+        assert!(metrics.trim_end().ends_with("# EOF"), "{metrics}");
+        let health = scrape("GET /health HTTP/1.0\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.0 200 OK\r\n"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        let missing = scrape("GET /series HTTP/1.0\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.0 400"), "{missing}");
+        let lost = scrape("GET /frobnicate HTTP/1.0\r\n\r\n");
+        assert!(lost.starts_with("HTTP/1.0 404"), "{lost}");
+        // The line protocol is untouched on the same port.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(roundtrip(&mut stream, "PING"), Response::Pong);
         server.stop().unwrap();
     }
 

@@ -84,9 +84,11 @@ proptest! {
         prop_assert_eq!(gathered.count(), whole.count());
     }
 
-    /// Quantiles are sound: for every recorded sample set, quantile(q) is
-    /// >= the true q-th sample and less than 2x above it (the log2 bucket
-    /// guarantee), and quantile is monotone in q.
+    /// Quantiles are sound: for every recorded sample set, quantile(q)
+    /// lands in the true q-th sample's log₂ bucket — within 2x of the
+    /// truth in *both* directions (interpolation inside the bucket can
+    /// sit below the sample, unlike the old upper-bound reporting, but
+    /// never leaves the bucket) — and quantile is monotone in q.
     #[test]
     fn quantiles_bound_true_samples(
         first in 0u64..1_000_000,
@@ -105,8 +107,14 @@ proptest! {
             let est = h.quantile(q);
             let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             let truth = sorted[rank - 1];
-            prop_assert!(est >= truth, "quantile({q}) = {est} < true {truth}");
-            if truth > 0 && est < u64::MAX {
+            if truth == 0 {
+                // The rank sample is 0, which lives alone in bucket 0.
+                prop_assert_eq!(est, 0, "quantile({}) = {} for a true 0", q, est);
+            } else if est < u64::MAX {
+                prop_assert!(
+                    est.saturating_mul(2) > truth,
+                    "quantile({q}) = {est} <= half the true {truth}"
+                );
                 prop_assert!(est < truth.saturating_mul(2), "quantile({q}) = {est} >= 2x true {truth}");
             }
             prop_assert!(est >= last, "quantile not monotone in q");

@@ -14,8 +14,9 @@
 //! pitex shardmap --out cluster.map --replicas "h:1,h:2;h:3,h:4" [--seed 42]
 //! pitex router  --map cluster.map [--port 7400]
 //! pitex top     --addr 127.0.0.1:7411 [--interval-ms 1000] [--count N] [--json]
+//! pitex doctor  --addr 127.0.0.1:7400 [--map cluster.map] [--user N] [--k N]
 //! pitex record  --addr 127.0.0.1:7411 (--on | --off | --rotate)
-//! pitex replay  --addr 127.0.0.1:7411 (--log capture.pwrk [--verify] | --rate 500)
+//! pitex replay  --addr 127.0.0.1:7411 (--log capture.pwrk [--verify] | --rate 500) [--json]
 //! ```
 //!
 //! The CLI covers the offline/online lifecycle end-to-end: generate (or
@@ -37,6 +38,8 @@ use pitex::serve::{
     schedule_from_log, CaptureAction, LoadGen, Replay, Response, ServeClient, ServeOptions, Server,
     SyntheticSchedule,
 };
+use pitex::support::obs::slo::{HealthVerdict, SloStatus};
+use pitex::support::obs::timeseries::SeriesRes;
 use pitex::support::obs::{format_trace_id, read_log};
 use pitex::support::stats::{human_bytes, human_duration};
 use std::collections::HashMap;
@@ -106,6 +109,7 @@ fn main() -> ExitCode {
         "shardmap" => cmd_shardmap(&opts),
         "router" => cmd_router(&opts),
         "top" => cmd_top(&opts),
+        "doctor" => cmd_doctor(&opts),
         "record" => cmd_record(&opts),
         "replay" => cmd_replay(&opts),
         "help" | "--help" | "-h" => write_stdout(format_args!("{USAGE}")),
@@ -144,20 +148,34 @@ USAGE:
   pitex router --map FILE [--port N] [--max-in-flight N] [--idle-conns N]
                [--probe-ms N] [--no-admin]
   pitex top    --addr HOST:PORT [--interval-ms N] [--count N] [--json]
+  pitex doctor --addr HOST:PORT [--map FILE] [--user N] [--k N]
   pitex record --addr HOST:PORT (--on | --off | --rotate)
   pitex replay --addr HOST:PORT (--log FILE [--speed F] [--verify]
                | --rate F [--requests N] [--users N] [--zipf F] [--burst N]
                  [--update-every N] [--k N] [--seed N])
-               [--conns N] [--trace-every N] [--backend NAME] [--timeout-us N]
+               [--conns N] [--trace-every N] [--backend NAME] [--timeout-us N] [--json]
 
 OBSERVABILITY: `client --trace` runs one traced query and prints its span
           timeline (through a router: `shard.*` spans show the hop);
           `client --metrics` scrapes Prometheus text exposition;
           `client --flight` dumps the flight recorder (admin-gated);
-          `top` is a live terminal dashboard over STATS + FLIGHT
-          (`top --json` prints one machine-readable snapshot and exits).
+          `top` is a live terminal dashboard over STATS + FLIGHT, with
+          rolling sparklines from the SERIES time-series rings
+          (`top --json` prints one machine-readable snapshot and exits);
+          `replay --json` prints the replay report the same way.
           PITEX_OBS_FLIGHT sizes the ring, PITEX_OBS_SLOW_US sets the
           slow-query threshold (0 = off).
+
+HEALTH:   every server and router keeps rolling time-series of its stats
+          fields (PITEX_OBS_TS_TICK_MS per tick; SERIES <field>
+          fast|mid|slow dumps a ring) and evaluates SLO burn rates over
+          them (PITEX_SLO_* thresholds; HEALTH answers ok|warn|page with
+          the tripping window + burn). The same listener answers HTTP:
+          GET /metrics, /health (503 on page), /series?field=NAME.
+          `doctor` probes every hop (--map adds each shard replica),
+          ranks the burning objectives, and traces the worst hop to name
+          the slow phase. PITEX_OBS_STALL_US=N injects an N-us execute
+          stall (fault drill).
 
 CAPTURE:  PITEX_OBS_CAPTURE=FILE makes a server (or router) sample
           admitted requests into a PWRK workload log;
@@ -724,6 +742,25 @@ fn cmd_top(opts: &Opts) -> Result<(), CliError> {
             get("lat_p99_us"),
             get("lat_mean_us")
         );
+        // Rolling sparklines from the SERIES rings. A router answers with
+        // its own fields (router_*); a shard with the serving set. Absent
+        // rings (server younger than one tick) just omit the panel.
+        let cluster = stats.get("shards").is_some();
+        let (req_field, p99_field) = if cluster {
+            ("router_requests", "router_lat_p99_us")
+        } else {
+            ("requests", "lat_p99_us")
+        };
+        for (label, field) in [("req/tick", req_field), ("p99 us  ", p99_field)] {
+            let points = client
+                .series(field, Some(SeriesRes::Fast))
+                .ok()
+                .and_then(|reply| reply.scalar_points());
+            if let Some(points) = points.filter(|p| !p.is_empty()) {
+                let tail = &points[points.len().saturating_sub(30)..];
+                outln!("{label}  {}  now {}", sparkline(tail), tail.last().unwrap());
+            }
+        }
         outln!(
             "cache: {} entries, {} hits / {} misses (rate {})",
             get("cache_len"),
@@ -756,6 +793,156 @@ fn cmd_top(opts: &Opts) -> Result<(), CliError> {
         }
         std::thread::sleep(Duration::from_millis(interval_ms.max(50)));
     }
+}
+
+/// Renders values as a one-line unicode sparkline, scaled to the max.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if max <= 0.0 || !v.is_finite() {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// One probed hop of a `doctor` run: the front door, or (with `--map`) a
+/// shard replica probed directly.
+struct DoctorHop {
+    label: String,
+    addr: String,
+    verdict: Result<HealthVerdict, String>,
+}
+
+/// `pitex doctor` — one-shot triage across every hop of a deployment.
+/// Pulls `HEALTH` from the front door (against a router that is already
+/// the merged cluster verdict) and, with `--map`, from every shard replica
+/// directly; prints each hop's verdict, ranks the burning objectives
+/// worst-first, and runs one traced query against the worst hop so the
+/// diagnosis ends with *which phase* is slow there — a stalled shard shows
+/// `execute` at the top. `--user`/`--k` pick the traced query (choose a
+/// cold key: a cache hit skips the execute phase being diagnosed).
+fn cmd_doctor(opts: &Opts) -> Result<(), CliError> {
+    let addr = want(opts, "addr")?;
+    let user: u32 = opts.get("user").map(|s| parse(s, "--user")).transpose()?.unwrap_or(0);
+    let k: usize = opts.get("k").map(|s| parse(s, "--k")).transpose()?.unwrap_or(2);
+
+    let mut targets: Vec<(String, String)> = vec![("front".to_string(), addr.to_string())];
+    if let Some(path) = opts.get("map") {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let map = ShardMap::from_file_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        for shard in 0..map.num_shards() {
+            for replica in map.replicas(shard) {
+                targets.push((format!("shard{shard}"), replica.clone()));
+            }
+        }
+    }
+
+    let hops: Vec<DoctorHop> = targets
+        .into_iter()
+        .map(|(label, addr)| {
+            let verdict = ServeClient::connect(&addr)
+                .and_then(|mut client| client.health())
+                .map_err(|e| e.to_string());
+            DoctorHop { label, addr, verdict }
+        })
+        .collect();
+
+    outln!("doctor — {} hop(s) probed", hops.len());
+    for hop in &hops {
+        match &hop.verdict {
+            Ok(v) if v.status == SloStatus::Ok => {
+                outln!("  {:<8} {:<21} ok", hop.label, hop.addr);
+            }
+            Ok(v) => {
+                outln!(
+                    "  {:<8} {:<21} {}  worst={}",
+                    hop.label,
+                    hop.addr,
+                    v.status.name(),
+                    v.worst
+                );
+            }
+            Err(e) => outln!("  {:<8} {:<21} UNREACHABLE ({e})", hop.label, hop.addr),
+        }
+    }
+
+    // Rank every objective across every hop, worst burn first. The front
+    // door's merged verdict already carries per-origin evidence (shardN /
+    // router), so even without --map the diagnosis names the component.
+    let mut burning: Vec<(String, &pitex::support::obs::slo::SloVerdict)> = Vec::new();
+    for hop in &hops {
+        if let Ok(verdict) = &hop.verdict {
+            for slo in &verdict.slos {
+                if slo.status != SloStatus::Ok {
+                    let whom = if slo.origin == "self" {
+                        hop.label.clone()
+                    } else {
+                        format!("{}/{}", hop.label, slo.origin)
+                    };
+                    burning.push((whom, slo));
+                }
+            }
+        }
+    }
+    burning.sort_by(|a, b| {
+        b.1.status
+            .cmp(&a.1.status)
+            .then(b.1.burn.partial_cmp(&a.1.burn).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    if burning.is_empty() && hops.iter().all(|h| h.verdict.is_ok()) {
+        outln!("diagnosis: no objective is burning — all hops ok");
+        return Ok(());
+    }
+    outln!("diagnosis:");
+    for (rank, (whom, slo)) in burning.iter().enumerate() {
+        outln!(
+            "  {}. {whom} {}: {} ({} window, burn {:.2}, field {})",
+            rank + 1,
+            slo.name,
+            slo.status.name(),
+            slo.window,
+            slo.burn,
+            slo.field
+        );
+    }
+    for hop in hops.iter().filter(|h| h.verdict.is_err()) {
+        outln!("  ({} at {} is unreachable — start there)", hop.label, hop.addr);
+    }
+
+    // Phase attribution: trace one query against the worst reachable hop
+    // (prefer a directly-probed shard over the front door — its spans name
+    // the shard's own phases without the hop overhead in the way).
+    let worst = hops
+        .iter()
+        .filter_map(|h| h.verdict.as_ref().ok().map(|v| (h, v)))
+        .filter(|(_, v)| v.status != SloStatus::Ok)
+        .max_by(|a, b| {
+            a.1.status
+                .cmp(&b.1.status)
+                .then_with(|| (a.0.label != "front").cmp(&(b.0.label != "front")))
+        });
+    if let Some((hop, _)) = worst {
+        let traced = ServeClient::connect(&hop.addr)
+            .and_then(|mut client| client.trace(user, k, None, None, None));
+        match traced {
+            Ok(reply) => {
+                let mut spans = reply.spans.clone();
+                spans.sort_by_key(|span| std::cmp::Reverse(span.dur_us));
+                outln!("slowest phases at {} ({}), one traced query:", hop.label, hop.addr);
+                for span in spans.iter().take(6) {
+                    outln!("  {:>9}us  {}", span.dur_us, span.name);
+                }
+            }
+            Err(e) => outln!("(could not trace {} at {}: {e})", hop.label, hop.addr),
+        }
+    }
+    Ok(())
 }
 
 /// `pitex record`: control a server's (or router's) PWRK workload
@@ -853,7 +1040,11 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
             .unwrap_or(16),
     };
     let report = replay.run(addr, &items).map_err(|e| format!("replay failed: {e}"))?;
-    outln!("{}", report.render().trim_end());
+    if opts.contains_key("json") {
+        outln!("{}", replay_json(&report));
+    } else {
+        outln!("{}", report.render().trim_end());
+    }
     if report.mismatches > 0 {
         return Err(format!(
             "{} of {} verified replies diverged from the recording",
@@ -862,6 +1053,61 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
         .into());
     }
     Ok(())
+}
+
+/// Renders a [`ReplayReport`] as one JSON object — the machine-readable
+/// twin of [`ReplayReport::render`], mirroring `top --json`: headline
+/// counters unquoted, open-loop latency percentiles, the verify verdict,
+/// and per-phase p50/p99 from the traced sample
+/// (`pitex replay ... --json | jq '.phases.execute.p99_us'`).
+fn replay_json(report: &pitex::serve::ReplayReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"scheduled\":{},\"sent\":{},\"ok\":{},\"cached\":{},\"busy\":{},\"errors\":{},\
+         \"elapsed_ms\":{},\"qps\":{:.1},",
+        report.scheduled,
+        report.sent,
+        report.ok,
+        report.cached,
+        report.busy,
+        report.errors,
+        report.elapsed.as_millis(),
+        report.qps(),
+    ));
+    out.push_str(&format!(
+        "\"latency\":{{\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}},",
+        report.latency.quantile(0.50),
+        report.latency.quantile(0.90),
+        report.latency.quantile(0.99),
+        report.latency.quantile(1.0),
+    ));
+    out.push_str(&format!(
+        "\"verified\":{},\"mismatches\":{},\"mismatch_examples\":[{}],",
+        report.verified,
+        report.mismatches,
+        report
+            .mismatch_examples
+            .iter()
+            .map(|e| format!("\"{}\"", json_escape(e)))
+            .collect::<Vec<_>>()
+            .join(","),
+    ));
+    out.push_str("\"phases\":{");
+    let phases: Vec<String> = report
+        .phases
+        .iter()
+        .map(|(name, hist)| {
+            format!(
+                "\"{}\":{{\"p50_us\":{},\"p99_us\":{}}}",
+                json_escape(name),
+                hist.quantile(0.50),
+                hist.quantile(0.99)
+            )
+        })
+        .collect();
+    out.push_str(&phases.join(","));
+    out.push_str("}}");
+    out
 }
 
 /// Renders a `STATS` reply as one JSON object. Numeric values stay
