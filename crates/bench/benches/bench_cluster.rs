@@ -8,7 +8,11 @@
 //!   router's own connection handling);
 //! * `cluster_query_direct_cached` / `cluster_query_router_cached` — the
 //!   **hop overhead**: a routed query pays one extra TCP round-trip plus
-//!   the pool checkout, everything else being a shard-side cache hit;
+//!   the pool checkout, everything else being a shard-side cache hit (the
+//!   router→shard hop itself is binary-framed by default);
+//! * `cluster_query_direct_cached_binary` / `cluster_query_router_cached_binary`
+//!   — the same two paths with the *client* leg also on `PFRM` binary
+//!   frames, so text parsing is off both hops end to end;
 //! * `cluster_scatter_stats` — a full scatter-gather: every replica's
 //!   `STATS` fetched and merged (histograms bucket-wise);
 //! * `cluster_reload_barrier` — one `UPDATE` + the two-phase cluster
@@ -61,6 +65,14 @@ fn bench_cluster(c: &mut Criterion) {
     c.bench_function("cluster_query_router_cached", |b| {
         b.iter(|| expect_ok(routed.query(0, 2).unwrap()))
     });
+    let mut direct_binary = ServeClient::connect_binary(shards[0].addr()).unwrap();
+    let mut routed_binary = ServeClient::connect_binary(router.addr()).unwrap();
+    c.bench_function("cluster_query_direct_cached_binary", |b| {
+        b.iter(|| expect_ok(direct_binary.query(0, 2).unwrap()))
+    });
+    c.bench_function("cluster_query_router_cached_binary", |b| {
+        b.iter(|| expect_ok(routed_binary.query(0, 2).unwrap()))
+    });
     c.bench_function("cluster_scatter_stats", |b| b.iter(|| routed.stats().unwrap()));
     c.bench_function("cluster_reload_barrier", |b| {
         b.iter(|| {
@@ -87,6 +99,21 @@ fn bench_cluster(c: &mut Criterion) {
         "cluster: router hop overhead {:.1}us/query (direct {direct_us:.1}us -> routed \
          {routed_us:.1}us, cached)",
         routed_us - direct_us
+    );
+    let t = Instant::now();
+    for _ in 0..N {
+        expect_ok(direct_binary.query(0, 2).unwrap());
+    }
+    let direct_bin_us = t.elapsed().as_secs_f64() * 1e6 / f64::from(N);
+    let t = Instant::now();
+    for _ in 0..N {
+        expect_ok(routed_binary.query(0, 2).unwrap());
+    }
+    let routed_bin_us = t.elapsed().as_secs_f64() * 1e6 / f64::from(N);
+    println!(
+        "cluster: binary hop overhead {:.1}us/query (direct {direct_bin_us:.1}us -> routed \
+         {routed_bin_us:.1}us, cached)",
+        routed_bin_us - direct_bin_us
     );
 
     router.stop().unwrap();

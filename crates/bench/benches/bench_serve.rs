@@ -5,8 +5,14 @@
 //!
 //! * `serve_roundtrip_ping` — the floor: protocol + TCP + thread handoff,
 //!   no query work at all;
+//! * `serve_roundtrip_ping_binary` — the same floor over the `PFRM` binary
+//!   frames and the readiness event loop (no per-connection thread, no
+//!   text parse);
 //! * `serve_qps_cached` — repeated identical queries, everything a result-
 //!   cache hit (the steady state for hot users);
+//! * `serve_pipeline_depth16_cached` — 16 cached queries pipelined per
+//!   batch on one binary connection: what batch admission + one vectored
+//!   reply flush buy over strict request/response;
 //! * `serve_qps_uncached` — cache disabled, every request runs the engine
 //!   (the cold / adversarial state).
 //!
@@ -54,6 +60,19 @@ fn bench_serve(c: &mut Criterion) {
     let mut ping_client = ServeClient::connect(cached.addr()).unwrap();
     c.bench_function("serve_roundtrip_ping", |b| b.iter(|| ping_client.ping().unwrap()));
     drop(ping_client);
+    let mut binary_ping = ServeClient::connect_binary(cached.addr()).unwrap();
+    c.bench_function("serve_roundtrip_ping_binary", |b| b.iter(|| binary_ping.ping().unwrap()));
+    drop(binary_ping);
+    let pipelined = LoadGen { binary: true, pipeline: 16, ..gen };
+    let mut qps_pipelined = 0.0;
+    c.bench_function("serve_pipeline_depth16_cached", |b| {
+        b.iter(|| {
+            let report = pipelined.run(cached.addr()).unwrap();
+            assert_eq!(report.ok, per_loop as u64);
+            qps_pipelined = report.qps();
+            report.requests
+        })
+    });
     cached.stop().unwrap();
 
     let uncached = boot(0);
@@ -69,7 +88,8 @@ fn bench_serve(c: &mut Criterion) {
     uncached.stop().unwrap();
 
     println!(
-        "serve: last-loop throughput — cached {qps_cached:.0} q/s, uncached {qps_uncached:.0} q/s"
+        "serve: last-loop throughput — cached {qps_cached:.0} q/s, pipelined x16 \
+         {qps_pipelined:.0} q/s, uncached {qps_uncached:.0} q/s"
     );
 }
 

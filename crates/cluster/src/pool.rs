@@ -38,6 +38,10 @@ pub struct PoolOptions {
     pub probe_cooldown: Duration,
     /// TCP dial timeout for pool connections.
     pub connect_timeout: Duration,
+    /// Speak the pipelined `PFRM` binary frame protocol on the shard hop
+    /// (default). Text is kept as an escape hatch (`PITEX_CLUSTER_BINARY=0`
+    /// through the router) for debugging against `nc`-style shards.
+    pub binary: bool,
 }
 
 impl Default for PoolOptions {
@@ -47,6 +51,7 @@ impl Default for PoolOptions {
             max_in_flight: 64,
             probe_cooldown: Duration::from_millis(500),
             connect_timeout: Duration::from_secs(1),
+            binary: true,
         }
     }
 }
@@ -220,7 +225,11 @@ impl ShardPools {
     }
 
     fn connect(&self, replica: &Replica) -> std::io::Result<ServeClient> {
-        ServeClient::connect_timeout(replica.addr.as_str(), self.options.connect_timeout)
+        ServeClient::connect_with(
+            replica.addr.as_str(),
+            Some(self.options.connect_timeout),
+            self.options.binary,
+        )
     }
 
     /// Runs `f` against one replica of `shard`, failing over to the next

@@ -46,6 +46,11 @@
 //!   this same port (the `pitex_serve::http` magic-detection idiom) answer
 //!   the cluster-merged Prometheus exposition, the cluster health verdict
 //!   (`503` on page), and the router's local ring dumps.
+//! * `PFRM` binary frames — a connection opening with the frame magic
+//!   (sniffed exactly like the shard servers do) switches to the pipelined
+//!   binary protocol: same verbs, requests matched to replies by id, so
+//!   `ServeClient::connect_binary` and `pitex client --binary` talk to a
+//!   router as transparently as to a shard.
 //! * `PING` is answered locally; `SHUTDOWN` stops the router (shards are
 //!   managed by their own admins).
 //! * `CAPTURE on|off|rotate` — controls the *router's* PWRK workload
@@ -60,6 +65,7 @@
 use crate::pool::{CallError, PoolOptions, ShardPools};
 use crate::shardmap::ShardMap;
 use pitex_live::UpdateOp;
+use pitex_serve::frame::{self, FrameBuf, FrameError, MAX_REQUEST_FRAME_BYTES};
 use pitex_serve::{
     http, CaptureAction, ErrorCode, FlightReply, FlightWireEntry, ReloadReply, Request, Response,
     StatsReply, TraceReply, TraceRequest,
@@ -72,7 +78,7 @@ use pitex_support::obs::{
     Registry, SpanRecorder,
 };
 use std::collections::BTreeSet;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, Cursor, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -117,7 +123,9 @@ impl RouterOptions {
     /// `PITEX_CLUSTER_MAX_IN_FLIGHT` (per-shard concurrency before `BUSY`),
     /// `PITEX_CLUSTER_IDLE_CONNS` (pooled idle connections per replica),
     /// `PITEX_CLUSTER_PROBE_MS` (prober interval), `PITEX_CLUSTER_COOLDOWN_MS`
-    /// (down-replica cooldown), `PITEX_CLUSTER_CONNECT_TIMEOUT_MS`.
+    /// (down-replica cooldown), `PITEX_CLUSTER_CONNECT_TIMEOUT_MS`,
+    /// `PITEX_CLUSTER_BINARY` (`0` drops the shard hop back to the text
+    /// protocol).
     pub fn with_env(mut self) -> Self {
         if let Some(v) = env_u64("PITEX_CLUSTER_MAX_IN_FLIGHT") {
             self.pool.max_in_flight = v as usize;
@@ -133,6 +141,9 @@ impl RouterOptions {
         }
         if let Some(v) = env_u64("PITEX_CLUSTER_CONNECT_TIMEOUT_MS") {
             self.pool.connect_timeout = Duration::from_millis(v);
+        }
+        if let Ok(v) = std::env::var("PITEX_CLUSTER_BINARY") {
+            self.pool.binary = v != "0";
         }
         self
     }
@@ -401,15 +412,152 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
+/// What the first bytes of a fresh connection revealed about its protocol
+/// (the shard servers' sniffing idiom, shared via `pitex_serve::frame`).
+enum Sniffed {
+    /// The 4-byte `PFRM` magic: a binary pipelined client.
+    Binary(Vec<u8>),
+    /// Anything else — the text protocol or an HTTP `GET`. Carries the
+    /// sniffed bytes to re-chain in front of the stream.
+    Text(Vec<u8>),
+    /// Closed (or the router is stopping) before the protocol was decided.
+    Closed,
+}
+
+/// Reads at most 4 bytes to classify a connection's protocol. One
+/// mismatching byte decides `Text` immediately, so a text client's first
+/// request is never delayed waiting for 4 bytes to accumulate.
+fn sniff(shared: &Shared, mut stream: &TcpStream) -> Sniffed {
+    let mut buf = [0u8; 4];
+    let mut got = 0;
+    loop {
+        if !frame::could_be_frame(&buf[..got]) {
+            return Sniffed::Text(buf[..got].to_vec());
+        }
+        if got == buf.len() {
+            return Sniffed::Binary(buf.to_vec());
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 { Sniffed::Closed } else { Sniffed::Text(buf[..got].to_vec()) }
+            }
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Sniffed::Closed;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Sniffed::Closed,
+        }
+    }
+}
+
 fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
+    match sniff(shared, &stream) {
+        Sniffed::Binary(head) => binary_connection_loop(shared, stream, head),
+        Sniffed::Text(head) => text_connection_loop(shared, stream, head),
+        Sniffed::Closed => {}
+    }
+}
+
+/// The pipelined `PFRM` loop: each pass admits every complete frame
+/// buffered so far, routes them in arrival order (routing is synchronous —
+/// the pool call *is* the work), and flushes the burst's replies with one
+/// write. Mirrors the shard servers' blocking binary loop minus the worker
+/// pool hand-off.
+fn binary_connection_loop(shared: &Arc<Shared>, stream: TcpStream, head: Vec<u8>) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut frames = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+    frames.extend(&head);
+    let mut reader = stream;
+    let mut buf = [0u8; 16 * 1024];
+    let mut eof = false;
+    loop {
+        let mut out: Vec<u8> = Vec::new();
+        let mut close = false;
+        while !close {
+            let payload = match frames.next_payload() {
+                Ok(Some(payload)) => payload,
+                Ok(None) => break,
+                Err(FrameError::Oversized { len, cap }) => {
+                    shared.counters.requests.inc();
+                    shared.counters.errors.inc();
+                    let response = Response::Err {
+                        code: ErrorCode::BadRequest,
+                        message: format!("frame payload of {len} bytes exceeds {cap} bytes"),
+                    };
+                    out.extend_from_slice(&frame::encode_response(0, &response));
+                    close = true;
+                    break;
+                }
+                Err(_) => {
+                    // Desynchronized mid-stream: no reply can be framed
+                    // reliably, so just close.
+                    shared.counters.errors.inc();
+                    close = true;
+                    break;
+                }
+            };
+            match frame::decode_request(&payload) {
+                Ok((id, request)) => match handle_request(shared, request) {
+                    Handled::Reply(response, close_after) => {
+                        out.extend_from_slice(&frame::encode_response(id, &response));
+                        close |= close_after;
+                    }
+                    Handled::Raw(text) => {
+                        out.extend_from_slice(&frame::encode_raw_response(id, &text));
+                    }
+                },
+                Err(e) => {
+                    shared.counters.requests.inc();
+                    shared.counters.errors.inc();
+                    let response = Response::Err {
+                        code: ErrorCode::BadRequest,
+                        message: format!("malformed binary request: {e}"),
+                    };
+                    out.extend_from_slice(&frame::encode_response(
+                        frame::payload_id(&payload),
+                        &response,
+                    ));
+                }
+            }
+        }
+        if !out.is_empty() && writer.write_all(&out).is_err() {
+            return;
+        }
+        if close || eof {
+            return;
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => eof = true, // one more pass to admit buffered frames
+            Ok(n) => frames.extend(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// The classic blocking text/HTTP loop. `head` holds the bytes the sniffer
+/// consumed before deciding the protocol; chaining them in front of the
+/// stream makes the hand-off invisible to the line reader.
+fn text_connection_loop(shared: &Arc<Shared>, stream: TcpStream, head: Vec<u8>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(Cursor::new(head).chain(stream));
     let mut line = String::new();
     loop {
         // Same partial-line and budget discipline as the shard servers:
@@ -495,6 +643,18 @@ enum Handled {
 
 /// Dispatches one request line.
 fn handle_line(shared: &Arc<Shared>, line: &str) -> Handled {
+    match Request::parse(line) {
+        Ok(request) => handle_request(shared, request),
+        Err(reason) => {
+            shared.counters.requests.inc();
+            shared.counters.errors.inc();
+            Handled::Reply(Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
+        }
+    }
+}
+
+/// Dispatches one parsed request — shared by the text and binary loops.
+fn handle_request(shared: &Arc<Shared>, request: Request) -> Handled {
     shared.counters.requests.inc();
     let reply = |response: Response, close: bool| Handled::Reply(response, close);
     let denied = || {
@@ -502,61 +662,59 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> Handled {
         let message = "admin verbs are disabled on this router".to_string();
         Handled::Reply(Response::Err { code: ErrorCode::AdminDenied, message }, false)
     };
-    match Request::parse(line) {
-        Ok(Request::Ping) => reply(Response::Pong, false),
-        Ok(Request::Quit) => reply(Response::Bye, true),
-        Ok(Request::Shutdown) => {
+    match request {
+        Request::Ping => reply(Response::Pong, false),
+        Request::Quit => reply(Response::Bye, true),
+        Request::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
             reply(Response::Bye, true)
         }
-        Ok(Request::Query(q)) => reply(handle_query(shared, Request::Query(q)), false),
+        Request::Query(q) => reply(handle_query(shared, Request::Query(q)), false),
         // EXPLAIN forwards verbatim like QUERY: planning happens on the
         // owning shard, where the artifacts and latency EWMAs live.
-        Ok(Request::Explain(q)) => reply(handle_query(shared, Request::Explain(q)), false),
-        Ok(Request::Trace(t)) => reply(handle_trace(shared, t), false),
-        Ok(Request::Stats) => reply(handle_stats(shared), false),
-        Ok(Request::Metrics) => handle_metrics(shared),
-        Ok(Request::Series { field, res }) => reply(handle_series(shared, &field, res), false),
-        Ok(Request::Health) => reply(handle_health(shared), false),
-        Ok(
-            Request::Update(_)
-            | Request::Reload
-            | Request::Prepare
-            | Request::Commit
-            | Request::Epoch
-            | Request::Sync { .. }
-            | Request::Discard
-            | Request::Flight
-            | Request::Capture(_),
-        ) if !shared.options.admin => denied(),
-        Ok(Request::Flight) => reply(handle_flight(shared), false),
+        Request::Explain(q) => reply(handle_query(shared, Request::Explain(q)), false),
+        Request::Trace(t) => reply(handle_trace(shared, t), false),
+        Request::Stats => reply(handle_stats(shared), false),
+        Request::Metrics => handle_metrics(shared),
+        Request::Series { field, res } => reply(handle_series(shared, &field, res), false),
+        Request::Health => reply(handle_health(shared), false),
+        Request::Update(_)
+        | Request::Reload
+        | Request::Prepare
+        | Request::Commit
+        | Request::Epoch
+        | Request::Sync { .. }
+        | Request::Discard
+        | Request::Flight
+        | Request::Capture(_)
+            if !shared.options.admin =>
+        {
+            denied()
+        }
+        Request::Flight => reply(handle_flight(shared), false),
         // CAPTURE controls *this router's* recorder: each hop owns its log
         // (shards record the resolved-backend view, the router the front
         // door), so cluster-wide capture is per-process — set
         // `PITEX_OBS_CAPTURE` on every process, toggle each over its own
         // admin socket.
-        Ok(Request::Capture(action)) => reply(handle_capture(shared, action), false),
-        Ok(Request::Update(op)) => reply(handle_update(shared, op), false),
-        Ok(Request::Reload) => reply(handle_reload(shared), false),
-        Ok(Request::Prepare | Request::Commit) => {
+        Request::Capture(action) => reply(handle_capture(shared, action), false),
+        Request::Update(op) => reply(handle_update(shared, op), false),
+        Request::Reload => reply(handle_reload(shared), false),
+        Request::Prepare | Request::Commit => {
             shared.counters.errors.inc();
             let message =
                 "PREPARE/COMMIT are shard-level; RELOAD at the router runs the cluster barrier"
                     .to_string();
             reply(Response::Err { code: ErrorCode::BadRequest, message }, false)
         }
-        Ok(Request::Sync { .. } | Request::Discard) => {
+        Request::Sync { .. } | Request::Discard => {
             shared.counters.errors.inc();
             let message = "SYNC/DISCARD are shard-level; the router's prober runs replica \
                            catch-up itself"
                 .to_string();
             reply(Response::Err { code: ErrorCode::BadRequest, message }, false)
         }
-        Ok(Request::Epoch) => reply(handle_epoch(shared), false),
-        Err(reason) => {
-            shared.counters.errors.inc();
-            reply(Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
-        }
+        Request::Epoch => reply(handle_epoch(shared), false),
     }
 }
 

@@ -185,6 +185,12 @@ pub static SCHEMA: &[FieldSpec] = &[
         merge: MergeRule::Sum,
         help: "worker threads that panicked mid-query",
     },
+    FieldSpec {
+        pattern: "conn_aborted",
+        kind: MetricKind::Counter,
+        merge: MergeRule::Sum,
+        help: "pipelined replies dropped because the connection died first",
+    },
     // --- update / reload / WAL --------------------------------------------
     FieldSpec {
         pattern: "updates_applied",

@@ -6,6 +6,7 @@
 //! response lands (closed loop), and reports aggregate throughput — the
 //! measurement the `bench_serve` target and `pitex client --bench` print.
 
+use crate::frame::{self, FrameBuf, WireReply, MAX_REPLY_FRAME_BYTES};
 use crate::protocol::{
     CaptureAction, ExplainReply, FlightReply, QueryRequest, ReloadReply, Request, Response,
     SeriesReply, StatsReply, TraceReply, TraceRequest,
@@ -19,7 +20,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-/// A blocking client for the `pitex serve` line protocol.
+/// A blocking client for the `pitex serve` protocol — the human-readable
+/// text lines by default, or the pipelined `PFRM` binary framing
+/// ([`connect_binary`](Self::connect_binary)); the server auto-detects
+/// which one a connection speaks from its first bytes, so both dial the
+/// same port.
 ///
 /// The client remembers its resolved address and transparently reconnects
 /// **once** per request when an *idempotent* verb (`QUERY`, `STATS`,
@@ -30,6 +35,12 @@ use std::time::{Duration, Instant};
 /// connection died, and replaying it could double-apply.
 pub struct ServeClient {
     addr: std::net::SocketAddr,
+    binary: bool,
+    /// Next binary request id; replies are matched by id, so a stale reply
+    /// left over from an abandoned request can never be mistaken for the
+    /// current one.
+    next_id: u64,
+    frames: FrameBuf,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
@@ -40,21 +51,47 @@ impl ServeClient {
     /// first address that answers is pinned for
     /// [`reconnect`](Self::reconnect).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        Self::dial(addr, None)
+        Self::dial(addr, None, false)
+    }
+
+    /// Connects speaking the length-prefixed binary frame protocol —
+    /// cheaper to encode/decode than text and the only mode that supports
+    /// [`pipeline`](Self::pipeline)d requests.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::dial(addr, None, true)
     }
 
     /// Connects with an explicit timeout on the TCP dial — what a router's
     /// health-gated connection pool wants (a down replica must fail fast,
     /// not hang the probing request).
     pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Self> {
-        Self::dial(addr, Some(timeout))
+        Self::dial(addr, Some(timeout), false)
     }
 
-    fn dial(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> std::io::Result<Self> {
+    /// Connects with both knobs explicit: an optional dial timeout and the
+    /// wire mode (`binary: true` for `PFRM` frames).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+        binary: bool,
+    ) -> std::io::Result<Self> {
+        Self::dial(addr, timeout, binary)
+    }
+
+    fn dial(addr: impl ToSocketAddrs, timeout: Option<Duration>, binary: bool) -> std::io::Result<Self> {
         let mut last_err = None;
         for addr in addr.to_socket_addrs()? {
             match Self::open(addr, timeout) {
-                Ok((writer, reader)) => return Ok(Self { addr, writer, reader }),
+                Ok((writer, reader)) => {
+                    return Ok(Self {
+                        addr,
+                        binary,
+                        next_id: 1,
+                        frames: FrameBuf::new(MAX_REPLY_FRAME_BYTES),
+                        writer,
+                        reader,
+                    })
+                }
                 Err(e) => last_err = Some(e),
             }
         }
@@ -80,11 +117,18 @@ impl ServeClient {
         self.addr
     }
 
-    /// Drops the current connection and dials the same address again.
+    /// Whether this client speaks the binary frame protocol.
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
+    /// Drops the current connection and dials the same address again (the
+    /// wire mode is kept; any half-received frame is discarded).
     pub fn reconnect(&mut self) -> std::io::Result<()> {
         let (writer, reader) = Self::open(self.addr, None)?;
         self.writer = writer;
         self.reader = reader;
+        self.frames = FrameBuf::new(MAX_REPLY_FRAME_BYTES);
         Ok(())
     }
 
@@ -107,9 +151,27 @@ impl ServeClient {
         Ok(reply)
     }
 
-    /// Sends a typed request and parses the reply. Idempotent verbs
-    /// (`QUERY`, `EXPLAIN`, `STATS`, `PING`) survive one connection loss:
-    /// the client reconnects and retries exactly once (see the type docs).
+    /// Sends one binary frame and reads reply frames until the one with a
+    /// matching id arrives (stale replies from abandoned requests are
+    /// skipped by id).
+    fn roundtrip_frame(&mut self, id: u64, request: &Request) -> std::io::Result<WireReply> {
+        self.writer.write_all(&frame::encode_request(id, request))?;
+        self.read_reply(id)
+    }
+
+    fn read_reply(&mut self, id: u64) -> std::io::Result<WireReply> {
+        loop {
+            let (got, reply) = self.read_any_reply()?;
+            if got == id {
+                return Ok(reply);
+            }
+        }
+    }
+
+    /// Sends a typed request and parses the reply — over whichever wire
+    /// mode the client was dialed with. Idempotent verbs (`QUERY`,
+    /// `EXPLAIN`, `STATS`, `PING`) survive one connection loss: the client
+    /// reconnects and retries exactly once (see the type docs).
     pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
         let idempotent = matches!(
             request,
@@ -123,6 +185,24 @@ impl ServeClient {
                 | Request::Health
                 | Request::Sync { .. }
         );
+        if self.binary {
+            let id = self.next_id;
+            self.next_id += 1;
+            let reply = match self.roundtrip_frame(id, request) {
+                Err(e) if idempotent && connection_lost(&e) => {
+                    self.reconnect()?;
+                    self.roundtrip_frame(id, request)?
+                }
+                other => other?,
+            };
+            return match reply {
+                WireReply::Response(response) => Ok(response),
+                WireReply::Raw(_) => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "unexpected raw reply to a typed request",
+                )),
+            };
+        }
         let line = request.to_line();
         let reply = match self.roundtrip_line(&line) {
             Err(e) if idempotent && connection_lost(&e) => {
@@ -132,6 +212,95 @@ impl ServeClient {
             other => other?,
         };
         Response::parse(&reply).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Issues a batch of requests **pipelined**: every request is written
+    /// before any reply is read, so the batch costs one round-trip of
+    /// queueing instead of `n`. Replies are matched back to requests by id
+    /// (binary) or arrival order (text, whose replies are ordered) and
+    /// returned in request order. Not retried on connection loss — part of
+    /// the batch may already have been applied.
+    pub fn pipeline(&mut self, requests: &[Request]) -> std::io::Result<Vec<Response>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.binary {
+            let first_id = self.next_id;
+            self.next_id += requests.len() as u64;
+            let mut batch = Vec::new();
+            for (i, request) in requests.iter().enumerate() {
+                batch.extend_from_slice(&frame::encode_request(first_id + i as u64, request));
+            }
+            self.writer.write_all(&batch)?;
+            let mut replies: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+            let mut pending = requests.len();
+            while pending > 0 {
+                let reply = self.read_any_reply()?;
+                let (id, wire) = reply;
+                let Some(slot) = id
+                    .checked_sub(first_id)
+                    .and_then(|off| replies.get_mut(off as usize))
+                else {
+                    continue; // stale id from an earlier abandoned request
+                };
+                if slot.is_some() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("duplicate reply for pipelined id {id}"),
+                    ));
+                }
+                let WireReply::Response(response) = wire else {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "unexpected raw reply in a pipelined batch",
+                    ));
+                };
+                *slot = Some(response);
+                pending -= 1;
+            }
+            return Ok(replies.into_iter().map(|r| r.expect("pending hit zero")).collect());
+        }
+        let mut batch = String::new();
+        for request in requests {
+            batch.push_str(&request.to_line());
+            batch.push('\n');
+        }
+        self.writer.write_all(batch.as_bytes())?;
+        let mut replies = Vec::with_capacity(requests.len());
+        for _ in requests {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-batch",
+                ));
+            }
+            replies.push(
+                Response::parse(&line)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+            );
+        }
+        Ok(replies)
+    }
+
+    /// Reads the next complete reply frame, whatever its id.
+    fn read_any_reply(&mut self) -> std::io::Result<(u64, WireReply)> {
+        use std::io::Read;
+        loop {
+            if let Some(payload) = self.frames.next_payload().map_err(frame_io)? {
+                return frame::decode_response(&payload).map_err(frame_io);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.reader.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.frames.extend(&chunk[..n]);
+        }
     }
 
     /// `QUERY user k` with the server's default deadline and backend.
@@ -213,6 +382,17 @@ impl ServeClient {
     /// multi-line response in the protocol; it is read through to its
     /// `# EOF` terminator (and includes it).
     pub fn metrics(&mut self) -> std::io::Result<String> {
+        if self.binary {
+            let id = self.next_id;
+            self.next_id += 1;
+            return match self.roundtrip_frame(id, &Request::Metrics)? {
+                WireReply::Raw(text) => Ok(text),
+                WireReply::Response(other) => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected raw exposition reply, got {other:?}"),
+                )),
+            };
+        }
         self.writer.write_all(b"METRICS\n")?;
         let mut text = String::new();
         loop {
@@ -369,6 +549,10 @@ impl ServeClient {
 /// Whether an I/O error means the TCP connection itself is gone (worth one
 /// reconnect) rather than a protocol- or OS-level problem that a fresh
 /// connection would not fix.
+fn frame_io(e: crate::frame::FrameError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
 fn connection_lost(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
@@ -414,11 +598,26 @@ pub struct LoadGen {
     pub timeout_us: Option<u64>,
     /// Optional per-request backend override (`auto` drives the planner).
     pub backend: Option<EngineBackend>,
+    /// Speak the `PFRM` binary frame protocol instead of text lines.
+    pub binary: bool,
+    /// Requests pipelined per batch (1 = strict request/response). Depths
+    /// above 1 require `binary`; latency is then recorded once per batch
+    /// (the client-observed batch round-trip), not per request.
+    pub pipeline: usize,
 }
 
 impl Default for LoadGen {
     fn default() -> Self {
-        Self { clients: 4, requests_per_client: 16, user: 0, k: 2, timeout_us: None, backend: None }
+        Self {
+            clients: 4,
+            requests_per_client: 16,
+            user: 0,
+            k: 2,
+            timeout_us: None,
+            backend: None,
+            binary: false,
+            pipeline: 1,
+        }
     }
 }
 
@@ -501,7 +700,7 @@ impl LoadGen {
     }
 
     fn run_one_client(&self, addr: std::net::SocketAddr) -> std::io::Result<LoadReport> {
-        let mut client = ServeClient::connect(addr)?;
+        let mut client = ServeClient::connect_with(addr, None, self.binary)?;
         let mut report = LoadReport {
             requests: 0,
             ok: 0,
@@ -518,27 +717,43 @@ impl LoadGen {
             timeout_us: self.timeout_us,
             backend: self.backend,
         });
-        for _ in 0..self.requests_per_client {
+        let depth = self.pipeline.max(1);
+        if depth > 1 && !self.binary {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "pipeline depth > 1 requires binary mode",
+            ));
+        }
+        let mut remaining = self.requests_per_client;
+        while remaining > 0 {
+            let batch = depth.min(remaining);
+            remaining -= batch;
             let t = Instant::now();
-            let response = client.request(&request)?;
+            let responses = if batch == 1 {
+                vec![client.request(&request)?]
+            } else {
+                client.pipeline(&vec![request.clone(); batch])?
+            };
             let us = t.elapsed().as_micros() as u64;
             report.latency_us.push(us as f64);
             report.latency_hist.record(us);
-            report.requests += 1;
-            match response {
-                Response::Ok(reply) => {
-                    report.ok += 1;
-                    if reply.cached {
-                        report.cached += 1;
+            for response in responses {
+                report.requests += 1;
+                match response {
+                    Response::Ok(reply) => {
+                        report.ok += 1;
+                        if reply.cached {
+                            report.cached += 1;
+                        }
                     }
-                }
-                Response::Busy => report.busy += 1,
-                Response::Err { .. } => report.errors += 1,
-                other => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("unexpected reply to QUERY: {other:?}"),
-                    ))
+                    Response::Busy => report.busy += 1,
+                    Response::Err { .. } => report.errors += 1,
+                    other => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("unexpected reply to QUERY: {other:?}"),
+                        ))
+                    }
                 }
             }
         }

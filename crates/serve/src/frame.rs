@@ -1,0 +1,638 @@
+//! The `PFRM` pipelined binary frame: length-prefixed request/reply encoding
+//! for the serve protocol.
+//!
+//! The text protocol ([`crate::protocol`]) costs one formatted line and one
+//! parse per direction per round trip, and — more importantly — one blocking
+//! round trip per request. This module defines the wire format that lets a
+//! client (and the cluster router's shard pools) **pipeline** many requests
+//! on one connection and match replies back by id:
+//!
+//! ```text
+//! +------+----------+----------------------+
+//! | PFRM | len: u32 | payload (len bytes)  |
+//! +------+----------+----------------------+
+//! payload = id: u64, tag: u8, body...      (little-endian, codec format)
+//! ```
+//!
+//! Every frame carries the 4-byte magic, so a reconnecting client needs no
+//! connection-level handshake, and the server's first-bytes sniffing can
+//! route `PFRM` connections to the binary path while `QUERY ...\n`, `GET
+//! /metrics`, and everything else continue down the text path on the same
+//! port (the same trick the `PSHM`/`PLOG`/`PWAL` on-disk formats use).
+//!
+//! The hot verbs — `PING`, `QUERY`, `EXPLAIN`, `TRACE`, and the `PONG` /
+//! `OK` / `BUSY` / `ERR` replies — get native binary bodies. Every other
+//! verb rides in a `Text` body that wraps its existing line form: admin
+//! verbs are rare enough that re-using the battle-tested line codec beats
+//! duplicating it, and it guarantees the two protocols can never drift.
+//!
+//! Inbound frames on the server are capped at [`MAX_REQUEST_FRAME_BYTES`]
+//! (mirroring the 4 KiB text-line cap); client-side reply frames allow
+//! [`MAX_REPLY_FRAME_BYTES`] because `SYNC` bundles and `/metrics`
+//! expositions are legitimately large.
+
+use crate::protocol::{ErrorCode, QueryReply, QueryRequest, Request, Response, TraceRequest};
+use pitex_support::codec::{Decoder, Encoder};
+use std::fmt;
+
+/// Magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"PFRM";
+
+/// Frame header size: magic + little-endian `u32` payload length.
+pub const HEADER_BYTES: usize = 8;
+
+/// Largest payload the **server** accepts in one request frame. Mirrors the
+/// 4 KiB text-line cap: a well-formed request always fits, and anything
+/// bigger is an attack or a bug.
+pub const MAX_REQUEST_FRAME_BYTES: usize = 4 * 1024;
+
+/// Largest payload the **client** accepts in one reply frame. `SYNC`
+/// bundles, `FLIGHT` dumps, and `/metrics` expositions are legitimately
+/// large, so this is a sanity bound, not a protocol bound.
+pub const MAX_REPLY_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+// Request body tags.
+const REQ_PING: u8 = 0;
+const REQ_QUERY: u8 = 1;
+const REQ_EXPLAIN: u8 = 2;
+const REQ_TRACE: u8 = 3;
+const REQ_TEXT: u8 = 255;
+
+// Reply body tags.
+const RSP_PONG: u8 = 0;
+const RSP_OK: u8 = 1;
+const RSP_BUSY: u8 = 2;
+const RSP_ERR: u8 = 3;
+const RSP_RAW: u8 = 254;
+const RSP_TEXT: u8 = 255;
+
+/// Why a byte stream could not be framed or a payload could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first bytes of the stream do not spell `PFRM`. The connection is
+    /// not speaking the binary protocol (or desynchronized mid-stream).
+    BadMagic,
+    /// A frame declared a payload longer than the receiver's cap. The only
+    /// safe recovery is to drop the connection — the stream cannot be
+    /// resynchronized without trusting the hostile length.
+    Oversized { len: usize, cap: usize },
+    /// The frame was well-delimited but its payload failed to decode.
+    Corrupt(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic (expected PFRM)"),
+            FrameError::Oversized { len, cap } => {
+                write!(f, "frame payload of {len} bytes exceeds the {cap}-byte cap")
+            }
+            FrameError::Corrupt(msg) => write!(f, "corrupt frame payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn corrupt(what: &str, err: pitex_support::codec::DecodeError) -> FrameError {
+    FrameError::Corrupt(format!("{what}: {err:?}"))
+}
+
+/// True while `prefix` (at most 4 bytes seen so far) could still open a
+/// `PFRM` frame. The server's sniffer calls this after every byte of the
+/// first four: one mismatching byte routes the connection to the text path
+/// immediately, so a text client never waits on a 4-byte read.
+pub fn could_be_frame(prefix: &[u8]) -> bool {
+    prefix.len() <= MAGIC.len() && prefix.iter().zip(MAGIC.iter()).all(|(a, b)| a == b)
+}
+
+// ---------------------------------------------------------------------------
+// Incremental frame extraction
+// ---------------------------------------------------------------------------
+
+/// Incremental frame parser: feed it byte chunks as they arrive (in any
+/// fragmentation — mid-magic, mid-length, mid-payload), take complete
+/// payloads out. Used by both the nonblocking event-loop connections and the
+/// blocking client reader.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    cap: usize,
+}
+
+impl FrameBuf {
+    /// A parser that rejects payloads longer than `cap` bytes.
+    pub fn new(cap: usize) -> FrameBuf {
+        FrameBuf { buf: Vec::new(), cap }
+    }
+
+    /// Append freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extract the next complete payload, if one is fully buffered.
+    ///
+    /// * `Ok(Some(payload))` — a frame was consumed from the buffer.
+    /// * `Ok(None)` — the buffer holds only a (possibly empty) frame prefix.
+    /// * `Err(BadMagic)` — the buffered bytes cannot open a frame; reported
+    ///   as soon as the first mismatching byte is seen.
+    /// * `Err(Oversized)` — the declared length exceeds the cap.
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if !could_be_frame(&self.buf[..self.buf.len().min(MAGIC.len())]) {
+            return Err(FrameError::BadMagic);
+        }
+        if self.buf.len() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let len =
+            u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
+        if len > self.cap {
+            return Err(FrameError::Oversized { len, cap: self.cap });
+        }
+        let total = HEADER_BYTES + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_BYTES..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn seal(payload: Vec<u8>) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn encode_query_body(enc: &mut Encoder<Vec<u8>>, q: &QueryRequest) {
+    enc.u32(q.user);
+    enc.u64(q.k as u64);
+    match q.timeout_us {
+        Some(us) => {
+            enc.u8(1);
+            enc.u64(us);
+        }
+        None => enc.u8(0),
+    }
+    match q.backend {
+        Some(b) => {
+            enc.u8(1);
+            enc.str(b.cli_name());
+        }
+        None => enc.u8(0),
+    }
+}
+
+fn decode_query_body(dec: &mut Decoder<&[u8]>) -> Result<QueryRequest, FrameError> {
+    let user = dec.u32().map_err(|e| corrupt("query user", e))?;
+    let k = dec.u64().map_err(|e| corrupt("query k", e))? as usize;
+    let timeout_us = match dec.u8().map_err(|e| corrupt("timeout flag", e))? {
+        0 => None,
+        _ => Some(dec.u64().map_err(|e| corrupt("timeout", e))?),
+    };
+    let backend = match dec.u8().map_err(|e| corrupt("backend flag", e))? {
+        0 => None,
+        _ => {
+            let name = dec.str().map_err(|e| corrupt("backend", e))?;
+            Some(
+                crate::protocol::parse_backend_name(&name)
+                    .map_err(FrameError::Corrupt)?,
+            )
+        }
+    };
+    Ok(QueryRequest { user, k, timeout_us, backend })
+}
+
+/// Encode one request as a complete frame (header included).
+pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
+    let mut enc = Encoder::new(Vec::new());
+    enc.u64(id);
+    match request {
+        Request::Ping => enc.u8(REQ_PING),
+        Request::Query(q) => {
+            enc.u8(REQ_QUERY);
+            encode_query_body(&mut enc, q);
+        }
+        Request::Explain(q) => {
+            enc.u8(REQ_EXPLAIN);
+            encode_query_body(&mut enc, q);
+        }
+        Request::Trace(t) => {
+            enc.u8(REQ_TRACE);
+            encode_query_body(&mut enc, &t.query);
+            match t.trace_id {
+                Some(tid) => {
+                    enc.u8(1);
+                    enc.u64(tid);
+                }
+                None => enc.u8(0),
+            }
+        }
+        other => {
+            enc.u8(REQ_TEXT);
+            enc.str(&other.to_line());
+        }
+    }
+    seal(enc.into_inner())
+}
+
+/// Decode a request payload (the bytes *after* the 8-byte frame header).
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), FrameError> {
+    let mut dec = Decoder::new(payload);
+    let id = dec.u64().map_err(|e| corrupt("request id", e))?;
+    let tag = dec.u8().map_err(|e| corrupt("request tag", e))?;
+    let request = match tag {
+        REQ_PING => Request::Ping,
+        REQ_QUERY => Request::Query(decode_query_body(&mut dec)?),
+        REQ_EXPLAIN => Request::Explain(decode_query_body(&mut dec)?),
+        REQ_TRACE => {
+            let query = decode_query_body(&mut dec)?;
+            let trace_id = match dec.u8().map_err(|e| corrupt("trace-id flag", e))? {
+                0 => None,
+                _ => Some(dec.u64().map_err(|e| corrupt("trace id", e))?),
+            };
+            Request::Trace(TraceRequest { query, trace_id })
+        }
+        REQ_TEXT => {
+            let line = dec.str().map_err(|e| corrupt("text request", e))?;
+            Request::parse(&line).map_err(FrameError::Corrupt)?
+        }
+        other => return Err(FrameError::Corrupt(format!("unknown request tag {other}"))),
+    };
+    Ok((id, request))
+}
+
+/// A decoded reply frame: either a typed [`Response`] or the raw text block
+/// that answers `METRICS` (the Prometheus exposition is multi-line and has
+/// no `Response` variant).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireReply {
+    Response(Response),
+    Raw(String),
+}
+
+/// Encode one reply as a complete frame (header included).
+pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
+    let mut enc = Encoder::new(Vec::new());
+    enc.u64(id);
+    match response {
+        Response::Pong => enc.u8(RSP_PONG),
+        Response::Ok(r) => {
+            enc.u8(RSP_OK);
+            enc.u32(r.user);
+            enc.u64(r.k as u64);
+            enc.u32_slice(&r.tags);
+            enc.f64(r.spread);
+            enc.u8(r.cached as u8);
+            enc.u64(r.us);
+        }
+        Response::Busy => enc.u8(RSP_BUSY),
+        Response::Err { code, message } => {
+            enc.u8(RSP_ERR);
+            enc.str(code.as_str());
+            enc.str(message);
+        }
+        other => {
+            enc.u8(RSP_TEXT);
+            enc.str(&other.to_line());
+        }
+    }
+    seal(enc.into_inner())
+}
+
+/// Encode the raw multi-line reply to `METRICS` as a complete frame.
+pub fn encode_raw_response(id: u64, body: &str) -> Vec<u8> {
+    let mut enc = Encoder::new(Vec::new());
+    enc.u64(id);
+    enc.u8(RSP_RAW);
+    enc.str(body);
+    seal(enc.into_inner())
+}
+
+/// Decode a reply payload (the bytes *after* the 8-byte frame header).
+pub fn decode_response(payload: &[u8]) -> Result<(u64, WireReply), FrameError> {
+    let mut dec = Decoder::new(payload);
+    let id = dec.u64().map_err(|e| corrupt("reply id", e))?;
+    let tag = dec.u8().map_err(|e| corrupt("reply tag", e))?;
+    let reply = match tag {
+        RSP_PONG => WireReply::Response(Response::Pong),
+        RSP_OK => {
+            let user = dec.u32().map_err(|e| corrupt("ok user", e))?;
+            let k = dec.u64().map_err(|e| corrupt("ok k", e))? as usize;
+            let tags = dec.u32_slice().map_err(|e| corrupt("ok tags", e))?;
+            let spread = dec.f64().map_err(|e| corrupt("ok spread", e))?;
+            let cached = dec.u8().map_err(|e| corrupt("ok cached", e))? != 0;
+            let us = dec.u64().map_err(|e| corrupt("ok us", e))?;
+            WireReply::Response(Response::Ok(QueryReply { user, k, tags, spread, cached, us }))
+        }
+        RSP_BUSY => WireReply::Response(Response::Busy),
+        RSP_ERR => {
+            let code_s = dec.str().map_err(|e| corrupt("err code", e))?;
+            let code = ErrorCode::parse(&code_s)
+                .ok_or_else(|| FrameError::Corrupt(format!("unknown error code {code_s:?}")))?;
+            let message = dec.str().map_err(|e| corrupt("err message", e))?;
+            WireReply::Response(Response::Err { code, message })
+        }
+        RSP_RAW => WireReply::Raw(dec.str().map_err(|e| corrupt("raw reply", e))?),
+        RSP_TEXT => {
+            let line = dec.str().map_err(|e| corrupt("text reply", e))?;
+            WireReply::Response(Response::parse(&line).map_err(FrameError::Corrupt)?)
+        }
+        other => return Err(FrameError::Corrupt(format!("unknown reply tag {other}"))),
+    };
+    Ok((id, reply))
+}
+
+/// Best-effort request id of a payload whose body failed to decode, so the
+/// server can address its `ERR` frame to the request that caused it.
+pub fn payload_id(payload: &[u8]) -> u64 {
+    if payload.len() >= 8 {
+        u64::from_le_bytes(payload[..8].try_into().unwrap())
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CaptureAction;
+    use pitex_core::EngineBackend;
+    use proptest::prelude::*;
+
+    fn roundtrip_request(request: &Request) -> Request {
+        let frame = encode_request(7, request);
+        let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+        fb.extend(&frame);
+        let payload = fb.next_payload().unwrap().unwrap();
+        assert_eq!(fb.buffered(), 0);
+        let (id, decoded) = decode_request(&payload).unwrap();
+        assert_eq!(id, 7);
+        decoded
+    }
+
+    fn roundtrip_response(response: &Response) -> Response {
+        let frame = encode_response(9, response);
+        let mut fb = FrameBuf::new(MAX_REPLY_FRAME_BYTES);
+        fb.extend(&frame);
+        let payload = fb.next_payload().unwrap().unwrap();
+        let (id, decoded) = decode_response(&payload).unwrap();
+        assert_eq!(id, 9);
+        match decoded {
+            WireReply::Response(r) => r,
+            WireReply::Raw(_) => panic!("typed response decoded as raw"),
+        }
+    }
+
+    #[test]
+    fn native_requests_roundtrip() {
+        let cases = [
+            Request::Ping,
+            Request::Query(QueryRequest::new(3, 2)),
+            Request::Query(QueryRequest {
+                user: 1,
+                k: 4,
+                timeout_us: Some(2500),
+                backend: Some(EngineBackend::IndexEst),
+            }),
+            Request::Explain(QueryRequest {
+                user: 0,
+                k: 1,
+                timeout_us: None,
+                backend: Some(EngineBackend::Auto),
+            }),
+            Request::Trace(TraceRequest {
+                query: QueryRequest::new(2, 3),
+                trace_id: Some(0xdead_beef),
+            }),
+            Request::Trace(TraceRequest { query: QueryRequest::new(2, 3), trace_id: None }),
+        ];
+        for request in &cases {
+            assert_eq!(&roundtrip_request(request), request, "case {request:?}");
+        }
+    }
+
+    #[test]
+    fn text_wrapped_requests_roundtrip() {
+        let cases = [
+            Request::Stats,
+            Request::Metrics,
+            Request::Flight,
+            Request::Health,
+            Request::Capture(CaptureAction::Rotate),
+            Request::Reload,
+            Request::Prepare,
+            Request::Commit,
+            Request::Epoch,
+            Request::Sync { from_epoch: 12 },
+            Request::Discard,
+            Request::Quit,
+            Request::Shutdown,
+        ];
+        for request in &cases {
+            assert_eq!(&roundtrip_request(request), request, "case {request:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = [
+            Response::Pong,
+            Response::Ok(QueryReply {
+                user: 5,
+                k: 3,
+                tags: vec![2, 3, 9],
+                spread: 1.625,
+                cached: true,
+                us: 41,
+            }),
+            Response::Busy,
+            Response::Err { code: ErrorCode::Deadline, message: "out of budget".into() },
+            Response::Err { code: ErrorCode::AdminDenied, message: "no".into() },
+            Response::Bye,
+            Response::Epoch(7),
+            Response::Updated { epoch: 3, pending: 2 },
+            Response::Discarded { epoch: 4, dropped: 1 },
+            Response::Captured { enabled: true, recorded: 10, dropped: 0 },
+        ];
+        for response in &cases {
+            assert_eq!(&roundtrip_response(response), response, "case {response:?}");
+        }
+    }
+
+    #[test]
+    fn raw_reply_roundtrips() {
+        let body = "# HELP pitex_requests total\npitex_requests 4\n# EOF\n";
+        let frame = encode_raw_response(11, body);
+        let mut fb = FrameBuf::new(MAX_REPLY_FRAME_BYTES);
+        fb.extend(&frame);
+        let payload = fb.next_payload().unwrap().unwrap();
+        assert_eq!(decode_response(&payload).unwrap(), (11, WireReply::Raw(body.into())));
+    }
+
+    #[test]
+    fn fragmented_delivery_reassembles() {
+        let frame = encode_request(42, &Request::Query(QueryRequest::new(1, 2)));
+        // Split at every possible boundary: mid-magic, mid-length, mid-payload.
+        for split in 1..frame.len() {
+            let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+            fb.extend(&frame[..split]);
+            assert_eq!(fb.next_payload().unwrap(), None, "premature frame at split {split}");
+            fb.extend(&frame[split..]);
+            let payload = fb.next_payload().unwrap().unwrap();
+            assert_eq!(decode_request(&payload).unwrap().0, 42);
+        }
+        // Byte-by-byte is the degenerate case of the above.
+        let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+        for b in &frame {
+            fb.extend(std::slice::from_ref(b));
+        }
+        assert!(fb.next_payload().unwrap().is_some());
+    }
+
+    #[test]
+    fn back_to_back_frames_drain_in_order() {
+        let mut stream = Vec::new();
+        for id in 0..5u64 {
+            stream.extend_from_slice(&encode_request(id, &Request::Ping));
+        }
+        let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+        fb.extend(&stream);
+        for id in 0..5u64 {
+            let payload = fb.next_payload().unwrap().unwrap();
+            assert_eq!(decode_request(&payload).unwrap(), (id, Request::Ping));
+        }
+        assert_eq!(fb.next_payload().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+        let mut header = MAGIC.to_vec();
+        header.extend_from_slice(&(MAX_REQUEST_FRAME_BYTES as u32 + 1).to_le_bytes());
+        fb.extend(&header);
+        assert_eq!(
+            fb.next_payload(),
+            Err(FrameError::Oversized {
+                len: MAX_REQUEST_FRAME_BYTES + 1,
+                cap: MAX_REQUEST_FRAME_BYTES
+            })
+        );
+        // A frame exactly at the cap is fine.
+        let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+        let mut frame = MAGIC.to_vec();
+        frame.extend_from_slice(&(MAX_REQUEST_FRAME_BYTES as u32).to_le_bytes());
+        frame.extend_from_slice(&vec![0u8; MAX_REQUEST_FRAME_BYTES]);
+        fb.extend(&frame);
+        assert!(fb.next_payload().unwrap().is_some());
+    }
+
+    #[test]
+    fn bad_magic_is_reported_on_the_first_mismatching_byte() {
+        // "QUERY..." diverges from PFRM at byte 0.
+        let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+        fb.extend(b"Q");
+        assert_eq!(fb.next_payload(), Err(FrameError::BadMagic));
+        // "PF" is still a plausible prefix; "PFX" is not.
+        let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+        fb.extend(b"PF");
+        assert_eq!(fb.next_payload().unwrap(), None);
+        fb.extend(b"X");
+        assert_eq!(fb.next_payload(), Err(FrameError::BadMagic));
+        assert!(could_be_frame(b""));
+        assert!(could_be_frame(b"P"));
+        assert!(could_be_frame(b"PFRM"));
+        assert!(!could_be_frame(b"GET "));
+        assert!(!could_be_frame(b"PFRMx"));
+    }
+
+    #[test]
+    fn corrupt_payload_still_yields_its_id() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u64(0x1234);
+        enc.u8(200); // unknown tag
+        let payload = enc.into_inner();
+        assert!(matches!(decode_request(&payload), Err(FrameError::Corrupt(_))));
+        assert_eq!(payload_id(&payload), 0x1234);
+        assert_eq!(payload_id(&[1, 2, 3]), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_query_requests_roundtrip(
+            user in 0u32..1000,
+            k in 0usize..64,
+            timeout in 0u64..10_000_000,
+            backend in 0usize..5,
+        ) {
+            let backends = [
+                None,
+                Some(EngineBackend::Exact),
+                Some(EngineBackend::Mc),
+                Some(EngineBackend::IndexEst),
+                Some(EngineBackend::Auto),
+            ];
+            let request = Request::Query(QueryRequest {
+                user,
+                k,
+                timeout_us: if timeout == 0 { None } else { Some(timeout) },
+                backend: backends[backend],
+            });
+            let (id, decoded) =
+                decode_request(&encode_request(user as u64, &request)[HEADER_BYTES..]).unwrap();
+            prop_assert_eq!(id, user as u64);
+            prop_assert_eq!(decoded, request);
+        }
+
+        #[test]
+        fn prop_ok_replies_roundtrip(
+            id in 0u64..u64::MAX,
+            user in 0u32..1000,
+            k in 0usize..64,
+            tags in proptest::collection::vec(0u32..100_000, 0..32),
+            spread in 0.0f64..1e9,
+            cached in 0u8..2,
+            us in 0u64..100_000_000,
+        ) {
+            let response =
+                Response::Ok(QueryReply { user, k, tags, spread, cached: cached != 0, us });
+            let (got_id, decoded) =
+                decode_response(&encode_response(id, &response)[HEADER_BYTES..]).unwrap();
+            prop_assert_eq!(got_id, id);
+            prop_assert_eq!(decoded, WireReply::Response(response));
+        }
+
+        #[test]
+        fn prop_fragmented_streams_never_lose_frames(
+            ids in proptest::collection::vec(0u64..1000, 1..8),
+            chunk in 1usize..16,
+        ) {
+            let mut stream = Vec::new();
+            for &id in &ids {
+                stream.extend_from_slice(&encode_request(id, &Request::Ping));
+            }
+            let mut fb = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+            let mut seen = Vec::new();
+            for piece in stream.chunks(chunk) {
+                fb.extend(piece);
+                while let Some(payload) = fb.next_payload().unwrap() {
+                    seen.push(decode_request(&payload).unwrap().0);
+                }
+            }
+            prop_assert_eq!(seen, ids);
+        }
+    }
+}

@@ -83,6 +83,7 @@
 //! ```
 
 pub mod client;
+pub mod frame;
 pub mod http;
 pub mod protocol;
 pub mod server;

@@ -38,6 +38,9 @@
 //! sweep runs after the swap, so the stale-insert race is closed from both
 //! sides.
 
+use crate::frame::{
+    self, could_be_frame, FrameBuf, FrameError, MAX_REQUEST_FRAME_BYTES,
+};
 use crate::http;
 use crate::protocol::{
     CaptureAction, ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, ReloadReply,
@@ -61,13 +64,15 @@ use pitex_support::obs::{
 };
 use pitex_support::stats::{LatencyHistogram, OnlineStats};
 use std::collections::BTreeSet;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, Cursor, ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+mod event_loop;
 
 /// Tuning knobs for [`Server::spawn`].
 #[derive(Clone, Debug)]
@@ -98,6 +103,13 @@ pub struct ServeOptions {
     /// `PITEX_OBS_CAPTURE` / `PITEX_OBS_CAPTURE_RATE` from the
     /// environment at spawn.
     pub capture: Option<CaptureOptions>,
+    /// Whether the readiness-driven event-loop front end accepts
+    /// connections (binary `PFRM` clients stay on the loop; text and HTTP
+    /// clients are handed to classic per-connection threads). `None` reads
+    /// `PITEX_SERVE_EVENT_LOOP` from the environment (default on); either
+    /// way the server falls back to the thread-per-connection acceptor on
+    /// platforms without epoll.
+    pub event_loop: Option<bool>,
 }
 
 impl Default for ServeOptions {
@@ -111,6 +123,7 @@ impl Default for ServeOptions {
             repair: RepairOptions::default(),
             wal: None,
             capture: None,
+            event_loop: None,
         }
     }
 }
@@ -133,7 +146,29 @@ struct Job {
     /// When the connection enqueued the job — the worker reports the
     /// dequeue delta back as the `queue` trace span.
     enqueued: Instant,
-    reply: mpsc::SyncSender<WorkerReply>,
+    reply: ReplySink,
+}
+
+/// Where a worker's answer goes: back to a blocked connection thread
+/// (text protocol, `EXPLAIN`/`TRACE`, the blocking binary loop), or into
+/// the event loop's completion queue (pipelined binary connections, which
+/// never block a thread per in-flight request).
+enum ReplySink {
+    Sync(mpsc::SyncSender<WorkerReply>),
+    Event(event_loop::EventSink),
+}
+
+impl ReplySink {
+    fn deliver(self, reply: WorkerReply) {
+        match self {
+            // The receiver may be gone (connection died mid-request);
+            // dropping the reply is correct either way.
+            ReplySink::Sync(tx) => {
+                let _ = tx.try_send(reply);
+            }
+            ReplySink::Event(sink) => sink.deliver(reply),
+        }
+    }
 }
 
 enum WorkerReply {
@@ -168,6 +203,10 @@ struct Counters {
     deadline_exceeded: Counter,
     errors: Counter,
     worker_panics: Counter,
+    /// Completed pipelined replies dropped because their connection closed
+    /// before they could be written (the work still ran; the answer had
+    /// nowhere to go).
+    conn_aborted: Counter,
     /// `UPDATE` ops accepted into the overlay since boot.
     updates_applied: Counter,
     /// Ops currently staged (mirrors `overlay.pending()` so `STATS` never
@@ -514,12 +553,22 @@ impl Server {
             );
         }
         {
+            // The readiness-driven event loop is the default front end; it
+            // falls back to the classic thread-per-connection acceptor when
+            // disabled (`PITEX_SERVE_EVENT_LOOP=0` / `ServeOptions`) or when
+            // the platform has no epoll.
+            let use_event_loop = shared.options.event_loop.unwrap_or_else(|| {
+                std::env::var("PITEX_SERVE_EVENT_LOOP").map(|v| v != "0").unwrap_or(true)
+            });
             let shared = shared.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("pitex-acceptor".to_string())
-                    .spawn(move || acceptor_loop(&shared, &listener, &job_tx))?,
-            );
+            let name = if use_event_loop { "pitex-evloop" } else { "pitex-acceptor" };
+            threads.push(std::thread::Builder::new().name(name.to_string()).spawn(move || {
+                if use_event_loop {
+                    event_loop::run(&shared, listener, &job_tx);
+                } else {
+                    acceptor_loop(&shared, &listener, &job_tx);
+                }
+            })?);
         }
         Ok(ServerHandle { addr, shared, threads: Mutex::new(threads) })
     }
@@ -588,26 +637,9 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, job_tx: &mpsc::Sy
                 let job_tx = job_tx.clone();
                 let conn = std::thread::Builder::new()
                     .name("pitex-conn".to_string())
-                    .spawn(move || connection_loop(&conn_shared, stream, &job_tx));
+                    .spawn(move || serve_connection(&conn_shared, stream, &job_tx));
                 match conn {
-                    Ok(handle) => {
-                        // Reap finished connection threads as we go so a
-                        // long-lived server over many short connections
-                        // does not accumulate JoinHandles forever.
-                        let mut conns = shared.connections.lock().unwrap();
-                        let mut live = Vec::with_capacity(conns.len() + 1);
-                        for conn in conns.drain(..) {
-                            if conn.is_finished() {
-                                if conn.join().is_err() {
-                                    shared.reaped_panic.store(true, Ordering::SeqCst);
-                                }
-                            } else {
-                                live.push(conn);
-                            }
-                        }
-                        live.push(handle);
-                        *conns = live;
-                    }
+                    Ok(handle) => register_connection(shared, handle),
                     Err(_) => { /* thread spawn failed: drop the connection */ }
                 }
             }
@@ -617,6 +649,277 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, job_tx: &mpsc::Sy
     }
     // Dropping our job_tx clone lets workers observe disconnect once every
     // connection thread has dropped theirs too.
+}
+
+/// Tracks a spawned connection thread for `join`, reaping the finished
+/// ones as it goes so a long-lived server over many short connections does
+/// not accumulate JoinHandles forever.
+fn register_connection(shared: &Arc<Shared>, handle: JoinHandle<()>) {
+    let mut conns = shared.connections.lock().unwrap();
+    let mut live = Vec::with_capacity(conns.len() + 1);
+    for conn in conns.drain(..) {
+        if conn.is_finished() {
+            if conn.join().is_err() {
+                shared.reaped_panic.store(true, Ordering::SeqCst);
+            }
+        } else {
+            live.push(conn);
+        }
+    }
+    live.push(handle);
+    *conns = live;
+}
+
+/// What the first bytes of a fresh connection revealed about its protocol.
+enum Sniffed {
+    /// The 4-byte `PFRM` magic: a binary pipelined client. Carries the
+    /// sniffed bytes — they are the head of the first frame.
+    Binary(Vec<u8>),
+    /// Anything else — the text protocol or an HTTP `GET`. Carries the
+    /// sniffed bytes to re-chain in front of the stream.
+    Text(Vec<u8>),
+    /// Closed (or the server is stopping) before the protocol was decided.
+    Closed,
+}
+
+/// Reads at most 4 bytes to classify a connection's protocol. One
+/// mismatching byte decides `Text` immediately, so a text client's first
+/// request is never delayed waiting for 4 bytes to accumulate.
+fn sniff(shared: &Shared, mut stream: &TcpStream) -> Sniffed {
+    let mut buf = [0u8; 4];
+    let mut got = 0;
+    loop {
+        if !could_be_frame(&buf[..got]) {
+            return Sniffed::Text(buf[..got].to_vec());
+        }
+        if got == buf.len() {
+            return Sniffed::Binary(buf.to_vec());
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 { Sniffed::Closed } else { Sniffed::Text(buf[..got].to_vec()) }
+            }
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Sniffed::Closed;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Sniffed::Closed,
+        }
+    }
+}
+
+/// Entry point of a thread-per-connection client: sniff the protocol from
+/// the first bytes, then run the matching loop.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncSender<Job>) {
+    // Short read timeouts keep the thread responsive to shutdown while the
+    // client is idle.
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    match sniff(shared, &stream) {
+        Sniffed::Binary(head) => binary_connection_loop(shared, stream, head, job_tx),
+        Sniffed::Text(head) => connection_loop(shared, stream, head, job_tx),
+        Sniffed::Closed => {}
+    }
+}
+
+/// Reads an env knob that is a positive integer, with a default.
+fn env_knob(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0).unwrap_or(default)
+}
+
+/// Max `IoSlice`s handed to one `write_vectored` call
+/// (`PITEX_SERVE_WRITEV_BATCH`). Linux caps a single writev at `IOV_MAX`
+/// (1024) slices; staying well under it keeps each syscall's copy bounded.
+fn writev_batch() -> usize {
+    env_knob("PITEX_SERVE_WRITEV_BATCH", 64)
+}
+
+/// Writes every frame, vectored, at most `batch` slices per syscall.
+/// On failure returns how many frames were **not** fully written — they are
+/// completed replies with nowhere to go, which the caller books under
+/// `conn_aborted`.
+fn write_frames(writer: &mut impl Write, frames: &[Vec<u8>], batch: usize) -> Result<(), usize> {
+    let mut idx = 0; // first frame not fully written
+    let mut off = 0; // bytes of frames[idx] already written
+    while idx < frames.len() {
+        let mut slices = Vec::with_capacity(batch.min(frames.len() - idx));
+        slices.push(IoSlice::new(&frames[idx][off..]));
+        for frame in frames[idx + 1..].iter().take(batch - 1) {
+            slices.push(IoSlice::new(frame));
+        }
+        let mut written = match writer.write_vectored(&slices) {
+            Ok(0) => return Err(frames.len() - idx),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(frames.len() - idx),
+        };
+        while written > 0 {
+            let remaining = frames[idx].len() - off;
+            if written >= remaining {
+                written -= remaining;
+                idx += 1;
+                off = 0;
+            } else {
+                off += written;
+                written = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The blocking binary-protocol loop: the pipelined `PFRM` path for
+/// servers running without the event loop (env-disabled or no epoll).
+///
+/// Each pass handles one readable **burst**: every complete frame buffered
+/// so far is admitted in one sweep — queries are dispatched to the worker
+/// pool *concurrently* (their replies collected afterwards, preserving the
+/// pipelining win), other verbs are handled inline — and every completed
+/// reply is flushed with a single vectored write.
+fn binary_connection_loop(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    head: Vec<u8>,
+    job_tx: &mpsc::SyncSender<Job>,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let batch = writev_batch();
+    let mut frames = FrameBuf::new(MAX_REQUEST_FRAME_BYTES);
+    frames.extend(&head);
+    let mut reader = stream;
+    let mut buf = [0u8; 16 * 1024];
+    let mut snapshot = shared.store.current();
+    let mut eof = false;
+    loop {
+        // Re-pin the snapshot when a swap landed since the last burst.
+        if shared.store.epoch() != snapshot.epoch {
+            snapshot = shared.store.current();
+        }
+        // Admit the whole burst: dispatch every query before collecting
+        // any reply, so the pool works them in parallel.
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        let mut pending: Vec<(u64, QueryCtx, mpsc::Receiver<WorkerReply>)> = Vec::new();
+        let mut close = false;
+        while !close {
+            let payload = match frames.next_payload() {
+                Ok(Some(payload)) => payload,
+                Ok(None) => break,
+                Err(FrameError::Oversized { len, cap }) => {
+                    shared.counters.requests.inc();
+                    shared.counters.errors.inc();
+                    let response = Response::Err {
+                        code: ErrorCode::BadRequest,
+                        message: format!("frame payload of {len} bytes exceeds {cap} bytes"),
+                    };
+                    out.push(frame::encode_response(0, &response));
+                    close = true;
+                    break;
+                }
+                Err(_) => {
+                    // Desynchronized mid-stream: no reply can be framed
+                    // reliably, so just close.
+                    shared.counters.errors.inc();
+                    close = true;
+                    break;
+                }
+            };
+            match frame::decode_request(&payload) {
+                Ok((id, Request::Query(q))) => {
+                    shared.counters.requests.inc();
+                    match prepare_query(shared, &snapshot, &q) {
+                        PreparedQuery::Ready(response) => {
+                            out.push(frame::encode_response(id, &response));
+                        }
+                        PreparedQuery::Dispatch(ctx) => {
+                            let (reply_tx, reply_rx) = mpsc::sync_channel::<WorkerReply>(1);
+                            let job = Job {
+                                user: ctx.user,
+                                k: ctx.k,
+                                backend: ctx.resolved,
+                                deadline: ctx.deadline,
+                                enqueued: Instant::now(),
+                                reply: ReplySink::Sync(reply_tx),
+                            };
+                            match job_tx.try_send(job) {
+                                Ok(()) => pending.push((id, ctx, reply_rx)),
+                                Err(_) => {
+                                    out.push(frame::encode_response(
+                                        id,
+                                        &shed_query(shared, &ctx),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok((id, request)) => match handle_request(shared, &snapshot, request, job_tx) {
+                    Handled::Reply(response, close_after) => {
+                        out.push(frame::encode_response(id, &response));
+                        close |= close_after;
+                    }
+                    Handled::Raw(text) => out.push(frame::encode_raw_response(id, &text)),
+                },
+                Err(e) => {
+                    shared.counters.requests.inc();
+                    shared.counters.errors.inc();
+                    let response = Response::Err {
+                        code: ErrorCode::BadRequest,
+                        message: format!("malformed binary request: {e}"),
+                    };
+                    out.push(frame::encode_response(frame::payload_id(&payload), &response));
+                }
+            }
+        }
+        for (id, ctx, reply_rx) in pending {
+            let response = match reply_rx.recv() {
+                Ok(reply) => complete_query(shared, &ctx, reply),
+                Err(mpsc::RecvError) => abandoned_query(shared, &ctx),
+            };
+            out.push(frame::encode_response(id, &response));
+        }
+        if let Err(unflushed) = write_frames(&mut writer, &out, batch) {
+            // The client died mid-burst: the answers were computed but can
+            // never be delivered.
+            shared.counters.conn_aborted.add(unflushed as u64);
+            return;
+        }
+        if close || eof {
+            return;
+        }
+        // Refill: block (with the POLL timeout for stop checks) until the
+        // next burst arrives.
+        loop {
+            match reader.read(&mut buf) {
+                Ok(0) => {
+                    // Half-close: the client may still be reading replies,
+                    // so finish what is buffered before hanging up.
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    frames.extend(&buf[..n]);
+                    break;
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if shared.store.epoch() != snapshot.epoch {
+                        snapshot = shared.store.current();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
 }
 
 /// The background sampler: once per configured tick (`PITEX_OBS_TS_TICK_MS`)
@@ -716,7 +1019,7 @@ fn run_worker_epoch(
         if Instant::now() >= job.deadline {
             // The connection side counts the DEADLINE outcome when it
             // relays the reply — counting here too would double-book it.
-            let _ = job.reply.try_send(WorkerReply::Deadline);
+            job.reply.deliver(WorkerReply::Deadline);
             continue;
         }
         // Queue wait ends here: everything after (engine build included)
@@ -728,7 +1031,7 @@ fn run_worker_epoch(
                 Ok(engine) => engines[slot] = Some(engine),
                 Err(e) => {
                     shared.counters.errors.inc();
-                    let _ = job.reply.try_send(WorkerReply::Unavailable(e.to_string()));
+                    job.reply.deliver(WorkerReply::Unavailable(e.to_string()));
                     continue;
                 }
             }
@@ -767,21 +1070,24 @@ fn run_worker_epoch(
                 WorkerReply::Panicked
             }
         };
-        let _ = job.reply.try_send(reply);
+        job.reply.deliver(reply);
     }
 }
 
-fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, job_tx: &mpsc::SyncSender<Job>) {
-    // Short read timeouts keep the thread responsive to shutdown while the
-    // client is idle.
-    if stream.set_read_timeout(Some(POLL)).is_err() {
-        return;
-    }
+/// The classic blocking text/HTTP loop. `head` holds the bytes the sniffer
+/// consumed before deciding the protocol; chaining them in front of the
+/// stream makes the hand-off invisible to the line reader.
+fn connection_loop(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    head: Vec<u8>,
+    job_tx: &mpsc::SyncSender<Job>,
+) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(Cursor::new(head).chain(stream));
     let mut line = String::new();
     let mut snapshot = shared.store.current();
     loop {
@@ -889,6 +1195,24 @@ fn handle_line(
     line: &str,
     job_tx: &mpsc::SyncSender<Job>,
 ) -> Handled {
+    match Request::parse(line) {
+        Ok(request) => handle_request(shared, snapshot, request, job_tx),
+        Err(reason) => {
+            shared.counters.requests.inc();
+            shared.counters.errors.inc();
+            Handled::Reply(Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
+        }
+    }
+}
+
+/// Dispatches one parsed request — the shared verb switch behind the text
+/// loop, the blocking binary loop, and the event loop's slow lane.
+fn handle_request(
+    shared: &Arc<Shared>,
+    snapshot: &Snapshot,
+    request: Request,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Handled {
     shared.counters.requests.inc();
     let reply = |response, close| Handled::Reply(response, close);
     let denied = || {
@@ -896,44 +1220,42 @@ fn handle_line(
         let message = "admin verbs are disabled on this server".to_string();
         Handled::Reply(Response::Err { code: ErrorCode::AdminDenied, message }, false)
     };
-    match Request::parse(line) {
-        Ok(Request::Ping) => reply(Response::Pong, false),
-        Ok(Request::Quit) => reply(Response::Bye, true),
-        Ok(Request::Shutdown) => {
+    match request {
+        Request::Ping => reply(Response::Pong, false),
+        Request::Quit => reply(Response::Bye, true),
+        Request::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
             reply(Response::Bye, true)
         }
-        Ok(Request::Stats) => reply(Response::Stats(stats_reply(shared)), false),
-        Ok(Request::Metrics) => Handled::Raw(render_prometheus(stats_fields(shared).into_iter())),
-        Ok(Request::Series { field, res }) => reply(handle_series(shared, &field, res), false),
-        Ok(Request::Health) => reply(Response::Health(health_verdict(shared)), false),
-        Ok(Request::Query(q)) => reply(handle_query(shared, snapshot, q, job_tx), false),
-        Ok(Request::Explain(q)) => reply(handle_explain(shared, snapshot, q, job_tx), false),
-        Ok(Request::Trace(t)) => reply(handle_trace(shared, snapshot, t, job_tx), false),
-        Ok(
-            Request::Update(_)
-            | Request::Reload
-            | Request::Prepare
-            | Request::Commit
-            | Request::Epoch
-            | Request::Sync { .. }
-            | Request::Discard
-            | Request::Flight
-            | Request::Capture(_),
-        ) if !shared.options.admin => denied(),
-        Ok(Request::Update(op)) => reply(handle_update(shared, op), false),
-        Ok(Request::Reload) => reply(handle_reload(shared), false),
-        Ok(Request::Prepare) => reply(handle_prepare(shared), false),
-        Ok(Request::Commit) => reply(handle_commit(shared), false),
-        Ok(Request::Epoch) => reply(Response::Epoch(shared.store.epoch()), false),
-        Ok(Request::Sync { from_epoch }) => reply(handle_sync(shared, from_epoch), false),
-        Ok(Request::Discard) => reply(handle_discard(shared), false),
-        Ok(Request::Flight) => reply(handle_flight(shared), false),
-        Ok(Request::Capture(action)) => reply(handle_capture(shared, action), false),
-        Err(reason) => {
-            shared.counters.errors.inc();
-            reply(Response::Err { code: ErrorCode::BadRequest, message: reason }, false)
+        Request::Stats => reply(Response::Stats(stats_reply(shared)), false),
+        Request::Metrics => Handled::Raw(render_prometheus(stats_fields(shared).into_iter())),
+        Request::Series { field, res } => reply(handle_series(shared, &field, res), false),
+        Request::Health => reply(Response::Health(health_verdict(shared)), false),
+        Request::Query(q) => reply(handle_query(shared, snapshot, q, job_tx), false),
+        Request::Explain(q) => reply(handle_explain(shared, snapshot, q, job_tx), false),
+        Request::Trace(t) => reply(handle_trace(shared, snapshot, t, job_tx), false),
+        Request::Update(_)
+        | Request::Reload
+        | Request::Prepare
+        | Request::Commit
+        | Request::Epoch
+        | Request::Sync { .. }
+        | Request::Discard
+        | Request::Flight
+        | Request::Capture(_)
+            if !shared.options.admin =>
+        {
+            denied()
         }
+        Request::Update(op) => reply(handle_update(shared, op), false),
+        Request::Reload => reply(handle_reload(shared), false),
+        Request::Prepare => reply(handle_prepare(shared), false),
+        Request::Commit => reply(handle_commit(shared), false),
+        Request::Epoch => reply(Response::Epoch(shared.store.epoch()), false),
+        Request::Sync { from_epoch } => reply(handle_sync(shared, from_epoch), false),
+        Request::Discard => reply(handle_discard(shared), false),
+        Request::Flight => reply(handle_flight(shared), false),
+        Request::Capture(action) => reply(handle_capture(shared, action), false),
     }
 }
 
@@ -1109,7 +1431,7 @@ fn dispatch_job(
         backend: admitted.resolved,
         deadline: admitted.deadline,
         enqueued: Instant::now(),
-        reply: reply_tx,
+        reply: ReplySink::Sync(reply_tx),
     };
     match job_tx.try_send(job) {
         Ok(()) => {}
@@ -1142,16 +1464,37 @@ fn dispatch_job(
     }
 }
 
-fn handle_query(
+/// Everything a dispatched query's completion needs, detached from the
+/// connection thread so the event loop can finish queries on whatever
+/// thread the worker's reply lands on.
+pub(crate) struct QueryCtx {
+    trace_id: u64,
+    user: u32,
+    k: usize,
+    requested: &'static str,
+    resolved: EngineBackend,
+    accepted: Instant,
+    timeout: Duration,
+    deadline: Instant,
+}
+
+/// The admission half of `QUERY`: validate, plan, probe the cache. Either
+/// the answer is already in hand (errors and cache hits — counted and
+/// recorded), or the query is ready to dispatch to a worker.
+enum PreparedQuery {
+    Ready(Response),
+    Dispatch(QueryCtx),
+}
+
+fn prepare_query(
     shared: &Arc<Shared>,
     snapshot: &Snapshot,
-    q: crate::protocol::QueryRequest,
-    job_tx: &mpsc::SyncSender<Job>,
-) -> Response {
+    q: &crate::protocol::QueryRequest,
+) -> PreparedQuery {
     let trace_id = mint_trace_id();
     let requested = q.backend.map(|b| b.cli_name()).unwrap_or("-");
     let error = |code: ErrorCode, message: String| count_error(shared, code, message);
-    let admitted = match admit_query(shared, snapshot, &q, &error) {
+    let admitted = match admit_query(shared, snapshot, q, &error) {
         Ok(admitted) => admitted,
         Err(response) => {
             let outcome = outcome_of(&response);
@@ -1168,7 +1511,7 @@ fn handle_query(
                 &[],
                 0.0,
             );
-            return response;
+            return PreparedQuery::Ready(response);
         }
     };
     let (k, accepted) = (admitted.k, admitted.accepted);
@@ -1194,76 +1537,173 @@ fn handle_query(
             hit.tags.tags(),
             hit.spread,
         );
-        return Response::Ok(QueryReply {
+        return PreparedQuery::Ready(Response::Ok(QueryReply {
             user: q.user,
             k,
             tags: hit.tags.tags().to_vec(),
             spread: hit.spread,
             cached: true,
             us,
-        });
+        }));
     }
-
-    let JobDone { tags, spread, epoch, .. } = match dispatch_job(shared, &admitted, q.user, job_tx)
-    {
-        Ok(done) => done,
-        Err(response) => {
-            let us = accepted.elapsed().as_micros() as u64;
-            let outcome = outcome_of(&response);
-            record_request(
-                shared,
-                trace_id,
-                "QUERY",
-                q.user,
-                k,
-                requested,
-                backend,
-                outcome,
-                us,
-                &[],
-                0.0,
-            );
-            return response;
-        }
-    };
-    // Cache only results that are still current, and re-check after
-    // the insert: a swap (plus its invalidation sweep) could land
-    // between the pre-check and the insert, which would let a stale
-    // answer slip in *after* the sweep. If the post-insert check
-    // sees a newer epoch the entry is removed here; if the swap
-    // lands after the check instead, the sweep — which runs
-    // strictly after the epoch bump — removes it. One of the two
-    // always runs after the insert, so no stale entry survives.
-    if shared.store.epoch() == epoch {
-        shared.cache.insert(key, CachedAnswer { tags: tags.clone(), spread });
-        if shared.store.epoch() != epoch {
-            shared.cache.invalidate(&key);
-        }
-    }
-    shared.counters.ok.inc();
-    let us = accepted.elapsed().as_micros() as u64;
-    record_latency(shared, us);
-    record_request(
-        shared,
+    PreparedQuery::Dispatch(QueryCtx {
         trace_id,
-        "QUERY",
-        q.user,
-        k,
-        requested,
-        backend,
-        "ok",
-        us,
-        tags.tags(),
-        spread,
-    );
-    Response::Ok(QueryReply {
         user: q.user,
         k,
-        tags: tags.tags().to_vec(),
-        spread,
-        cached: false,
-        us,
+        requested,
+        resolved: admitted.resolved,
+        accepted,
+        timeout: admitted.timeout,
+        deadline: admitted.deadline,
     })
+}
+
+/// Books one failed-to-dispatch (full queue / draining pool) query: the
+/// `BUSY` shed, counted and recorded.
+fn shed_query(shared: &Shared, ctx: &QueryCtx) -> Response {
+    shared.counters.busy.inc();
+    let us = ctx.accepted.elapsed().as_micros() as u64;
+    record_request(
+        shared,
+        ctx.trace_id,
+        "QUERY",
+        ctx.user,
+        ctx.k,
+        ctx.requested,
+        ctx.resolved.cli_name(),
+        "busy",
+        us,
+        &[],
+        0.0,
+    );
+    Response::Busy
+}
+
+/// The completion half of `QUERY`: turn the worker's reply into the wire
+/// response, with the two-sided epoch-checked cache insert, counting,
+/// latency booking, and the flight/capture record.
+fn complete_query(shared: &Shared, ctx: &QueryCtx, reply: WorkerReply) -> Response {
+    let backend = ctx.resolved.cli_name();
+    if let WorkerReply::Done { tags, spread, epoch, .. } = reply {
+        // Cache only results that are still current, and re-check after
+        // the insert: a swap (plus its invalidation sweep) could land
+        // between the pre-check and the insert, which would let a stale
+        // answer slip in *after* the sweep. If the post-insert check
+        // sees a newer epoch the entry is removed here; if the swap
+        // lands after the check instead, the sweep — which runs
+        // strictly after the epoch bump — removes it. One of the two
+        // always runs after the insert, so no stale entry survives.
+        let key = (ctx.user, ctx.k, ctx.resolved);
+        if shared.store.epoch() == epoch {
+            shared.cache.insert(key, CachedAnswer { tags: tags.clone(), spread });
+            if shared.store.epoch() != epoch {
+                shared.cache.invalidate(&key);
+            }
+        }
+        shared.counters.ok.inc();
+        let us = ctx.accepted.elapsed().as_micros() as u64;
+        record_latency(shared, us);
+        record_request(
+            shared,
+            ctx.trace_id,
+            "QUERY",
+            ctx.user,
+            ctx.k,
+            ctx.requested,
+            backend,
+            "ok",
+            us,
+            tags.tags(),
+            spread,
+        );
+        return Response::Ok(QueryReply {
+            user: ctx.user,
+            k: ctx.k,
+            tags: tags.tags().to_vec(),
+            spread,
+            cached: false,
+            us,
+        });
+    }
+    let response = match reply {
+        WorkerReply::Deadline => count_error(
+            shared,
+            ErrorCode::Deadline,
+            format!("deadline of {:?} elapsed while queued", ctx.timeout),
+        ),
+        WorkerReply::Panicked => {
+            count_error(shared, ErrorCode::Internal, "query execution panicked".to_string())
+        }
+        WorkerReply::Unavailable(message) => Response::Err { code: ErrorCode::Internal, message },
+        WorkerReply::Done { .. } => unreachable!("handled above"),
+    };
+    let us = ctx.accepted.elapsed().as_micros() as u64;
+    record_request(
+        shared,
+        ctx.trace_id,
+        "QUERY",
+        ctx.user,
+        ctx.k,
+        ctx.requested,
+        backend,
+        outcome_of(&response),
+        us,
+        &[],
+        0.0,
+    );
+    response
+}
+
+/// The shutdown race: every worker exited while this query was in flight.
+fn abandoned_query(shared: &Shared, ctx: &QueryCtx) -> Response {
+    let response =
+        count_error(shared, ErrorCode::Internal, "server is shutting down".to_string());
+    let us = ctx.accepted.elapsed().as_micros() as u64;
+    record_request(
+        shared,
+        ctx.trace_id,
+        "QUERY",
+        ctx.user,
+        ctx.k,
+        ctx.requested,
+        ctx.resolved.cli_name(),
+        outcome_of(&response),
+        us,
+        &[],
+        0.0,
+    );
+    response
+}
+
+fn handle_query(
+    shared: &Arc<Shared>,
+    snapshot: &Snapshot,
+    q: crate::protocol::QueryRequest,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Response {
+    let ctx = match prepare_query(shared, snapshot, &q) {
+        PreparedQuery::Ready(response) => return response,
+        PreparedQuery::Dispatch(ctx) => ctx,
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<WorkerReply>(1);
+    let job = Job {
+        user: ctx.user,
+        k: ctx.k,
+        backend: ctx.resolved,
+        deadline: ctx.deadline,
+        enqueued: Instant::now(),
+        reply: ReplySink::Sync(reply_tx),
+    };
+    match job_tx.try_send(job) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+            return shed_query(shared, &ctx);
+        }
+    }
+    match reply_rx.recv() {
+        Ok(reply) => complete_query(shared, &ctx, reply),
+        Err(mpsc::RecvError) => abandoned_query(shared, &ctx),
+    }
 }
 
 /// `EXPLAIN`: run the query exactly like `QUERY` would, but bypass the
@@ -2047,6 +2487,7 @@ fn stats_fields(shared: &Shared) -> Vec<(String, String)> {
     fields.push("deadline", c.deadline_exceeded.get());
     fields.push("errors", c.errors.get());
     fields.push("worker_panics", c.worker_panics.get());
+    fields.push("conn_aborted", c.conn_aborted.get());
     fields.push("cache_hits", cache.hits);
     fields.push("cache_misses", cache.misses);
     fields.push("cache_insertions", cache.insertions);
@@ -2083,6 +2524,7 @@ fn stats_fields(shared: &Shared) -> Vec<(String, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::QueryRequest;
     use pitex_core::PitexConfig;
     use pitex_model::TicModel;
 
@@ -2605,6 +3047,221 @@ mod tests {
             panic!("expected OK")
         };
         assert!(second.cached, "k=99 and k=4 share a cache entry");
+        server.stop().unwrap();
+    }
+
+    /// Reads exactly one binary reply frame off a raw stream. The caller
+    /// owns `frames` so bytes of a *second* frame arriving in the same
+    /// read are kept for the next call, not dropped with a local buffer.
+    fn read_frame(
+        stream: &mut TcpStream,
+        frames: &mut crate::frame::FrameBuf,
+    ) -> Option<(u64, crate::frame::WireReply)> {
+        use std::io::Read;
+        loop {
+            if let Some(payload) = frames.next_payload().unwrap() {
+                return Some(crate::frame::decode_response(&payload).unwrap());
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => frames.extend(&chunk[..n]),
+                Err(e) => panic!("read failed mid-frame: {e}"),
+            }
+        }
+    }
+
+    fn binary_roundtrips(options: ServeOptions) {
+        let server = Server::spawn(paper_handle(), ("127.0.0.1", 0), options).unwrap();
+        let mut client = crate::client::ServeClient::connect_binary(server.addr()).unwrap();
+        client.ping().unwrap();
+        let Response::Ok(reply) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+        assert_eq!(reply.tags, vec![2, 3], "Fig. 2 ground truth over the binary wire");
+        assert!(!reply.cached);
+        let Response::Ok(reply) = client.query(0, 2).unwrap() else { panic!("expected OK") };
+        assert!(reply.cached);
+        // Non-query verbs answer over the same connection: typed STATS and
+        // the raw METRICS exposition.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get_u64("ok"), Some(2));
+        assert_eq!(stats.get_u64("conn_aborted"), Some(0));
+        let text = client.metrics().unwrap();
+        assert!(text.contains("pitex_requests"), "{text}");
+        assert!(text.trim_end().ends_with("# EOF"), "exposition keeps its terminator");
+        client.ping().unwrap();
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn binary_protocol_round_trips_on_the_event_loop() {
+        binary_roundtrips(ServeOptions { event_loop: Some(true), ..ServeOptions::default() });
+    }
+
+    #[test]
+    fn binary_protocol_round_trips_on_the_blocking_acceptor() {
+        binary_roundtrips(ServeOptions { event_loop: Some(false), ..ServeOptions::default() });
+    }
+
+    #[test]
+    fn pipelined_batch_returns_every_reply_in_request_order() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut client = crate::client::ServeClient::connect_binary(server.addr()).unwrap();
+        let mut batch = vec![Request::Ping];
+        for user in 0..4 {
+            batch.push(Request::Query(QueryRequest::new(user, 2)));
+        }
+        batch.push(Request::Ping);
+        let replies = client.pipeline(&batch).unwrap();
+        assert_eq!(replies.len(), batch.len());
+        assert_eq!(replies[0], Response::Pong);
+        assert_eq!(replies[5], Response::Pong);
+        for (user, reply) in replies[1..5].iter().enumerate() {
+            match reply {
+                Response::Ok(ok) => assert_eq!(ok.user, user as u32),
+                Response::Err { code, .. } => {
+                    // Users past the paper model's population are unknown —
+                    // the error still lands in this request's slot.
+                    assert_eq!(*code, ErrorCode::UnknownUser, "user {user}");
+                }
+                other => panic!("unexpected reply for user {user}: {other:?}"),
+            }
+        }
+        // The same batch again: the known users now hit the cache.
+        let again = client.pipeline(&batch).unwrap();
+        for reply in &again[1..5] {
+            if let Response::Ok(ok) = reply {
+                assert!(ok.cached);
+            }
+        }
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn text_and_binary_clients_share_one_port() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut text = TcpStream::connect(server.addr()).unwrap();
+        let mut binary = crate::client::ServeClient::connect_binary(server.addr()).unwrap();
+        // Interleave: text, binary, text, binary on concurrently open
+        // connections.
+        assert_eq!(roundtrip(&mut text, "PING"), Response::Pong);
+        let Response::Ok(from_binary) = binary.query(0, 2).unwrap() else { panic!("expected OK") };
+        assert_eq!(from_binary.tags, vec![2, 3]);
+        let Response::Ok(from_text) = roundtrip(&mut text, "QUERY 0 2") else {
+            panic!("expected OK")
+        };
+        assert_eq!(from_text.tags, vec![2, 3]);
+        assert!(from_text.cached, "the binary client's answer is shared via the cache");
+        binary.ping().unwrap();
+        assert_eq!(roundtrip(&mut text, "QUIT"), Response::Bye);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_answers_one_err_and_disconnects() {
+        use std::io::Write;
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let oversized = (MAX_REQUEST_FRAME_BYTES + 1) as u32;
+        let mut header = Vec::from(crate::frame::MAGIC);
+        header.extend_from_slice(&oversized.to_le_bytes());
+        stream.write_all(&header).unwrap();
+        let mut frames = crate::frame::FrameBuf::new(crate::frame::MAX_REPLY_FRAME_BYTES);
+        let (id, reply) = read_frame(&mut stream, &mut frames).expect("one ERR before the cut");
+        assert_eq!(id, 0, "no request id is recoverable from an oversized frame");
+        match reply {
+            crate::frame::WireReply::Response(Response::Err { code, .. }) => {
+                assert_eq!(code, ErrorCode::BadRequest)
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        assert!(
+            read_frame(&mut stream, &mut frames).is_none(),
+            "server hangs up after the oversized frame"
+        );
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn near_magic_garbage_falls_back_to_text() {
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        // "PF" matches the magic's first two bytes; the third diverges, so
+        // the sniffer must route the connection to the text protocol —
+        // which then rejects the line as an unknown verb.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let Response::Err { code, .. } = roundtrip(&mut stream, "PFOO") else {
+            panic!("expected ERR")
+        };
+        assert_eq!(code, ErrorCode::BadRequest);
+        // The connection is still a working text session.
+        assert_eq!(roundtrip(&mut stream, "PING"), Response::Pong);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn binary_quit_flushes_bye_then_closes() {
+        use std::io::Write;
+        let server =
+            Server::spawn(paper_handle(), ("127.0.0.1", 0), ServeOptions::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(&frame::encode_request(7, &Request::Ping)).unwrap();
+        stream.write_all(&frame::encode_request(8, &Request::Quit)).unwrap();
+        let mut frames = crate::frame::FrameBuf::new(crate::frame::MAX_REPLY_FRAME_BYTES);
+        let (id, _) = read_frame(&mut stream, &mut frames).unwrap();
+        assert_eq!(id, 7);
+        let (id, reply) = read_frame(&mut stream, &mut frames).unwrap();
+        assert_eq!(id, 8);
+        assert!(matches!(reply, crate::frame::WireReply::Response(Response::Bye)));
+        assert!(
+            read_frame(&mut stream, &mut frames).is_none(),
+            "QUIT closes after the flush"
+        );
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn dying_connection_counts_its_orphaned_replies() {
+        use std::io::Write;
+        // Slow every query down so the client is certain to be gone before
+        // the single worker finishes the burst.
+        std::env::set_var("PITEX_OBS_STALL_US", "100000");
+        let server = Server::spawn(
+            paper_handle(),
+            ("127.0.0.1", 0),
+            ServeOptions { workers: 1, ..ServeOptions::default() },
+        )
+        .unwrap();
+        std::env::remove_var("PITEX_OBS_STALL_US");
+        {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            let mut burst = Vec::new();
+            for (id, user) in [(1u64, 0u32), (2, 1), (3, 2), (4, 3)] {
+                burst.extend_from_slice(&frame::encode_request(
+                    id,
+                    &Request::Query(QueryRequest::new(user, 2)),
+                ));
+            }
+            stream.write_all(&burst).unwrap();
+            // Drop the connection with the whole burst still in flight.
+        }
+        let mut probe = crate::client::ServeClient::connect_binary(server.addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = probe.stats().unwrap();
+            let aborted = stats.get_u64("conn_aborted").unwrap();
+            let settled = stats.get_u64("ok").unwrap() + stats.get_u64("errors").unwrap() >= 4;
+            if settled && aborted >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "orphaned replies never surfaced: aborted={aborted} stats={stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
         server.stop().unwrap();
     }
 }

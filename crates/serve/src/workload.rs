@@ -217,11 +217,13 @@ pub struct Replay {
     /// Re-issue every `trace_every`-th query as `TRACE` and fold its span
     /// timeline into the per-phase attribution (`0` disables tracing).
     pub trace_every: usize,
+    /// Speak the `PFRM` binary frame protocol instead of text lines.
+    pub binary: bool,
 }
 
 impl Default for Replay {
     fn default() -> Self {
-        Self { conns: 4, verify: false, trace_every: 16 }
+        Self { conns: 4, verify: false, trace_every: 16, binary: false }
     }
 }
 
@@ -444,7 +446,7 @@ impl Replay {
         _t0: Instant,
         latency: &AtomicHistogram,
     ) -> std::io::Result<WorkerStats> {
-        let mut client = ServeClient::connect(addr)?;
+        let mut client = ServeClient::connect_with(addr, None, self.binary)?;
         let mut stats = WorkerStats::default();
         loop {
             let job = rx.lock().expect("replay queue poisoned").recv();

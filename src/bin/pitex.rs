@@ -138,11 +138,12 @@ USAGE:
                [--dirty-threshold F] [--no-admin] [--wal DIR]
   pitex update --model FILE --out FILE (--ops FILE | --op \"SET_EDGE 0 1 0:0.9\")
                [--index FILE --index-out FILE [--dirty-threshold F]]
-  pitex client --addr HOST:PORT (--user N --k N [--timeout-us N] [--repeat N]
+  pitex client --addr HOST:PORT [--binary] (--user N --k N [--timeout-us N] [--repeat N]
                [--backend NAME] [--explain] [--trace]
                | --stats [--json] | --metrics | --flight | --ping | --shutdown
                | --update \"OP...\" | --admin epoch|reload
-               | --bench [--clients N] [--requests N] [--user N] [--k N] [--backend NAME])
+               | --bench [--clients N] [--requests N] [--user N] [--k N]
+                 [--backend NAME] [--pipeline N])
   pitex shardmap (--out FILE --replicas \"A:P,A:P;A:P,A:P\" [--seed N] [--binary]
                | --map FILE [--user N])
   pitex router --map FILE [--port N] [--max-in-flight N] [--idle-conns N]
@@ -153,7 +154,8 @@ USAGE:
   pitex replay --addr HOST:PORT (--log FILE [--speed F] [--verify]
                | --rate F [--requests N] [--users N] [--zipf F] [--burst N]
                  [--update-every N] [--k N] [--seed N])
-               [--conns N] [--trace-every N] [--backend NAME] [--timeout-us N] [--json]
+               [--conns N] [--trace-every N] [--backend NAME] [--timeout-us N]
+               [--binary] [--json]
 
 OBSERVABILITY: `client --trace` runs one traced query and prints its span
           timeline (through a router: `shard.*` spans show the hop);
@@ -197,6 +199,13 @@ BACKENDS (--backend / --method): lazy (default), mc, rr, tim, exact, lt,
 SHARDMAP: --replicas lists shards separated by ';', each shard its replica
           addresses separated by ','. A router is a drop-in single server:
           point `pitex client` at it unchanged.
+
+WIRE:     `client --binary` / `replay --binary` (or PITEX_CLIENT_BINARY=1)
+          speak the pipelined PFRM binary frame protocol; servers and
+          routers auto-detect text, binary and HTTP per connection on one
+          port. The router->shard hop is binary by default
+          (PITEX_CLUSTER_BINARY=0 reverts it). `client --bench
+          --binary --pipeline N` keeps N queries in flight per connection.
 
 WAL:      `serve --wal DIR` persists every acknowledged UPDATE to an
           epoch-stamped log (fsynced before the ack); a restart replays it
@@ -514,7 +523,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
         admin: !opts.contains_key("no-admin"),
         repair: repair_from_opts(opts)?,
         wal: opts.get("wal").map(std::path::PathBuf::from),
-        capture: None, // read PITEX_OBS_CAPTURE from the environment
+        capture: None,    // read PITEX_OBS_CAPTURE from the environment
+        event_loop: None, // read PITEX_SERVE_EVENT_LOOP from the environment
     };
     let server = Server::spawn(handle, ("127.0.0.1", port), options.clone())
         .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
@@ -1038,6 +1048,7 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
             .map(|s| parse(s, "--trace-every"))
             .transpose()?
             .unwrap_or(16),
+        binary: binary_wire(opts),
     };
     let report = replay.run(addr, &items).map_err(|e| format!("replay failed: {e}"))?;
     if opts.contains_key("json") {
@@ -1142,9 +1153,20 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Whether a serving-side command should speak the `PFRM` binary frames:
+/// the `--binary` flag, or `PITEX_CLIENT_BINARY` (any value but `0`).
+fn binary_wire(opts: &Opts) -> bool {
+    opts.contains_key("binary")
+        || std::env::var("PITEX_CLIENT_BINARY").map(|v| v != "0").unwrap_or(false)
+}
+
 fn cmd_client(opts: &Opts) -> Result<(), CliError> {
     let addr = want(opts, "addr")?;
-    let connect = || ServeClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"));
+    let binary = binary_wire(opts);
+    let connect = || {
+        ServeClient::connect_with(addr, None, binary)
+            .map_err(|e| format!("connecting to {addr}: {e}"))
+    };
 
     if opts.contains_key("ping") {
         connect()?.ping().map_err(|e| e.to_string())?;
@@ -1254,6 +1276,12 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
             k: opts.get("k").map(|s| parse(s, "--k")).transpose()?.unwrap_or(2),
             timeout_us: opts.get("timeout-us").map(|s| parse(s, "--timeout-us")).transpose()?,
             backend: backend_override,
+            binary,
+            pipeline: opts
+                .get("pipeline")
+                .map(|s| parse(s, "--pipeline"))
+                .transpose()?
+                .unwrap_or(1),
         };
         let report = gen.run(addr).map_err(|e| format!("load generation: {e}"))?;
         outln!(

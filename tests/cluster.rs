@@ -11,7 +11,9 @@
 
 use pitex::cluster::{Router, RouterHandle, RouterOptions, ShardMap};
 use pitex::prelude::*;
-use pitex::serve::{ErrorCode, Response, ServeClient, ServeOptions, Server, ServerHandle};
+use pitex::serve::{
+    ErrorCode, Request, Response, ServeClient, ServeOptions, Server, ServerHandle,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,6 +68,53 @@ fn ground_truth(model: &TicModel) -> Vec<(Vec<u32>, f64)> {
             (r.tags.tags().to_vec(), r.spread)
         })
         .collect()
+}
+
+/// The router speaks `PFRM` on its one port exactly like a shard does: a
+/// binary client gets bit-identical routed answers (pipelined included),
+/// the scatter verbs work framed, and a text client sharing the port is
+/// untouched.
+#[test]
+fn binary_clients_speak_to_the_router_like_a_shard() {
+    let cluster = boot_cluster(2, 1);
+    let truth = ground_truth(&TicModel::paper_example());
+    let mut binary = ServeClient::connect_binary(cluster.router.addr()).unwrap();
+    let mut text = ServeClient::connect(cluster.router.addr()).unwrap();
+
+    binary.ping().unwrap();
+    for user in 0..USERS {
+        let Response::Ok(reply) = binary.query(user, 2).unwrap() else {
+            panic!("user {user}: expected OK over binary")
+        };
+        let (tags, spread) = &truth[user as usize];
+        assert_eq!(&reply.tags, tags, "user {user}: binary routed answer differs");
+        assert_eq!(reply.spread, *spread, "user {user}: spread must be bit-identical");
+    }
+
+    // One pipelined burst crossing both shards comes back in request order.
+    let batch: Vec<Request> =
+        (0..USERS).map(|u| Request::Query(pitex::serve::QueryRequest::new(u, 2))).collect();
+    let replies = binary.pipeline(&batch).unwrap();
+    assert_eq!(replies.len(), USERS as usize);
+    for (user, reply) in replies.iter().enumerate() {
+        let Response::Ok(ok) = reply else { panic!("user {user}: expected OK in pipeline") };
+        assert_eq!(ok.user, user as u32);
+        assert_eq!(&ok.tags, &truth[user].0, "user {user}: pipelined answer differs");
+    }
+
+    // Scatter verbs are framed too: STATS merges both shards, METRICS is
+    // the one Raw (multi-line) reply.
+    let stats = binary.stats().unwrap();
+    assert_eq!(stats.get_u64("shards"), Some(2));
+    assert_eq!(stats.get_u64("replicas_up"), Some(2));
+    let metrics = binary.metrics().unwrap();
+    assert!(metrics.contains("# EOF"), "binary METRICS carries the exposition terminator");
+
+    // The text client on the same port never noticed any of it.
+    let Response::Ok(reply) = text.query(0, 2).unwrap() else { panic!("text query must OK") };
+    assert_eq!(&reply.tags, &truth[0].0);
+    assert_eq!(text.request(&Request::Quit).unwrap(), Response::Bye);
+    cluster.stop();
 }
 
 #[test]

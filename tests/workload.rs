@@ -127,7 +127,7 @@ fn open_loop_tail_reflects_a_stall_the_closed_loop_hides() {
         ..SyntheticSchedule::default()
     }
     .build();
-    let replay = Replay { conns: 4, verify: false, trace_every: 0 };
+    let replay = Replay { conns: 4, verify: false, trace_every: 0, ..Replay::default() };
     let open = replay.run(spawn_stall_stub(50, STALL), &items).unwrap();
     assert_eq!(open.ok, 600);
     assert_eq!(open.errors, 0);
@@ -190,7 +190,7 @@ fn recorded_traffic_replays_and_verifies_bit_identically() {
     let comparable = items.iter().filter(|i| i.expect.is_some()).count() as u64;
     assert!(comparable > 0, "ok-outcome records must carry expectations");
 
-    let replay = Replay { conns: 2, verify: true, trace_every: 4 };
+    let replay = Replay { conns: 2, verify: true, trace_every: 4, ..Replay::default() };
     let report = replay.run(server.addr(), &items).unwrap();
     assert_eq!(report.sent, 6);
     assert_eq!(report.ok, 6);

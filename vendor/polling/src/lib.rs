@@ -1,0 +1,504 @@
+//! Vendored stand-in for the [`polling`](https://docs.rs/polling/3) crate:
+//! a portable readiness poller, here backed directly by Linux `epoll`.
+//!
+//! The subset mirrors `polling 3`'s public surface so swapping back to the
+//! registry version is a `Cargo.toml`-only change:
+//!
+//! * [`Poller::new`] / [`Poller::add`] / [`Poller::modify`] /
+//!   [`Poller::delete`] / [`Poller::wait`] / [`Poller::notify`]
+//! * [`Poller::add_with_mode`] / [`Poller::modify_with_mode`] with
+//!   [`PollMode::Oneshot`] and [`PollMode::Level`]
+//! * [`Event`] (`readable` / `writable` / `all` / `none` constructors plus
+//!   the `key`, `readable`, `writable` fields) and [`Events`]
+//!
+//! Semantics match the real crate: the default mode is **oneshot** — after
+//! a source delivers one event it stays registered but disarmed until the
+//! next [`Poller::modify`] — while [`PollMode::Level`] keeps the interest
+//! armed across deliveries, so a hot connection costs zero `epoll_ctl`
+//! re-arms per wake. [`Poller::notify`] wakes a concurrent
+//! [`Poller::wait`] from another thread (an `eventfd` under the hood);
+//! the wake-up itself is never surfaced as a user event.
+//!
+//! The epoll syscalls are declared directly against the platform libc the
+//! standard library already links — this crate has no dependencies. On
+//! non-Linux targets [`Poller::new`] returns an `Unsupported` error so
+//! callers can fall back to a threaded design.
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+/// Interest in (and readiness of) a single source, tagged with a caller
+/// chosen `key` that comes back verbatim in [`Events`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier for the source (connection slot, etc.).
+    pub key: usize,
+    /// Interest in / readiness for reading.
+    pub readable: bool,
+    /// Interest in / readiness for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Self {
+        Self { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Self {
+        Self { key, readable: false, writable: true }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Self {
+        Self { key, readable: true, writable: true }
+    }
+
+    /// No interest (keeps the source registered but disarmed).
+    pub fn none(key: usize) -> Self {
+        Self { key, readable: false, writable: false }
+    }
+}
+
+/// How long a registration stays armed (the `polling 3` subset we need).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PollMode {
+    /// Deliver one event, then disarm until the next
+    /// [`modify`](Poller::modify). The real crate's default.
+    Oneshot,
+    /// Stay armed: readiness is re-reported on every
+    /// [`wait`](Poller::wait) for as long as the condition holds. The
+    /// caller must drain (read/write to `WouldBlock` or until a short
+    /// read) or change interest, or the same event storms every wait.
+    Level,
+}
+
+/// A buffer of events filled by [`Poller::wait`].
+#[derive(Default)]
+pub struct Events {
+    items: Vec<Event>,
+}
+
+impl Events {
+    pub fn new() -> Self {
+        Self { items: Vec::with_capacity(1024) }
+    }
+
+    /// Iterates the events delivered by the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.items.iter().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLONESHOT: u32 = 1 << 30;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    /// The kernel ABI layout: packed on x86-64 (and harmlessly identical
+    /// to the aligned layout elsewhere).
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// The poller: an epoll instance plus an internal `eventfd` for
+/// [`notify`](Poller::notify) wake-ups.
+#[cfg(target_os = "linux")]
+pub struct Poller {
+    epfd: i32,
+    notify_fd: i32,
+}
+
+/// The key the internal notify `eventfd` is registered under; filtered out
+/// of every [`Poller::wait`] result.
+#[cfg(target_os = "linux")]
+const NOTIFY_KEY: u64 = u64::MAX;
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    /// Creates a poller. Fails only when the kernel refuses an epoll or
+    /// eventfd descriptor.
+    pub fn new() -> io::Result<Self> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let notify_fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if notify_fd < 0 {
+            let e = io::Error::last_os_error();
+            unsafe { sys::close(epfd) };
+            return Err(e);
+        }
+        // The notify fd is level-triggered and permanent — every wait can
+        // see it until the pending wake-ups are drained.
+        let mut ev = sys::EpollEvent { events: sys::EPOLLIN, data: NOTIFY_KEY };
+        if unsafe { sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, notify_fd, &mut ev) } < 0 {
+            let e = io::Error::last_os_error();
+            unsafe {
+                sys::close(notify_fd);
+                sys::close(epfd);
+            }
+            return Err(e);
+        }
+        Ok(Self { epfd, notify_fd })
+    }
+
+    fn interest_bits(interest: Event, mode: PollMode) -> u32 {
+        let mut bits = match mode {
+            PollMode::Oneshot => sys::EPOLLONESHOT | sys::EPOLLRDHUP,
+            // Level mode with *no* interest must be genuinely silent: a
+            // level-triggered RDHUP would storm every wait once the peer
+            // half-closes, exactly when the owner asked to hear nothing.
+            PollMode::Level if interest.readable || interest.writable => sys::EPOLLRDHUP,
+            PollMode::Level => 0,
+        };
+        if interest.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+
+    fn ctl(&self, op: i32, fd: i32, interest: Event, mode: PollMode) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: Self::interest_bits(interest, mode),
+            data: interest.key as u64,
+        };
+        if unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers a source under `interest.key`. Oneshot: after the first
+    /// delivered event the source must be re-armed with
+    /// [`modify`](Poller::modify).
+    ///
+    /// The real crate marks this `unsafe` because the caller must
+    /// [`delete`](Poller::delete) the source before dropping it; the
+    /// stand-in keeps the signature.
+    pub unsafe fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, source.as_raw_fd(), interest, PollMode::Oneshot)
+    }
+
+    /// [`add`](Poller::add) with an explicit [`PollMode`].
+    ///
+    /// # Safety
+    ///
+    /// As for [`add`](Poller::add): the source must be
+    /// [`delete`](Poller::delete)d before it is dropped.
+    pub unsafe fn add_with_mode(
+        &self,
+        source: &impl AsRawFd,
+        interest: Event,
+        mode: PollMode,
+    ) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, source.as_raw_fd(), interest, mode)
+    }
+
+    /// Re-arms (or changes interest in) a registered source.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, source.as_raw_fd(), interest, PollMode::Oneshot)
+    }
+
+    /// [`modify`](Poller::modify) with an explicit [`PollMode`].
+    pub fn modify_with_mode(
+        &self,
+        source: &impl AsRawFd,
+        interest: Event,
+        mode: PollMode,
+    ) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, source.as_raw_fd(), interest, mode)
+    }
+
+    /// Removes a source from the poller.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        if unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, source.as_raw_fd(), &mut ev) } < 0
+        {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Blocks until at least one source is ready, the timeout elapses, or
+    /// [`notify`](Poller::notify) is called. Returns the number of events
+    /// appended to `events` (which is cleared first).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 1ns timeout does not busy-spin as 0ms.
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32 + i32::from(t.subsec_nanos() % 1_000_000 != 0),
+            None => -1,
+        };
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let n = loop {
+            let n = unsafe {
+                sys::epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+            };
+            if n >= 0 {
+                break n as usize;
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        };
+        for ev in &buf[..n] {
+            let (bits, data) = (ev.events, ev.data);
+            if data == NOTIFY_KEY {
+                // Drain pending wake-ups; the notification itself is not a
+                // user event.
+                let mut count = 0u64;
+                unsafe {
+                    sys::read(self.notify_fd, &mut count as *mut u64 as *mut _, 8);
+                }
+                continue;
+            }
+            // Error/hangup conditions surface as readable+writable so the
+            // owner's next I/O attempt observes the failure directly.
+            let fail = bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+            events.items.push(Event {
+                key: data as usize,
+                readable: bits & sys::EPOLLIN != 0 || fail,
+                writable: bits & sys::EPOLLOUT != 0 || fail,
+            });
+        }
+        Ok(events.items.len())
+    }
+
+    /// Wakes a concurrent [`wait`](Poller::wait) from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let n = unsafe { sys::write(self.notify_fd, &one as *const u64 as *const _, 8) };
+        // EAGAIN means the counter is already saturated with wake-ups —
+        // the waiter is guaranteed to wake, which is all notify promises.
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::WouldBlock {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.notify_fd);
+            sys::close(self.epfd);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").field("epfd", &self.epfd).finish()
+    }
+}
+
+/// Non-Linux stub: construction fails, so callers fall back to their
+/// threaded path. The methods exist for type-compatibility only.
+#[cfg(not(target_os = "linux"))]
+#[derive(Debug)]
+pub struct Poller {
+    _unconstructible: (),
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Poller {
+    pub fn new() -> io::Result<Self> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "polling stand-in requires Linux epoll"))
+    }
+
+    pub unsafe fn add(&self, _source: &impl AsRawFd, _interest: Event) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed on this platform")
+    }
+
+    pub unsafe fn add_with_mode(
+        &self,
+        _source: &impl AsRawFd,
+        _interest: Event,
+        _mode: PollMode,
+    ) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed on this platform")
+    }
+
+    pub fn modify(&self, _source: &impl AsRawFd, _interest: Event) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed on this platform")
+    }
+
+    pub fn modify_with_mode(
+        &self,
+        _source: &impl AsRawFd,
+        _interest: Event,
+        _mode: PollMode,
+    ) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed on this platform")
+    }
+
+    pub fn delete(&self, _source: &impl AsRawFd) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed on this platform")
+    }
+
+    pub fn wait(&self, _events: &mut Events, _timeout: Option<Duration>) -> io::Result<usize> {
+        unreachable!("Poller cannot be constructed on this platform")
+    }
+
+    pub fn notify(&self) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed on this platform")
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn listener_readiness_is_delivered_once_per_arm() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        unsafe { poller.add(&listener, Event::readable(7)).unwrap() };
+
+        let mut events = Events::new();
+        // Nothing pending yet: the wait times out empty.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        // Oneshot: without a re-arm the pending accept is not re-reported.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+        poller.modify(&listener, Event::readable(7)).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        poller.delete(&listener).unwrap();
+    }
+
+    #[test]
+    fn stream_read_and_write_readiness() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+
+        // A fresh connected socket is writable but not readable.
+        unsafe { poller.add(&served, Event::all(3)).unwrap() };
+        let mut events = Events::new();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.writable && !ev.readable, "{ev:?}");
+
+        client.write_all(b"ping").unwrap();
+        poller.modify(&served, Event::readable(3)).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        assert!(events.iter().next().unwrap().readable);
+        let mut buf = [0u8; 8];
+        assert_eq!(served.read(&mut buf).unwrap(), 4);
+        poller.delete(&served).unwrap();
+    }
+
+    #[test]
+    fn level_mode_stays_armed_and_none_interest_is_silent() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+        unsafe { poller.add_with_mode(&served, Event::readable(9), PollMode::Level).unwrap() };
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Events::new();
+        // Level: the pending bytes are re-reported on every wait, with no
+        // re-arm in between.
+        for _ in 0..2 {
+            assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+            assert!(events.iter().next().unwrap().readable);
+        }
+        let mut buf = [0u8; 8];
+        assert_eq!(served.read(&mut buf).unwrap(), 4);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+
+        // No interest + a half-closed peer stays silent (no RDHUP storm);
+        // restoring interest surfaces the EOF as readable.
+        poller.modify_with_mode(&served, Event::none(9), PollMode::Level).unwrap();
+        drop(client);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+        poller.modify_with_mode(&served, Event::readable(9), PollMode::Level).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        assert!(events.iter().next().unwrap().readable);
+        poller.delete(&served).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_without_an_event() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = poller.clone();
+        let waiter = std::thread::spawn(move || {
+            let mut events = Events::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            (n, events.is_empty())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        waker.notify().unwrap();
+        let (n, empty) = waiter.join().unwrap();
+        assert_eq!(n, 0, "the wake-up is not a user event");
+        assert!(empty);
+    }
+}
