@@ -78,7 +78,11 @@ impl ServeClient {
         Self::dial(addr, timeout, binary)
     }
 
-    fn dial(addr: impl ToSocketAddrs, timeout: Option<Duration>, binary: bool) -> std::io::Result<Self> {
+    fn dial(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+        binary: bool,
+    ) -> std::io::Result<Self> {
         let mut last_err = None;
         for addr in addr.to_socket_addrs()? {
             match Self::open(addr, timeout) {
@@ -237,9 +241,8 @@ impl ServeClient {
             while pending > 0 {
                 let reply = self.read_any_reply()?;
                 let (id, wire) = reply;
-                let Some(slot) = id
-                    .checked_sub(first_id)
-                    .and_then(|off| replies.get_mut(off as usize))
+                let Some(slot) =
+                    id.checked_sub(first_id).and_then(|off| replies.get_mut(off as usize))
                 else {
                     continue; // stale id from an earlier abandoned request
                 };

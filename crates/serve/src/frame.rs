@@ -117,23 +117,32 @@ pub fn could_be_frame(prefix: &[u8]) -> bool {
 #[derive(Debug)]
 pub struct FrameBuf {
     buf: Vec<u8>,
+    /// Bytes of `buf` already consumed as frames. Advancing a cursor keeps
+    /// draining a buffered burst of n frames O(total bytes): the leftover
+    /// prefix is compacted once per `extend` (once per socket read), not
+    /// memmove-shifted once per frame.
+    pos: usize,
     cap: usize,
 }
 
 impl FrameBuf {
     /// A parser that rejects payloads longer than `cap` bytes.
     pub fn new(cap: usize) -> FrameBuf {
-        FrameBuf { buf: Vec::new(), cap }
+        FrameBuf { buf: Vec::new(), pos: 0, cap }
     }
 
     /// Append freshly read bytes.
     pub fn extend(&mut self, bytes: &[u8]) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
     /// Bytes buffered but not yet consumed as frames.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
     /// Extract the next complete payload, if one is fully buffered.
@@ -144,23 +153,27 @@ impl FrameBuf {
     ///   as soon as the first mismatching byte is seen.
     /// * `Err(Oversized)` — the declared length exceeds the cap.
     pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
-        if !could_be_frame(&self.buf[..self.buf.len().min(MAGIC.len())]) {
+        let pending = &self.buf[self.pos..];
+        if !could_be_frame(&pending[..pending.len().min(MAGIC.len())]) {
             return Err(FrameError::BadMagic);
         }
-        if self.buf.len() < HEADER_BYTES {
+        if pending.len() < HEADER_BYTES {
             return Ok(None);
         }
-        let len =
-            u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
+        let len = u32::from_le_bytes([pending[4], pending[5], pending[6], pending[7]]) as usize;
         if len > self.cap {
             return Err(FrameError::Oversized { len, cap: self.cap });
         }
         let total = HEADER_BYTES + len;
-        if self.buf.len() < total {
+        if pending.len() < total {
             return Ok(None);
         }
-        let payload = self.buf[HEADER_BYTES..total].to_vec();
-        self.buf.drain(..total);
+        let payload = pending[HEADER_BYTES..total].to_vec();
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
         Ok(Some(payload))
     }
 }
@@ -207,10 +220,7 @@ fn decode_query_body(dec: &mut Decoder<&[u8]>) -> Result<QueryRequest, FrameErro
         0 => None,
         _ => {
             let name = dec.str().map_err(|e| corrupt("backend", e))?;
-            Some(
-                crate::protocol::parse_backend_name(&name)
-                    .map_err(FrameError::Corrupt)?,
-            )
+            Some(crate::protocol::parse_backend_name(&name).map_err(FrameError::Corrupt)?)
         }
     };
     Ok(QueryRequest { user, k, timeout_us, backend })

@@ -38,9 +38,7 @@
 //! sweep runs after the swap, so the stale-insert race is closed from both
 //! sides.
 
-use crate::frame::{
-    self, could_be_frame, FrameBuf, FrameError, MAX_REQUEST_FRAME_BYTES,
-};
+use crate::frame::{self, could_be_frame, FrameBuf, FrameError, MAX_REQUEST_FRAME_BYTES};
 use crate::http;
 use crate::protocol::{
     CaptureAction, ErrorCode, ExplainReply, FlightReply, FlightWireEntry, QueryReply, ReloadReply,
@@ -850,10 +848,7 @@ fn binary_connection_loop(
                             match job_tx.try_send(job) {
                                 Ok(()) => pending.push((id, ctx, reply_rx)),
                                 Err(_) => {
-                                    out.push(frame::encode_response(
-                                        id,
-                                        &shed_query(shared, &ctx),
-                                    ));
+                                    out.push(frame::encode_response(id, &shed_query(shared, &ctx)));
                                 }
                             }
                         }
@@ -1656,8 +1651,7 @@ fn complete_query(shared: &Shared, ctx: &QueryCtx, reply: WorkerReply) -> Respon
 
 /// The shutdown race: every worker exited while this query was in flight.
 fn abandoned_query(shared: &Shared, ctx: &QueryCtx) -> Response {
-    let response =
-        count_error(shared, ErrorCode::Internal, "server is shutting down".to_string());
+    let response = count_error(shared, ErrorCode::Internal, "server is shutting down".to_string());
     let us = ctx.accepted.elapsed().as_micros() as u64;
     record_request(
         shared,
@@ -3215,10 +3209,7 @@ mod tests {
         let (id, reply) = read_frame(&mut stream, &mut frames).unwrap();
         assert_eq!(id, 8);
         assert!(matches!(reply, crate::frame::WireReply::Response(Response::Bye)));
-        assert!(
-            read_frame(&mut stream, &mut frames).is_none(),
-            "QUIT closes after the flush"
-        );
+        assert!(read_frame(&mut stream, &mut frames).is_none(), "QUIT closes after the flush");
         server.stop().unwrap();
     }
 

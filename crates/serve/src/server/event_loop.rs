@@ -47,7 +47,7 @@ use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The poller key reserved for the listener; connections start at 1.
 const LISTENER_KEY: usize = 0;
@@ -203,10 +203,8 @@ pub(super) fn run(shared: &Arc<Shared>, listener: TcpListener, job_tx: &mpsc::Sy
     let lp = Arc::new(LoopShared { poller, completions: Mutex::new(Vec::new()) });
     // Level-triggered: as long as accepts are drained to `WouldBlock`
     // (they are — see `accept_burst`), the listener never needs re-arming.
-    if unsafe {
-        lp.poller.add_with_mode(&listener, Event::readable(LISTENER_KEY), PollMode::Level)
-    }
-    .is_err()
+    if unsafe { lp.poller.add_with_mode(&listener, Event::readable(LISTENER_KEY), PollMode::Level) }
+        .is_err()
     {
         return acceptor_loop(shared, &listener, job_tx);
     }
@@ -241,9 +239,12 @@ pub(super) fn run(shared: &Arc<Shared>, listener: TcpListener, job_tx: &mpsc::Sy
         events.clear();
         let _ = lp.poller.wait(&mut events, Some(POLL));
         if shared.stop.load(Ordering::SeqCst) {
-            // Dropping the map closes every connection; in-flight
-            // completions surface as conn_aborted only if anyone drains
-            // them, which no longer matters — the process is going down.
+            // A binary SHUTDOWN's BYE rides the completion queue and may
+            // not have been drained yet — deliver what is (or is about to
+            // be) queued and flush before going down, so binary clients
+            // see an orderly reply stream, not an abrupt EOF, exactly as
+            // text clients get their Bye line before the stop.
+            shutdown_flush(&ctx, &mut conns);
             return;
         }
         // Re-pin the snapshot once per wake; admission below uses it.
@@ -287,9 +288,34 @@ pub(super) fn run(shared: &Arc<Shared>, listener: TcpListener, job_tx: &mpsc::Sy
 
         dirty.sort_unstable();
         dirty.dedup();
-        for idx in 0..dirty.len() {
-            flush_and_rearm(&ctx, &mut conns, dirty[idx]);
+        for &key in &dirty {
+            flush_and_rearm(&ctx, &mut conns, key);
         }
+    }
+}
+
+/// The last act before the loop exits on stop: give already-dispatched
+/// requests a brief, bounded window to complete (the SHUTDOWN that set the
+/// stop flag has its BYE in flight on the slow lane at this very moment),
+/// deliver every queued completion, and best-effort flush each
+/// connection's pending output. Writes are nonblocking; a peer that will
+/// not take its reply is abandoned — shutdown never stalls on a client.
+fn shutdown_flush(ctx: &LoopCtx<'_>, conns: &mut HashMap<usize, Conn>) {
+    let deadline = Instant::now() + POLL;
+    loop {
+        for completion in ctx.lp.drain() {
+            if let Some(conn) = conns.get_mut(&completion.key) {
+                conn.in_flight -= 1;
+                conn.out.push_back(completion.frame);
+            }
+        }
+        if !conns.values().any(|conn| conn.in_flight > 0) || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for conn in conns.values_mut() {
+        let _ = try_flush(conn, ctx.batch);
     }
 }
 
@@ -506,6 +532,16 @@ fn process_frames(ctx: &LoopCtx<'_>, key: usize, conn: &mut Conn, snapshot: &Sna
             Ok((id, request)) => {
                 // Everything else — including QUIT/SHUTDOWN, whose `close`
                 // travels back on the completion — runs on the slow lane.
+                // The lane's mpsc channel is unbounded, so the pipeline
+                // cap applies here too: without it one client could queue
+                // arbitrarily many expensive verbs and grow the slow-lane
+                // queue and reply buffers without backpressure.
+                if conn.in_flight >= ctx.pipeline_cap {
+                    shared.counters.requests.inc();
+                    shared.counters.busy.inc();
+                    conn.out.push_back(frame::encode_response(id, &Response::Busy));
+                    continue;
+                }
                 let draining = matches!(request, Request::Quit | Request::Shutdown);
                 match ctx.slow_tx.send(SlowTask { key, id, request }) {
                     Ok(()) => conn.in_flight += 1,
@@ -530,8 +566,7 @@ fn process_frames(ctx: &LoopCtx<'_>, key: usize, conn: &mut Conn, snapshot: &Sna
                     code: ErrorCode::BadRequest,
                     message: format!("malformed binary request: {e}"),
                 };
-                conn.out
-                    .push_back(frame::encode_response(frame::payload_id(&payload), &response));
+                conn.out.push_back(frame::encode_response(frame::payload_id(&payload), &response));
             }
         }
     }

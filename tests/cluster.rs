@@ -11,9 +11,7 @@
 
 use pitex::cluster::{Router, RouterHandle, RouterOptions, ShardMap};
 use pitex::prelude::*;
-use pitex::serve::{
-    ErrorCode, Request, Response, ServeClient, ServeOptions, Server, ServerHandle,
-};
+use pitex::serve::{ErrorCode, Request, Response, ServeClient, ServeOptions, Server, ServerHandle};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

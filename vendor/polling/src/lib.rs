@@ -121,14 +121,24 @@ mod sys {
     pub const EFD_CLOEXEC: c_int = 0o2000000;
     pub const EFD_NONBLOCK: c_int = 0o4000;
 
-    /// The kernel ABI layout: packed on x86-64 (and harmlessly identical
-    /// to the aligned layout elsewhere).
-    #[repr(C, packed)]
+    /// The kernel ABI layout: `struct epoll_event` is packed **only on
+    /// x86/x86-64** (12 bytes, `data` at offset 4); every other Linux
+    /// architecture uses the naturally aligned 16-byte layout with `data`
+    /// at offset 8. Packing unconditionally would make `epoll_wait` write
+    /// 16-byte records at a 12-byte stride — out-of-bounds — on aarch64.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
         pub data: u64,
     }
+
+    const _: () = assert!(
+        std::mem::size_of::<EpollEvent>()
+            == if cfg!(any(target_arch = "x86", target_arch = "x86_64")) { 12 } else { 16 },
+        "EpollEvent must match the kernel's per-arch epoll_event layout"
+    );
 
     extern "C" {
         pub fn epoll_create1(flags: c_int) -> c_int;
@@ -221,6 +231,8 @@ impl Poller {
     /// delivered event the source must be re-armed with
     /// [`modify`](Poller::modify).
     ///
+    /// # Safety
+    ///
     /// The real crate marks this `unsafe` because the caller must
     /// [`delete`](Poller::delete) the source before dropping it; the
     /// stand-in keeps the signature.
@@ -275,7 +287,10 @@ impl Poller {
         events.clear();
         let timeout_ms: i32 = match timeout {
             // Round up so a 1ns timeout does not busy-spin as 0ms.
-            Some(t) => t.as_millis().min(i32::MAX as u128) as i32 + i32::from(t.subsec_nanos() % 1_000_000 != 0),
+            Some(t) => {
+                t.as_millis().min(i32::MAX as u128) as i32
+                    + i32::from(t.subsec_nanos() % 1_000_000 != 0)
+            }
             None => -1,
         };
         let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
